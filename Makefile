@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction.
+
+PY ?= python3
+BENCH_N ?= 400
+
+.PHONY: install test bench reports examples verify all clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ --benchmark-only
+
+reports:
+	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ -s
+	$(PY) tools/regenerate_reports.py 1000
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; \
+		$(PY) $$ex > /dev/null || exit 1; \
+	done; echo "all examples ran clean"
+
+verify:
+	$(PY) examples/self_check.py 200
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -1,0 +1,41 @@
+"""A4 — Ablation: output-base sweep.
+
+The algorithm is parameterised over the output base B (2..36); the paper
+only evaluates B = 10.  Cost drivers per base: the number of digits
+produced (∝ 1/log2 B) and the per-digit big-integer work.  Binary output
+is also the identity-ish case (b == B == 2) the paper notes needs no
+conversion algorithm at all.
+"""
+
+import pytest
+
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+
+BASES = [2, 8, 10, 16, 36]
+
+
+@pytest.mark.parametrize("base", BASES)
+@pytest.mark.benchmark(group="ablation-bases")
+def test_bench_base(benchmark, schryer_small, base):
+    subset = schryer_small[:: max(1, len(schryer_small) // 150)]
+
+    def run():
+        acc = 0
+        for v in subset:
+            acc ^= shortest_digits(v, base=base,
+                                   mode=ReaderMode.NEAREST_EVEN).k
+        return acc
+
+    benchmark(run)
+
+
+def test_digit_counts_scale_with_base(schryer_small):
+    """Sanity for the sweep: higher bases need fewer digits on average."""
+    subset = schryer_small[:: max(1, len(schryer_small) // 100)]
+    means = {}
+    for base in BASES:
+        total = sum(
+            len(shortest_digits(v, base=base).digits) for v in subset)
+        means[base] = total / len(subset)
+    assert means[2] > means[10] > means[36]

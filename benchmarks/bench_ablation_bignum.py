@@ -1,0 +1,47 @@
+"""A3 — Ablation: native-int backend vs the limb-based BigNat substrate.
+
+Quantifies what the paper gets "for free" from Scheme's native bignums:
+the same conversion run on our portable 30-bit-limb arithmetic.  The gap
+is the cost a run-time system without native big integers would pay (or
+the speedup a tuned bignum kernel buys).
+"""
+
+import pytest
+
+from repro.core.backends import shortest_digits_bignat
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+
+
+@pytest.mark.benchmark(group="ablation-bignum")
+def test_bench_native_int(benchmark, schryer_small):
+    subset = schryer_small[:: max(1, len(schryer_small) // 100)]
+
+    def run():
+        acc = 0
+        for v in subset:
+            acc ^= shortest_digits(v, mode=ReaderMode.NEAREST_EVEN).k
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-bignum")
+def test_bench_bignat_limbs(benchmark, schryer_small):
+    subset = schryer_small[:: max(1, len(schryer_small) // 100)]
+
+    def run():
+        acc = 0
+        for v in subset:
+            acc ^= shortest_digits_bignat(v, mode=ReaderMode.NEAREST_EVEN).k
+        return acc
+
+    benchmark(run)
+
+
+def test_backends_agree_on_bench_corpus(schryer_small):
+    subset = schryer_small[:: max(1, len(schryer_small) // 50)]
+    for v in subset:
+        a = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+        b = shortest_digits_bignat(v, mode=ReaderMode.NEAREST_EVEN)
+        assert (a.k, a.digits) == (b.k, b.digits)

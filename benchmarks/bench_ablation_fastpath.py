@@ -1,0 +1,89 @@
+"""A6 — Extension: fast-path printers vs the exact algorithms.
+
+Quantifies the follow-on-work trade-off: Grisu3/counted 64-bit fast
+paths handle ~99% of inputs at much lower cost, with the paper's exact
+algorithm as the safety net for the remainder — the architecture every
+modern run-time adopted.
+"""
+
+import pytest
+
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.fastpath import STATS, fixed_fast, shortest_fast
+
+
+@pytest.mark.benchmark(group="fastpath-shortest")
+def test_bench_exact_shortest(benchmark, schryer_small):
+    def run():
+        acc = 0
+        for v in schryer_small:
+            acc ^= shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN).k
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fastpath-shortest")
+def test_bench_grisu_with_fallback(benchmark, schryer_small):
+    def run():
+        acc = 0
+        for v in schryer_small:
+            acc ^= shortest_fast(v).k
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fastpath-fixed")
+def test_bench_exact_fixed(benchmark, schryer_small):
+    def run():
+        acc = 0
+        for v in schryer_small:
+            acc ^= exact_fixed_digits(v, ndigits=15).k
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fastpath-shortest")
+def test_bench_printf_strtod_probing(benchmark, schryer_floats):
+    """The folk baseline: probe %.0e..%.16e until strtod round-trips.
+    Host-compiled primitives, yet up to 17 round trips per value — and
+    not even minimal (see tests/baselines/test_probe.py)."""
+    from repro.baselines.probe import probe_shortest
+
+    def run():
+        acc = 0
+        for x in schryer_floats:
+            acc ^= len(probe_shortest(abs(x)))
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fastpath-fixed")
+def test_bench_counted_with_fallback(benchmark, schryer_small):
+    def run():
+        acc = 0
+        for v in schryer_small:
+            acc ^= fixed_fast(v, 15).k
+        return acc
+
+    benchmark(run)
+
+
+def test_fastpath_hit_rates(schryer_small, capsys):
+    STATS.reset()
+    for v in schryer_small:
+        shortest_fast(v)
+        fixed_fast(v, 15)
+    n = len(schryer_small)
+    with capsys.disabled():
+        print(f"\nFast-path hit rates (n={n}):")
+        print(f"  grisu3 shortest: {STATS.shortest_hits / n:6.1%}  "
+              f"(misses -> exact Burger-Dybvig)")
+        print(f"  counted fixed:   {STATS.fixed_hits / n:6.1%}  "
+              f"(misses -> exact conversion)")
+    assert STATS.shortest_hits / n > 0.95

@@ -1,0 +1,67 @@
+"""A2 — Ablation: the cached power table (Figure 2's ``exptt``).
+
+Scaling multiplies by ``10**|k|`` with ``|k|`` up to 325 for binary64;
+the paper keeps those powers in a table.  This bench compares conversion
+throughput with the table against recomputing every power, and times the
+power lookup itself.
+"""
+
+import pytest
+
+from repro.bignum import pow_cache
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+
+
+@pytest.mark.benchmark(group="ablation-powcache-lookup")
+def test_bench_power_cached(benchmark):
+    ks = list(range(0, 326, 5))
+
+    def run():
+        acc = 0
+        for k in ks:
+            acc ^= pow_cache.power(10, k) & 1
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-powcache-lookup")
+def test_bench_power_uncached(benchmark):
+    ks = list(range(0, 326, 5))
+
+    def run():
+        acc = 0
+        for k in ks:
+            acc ^= pow_cache.power_uncached(10, k) & 1
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-powcache-conversion")
+def test_bench_conversion_with_table(benchmark, schryer_small):
+    def run():
+        acc = 0
+        for v in schryer_small:
+            acc ^= shortest_digits(v, mode=ReaderMode.NEAREST_EVEN).k
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-powcache-conversion")
+def test_bench_conversion_without_table(benchmark, schryer_small,
+                                        monkeypatch):
+    # Disable both the paper's table and the dynamic memo.
+    from repro.core import scaling
+
+    monkeypatch.setattr(scaling, "power", pow_cache.power_uncached)
+
+    def run():
+        acc = 0
+        for v in schryer_small:
+            acc ^= shortest_digits(v, mode=ReaderMode.NEAREST_EVEN).k
+        return acc
+
+    benchmark(run)

@@ -1,0 +1,65 @@
+"""A5 — Ablation: the reader substrate's three strategies.
+
+The round-trip guarantee is stated against an accurate reader (Clinger,
+the paper's reference [1]); we ship three and compare them: the one-shot
+exact divmod, AlgorithmR's refinement loop, and the Bellerophon host-
+float fast path with exact fallback.  Also reports the fast-path hit
+rate on shortest-output strings.
+"""
+
+import pytest
+
+from repro.core.api import format_shortest
+from repro.reader.algorithm_r import read_decimal_r
+from repro.reader.bellerophon import read_decimal_fast
+from repro.reader.exact import read_decimal
+
+
+@pytest.fixture(scope="module")
+def shortest_strings(schryer_small):
+    return [format_shortest(v) for v in schryer_small]
+
+
+@pytest.mark.benchmark(group="ablation-reader")
+def test_bench_exact_reader(benchmark, shortest_strings):
+    def run():
+        acc = 0
+        for s in shortest_strings:
+            acc ^= read_decimal(s).f & 1
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-reader")
+def test_bench_algorithm_r(benchmark, shortest_strings):
+    def run():
+        acc = 0
+        for s in shortest_strings:
+            acc ^= read_decimal_r(s).f & 1
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-reader")
+def test_bench_bellerophon(benchmark, shortest_strings):
+    def run():
+        acc = 0
+        for s in shortest_strings:
+            acc ^= read_decimal_fast(s).value.f & 1
+        return acc
+
+    benchmark(run)
+
+
+def test_fast_path_hit_rate(shortest_strings, capsys):
+    hits = sum(read_decimal_fast(s).fast_path for s in shortest_strings)
+    rate = hits / len(shortest_strings)
+    with capsys.disabled():
+        print(f"\nBellerophon fast-path hit rate on shortest strings: "
+              f"{rate:.1%} ({hits}/{len(shortest_strings)})")
+    # Schryer values span the full exponent range, so most need the exact
+    # fallback; human-scale literals mostly take the fast path (see the
+    # reader tests).
+    assert 0.0 <= rate <= 1.0

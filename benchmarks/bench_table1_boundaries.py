@@ -1,0 +1,74 @@
+"""T1 — Table 1: initial values of r, s, m+ and m-.
+
+Table 1 is definitional rather than a measurement; this bench (a) checks
+each printed row symbolically against the implementation and (b) times
+the initialization, which the paper's design keeps to a handful of
+machine multiplications.
+
+Run ``pytest benchmarks/bench_table1_boundaries.py --benchmark-only -s``
+to see the regenerated table.
+"""
+
+from fractions import Fraction
+
+from repro.core.boundaries import initial_scaled_value
+from repro.floats.formats import BINARY64
+from repro.floats.model import Flonum
+from repro.floats.ulp import gap_high, gap_low
+
+#: (label, f, e) — one representative per Table 1 column.
+_CASES = [
+    ("e >= 0, f != b**(p-1)", (1 << 52) + 123, 10),
+    ("e >= 0, f == b**(p-1)", 1 << 52, 10),
+    ("e < 0, f != b**(p-1) (or e == min exp)", (1 << 52) + 123, -400),
+    ("e < 0, f == b**(p-1), e > min exp", 1 << 52, -400),
+]
+
+
+def _symbolic_row(f, e):
+    b = 2
+    p = 53
+    if e >= 0:
+        be = b**e
+        if f != b ** (p - 1):
+            return (f * be * 2, 2, be, be)
+        return (f * be * b * 2, b * 2, be * b, be)
+    if f != b ** (p - 1) or e == BINARY64.min_e:
+        return (f * 2, b**-e * 2, 1, 1)
+    return (f * b * 2, b ** (1 - e) * 2, b, 1)
+
+
+def test_table1_rows_match_paper(capsys):
+    """Regenerate Table 1 and verify each row against the symbolic form."""
+    rows = []
+    for label, f, e in _CASES:
+        v = Flonum.finite(0, f, e, BINARY64)
+        got = initial_scaled_value(v)
+        want = _symbolic_row(f, e)
+        assert got == want, label
+        r, s, mp, mm = got
+        assert Fraction(r, s) == v.to_fraction()
+        assert Fraction(mp, s) == gap_high(v) / 2
+        assert Fraction(mm, s) == gap_low(v) / 2
+        rows.append((label, f, e))
+    with capsys.disabled():
+        print("\nTable 1 (regenerated): initial values of r, s, m+, m-")
+        print(f"{'case':45s} {'r':>12s} {'s':>8s} {'m+':>8s} {'m-':>8s}")
+        for label, f, e in rows:
+            r, s, mp, mm = _symbolic_row(f, e)
+            fmt = lambda n: f"2^{n.bit_length() - 1}" if n and not (
+                n & (n - 1)) else str(n)[:12]
+            print(f"{label:45s} {fmt(r):>12s} {fmt(s):>8s} "
+                  f"{fmt(mp):>8s} {fmt(mm):>8s}")
+
+
+def test_bench_initialization(benchmark, schryer_small):
+    """Time Table-1 setup across the corpus (should be trivially cheap)."""
+    def run():
+        acc = 0
+        for v in schryer_small:
+            r, s, mp, mm = initial_scaled_value(v)
+            acc ^= s
+        return acc
+
+    benchmark(run)

@@ -1,0 +1,38 @@
+"""Shared corpora for the benchmark suite.
+
+The paper's measurements use 250,680 Schryer-form doubles; pure-Python
+big-integer arithmetic is ~10³ slower than 1996 compiled Scheme, so the
+benches default to deterministic subsets of the same construction (the
+ratios, which are what Tables 2 and 3 report, are scale-invariant).  Set
+``REPRO_BENCH_N`` to raise the corpus size toward the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+from repro.workloads.schryer import corpus
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "400"))
+
+
+@pytest.fixture(scope="session")
+def schryer_small():
+    """A few hundred Schryer-form values (full exponent spread)."""
+    return corpus(BENCH_N)
+
+
+@pytest.fixture(scope="session")
+def schryer_floats(schryer_small):
+    return [v.to_float() for v in schryer_small]
+
+
+@pytest.fixture(scope="session")
+def moderate_values():
+    """Human-scale magnitudes (the common case for printing)."""
+    return corpus(BENCH_N // 2, seed=7)[: BENCH_N // 2]

@@ -1,0 +1,66 @@
+"""Scenario: cross-base debugging output.
+
+The algorithm converts from any radix-b format to any base B in 2..36.
+Hex output is handy for comparing against C's %a; binary output shows
+the mantissa structure directly; base 36 is the densest printable form.
+
+Run:  python examples/base_conversion.py
+"""
+
+from repro import (
+    BINARY16,
+    Flonum,
+    format_shortest,
+    read_decimal,
+    shortest_digits,
+)
+
+
+def same_value_many_bases() -> None:
+    print("=== 0.1 (the double) across output bases ===")
+    x = 0.1
+    for base in (10, 16, 8, 36, 2):
+        s = format_shortest(x, base=base, style="scientific")
+        print(f"  base {base:>2}: {s}")
+    print("  (every one of these reads back to the same 64 bits)")
+
+
+def binary_shows_structure() -> None:
+    print()
+    print("=== Binary output exposes the representation ===")
+    for x in (0.5, 0.75, 0.1, 3.0):
+        s = format_shortest(x, base=2, style="positional")
+        print(f"  {x!r:>6} = {s}")
+    print("  0.1 needs the full 53-bit tail in base 2 — there is no")
+    print("  shorter binary string because the value IS the binary string.")
+
+
+def shortest_length_by_base() -> None:
+    print()
+    print("=== How many digits does 'shortest' need per base? ===")
+    from repro.workloads.schryer import corpus
+
+    values = corpus(1000)
+    for base in (2, 8, 10, 16, 36):
+        mean = sum(len(shortest_digits(v, base=base).digits)
+                   for v in values) / len(values)
+        print(f"  base {base:>2}: {mean:5.1f} digits on average")
+
+
+def half_precision_table() -> None:
+    print()
+    print("=== All of binary16's powers of two, exactly, in hex ===")
+    for e in range(-4, 5):
+        v = read_decimal(str(2.0**e), BINARY16)
+        print(f"  2^{e:<3} -> base16 {format_shortest(v, base=16)}")
+
+
+def main() -> None:
+    same_value_many_bases()
+    binary_shows_structure()
+    shortest_length_by_base()
+    half_precision_table()
+
+
+if __name__ == "__main__":
+    main()

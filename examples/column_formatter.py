@@ -1,0 +1,66 @@
+"""Scenario: width-aware table rendering with the incremental digit API.
+
+A report generator has a fixed column width and wants the most
+informative representation that fits: full shortest output when it
+fits, a correctly rounded prefix when it does not (marked with a
+trailing '~'), falling back wider only when even one digit cannot fit.
+The :class:`repro.DigitStream` API makes this a one-pass decision per
+value instead of print-measure-reprint.
+
+Run:  python examples/column_formatter.py
+"""
+
+from repro import DigitStream, Flonum
+from repro.format.notation import NotationOptions, render_shortest
+
+
+def fit_column(x: float, width: int) -> str:
+    """Render x into at most `width` characters, as precisely as fits."""
+    v = Flonum.from_float(x)
+    if v.is_nan:
+        return "nan".rjust(width)
+    if v.is_infinite:
+        return ("-inf" if v.sign else "inf").rjust(width)
+    if v.is_zero:
+        return "0".rjust(width)
+    sign = "-" if v.is_negative else ""
+    mag = v.abs()
+
+    # Try decreasing digit budgets until the rendering fits.
+    full = render_shortest(DigitStream(mag).take(25),
+                           NotationOptions())
+    natural_len = len(sign + full)
+    if natural_len <= width:
+        return (sign + full).rjust(width)
+    for budget in range(width, 0, -1):
+        stream = DigitStream(mag)
+        result = stream.take(budget)
+        body = render_shortest(result, NotationOptions())
+        text = sign + body + ("" if stream.complete else "~")
+        if len(text) <= width:
+            return text.rjust(width)
+    return "#" * width  # nothing fits: overflow marker, spreadsheet-style
+
+
+def main() -> None:
+    rows = [
+        ("pi", 3.141592653589793),
+        ("avogadro", 6.02214076e23),
+        ("third", 1 / 3),
+        ("tenth", 0.1),
+        ("tiny", 5e-324),
+        ("neat", 42.5),
+        ("negative", -123456.789),
+        ("sum", 0.1 + 0.2),
+    ]
+    for width in (22, 12, 8):
+        print(f"=== column width {width} ===")
+        for name, x in rows:
+            print(f"  {name:>9} |{fit_column(x, width)}|")
+        print()
+    print("'~' marks a correctly rounded prefix (stream stopped early);")
+    print("exact shortest strings appear whenever they fit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Scenario: fixed-column numeric reports without garbage digits.
+
+A data logger prints measurements in fixed columns.  Naive fixed-format
+printing manufactures digits beyond the precision of the value —
+"0.3333333148" — which read as (false) measurement resolution.  The
+paper's ``#`` marks make the precision boundary explicit, which matters
+most for denormals and wide columns.
+
+Run:  python examples/fixed_format_marks.py
+"""
+
+from repro import BINARY32, Flonum, format_fixed, read_decimal
+from repro.baselines.steele_white import dragon4_fixed
+from repro.format.notation import NotationOptions, render_fixed
+
+
+def single_precision_sensor() -> None:
+    print("=== A binary32 sensor value printed to 10 digits ===")
+    reading = read_decimal("0.3333333333", BINARY32)
+    ours = format_fixed(reading, ndigits=10)
+    garbage = dragon4_fixed(reading.abs(), position=-10)
+    print("  Burger-Dybvig:", ours)
+    print("  Steele-White: ", render_fixed(garbage),
+          "   <- plausible-looking garbage tail")
+
+
+def denormal_column() -> None:
+    print()
+    print("=== Denormals in a wide column ===")
+    for text in ("5e-324", "1.5e-323", "4.9e-320", "1e-310"):
+        v = read_decimal(text)
+        print(f"  {text:>10}  ->  "
+              f"{format_fixed(v, ndigits=14, style='scientific')}")
+    print("  (only the leading digits carry information; the rest of the")
+    print("   column is explicitly insignificant)")
+
+
+def accounting_rounding() -> None:
+    print()
+    print("=== Correct rounding at a fixed position (cents) ===")
+    rows = [2.675, 2.665, 0.125, 1.005, 9.995]
+    for x in rows:
+        print(f"  {x!r:>8} rounds to {format_fixed(x, decimals=2):>6}"
+              f"   (exact double is {format_fixed(x, decimals=20)})")
+    print("  The 'surprising' cents come from the binary representation,")
+    print("  not the printer: the fixed output is exactly rounded.")
+
+
+def custom_mark_character() -> None:
+    print()
+    print("=== Custom insignificance mark ===")
+    opts = NotationOptions(hash_char="?")
+    from repro.core.fixed import fixed_digits
+
+    v = Flonum.from_float(100.0)
+    print("  100.0 to 20 decimals:",
+          render_fixed(fixed_digits(v, position=-20), opts))
+
+
+def main() -> None:
+    single_precision_sensor()
+    denormal_column()
+    accounting_rounding()
+    custom_mark_character()
+
+
+if __name__ == "__main__":
+    main()

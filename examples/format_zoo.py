@@ -1,0 +1,88 @@
+"""Scenario: one numeric pipeline, every floating-point format.
+
+The paper's algorithm is parameterised over (radix, precision, exponent
+range); combined with this package's correctly rounded arithmetic, the
+same computation can be *run and printed* in binary16 through binary128,
+x87-extended and IEEE decimal — exposing exactly where each format's
+precision gives out.
+
+The computation: Heron's method for sqrt(2), which doubles correct
+digits per step until it hits the format's precision wall.
+
+Run:  python examples/format_zoo.py
+"""
+
+from repro import format_shortest, read_decimal
+from repro.floats import sqrt as exact_sqrt
+from repro.floats.arith import add, div, mul
+from repro.floats.formats import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    DECIMAL64,
+    X87_80,
+)
+from repro.floats.model import Flonum
+
+FORMATS = [BINARY16, BINARY32, BINARY64, X87_80, BINARY128, DECIMAL64]
+
+
+def heron(fmt, iterations=12):
+    """sqrt(2) by x <- (x + 2/x)/2 in the format's own arithmetic."""
+    two = read_decimal("2", fmt)
+    half = read_decimal("0.5", fmt)
+    x = read_decimal("1.5", fmt)
+    trace = [x]
+    for _ in range(iterations):
+        nxt = mul(add(x, div(two, x)), half)
+        if nxt == x:
+            break
+        x = nxt
+        trace.append(x)
+    return x, trace
+
+
+def correct_digits(printed: str, reference: str) -> int:
+    count = 0
+    for a, b in zip(printed.replace(".", ""), reference.replace(".", "")):
+        if a != b:
+            break
+        count += 1
+    return count
+
+
+REF = ("1.4142135623730950488016887242096980785696718753769480731766797379"
+       "9073247846210703885038753432764157273501384623091229702492483605")
+
+
+def main() -> None:
+    print("Heron iteration for sqrt(2), per format:\n")
+    print(f"{'format':>10} {'iters':>5} {'correct':>8}  converged value")
+    for fmt in FORMATS:
+        x, trace = heron(fmt)
+        printed = format_shortest(x)
+        good = correct_digits(printed, REF)
+        print(f"{fmt.name:>10} {len(trace) - 1:>5} {good:>8}  {printed}")
+    print()
+    print("Fixed point vs the correctly rounded sqrt (repro.floats.sqrt):")
+    for fmt in FORMATS:
+        x, _ = heron(fmt)
+        truth = exact_sqrt(read_decimal("2", fmt))
+        if x == truth:
+            print(f"  {fmt.name:>10}: lands exactly on the correctly "
+                  "rounded root")
+        else:
+            from repro.floats.ulp import predecessor, successor
+
+            off = "one ulp high" if x > truth else "one ulp low"
+            assert x in (successor(truth), predecessor(truth))
+            print(f"  {fmt.name:>10}: fixed point is {off} — Newton "
+                  "iteration does not guarantee correct rounding!")
+    print()
+    print("(shortest output lengths track precision: ~4 digits for")
+    print(" binary16, ~17 for binary64, ~36 for binary128)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Scenario: re-measure every in-text number from the paper.
+
+Beyond the tables, Section 3-5 of the paper make quantitative claims in
+prose.  This script recomputes each one on a freshly generated corpus:
+
+* "The average number of digits needed is 15.2."
+* "The floating-point logarithm estimate was almost always k; our
+  simpler estimate is frequently k-1."
+* "It undershoots by no more than 1/log2 B < 0.631."
+* "Requiring two rather than five floating-point operations" (vs Gay).
+
+Run:  python examples/paper_measurements.py [corpus-size]
+"""
+
+import sys
+
+from repro.analysis import (
+    accuracy_scan,
+    digit_length_stats,
+    histogram_lines,
+    undershoot_bound,
+    worst_undershoot,
+)
+from repro.floats.formats import BINARY64
+from repro.workloads.schryer import corpus
+
+
+def digit_lengths(values) -> None:
+    print("=== Shortest-output digit counts (paper: mean 15.2) ===")
+    stats = digit_length_stats(values)
+    for line in histogram_lines(stats, width=40):
+        print("  " + line)
+    print()
+
+
+def estimator_accuracy(values) -> None:
+    print("=== Estimator accuracy (paper §3.2 / §5) ===")
+    scan = accuracy_scan(values)
+    for name in ("float-log", "gay", "fast"):
+        acc = scan[name]
+        print(f"  {name:10s} exact {acc.exact_rate:6.1%}   "
+              f"k-1 {1 - acc.exact_rate:6.1%}   "
+              f"overshoots: {'never' if acc.never_overshoots else 'YES!'}")
+    print("  (fixup makes the off-by-one case free, so the cheapest "
+          "estimator wins)")
+    print()
+
+
+def undershoot_bounds() -> None:
+    print("=== The 0.631 bound (paper §3.2) ===")
+    for base in (3, 10, 16):
+        bound = undershoot_bound(2, base)
+        observed = worst_undershoot(BINARY64, base=base)
+        print(f"  base {base:>2}: analytic bound {bound:.4f}, "
+              f"worst observed {observed:.4f}")
+    print("  (base 3 is the paper's 0.631 worst case)")
+    print()
+
+
+def flop_counts() -> None:
+    print("=== Estimator cost in operations (paper: 2 vs 5 flops) ===")
+    print("  fast (paper):  s = e + len(f) - 1; ceil(s * invlog2of[B] - eps)")
+    print("                 -> 1 multiply + 1 subtract on floats")
+    print("  Gay's Taylor:  (x-1.5)*c1 + c2 + s*c3")
+    print("                 -> 2 multiplies + 3 adds")
+    print("  (in CPython both are dominated by interpreter dispatch; the")
+    print("   flop counts matter on 1996 hardware and in compiled ports)")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    values = corpus(n)
+    print(f"Corpus: {n} Schryer-form positive normalized doubles\n")
+    digit_lengths(values)
+    estimator_accuracy(values)
+    undershoot_bounds()
+    flop_counts()
+
+
+if __name__ == "__main__":
+    main()

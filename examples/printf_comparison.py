@@ -1,0 +1,75 @@
+"""Scenario: auditing a platform's printf (the Table 3 experiment).
+
+The paper counted how many of 250,680 test values each 1996 system's
+printf rounded incorrectly (0 on the systems that had adopted exact
+conversion; 6,280 on the worst).  Here we rerun that audit against
+(a) the soft-float model of the era's float-arithmetic printfs at three
+intermediate precisions, and (b) the host's modern libc — and print a
+few concrete mis-rounded outputs so the failure is tangible.
+
+Run:  python examples/printf_comparison.py
+"""
+
+from repro import format_printf
+from repro.baselines.naive_fixed import naive_fixed_17
+from repro.baselines.naive_printf import (
+    is_correctly_rounded,
+    naive_printf_digits,
+)
+from repro.workloads.schryer import corpus
+
+
+def audit() -> None:
+    values = corpus(2000)
+    print("=== Incorrectly rounded 17-digit outputs (n=2000) ===")
+    for precision, label in ((53, "double chain (pre-1990 style)"),
+                             (64, "x87 extended chain (mid-90s)"),
+                             (113, "quad chain / near-exact")):
+        wrong = []
+        for v in values:
+            k, digits = naive_printf_digits(v, 17, precision)
+            if not is_correctly_rounded(v, k, digits):
+                wrong.append((v, k, digits))
+        print(f"  {label:32s} {len(wrong):5d} incorrect")
+        for v, k, digits in wrong[:2]:
+            want = naive_fixed_17(v)
+            print(f"      e.g. {v!r}")
+            print(f"        got  {''.join(map(str, digits))} e{k}")
+            print(f"        want {''.join(map(str, want.digits))} "
+                  f"e{want.k}")
+
+
+def our_printf_is_exact() -> None:
+    values = corpus(2000)
+    print()
+    print("=== Our printf (built on the exact converter) ===")
+    wrong = 0
+    for v in values:
+        want = naive_fixed_17(v)
+        got = format_printf("%.16e", v.to_float())
+        mantissa = got.split("e")[0].replace(".", "")
+        wrong += mantissa != "".join(map(str, want.digits))
+    print(f"  {wrong} of {len(values)} incorrect (must be 0)")
+    assert wrong == 0
+
+
+def host_spot_check() -> None:
+    print()
+    print("=== Spot check vs the host libc ===")
+    for spec, x in (("%.17e", 0.1), ("%.3f", 2.675), ("%g", 1e-5),
+                    ("%.12g", 1 / 3)):
+        ours = format_printf(spec, x)
+        host = spec % x
+        marker = "==" if ours == host else "!="
+        print(f"  {spec:>7} {x!r:>8}: ours {ours:>22} {marker} "
+              f"host {host}")
+
+
+def main() -> None:
+    audit()
+    our_printf_is_exact()
+    host_spot_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: the paper's two printing modes in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BINARY32,
+    Flonum,
+    ReaderMode,
+    format_fixed,
+    format_shortest,
+    read_decimal,
+)
+
+
+def main() -> None:
+    print("=== Free format: shortest string that reads back exactly ===")
+    for x in [0.3, 0.1 + 0.2, 1 / 3, 1e23, 5e-324, -2.5, 6.02214076e23]:
+        print(f"  {x!r:>28}  ->  {format_shortest(x)}")
+
+    print()
+    print("=== The 1e23 example (paper Section 3.1) ===")
+    # 10**23 falls exactly between two doubles.  An IEEE reader resolves
+    # the tie to the even mantissa, so the printer may emit the bare
+    # boundary — if it knows the reader's rounding mode.
+    x = 1e23
+    print("  reader known (IEEE nearest-even):",
+          format_shortest(x, mode=ReaderMode.NEAREST_EVEN))
+    print("  reader unknown (conservative):   ",
+          format_shortest(x, mode=ReaderMode.NEAREST_UNKNOWN))
+
+    print()
+    print("=== Fixed format: correct rounding + '#' insignificance ===")
+    print("  1/3 to 10 digits:   ", format_fixed(1 / 3, ndigits=10))
+    print("  100.0, 20 decimals: ", format_fixed(100.0, decimals=20))
+    print("  5e-324, 12 digits:  ",
+          format_fixed(5e-324, ndigits=12, style="scientific"))
+    print("  pi to cents:        ", format_fixed(3.14159265, decimals=2))
+
+    print()
+    print("=== Round trip through our own accurate reader ===")
+    s = format_shortest(0.1)
+    v = read_decimal(s)
+    print(f"  '{s}' reads back as {v!r}")
+    print("  equal to the original:", v == Flonum.from_float(0.1))
+
+    print()
+    print("=== Other formats: the same algorithm, any precision ===")
+    third32 = read_decimal("0.3333333333333333", BINARY32)
+    print("  1/3 as binary32 prints:", format_shortest(third32))
+    print("  (8 digits suffice for single precision; 16 for double)")
+
+
+if __name__ == "__main__":
+    main()

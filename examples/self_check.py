@@ -1,0 +1,56 @@
+"""Scenario: acceptance testing a float-printing port.
+
+A run-time system adopting these algorithms wants one command that
+cross-validates every engine — the Section-2 rational specification, the
+integer implementation, the limb-based bignum port, the Grisu3 fast
+path, the readers, and (for binary64) the host interpreter — across the
+whole format zoo.  This is that command.
+
+Run:  python examples/self_check.py [values-per-format]
+"""
+
+import sys
+import time
+
+from repro.floats.formats import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    X87_80,
+)
+from repro.verify import verify_format
+
+FORMATS = [
+    (BINARY64, 1.0),
+    (BINARY32, 0.6),
+    (BINARY16, 0.6),
+    (BINARY128, 0.2),
+    (X87_80, 0.2),
+]
+
+
+def main() -> int:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    print("Cross-validating all printing/reading engines")
+    print(f"(≈{budget} sampled values per format, boundary cases included)\n")
+    failures = 0
+    for fmt, weight in FORMATS:
+        n = max(10, int(budget * weight))
+        t0 = time.perf_counter()
+        report = verify_format(fmt, n)
+        elapsed = time.perf_counter() - t0
+        print(f"  {report.summary()}  [{elapsed:.1f}s]")
+        for mismatch in report.mismatches[:3]:
+            print(f"      {mismatch}")
+        failures += len(report.mismatches)
+    print()
+    if failures:
+        print(f"FAILED: {failures} engine disagreements")
+        return 1
+    print("All engines agree on every sampled value.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Reproduction of Burger & Dybvig, *Printing Floating-Point Numbers
+Quickly and Accurately* (PLDI 1996).
+
+Public surface, in one import::
+
+    from repro import format_shortest, format_fixed, read_decimal, Flonum
+
+* :func:`format_shortest` — the shortest correctly rounded string that
+  reads back to the value (free format, reader-rounding aware).
+* :func:`format_fixed` — correctly rounded to an absolute/relative digit
+  position, ``#``-marking insignificant positions.
+* :func:`read_decimal` — the accurate reader the guarantee is stated
+  against (any rounding mode).
+* :class:`Flonum` / :class:`FloatFormat` — exact value model for binary16
+  through binary128, x87-80 and arbitrary toy formats.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+table-by-table reproduction of the paper's evaluation.
+"""
+
+from repro.core.api import format_fixed, format_shortest, to_flonum
+from repro.core.digits import DigitResult
+from repro.core.dragon import shortest_digits
+from repro.core.fixed import FixedResult, fixed_digits
+from repro.core.fixed_rational import fixed_digits_rational
+from repro.core.rational import shortest_digits_rational
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.core.stream import DigitStream
+from repro.compat.scheme import number_to_string, string_to_number
+from repro.core.scaling import (
+    scale_estimate,
+    scale_float_log,
+    scale_iterative,
+)
+from repro.errors import (
+    DecodeError,
+    FormatError,
+    NotRepresentableError,
+    ParseError,
+    RangeError,
+    ReproError,
+)
+from repro.floats.formats import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    STANDARD_FORMATS,
+    X87_80,
+    FloatFormat,
+)
+from repro.floats.model import Flonum, FlonumKind
+from repro.format.notation import NotationOptions
+from repro.format.hexfloat import format_hex, parse_hex, python_hex
+from repro.format.printf import fmt_e, fmt_f, fmt_g, format_printf
+from repro.format.repr_shortest import py_repr
+from repro.reader.exact import read_decimal, read_fraction
+from repro.verify import VerificationReport, verify_format
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "format_shortest",
+    "format_fixed",
+    "to_flonum",
+    "shortest_digits",
+    "shortest_digits_rational",
+    "fixed_digits",
+    "fixed_digits_rational",
+    "DigitResult",
+    "FixedResult",
+    "ReaderMode",
+    "TieBreak",
+    "scale_estimate",
+    "scale_float_log",
+    "scale_iterative",
+    "FloatFormat",
+    "Flonum",
+    "FlonumKind",
+    "BINARY16",
+    "BINARY32",
+    "BINARY64",
+    "BINARY128",
+    "X87_80",
+    "STANDARD_FORMATS",
+    "NotationOptions",
+    "format_printf",
+    "format_hex",
+    "parse_hex",
+    "python_hex",
+    "fmt_e",
+    "fmt_f",
+    "fmt_g",
+    "py_repr",
+    "read_decimal",
+    "read_fraction",
+    "DigitStream",
+    "number_to_string",
+    "string_to_number",
+    "VerificationReport",
+    "verify_format",
+    "ReproError",
+    "FormatError",
+    "DecodeError",
+    "ParseError",
+    "RangeError",
+    "NotRepresentableError",
+]

@@ -1,0 +1,35 @@
+"""Measurement utilities behind the paper's in-text claims."""
+
+from repro.analysis.digit_stats import (
+    DigitLengthStats,
+    digit_length_stats,
+    histogram_lines,
+)
+from repro.analysis.hardness import (
+    hard_print_values,
+    hard_read_cases,
+    shortest_length_census,
+)
+from repro.analysis.estimator_stats import (
+    ESTIMATORS,
+    EstimatorAccuracy,
+    accuracy_scan,
+    true_k,
+    undershoot_bound,
+    worst_undershoot,
+)
+
+__all__ = [
+    "hard_print_values",
+    "hard_read_cases",
+    "shortest_length_census",
+    "DigitLengthStats",
+    "digit_length_stats",
+    "histogram_lines",
+    "ESTIMATORS",
+    "EstimatorAccuracy",
+    "accuracy_scan",
+    "true_k",
+    "undershoot_bound",
+    "worst_undershoot",
+]

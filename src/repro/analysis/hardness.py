@@ -1,0 +1,122 @@
+"""Adversarial-case generators: inputs that stress readers and printers.
+
+Two families the conversion literature uses to break implementations:
+
+* **hard-to-read literals** — decimal strings lying extremely close to a
+  rounding boundary, where a reader needs many guard digits to decide
+  (the inputs that defeat truncating fast paths and expose off-by-one
+  ulp bugs in strtod);
+* **hard-to-print values** — floats whose shortest output needs the
+  format's maximal digit count, i.e. whose rounding interval contains no
+  short decimal.
+
+Both are derived *constructively* from the format's own boundary
+structure rather than found by blind search, so a few hundred cases give
+systematic coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Tuple
+
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.floats.ulp import midpoint_high
+
+__all__ = ["hard_read_cases", "hard_print_values", "shortest_length_census"]
+
+
+def hard_read_cases(fmt: FloatFormat = BINARY64, count: int = 100,
+                    digits: int = 30, seed: int = 1996
+                    ) -> List[Tuple[str, Flonum]]:
+    """Literals within 10**-digits (relative) of a rounding boundary.
+
+    Each case is ``(text, expected)``: the text is the upper midpoint of
+    a random value truncated to ``digits`` significant digits — i.e. it
+    sits just *below* the boundary, so the expected result is the value
+    itself, and any reader that guesses from the first ~17 digits gets
+    it wrong half the time.
+    """
+    rng = random.Random(seed)
+    cases: List[Tuple[str, Flonum]] = []
+    lo, hi = fmt.hidden_limit, fmt.mantissa_limit - 1
+    while len(cases) < count:
+        f = rng.randrange(lo, hi + 1)
+        e = rng.randrange(fmt.min_e, fmt.max_e + 1)
+        v = Flonum.finite(0, f, e, fmt)
+        boundary = midpoint_high(v)
+        text = _truncate_to_digits(boundary, digits)
+        if text is None:
+            continue
+        # Truncation keeps the value strictly below the boundary, so it
+        # must read back as v under any round-to-nearest mode... unless
+        # truncation hit the boundary exactly (terminating expansion).
+        value = _parse_fraction(text)
+        if not value < boundary:
+            continue
+        cases.append((text, v))
+    return cases
+
+
+def _truncate_to_digits(value: Fraction, digits: int):
+    """Decimal literal of ``value`` truncated to ``digits`` sig. digits."""
+    if value <= 0:
+        return None
+    num, den = value.numerator, value.denominator
+    # Position of the first digit.
+    from repro.reader.exact import ilog
+
+    e = ilog(num, den, 10)
+    shift = digits - 1 - e
+    if shift >= 0:
+        mantissa = num * 10**shift // den
+    else:
+        mantissa = num // (den * 10**-shift)
+    return f"{mantissa}e{e - digits + 1}"
+
+
+def _parse_fraction(text: str) -> Fraction:
+    from repro.reader.parse import parse_decimal
+
+    return parse_decimal(text).to_fraction()
+
+
+def hard_print_values(fmt: FloatFormat = BINARY64, count: int = 50,
+                      seed: int = 1996) -> List[Flonum]:
+    """Values whose shortest output needs the format's maximal length.
+
+    Random search filtered by actual shortest length; values needing
+    ``decimal_digits_to_distinguish()`` digits are dense enough (tens of
+    percent) that this terminates quickly.
+    """
+    target = fmt.decimal_digits_to_distinguish()
+    rng = random.Random(seed)
+    out: List[Flonum] = []
+    lo, hi = fmt.hidden_limit, fmt.mantissa_limit - 1
+    attempts = 0
+    while len(out) < count and attempts < count * 200:
+        attempts += 1
+        f = rng.randrange(lo, hi + 1)
+        e = rng.randrange(fmt.min_e, fmt.max_e + 1)
+        v = Flonum.finite(0, f, e, fmt)
+        if len(shortest_digits(v).digits) >= target:
+            out.append(v)
+    return out
+
+
+def shortest_length_census(fmt: FloatFormat, exponent: int) -> dict:
+    """Exact distribution of shortest lengths across one binade.
+
+    Exhaustive over every mantissa at the given exponent — practical for
+    narrow formats (binary16: 1024 values per binade).
+    """
+    counts: dict = {}
+    for f in range(fmt.hidden_limit, fmt.mantissa_limit):
+        v = Flonum.finite(0, f, exponent, fmt)
+        n = len(shortest_digits(v, mode=ReaderMode.NEAREST_EVEN).digits)
+        counts[n] = counts.get(n, 0) + 1
+    return counts

@@ -1,0 +1,32 @@
+"""Comparison systems: Steele–White Dragon4, naive fixed/printf, Gay."""
+
+from repro.baselines.gay_estimator import gay_estimate_k, gay_estimate_log10
+from repro.baselines.naive_fixed import (
+    exact_fixed_digits,
+    fixed_digits_loop,
+    naive_fixed_17,
+)
+from repro.baselines.probe import probe_shortest, probe_shortest_digits
+from repro.baselines.naive_printf import (
+    PrintfAudit,
+    audit_naive_printf,
+    is_correctly_rounded,
+    naive_printf_digits,
+)
+from repro.baselines.steele_white import dragon4_fixed, dragon4_shortest
+
+__all__ = [
+    "gay_estimate_k",
+    "gay_estimate_log10",
+    "exact_fixed_digits",
+    "fixed_digits_loop",
+    "naive_fixed_17",
+    "probe_shortest",
+    "probe_shortest_digits",
+    "PrintfAudit",
+    "audit_naive_printf",
+    "is_correctly_rounded",
+    "naive_printf_digits",
+    "dragon4_fixed",
+    "dragon4_shortest",
+]

@@ -1,0 +1,58 @@
+"""David Gay's scaling-factor estimator (the paper's Section 5 comparison).
+
+Gay's correctly-rounded conversion work (AT&T Numerical Analysis
+Manuscript 90-10; the ``dtoa.c`` family) estimates ``floor(log10 v)`` with
+a first-degree Taylor expansion of ``log10`` around 1.5, evaluated on the
+fraction returned by ``frexp``::
+
+    v = x * 2**s,  1/2 <= x < 1
+    log10 v ≈ (x - 1.5)·d(log10)/dx|_{1.5}·…  + log10(1.5) + s·log10(2)
+
+Five floating-point operations versus our estimator's two.  Gay's
+estimate is *more accurate* (it tracks the mantissa), which mattered for
+his algorithm; Burger & Dybvig's fixup makes the extra accuracy
+unnecessary — the ablation bench quantifies exactly this trade-off.
+
+Constants below are the ones from ``dtoa.c``: ``0.289529654602168`` is
+``1/(1.5·ln 10)``, ``0.1760912590558`` is ``log10(1.5)``, and
+``0.301029995663981`` is ``log10(2)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.floats.model import Flonum
+
+__all__ = ["gay_estimate_log10", "gay_estimate_k"]
+
+_INV_1_5_LN10 = 0.289529654602168
+_LOG10_1_5 = 0.1760912590558
+_LOG10_2 = 0.301029995663981
+
+
+#: The tangent line to a concave function lies above it, so the Taylor
+#: estimate only ever overshoots; the excess over [1, 2) peaks at
+#: ``log10(1.5) - log10(1) - 0.5/(1.5 ln 10)`` ≈ 0.03133 at x = 1.
+_OVERSHOOT_GUARD = 0.0314
+
+
+def gay_estimate_log10(v: Flonum) -> float:
+    """Gay's five-operation Taylor estimate of ``log10 v`` (binary v)."""
+    # frexp-style split from the exact components: x in [1, 2), v = x * 2**s.
+    bits = v.f.bit_length()
+    s = v.e + bits - 1
+    x = v.f / (1 << (bits - 1))
+    return (x - 1.5) * _INV_1_5_LN10 + _LOG10_1_5 + s * _LOG10_2
+
+
+def gay_estimate_k(v: Flonum) -> int:
+    """``ceil(log10 v)`` estimate in the scaling-factor convention.
+
+    Gay's papers estimate ``floor(log10 v)`` and track a "might be off"
+    flag; for an apples-to-apples comparison with
+    :func:`repro.core.scaling.estimate_k_fast` we take the same
+    never-overshooting ceiling, guarding the tangent-line excess so the
+    shared fixup (which only corrects undershoot cheaply) applies.
+    """
+    return math.ceil(gay_estimate_log10(v) - _OVERSHOOT_GUARD - 1e-10)

@@ -1,0 +1,168 @@
+"""The "straightforward fixed-format algorithm" (Table 3's baseline).
+
+Correctly rounded fixed-format conversion by direct exact arithmetic: one
+big-integer division of ``f * 2**e`` by ``B**j`` (round half to even),
+then digit extraction.  No shortest-output logic, no per-digit range
+tests, no ``#`` marks — every requested digit of the exact binary value
+is produced.  This is what the paper times free format *against* (the
+1.66× geometric-mean row of Table 3), and it is also the conversion
+engine behind our correct ``printf`` (:mod:`repro.format.printf`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bignum.pow_cache import power
+from repro.core.digits import DigitResult
+from repro.core.rounding import TieBreak
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.reader.exact import ilog
+
+__all__ = ["exact_fixed_digits", "naive_fixed_17", "fixed_digits_loop"]
+
+
+def _round_div(num: int, den: int, tie: TieBreak) -> int:
+    """``round(num / den)`` with the given tie strategy."""
+    q, rem = divmod(num, den)
+    double_rem = 2 * rem
+    if double_rem < den:
+        return q
+    if double_rem > den:
+        return q + 1
+    return tie.choose(q)
+
+
+def exact_fixed_digits(v: Flonum, position: Optional[int] = None,
+                       ndigits: Optional[int] = None, base: int = 10,
+                       tie: TieBreak = TieBreak.EVEN) -> DigitResult:
+    """Digits of the *exact* value of ``v``, correctly rounded at a position.
+
+    Absolute mode rounds at weight ``base**position``; relative mode
+    produces exactly ``ndigits`` significant digits (C's ``%e`` semantics,
+    including the ``9.99… → 1.0…e+1`` carry).  Ties default to even,
+    matching IEEE-mode ``printf``.
+    """
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("exact_fixed_digits requires a positive finite value")
+    if (position is None) == (ndigits is None):
+        raise RangeError("give exactly one of position= or ndigits=")
+    if position is not None:
+        scaled = _scale_at_position(v, position, base)
+        n = _round_div(*scaled, tie)
+        if n == 0:
+            return DigitResult(k=position, digits=(), base=base)
+        digits = _int_digits(n, base)
+        return DigitResult(k=position + len(digits), digits=tuple(digits),
+                           base=base)
+    if ndigits < 1:
+        raise RangeError(f"ndigits must be >= 1, got {ndigits}")
+    b = v.fmt.radix
+    num, den = _as_ratio(v)
+    k = ilog(num, den, base) + 1  # first digit sits at position k-1
+    n = _round_div(*_scale_ratio(num, den, k - ndigits, base), tie)
+    if n >= power(base, ndigits):
+        # Carry past the first digit (9.99… rounds to 10.0…): drop the new
+        # trailing zero and step the exponent.
+        n //= base
+        k += 1
+    digits = _int_digits(n, base)
+    if len(digits) < ndigits:  # pragma: no cover - leading digit nonzero
+        raise AssertionError("short digit string")
+    return DigitResult(k=k, digits=tuple(digits), base=base)
+
+
+def _as_ratio(v: Flonum) -> Tuple[int, int]:
+    b = v.fmt.radix
+    if v.e >= 0:
+        return v.f * b**v.e, 1
+    return v.f, b**-v.e
+
+
+def _scale_ratio(num: int, den: int, j: int, base: int) -> Tuple[int, int]:
+    """``(num', den')`` with ``num'/den' = (num/den) / base**j``."""
+    if j >= 0:
+        return num, den * power(base, j)
+    return num * power(base, -j), den
+
+
+def _scale_at_position(v: Flonum, j: int, base: int) -> Tuple[int, int]:
+    num, den = _as_ratio(v)
+    return _scale_ratio(num, den, j, base)
+
+
+def _int_digits(n: int, base: int):
+    if base == 10:
+        return [int(c) for c in str(n)]
+    out = []
+    while n:
+        n, d = divmod(n, base)
+        out.append(d)
+    out.reverse()
+    return out
+
+
+def naive_fixed_17(v: Flonum) -> DigitResult:
+    """Table 3's workload: 17 significant digits, "the minimum number
+    guaranteed to distinguish among IEEE double-precision numbers"."""
+    return exact_fixed_digits(v, ndigits=17)
+
+
+def fixed_digits_loop(v: Flonum, ndigits: int = 17, base: int = 10,
+                      tie: TieBreak = TieBreak.EVEN) -> DigitResult:
+    """The straightforward *digit-loop* fixed-format printer.
+
+    This is the implementation style Table 3 actually benches against:
+    the same scaled-integer representation and estimator-based scaling as
+    the free-format algorithm, but the digit loop runs a fixed count with
+    no termination tests and no margin bookkeeping — one ``divmod`` per
+    digit, one remainder comparison at the end.  Free format's extra cost
+    over *this* is precisely what Table 3's first column measures.
+
+    Produces the same digits as :func:`exact_fixed_digits` (a property
+    test checks that); only the evaluation strategy differs.
+    """
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("fixed_digits_loop requires a positive finite value")
+    if ndigits < 1:
+        raise RangeError(f"ndigits must be >= 1, got {ndigits}")
+    from repro.core.boundaries import ScaledValue
+    from repro.core.scaling import apply_estimate, estimate_k_fast
+
+    r, s, m_plus, m_minus = _table1_r_s(v)
+    # Margins zero, strict upper bound: k is the smallest integer with
+    # v < B**k, so the first digit is always in [1, B).
+    sv = ScaledValue(r, s, 0, 0, True, True)
+    k, r, s, _, _ = apply_estimate(sv, base, estimate_k_fast(v, base))
+    digits = []
+    for _ in range(ndigits):
+        d, r = divmod(r, s)
+        digits.append(d)
+        r *= base
+    # One rounding decision on the remainder (r carries one extra factor
+    # of base from the loop tail): round up iff remainder >= s/2.
+    double_rem = 2 * r
+    round_up = (double_rem > base * s
+                or (double_rem == base * s and tie.choose(digits[-1])
+                    != digits[-1]))
+    if round_up:
+        i = ndigits - 1
+        while i >= 0 and digits[i] == base - 1:
+            digits[i] = 0
+            i -= 1
+        if i < 0:
+            digits[0] = 1
+            digits[1:] = [0] * (ndigits - 1)
+            k += 1
+        else:
+            digits[i] += 1
+    return DigitResult(k=k, digits=tuple(digits), base=base)
+
+
+def _table1_r_s(v: Flonum) -> Tuple[int, int, int, int]:
+    """Plain r/s == v scaled state (no margins needed here)."""
+    b = v.fmt.radix
+    if v.e >= 0:
+        return (v.f * b**v.e * 2, 2, 0, 0)
+    return (v.f * 2, b**-v.e * 2, 0, 0)

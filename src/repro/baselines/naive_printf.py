@@ -1,0 +1,163 @@
+"""A model of 1996-era ``printf`` digit generation (Table 3's comparator).
+
+Table 3 counts outputs "rounded incorrectly by printf": from 0 (systems
+that had already adopted exact conversion) through a few hundred (x87-
+style 64-bit extended intermediates) to 6,280 of 250,680 (straight
+double-precision chains).  Those libcs scaled the value by a chain of
+cached powers of ten in *hardware floating point* — every multiply
+rounding — then peeled digits from the scaled result.
+
+Modern libcs are exact (thanks in part to this very literature), so the
+incorrect-count column is reproduced with a software model of the old
+arithmetic: :class:`~repro.baselines.softfloat.SoftFloat` with a
+configurable significand width.  ``precision=53`` models the bad 1996
+systems, ``precision=64`` the x87 ones, ``precision=113`` the nearly
+clean ones; the exact baseline (:mod:`repro.baselines.naive_fixed`)
+represents the fixed systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.baselines.softfloat import SoftFloat
+from repro.core.rounding import TieBreak
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+__all__ = [
+    "naive_printf_digits",
+    "is_correctly_rounded",
+    "PrintfAudit",
+    "audit_naive_printf",
+]
+
+_POW_CACHE: Dict[Tuple[int, int], SoftFloat] = {}
+
+
+def _soft_pow10(k: int, precision: int) -> SoftFloat:
+    """``10**k`` rounded once to ``precision`` bits (the libc table entry)."""
+    key = (k, precision)
+    got = _POW_CACHE.get(key)
+    if got is None:
+        if k >= 0:
+            got = SoftFloat.from_ratio(10**k, 1, precision)
+        else:
+            got = SoftFloat.from_ratio(1, 10**-k, precision)
+        _POW_CACHE[key] = got
+    return got
+
+
+def _scale_by_pow10(x: SoftFloat, k: int, precision: int) -> SoftFloat:
+    """Multiply by ``10**k`` via the classic binary-exponent factor chain.
+
+    Each factor ``10**(2**i)`` is itself rounded, and every multiply
+    rounds again — this chain is the error source the exact algorithms
+    eliminated.
+    """
+    mag = abs(k)
+    i = 0
+    while mag:
+        if mag & 1:
+            x = x.mul(_soft_pow10((1 << i) if k > 0 else -(1 << i),
+                                  precision))
+        mag >>= 1
+        i += 1
+    return x
+
+
+def naive_printf_digits(x, ndigits: int = 17, precision: int = 53):
+    """``(k, digits)`` for positive finite ``x`` via rounded-chain scaling.
+
+    ``precision`` is the significand width of the emulated intermediate
+    arithmetic.  The digit extraction itself is exact (as in the real
+    implementations, which peeled digits from an integer); all error comes
+    from the scaling chain, matching the historical failure mode.
+    """
+    v = x if isinstance(x, Flonum) else Flonum.from_float(float(x))
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("naive_printf_digits requires a positive finite x")
+    if ndigits < 1:
+        raise RangeError("ndigits must be >= 1")
+    b = v.fmt.radix
+    if v.e >= 0:
+        soft = SoftFloat.from_ratio(v.f * b**v.e, 1, precision)
+    else:
+        soft = SoftFloat.from_ratio(v.f, b**-v.e, precision)
+
+    # Decimal position of the first digit, from the (possibly slightly
+    # off) scaled value itself — as the originals did.
+    k = _approx_k(soft)
+    scaled = _scale_by_pow10(soft, ndigits - k, precision)
+    n, frac_num, frac_den = scaled.floor_and_fraction()
+    # Off-by-one in k shows up as n outside [10**(nd-1), 10**nd); the old
+    # code rescaled by one more factor of ten.
+    while n >= 10**ndigits:
+        k += 1
+        scaled = _scale_by_pow10(scaled, -1, precision)
+        n, frac_num, frac_den = scaled.floor_and_fraction()
+    while 0 < n < 10**(ndigits - 1):
+        k -= 1
+        scaled = _scale_by_pow10(scaled, 1, precision)
+        n, frac_num, frac_den = scaled.floor_and_fraction()
+    # Final rounding on the (inexact) fraction, half away from zero as the
+    # classic implementations did.
+    if 2 * frac_num >= frac_den:
+        n += 1
+        if n == 10**ndigits:
+            n //= 10
+            k += 1
+    return k, tuple(int(c) for c in str(n).zfill(ndigits))
+
+
+def _approx_k(soft: SoftFloat) -> int:
+    """floor(log10) + 1 from the binary exponent (may be off by one)."""
+    import math
+
+    log10 = (soft.m.bit_length() + soft.q) * math.log10(2.0)
+    return math.floor(log10) + 1
+
+
+def is_correctly_rounded(x, k: int, digits, ndigits: int = 17) -> bool:
+    """Whether ``(k, digits)`` matches the exact conversion.
+
+    Accepts either tie choice when the exact value sits exactly on a
+    half-digit boundary (both are correctly rounded then).
+    """
+    v = x if isinstance(x, Flonum) else Flonum.from_float(float(x))
+    want_even = exact_fixed_digits(v, ndigits=ndigits, tie=TieBreak.EVEN)
+    if (k, tuple(digits)) == (want_even.k, want_even.digits):
+        return True
+    want_up = exact_fixed_digits(v, ndigits=ndigits, tie=TieBreak.UP)
+    want_down = exact_fixed_digits(v, ndigits=ndigits, tie=TieBreak.DOWN)
+    if want_up.digits == want_down.digits:
+        return False  # not a tie: only one correctly rounded answer
+    return (k, tuple(digits)) in (
+        (want_up.k, want_up.digits), (want_down.k, want_down.digits))
+
+
+@dataclass
+class PrintfAudit:
+    """Aggregate result of running the naive printf over a corpus."""
+
+    total: int = 0
+    incorrect: int = 0
+    precision: int = 53
+
+    @property
+    def rate(self) -> float:
+        return self.incorrect / self.total if self.total else 0.0
+
+
+def audit_naive_printf(values: Iterable, ndigits: int = 17,
+                       precision: int = 53) -> PrintfAudit:
+    """Count incorrectly rounded naive-printf outputs (Table 3's column)."""
+    audit = PrintfAudit(precision=precision)
+    for x in values:
+        audit.total += 1
+        k, digits = naive_printf_digits(x, ndigits, precision)
+        if not is_correctly_rounded(x, k, digits, ndigits):
+            audit.incorrect += 1
+    return audit

@@ -1,0 +1,43 @@
+"""The parse-probing baseline: shortest output without any new algorithm.
+
+Before Steele–White-family algorithms were adopted, systems that wanted
+shortest round-trip output faked it with the host's printf/strtod pair:
+print at 1, 2, … 17 significant digits and return the first string that
+parses back exactly.  Correct (both host primitives are correctly
+rounded), widely deployed (early JavaScript engines, musl), and the
+baseline that shows what the paper's algorithm actually buys: one pass
+instead of up to 17 print+parse round trips, and digit-level control
+(bases, formats, reader modes) the host primitives cannot offer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.digits import DigitResult
+from repro.errors import RangeError
+
+__all__ = ["probe_shortest", "probe_shortest_digits"]
+
+
+def probe_shortest(x: float) -> str:
+    """Shortest round-tripping string via printf/strtod probing."""
+    if math.isnan(x) or math.isinf(x) or x == 0:
+        raise RangeError("probe_shortest takes positive finite input")
+    for ndigits in range(1, 18):
+        text = f"{x:.{ndigits - 1}e}"
+        if float(text) == x:
+            return text
+    return f"{x:.16e}"  # pragma: no cover - 17 digits always round-trip
+
+
+def probe_shortest_digits(x: float) -> DigitResult:
+    """The probed string as a :class:`DigitResult` (for comparison)."""
+    text = probe_shortest(x)
+    mantissa, _, exp = text.partition("e")
+    digits_str = mantissa.replace(".", "").rstrip("0") or "0"
+    return DigitResult(
+        k=int(exp) + 1,
+        digits=tuple(int(c) for c in digits_str),
+        base=10,
+    )

@@ -1,0 +1,99 @@
+"""A tiny software float with configurable precision.
+
+1996-era ``printf`` implementations converted via *hardware* floating
+point: a chain of multiplications by cached powers of ten in double
+(53-bit), x87-extended (64-bit) or VAX/Alpha (113-bit-ish) intermediates.
+Each multiply rounds, and the accumulated error is exactly what made some
+of Table 3's systems mis-round (and others, with wider intermediates or
+exact fallbacks, not).
+
+This module reproduces that arithmetic in software so the error behaviour
+is host-independent: a :class:`SoftFloat` keeps a ``precision``-bit
+significand and rounds every operation to nearest-even, like the FPUs
+did.  It exists purely as a *substrate for the baseline*; the paper's own
+algorithm never touches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RangeError
+
+__all__ = ["SoftFloat"]
+
+
+@dataclass(frozen=True)
+class SoftFloat:
+    """A positive value ``m * 2**q`` with ``2**(p-1) <= m < 2**p``."""
+
+    m: int
+    q: int
+    precision: int
+
+    @staticmethod
+    def from_ratio(num: int, den: int, precision: int) -> "SoftFloat":
+        """Round ``num/den`` (positive) to ``precision`` bits, nearest-even."""
+        if num <= 0 or den <= 0:
+            raise RangeError("SoftFloat models positive values only")
+        # Scale so the quotient has exactly `precision + 1` guard context:
+        # shift num until num/den >= 2**precision, then one divmod.
+        shift = precision - (num.bit_length() - den.bit_length()) + 1
+        if shift >= 0:
+            n, d = num << shift, den
+        else:
+            n, d = num, den << -shift
+        f, rem = divmod(n, d)
+        # f has precision+1 or precision+2 bits; normalize to precision.
+        extra = f.bit_length() - precision
+        q = -shift + extra
+        if extra > 0:
+            dropped = f & ((1 << extra) - 1)
+            f >>= extra
+            half = 1 << (extra - 1)
+            if dropped > half or (dropped == half and (rem or f & 1)):
+                f += 1
+        elif rem:
+            # Exactly precision bits but inexact: round on the remainder.
+            if 2 * rem > d or (2 * rem == d and f & 1):
+                f += 1
+        if f == 1 << precision:
+            f >>= 1
+            q += 1
+        return SoftFloat(f, q, precision)
+
+    @staticmethod
+    def from_int(n: int, precision: int) -> "SoftFloat":
+        return SoftFloat.from_ratio(n, 1, precision)
+
+    def mul(self, other: "SoftFloat") -> "SoftFloat":
+        """Rounded product (the FPU operation the old printfs chained)."""
+        if self.precision != other.precision:
+            raise RangeError("mixed precisions")
+        p = self.precision
+        prod = self.m * other.m  # 2p-1 or 2p bits
+        extra = prod.bit_length() - p
+        dropped = prod & ((1 << extra) - 1)
+        f = prod >> extra
+        half = 1 << (extra - 1)
+        if dropped > half or (dropped == half and f & 1):
+            f += 1
+            if f == 1 << p:
+                f >>= 1
+                extra += 1
+        return SoftFloat(f, self.q + other.q + extra, p)
+
+    def floor_and_fraction(self):
+        """``(floor(value), fraction_numerator, fraction_denominator)``."""
+        if self.q >= 0:
+            return self.m << self.q, 0, 1
+        if self.q <= -self.m.bit_length():
+            return 0, self.m, 1 << -self.q
+        ip = self.m >> -self.q
+        frac = self.m & ((1 << -self.q) - 1)
+        return ip, frac, 1 << -self.q
+
+    def to_fraction(self):
+        from fractions import Fraction
+
+        return Fraction(self.m) * Fraction(2) ** self.q

@@ -1,0 +1,140 @@
+"""Steele & White's Dragon4 (reference [5] of the paper).
+
+The 1990 algorithm the paper improves on.  Behavioural differences the
+paper calls out, reproduced faithfully here:
+
+* **Iterative scaling only** — ``O(|log v|)`` big-integer multiplications
+  to find the scale factor, the cost that dominates for extreme exponents.
+* **No reader-rounding awareness** — the loop always uses strict
+  comparisons, so boundary outputs like ``1e23`` are never produced even
+  for readers (IEEE nearest-even) that would read them back correctly;
+  such values print one digit longer (``9.999999999999999e22``).
+* **Fixed format via a simple mask** — digits stop at the requested
+  position with a ``B**j / 2`` mask only; the representation's own gap is
+  ignored, so there is no significant/insignificant distinction (no ``#``
+  marks) and the rounding range is slightly off for values near the
+  precision limit (the "slight inaccuracy" of Section 5).
+
+The free-format output still satisfies the round-trip guarantee for any
+correct round-to-nearest reader; it is the *optimizations* that are
+missing, which is exactly what the Table 2/3 benches measure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.boundaries import initial_scaled_value
+from repro.core.digits import DigitResult
+from repro.core.fixed import FixedResult
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+__all__ = ["dragon4_shortest", "dragon4_fixed"]
+
+
+def _scale_iterative_strict(r: int, s: int, m_plus: int, m_minus: int,
+                            base: int, inclusive_high: bool = False
+                            ) -> Tuple[int, int, int, int, int]:
+    """Steele & White's scale loop (no estimator).
+
+    ``inclusive_high`` selects the fixed-format variant, whose digit loop
+    terminates on ``r + mask >= s``; the bounds here must match or an
+    exact-half remainder would never terminate.
+    """
+    k = 0
+    if inclusive_high:
+        while r + m_plus >= s:  # k too low
+            s *= base
+            k += 1
+        while (r + m_plus) * base < s:  # k too high
+            r *= base
+            m_plus *= base
+            m_minus *= base
+            k -= 1
+    else:
+        while r + m_plus > s:  # k too low
+            s *= base
+            k += 1
+        while (r + m_plus) * base <= s:  # k too high
+            r *= base
+            m_plus *= base
+            m_minus *= base
+            k -= 1
+    return k, r, s, m_plus, m_minus
+
+
+def dragon4_shortest(v: Flonum, base: int = 10) -> DigitResult:
+    """Free-format Dragon4: shortest output under strict boundaries."""
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("dragon4_shortest requires a positive finite value")
+    r, s, m_plus, m_minus = initial_scaled_value(v)
+    k, r, s, m_plus, m_minus = _scale_iterative_strict(r, s, m_plus, m_minus,
+                                                       base)
+    digits: List[int] = []
+    while True:
+        r *= base
+        m_plus *= base
+        m_minus *= base
+        d, r = divmod(r, s)
+        low = r < m_minus
+        high = r + m_plus > s
+        if low or high:
+            break
+        digits.append(d)
+    if low and not high:
+        digits.append(d)
+    elif high and not low:
+        digits.append(d + 1)
+    else:
+        digits.append(d if 2 * r <= s else d + 1)
+    return DigitResult(k=k, digits=tuple(digits), base=base)
+
+
+def dragon4_fixed(v: Flonum, position: int, base: int = 10) -> FixedResult:
+    """Steele & White's fixed-format variant (their FP³ shape).
+
+    The stopping mask is ``B**position / 2`` alone; every emitted digit is
+    treated as significant.  For values whose representation gap exceeds
+    the mask this prints plausible-looking but uninformative digits — the
+    behaviour the paper's ``#`` marks were designed to replace.
+    """
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("dragon4_fixed requires a positive finite value")
+    r, s, m_plus, m_minus = initial_scaled_value(v)
+    # Replace both margins by the position mask (the S&W inaccuracy: the
+    # gap information is discarded entirely).
+    if position >= 0:
+        mask = (s // 2) * base**position
+    else:
+        factor = base**-position
+        r *= factor
+        mask = s // 2
+        s *= factor
+    k, r, s, mask, _ = _scale_iterative_strict(r, s, mask, mask, base,
+                                                inclusive_high=True)
+    if k <= position:
+        return FixedResult(k=position, digits=(), hashes=0,
+                           position=position, base=base)
+    digits: List[int] = []
+    while True:
+        r *= base
+        mask *= base
+        d, r = divmod(r, s)
+        low = r < mask
+        high = r + mask >= s
+        if low or high:
+            break
+        digits.append(d)
+    if low and not high:
+        digits.append(d)
+    elif high and not low:
+        digits.append(d + 1)
+    else:
+        digits.append(d if 2 * r <= s else d + 1)
+    pos = k - len(digits)
+    if pos < position:  # pragma: no cover - mask termination prevents this
+        raise AssertionError("generated past the requested position")
+    digits.extend([0] * (pos - position))
+    return FixedResult(k=k, digits=tuple(digits), hashes=0,
+                       position=position, base=base)

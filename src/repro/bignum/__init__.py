@@ -1,0 +1,28 @@
+"""High-precision integer substrate: limb arithmetic and power caches."""
+
+from repro.bignum.integer import BigInt
+from repro.bignum.natural import LIMB_BASE, LIMB_BITS, BigNat
+
+from repro.bignum.pow_cache import (
+    PAPER_TABLE_LIMIT,
+    cache_info,
+    clear_dynamic_cache,
+    inv_log2_of,
+    log_ratio,
+    power,
+    power_uncached,
+)
+
+__all__ = [
+    "BigInt",
+    "BigNat",
+    "LIMB_BASE",
+    "LIMB_BITS",
+    "PAPER_TABLE_LIMIT",
+    "cache_info",
+    "clear_dynamic_cache",
+    "inv_log2_of",
+    "log_ratio",
+    "power",
+    "power_uncached",
+]

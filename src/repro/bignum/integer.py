@@ -1,0 +1,106 @@
+"""Signed integers over :class:`~repro.bignum.natural.BigNat`.
+
+The conversion algorithm itself needs only naturals (every quantity in
+Table 1 is non-negative), but the fixed-format significance loop tracks a
+remainder that goes negative when the final digit was incremented — this
+thin sign-magnitude wrapper covers that, and rounds out the substrate so
+it could host the reader too.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bignum.natural import BigNat
+
+__all__ = ["BigInt"]
+
+
+class BigInt:
+    """Sign-magnitude integer: ``(-1)**neg * mag``; zero is never negative."""
+
+    __slots__ = ("neg", "mag")
+
+    def __init__(self, neg: bool, mag: BigNat):
+        self.neg = neg and not mag.is_zero
+        self.mag = mag
+
+    @staticmethod
+    def from_int(n: int) -> "BigInt":
+        return BigInt(n < 0, BigNat.from_int(abs(n)))
+
+    def to_int(self) -> int:
+        val = self.mag.to_int()
+        return -val if self.neg else val
+
+    @property
+    def is_zero(self) -> bool:
+        return self.mag.is_zero
+
+    # ------------------------------------------------------------------
+
+    def add(self, other: "BigInt") -> "BigInt":
+        if self.neg == other.neg:
+            return BigInt(self.neg, self.mag.add(other.mag))
+        cmp = self.mag.compare(other.mag)
+        if cmp == 0:
+            return BigInt(False, BigNat.zero())
+        if cmp > 0:
+            return BigInt(self.neg, self.mag.sub(other.mag))
+        return BigInt(other.neg, other.mag.sub(self.mag))
+
+    def negate(self) -> "BigInt":
+        return BigInt(not self.neg, self.mag)
+
+    def sub(self, other: "BigInt") -> "BigInt":
+        return self.add(other.negate())
+
+    def mul(self, other: "BigInt") -> "BigInt":
+        return BigInt(self.neg != other.neg, self.mag.mul(other.mag))
+
+    def mul_small(self, k: int) -> "BigInt":
+        if k < 0:
+            return BigInt(not self.neg, self.mag.mul_small(-k))
+        return BigInt(self.neg, self.mag.mul_small(k))
+
+    def divmod_floor(self, other: "BigInt") -> Tuple["BigInt", "BigInt"]:
+        """Floor division, matching Python's ``divmod`` semantics."""
+        if other.is_zero:
+            raise ZeroDivisionError("BigInt division by zero")
+        q_mag, r_mag = self.mag.divmod(other.mag)
+        if self.neg == other.neg:
+            return BigInt(False, q_mag), BigInt(other.neg, r_mag)
+        if r_mag.is_zero:
+            return BigInt(True, q_mag), BigInt(False, r_mag)
+        # Round the quotient toward -inf and flip the remainder.
+        q = BigInt(True, q_mag.add(BigNat.one()))
+        r = BigInt(other.neg, other.mag.sub(r_mag))
+        return q, r
+
+    # ------------------------------------------------------------------
+
+    def compare(self, other: "BigInt") -> int:
+        if self.neg != other.neg:
+            return -1 if self.neg else 1
+        cmp = self.mag.compare(other.mag)
+        return -cmp if self.neg else cmp
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BigInt) and self.neg == other.neg
+                and self.mag == other.mag)
+
+    def __lt__(self, other: "BigInt") -> bool:
+        return self.compare(other) < 0
+
+    def __le__(self, other: "BigInt") -> bool:
+        return self.compare(other) <= 0
+
+    def __hash__(self) -> int:
+        return hash((self.neg, self.mag))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BigInt({self.to_int()})"
+
+    __add__ = add
+    __sub__ = sub
+    __mul__ = mul

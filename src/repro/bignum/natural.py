@@ -1,0 +1,353 @@
+"""Limb-based natural-number arithmetic (the high-precision substrate).
+
+The paper's implementation language (Scheme) has native bignums; Python
+does too.  This module exists to demonstrate — and let the benches
+measure — that the conversion algorithm needs only a small set of integer
+operations, implementable portably: addition, subtraction, comparison,
+multiplication, and quotient/remainder.  A run-time system without native
+bignums would port exactly this file.
+
+Representation: little-endian list of 30-bit limbs, no leading zero limb
+(zero is the empty list).  Division is Knuth's Algorithm D with the
+standard two-limb quotient estimate; multiplication switches to Karatsuba
+above a threshold.  Everything is property-tested against Python ints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import RangeError
+
+__all__ = ["BigNat", "LIMB_BITS", "LIMB_BASE"]
+
+LIMB_BITS = 30
+LIMB_BASE = 1 << LIMB_BITS
+_LIMB_MASK = LIMB_BASE - 1
+
+#: Schoolbook→Karatsuba crossover, in limbs.
+_KARATSUBA_CUTOFF = 48
+
+
+class BigNat:
+    """An arbitrary-precision natural number."""
+
+    __slots__ = ("limbs",)
+
+    def __init__(self, limbs: List[int]):
+        # Trusted constructor: callers must pass a normalized limb list.
+        self.limbs = limbs
+
+    # ------------------------------------------------------------------
+    # Conversions.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_int(n: int) -> "BigNat":
+        if n < 0:
+            raise RangeError("BigNat is unsigned")
+        limbs: List[int] = []
+        while n:
+            limbs.append(n & _LIMB_MASK)
+            n >>= LIMB_BITS
+        return BigNat(limbs)
+
+    def to_int(self) -> int:
+        n = 0
+        for limb in reversed(self.limbs):
+            n = (n << LIMB_BITS) | limb
+        return n
+
+    @staticmethod
+    def zero() -> "BigNat":
+        return BigNat([])
+
+    @staticmethod
+    def one() -> "BigNat":
+        return BigNat([1])
+
+    # ------------------------------------------------------------------
+    # Predicates and comparison.
+    # ------------------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.limbs
+
+    def bit_length(self) -> int:
+        if not self.limbs:
+            return 0
+        return (len(self.limbs) - 1) * LIMB_BITS + self.limbs[-1].bit_length()
+
+    def compare(self, other: "BigNat") -> int:
+        a, b = self.limbs, other.limbs
+        if len(a) != len(b):
+            return 1 if len(a) > len(b) else -1
+        for x, y in zip(reversed(a), reversed(b)):
+            if x != y:
+                return 1 if x > y else -1
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BigNat) and self.limbs == other.limbs
+
+    def __lt__(self, other: "BigNat") -> bool:
+        return self.compare(other) < 0
+
+    def __le__(self, other: "BigNat") -> bool:
+        return self.compare(other) <= 0
+
+    def __gt__(self, other: "BigNat") -> bool:
+        return self.compare(other) > 0
+
+    def __ge__(self, other: "BigNat") -> bool:
+        return self.compare(other) >= 0
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.limbs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BigNat({self.to_int()})"
+
+    # ------------------------------------------------------------------
+    # Addition / subtraction.
+    # ------------------------------------------------------------------
+
+    def add(self, other: "BigNat") -> "BigNat":
+        a, b = self.limbs, other.limbs
+        if len(a) < len(b):
+            a, b = b, a
+        out: List[int] = []
+        carry = 0
+        for i, limb in enumerate(a):
+            s = limb + carry + (b[i] if i < len(b) else 0)
+            out.append(s & _LIMB_MASK)
+            carry = s >> LIMB_BITS
+        if carry:
+            out.append(carry)
+        return BigNat(out)
+
+    def sub(self, other: "BigNat") -> "BigNat":
+        """``self - other``; raises if the result would be negative."""
+        if self.compare(other) < 0:
+            raise RangeError("BigNat subtraction underflow")
+        a, b = self.limbs, other.limbs
+        out: List[int] = []
+        borrow = 0
+        for i, limb in enumerate(a):
+            d = limb - borrow - (b[i] if i < len(b) else 0)
+            if d < 0:
+                d += LIMB_BASE
+                borrow = 1
+            else:
+                borrow = 0
+            out.append(d)
+        while out and out[-1] == 0:
+            out.pop()
+        return BigNat(out)
+
+    __add__ = add
+    __sub__ = sub
+
+    # ------------------------------------------------------------------
+    # Multiplication.
+    # ------------------------------------------------------------------
+
+    def mul_small(self, k: int) -> "BigNat":
+        """Multiply by a non-negative machine-size integer."""
+        if k < 0:
+            raise RangeError("mul_small takes a non-negative factor")
+        if k == 0 or not self.limbs:
+            return BigNat([])
+        if k == 1:
+            return BigNat(self.limbs[:])
+        out: List[int] = []
+        carry = 0
+        for limb in self.limbs:
+            prod = limb * k + carry
+            out.append(prod & _LIMB_MASK)
+            carry = prod >> LIMB_BITS
+        while carry:
+            out.append(carry & _LIMB_MASK)
+            carry >>= LIMB_BITS
+        return BigNat(out)
+
+    def mul(self, other: "BigNat") -> "BigNat":
+        a, b = self.limbs, other.limbs
+        if not a or not b:
+            return BigNat([])
+        if min(len(a), len(b)) >= _KARATSUBA_CUTOFF:
+            return self._karatsuba(other)
+        return BigNat(_school_mul(a, b))
+
+    __mul__ = mul
+
+    def _karatsuba(self, other: "BigNat") -> "BigNat":
+        a, b = self, other
+        n = max(len(a.limbs), len(b.limbs))
+        half = n // 2
+        a0, a1 = a._split(half)
+        b0, b1 = b._split(half)
+        z0 = a0.mul(b0)
+        z2 = a1.mul(b1)
+        z1 = (a0.add(a1)).mul(b0.add(b1)).sub(z0).sub(z2)
+        return z0.add(z1._shift_limbs(half)).add(z2._shift_limbs(2 * half))
+
+    def _split(self, at: int) -> Tuple["BigNat", "BigNat"]:
+        lo = self.limbs[:at]
+        while lo and lo[-1] == 0:
+            lo.pop()
+        return BigNat(lo), BigNat(self.limbs[at:])
+
+    def _shift_limbs(self, count: int) -> "BigNat":
+        if not self.limbs:
+            return self
+        return BigNat([0] * count + self.limbs)
+
+    # ------------------------------------------------------------------
+    # Shifts.
+    # ------------------------------------------------------------------
+
+    def shift_left(self, bits: int) -> "BigNat":
+        if bits < 0:
+            raise RangeError("negative shift")
+        if not self.limbs or bits == 0:
+            return BigNat(self.limbs[:])
+        limb_shift, bit_shift = divmod(bits, LIMB_BITS)
+        out = [0] * limb_shift
+        carry = 0
+        for limb in self.limbs:
+            merged = (limb << bit_shift) | carry
+            out.append(merged & _LIMB_MASK)
+            carry = merged >> LIMB_BITS
+        if carry:
+            out.append(carry)
+        return BigNat(out)
+
+    def shift_right(self, bits: int) -> "BigNat":
+        if bits < 0:
+            raise RangeError("negative shift")
+        limb_shift, bit_shift = divmod(bits, LIMB_BITS)
+        src = self.limbs[limb_shift:]
+        if not src:
+            return BigNat([])
+        if bit_shift == 0:
+            out = src[:]
+        else:
+            out = []
+            for i, limb in enumerate(src):
+                val = limb >> bit_shift
+                if i + 1 < len(src):
+                    val |= (src[i + 1] << (LIMB_BITS - bit_shift)) & _LIMB_MASK
+                out.append(val)
+        while out and out[-1] == 0:
+            out.pop()
+        return BigNat(out)
+
+    # ------------------------------------------------------------------
+    # Division.
+    # ------------------------------------------------------------------
+
+    def divmod_small(self, k: int) -> Tuple["BigNat", int]:
+        """Divide by a machine-size positive integer."""
+        if k <= 0:
+            raise RangeError("divmod_small needs a positive divisor")
+        out = [0] * len(self.limbs)
+        rem = 0
+        for i in range(len(self.limbs) - 1, -1, -1):
+            cur = (rem << LIMB_BITS) | self.limbs[i]
+            out[i], rem = divmod(cur, k)
+        while out and out[-1] == 0:
+            out.pop()
+        return BigNat(out), rem
+
+    def divmod(self, other: "BigNat") -> Tuple["BigNat", "BigNat"]:
+        """Knuth Algorithm D quotient and remainder."""
+        if other.is_zero:
+            raise ZeroDivisionError("BigNat division by zero")
+        if self.compare(other) < 0:
+            return BigNat([]), BigNat(self.limbs[:])
+        if len(other.limbs) == 1:
+            q, r = self.divmod_small(other.limbs[0])
+            return q, BigNat([r] if r else [])
+
+        # D1: normalize so the divisor's top limb has its high bit set.
+        shift = LIMB_BITS - other.limbs[-1].bit_length()
+        u = self.shift_left(shift).limbs[:]
+        v = other.shift_left(shift).limbs
+        n = len(v)
+        m = len(u) - n
+        u.append(0)
+        q_limbs = [0] * (m + 1)
+        v_top = v[-1]
+        v_next = v[-2]
+
+        for j in range(m, -1, -1):
+            # D3: estimate the quotient limb from the top two/three limbs.
+            top = (u[j + n] << LIMB_BITS) | u[j + n - 1]
+            qhat, rhat = divmod(top, v_top)
+            while qhat >= LIMB_BASE or (
+                    qhat * v_next > ((rhat << LIMB_BITS) | u[j + n - 2])):
+                qhat -= 1
+                rhat += v_top
+                if rhat >= LIMB_BASE:
+                    break
+            # D4: multiply-subtract.
+            borrow = 0
+            carry = 0
+            for i in range(n):
+                prod = qhat * v[i] + carry
+                carry = prod >> LIMB_BITS
+                d = u[j + i] - (prod & _LIMB_MASK) - borrow
+                if d < 0:
+                    d += LIMB_BASE
+                    borrow = 1
+                else:
+                    borrow = 0
+                u[j + i] = d
+            d = u[j + n] - carry - borrow
+            if d < 0:
+                # D6: estimate was one too big; add the divisor back.
+                d += LIMB_BASE
+                qhat -= 1
+                carry = 0
+                for i in range(n):
+                    s = u[j + i] + v[i] + carry
+                    u[j + i] = s & _LIMB_MASK
+                    carry = s >> LIMB_BITS
+                d = (d + carry) & _LIMB_MASK
+            u[j + n] = d
+            q_limbs[j] = qhat
+
+        while q_limbs and q_limbs[-1] == 0:
+            q_limbs.pop()
+        rem = BigNat(_normalized(u[:n])).shift_right(shift)
+        return BigNat(q_limbs), rem
+
+    def __divmod__(self, other: "BigNat"):
+        return self.divmod(other)
+
+
+def _normalized(limbs: List[int]) -> List[int]:
+    while limbs and limbs[-1] == 0:
+        limbs.pop()
+    return limbs
+
+
+def _school_mul(a: List[int], b: List[int]) -> List[int]:
+    out = [0] * (len(a) + len(b))
+    for i, x in enumerate(a):
+        if x == 0:
+            continue
+        carry = 0
+        for j, y in enumerate(b):
+            acc = out[i + j] + x * y + carry
+            out[i + j] = acc & _LIMB_MASK
+            carry = acc >> LIMB_BITS
+        pos = i + len(b)
+        while carry:
+            acc = out[pos] + carry
+            out[pos] = acc & _LIMB_MASK
+            carry = acc >> LIMB_BITS
+            pos += 1
+    return _normalized(out)

@@ -1,0 +1,89 @@
+"""Cached powers and logarithm tables (paper Figure 2's ``exptt``/``logB``).
+
+The scaling step multiplies big integers by ``B**k`` for potentially large
+``k``; recomputing these powers dominates runtime, so the paper keeps a
+table of ``10**k`` for ``0 <= k <= 325`` (enough for IEEE double precision)
+and a table of ``1/log2 B`` for ``2 <= B <= 36``.  We reproduce both and
+back them with an unbounded memo for other bases and exponents (binary128
+needs ``10**k`` for k up to ~5000).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+__all__ = [
+    "PAPER_TABLE_LIMIT",
+    "power",
+    "power_uncached",
+    "inv_log2_of",
+    "log_ratio",
+    "cache_info",
+    "clear_dynamic_cache",
+]
+
+#: The paper's table covers 10**k for 0 <= k <= 325, "sufficient to handle
+#: all IEEE double-precision floating-point numbers".
+PAPER_TABLE_LIMIT = 326
+
+_TEN_POWERS = []
+_acc = 1
+for _ in range(PAPER_TABLE_LIMIT):
+    _TEN_POWERS.append(_acc)
+    _acc *= 10
+del _acc
+
+#: 1/log2(B) for 2 <= B <= 36 (Figure 3's ``invlog2of``).  Index 0/1 unused.
+_INV_LOG2 = [0.0, 0.0] + [1.0 / math.log2(B) for B in range(2, 37)]
+
+_dynamic: Dict[Tuple[int, int], int] = {}
+
+
+def power(base: int, k: int) -> int:
+    """``base**k`` with the paper's lookup-table fast path (k >= 0)."""
+    if k < 0:
+        raise ValueError(f"negative exponent {k}")
+    if base == 10 and k < PAPER_TABLE_LIMIT:
+        return _TEN_POWERS[k]
+    key = (base, k)
+    cached = _dynamic.get(key)
+    if cached is None:
+        cached = base**k
+        _dynamic[key] = cached
+    return cached
+
+
+def power_uncached(base: int, k: int) -> int:
+    """``base**k`` with no caching — the ablation baseline."""
+    if k < 0:
+        raise ValueError(f"negative exponent {k}")
+    return base**k
+
+
+def inv_log2_of(base: int) -> float:
+    """``1 / log2(base)``, table-backed for 2 <= base <= 36."""
+    if 2 <= base <= 36:
+        return _INV_LOG2[base]
+    return 1.0 / math.log2(base)
+
+
+def log_ratio(b: int, base: int) -> float:
+    """``log_b(base)⁻¹ = log(b)/log(base)`` — converts base-``b`` digit
+    counts to base-``base`` logarithms for radix-``b`` formats."""
+    if b == 2:
+        return inv_log2_of(base)
+    return math.log(b) / math.log(base)
+
+
+def cache_info() -> Dict[str, int]:
+    """Introspection for tests and the pow-cache ablation bench."""
+    return {
+        "ten_table": len(_TEN_POWERS),
+        "dynamic_entries": len(_dynamic),
+    }
+
+
+def clear_dynamic_cache() -> None:
+    """Drop memoised powers (used between ablation bench rounds)."""
+    _dynamic.clear()

@@ -1,0 +1,140 @@
+"""Command-line interface: ``repro-print`` / ``python -m repro``.
+
+Self-hosted end to end: input strings are parsed with the package's own
+accurate reader and printed with the paper's algorithms — the host's
+float parsing/printing is never consulted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import format_fixed, format_shortest
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.core.scaling import scale_estimate, scale_float_log, scale_iterative
+from repro.floats.formats import STANDARD_FORMATS
+from repro.format.hexfloat import format_hex, parse_hex
+from repro.format.notation import NotationOptions
+from repro.reader.exact import read_decimal
+
+_SCALERS = {
+    "estimate": scale_estimate,
+    "float-log": scale_float_log,
+    "iterative": scale_iterative,
+}
+
+_MODES = {m.value: m for m in ReaderMode}
+_TIES = {t.value: t for t in TieBreak}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-print",
+        description="Print floating-point numbers quickly and accurately "
+                    "(Burger & Dybvig, PLDI 1996).",
+    )
+    parser.add_argument("values", nargs="*",
+                        help="decimal literals to convert (read with the "
+                             "package's accurate reader); with no values, "
+                             "literals are read from stdin, one per line")
+    parser.add_argument("--format", default="binary64",
+                        choices=sorted(STANDARD_FORMATS),
+                        help="floating-point format to round the input to")
+    parser.add_argument("--base", type=int, default=10,
+                        help="output base, 2..36 (default 10)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--digits", type=int, metavar="N",
+                       help="fixed format: N significant digit positions")
+    group.add_argument("--decimals", type=int, metavar="N",
+                       help="fixed format: N digits after the point")
+    group.add_argument("--position", type=int, metavar="J",
+                       help="fixed format: stop at weight base**J")
+    parser.add_argument("--reader-mode", default="nearest-even",
+                        choices=sorted(_MODES),
+                        help="rounding behaviour assumed of whoever reads "
+                             "the output (free format only)")
+    parser.add_argument("--tie", default="up", choices=sorted(_TIES),
+                        help="printer-side tie strategy")
+    parser.add_argument("--scaler", default="estimate",
+                        choices=sorted(_SCALERS),
+                        help="scaling algorithm (free format only)")
+    parser.add_argument("--style", default="auto",
+                        choices=["auto", "positional", "scientific",
+                                 "engineering"],
+                        help="notation style")
+    parser.add_argument("--python-repr", action="store_true",
+                        help="render with CPython repr surface syntax")
+    parser.add_argument("--group", metavar="CHAR", default="",
+                        help="digit-group separator for positional output")
+    parser.add_argument("--hex", action="store_true",
+                        help="print C99 hex-float notation instead")
+    parser.add_argument("--fast", action="store_true",
+                        help="use the Grisu3/counted fast paths with exact "
+                             "fallback (free/relative fixed format only)")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    fmt = STANDARD_FORMATS[args.format]
+    opts = NotationOptions(style=args.style, python_repr=args.python_repr,
+                           group_char=args.group)
+    fixed = any(a is not None
+                for a in (args.digits, args.decimals, args.position))
+    status = 0
+    values = args.values
+    if not values:
+        values = (line.strip() for line in sys.stdin if line.strip())
+    for text in values:
+        try:
+            if text.lower().startswith(("0x", "-0x", "+0x")):
+                value = parse_hex(text, fmt, _MODES[args.reader_mode])
+            else:
+                value = read_decimal(text, fmt, _MODES[args.reader_mode])
+            if args.hex:
+                rendered = format_hex(value)
+            elif args.fast and not fixed:
+                from repro.fastpath import shortest_fast
+
+                from repro.format.notation import render_shortest
+
+                if value.is_nan or value.is_infinite or value.is_zero:
+                    rendered = format_shortest(value, options=opts)
+                else:
+                    digits = shortest_fast(value.abs(), base=args.base)
+                    rendered = (("-" if value.is_negative else "")
+                                + render_shortest(digits, opts))
+            elif args.fast and args.digits is not None:
+                from repro.fastpath import fixed_fast
+
+                from repro.format.notation import render_shortest
+
+                if value.is_nan or value.is_infinite or value.is_zero:
+                    rendered = format_fixed(
+                        value, ndigits=args.digits, options=opts)
+                else:
+                    digits = fixed_fast(value.abs(), args.digits, args.base)
+                    rendered = (("-" if value.is_negative else "")
+                                + render_shortest(digits, opts))
+            elif fixed:
+                rendered = format_fixed(
+                    value, position=args.position, ndigits=args.digits,
+                    decimals=args.decimals, base=args.base,
+                    tie=_TIES[args.tie], options=opts)
+            else:
+                rendered = format_shortest(
+                    value, base=args.base, mode=_MODES[args.reader_mode],
+                    tie=_TIES[args.tie], scaler=_SCALERS[args.scaler],
+                    options=opts)
+            print(rendered, file=out)
+        except Exception as exc:  # surface per-value errors, keep going
+            print(f"error: {text!r}: {exc}", file=out)
+            status = 1
+    return status
+
+
+def main() -> None:  # pragma: no cover - direct console entry
+    raise SystemExit(run())

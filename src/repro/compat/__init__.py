@@ -1,0 +1,5 @@
+"""Host-language compatibility surfaces built on the core algorithms."""
+
+from repro.compat.scheme import number_to_string, string_to_number
+
+__all__ = ["number_to_string", "string_to_number"]

@@ -1,0 +1,174 @@
+"""Scheme ``number->string`` / ``string->number`` semantics.
+
+The paper closes: "the ANSI/IEEE Scheme standard requirement for
+accurate, minimal-length numeric output and the desire to do so as
+efficiently as possible in Chez Scheme motivated the work reported
+here."  This module is that surface: R4RS/IEEE-1178 external
+representations for inexact reals backed by the paper's algorithm.
+
+Covered syntax: radix prefixes ``#b #o #d #x``, exactness prefixes
+``#e #i``, decimal suffix exponents, and the guarantee that
+``(string->number (number->string x))`` is exact for every flonum.
+Radixes other than ten print/parse without exponent markers (R4RS only
+defines decimal exponents).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Union
+
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.errors import ParseError, RangeError
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.format.notation import DIGIT_CHARS, NotationOptions, render_shortest
+from repro.reader.exact import read_fraction
+from repro.reader.parse import parse_decimal
+
+__all__ = ["number_to_string", "string_to_number"]
+
+_RADIX_PREFIX = {"b": 2, "o": 8, "d": 10, "x": 16}
+_PREFIX_FOR_RADIX = {2: "#b", 8: "#o", 10: "", 16: "#x"}
+
+#: Scheme flonums always show a decimal point; exponents use ``e``.
+_SCHEME_OPTS = NotationOptions(style="auto", exp_low=-4, exp_high=21)
+
+
+def number_to_string(x: Union[float, Flonum], radix: int = 10) -> str:
+    """R4RS ``number->string`` for an inexact real.
+
+    The output is the shortest string that reads back to ``x`` — the
+    standard's accuracy requirement, satisfied by construction.  Radix
+    10 output may use exponential notation; other radixes are positional
+    (R4RS gives them no exponent marker) and carry the radix prefix.
+    """
+    if radix not in (2, 8, 10, 16):
+        raise RangeError(f"Scheme radix must be 2, 8, 10 or 16: {radix}")
+    v = x if isinstance(x, Flonum) else Flonum.from_float(x)
+    prefix = _PREFIX_FOR_RADIX[radix]
+    if v.is_nan:
+        return "+nan.0"
+    if v.is_infinite:
+        return "-inf.0" if v.sign else "+inf.0"
+    sign = "-" if v.is_negative else ""
+    if v.is_zero:
+        return f"{prefix}{sign}0."
+    digits = shortest_digits(v.abs(), base=radix,
+                             mode=ReaderMode.NEAREST_EVEN)
+    if radix == 10:
+        body = render_shortest(digits, _SCHEME_OPTS)
+        if "e" not in body and "." not in body:
+            body += "."  # flonums are marked by the point
+    else:
+        body = render_shortest(
+            digits, NotationOptions(style="positional"))
+        # 'e' is a digit beyond base 10, so only the point marks a flonum.
+        if "." not in body:
+            body += "."
+    return f"{prefix}{sign}{body}"
+
+
+def _strip_prefixes(text: str):
+    """Peel ``#`` prefixes: returns (radix, exactness, rest)."""
+    radix: Optional[int] = None
+    exactness: Optional[str] = None
+    s = text
+    while s[:1] == "#":
+        if len(s) < 2:
+            raise ParseError(f"dangling # prefix in {text!r}")
+        tag = s[1].lower()
+        if tag in _RADIX_PREFIX:
+            if radix is not None:
+                raise ParseError(f"duplicate radix prefix in {text!r}")
+            radix = _RADIX_PREFIX[tag]
+        elif tag in ("e", "i"):
+            if exactness is not None:
+                raise ParseError(f"duplicate exactness prefix in {text!r}")
+            exactness = tag
+        else:
+            raise ParseError(f"unknown prefix #{s[1]} in {text!r}")
+        s = s[2:]
+    return radix or 10, exactness, s
+
+
+def _parse_radix_real(body: str, radix: int) -> Fraction:
+    """Positional real in an arbitrary radix: ``[+-]?digits[.digits]``."""
+    sign = 1
+    if body[:1] in ("+", "-"):
+        if body[0] == "-":
+            sign = -1
+        body = body[1:]
+    if "." in body:
+        int_part, _, frac_part = body.partition(".")
+    else:
+        int_part, frac_part = body, ""
+    if not int_part and not frac_part:
+        raise ParseError(f"no digits in {body!r}")
+    value = 0
+    for ch in (int_part + frac_part).lower():
+        d = DIGIT_CHARS.find(ch)
+        if d < 0 or d >= radix:
+            raise ParseError(f"invalid radix-{radix} digit {ch!r}")
+        value = value * radix + d
+    return sign * Fraction(value, radix ** len(frac_part))
+
+
+def string_to_number(text: str, fmt: FloatFormat = BINARY64
+                     ) -> Union[Flonum, Fraction, int]:
+    """R4RS ``string->number`` for real numbers.
+
+    Returns an ``int`` or :class:`Fraction` for exact syntax (no point,
+    no exponent, or ``#e``), a :class:`Flonum` for inexact syntax
+    (point/exponent or ``#i``), rounding nearest-even like an IEEE
+    Scheme.  Raises :class:`ParseError` for malformed input (Scheme's
+    ``#f`` result).
+    """
+    s = text.strip()
+    if not s:
+        raise ParseError("empty string")
+    low = s.lower()
+    if low in ("+inf.0", "-inf.0"):
+        return Flonum.infinity(fmt, 1 if low[0] == "-" else 0)
+    if low in ("+nan.0", "-nan.0"):
+        return Flonum.nan(fmt)
+    radix, exactness, body = _strip_prefixes(s)
+    if not body:
+        raise ParseError(f"no number after prefixes in {text!r}")
+
+    if "/" in body:
+        num_text, _, den_text = body.partition("/")
+        value = Fraction(_parse_radix_real(num_text, radix),
+                         _parse_radix_real(den_text, radix))
+        inexact = exactness == "i"
+        is_integer = False
+    elif radix == 10:
+        parsed = parse_decimal(body)
+        if parsed.special is not None:
+            raise ParseError(f"special not valid here: {text!r}")
+        value = parsed.to_fraction()
+        inexact = ("." in body or "e" in body.lower()
+                   or parsed.insignificant > 0)
+        is_integer = not inexact
+        if exactness == "i":
+            inexact = True
+        elif exactness == "e":
+            inexact = False
+    else:
+        value = _parse_radix_real(body, radix)
+        inexact = "." in body
+        is_integer = not inexact
+        if exactness == "i":
+            inexact = True
+        elif exactness == "e":
+            inexact = False
+
+    if inexact:
+        if value == 0:
+            negative = body.lstrip().startswith("-")
+            return Flonum.zero(fmt, 1 if negative else 0)
+        return read_fraction(value, fmt, ReaderMode.NEAREST_EVEN)
+    if is_integer and value.denominator == 1:
+        return int(value)
+    return value

@@ -1,0 +1,58 @@
+"""The paper's printing algorithms: free format, fixed format, scaling."""
+
+from repro.core.boundaries import (
+    ScaledValue,
+    adjust_for_mode,
+    initial_scaled_value,
+)
+from repro.core.digits import DigitResult, GenerateState, generate_digits
+from repro.core.dragon import shortest_digits
+from repro.core.fixed import FixedResult, fixed_digits
+from repro.core.fixed_rational import fixed_digits_rational
+from repro.core.stream import DigitStream
+from repro.core.rational import shortest_digits_rational
+from repro.core.rounding import (
+    BoundaryInfo,
+    ReaderMode,
+    TieBreak,
+    boundary_info,
+)
+from repro.core.scaling import (
+    STATS,
+    Scaler,
+    ScalingStats,
+    digit_length,
+    estimate_k_fast,
+    estimate_k_float_log,
+    scale_estimate,
+    scale_float_log,
+    scale_iterative,
+)
+
+__all__ = [
+    "ScaledValue",
+    "adjust_for_mode",
+    "initial_scaled_value",
+    "DigitResult",
+    "GenerateState",
+    "generate_digits",
+    "shortest_digits",
+    "FixedResult",
+    "fixed_digits",
+    "fixed_digits_rational",
+    "DigitStream",
+    "shortest_digits_rational",
+    "BoundaryInfo",
+    "ReaderMode",
+    "TieBreak",
+    "boundary_info",
+    "STATS",
+    "Scaler",
+    "ScalingStats",
+    "digit_length",
+    "estimate_k_fast",
+    "estimate_k_float_log",
+    "scale_estimate",
+    "scale_float_log",
+    "scale_iterative",
+]

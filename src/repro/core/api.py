@@ -1,0 +1,150 @@
+"""String-level public API: print any value, both modes, all options.
+
+These are the entry points a downstream user calls.  They accept Python
+floats, ints, or :class:`Flonum` values; handle sign, zeros, infinities and
+NaNs; and delegate the real work to the digit-level drivers
+(:func:`repro.core.dragon.shortest_digits`,
+:func:`repro.core.fixed.fixed_digits`) plus the rendering layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.dragon import shortest_digits
+from repro.core.fixed import fixed_digits
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.core.scaling import Scaler
+from repro.errors import RangeError
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.format.notation import (
+    NotationOptions,
+    render_fixed,
+    render_shortest,
+)
+
+__all__ = ["format_shortest", "format_fixed", "to_flonum"]
+
+Number = Union[float, int, Flonum]
+
+
+def to_flonum(x: Number, fmt: FloatFormat = BINARY64) -> Flonum:
+    """Coerce a float/int/Flonum input to a :class:`Flonum`."""
+    if isinstance(x, Flonum):
+        return x
+    if isinstance(x, bool):
+        raise RangeError("booleans are not numbers here")
+    if isinstance(x, int):
+        # Exact or error: silently rounding 2**53 + 1 would defeat the
+        # whole point of an accurate printer.
+        return Flonum.from_int(x, fmt)
+    if isinstance(x, float):
+        return Flonum.from_float(x, fmt)
+    raise RangeError(f"cannot print a {type(x).__name__}")
+
+
+def _special_string(v: Flonum, opts: NotationOptions) -> Optional[str]:
+    if v.is_nan:
+        return "nan"
+    if v.is_infinite:
+        return "-inf" if v.sign else "inf"
+    return None
+
+
+def format_shortest(x: Number, base: int = 10,
+                    mode: ReaderMode = ReaderMode.NEAREST_EVEN,
+                    tie: TieBreak = TieBreak.UP,
+                    scaler: Optional[Scaler] = None,
+                    style: str = "auto",
+                    options: Optional[NotationOptions] = None) -> str:
+    """The shortest string that reads back to ``x`` (free format).
+
+    Example::
+
+        >>> format_shortest(0.3)
+        '0.3'
+        >>> format_shortest(1e23)
+        '1e23'
+        >>> format_shortest(5e-324)
+        '5e-324'
+
+    Args:
+        x: A float, int, or :class:`Flonum` of any supported format.
+        base: Output base (2..36).
+        mode: The reader's rounding behaviour; NEAREST_EVEN matches IEEE
+            (and CPython/strtod) readers and enables boundary outputs such
+            as ``1e23``.
+        tie: Final-digit tie strategy (the paper rounds up).
+        scaler: Scaling algorithm override (benchmarks use this).
+        style: 'auto' (positional for moderate exponents), 'positional',
+            or 'scientific'.
+        options: Full :class:`NotationOptions`; overrides ``style``.
+    """
+    opts = options or NotationOptions(style=style)
+    v = to_flonum(x)
+    special = _special_string(v, opts)
+    if special is not None:
+        return special
+    sign = "-" if v.is_negative else ""
+    if v.is_zero:
+        body = "0.0" if opts.python_repr else "0"
+        return sign + body
+    digits = shortest_digits(v.abs(), base=base,
+                             mode=mode.mirrored() if v.is_negative else mode,
+                             tie=tie, scaler=scaler)
+    return sign + render_shortest(digits, opts)
+
+
+def format_fixed(x: Number, position: Optional[int] = None,
+                 ndigits: Optional[int] = None,
+                 decimals: Optional[int] = None,
+                 base: int = 10, tie: TieBreak = TieBreak.UP,
+                 style: str = "positional",
+                 options: Optional[NotationOptions] = None) -> str:
+    """Correctly rounded fixed-format output with ``#`` marks.
+
+    Stop position, one of:
+        position: absolute weight exponent of the last digit
+            (``position=-2`` → hundredths);
+        decimals: digits after the point (``decimals=2`` ≡ ``position=-2``);
+        ndigits: total digit positions (relative mode).
+
+    Example::
+
+        >>> format_fixed(1/3, ndigits=10)
+        '0.3333333333'
+        >>> format_fixed(100.0, decimals=20)
+        '100.000000000000000#####'
+    """
+    opts = options or NotationOptions(style=style)
+    given = [p is not None for p in (position, ndigits, decimals)]
+    if sum(given) != 1:
+        raise RangeError("give exactly one of position=, ndigits=, decimals=")
+    if decimals is not None:
+        if decimals < 0:
+            raise RangeError("decimals must be >= 0")
+        position = -decimals
+    v = to_flonum(x)
+    special = _special_string(v, opts)
+    if special is not None:
+        return special
+    sign = "-" if v.is_negative else ""
+    if v.is_zero:
+        return sign + _fixed_zero(position, ndigits, opts)
+    result = fixed_digits(v.abs(), position=position, ndigits=ndigits,
+                          base=base, tie=tie)
+    return sign + render_fixed(result, opts)
+
+
+def _fixed_zero(position: Optional[int], ndigits: Optional[int],
+                opts: NotationOptions) -> str:
+    """Zero printed to a fixed precision: exact, so every zero is real."""
+    if position is None:
+        # Relative mode: one integer zero plus ndigits-1 fractional zeros.
+        position = -(ndigits - 1)
+    if opts.style == "scientific":
+        return "0" + (f"{opts.exp_char}{position}" if not opts.python_repr
+                      else f"{opts.exp_char}{'+' if position >= 0 else '-'}"
+                           f"{abs(position):02d}")
+    return "0" + ("." + "0" * (-position) if position < 0 else "")

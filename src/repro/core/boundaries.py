@@ -1,0 +1,88 @@
+"""Table 1: initial values of r, s, m+ and m- (paper Section 3.1).
+
+The integer-arithmetic implementation represents the scaled number and its
+rounding-range half-widths over an explicit common denominator::
+
+    v = r / s        (v+ - v)/2 = m+ / s        (v - v-)/2 = m- / s
+
+The factor of two baked into ``r`` and ``s`` makes the *half*-gaps exact
+integers.  Four cases arise from the sign of ``e`` and whether ``v`` sits
+just above a power of ``b`` (``f == b**(p-1)``), where the gap below is one
+``b``-th of the gap above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.core.rounding import ReaderMode
+
+__all__ = ["ScaledValue", "initial_scaled_value", "adjust_for_mode"]
+
+
+@dataclass
+class ScaledValue:
+    """The integer state (r, s, m+, m-) plus boundary-inclusion flags."""
+
+    r: int
+    s: int
+    m_plus: int
+    m_minus: int
+    low_ok: bool
+    high_ok: bool
+
+
+def initial_scaled_value(v: Flonum) -> Tuple[int, int, int, int]:
+    """Compute Table 1's ``(r, s, m+, m-)`` for a positive finite ``v``.
+
+    The narrower-gap-below case requires both ``f == b**(p-1)`` *and*
+    ``e > min_e``: at the minimum exponent the neighbour below is the
+    largest denormal, one full ``b**e`` away.  (For IEEE formats ``e >= 0``
+    implies ``e > min_e``, which is why the paper's table splits only on
+    ``f``; toy formats with ``min_e >= 0`` need the extra condition.)
+    """
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("initial_scaled_value requires a positive finite value")
+    fmt = v.fmt
+    b = fmt.radix
+    f, e = v.f, v.e
+    narrow_below = f == fmt.hidden_limit and e > fmt.min_e
+    if e >= 0:
+        be = b**e
+        if not narrow_below:
+            return (f * be * 2, 2, be, be)
+        return (f * be * b * 2, b * 2, be * b, be)
+    if not narrow_below:
+        return (f * 2, b ** (-e) * 2, 1, 1)
+    return (f * b * 2, b ** (1 - e) * 2, b, 1)
+
+
+def adjust_for_mode(v: Flonum, r: int, s: int, m_plus: int,
+                    m_minus: int,
+                    mode: ReaderMode) -> ScaledValue:
+    """Specialize Table-1 state to a reader mode.
+
+    Round-to-nearest readers keep the midpoint half-gaps and only choose the
+    endpoint-inclusion flags.  Directed readers shift the rounding range to
+    one side of ``v``: one margin doubles to the full gap, the other
+    collapses to zero (the printed string may then equal ``v`` exactly,
+    which the termination test ``r <= m-`` / ``r + m+ >= s`` recognises via
+    the inclusive comparison).
+    """
+    if mode is ReaderMode.NEAREST_UNKNOWN:
+        return ScaledValue(r, s, m_plus, m_minus, False, False)
+    if mode is ReaderMode.NEAREST_EVEN:
+        even = v.f % 2 == 0
+        return ScaledValue(r, s, m_plus, m_minus, even, even)
+    if mode is ReaderMode.NEAREST_AWAY:
+        return ScaledValue(r, s, m_plus, m_minus, True, False)
+    if mode is ReaderMode.NEAREST_TO_ZERO:
+        return ScaledValue(r, s, m_plus, m_minus, False, True)
+    if mode in (ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_NEGATIVE):
+        return ScaledValue(r, s, 2 * m_plus, 0, True, False)
+    if mode is ReaderMode.TOWARD_POSITIVE:
+        return ScaledValue(r, s, 0, 2 * m_minus, False, True)
+    raise RangeError(f"unhandled reader mode {mode}")  # pragma: no cover

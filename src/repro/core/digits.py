@@ -1,0 +1,120 @@
+"""The digit-generation loop (paper Section 3.1, Figures 1 and 3).
+
+State entering the loop: integers ``r``, ``s``, ``m+``, ``m-`` with
+
+* ``v * B / B**k = r / s`` (the scaler already pre-multiplied by ``B``),
+* ``(high - v) * B / B**k = m+ / s`` and ``(v - low) * B / B**k = m- / s``.
+
+Each iteration extracts one digit with ``divmod`` and checks the two
+termination conditions of Section 2.2 in their concise form:
+
+* ``tc1``: the digits generated so far are already above ``low``
+  (``r <= m-`` when the low endpoint reads back as ``v``, else ``r < m-``);
+* ``tc2``: incrementing the last digit stays below ``high``
+  (``r + m+ >= s`` when the high endpoint is attainable, else ``>``).
+
+On termination the closer of the two candidates is chosen; equidistant
+cases go to the tie-break strategy.  The paper proves the increment never
+carries (Theorem 1), the result reads back as ``v`` (Theorem 3), is
+correctly rounded (Theorem 4), and is of minimal length (Theorem 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+from repro.core.rounding import TieBreak
+
+__all__ = ["DigitResult", "generate_digits", "GenerateState"]
+
+
+@dataclass(frozen=True)
+class DigitResult:
+    """A digit string ``0.d1 d2 ... dn x B**k``.
+
+    ``digits`` are integer digit values (not characters) in ``[0, B)``;
+    ``k`` locates the radix point: the first digit has weight ``B**(k-1)``.
+    """
+
+    k: int
+    digits: Tuple[int, ...]
+    base: int = 10
+
+    def to_fraction(self) -> Fraction:
+        """The exact rational value of the digit string."""
+        acc = 0
+        for d in self.digits:
+            acc = acc * self.base + d
+        return Fraction(acc, 1) * Fraction(self.base) ** (self.k - len(self.digits))
+
+    @property
+    def ndigits(self) -> int:
+        return len(self.digits)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        body = "".join("0123456789abcdefghijklmnopqrstuvwxyz"[d]
+                       for d in self.digits)
+        return f"0.{body}e{self.k}"
+
+
+@dataclass
+class GenerateState:
+    """Loop state exposed so the fixed-format driver can resume padding."""
+
+    r: int
+    s: int
+    m_plus: int
+    m_minus: int
+    #: Remainder state of the *chosen* output: equals ``r`` when the final
+    #: digit was kept, ``r - s`` (negative) when it was incremented.  Used
+    #: by the fixed-format significance test.
+    chosen_r: int = 0
+    incremented: bool = False
+
+
+def generate_digits(r: int, s: int, m_plus: int, m_minus: int,
+                    base: int,
+                    low_ok: bool, high_ok: bool,
+                    tie: TieBreak = TieBreak.UP,
+                    ) -> Tuple[List[int], GenerateState]:
+    """Run the digit loop to its natural termination (free format).
+
+    Returns the digit list and the final loop state (for fixed-format
+    resumption).  The caller assembles a :class:`DigitResult` with its own
+    ``k``.
+    """
+    digits: List[int] = []
+    while True:
+        d, r = divmod(r, s)
+        tc1 = (r <= m_minus) if low_ok else (r < m_minus)
+        tc2 = (r + m_plus >= s) if high_ok else (r + m_plus > s)
+        if tc1 or tc2:
+            break
+        digits.append(d)
+        r *= base
+        m_plus *= base
+        m_minus *= base
+
+    if tc1 and not tc2:
+        chosen = d
+    elif tc2 and not tc1:
+        chosen = d + 1
+    else:
+        # Both hold: output whichever candidate is closer to v; the
+        # remainder r measures v - (digits so far), so compare 2r with s.
+        if 2 * r < s:
+            chosen = d
+        elif 2 * r > s:
+            chosen = d + 1
+        else:
+            chosen = tie.choose(d)
+    incremented = chosen == d + 1
+    digits.append(chosen)
+    state = GenerateState(
+        r=r, s=s, m_plus=m_plus, m_minus=m_minus,
+        chosen_r=r - s if incremented else r,
+        incremented=incremented,
+    )
+    return digits, state

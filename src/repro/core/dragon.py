@@ -1,0 +1,60 @@
+"""Free-format printing driver (the paper's headline algorithm).
+
+Combines Table-1 initialization, a scaling algorithm (the fast estimator by
+default) and the digit loop into the complete integer-arithmetic free-format
+conversion: the shortest digit string, correctly rounded, that reads back
+as the original value under the chosen reader rounding mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.boundaries import adjust_for_mode, initial_scaled_value
+from repro.core.digits import DigitResult, generate_digits
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.core.scaling import Scaler, scale_estimate
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+__all__ = ["shortest_digits"]
+
+
+def shortest_digits(v: Flonum, base: int = 10,
+                    mode: ReaderMode = ReaderMode.NEAREST_EVEN,
+                    tie: TieBreak = TieBreak.UP,
+                    scaler: Optional[Scaler] = None) -> DigitResult:
+    """Shortest correctly rounded digits of a positive finite ``v``.
+
+    Args:
+        v: A positive, non-zero, finite :class:`Flonum`.  Sign, zero and
+           specials are handled by the string-level API
+           (:mod:`repro.core.api`), keeping this driver aligned with the
+           paper's presentation.
+        base: Output base ``B``, 2..36.
+        mode: Rounding behaviour of the reader that will consume the
+           output.  :attr:`ReaderMode.NEAREST_UNKNOWN` is the conservative
+           choice valid for every correct round-to-nearest reader.
+        tie: Printer-side strategy when the two final-digit candidates are
+           equidistant from ``v``.
+        scaler: One of the three scaling algorithms from
+           :mod:`repro.core.scaling`; defaults to the paper's estimator.
+
+    Returns:
+        A :class:`DigitResult` whose value ``0.d1...dn * B**k`` rounds to
+        ``v`` when read back, is within half an ulp of the output (correct
+        rounding), and has no shorter equivalent.
+    """
+    if base < 2 or base > 36:
+        raise RangeError(f"output base must be in 2..36, got {base}")
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("shortest_digits requires a positive finite value")
+    if scaler is None:
+        scaler = scale_estimate
+    r, s, m_plus, m_minus = initial_scaled_value(v)
+    sv = adjust_for_mode(v, r, s, m_plus, m_minus, mode)
+    k, r, s, m_plus, m_minus = scaler(sv, base, v)
+    digits, _state = generate_digits(
+        r, s, m_plus, m_minus, base, sv.low_ok, sv.high_ok, tie,
+    )
+    return DigitResult(k=k, digits=tuple(digits), base=base)

@@ -1,0 +1,201 @@
+"""Fixed-format output with ``#`` marks (paper Section 4).
+
+Fixed-format printing stops at a requested digit position — *absolute*
+(``j``: the weight exponent of the last digit, so ``j = -2`` means
+hundredths) or *relative* (``i``: the number of digits to produce).  The
+key idea is to reuse the free-format machinery with a conditionally
+*expanded* rounding range:
+
+* the output must be correctly rounded at position ``j``, i.e. within
+  ``B**j / 2`` of ``v``;
+* but every real between the neighbour midpoints is indistinguishable from
+  ``v``, so when the representation's gap half-width exceeds ``B**j / 2``
+  the wider bound governs — and digits beyond the point where *any* digit
+  choice stays inside the range are insignificant, printed as ``#``.
+
+The termination conditions gain equality exactly on the sides where the
+``B**j / 2`` expansion won (those endpoints are genuinely half-way, hence
+acceptable for correct rounding), which also guarantees the loop never
+runs past position ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro.bignum.pow_cache import power
+from repro.core.boundaries import ScaledValue, initial_scaled_value
+from repro.core.digits import generate_digits
+from repro.core.rounding import TieBreak
+from repro.core.scaling import apply_estimate, estimate_k_fast
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+__all__ = ["FixedResult", "fixed_digits"]
+
+HASH_MARK = "#"
+
+
+@dataclass(frozen=True)
+class FixedResult:
+    """A fixed-format digit string.
+
+    The digits (then ``hashes`` ``#`` marks) occupy positions ``k-1`` down
+    to ``position``; ``len(digits) + hashes == k - position``.  A rounded-
+    to-zero result has ``digits == ()`` and ``k == position``.
+    """
+
+    k: int
+    digits: Tuple[int, ...]
+    hashes: int
+    position: int
+    base: int = 10
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.digits
+
+    @property
+    def ndigits(self) -> int:
+        return len(self.digits)
+
+    def to_fraction(self) -> Fraction:
+        """The exact value with ``#`` marks read as zeros."""
+        acc = 0
+        for d in self.digits:
+            acc = acc * self.base + d
+        return acc * Fraction(self.base) ** (self.k - len(self.digits))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        body = "".join("0123456789abcdefghijklmnopqrstuvwxyz"[d]
+                       for d in self.digits) + HASH_MARK * self.hashes
+        return f"0.{body}e{self.k}@{self.position}"
+
+
+def fixed_digits(v: Flonum, position: Optional[int] = None,
+                 ndigits: Optional[int] = None, base: int = 10,
+                 tie: TieBreak = TieBreak.UP) -> FixedResult:
+    """Fixed-format digits of a positive finite ``v``.
+
+    Exactly one of ``position`` (absolute mode: weight exponent of the last
+    digit) and ``ndigits`` (relative mode: total digits to produce) must be
+    given.  Sign, zero and specials are the string-level API's job.
+    """
+    if base < 2 or base > 36:
+        raise RangeError(f"output base must be in 2..36, got {base}")
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("fixed_digits requires a positive finite value")
+    if (position is None) == (ndigits is None):
+        raise RangeError("give exactly one of position= or ndigits=")
+    if position is not None:
+        return _fixed_absolute(v, position, base, tie)
+    if ndigits < 1:
+        raise RangeError(f"ndigits must be >= 1, got {ndigits}")
+    return _fixed_relative(v, ndigits, base, tie)
+
+
+def _fixed_absolute(v: Flonum, j: int, base: int, tie: TieBreak
+                    ) -> FixedResult:
+    """Absolute digit position: stop at the digit of weight ``base**j``."""
+    r, s, m_plus, m_minus = initial_scaled_value(v)
+
+    # Expansion margin: B**j / 2 over the common denominator.  s carries a
+    # factor of two by construction, so s//2 is exact; negative j rescales
+    # the whole state instead of introducing a fraction.
+    if j >= 0:
+        m_exp = (s // 2) * power(base, j)
+    else:
+        m_exp = s // 2
+        factor = power(base, -j)
+        r *= factor
+        s *= factor
+        m_plus *= factor
+        m_minus *= factor
+
+    # The endpoints are attainable (inclusive termination) exactly on the
+    # sides where the requested-precision margin is at least the gap margin.
+    low_ok = m_exp >= m_minus
+    high_ok = m_exp >= m_plus
+    sv = ScaledValue(r, s, max(m_plus, m_exp), max(m_minus, m_exp),
+                     low_ok, high_ok)
+
+    # Estimate k from v, floored at j: the expanded high is at least
+    # B**j / 2, so k >= j; the fixup loop absorbs any remaining undershoot.
+    est = max(estimate_k_fast(v, base), j)
+    k, r, s, mp, mm = apply_estimate(sv, base, est)
+
+    if k <= j:
+        # high <= B**j: no digit position at or above j can be non-zero, so
+        # v rounds to zero at this precision (see tests for the boundary
+        # analysis; k < j cannot occur).
+        return FixedResult(k=j, digits=(), hashes=0, position=j, base=base)
+
+    digits, state = generate_digits(r, s, mp, mm, base, low_ok, high_ok, tie)
+    if not any(digits):
+        # A tie at the leading digit can resolve downward to an all-zero
+        # string (e.g. 0.5 at position 0 with ties-down): that is the zero
+        # output, canonicalized like the k <= j case.
+        return FixedResult(k=j, digits=(), hashes=0, position=j, base=base)
+    pos = k - len(digits)
+    if pos < j:  # pragma: no cover - excluded by the extended conditions
+        raise AssertionError("generated past the requested position")
+    if pos == j:
+        return FixedResult(k=k, digits=tuple(digits), hashes=0,
+                           position=j, base=base)
+
+    if low_ok and high_ok:
+        # Both endpoints came from the B**j/2 expansion: the representation
+        # is precise enough that every remaining position is significant.
+        digits.extend([0] * (pos - j))
+        return FixedResult(k=k, digits=tuple(digits), hashes=0,
+                           position=j, base=base)
+
+    # Limited precision: emit zeros while they are significant, then #
+    # marks.  Position m is insignificant when incrementing the digit at
+    # m+1 keeps the value inside the range: V + B**(m+1) <= high, i.e.
+    # rr + m+ >= s at the current scale (rr tracks v - V and is negative
+    # when the final digit was incremented).
+    rr = state.chosen_r
+    mp_run = state.m_plus
+    s = state.s
+    hashes = 0
+    while pos > j:
+        insignificant = (rr + mp_run >= s) if high_ok else (rr + mp_run > s)
+        if insignificant:
+            hashes = pos - j
+            break
+        digits.append(0)
+        rr *= base
+        mp_run *= base
+        pos -= 1
+    return FixedResult(k=k, digits=tuple(digits), hashes=hashes,
+                       position=j, base=base)
+
+
+def _fixed_relative(v: Flonum, i: int, base: int, tie: TieBreak
+                    ) -> FixedResult:
+    """Relative mode: produce ``i`` digit positions (digits plus ``#``).
+
+    The absolute position is ``j = k - i``, but ``k`` itself can depend on
+    the expansion (which depends on ``j``).  Per the paper, start from the
+    estimate ignoring the expansion and refine: the absolute-mode run
+    recomputes the true ``k`` for its ``j``, and one refinement suffices
+    (the expanded high exceeds the unexpanded ``B**k`` bound by less than a
+    factor of ``B``).
+    """
+    r, s, m_plus, m_minus = initial_scaled_value(v)
+    # k ignoring the expansion, computed with conservative (exclusive)
+    # endpoints — matches the paper's khat = ceil(log_B (v + v+)/2).
+    sv = ScaledValue(r, s, m_plus, m_minus, False, False)
+    k_hat, *_ = apply_estimate(sv, base, estimate_k_fast(v, base))
+
+    k = k_hat
+    for _ in range(3):
+        result = _fixed_absolute(v, k - i, base, tie)
+        if result.k == k or result.is_zero:
+            return result
+        k = result.k
+    raise AssertionError(  # pragma: no cover - paper: one refinement max
+        "relative-position refinement failed to converge")

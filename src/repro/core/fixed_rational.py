@@ -1,0 +1,141 @@
+"""Section 4's fixed-format algorithm over exact rationals (the spec).
+
+The paper presents fixed format in rational terms and notes the integer
+conversion is "lengthy and has therefore been omitted".  Our
+:mod:`repro.core.fixed` is that omitted integer implementation; this
+module is the rational presentation, transliterated — expanded rounding
+range, extended termination conditions, significant-zero padding and
+``#`` marks — so the two can be property-tested against each other the
+same way :mod:`repro.core.rational` specifies the free format.
+
+Deliberately slow and obvious; never used by the production path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.core.fixed import FixedResult
+from repro.core.rounding import TieBreak
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.floats.ulp import midpoint_high, midpoint_low
+
+__all__ = ["fixed_digits_rational"]
+
+
+def fixed_digits_rational(v: Flonum, position: Optional[int] = None,
+                          ndigits: Optional[int] = None, base: int = 10,
+                          tie: TieBreak = TieBreak.UP) -> FixedResult:
+    """Fixed-format digits by direct rational evaluation of Section 4."""
+    if base < 2 or base > 36:
+        raise RangeError(f"output base must be in 2..36, got {base}")
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("requires a positive finite value")
+    if (position is None) == (ndigits is None):
+        raise RangeError("give exactly one of position= or ndigits=")
+    if position is not None:
+        return _absolute(v, position, base, tie)
+    if ndigits < 1:
+        raise RangeError(f"ndigits must be >= 1, got {ndigits}")
+    # Relative mode: estimate k without the expansion, then refine.
+    k = _find_k(midpoint_high(v), Fraction(base), high_ok=False)
+    for _ in range(3):
+        result = _absolute(v, k - ndigits, base, tie)
+        if result.k == k or result.is_zero:
+            return result
+        k = result.k
+    raise AssertionError("relative refinement failed")  # pragma: no cover
+
+
+def _find_k(high: Fraction, b: Fraction, high_ok: bool) -> int:
+    k = 0
+    bk = Fraction(1)
+    ok = (lambda p: high < p) if high_ok else (lambda p: high <= p)
+    if ok(bk):
+        while ok(bk / b):
+            bk /= b
+            k -= 1
+        return k
+    while not ok(bk):
+        bk *= b
+        k += 1
+    return k
+
+
+def _absolute(v: Flonum, j: int, base: int, tie: TieBreak) -> FixedResult:
+    B = Fraction(base)
+    value = v.to_fraction()
+    delta = B**j / 2
+
+    # Step 1': conditionally expanded rounding range.
+    low = min(midpoint_low(v), value - delta)
+    high = max(midpoint_high(v), value + delta)
+    low_ok = value - delta <= midpoint_low(v)
+    high_ok = value + delta >= midpoint_high(v)
+
+    # Step 2': scaling factor.
+    k = _find_k(high, B, high_ok)
+    if k <= j:
+        return FixedResult(k=j, digits=(), hashes=0, position=j, base=base)
+
+    # Step 3'/4': generate with extended termination conditions.
+    q = value / B**k
+    digits = []
+    weight = B**k
+    while True:
+        q *= base
+        d = int(q)
+        q -= d
+        weight /= base
+        below = q * weight          # v - V
+        above = (1 - q) * weight    # V[dn+1] - v
+        tc1 = below <= value - low if low_ok else below < value - low
+        tc2 = above <= high - value if high_ok else above < high - value
+        if not tc1 and not tc2:
+            digits.append(d)
+            continue
+        if tc1 and not tc2:
+            digits.append(d)
+            chosen_above = -below
+        elif tc2 and not tc1:
+            digits.append(d + 1)
+            chosen_above = above
+        elif below < above:
+            digits.append(d)
+            chosen_above = -below
+        elif below > above:
+            digits.append(d + 1)
+            chosen_above = above
+        else:
+            chosen = tie.choose(d)
+            digits.append(chosen)
+            chosen_above = above if chosen == d + 1 else -below
+        break
+
+    if not any(digits):
+        return FixedResult(k=j, digits=(), hashes=0, position=j, base=base)
+    pos = k - len(digits)
+    if pos == j:
+        return FixedResult(k=k, digits=tuple(digits), hashes=0,
+                           position=j, base=base)
+
+    # Padding: significant zeros, then # marks.
+    if low_ok and high_ok:
+        digits.extend([0] * (pos - j))
+        return FixedResult(k=k, digits=tuple(digits), hashes=0,
+                           position=j, base=base)
+    V = value + chosen_above  # the emitted value, exactly
+    hashes = 0
+    while pos > j:
+        # Position pos-1 is insignificant iff V + B**pos stays <= high.
+        bumped = V + B**pos
+        insignificant = bumped <= high if high_ok else bumped < high
+        if insignificant:
+            hashes = pos - j
+            break
+        digits.append(0)
+        pos -= 1
+    return FixedResult(k=k, digits=tuple(digits), hashes=hashes,
+                       position=j, base=base)

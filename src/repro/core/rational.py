@@ -1,0 +1,95 @@
+"""Section 2's basic algorithm in exact rational arithmetic.
+
+This is the executable specification: a direct transliteration of the
+paper's four-step procedure using :class:`fractions.Fraction`.  It is slow
+(the paper notes as much — every step reduces fractions to lowest terms)
+but obviously faithful, and the property suite checks the production
+integer implementation against it digit-for-digit.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.digits import DigitResult
+from repro.core.rounding import BoundaryInfo, ReaderMode, TieBreak, boundary_info
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+__all__ = ["shortest_digits_rational", "find_k_rational"]
+
+
+def find_k_rational(high: Fraction, base: int, high_ok: bool) -> int:
+    """Step 2: the smallest ``k`` with ``high <= B**k`` (``<`` if the high
+    endpoint is attainable), by direct search from 0."""
+    k = 0
+    bk = Fraction(1)
+
+    def bound_ok(power: Fraction) -> bool:
+        return high < power if high_ok else high <= power
+
+    if bound_ok(bk):
+        # Walk down while k-1 still satisfies the bound.
+        while True:
+            lower = bk / base
+            if not bound_ok(lower):
+                return k
+            bk = lower
+            k -= 1
+    while not bound_ok(bk):
+        bk *= base
+        k += 1
+    return k
+
+
+def shortest_digits_rational(v: Flonum, base: int = 10,
+                             mode: ReaderMode = ReaderMode.NEAREST_UNKNOWN,
+                             tie: TieBreak = TieBreak.UP) -> DigitResult:
+    """Steps 1-4 of Section 2.2, verbatim, over exact rationals."""
+    if base < 2 or base > 36:
+        raise RangeError(f"output base must be in 2..36, got {base}")
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("requires a positive finite value")
+
+    # Step 1: rounding range from the neighbour gaps.
+    info: BoundaryInfo = boundary_info(v, mode)
+    value = v.to_fraction()
+    v_low = value - info.low  # v - low
+    high_v = info.high - value  # high - v
+
+    # Step 2: scaling factor.
+    k = find_k_rational(info.high, base, info.high_ok)
+
+    # Step 3/4: generate digits until a termination condition holds, using
+    # the concise conditions of the corollary to Lemma 2:
+    #   (1) q_n * B**(k-n) <  v - low    (<= when low is attainable)
+    #   (2) (1 - q_n) * B**(k-n) < high - v   (<= when high is attainable)
+    q = value / Fraction(base) ** k
+    digits = []
+    weight = Fraction(base) ** k  # B**(k-n) at n = 0
+    while True:
+        q *= base
+        d = int(q)  # floor: 0 <= q < base
+        q -= d
+        weight /= base
+        below = q * weight
+        above = (1 - q) * weight
+        tc1 = below <= v_low if info.low_ok else below < v_low
+        tc2 = above <= high_v if info.high_ok else above < high_v
+        if not tc1 and not tc2:
+            digits.append(d)
+            continue
+        if tc1 and not tc2:
+            digits.append(d)
+        elif tc2 and not tc1:
+            digits.append(d + 1)
+        else:
+            # Return the number closer to v; break exact ties by strategy.
+            if below < above:
+                digits.append(d)
+            elif below > above:
+                digits.append(d + 1)
+            else:
+                digits.append(tie.choose(d))
+        break
+    return DigitResult(k=k, digits=tuple(digits), base=base)

@@ -1,0 +1,124 @@
+"""Reader rounding modes and printer tie-breaking (paper Sections 2.2, 3.1).
+
+The free-format algorithm is parameterised by the behaviour of the *input*
+routine that will eventually read the printed string back.  Two aspects
+matter:
+
+* which reals round to ``v`` — for round-to-nearest readers this is the
+  interval between the neighbour midpoints; for directed-rounding readers it
+  is the interval between ``v`` itself and one neighbour;
+* whether the interval *endpoints* themselves read back as ``v`` (the
+  paper's ``low-ok?`` / ``high-ok?`` flags).  E.g. under IEEE unbiased
+  (round-to-even) reading, a printed string equal to a midpoint rounds to
+  the neighbour with the even mantissa, so both endpoints are usable
+  exactly when ``v``'s mantissa is even.
+
+When the reader is unknown, the conservative assumption is a
+round-to-nearest reader that never resolves ties our way (both flags
+false) — any correct reader then recovers ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.floats.ulp import gap_high, gap_low
+
+__all__ = ["ReaderMode", "TieBreak", "BoundaryInfo", "boundary_info"]
+
+
+class ReaderMode(Enum):
+    """How the input routine that reads our output rounds."""
+
+    #: Round to nearest, unknown tie-breaking: assume neither endpoint is
+    #: safe (the paper's default assumption in Section 2).
+    NEAREST_UNKNOWN = "nearest-unknown"
+    #: IEEE 754 round-to-nearest-even ("unbiased") reading.
+    NEAREST_EVEN = "nearest-even"
+    #: Round to nearest, ties away from zero.
+    NEAREST_AWAY = "nearest-away"
+    #: Round to nearest, ties toward zero.
+    NEAREST_TO_ZERO = "nearest-to-zero"
+    #: Directed: reader truncates toward zero.
+    TOWARD_ZERO = "toward-zero"
+    #: Directed: reader rounds toward +infinity.
+    TOWARD_POSITIVE = "toward-positive"
+    #: Directed: reader rounds toward -infinity.
+    TOWARD_NEGATIVE = "toward-negative"
+
+    def mirrored(self) -> "ReaderMode":
+        """The mode seen by ``|v|`` when ``v`` is negative.
+
+        Directed modes flip around zero; nearest modes are symmetric.
+        """
+        if self is ReaderMode.TOWARD_POSITIVE:
+            return ReaderMode.TOWARD_NEGATIVE
+        if self is ReaderMode.TOWARD_NEGATIVE:
+            return ReaderMode.TOWARD_POSITIVE
+        return self
+
+
+class TieBreak(Enum):
+    """Strategy when the generated number and its increment are equidistant
+    from ``v`` (paper: "use some strategy to break the tie, e.g. round up")."""
+
+    UP = "up"
+    DOWN = "down"
+    EVEN = "even"
+
+    def choose(self, d: int) -> int:
+        """Pick ``d`` or ``d + 1`` for a final-digit tie."""
+        if self is TieBreak.UP:
+            return d + 1
+        if self is TieBreak.DOWN:
+            return d
+        return d if d % 2 == 0 else d + 1
+
+
+@dataclass(frozen=True)
+class BoundaryInfo:
+    """The exact rounding range of a value under a reader mode.
+
+    ``low``/``high`` bound the reals that read back as ``v``; ``low_ok`` /
+    ``high_ok`` say whether the endpoints themselves do.
+    """
+
+    low: Fraction
+    high: Fraction
+    low_ok: bool
+    high_ok: bool
+
+
+def boundary_info(v: Flonum, mode: ReaderMode) -> BoundaryInfo:
+    """Compute the rounding range of a positive finite ``v`` (Section 2.2).
+
+    The caller is expected to have reduced to ``v > 0`` and to mirror
+    directed modes for negative inputs via :meth:`ReaderMode.mirrored`.
+    """
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("boundary_info requires a positive finite value")
+    value = v.to_fraction()
+    half_high = gap_high(v) / 2
+    half_low = gap_low(v) / 2
+
+    if mode is ReaderMode.NEAREST_UNKNOWN:
+        return BoundaryInfo(value - half_low, value + half_high, False, False)
+    if mode is ReaderMode.NEAREST_EVEN:
+        even = v.f % 2 == 0
+        return BoundaryInfo(value - half_low, value + half_high, even, even)
+    if mode is ReaderMode.NEAREST_AWAY:
+        # A midpoint rounds away from zero: the low midpoint rounds *up* to
+        # v (safe), the high midpoint rounds up past v (unsafe).
+        return BoundaryInfo(value - half_low, value + half_high, True, False)
+    if mode is ReaderMode.NEAREST_TO_ZERO:
+        return BoundaryInfo(value - half_low, value + half_high, False, True)
+    if mode in (ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_NEGATIVE):
+        # Reals in [v, v+) truncate to v.
+        return BoundaryInfo(value, value + 2 * half_high, True, False)
+    if mode is ReaderMode.TOWARD_POSITIVE:
+        # Reals in (v-, v] round up to v.
+        return BoundaryInfo(value - 2 * half_low, value, False, True)
+    raise RangeError(f"unhandled reader mode {mode}")  # pragma: no cover

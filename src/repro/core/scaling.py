@@ -1,0 +1,192 @@
+"""The three scaling algorithms (paper Sections 3.1-3.2, Figures 1-3).
+
+Scaling finds ``k`` — the position of the radix point, i.e. the smallest
+integer with ``high <= B**k`` (strictly ``<`` when the high endpoint is
+attainable) — and rescales the integer state so the digit loop can start.
+
+* :func:`scale_iterative` — Steele & White's search, ``O(|log v|)``
+  big-integer multiplications (Figure 1).
+* :func:`scale_float_log` — estimate ``ceil(log_B v)`` with the host's
+  floating-point logarithm, minus a safety epsilon so it never overshoots,
+  then fix up by at most one (Figure 2).
+* :func:`scale_estimate` — the paper's contribution (Figure 3): estimate
+  from the binary exponent alone, ``ceil((e + len(f) - 1) * log_B 2 - eps)``,
+  two floating-point operations.  It may undershoot by one; the fixup
+  *consumes the digit loop's first pre-multiplication* instead of touching
+  the big integers, so the off-by-one case costs nothing.
+
+All scalers share one contract: they return ``(k, r, s, m+, m-)`` with
+``r``, ``m+``, ``m-`` already multiplied by ``B`` for the first digit
+extraction, so the digit loop starts directly with ``divmod(r, s)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+from repro.bignum.pow_cache import log_ratio, power
+from repro.core.boundaries import ScaledValue
+from repro.floats.model import Flonum
+
+__all__ = [
+    "Scaler",
+    "ScalingStats",
+    "STATS",
+    "scale_iterative",
+    "scale_float_log",
+    "scale_estimate",
+    "estimate_k_fast",
+    "estimate_k_float_log",
+    "digit_length",
+    "apply_estimate",
+    "FIXUP_EPSILON",
+]
+
+#: Subtracted from logarithm estimates so they never overshoot the true
+#: value (paper: "a small constant, chosen to be slightly greater than the
+#: largest possible error").
+FIXUP_EPSILON = 1e-10
+
+ScaledState = Tuple[int, int, int, int, int]
+Scaler = Callable[[ScaledValue, int, Flonum], ScaledState]
+
+
+class ScalingStats:
+    """Counters for the estimator-accuracy ablation (benchmarks/A1)."""
+
+    __slots__ = ("calls", "fixup_bumps", "overshoot_drops")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.fixup_bumps = 0
+        self.overshoot_drops = 0
+
+
+STATS = ScalingStats()
+
+
+def digit_length(f: int, b: int) -> int:
+    """Number of base-``b`` digits of the positive integer ``f``."""
+    if b == 2:
+        return f.bit_length()
+    n = 0
+    while f:
+        f //= b
+        n += 1
+    return n
+
+
+def _too_low(r: int, s: int, m_plus: int, high_ok: bool) -> bool:
+    """Whether the candidate ``k`` is too small: ``high`` reaches ``B**k``."""
+    if high_ok:
+        return r + m_plus >= s
+    return r + m_plus > s
+
+
+def _too_high(r: int, s: int, m_plus: int, base: int, high_ok: bool) -> bool:
+    """Whether ``k - 1`` would still satisfy the bound (so ``k`` is too big)."""
+    if high_ok:
+        return (r + m_plus) * base < s
+    return (r + m_plus) * base <= s
+
+
+def scale_iterative(sv: ScaledValue, base: int, v: Flonum) -> ScaledState:
+    """Steele & White's iterative scaling (Figure 1's ``scale``).
+
+    Starts at ``k = 0`` and multiplies one side of the fraction by ``B``
+    until ``k`` is exact — linear in ``|log_B v|`` big-integer products,
+    the cost the paper's estimator eliminates.
+    """
+    r, s, m_plus, m_minus = sv.r, sv.s, sv.m_plus, sv.m_minus
+    k = 0
+    while _too_low(r, s, m_plus, sv.high_ok):
+        s *= base
+        k += 1
+    while _too_high(r, s, m_plus, base, sv.high_ok):
+        r *= base
+        m_plus *= base
+        m_minus *= base
+        k -= 1
+    # Pre-multiply for the first digit extraction.
+    return k, r * base, s, m_plus * base, m_minus * base
+
+
+def estimate_k_float_log(v: Flonum, base: int) -> int:
+    """``ceil(log_B v - eps)`` via the host logarithm (Figure 2).
+
+    ``log v`` is computed from the components as ``log f + e * log b`` so
+    that formats wider than binary64 cannot overflow the host double.
+    """
+    log_v = math.log(v.f) + v.e * math.log(v.fmt.radix)
+    return math.ceil(log_v / math.log(base) - FIXUP_EPSILON)
+
+
+def estimate_k_fast(v: Flonum, base: int) -> int:
+    """The paper's two-operation estimate (Section 3.2).
+
+    With ``s = floor(log_b v) = e + len_b(f) - 1`` the estimate is
+    ``ceil(s * log_B b - eps)``: never more than the true ``ceil(log_B v)``
+    and less by at most ``log_B b`` (< 0.631 for b=2, B>=3).
+    """
+    s_int = v.e + digit_length(v.f, v.fmt.radix) - 1
+    return math.ceil(s_int * log_ratio(v.fmt.radix, base) - FIXUP_EPSILON)
+
+
+def apply_estimate(sv: ScaledValue, base: int, est: int) -> ScaledState:
+    """Rescale by ``B**est`` and fix up (Figure 3's ``scale``/``fixup``).
+
+    When the estimate is low, bumping ``k`` *instead of* performing the
+    digit loop's initial multiply-by-``B`` makes the off-by-one case free:
+    the state for ``k = est + 1`` without pre-multiplication is exactly the
+    state for ``k = est`` with it.
+    """
+    r, s, m_plus, m_minus = sv.r, sv.s, sv.m_plus, sv.m_minus
+    if est >= 0:
+        s = s * power(base, est)
+    else:
+        scale = power(base, -est)
+        r *= scale
+        m_plus *= scale
+        m_minus *= scale
+
+    STATS.calls += 1
+
+    # The shipped estimators carry a subtracted epsilon and never
+    # overshoot, so for them this loop is a no-op; it exists so that
+    # arbitrary caller-provided estimates (robustness tests, exotic
+    # radixes) are repaired rather than corrupting the output.
+    while _too_high(r, s, m_plus, base, sv.high_ok):
+        r *= base
+        m_plus *= base
+        m_minus *= base
+        est -= 1
+        STATS.overshoot_drops += 1
+
+    k = est
+    bumps = 0
+    while _too_low(r, s * (power(base, bumps) if bumps else 1),
+                   m_plus, sv.high_ok):
+        bumps += 1
+    k += bumps
+    STATS.fixup_bumps += min(bumps, 1)
+    if bumps == 0:
+        return k, r * base, s, m_plus * base, m_minus * base
+    # One bump is absorbed by skipping the pre-multiplication; further
+    # bumps (never needed for b=2) scale the denominator.
+    if bumps > 1:
+        s *= power(base, bumps - 1)
+    return k, r, s, m_plus, m_minus
+
+
+def scale_float_log(sv: ScaledValue, base: int, v: Flonum) -> ScaledState:
+    """Figure 2: host-logarithm estimate plus fixup."""
+    return apply_estimate(sv, base, estimate_k_float_log(v, base))
+
+
+def scale_estimate(sv: ScaledValue, base: int, v: Flonum) -> ScaledState:
+    """Figure 3: the paper's fast estimator plus free fixup."""
+    return apply_estimate(sv, base, estimate_k_fast(v, base))

@@ -1,0 +1,126 @@
+"""Incremental digit generation: free format with an optional width cap.
+
+A :class:`DigitStream` exposes the digit loop one digit at a time, which
+suits consumers that discover their width budget as they render (fixed
+columns, tables, serializers).  Semantics:
+
+* consumed to natural termination, the digits are exactly the
+  free-format output (shortest, correctly rounded, round-trip);
+* stopped early at ``n`` digits (:meth:`take`), the result is the
+  *correctly rounded n-digit prefix* — the paper's output condition (2)
+  still holds at the cut, but the round-trip guarantee needs the natural
+  length (the stream tells you, via :attr:`complete`, which you got).
+
+The carry case a capped cut can produce (``0.999…`` rounding to ``1.0``)
+is handled by digit propagation, which the uncapped algorithm never
+needs (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.boundaries import adjust_for_mode, initial_scaled_value
+from repro.core.digits import DigitResult
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.core.scaling import Scaler, scale_estimate
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+__all__ = ["DigitStream"]
+
+
+class DigitStream:
+    """Pull-based free-format digit generation."""
+
+    def __init__(self, v: Flonum, base: int = 10,
+                 mode: ReaderMode = ReaderMode.NEAREST_EVEN,
+                 tie: TieBreak = TieBreak.UP,
+                 scaler: Optional[Scaler] = None):
+        if base < 2 or base > 36:
+            raise RangeError(f"output base must be in 2..36, got {base}")
+        if not v.is_finite or v.sign or v.is_zero:
+            raise RangeError("DigitStream requires a positive finite value")
+        if scaler is None:
+            scaler = scale_estimate
+        self.base = base
+        self.tie = tie
+        sv_ = adjust_for_mode(v, *initial_scaled_value(v), mode)
+        self._low_ok = sv_.low_ok
+        self._high_ok = sv_.high_ok
+        self.k, self._r, self._s, self._mp, self._mm = scaler(sv_, base, v)
+        #: True once the natural (round-trip) termination was reached.
+        self.complete = False
+        self._emitted: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    def next_digit(self) -> Tuple[int, bool]:
+        """``(digit, done)``; after ``done`` the stream is exhausted.
+
+        The digit returned with ``done=True`` is the final, rounded one.
+        """
+        if self.complete:
+            raise RangeError("stream exhausted")
+        d, r = divmod(self._r, self._s)
+        tc1 = (r <= self._mm) if self._low_ok else (r < self._mm)
+        tc2 = ((r + self._mp >= self._s) if self._high_ok
+               else (r + self._mp > self._s))
+        if not tc1 and not tc2:
+            self._r = r * self.base
+            self._mp *= self.base
+            self._mm *= self.base
+            self._emitted.append(d)
+            return d, False
+        if tc1 and not tc2:
+            chosen = d
+        elif tc2 and not tc1:
+            chosen = d + 1
+        elif 2 * r < self._s:
+            chosen = d
+        elif 2 * r > self._s:
+            chosen = d + 1
+        else:
+            chosen = self.tie.choose(d)
+        self.complete = True
+        self._emitted.append(chosen)
+        return chosen, True
+
+    def __iter__(self) -> Iterator[int]:
+        while not self.complete:
+            digit, _done = self.next_digit()
+            yield digit
+
+    # ------------------------------------------------------------------
+
+    def take(self, n: int) -> DigitResult:
+        """At most ``n`` digits: natural output if it fits, else the
+        correctly rounded ``n``-digit prefix (with carry propagation)."""
+        if n < 1:
+            raise RangeError("need at least one digit")
+        if self._emitted:
+            raise RangeError("take() requires a fresh stream")
+        digits: List[int] = []
+        k = self.k
+        while len(digits) < n:
+            d, done = self.next_digit()
+            digits.append(d)
+            if done:
+                return DigitResult(k=k, digits=tuple(digits), base=self.base)
+        # Capped: round the last kept digit on the remainder.
+        r, s = self._r, self._s  # r is pre-multiplied for the next digit
+        round_up = (2 * r > self.base * s
+                    or (2 * r == self.base * s
+                        and self.tie.choose(digits[-1]) != digits[-1]))
+        if round_up:
+            i = n - 1
+            while i >= 0 and digits[i] == self.base - 1:
+                digits[i] = 0
+                i -= 1
+            if i < 0:
+                digits[0] = 1
+                digits[1:] = [0] * (n - 1)
+                k += 1
+            else:
+                digits[i] += 1
+        return DigitResult(k=k, digits=tuple(digits), base=self.base)

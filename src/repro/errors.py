@@ -1,0 +1,26 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FormatError(ReproError):
+    """A floating-point format was constructed or used inconsistently."""
+
+
+class DecodeError(ReproError):
+    """A bit pattern or component tuple does not denote a valid value."""
+
+
+class ParseError(ReproError):
+    """A numeric string could not be parsed."""
+
+
+class RangeError(ReproError):
+    """A value falls outside the representable range of a format."""
+
+
+class NotRepresentableError(ReproError):
+    """An operation was asked to produce a value the format cannot hold
+    exactly (e.g. converting a binary128 value to a Python float)."""

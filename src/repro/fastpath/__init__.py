@@ -1,0 +1,85 @@
+"""Fast-path printers with exact fallback (the paper's Section-5 thread).
+
+Two heuristic converters over 64-bit fixed-point arithmetic, each of
+which either returns a *certified* result or reports failure so the
+caller can fall back to the exact algorithms:
+
+* :func:`shortest_fast` — Grisu3-style shortest round-trip digits,
+  falling back to :func:`repro.core.dragon.shortest_digits`;
+* :func:`fixed_fast` — Gay-style counted-digit conversion, falling back
+  to :func:`repro.baselines.naive_fixed.exact_fixed_digits`.
+
+``FastPathStats`` counts hits/misses for the A6 ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.core.digits import DigitResult
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.fastpath.counted import counted_fixed
+from repro.fastpath.diyfp import (
+    DiyFp,
+    cached_power_for_binary_exponent,
+    normalize,
+    normalized_boundaries,
+)
+from repro.fastpath.grisu import grisu_shortest
+from repro.floats.model import Flonum
+
+__all__ = [
+    "DiyFp",
+    "normalize",
+    "normalized_boundaries",
+    "cached_power_for_binary_exponent",
+    "grisu_shortest",
+    "counted_fixed",
+    "shortest_fast",
+    "fixed_fast",
+    "STATS",
+    "FastPathStats",
+]
+
+
+class FastPathStats:
+    """Hit/miss counters for the fast paths."""
+
+    __slots__ = ("shortest_hits", "shortest_misses", "fixed_hits",
+                 "fixed_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.shortest_hits = 0
+        self.shortest_misses = 0
+        self.fixed_hits = 0
+        self.fixed_misses = 0
+
+
+STATS = FastPathStats()
+
+
+def shortest_fast(v: Flonum, base: int = 10) -> DigitResult:
+    """Shortest digits: Grisu3 when certain, exact Burger–Dybvig else.
+
+    The combination is exact: Grisu only returns when its result provably
+    equals the exact algorithm's (conservative-reader) output.
+    """
+    result = grisu_shortest(v, base)
+    if result is not None:
+        STATS.shortest_hits += 1
+        return result
+    STATS.shortest_misses += 1
+    return shortest_digits(v, base=base, mode=ReaderMode.NEAREST_UNKNOWN)
+
+
+def fixed_fast(v: Flonum, ndigits: int, base: int = 10) -> DigitResult:
+    """``ndigits`` significant digits: counted fast path, exact fallback."""
+    result = counted_fixed(v, ndigits, base)
+    if result is not None:
+        STATS.fixed_hits += 1
+        return result
+    STATS.fixed_misses += 1
+    return exact_fixed_digits(v, ndigits=ndigits, base=base)

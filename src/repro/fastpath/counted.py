@@ -1,0 +1,128 @@
+"""Counted-digit fast path — Gay's fixed-format heuristic, modernized.
+
+The paper's Section 5: "Gay showed that floating-point arithmetic is
+sufficiently accurate in most cases when the requested number of digits
+is small; the fixed-format printing algorithm described in this paper is
+useful when these heuristics fail."  This module is that heuristic in
+its modern form (double-conversion's counted DigitGen): produce exactly
+``n`` significant digits from a 64-bit scaled significand, tracking the
+accumulated error, and *report failure* whenever the final rounding is
+not provably correct — the caller then falls back to the exact
+converter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.digits import DigitResult
+from repro.errors import RangeError
+from repro.fastpath.diyfp import cached_power_for_binary_exponent, normalize
+from repro.fastpath.grisu import _biggest_power_ten
+from repro.floats.model import Flonum
+
+__all__ = ["counted_fixed"]
+
+
+def _round_weed_counted(buffer: List[int], rest: int, ten_kappa: int,
+                        unit: int) -> Optional[int]:
+    """Round the last digit on ``rest``/``ten_kappa``, or None if unsure.
+
+    Returns the kappa adjustment (0, or +1 when a carry ripples past the
+    first digit).  ``unit`` is the accumulated error in the same scale.
+    """
+    if unit >= ten_kappa:
+        return None  # error swamps the digit position entirely
+    if ten_kappa - unit <= unit:
+        return None
+    # Safely round down?
+    if ten_kappa - rest > rest and ten_kappa - 2 * rest >= 2 * unit:
+        return 0
+    # Safely round up?
+    if rest > unit and ten_kappa - (rest - unit) <= rest - unit:
+        i = len(buffer) - 1
+        buffer[i] += 1
+        while i > 0 and buffer[i] == 10:
+            buffer[i] = 0
+            buffer[i - 1] += 1
+            i -= 1
+        if buffer[0] == 10:
+            buffer[0] = 1
+            for j in range(1, len(buffer)):
+                buffer[j] = 0
+            return 1
+        return 0
+    return None
+
+
+def _digit_gen_counted(w_f: int, w_e: int, requested: int
+                       ) -> Optional[Tuple[List[int], int]]:
+    """``requested`` digits of ``w = w_f * 2**w_e``, or None if unsure."""
+    unit = 1
+    one_e = -w_e
+    one_f = 1 << one_e
+    integrals = w_f >> one_e
+    fractionals = w_f & (one_f - 1)
+    divisor, kappa = _biggest_power_ten(integrals)
+    buffer: List[int] = []
+
+    while kappa > 0:
+        digit, integrals = divmod(integrals, divisor)
+        buffer.append(digit)
+        requested -= 1
+        kappa -= 1
+        if requested == 0:
+            break
+        divisor //= 10
+
+    if requested == 0:
+        rest = (integrals << one_e) + fractionals
+        adjust = _round_weed_counted(buffer, rest, divisor << one_e, unit)
+        if adjust is None:
+            return None
+        return buffer, kappa + adjust
+
+    while requested > 0:
+        fractionals *= 10
+        unit *= 10
+        digit = fractionals >> one_e
+        buffer.append(digit)
+        fractionals &= one_f - 1
+        requested -= 1
+        kappa -= 1
+
+    adjust = _round_weed_counted(buffer, fractionals, one_f, unit)
+    if adjust is None:
+        return None
+    return buffer, kappa + adjust
+
+
+def counted_fixed(v: Flonum, ndigits: int, base: int = 10
+                  ) -> Optional[DigitResult]:
+    """``ndigits`` significant digits of ``v`` via 64-bit arithmetic.
+
+    Returns None (caller falls back to the exact converter) when the
+    request is out of the heuristic's certainty range — too many digits
+    for the error budget, a near-tie, or a non-decimal/oversized format.
+    Leading zeros produced by a downward-crossing first digit are also
+    treated as failures for simplicity.
+    """
+    if base != 10 or ndigits < 1:
+        return None
+    if not v.is_finite or v.sign or v.is_zero:
+        raise RangeError("counted_fixed requires a positive finite value")
+    if v.fmt.radix != 2 or v.fmt.precision > 62:
+        return None
+    if ndigits > 17:
+        return None  # 64 bits can never certify more
+    w = normalize(v.f, v.e)
+    power, mk, _exact = cached_power_for_binary_exponent(w.e)
+    scaled = w.times(power)
+    generated = _digit_gen_counted(scaled.f, scaled.e, ndigits)
+    if generated is None:
+        return None
+    digits, kappa = generated
+    if digits[0] == 0:
+        return None
+    k = mk + kappa + len(digits)
+    return DigitResult(k=k, digits=tuple(digits), base=10)

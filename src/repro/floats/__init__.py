@@ -1,0 +1,87 @@
+"""Exact models of IEEE-754 (and toy) floating-point representations.
+
+This package is the representation substrate of the reproduction: it decodes
+bit patterns, models values exactly over Python integers/rationals, and
+provides the successor/predecessor gap arithmetic the printing algorithm is
+built on (paper Section 2.1).
+"""
+
+from repro.floats.arith import add, div, fma, mul, sqrt, sub
+from repro.floats.decompose import (
+    FloatClass,
+    bits_to_float,
+    bits_to_float32,
+    classify_fields,
+    decode_fields,
+    decompose_float,
+    encode_components,
+    float32_to_bits,
+    float_to_bits,
+    join_bits,
+    split_bits,
+)
+from repro.floats.formats import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    DECIMAL32,
+    DECIMAL64,
+    DECIMAL128,
+    STANDARD_FORMATS,
+    X87_80,
+    FloatFormat,
+)
+from repro.floats.model import Flonum, FlonumKind
+from repro.floats.ulp import (
+    gap_high,
+    gap_low,
+    midpoint_high,
+    midpoint_low,
+    predecessor,
+    rounding_interval,
+    successor,
+    ulp,
+    ulp_exponent,
+)
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "sqrt",
+    "fma",
+    "FloatClass",
+    "FloatFormat",
+    "Flonum",
+    "FlonumKind",
+    "BINARY16",
+    "BINARY32",
+    "BINARY64",
+    "BINARY128",
+    "X87_80",
+    "DECIMAL32",
+    "DECIMAL64",
+    "DECIMAL128",
+    "STANDARD_FORMATS",
+    "bits_to_float",
+    "bits_to_float32",
+    "classify_fields",
+    "decode_fields",
+    "decompose_float",
+    "encode_components",
+    "float32_to_bits",
+    "float_to_bits",
+    "join_bits",
+    "split_bits",
+    "successor",
+    "predecessor",
+    "ulp",
+    "ulp_exponent",
+    "gap_high",
+    "gap_low",
+    "midpoint_high",
+    "midpoint_low",
+    "rounding_interval",
+]

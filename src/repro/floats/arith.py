@@ -1,0 +1,197 @@
+"""Correctly rounded Flonum arithmetic.
+
+Exact-rational evaluation followed by one correctly rounded conversion
+into the result format — the textbook definition of IEEE operations,
+executable for every format and rounding mode this package models.  The
+printing algorithms never need this module; it exists because a float
+*model* without arithmetic is only half a substrate: the test suite
+cross-checks it against the host FPU (binary64), and examples use it to
+build format-agnostic numerics.
+
+NaN propagation is simplified (any NaN in → NaN out, no payloads);
+signed-zero results follow IEEE 754 §6.3.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import isqrt
+
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.reader.exact import ilog, round_rational
+
+__all__ = ["add", "sub", "mul", "div", "sqrt", "fma"]
+
+
+def _round_signed(value: Fraction, fmt, mode: ReaderMode,
+                  negative_zero: bool) -> Flonum:
+    """Round an exact rational into ``fmt``; pick the zero sign per IEEE."""
+    if value == 0:
+        return Flonum.zero(fmt, 1 if negative_zero else 0)
+    negative = value < 0
+    mag = -value if negative else value
+    return round_rational(mag.numerator, mag.denominator, fmt, mode,
+                          negative=negative)
+
+
+def _binary_common(a: Flonum, b: Flonum) -> None:
+    if a.fmt != b.fmt:
+        raise RangeError("operands must share a format")
+
+
+def add(a: Flonum, b: Flonum, mode: ReaderMode = ReaderMode.NEAREST_EVEN
+        ) -> Flonum:
+    """IEEE addition: exact sum, one rounding."""
+    _binary_common(a, b)
+    if a.is_nan or b.is_nan:
+        return Flonum.nan(a.fmt)
+    if a.is_infinite or b.is_infinite:
+        if a.is_infinite and b.is_infinite and a.sign != b.sign:
+            return Flonum.nan(a.fmt)
+        inf = a if a.is_infinite else b
+        return Flonum.infinity(a.fmt, inf.sign)
+    total = a.to_fraction() + b.to_fraction()
+    # IEEE 754 §6.3: an exact zero sum of opposite-signed operands is
+    # +0 except under roundTowardNegative; x + x keeps x's sign.
+    if total == 0:
+        if a.is_zero and b.is_zero and a.sign == b.sign:
+            neg_zero = bool(a.sign)
+        else:
+            neg_zero = mode is ReaderMode.TOWARD_NEGATIVE
+        return Flonum.zero(a.fmt, 1 if neg_zero else 0)
+    return _round_signed(total, a.fmt, mode, False)
+
+
+def sub(a: Flonum, b: Flonum, mode: ReaderMode = ReaderMode.NEAREST_EVEN
+        ) -> Flonum:
+    """IEEE subtraction: ``a + (-b)``."""
+    return add(a, b.negate() if not b.is_nan else b, mode)
+
+
+def mul(a: Flonum, b: Flonum, mode: ReaderMode = ReaderMode.NEAREST_EVEN
+        ) -> Flonum:
+    """IEEE multiplication: exact product, one rounding."""
+    _binary_common(a, b)
+    if a.is_nan or b.is_nan:
+        return Flonum.nan(a.fmt)
+    sign = a.sign ^ b.sign
+    if a.is_infinite or b.is_infinite:
+        if a.is_zero or b.is_zero:
+            return Flonum.nan(a.fmt)
+        return Flonum.infinity(a.fmt, sign)
+    if a.is_zero or b.is_zero:
+        return Flonum.zero(a.fmt, sign)
+    product = a.to_fraction() * b.to_fraction()
+    return _round_signed(product, a.fmt, mode, bool(sign))
+
+
+def div(a: Flonum, b: Flonum, mode: ReaderMode = ReaderMode.NEAREST_EVEN
+        ) -> Flonum:
+    """IEEE division: exact quotient, one rounding."""
+    _binary_common(a, b)
+    if a.is_nan or b.is_nan:
+        return Flonum.nan(a.fmt)
+    sign = a.sign ^ b.sign
+    if a.is_infinite:
+        if b.is_infinite:
+            return Flonum.nan(a.fmt)
+        return Flonum.infinity(a.fmt, sign)
+    if b.is_infinite:
+        return Flonum.zero(a.fmt, sign)
+    if b.is_zero:
+        if a.is_zero:
+            return Flonum.nan(a.fmt)
+        return Flonum.infinity(a.fmt, sign)
+    if a.is_zero:
+        return Flonum.zero(a.fmt, sign)
+    quotient = a.to_fraction() / b.to_fraction()
+    return _round_signed(quotient, a.fmt, mode, bool(sign))
+
+
+def fma(a: Flonum, b: Flonum, c: Flonum,
+        mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> Flonum:
+    """Fused multiply-add: ``a*b + c`` with a single rounding."""
+    _binary_common(a, b)
+    _binary_common(a, c)
+    if a.is_nan or b.is_nan or c.is_nan:
+        return Flonum.nan(a.fmt)
+    if a.is_infinite or b.is_infinite:
+        prod = mul(a, b, mode)  # handles inf*0 -> NaN
+        return add(prod, c, mode)
+    if c.is_infinite:
+        return Flonum.infinity(a.fmt, c.sign)
+    total = a.to_fraction() * b.to_fraction() + c.to_fraction()
+    if total == 0:
+        # Exact cancellation: sign rules mirror addition's, with the
+        # product's sign standing in for an operand's.
+        prod_sign = a.sign ^ b.sign
+        if (a.is_zero or b.is_zero) and c.is_zero and prod_sign == c.sign:
+            neg_zero = bool(c.sign)
+        else:
+            neg_zero = mode is ReaderMode.TOWARD_NEGATIVE
+        return Flonum.zero(a.fmt, 1 if neg_zero else 0)
+    return _round_signed(total, a.fmt, mode, False)
+
+
+def sqrt(a: Flonum, mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> Flonum:
+    """IEEE square root, correctly rounded via integer ``isqrt``.
+
+    The significand is computed as the floor square root of the scaled
+    exact value; the rounding decision compares ``v`` against the exact
+    square of the candidate midpoint, so no irrational value is ever
+    approximated.
+    """
+    fmt = a.fmt
+    if a.is_nan:
+        return a
+    if a.is_zero:
+        return a  # sqrt(±0) = ±0
+    if a.is_negative:
+        return Flonum.nan(fmt)
+    if a.is_infinite:
+        return a
+    b = fmt.radix
+    value = a.to_fraction()
+    # Exponent window: result in [b**(p-1), b**p) * b**t.
+    e2 = ilog(value.numerator, value.denominator, b)  # b**e2 <= v < b**(e2+1)
+    t = e2 // 2 - (fmt.precision - 1)
+    if t < fmt.min_e:
+        t = fmt.min_e
+    # m = floor(sqrt(v / b**(2t))), exact.
+    scaled = value / Fraction(b) ** (2 * t)
+    m = isqrt(scaled.numerator // scaled.denominator)
+    # floor(sqrt(floor(x))) == floor(sqrt(x)) needs exact x when x < 1 is
+    # impossible here; for fractional scaled, refine by comparison.
+    while Fraction((m + 1) ** 2) <= scaled:
+        m += 1
+    while Fraction(m**2) > scaled:
+        m -= 1
+    # Rounding decision: compare v/b^(2t) with the exact squares of the
+    # candidate (m) and the midpoint (m + 1/2) — no irrational appears.
+    exact = Fraction(m * m) == scaled
+    if mode is ReaderMode.TOWARD_POSITIVE:
+        chosen = m if exact else m + 1
+    elif mode in (ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_NEGATIVE):
+        chosen = m
+    else:  # nearest family
+        midpoint_sq = Fraction((2 * m + 1) ** 2, 4)
+        if scaled > midpoint_sq:
+            chosen = m + 1
+        elif scaled < midpoint_sq:
+            chosen = m
+        elif mode is ReaderMode.NEAREST_AWAY:
+            chosen = m + 1
+        elif mode is ReaderMode.NEAREST_TO_ZERO:
+            chosen = m
+        else:
+            chosen = m if m % 2 == 0 else m + 1
+    if chosen >= fmt.mantissa_limit:
+        chosen //= b
+        t += 1
+    if t > fmt.max_e:  # pragma: no cover - sqrt cannot overflow a format
+        return Flonum.infinity(fmt, 0)
+    if chosen == 0:
+        return Flonum.zero(fmt)
+    return Flonum.finite(0, chosen, t, fmt)

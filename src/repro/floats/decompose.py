@@ -1,0 +1,182 @@
+"""Bit-level encode/decode between IEEE bit patterns and components.
+
+The functions here translate between three representations:
+
+* raw encodings (``int`` bit patterns of ``fmt.total_bits`` bits),
+* field tuples ``(sign, biased_exponent, mantissa_field)``,
+* the paper's value components ``(sign, f, e)`` with ``v = ±f * 2**e``.
+
+Python ``float`` objects are bridged through the binary64 (and, for
+completeness, binary32) layouts using :mod:`struct`.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+from typing import Tuple
+
+from repro.errors import DecodeError, FormatError, RangeError
+from repro.floats.formats import BINARY32, BINARY64, FloatFormat
+
+__all__ = [
+    "FloatClass",
+    "split_bits",
+    "join_bits",
+    "classify_fields",
+    "decode_fields",
+    "encode_components",
+    "float_to_bits",
+    "bits_to_float",
+    "float32_to_bits",
+    "bits_to_float32",
+    "decompose_float",
+]
+
+
+class FloatClass(Enum):
+    """Classification of an encoded floating-point datum."""
+
+    ZERO = "zero"
+    DENORMAL = "denormal"
+    NORMAL = "normal"
+    INFINITE = "infinite"
+    NAN = "nan"
+
+
+def split_bits(bits: int, fmt: FloatFormat) -> Tuple[int, int, int]:
+    """Split a raw encoding into ``(sign, biased_exponent, mantissa_field)``."""
+    total = fmt.total_bits
+    if not 0 <= bits < (1 << total):
+        raise DecodeError(
+            f"bit pattern {bits:#x} does not fit in {total} bits"
+        )
+    mwidth = fmt.mantissa_field_width
+    mantissa = bits & ((1 << mwidth) - 1)
+    biased = (bits >> mwidth) & ((1 << fmt.exponent_width) - 1)
+    sign = bits >> (mwidth + fmt.exponent_width)
+    return sign, biased, mantissa
+
+
+def join_bits(sign: int, biased: int, mantissa: int,
+              fmt: FloatFormat) -> int:
+    """Assemble a raw encoding from its fields (inverse of split_bits)."""
+    mwidth = fmt.mantissa_field_width
+    if sign not in (0, 1):
+        raise DecodeError(f"sign must be 0 or 1, got {sign}")
+    if not 0 <= biased <= fmt.max_biased_exponent:
+        raise DecodeError(f"biased exponent {biased} out of range")
+    if not 0 <= mantissa < (1 << mwidth):
+        raise DecodeError(f"mantissa field {mantissa} out of range")
+    return (sign << (mwidth + fmt.exponent_width)) | (biased << mwidth) | mantissa
+
+
+def classify_fields(biased: int, mantissa: int,
+                    fmt: FloatFormat) -> FloatClass:
+    """Classify a field pair per the IEEE encoding rules (Section 2.1)."""
+    if fmt.explicit_leading_bit:
+        # x87: the integer bit is part of the mantissa field.
+        integer_bit = mantissa >> (fmt.precision - 1)
+        fraction = mantissa & (fmt.hidden_limit - 1)
+        if biased == fmt.max_biased_exponent:
+            return FloatClass.NAN if fraction else FloatClass.INFINITE
+        if biased == 0:
+            return FloatClass.DENORMAL if mantissa else FloatClass.ZERO
+        if not integer_bit:
+            # "Unnormal" x87 values; we treat them as invalid encodings.
+            raise DecodeError("unnormal x87 encoding (integer bit clear)")
+        return FloatClass.NORMAL
+    if biased == fmt.max_biased_exponent:
+        return FloatClass.NAN if mantissa else FloatClass.INFINITE
+    if biased == 0:
+        return FloatClass.DENORMAL if mantissa else FloatClass.ZERO
+    return FloatClass.NORMAL
+
+
+def decode_fields(sign: int, biased: int, mantissa: int,
+                  fmt: FloatFormat) -> Tuple[FloatClass, int, int, int]:
+    """Decode fields to ``(class, sign, f, e)`` with ``v = ±f * 2**e``.
+
+    For IEEE double precision this realizes the paper's decoding: a normal
+    number with biased exponent ``be`` and mantissa field ``m`` has value
+    ``±(2**52 + m) * 2**(be - 1075)``; a denormal has ``±m * 2**-1074``.
+    """
+    cls = classify_fields(biased, mantissa, fmt)
+    if cls in (FloatClass.INFINITE, FloatClass.NAN):
+        return cls, sign, 0, 0
+    if cls is FloatClass.ZERO:
+        return cls, sign, 0, fmt.min_e
+    if cls is FloatClass.DENORMAL:
+        return cls, sign, mantissa, fmt.min_e
+    # Normal.
+    if fmt.explicit_leading_bit:
+        f = mantissa  # integer bit is stored
+    else:
+        f = fmt.hidden_limit + mantissa
+    e = biased - fmt.bias - (fmt.precision - 1)
+    return cls, sign, f, e
+
+
+def encode_components(sign: int, f: int, e: int, fmt: FloatFormat) -> int:
+    """Encode ``±f * 2**e`` (canonical finite components) to a bit pattern."""
+    if not fmt.valid_finite(f, e):
+        raise RangeError(
+            f"(f={f}, e={e}) is not canonical for {fmt.name}"
+        )
+    if f == 0:
+        return join_bits(sign, 0, 0, fmt)
+    if f < fmt.hidden_limit:
+        # Denormal: biased exponent 0, mantissa stored as-is.
+        return join_bits(sign, 0, f, fmt)
+    biased = e + fmt.bias + (fmt.precision - 1)
+    if fmt.explicit_leading_bit:
+        mantissa = f
+    else:
+        mantissa = f - fmt.hidden_limit
+    if biased >= fmt.max_biased_exponent:
+        raise RangeError(f"exponent {e} overflows {fmt.name}")
+    return join_bits(sign, biased, mantissa, fmt)
+
+
+# ----------------------------------------------------------------------
+# Python float bridging.
+# ----------------------------------------------------------------------
+
+
+def float_to_bits(x: float) -> int:
+    """Raw binary64 bit pattern of a Python float."""
+    return struct.unpack(">Q", struct.pack(">d", x))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Python float from a raw binary64 bit pattern."""
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def float32_to_bits(x: float) -> int:
+    """Raw binary32 bit pattern of a Python float (rounded to single)."""
+    return struct.unpack(">I", struct.pack(">f", x))[0]
+
+
+def bits_to_float32(bits: int) -> float:
+    """Python float holding the exact value of a binary32 bit pattern."""
+    return struct.unpack(">f", struct.pack(">I", bits))[0]
+
+
+def decompose_float(x: float, fmt: FloatFormat = BINARY64
+                    ) -> Tuple[FloatClass, int, int, int]:
+    """Decompose a Python float into ``(class, sign, f, e)``.
+
+    ``fmt`` must be binary64 or binary32; for binary32 the float is packed
+    (i.e. rounded) to single precision first.
+    """
+    if fmt is BINARY64 or fmt == BINARY64:
+        bits = float_to_bits(x)
+    elif fmt is BINARY32 or fmt == BINARY32:
+        bits = float32_to_bits(x)
+    else:
+        raise FormatError(
+            f"cannot decompose a Python float as {fmt.name}; "
+            "construct a Flonum from bits or components instead"
+        )
+    return decode_fields(*split_bits(bits, fmt), fmt)

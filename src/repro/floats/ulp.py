@@ -1,0 +1,114 @@
+"""Successor/predecessor and gap arithmetic (paper Section 2.1).
+
+The free-format algorithm is driven entirely by the *gaps* between adjacent
+floating-point numbers: every real strictly between the midpoints
+``(v- + v)/2`` and ``(v + v+)/2`` rounds to ``v``.  This module computes
+``v+``, ``v-`` and the gap half-widths exactly.
+
+All helpers operate on positive finite values; the printing drivers reduce
+the general case to this one by handling sign and specials up front.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+__all__ = [
+    "successor",
+    "predecessor",
+    "ulp_exponent",
+    "ulp",
+    "gap_high",
+    "gap_low",
+    "midpoint_high",
+    "midpoint_low",
+    "rounding_interval",
+]
+
+
+def successor(v: Flonum) -> Flonum:
+    """``v+``, the next larger floating-point number.
+
+    Implements the paper's case analysis for ``f > 0``: normally
+    ``v+ = (f + 1) * b**e``; when ``f + 1`` no longer fits the mantissa
+    (``f + 1 == b**p``) the successor is ``b**(p-1) * b**(e+1)``; at the
+    maximum exponent that overflows to ``+inf``.
+    """
+    fmt = v.fmt
+    if not v.is_finite or v.sign or v.f == 0:
+        raise RangeError("successor is defined for positive finite values")
+    f, e = v.f, v.e
+    if f + 1 < fmt.mantissa_limit:
+        return Flonum.finite(0, f + 1, e, fmt)
+    if e == fmt.max_e:
+        return Flonum.infinity(fmt, 0)
+    return Flonum.finite(0, fmt.hidden_limit, e + 1, fmt)
+
+
+def predecessor(v: Flonum) -> Flonum:
+    """``v-``, the next smaller floating-point number.
+
+    For most ``v`` this is ``(f - 1) * b**e``; when ``f == b**(p-1)`` and
+    ``e`` exceeds the minimum exponent the gap below is narrower:
+    ``v- = (b**p - 1) * b**(e-1)``.  The predecessor of the smallest
+    positive denormal is zero.
+    """
+    fmt = v.fmt
+    if not v.is_finite or v.sign or v.f == 0:
+        raise RangeError("predecessor is defined for positive finite values")
+    f, e = v.f, v.e
+    if f != fmt.hidden_limit or e == fmt.min_e:
+        if f - 1 == 0 and e == fmt.min_e:
+            return Flonum.zero(fmt)
+        if f - 1 < fmt.hidden_limit and e != fmt.min_e:
+            # Unreachable for canonical inputs: f == hidden_limit is the
+            # only canonical mantissa whose decrement denormalizes.
+            raise RangeError("non-canonical input")
+        return Flonum.finite(0, f - 1, e, fmt)
+    return Flonum.finite(0, fmt.mantissa_limit - 1, e - 1, fmt)
+
+
+def ulp_exponent(v: Flonum) -> int:
+    """The exponent ``e`` such that one unit in the last place is ``b**e``."""
+    if not v.is_finite:
+        raise RangeError("ulp is defined for finite values")
+    return v.e
+
+
+def ulp(v: Flonum) -> Fraction:
+    """One unit in the last place of ``v`` as an exact rational."""
+    return Fraction(v.fmt.radix) ** ulp_exponent(v)
+
+
+def gap_high(v: Flonum) -> Fraction:
+    """``v+ - v`` exactly (``+inf`` successor would raise)."""
+    succ = successor(v)
+    if succ.is_infinite:
+        # The gap above the largest finite value: one ulp, by convention
+        # the same width as between its neighbours.
+        return ulp(v)
+    return succ.to_fraction() - v.to_fraction()
+
+
+def gap_low(v: Flonum) -> Fraction:
+    """``v - v-`` exactly."""
+    return v.to_fraction() - predecessor(v).to_fraction()
+
+
+def midpoint_high(v: Flonum) -> Fraction:
+    """``(v + v+)/2`` — the upper edge of the rounding range of ``v``."""
+    return v.to_fraction() + gap_high(v) / 2
+
+
+def midpoint_low(v: Flonum) -> Fraction:
+    """``(v- + v)/2`` — the lower edge of the rounding range of ``v``."""
+    return v.to_fraction() - gap_low(v) / 2
+
+
+def rounding_interval(v: Flonum) -> Tuple[Fraction, Fraction]:
+    """``(low, high)``: all reals strictly between them read back as ``v``."""
+    return midpoint_low(v), midpoint_high(v)

@@ -1,0 +1,24 @@
+"""Rendering: notation assembly, printf-style formatting, shortest repr."""
+
+from repro.format.hexfloat import format_hex, parse_hex, python_hex
+
+from repro.format.notation import (
+    DIGIT_CHARS,
+    NotationOptions,
+    positional_string,
+    render_fixed,
+    render_shortest,
+    scientific_string,
+)
+
+__all__ = [
+    "format_hex",
+    "parse_hex",
+    "python_hex",
+    "DIGIT_CHARS",
+    "NotationOptions",
+    "positional_string",
+    "render_fixed",
+    "render_shortest",
+    "scientific_string",
+]

@@ -1,0 +1,164 @@
+"""C99 hexadecimal floating-point notation (``%a`` / ``float.hex``).
+
+Hex-float is the exact interchange syntax: every finite binary float has
+a finite hex representation and reading it back is lossless, which makes
+it the natural debugging complement to the paper's decimal algorithms
+(and a second, conversion-free round-trip oracle for the test suite).
+
+Provides C's ``%a`` (trailing zeros trimmed, optional precision with
+correct rounding), CPython's ``float.hex`` surface form, and a correctly
+rounding parser for any binary format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.rounding import ReaderMode
+from repro.errors import FormatError, ParseError
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.reader.exact import round_rational
+
+__all__ = ["format_hex", "python_hex", "parse_hex"]
+
+_HEX_DIGITS = "0123456789abcdef"
+
+_HEX_RE = re.compile(
+    r"""^(?P<sign>[+-])?
+        0[xX]
+        (?P<int>[0-9a-fA-F]*)
+        (?:\.(?P<frac>[0-9a-fA-F]*))?
+        [pP](?P<exp>[+-]?[0-9]+)$""",
+    re.VERBOSE,
+)
+
+
+def _split_hex_mantissa(v: Flonum):
+    """``(lead, frac_hexits, p2)`` with |v| = lead.frac * 2**p2.
+
+    Normals are normalized to a leading hexit of 1; denormals keep a
+    leading 0 and the minimum normal exponent, as C and CPython print
+    them.
+    """
+    fmt = v.fmt
+    f, e = v.f, v.e
+    if v.is_denormal:
+        lead = 0
+        p2 = fmt.emin
+        frac_bits = fmt.precision - 1
+    else:
+        lead = 1
+        p2 = e + fmt.precision - 1
+        f -= fmt.hidden_limit
+        frac_bits = fmt.precision - 1
+    # Left-align the fraction to a whole number of hexits.
+    pad = (-frac_bits) % 4
+    frac = f << pad
+    nhex = (frac_bits + pad) // 4
+    hexits = [(frac >> (4 * (nhex - 1 - i))) & 0xF for i in range(nhex)]
+    return lead, hexits, p2
+
+
+def python_hex(x) -> str:
+    """Exactly ``float.hex(x)`` via the Flonum model (binary64)."""
+    v = x if isinstance(x, Flonum) else Flonum.from_float(x)
+    if v.is_nan:
+        return "nan"
+    if v.is_infinite:
+        return "-inf" if v.sign else "inf"
+    sign = "-" if v.is_negative else ""
+    if v.is_zero:
+        return sign + "0x0.0p+0"
+    lead, hexits, p2 = _split_hex_mantissa(v.abs())
+    body = "".join(_HEX_DIGITS[h] for h in hexits)
+    return f"{sign}0x{lead}.{body}p{'+' if p2 >= 0 else '-'}{abs(p2)}"
+
+
+def format_hex(x, precision: Optional[int] = None, upper: bool = False,
+               flags: str = "") -> str:
+    """C's ``%a``: trimmed by default, correctly rounded to ``precision``
+    hexits after the point when given."""
+    v = x if isinstance(x, Flonum) else Flonum.from_float(x)
+    if v.is_nan:
+        return "NAN" if upper else "nan"
+    if v.is_infinite:
+        body = "INF" if upper else "inf"
+        return ("-" if v.sign else "") + body
+    sign = "-" if v.is_negative else ("+" if "+" in flags else "")
+    if v.is_zero:
+        frac = "." + "0" * precision if precision else (
+            "." if "#" in flags else "")
+        out = f"0x0{frac}p+0"
+        return sign + (out.upper().replace("X", "x") if upper else out)
+    lead, hexits, p2 = _split_hex_mantissa(v.abs())
+    if precision is not None:
+        lead, hexits, p2 = _round_hexits(lead, hexits, p2, precision)
+    else:
+        while hexits and hexits[-1] == 0:
+            hexits.pop()
+    body = "".join(_HEX_DIGITS[h] for h in hexits)
+    frac = f".{body}" if body else ("." if "#" in flags else "")
+    out = f"0x{lead}{frac}p{'+' if p2 >= 0 else '-'}{abs(p2)}"
+    if upper:
+        out = out.upper().replace("0X", "0X")
+        out = "0X" + out[2:]
+    return sign + out
+
+
+def _round_hexits(lead: int, hexits, p2: int, precision: int):
+    """Round ``lead.hexits`` to ``precision`` fractional hexits,
+    nearest-even (the IEEE default C uses)."""
+    if precision >= len(hexits):
+        return lead, hexits + [0] * (precision - len(hexits)), p2
+    kept = hexits[:precision]
+    dropped = hexits[precision:]
+    half = dropped[0] >= 8
+    exact_half = dropped[0] == 8 and all(d == 0 for d in dropped[1:])
+    last = kept[-1] if kept else lead
+    round_up = half and not (exact_half and last % 2 == 0)
+    if round_up:
+        i = precision - 1
+        while i >= 0 and kept[i] == 15:
+            kept[i] = 0
+            i -= 1
+        if i >= 0:
+            kept[i] += 1
+        else:
+            lead += 1
+            if lead == 2 and precision == 0:
+                pass  # 1.xxx -> 2.0 stays a valid leading hexit
+            elif lead == 16:
+                lead = 1
+                p2 += 4
+    return lead, kept, p2
+
+
+def parse_hex(text: str, fmt: FloatFormat = BINARY64,
+              mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> Flonum:
+    """Correctly rounded value of a C99 hex-float literal."""
+    s = text.strip()
+    low = s.lower()
+    if low in ("inf", "+inf", "-inf", "infinity", "+infinity", "-infinity"):
+        return Flonum.infinity(fmt, 1 if low.startswith("-") else 0)
+    if low in ("nan", "+nan", "-nan"):
+        return Flonum.nan(fmt)
+    m = _HEX_RE.match(s)
+    if m is None:
+        raise ParseError(f"malformed hex float: {text!r}")
+    if fmt.radix != 2:
+        raise FormatError("hex floats describe radix-2 values")
+    int_part = m.group("int") or ""
+    frac_part = m.group("frac") or ""
+    if not int_part and not frac_part:
+        raise ParseError(f"no hexits in: {text!r}")
+    mantissa = int(int_part + frac_part, 16) if (int_part + frac_part) else 0
+    negative = m.group("sign") == "-"
+    if mantissa == 0:
+        return Flonum.zero(fmt, 1 if negative else 0)
+    e2 = int(m.group("exp")) - 4 * len(frac_part)
+    if e2 >= 0:
+        return round_rational(mantissa * 2**e2, 1, fmt, mode,
+                              negative=negative)
+    return round_rational(mantissa, 2**-e2, fmt, mode, negative=negative)

@@ -1,0 +1,184 @@
+"""Digit-string assembly: positional and scientific notation.
+
+The core algorithms produce *digit results* — positioned digit vectors.
+This module turns them into strings: placing the radix point, padding
+zeros, choosing positional vs scientific form, and rendering the paper's
+``#`` insignificance marks.
+
+Digit values above 9 use lowercase letters (bases up to 36).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.digits import DigitResult
+from repro.core.fixed import FixedResult
+from repro.errors import RangeError
+
+__all__ = [
+    "DIGIT_CHARS",
+    "NotationOptions",
+    "render_shortest",
+    "render_fixed",
+    "scientific_string",
+    "engineering_string",
+    "positional_string",
+]
+
+DIGIT_CHARS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class NotationOptions:
+    """Rendering knobs.
+
+    ``exp_low``/``exp_high`` bound the exponents rendered positionally in
+    ``style='auto'`` (Python repr uses the equivalent of (-4, 16]).
+    ``python_repr`` switches to CPython's surface conventions: two-digit
+    signed exponents (``e+23``, ``e-05``) and a trailing ``.0`` on
+    positional integer values.
+    """
+
+    style: str = "auto"  # 'auto' | 'positional' | 'scientific' | 'engineering'
+    exp_low: int = -4
+    exp_high: int = 16
+    exp_char: str = "e"
+    hash_char: str = "#"
+    python_repr: bool = False
+    #: Digit-group separator for positional integer parts ("" = none).
+    group_char: str = ""
+    group_size: int = 3
+
+    def __post_init__(self) -> None:
+        if self.style not in ("auto", "positional", "scientific",
+                              "engineering"):
+            raise RangeError(f"unknown style {self.style!r}")
+        if self.group_size < 1:
+            raise RangeError("group_size must be >= 1")
+
+
+DEFAULT_OPTIONS = NotationOptions()
+
+
+def _chars(digits) -> str:
+    return "".join(DIGIT_CHARS[d] for d in digits)
+
+
+def _exponent_str(exp: int, opts: NotationOptions) -> str:
+    if not opts.python_repr:
+        return f"{opts.exp_char}{exp}"
+    return f"{opts.exp_char}{'+' if exp >= 0 else '-'}{abs(exp):02d}"
+
+
+def scientific_string(digits, k: int, opts: NotationOptions = DEFAULT_OPTIONS,
+                      hashes: int = 0) -> str:
+    """``d.ddd…e<k-1>`` for digits ``0.d1…dn × B**k``."""
+    body = _chars(digits) + opts.hash_char * hashes
+    first, rest = body[0], body[1:]
+    mantissa = f"{first}.{rest}" if rest else first
+    return mantissa + _exponent_str(k - 1, opts)
+
+
+def _group(int_part: str, opts: NotationOptions) -> str:
+    """Insert group separators into an integer-part string."""
+    if not opts.group_char or len(int_part) <= opts.group_size:
+        return int_part
+    size = opts.group_size
+    first = len(int_part) % size or size
+    chunks = [int_part[:first]]
+    for i in range(first, len(int_part), size):
+        chunks.append(int_part[i:i + size])
+    return opts.group_char.join(chunks)
+
+
+def positional_string(digits, k: int, opts: NotationOptions = DEFAULT_OPTIONS,
+                      hashes: int = 0, min_position: int = 0) -> str:
+    """Plain decimal-point form for digits ``0.d1…dn × B**k``.
+
+    ``min_position`` is the weight exponent of the last rendered position
+    (``FixedResult.position``); free-format callers leave it at 0 so
+    integers render without a point.
+    """
+    body = _chars(digits) + opts.hash_char * hashes
+    n = len(body)
+    if k <= 0:
+        return "0." + "0" * (-k) + body
+    if n <= k:
+        # All digits are integral.  A numeral always extends to position 0,
+        # so positions below the body (and below a positive stop position)
+        # get filler: zeros normally, # when the tail is insignificant.
+        filler = opts.hash_char if hashes else "0"
+        int_fill = filler * (k - n)
+        frac = ""
+        if min_position < 0:
+            frac = "." + filler * (-min_position)
+        return _group(body + int_fill, opts) + frac
+    return _group(body[:k], opts) + "." + body[k:]
+
+
+def engineering_string(digits, k: int,
+                       opts: NotationOptions = DEFAULT_OPTIONS,
+                       hashes: int = 0) -> str:
+    """Engineering form: exponent a multiple of 3, mantissa in [1, 1000).
+
+    ``0.d1…dn × B**k`` becomes ``ddd.ddd…e<3m>``; only meaningful for
+    decimal output (the convention is about SI prefixes).
+    """
+    exp = k - 1
+    shift = exp % 3  # 0, 1 or 2 extra integral digits
+    eng_exp = exp - shift
+    body = _chars(digits) + opts.hash_char * hashes
+    int_len = shift + 1
+    if len(body) < int_len:
+        body += "0" * (int_len - len(body))
+    mantissa = body[:int_len]
+    frac = body[int_len:]
+    if frac:
+        mantissa += "." + frac
+    return mantissa + _exponent_str(eng_exp, opts)
+
+
+def render_shortest(result: DigitResult,
+                    opts: NotationOptions = DEFAULT_OPTIONS) -> str:
+    """Render a free-format result, choosing the form by exponent size."""
+    k = result.k
+    if opts.style == "engineering":
+        return engineering_string(result.digits, k, opts)
+    if opts.style == "scientific":
+        return scientific_string(result.digits, k, opts)
+    if opts.style == "positional":
+        s = positional_string(result.digits, k, opts)
+        return _maybe_point_zero(s, opts)
+    if opts.exp_low < k <= opts.exp_high:
+        s = positional_string(result.digits, k, opts)
+        return _maybe_point_zero(s, opts)
+    return scientific_string(result.digits, k, opts)
+
+
+def _maybe_point_zero(s: str, opts: NotationOptions) -> str:
+    if opts.python_repr and "." not in s:
+        return s + ".0"
+    return s
+
+
+def render_fixed(result: FixedResult,
+                 opts: NotationOptions = DEFAULT_OPTIONS) -> str:
+    """Render a fixed-format result (positional unless asked otherwise).
+
+    A rounded-to-zero result renders as ``0`` padded with zeros to the
+    requested position — all of them significant (zero is exact).
+    """
+    j = result.position
+    if result.is_zero:
+        if opts.style == "scientific":
+            return "0" + _exponent_str(j, opts)
+        return "0" + ("." + "0" * (-j) if j < 0 else "")
+    if opts.style == "scientific":
+        return scientific_string(result.digits, result.k, opts,
+                                 hashes=result.hashes)
+    if opts.style == "engineering":
+        return engineering_string(result.digits, result.k, opts,
+                                  hashes=result.hashes)
+    return positional_string(result.digits, result.k, opts,
+                             hashes=result.hashes, min_position=j)

@@ -1,0 +1,202 @@
+"""Correctly rounded ``printf``-style formatting (``%e``, ``%f``, ``%g``).
+
+Built on the exact fixed-position converter
+(:func:`repro.baselines.naive_fixed.exact_fixed_digits`), so — unlike the
+1996 systems Table 3 audits — every output here is correctly rounded.
+Semantics follow C99: precision defaults, ``%g`` trailing-zero stripping
+and style switching, the ``#`` (alternate form) flag, ``+``/space/``0``
+flags and a minimum field width.
+
+(No locale support, and ``%a`` is out of scope; the paper's experiments
+only exercise decimal output.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.core.api import to_flonum
+from repro.errors import ParseError
+from repro.floats.model import Flonum
+
+__all__ = ["format_printf", "fmt_e", "fmt_f", "fmt_g"]
+
+
+@dataclass(frozen=True)
+class _Spec:
+    flags: str
+    width: int
+    precision: int
+    conversion: str
+
+
+def _digit_str(digits) -> str:
+    return "".join(str(d) for d in digits)
+
+
+def _pad(body: str, sign: str, spec_flags: str, width: int) -> str:
+    text = sign + body
+    if len(text) >= width:
+        return text
+    if "-" in spec_flags:
+        return text + " " * (width - len(text))
+    if "0" in spec_flags:
+        return sign + "0" * (width - len(text)) + body
+    return " " * (width - len(text)) + text
+
+
+def _sign_str(negative: bool, flags: str) -> str:
+    if negative:
+        return "-"
+    if "+" in flags:
+        return "+"
+    if " " in flags:
+        return " "
+    return ""
+
+
+def _special(v: Flonum, flags: str, width: int, upper: bool):
+    if v.is_nan:
+        body = "NAN" if upper else "nan"
+        return _pad(body, _sign_str(False, flags), flags.replace("0", ""),
+                    width)
+    if v.is_infinite:
+        body = "INF" if upper else "inf"
+        return _pad(body, _sign_str(v.is_negative, flags),
+                    flags.replace("0", ""), width)
+    return None
+
+
+def fmt_e(x, precision: int = 6, flags: str = "", width: int = 0,
+          upper: bool = False) -> str:
+    """C's ``%e``: one digit, a point, ``precision`` digits, exponent."""
+    v = to_flonum(x)
+    special = _special(v, flags, width, upper)
+    if special is not None:
+        return special
+    sign = _sign_str(v.is_negative, flags)
+    exp_char = "E" if upper else "e"
+    if v.is_zero:
+        frac = "." + "0" * precision if precision else ("." if "#" in flags
+                                                        else "")
+        return _pad(f"0{frac}{exp_char}+00", sign, flags, width)
+    r = exact_fixed_digits(v.abs(), ndigits=precision + 1)
+    ds = _digit_str(r.digits)
+    exp = r.k - 1
+    frac = "." + ds[1:] if precision else ("." if "#" in flags else "")
+    body = f"{ds[0]}{frac}{exp_char}{'+' if exp >= 0 else '-'}{abs(exp):02d}"
+    return _pad(body, sign, flags, width)
+
+
+def fmt_f(x, precision: int = 6, flags: str = "", width: int = 0) -> str:
+    """C's ``%f``: fixed point with ``precision`` fractional digits."""
+    v = to_flonum(x)
+    special = _special(v, flags, width, False)
+    if special is not None:
+        return special
+    sign = _sign_str(v.is_negative, flags)
+    if v.is_zero:
+        frac = "." + "0" * precision if precision else ("." if "#" in flags
+                                                        else "")
+        return _pad("0" + frac, sign, flags, width)
+    r = exact_fixed_digits(v.abs(), position=-precision)
+    ds = _digit_str(r.digits)
+    # r.k is the position just past the first digit; digits span
+    # [k-1, -precision].
+    if not ds:
+        int_part, frac_part = "0", "0" * precision
+    elif r.k <= 0:
+        int_part = "0"
+        frac_part = "0" * (-r.k) + ds
+    else:
+        int_part = ds[: r.k] if len(ds) >= r.k else ds + "0" * (r.k - len(ds))
+        frac_part = ds[r.k:]
+    frac_part = frac_part.ljust(precision, "0")
+    body = int_part
+    if precision:
+        body += "." + frac_part
+    elif "#" in flags:
+        body += "."
+    return _pad(body, sign, flags, width)
+
+
+def fmt_g(x, precision: int = 6, flags: str = "", width: int = 0,
+          upper: bool = False) -> str:
+    """C's ``%g``: ``%e`` or ``%f`` by exponent, trailing zeros stripped."""
+    v = to_flonum(x)
+    special = _special(v, flags, width, upper)
+    if special is not None:
+        return special
+    sign = _sign_str(v.is_negative, flags)
+    p = max(precision, 1)
+    if v.is_zero:
+        body = "0"
+        if "#" in flags:
+            body = "0." + "0" * (p - 1)
+        return _pad(body, sign, flags, width)
+    r = exact_fixed_digits(v.abs(), ndigits=p)
+    exp = r.k - 1
+    exp_char = "E" if upper else "e"
+    if exp < -4 or exp >= p:
+        ds = _digit_str(r.digits)
+        mant_frac = ds[1:]
+        if "#" not in flags:
+            mant_frac = mant_frac.rstrip("0")
+        mant = ds[0] + ("." + mant_frac if mant_frac else
+                        ("." if "#" in flags else ""))
+        body = (f"{mant}{exp_char}"
+                f"{'+' if exp >= 0 else '-'}{abs(exp):02d}")
+        return _pad(body, sign, flags, width)
+    # %f style with precision p - 1 - exp fractional digits.
+    ds = _digit_str(r.digits)
+    if r.k <= 0:
+        int_part = "0"
+        frac_part = "0" * (-r.k) + ds
+    elif len(ds) <= r.k:
+        int_part = ds + "0" * (r.k - len(ds))
+        frac_part = ""
+    else:
+        int_part, frac_part = ds[: r.k], ds[r.k:]
+    if "#" not in flags:
+        frac_part = frac_part.rstrip("0")
+    body = int_part + ("." + frac_part if frac_part else
+                       ("." if "#" in flags else ""))
+    return _pad(body, sign, flags, width)
+
+
+_SPEC_STATES = "+-# 0"
+
+
+def format_printf(spec: str, x) -> str:
+    """Apply a single C conversion spec (``"%.17e"``, ``"%+12.3f"``…)."""
+    if not spec.startswith("%"):
+        raise ParseError(f"spec must start with %: {spec!r}")
+    i = 1
+    flags = ""
+    while i < len(spec) and spec[i] in _SPEC_STATES:
+        flags += spec[i]
+        i += 1
+    width = 0
+    while i < len(spec) and spec[i].isdigit():
+        width = width * 10 + int(spec[i])
+        i += 1
+    precision = None
+    if i < len(spec) and spec[i] == ".":
+        i += 1
+        precision = 0
+        while i < len(spec) and spec[i].isdigit():
+            precision = precision * 10 + int(spec[i])
+            i += 1
+    if i != len(spec) - 1:
+        raise ParseError(f"malformed spec: {spec!r}")
+    conv = spec[-1]
+    if precision is None:
+        precision = 6
+    if conv in "eE":
+        return fmt_e(x, precision, flags, width, upper=conv == "E")
+    if conv == "f":
+        return fmt_f(x, precision, flags, width)
+    if conv in "gG":
+        return fmt_g(x, precision, flags, width, upper=conv == "G")
+    raise ParseError(f"unsupported conversion {conv!r}")

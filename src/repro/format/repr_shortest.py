@@ -1,0 +1,46 @@
+"""CPython-compatible shortest ``repr`` built on the paper's algorithm.
+
+CPython's ``repr(float)`` (since 3.1) prints the shortest string that
+round-trips under its correctly rounded reader — exactly the paper's
+free-format problem with an IEEE nearest-even reader.  This module
+reproduces CPython's surface syntax on top of our digits, which gives the
+test suite a second, independent oracle: ``py_repr(x) == repr(x)`` must
+hold for every finite double.
+"""
+
+from __future__ import annotations
+
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.floats.model import Flonum
+from repro.format.notation import NotationOptions, render_shortest
+
+__all__ = ["py_repr", "PY_REPR_OPTIONS"]
+
+#: CPython renders positionally for decimal exponents in [-4, 16), uses a
+#: two-digit signed exponent otherwise, and keeps a trailing ``.0``.
+PY_REPR_OPTIONS = NotationOptions(style="auto", exp_low=-4, exp_high=16,
+                                  python_repr=True)
+
+
+def py_repr(x) -> str:
+    """Exactly ``repr(x)`` for a Python float, via the paper's algorithm.
+
+    CPython reads with round-to-nearest-even, so the reader mode is
+    NEAREST_EVEN; its shortest-digit engine resolves an exactly-equidistant
+    final digit to even, hence ``TieBreak.EVEN``.
+    """
+    if isinstance(x, float):
+        v = Flonum.from_float(x)
+    else:
+        v = x
+    if v.is_nan:
+        return "nan"
+    if v.is_infinite:
+        return "-inf" if v.sign else "inf"
+    sign = "-" if v.is_negative else ""
+    if v.is_zero:
+        return sign + "0.0"
+    digits = shortest_digits(v.abs(), base=10, mode=ReaderMode.NEAREST_EVEN,
+                             tie=TieBreak.EVEN)
+    return sign + render_shortest(digits, PY_REPR_OPTIONS)

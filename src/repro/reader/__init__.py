@@ -1,0 +1,39 @@
+"""Accurate decimal→binary reading (Clinger 1990, the paper's ref [1]).
+
+The printing algorithm's guarantee is stated relative to an accurate input
+routine; this package provides one (three, in fact): an exact one-shot
+converter for every rounding mode, Clinger's AlgorithmR refinement loop,
+and a Bellerophon-style host-float fast path with exact fallback.
+"""
+
+from repro.reader.algorithm_r import algorithm_r, initial_guess, read_decimal_r
+from repro.reader.bellerophon import (
+    BellerophonResult,
+    bellerophon,
+    read_decimal_fast,
+)
+from repro.reader.exact import (
+    ilog,
+    read_decimal,
+    read_fraction,
+    round_rational,
+)
+from repro.reader.parse import ParsedNumber, parse_decimal
+from repro.reader.truncated import TRUNCATION_DIGITS, read_decimal_truncated
+
+__all__ = [
+    "ParsedNumber",
+    "parse_decimal",
+    "ilog",
+    "read_decimal",
+    "read_decimal_truncated",
+    "TRUNCATION_DIGITS",
+    "read_fraction",
+    "round_rational",
+    "algorithm_r",
+    "initial_guess",
+    "read_decimal_r",
+    "BellerophonResult",
+    "bellerophon",
+    "read_decimal_fast",
+]

@@ -1,0 +1,159 @@
+"""Clinger's AlgorithmR: iterative refinement to the correctly rounded float.
+
+AlgorithmR takes a cheap initial approximation ``z ≈ d * 10**q`` and walks
+it to the correctly rounded result by *exact* integer comparison of the
+input against ``z`` and its neighbour midpoints, moving one ulp per step.
+Because the seed is accurate to within one ulp, the loop performs a couple
+of big-integer comparisons instead of the full-precision division the
+one-shot method uses.
+
+This reproduces reference [1] of the paper (Clinger, PLDI 1990), the input
+routine whose behaviour the printing algorithm's round-trip guarantee is
+defined against.  Round-to-nearest-even only, like the original.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RangeError
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.floats.ulp import predecessor, successor
+from repro.reader.exact import ilog
+from repro.reader.parse import parse_decimal
+
+__all__ = ["algorithm_r", "read_decimal_r", "initial_guess"]
+
+#: Safety bound on refinement steps; the truncation seed is within one ulp,
+#: so more than a handful of steps indicates a logic error.
+_MAX_STEPS = 64
+
+
+def initial_guess(num: int, den: int, fmt: FloatFormat) -> Flonum:
+    """A truncation-based seed within one ulp of ``num/den``.
+
+    Finds the exponent window exactly and truncates the significand —
+    deliberately *not* correctly rounded (always at or below the true
+    value) so the refinement loop has work to do.
+    """
+    b = fmt.radix
+    e = ilog(num, den, b)
+    t = max(e - (fmt.precision - 1), fmt.min_e)
+    if t >= 0:
+        f = num // (den * b**t)
+    else:
+        f = (num * b**-t) // den
+    if f >= fmt.mantissa_limit:  # pragma: no cover - ilog makes this rare
+        f //= b
+        t += 1
+    if t > fmt.max_e:
+        # Out-of-range magnitude: seed at the largest finite value; the
+        # refinement loop's overflow-midpoint comparison decides inf.
+        f, t = fmt.largest_finite
+        return Flonum.finite(0, f, t, fmt)
+    if f == 0:
+        # Below the smallest denormal: seed there; the loop's zero-midpoint
+        # comparison decides whether to round down to zero.
+        return Flonum.finite(0, 1, fmt.min_e, fmt)
+    return Flonum.finite(0, f, t, fmt)
+
+
+def _cmp_value(num: int, den: int, m: int, e: int, b: int) -> int:
+    """Sign of ``num/den - m * b**e``."""
+    if e >= 0:
+        lhs, rhs = num, den * m * b**e
+    else:
+        lhs, rhs = num * b**-e, den * m
+    return (lhs > rhs) - (lhs < rhs)
+
+
+def _cmp_half(num: int, den: int, msum: int, e: int, b: int) -> int:
+    """Sign of ``num/den - msum * b**e / 2`` (midpoint comparison)."""
+    if e >= 0:
+        lhs, rhs = 2 * num, den * msum * b**e
+    else:
+        lhs, rhs = 2 * num * b**-e, den * msum
+    return (lhs > rhs) - (lhs < rhs)
+
+
+def _aligned_sum(lo: Flonum, hi: Flonum, b: int):
+    """``(msum, e)`` with ``lo + hi == msum * b**e`` exactly."""
+    e = min(lo.e, hi.e)
+    return lo.f * b ** (lo.e - e) + hi.f * b ** (hi.e - e), e
+
+
+def algorithm_r(num: int, den: int, fmt: FloatFormat = BINARY64,
+                negative: bool = False) -> Flonum:
+    """Correctly rounded (nearest-even) float for the positive ``num/den``.
+
+    Loop invariant (Clinger): the answer is within one step of ``z``.
+    Compare ``x`` with ``z``; if beyond the midpoint toward a neighbour,
+    step one ulp that way and repeat; otherwise round off and stop.
+    """
+    if num == 0:
+        return Flonum.zero(fmt, 1 if negative else 0)
+    if num < 0 or den <= 0:
+        raise RangeError("algorithm_r requires a non-negative rational")
+    b = fmt.radix
+    z = initial_guess(num, den, fmt)
+    for _ in range(_MAX_STEPS):
+        m, e = z.f, z.e
+        cmp_z = _cmp_value(num, den, m, e, b)
+        if cmp_z == 0:
+            break
+        if cmp_z > 0:
+            succ = successor(z)
+            if succ.is_infinite:
+                # Midpoint between the largest finite value and the
+                # would-be next: (2m + 1) * b**e / 2.
+                cmp_mid = _cmp_half(num, den, 2 * m + 1, e, b)
+            else:
+                msum, me = _aligned_sum(z, succ, b)
+                cmp_mid = _cmp_half(num, den, msum, me, b)
+            if cmp_mid < 0:
+                break
+            if cmp_mid == 0:
+                z = z if m % 2 == 0 else succ
+                break
+            z = succ
+            if z.is_infinite:
+                break
+        else:
+            pred = predecessor(z)
+            if pred.is_zero:
+                # Midpoint between zero and the smallest denormal.
+                cmp_mid = _cmp_half(num, den, m, e, b)
+            else:
+                msum, me = _aligned_sum(pred, z, b)
+                cmp_mid = _cmp_half(num, den, msum, me, b)
+            if cmp_mid > 0:
+                break
+            if cmp_mid == 0:
+                z = z if m % 2 == 0 else pred
+                break
+            z = pred
+            if z.is_zero:
+                break
+    else:  # pragma: no cover - seed is within one ulp
+        raise AssertionError("AlgorithmR failed to converge")
+    if negative and not z.is_nan:
+        return z.negate()
+    return z
+
+
+def read_decimal_r(text: str, fmt: FloatFormat = BINARY64) -> Flonum:
+    """AlgorithmR-based string reader (nearest-even)."""
+    parsed = parse_decimal(text)
+    if parsed.special == "nan":
+        return Flonum.nan(fmt)
+    if parsed.special == "inf":
+        return Flonum.infinity(fmt, parsed.sign)
+    if parsed.is_zero:
+        return Flonum.zero(fmt, parsed.sign)
+    num = parsed.digits
+    q = parsed.exponent
+    den = 1
+    if q >= 0:
+        num *= 10**q
+    else:
+        den = 10**-q
+    return algorithm_r(num, den, fmt, negative=bool(parsed.sign))

@@ -1,0 +1,84 @@
+"""Bellerophon-style reader: float fast paths with an exact fallback.
+
+Clinger's key observation: when the decimal significand ``d`` and the
+power ``10**q`` are both exactly representable, a single host
+floating-point multiply or divide — which IEEE guarantees is correctly
+rounded — produces the correctly rounded result with no big-integer work
+at all.  For binary64 that covers ``d < 2**53`` with ``|q| <= 22``
+(``10**22 = 2**22 * 5**22`` is the largest exact power of ten), plus a
+digit-shifting extension for slightly larger ``q``.
+
+Everything else falls back to the exact reader.  The fast path handles the
+overwhelming majority of human-written literals; the test suite checks it
+agrees with ground truth everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.reader.exact import round_rational
+from repro.reader.parse import parse_decimal
+
+__all__ = ["BellerophonResult", "read_decimal_fast", "bellerophon"]
+
+#: Largest exponent with 10**q exactly representable in binary64.
+_MAX_EXACT_POW10 = 22
+#: 10**k fits in 53 bits for k <= 15, allowing d to absorb extra digits.
+_MAX_SHIFT = 15
+
+_EXACT_POW10 = [10.0**k for k in range(_MAX_EXACT_POW10 + 1)]
+
+
+@dataclass(frozen=True)
+class BellerophonResult:
+    """Conversion result plus which path produced it (for the benches)."""
+
+    value: Flonum
+    fast_path: bool
+
+
+def bellerophon(d: int, q: int, negative: bool = False,
+                fmt: FloatFormat = BINARY64) -> BellerophonResult:
+    """Convert ``±d * 10**q`` with the fast path when it applies."""
+    if fmt is BINARY64 or fmt == BINARY64:
+        fast = _try_fast(d, q)
+        if fast is not None:
+            value = Flonum.from_float(-fast if negative else fast)
+            return BellerophonResult(value=value, fast_path=True)
+    num, den = (d * 10**q, 1) if q >= 0 else (d, 10**-q)
+    value = round_rational(num, den, fmt, negative=negative)
+    return BellerophonResult(value=value, fast_path=False)
+
+
+def _try_fast(d: int, q: int):
+    """The correctly-rounded-by-construction host-float cases, or None."""
+    if d >= 1 << 53:
+        return None
+    if 0 <= q <= _MAX_EXACT_POW10:
+        return float(d) * _EXACT_POW10[q]
+    if -_MAX_EXACT_POW10 <= q < 0:
+        return float(d) / _EXACT_POW10[-q]
+    if _MAX_EXACT_POW10 < q <= _MAX_EXACT_POW10 + _MAX_SHIFT:
+        # Shift digits from the exponent into the significand while both
+        # stay exact; one multiply then rounds correctly.
+        shifted = d * 10 ** (q - _MAX_EXACT_POW10)
+        if shifted < 1 << 53:
+            return float(shifted) * _EXACT_POW10[_MAX_EXACT_POW10]
+    return None
+
+
+def read_decimal_fast(text: str, fmt: FloatFormat = BINARY64
+                      ) -> BellerophonResult:
+    """String front-end for :func:`bellerophon` (nearest-even)."""
+    parsed = parse_decimal(text)
+    if parsed.special == "nan":
+        return BellerophonResult(Flonum.nan(fmt), True)
+    if parsed.special == "inf":
+        return BellerophonResult(Flonum.infinity(fmt, parsed.sign), True)
+    if parsed.is_zero:
+        return BellerophonResult(Flonum.zero(fmt, parsed.sign), True)
+    return bellerophon(parsed.digits, parsed.exponent,
+                       negative=bool(parsed.sign), fmt=fmt)

@@ -1,0 +1,114 @@
+"""Decimal-string parsing for the accurate reader.
+
+Splits a numeric literal into an exact integer significand and a power of
+ten, with no value change: ``"-12.34e5"`` becomes ``(sign=1, digits=1234,
+exponent=3)`` meaning ``-1234 * 10**3``.
+
+The parser also accepts the paper's ``#`` insignificance marks (read as
+zeros, flagged in the result) so strings produced by the fixed-format
+printer can be read back, and the usual ``inf``/``nan`` spellings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.errors import ParseError
+
+__all__ = ["ParsedNumber", "parse_decimal"]
+
+_NUMBER_RE = re.compile(
+    r"""^(?P<sign>[+-])?
+        (?P<int>[0-9#]*)
+        (?:\.(?P<frac>[0-9#]*))?
+        (?:[eE](?P<exp>[+-]?[0-9]+))?$""",
+    re.VERBOSE,
+)
+
+_SPECIAL = {
+    "inf": ("inf", 0), "+inf": ("inf", 0), "-inf": ("inf", 1),
+    "infinity": ("inf", 0), "+infinity": ("inf", 0), "-infinity": ("inf", 1),
+    "nan": ("nan", 0), "+nan": ("nan", 0), "-nan": ("nan", 1),
+}
+
+
+@dataclass(frozen=True)
+class ParsedNumber:
+    """An exactly parsed literal: ``(-1)**sign * digits * 10**exponent``."""
+
+    sign: int
+    digits: int
+    exponent: int
+    special: Optional[str] = None  # 'inf' | 'nan' | None
+    insignificant: int = 0  # number of '#' marks seen
+
+    @property
+    def is_zero(self) -> bool:
+        return self.special is None and self.digits == 0
+
+    def to_fraction(self) -> Fraction:
+        if self.special is not None:
+            raise ParseError(f"{self.special} has no rational value")
+        mag = Fraction(self.digits) * Fraction(10) ** self.exponent
+        return -mag if self.sign else mag
+
+
+def _int_from_digits(s: str) -> int:
+    """``int(s)`` unconstrained by CPython's str→int digit limit.
+
+    Million-digit literals are legal inputs to an accurate reader;
+    chunked conversion keeps them quadratic-free enough and sidesteps
+    ``sys.int_max_str_digits``.
+    """
+    chunk = 4000
+    if len(s) <= chunk:
+        return int(s)
+    value = 0
+    for i in range(0, len(s), chunk):
+        part = s[i:i + chunk]
+        value = value * 10 ** len(part) + int(part)
+    return value
+
+
+def parse_decimal(text: str) -> ParsedNumber:
+    """Parse a decimal literal exactly.
+
+    Raises :class:`ParseError` on malformed input.  ``#`` marks (from the
+    fixed-format printer) are read as zero digits and counted.
+    """
+    s = text.strip()
+    if not s:
+        raise ParseError("empty string")
+    special = _SPECIAL.get(s.lower())
+    if special is not None:
+        kind, sign = special
+        return ParsedNumber(sign=sign, digits=0, exponent=0, special=kind)
+    m = _NUMBER_RE.match(s)
+    if m is None:
+        raise ParseError(f"malformed number: {text!r}")
+    int_part = m.group("int") or ""
+    frac_part = m.group("frac") or ""
+    if not int_part and not frac_part:
+        raise ParseError(f"no digits in: {text!r}")
+    hashes = int_part.count("#") + frac_part.count("#")
+    if hashes:
+        trailing = (int_part + frac_part).rstrip("#")
+        if "#" in trailing:
+            raise ParseError(f"# marks must be trailing: {text!r}")
+    digits_str = (int_part + frac_part).replace("#", "0")
+    sign = 1 if m.group("sign") == "-" else 0
+    exponent = int(m.group("exp") or 0) - len(frac_part)
+    digits = _int_from_digits(digits_str) if digits_str else 0
+    # Normalize: strip trailing zeros into the exponent so equal values
+    # parse identically (keeps the reader's integer work small).
+    if digits:
+        while digits % 10 == 0:
+            digits //= 10
+            exponent += 1
+    else:
+        exponent = 0
+    return ParsedNumber(sign=sign, digits=digits, exponent=exponent,
+                        insignificant=hashes)

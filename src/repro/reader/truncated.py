@@ -1,0 +1,160 @@
+"""Truncating reader: correctly rounded input in bounded work.
+
+A hostile (or machine-generated) literal can carry millions of digits —
+``1.000…0001e-300`` — and the one-shot exact reader would build
+correspondingly huge integers.  The classic defense (used by every
+production strtod): keep only the first ``H`` significant digits plus a
+*sticky* flag for the rest, bracket the value between the two
+truncations, and round each end; when both ends land on the same float,
+that float is provably the correctly rounded result.  Only the rare
+straddling case (value very near a rounding boundary *and* carrying deep
+digits) falls back to the exact reader.
+
+``H = 20`` guarantees the fast path decides whenever the input isn't
+within 10^-20 relative distance of a boundary — in practice everything
+but adversarial inputs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+from repro.core.rounding import ReaderMode
+from repro.errors import ParseError
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.reader.exact import read_decimal, round_rational
+
+__all__ = ["read_decimal_truncated", "TRUNCATION_DIGITS"]
+
+#: Significant digits kept before going sticky.
+TRUNCATION_DIGITS = 20
+
+_NUMBER_RE = re.compile(
+    r"""^(?P<sign>[+-])?
+        (?P<int>[0-9]*)
+        (?:\.(?P<frac>[0-9]*))?
+        (?:[eE](?P<exp>[+-]?[0-9]+))?$""",
+    re.VERBOSE,
+)
+
+
+def _truncate_parse(text: str) -> Tuple[int, int, int, bool]:
+    """``(sign, digits, exponent, sticky)`` keeping only H digits.
+
+    The value lies in ``[digits, digits + sticky] * 10**exponent``.
+    """
+    s = text.strip()
+    m = _NUMBER_RE.match(s)
+    if m is None:
+        raise ParseError(f"malformed number: {text!r}")
+    int_part = m.group("int") or ""
+    frac_part = m.group("frac") or ""
+    if not int_part and not frac_part:
+        raise ParseError(f"no digits in: {text!r}")
+    sign = 1 if m.group("sign") == "-" else 0
+    exp10 = int(m.group("exp") or 0)
+
+    all_digits = int_part + frac_part
+    point_exp = exp10 - len(frac_part)  # value = all_digits * 10**point_exp
+
+    stripped = all_digits.lstrip("0")
+    if not stripped:
+        return sign, 0, 0, False
+    kept = stripped[:TRUNCATION_DIGITS]
+    dropped = stripped[TRUNCATION_DIGITS:]
+    sticky = any(c != "0" for c in dropped)
+    digits = int(kept)
+    exponent = point_exp + len(dropped)
+    return sign, digits, exponent, sticky
+
+
+def read_decimal_truncated(text: str, fmt: FloatFormat = BINARY64,
+                           mode: ReaderMode = ReaderMode.NEAREST_EVEN
+                           ) -> Flonum:
+    """Correctly rounded value of a literal, with bounded digit work.
+
+    Semantics identical to :func:`repro.reader.exact.read_decimal`
+    (including specials and ``#`` marks, which route to the exact
+    parser); only the evaluation strategy differs.
+    """
+    s = text.strip()
+    if not s or s[0] == "#" or any(c in "#xXnNiI" for c in s[:3]):
+        # Specials, hex-ish or hash-marked input: not this fast path's
+        # business.
+        return read_decimal(text, fmt, mode)
+    try:
+        sign, digits, exponent, sticky = _truncate_parse(s)
+    except ParseError:
+        return read_decimal(text, fmt, mode)  # e.g. 'inf'; reuse its errors
+    if digits == 0 and not sticky:
+        return Flonum.zero(fmt, sign)
+    negative = bool(sign)
+    # Work on the magnitude; directed modes mirror for negative values.
+    mag_mode = mode.mirrored() if negative else mode
+
+    def _round(d: int, q: int, m: ReaderMode) -> Flonum:
+        if q >= 0:
+            return round_rational(d * 10**q, 1, fmt, m, negative=False)
+        return round_rational(d, 10**-q, fmt, m, negative=False)
+
+    if not sticky:
+        result = _round(digits, exponent, mag_mode)
+        return result.negate() if negative else result
+
+    # The magnitude lies strictly inside (digits, digits+1) * 10**exponent.
+    # Rounding is monotone, so the result lies between the one-sided
+    # limits of the mode at the two endpoints; when they coincide, that
+    # float is the answer regardless of the dropped tail.
+    lo = _right_limit(digits, exponent, fmt, mag_mode, _round)
+    hi = _left_limit(digits + 1, exponent, fmt, mag_mode, _round)
+    if lo == hi:
+        return lo.negate() if negative else lo
+    # Genuine straddle: the value sits within 10**-H (relative) of a
+    # rounding boundary.  Decide with full precision.
+    return read_decimal(text, fmt, mode)
+
+
+def _right_limit(d: int, q: int, fmt: FloatFormat, mag_mode: ReaderMode,
+                 _round) -> Flonum:
+    """``lim x→A⁺ round(x)`` for ``A = d * 10**q`` (positive magnitude)."""
+    from repro.floats.ulp import successor
+
+    if mag_mode in (ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_NEGATIVE):
+        # floor on magnitudes is right-continuous.
+        return _round(d, q, mag_mode)
+    if mag_mode is ReaderMode.TOWARD_POSITIVE:
+        # ceil jumps exactly at representable values: the limit from
+        # above is the successor of the floor.
+        below = _round(d, q, ReaderMode.TOWARD_ZERO)
+        if below.is_zero:
+            return Flonum.finite(0, 1, fmt.min_e, fmt)
+        nxt = successor(below)
+        return nxt
+    # Nearest family: jumps at midpoints, where the limit from above is
+    # the upper neighbour — i.e. ties-away rounding of the endpoint.
+    return _round(d, q, ReaderMode.NEAREST_AWAY)
+
+
+def _left_limit(d: int, q: int, fmt: FloatFormat, mag_mode: ReaderMode,
+                _round) -> Flonum:
+    """``lim x→B⁻ round(x)`` for ``B = d * 10**q`` (positive magnitude)."""
+    from repro.floats.ulp import predecessor
+
+    if mag_mode is ReaderMode.TOWARD_POSITIVE:
+        # ceil is left-continuous.
+        return _round(d, q, mag_mode)
+    if mag_mode in (ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_NEGATIVE):
+        # floor jumps at representable values: limit from below is the
+        # predecessor of the ceiling.
+        above = _round(d, q, ReaderMode.TOWARD_POSITIVE)
+        if above.is_infinite:
+            f, e = fmt.largest_finite
+            return Flonum.finite(0, f, e, fmt)
+        if above.is_zero:  # pragma: no cover - B > 0 always
+            return above
+        return predecessor(above)
+    # Nearest family: limit from below at a midpoint is the lower
+    # neighbour — ties-toward-zero rounding of the endpoint.
+    return _round(d, q, ReaderMode.NEAREST_TO_ZERO)

@@ -1,0 +1,175 @@
+"""Self-verification battery: cross-check every engine against the others.
+
+A downstream adopter's smoke test: run N sampled values of a format
+through all the independent implementations in this package (and the
+host, for binary64) and report any disagreement.  Used by
+``examples/self_check.py`` and the test suite; the design principle is
+the reproduction's own — every component is validated by at least one
+*independently constructed* oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.baselines.naive_fixed import exact_fixed_digits, fixed_digits_loop
+from repro.core.backends import shortest_digits_bignat
+from repro.core.dragon import shortest_digits
+from repro.core.rational import shortest_digits_rational
+from repro.core.rounding import ReaderMode
+from repro.fastpath import counted_fixed, grisu_shortest
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.format.printf import format_printf
+from repro.format.repr_shortest import py_repr
+from repro.reader.algorithm_r import algorithm_r
+from repro.reader.bellerophon import bellerophon
+from repro.reader.exact import read_fraction
+
+__all__ = ["VerificationReport", "verify_format", "sample_values"]
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate outcome of one verification run."""
+
+    format_name: str
+    checked: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def record(self, kind: str, v: Flonum, detail: str = "") -> None:
+        self.mismatches.append(f"{kind}: {v!r} {detail}".strip())
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        return (f"{self.format_name}: {self.checked} values checked "
+                f"across engines — {status}")
+
+
+def sample_values(fmt: FloatFormat, n: int, seed: int = 0) -> List[Flonum]:
+    """Deterministic positive sample mixing uniform and boundary values."""
+    rng = random.Random(seed)
+    out: List[Flonum] = []
+    lo, hi = fmt.hidden_limit, fmt.mantissa_limit - 1
+    for _ in range(max(n - 8, 0)):
+        f = rng.randrange(lo, hi + 1)
+        e = rng.randrange(fmt.min_e, fmt.max_e + 1)
+        out.append(Flonum.finite(0, f, e, fmt))
+    for f, e in ((1, fmt.min_e), (hi, fmt.max_e), (lo, fmt.min_e),
+                 ((lo, min(0, fmt.max_e)) if fmt.max_e >= 0
+                  else (lo, fmt.max_e)),
+                 (hi, fmt.min_e), (lo + 1, 0 if fmt.max_e >= 0 else fmt.max_e),
+                 (hi - 1, fmt.min_e), (lo, fmt.max_e)):
+        try:
+            out.append(Flonum.finite(0, f, e, fmt))
+        except Exception:
+            continue
+    return out[:n] if len(out) > n else out
+
+
+def verify_format(fmt: FloatFormat = BINARY64, n: int = 200,
+                  seed: int = 0) -> VerificationReport:
+    """Cross-validate all engines on ``n`` sampled values of ``fmt``."""
+    report = VerificationReport(format_name=fmt.name)
+    host_checks = fmt is BINARY64 or fmt == BINARY64
+    for v in sample_values(fmt, n, seed):
+        report.checked += 1
+        _check_shortest_engines(v, report)
+        _check_fixed_engines(v, report)
+        _check_readers(v, report)
+        _check_surfaces(v, report)
+        if host_checks:
+            _check_host_oracles(v, report)
+    return report
+
+
+def _check_shortest_engines(v: Flonum, report: VerificationReport) -> None:
+    spec = shortest_digits_rational(v, mode=ReaderMode.NEAREST_EVEN)
+    fast = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+    if (spec.k, spec.digits) != (fast.k, fast.digits):
+        report.record("dragon-vs-rational", v, f"{fast} != {spec}")
+    limbs = shortest_digits_bignat(v, mode=ReaderMode.NEAREST_EVEN)
+    if (limbs.k, limbs.digits) != (fast.k, fast.digits):
+        report.record("bignat-vs-int", v, f"{limbs} != {fast}")
+    grisu = grisu_shortest(v)
+    if grisu is not None:
+        unknown = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        if (grisu.k, grisu.digits) != (unknown.k, unknown.digits):
+            report.record("grisu-vs-exact", v, f"{grisu} != {unknown}")
+
+
+def _check_fixed_engines(v: Flonum, report: VerificationReport) -> None:
+    n = min(12, v.fmt.decimal_digits_to_distinguish())
+    one_shot = exact_fixed_digits(v, ndigits=n)
+    loop = fixed_digits_loop(v, n)
+    if (one_shot.k, one_shot.digits) != (loop.k, loop.digits):
+        report.record("fixed-loop-vs-division", v, f"{loop} != {one_shot}")
+    counted = counted_fixed(v, n)
+    if counted is not None and (counted.k, counted.digits) != (
+            one_shot.k, one_shot.digits):
+        report.record("counted-vs-exact", v, f"{counted} != {one_shot}")
+    # The paper's fixed format: integer implementation vs rational spec.
+    from repro.core.fixed import fixed_digits
+    from repro.core.fixed_rational import fixed_digits_rational
+
+    ours = fixed_digits(v, ndigits=n)
+    spec = fixed_digits_rational(v, ndigits=n)
+    if (ours.k, ours.digits, ours.hashes) != (spec.k, spec.digits,
+                                              spec.hashes):
+        report.record("fixed-vs-rational-spec", v, f"{ours} != {spec}")
+
+
+def _check_surfaces(v: Flonum, report: VerificationReport) -> None:
+    """String surfaces: scheme, hex (radix-2 only), truncated reader."""
+    from repro.compat.scheme import number_to_string, string_to_number
+    from repro.core.api import format_shortest
+    from repro.reader.truncated import read_decimal_truncated
+
+    scheme = string_to_number(number_to_string(v), v.fmt)
+    if scheme != v:
+        report.record("scheme-roundtrip", v, f"{scheme!r}")
+    text = format_shortest(v)
+    trunc = read_decimal_truncated(text, v.fmt)
+    if trunc != v:
+        report.record("truncated-reader", v, f"{trunc!r}")
+    if v.fmt.radix == 2 and v.fmt.has_encoding:
+        from repro.format.hexfloat import format_hex, parse_hex
+
+        hexed = parse_hex(format_hex(v), v.fmt)
+        if hexed != v:
+            report.record("hexfloat-roundtrip", v)
+
+
+def _check_readers(v: Flonum, report: VerificationReport) -> None:
+    r = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+    frac = r.to_fraction()
+    back = read_fraction(frac, v.fmt)
+    if back != v:
+        report.record("roundtrip", v, f"read back {back!r}")
+    ar = algorithm_r(frac.numerator, frac.denominator, v.fmt)
+    if ar != v:
+        report.record("algorithm-r", v, f"read back {ar!r}")
+
+
+def _check_host_oracles(v: Flonum, report: VerificationReport) -> None:
+    x = v.to_float()
+    if py_repr(x) != repr(x):
+        report.record("repr", v, f"{py_repr(x)} != {repr(x)}")
+    if float(py_repr(x)) != x:
+        report.record("host-read", v)
+    spec = "%.17e"
+    if format_printf(spec, x) != spec % x:
+        report.record("printf", v)
+    # Bellerophon from the repr's parsed parts.
+    from repro.reader.parse import parse_decimal
+
+    parsed = parse_decimal(repr(x))
+    got = bellerophon(parsed.digits, parsed.exponent).value
+    if got != v:
+        report.record("bellerophon", v, f"{got!r}")

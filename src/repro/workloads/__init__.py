@@ -1,0 +1,31 @@
+"""Workload generators: the Schryer set and curated edge corpora."""
+
+from repro.workloads.corpus import (
+    all_positive_finite,
+    boundary_neighbourhood,
+    decimal_ties,
+    denormals,
+    power_boundaries,
+    torture_floats,
+)
+from repro.workloads.schryer import (
+    PAPER_CORPUS_SIZE,
+    corpus,
+    exponent_sweep,
+    mantissa_patterns,
+    paper_corpus,
+)
+
+__all__ = [
+    "all_positive_finite",
+    "boundary_neighbourhood",
+    "decimal_ties",
+    "denormals",
+    "power_boundaries",
+    "torture_floats",
+    "PAPER_CORPUS_SIZE",
+    "corpus",
+    "exponent_sweep",
+    "mantissa_patterns",
+    "paper_corpus",
+]

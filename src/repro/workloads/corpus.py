@@ -1,0 +1,121 @@
+"""Hand-curated edge-case corpora for tests and examples.
+
+Where the Schryer set stresses representation structure statistically,
+these corpora name the individually interesting values: denormals, power
+boundaries, decimal-tie midpoints (the paper's ``1e23``), repr-torture
+classics, and the exhaustive enumeration used with toy formats.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.floats.ulp import predecessor, successor
+
+__all__ = [
+    "power_boundaries",
+    "denormals",
+    "decimal_ties",
+    "torture_floats",
+    "all_positive_finite",
+    "boundary_neighbourhood",
+]
+
+
+def power_boundaries(fmt: FloatFormat = BINARY64, lo: int = -40,
+                     hi: int = 40) -> List[Flonum]:
+    """Values at and adjacent to radix powers (the uneven-gap cases)."""
+    out: List[Flonum] = []
+    b = fmt.radix
+    for e in range(max(lo, fmt.min_e), min(hi, fmt.max_e) + 1):
+        v = Flonum.finite(0, fmt.hidden_limit, e, fmt)
+        out.append(v)
+        out.append(successor(v))
+        pred = predecessor(v)
+        if not pred.is_zero:
+            out.append(pred)
+    return out
+
+
+def denormals(fmt: FloatFormat = BINARY64, count: int = 64) -> List[Flonum]:
+    """The smallest denormals plus the largest, and a spread between."""
+    limit = fmt.hidden_limit - 1
+    if limit <= 0:
+        return []
+    picks = sorted({1, 2, 3, limit, limit - 1, limit // 2, limit // 3}
+                   | {max(1, limit // count * i) for i in range(1, count)})
+    return [Flonum.finite(0, f, fmt.min_e, fmt)
+            for f in picks if 1 <= f <= limit]
+
+
+def decimal_ties(fmt: FloatFormat = BINARY64) -> List[Flonum]:
+    """Doubles whose rounding boundary is exactly a short decimal.
+
+    The flagship case is the pair around ``1e23`` (paper Section 3.1):
+    the midpoint between them is exactly ``10**23``, so only a reader-
+    rounding-aware printer produces the one-digit output.  We search a
+    band of decimal powers for the same structure.
+    """
+    from repro.reader.exact import round_rational
+
+    out: List[Flonum] = []
+    for t in range(1, 60):
+        below = round_rational(10**t, 1, fmt, negative=False)
+        for v in (below, successor(below) if not below.is_infinite else below):
+            if v.is_finite and not v.is_zero:
+                out.append(v)
+    return out
+
+
+def torture_floats(fmt: FloatFormat = BINARY64) -> List[Flonum]:
+    """Classic hard cases from the float-printing literature."""
+    values: List[Flonum] = []
+    floats = [
+        5e-324, 2.2250738585072014e-308, 2.2250738585072011e-308,
+        1.7976931348623157e308, 4.9406564584124654e-324,
+        9.007199254740992e15, 9.007199254740993e15,  # 2**53 boundary
+        0.1, 0.2, 0.3, 1 / 3, 2 / 3, 1e22, 1e23, 8.98846567431158e307,
+        3.141592653589793, 2.718281828459045,
+        5.764607523034235e39, 1.152921504606847e18,  # Steele-White hards
+        0.6822871999174, 7.8459735791271921e65,  # Loitsch Grisu hards
+        3.5844466002796428e298, 1.1534338559399817e-308,
+    ]
+    if fmt is BINARY64 or fmt == BINARY64:
+        for x in floats:
+            values.append(Flonum.from_float(x))
+    else:
+        # Retarget the structurally interesting ones where exact.
+        for x in floats:
+            try:
+                values.append(Flonum.from_float(x).with_format(fmt))
+            except Exception:
+                continue
+    return values
+
+
+def all_positive_finite(fmt: FloatFormat,
+                        include_denormals: bool = True) -> Iterator[Flonum]:
+    """Every positive finite value — exhaustive testing on toy formats."""
+    return Flonum.enumerate_positive(fmt, include_denormals)
+
+
+def boundary_neighbourhood(v: Flonum, radius: int = 3) -> List[Flonum]:
+    """``v`` and its ``radius`` neighbours on each side (clipped)."""
+    out = [v]
+    cur = v
+    for _ in range(radius):
+        if cur.is_zero:
+            break
+        cur = predecessor(cur)
+        if cur.is_zero:
+            break
+        out.insert(0, cur)
+    cur = v
+    for _ in range(radius):
+        cur = successor(cur)
+        if cur.is_infinite:
+            break
+        out.append(cur)
+    return out

@@ -1,0 +1,70 @@
+"""Digit-length distribution analysis."""
+
+import pytest
+
+from repro.analysis.digit_stats import (
+    DigitLengthStats,
+    digit_length_stats,
+    histogram_lines,
+)
+from repro.core.rounding import ReaderMode
+from repro.floats.formats import BINARY32
+from repro.floats.model import Flonum
+from repro.workloads.schryer import corpus
+
+
+class TestStats:
+    def test_mean_and_counts(self):
+        s = DigitLengthStats()
+        for n in (1, 2, 2, 3):
+            s.add(n)
+        assert s.total == 4
+        assert s.mean == 2.0
+        assert (s.min_length, s.max_length) == (1, 3)
+
+    def test_quantile(self):
+        s = DigitLengthStats()
+        for n in (1, 1, 1, 5):
+            s.add(n)
+        assert s.quantile(0.5) == 1
+        assert s.quantile(1.0) == 5
+        with pytest.raises(ValueError):
+            s.quantile(1.5)
+
+    def test_empty(self):
+        s = DigitLengthStats()
+        assert s.mean == 0.0 and s.total == 0
+        assert histogram_lines(s) == ["(empty)"]
+
+
+class TestCorpusMeasurements:
+    def test_paper_scale_mean(self):
+        """Section 5: mean ≈ 15.2 on the Schryer corpus; 17 max."""
+        stats = digit_length_stats(corpus(2000))
+        assert 14.0 <= stats.mean <= 17.0
+        assert stats.max_length <= 17
+
+    def test_seventeen_digits_always_distinguish(self):
+        stats = digit_length_stats(corpus(3000))
+        assert stats.quantile(1.0) <= 17
+
+    def test_binary32_needs_at_most_nine(self):
+        values = [Flonum.finite(0, f, e, BINARY32)
+                  for f in (BINARY32.hidden_limit, BINARY32.mantissa_limit - 1)
+                  for e in range(BINARY32.min_e, BINARY32.max_e + 1, 7)]
+        stats = digit_length_stats(values)
+        assert stats.max_length <= 9
+
+    def test_reader_awareness_shortens(self):
+        from repro.workloads.corpus import decimal_ties
+
+        ties = decimal_ties()
+        aware = digit_length_stats(ties, mode=ReaderMode.NEAREST_EVEN)
+        safe = digit_length_stats(ties, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert aware.mean < safe.mean
+
+    def test_histogram_render(self):
+        stats = digit_length_stats(corpus(300))
+        lines = histogram_lines(stats, width=30)
+        assert any("mean =" in line for line in lines)
+        assert len(lines) == stats.max_length - stats.min_length + 2

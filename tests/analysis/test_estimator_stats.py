@@ -1,0 +1,69 @@
+"""Estimator accuracy analysis and the paper's analytic bounds."""
+
+import pytest
+
+from repro.analysis.estimator_stats import (
+    ESTIMATORS,
+    accuracy_scan,
+    true_k,
+    undershoot_bound,
+    worst_undershoot,
+)
+from repro.floats.formats import BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.workloads.schryer import corpus
+
+
+class TestAccuracyScan:
+    @pytest.fixture(scope="class")
+    def scan(self):
+        return accuracy_scan(corpus(800))
+
+    def test_no_estimator_overshoots(self, scan):
+        for acc in scan.values():
+            assert acc.never_overshoots, acc.name
+
+    def test_within_one(self, scan):
+        for acc in scan.values():
+            assert acc.max_undershoot <= 1, acc.name
+
+    def test_paper_accuracy_ordering(self, scan):
+        # float-log most accurate, Gay close behind, fast least.
+        assert scan["float-log"].exact_rate >= scan["gay"].exact_rate
+        assert scan["gay"].exact_rate >= scan["fast"].exact_rate
+
+    def test_float_log_almost_always_exact(self, scan):
+        assert scan["float-log"].exact_rate > 0.99
+
+    def test_totals(self, scan):
+        assert all(acc.total == 800 for acc in scan.values())
+
+
+class TestAnalyticBounds:
+    def test_paper_0631_bound(self):
+        # "it undershoots by no more than 1/log2 3 < 0.631" — the worst
+        # base is 3.
+        assert undershoot_bound(2, 3) == pytest.approx(0.6309297535714574)
+        assert undershoot_bound(2, 10) == pytest.approx(0.30102999566398114)
+
+    def test_worst_observed_within_bound(self):
+        for fmt in (BINARY64, BINARY32):
+            observed = worst_undershoot(fmt, base=10)
+            assert observed <= undershoot_bound(2, 10) + 1e-12
+            # The all-ones mantissa really does approach the bound.
+            assert observed > 0.29
+
+    def test_worst_observed_base3(self):
+        observed = worst_undershoot(BINARY64, base=3)
+        assert observed <= undershoot_bound(2, 3) + 1e-12
+        assert observed > 0.62
+
+
+class TestTrueK:
+    def test_matches_scaling(self):
+        for x in (1.0, 0.1, 1e23, 5e-324):
+            v = Flonum.from_float(x)
+            for name, est in ESTIMATORS.items():
+                e = est(v, 10)
+                k = true_k(v)
+                assert e in (k, k - 1), (x, name)

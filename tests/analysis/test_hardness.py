@@ -1,0 +1,96 @@
+"""Adversarial-case generators, and the readers surviving them."""
+
+import pytest
+
+from repro.analysis.hardness import (
+    hard_print_values,
+    hard_read_cases,
+    shortest_length_census,
+)
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.reader.algorithm_r import read_decimal_r
+from repro.reader.bellerophon import read_decimal_fast
+from repro.reader.exact import read_decimal
+from repro.reader.truncated import read_decimal_truncated
+
+
+class TestHardReadCases:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return hard_read_cases(BINARY64, count=60, digits=30)
+
+    def test_deterministic_and_sized(self, cases):
+        assert len(cases) == 60
+        again = hard_read_cases(BINARY64, count=60, digits=30)
+        assert [t for t, _ in cases] == [t for t, _ in again]
+
+    def test_host_strtod_survives(self, cases):
+        for text, v in cases:
+            assert float(text) == v.to_float(), text
+
+    def test_exact_reader_survives(self, cases):
+        for text, v in cases:
+            assert read_decimal(text) == v, text
+
+    def test_algorithm_r_survives(self, cases):
+        for text, v in cases:
+            assert read_decimal_r(text) == v, text
+
+    def test_bellerophon_survives(self, cases):
+        for text, v in cases:
+            assert read_decimal_fast(text).value == v, text
+
+    def test_truncated_reader_survives(self, cases):
+        # These sit ~10^-30 from a boundary: beyond the 20-digit
+        # truncation horizon, so the fast bracket must *refuse* and the
+        # exact fallback must decide correctly.
+        for text, v in cases:
+            assert read_decimal_truncated(text) == v, text
+
+    def test_rounding_to_17_digits_first_fails_sometimes(self, cases):
+        """The point of the corpus: a reader that first *rounds* the
+        literal to 17 digits and then converts crosses the boundary on a
+        decent fraction of these (truncating stays safe; rounding does
+        not — which is why sticky bits, not rounding, are the correct
+        way to shorten input)."""
+        wrong = 0
+        for text, v in cases:
+            mantissa, _, exp = text.partition("e")
+            drop = len(mantissa) - 17
+            rounded = (int(mantissa) + (5 * 10 ** (drop - 1))) // 10**drop
+            guess = float(f"{rounded}e{int(exp) + drop}")
+            wrong += guess != v.to_float()
+        assert wrong > len(cases) // 4
+
+    def test_binary32_cases(self):
+        for text, v in hard_read_cases(BINARY32, count=20, digits=20):
+            assert read_decimal(text, BINARY32) == v
+
+
+class TestHardPrintValues:
+    def test_maximal_length(self):
+        for v in hard_print_values(BINARY64, count=20):
+            assert len(shortest_digits(v).digits) == 17
+
+    def test_binary16(self):
+        vals = hard_print_values(BINARY16, count=10)
+        assert vals
+        for v in vals:
+            assert len(shortest_digits(v).digits) == 5
+
+
+class TestCensus:
+    def test_binade_census_sums(self):
+        counts = shortest_length_census(BINARY16, exponent=0)
+        assert sum(counts.values()) == BINARY16.hidden_limit
+        assert max(counts) <= 5
+
+    def test_distribution_shape(self):
+        # Most binary16 values need 3-4 digits; a sizable minority in
+        # low binades needs the full 5.
+        counts = shortest_length_census(BINARY16, exponent=-14)
+        total = sum(counts.values())
+        assert (counts.get(3, 0) + counts.get(4, 0)) / total > 0.7
+        assert counts.get(5, 0) / total > 0.1

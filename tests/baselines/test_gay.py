@@ -1,0 +1,55 @@
+"""Gay's Taylor-series estimator vs ours (Section 5 comparison)."""
+
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.baselines.gay_estimator import gay_estimate_k, gay_estimate_log10
+from repro.core.boundaries import adjust_for_mode, initial_scaled_value
+from repro.core.rounding import ReaderMode
+from repro.core.scaling import estimate_k_fast, scale_iterative
+from repro.floats.model import Flonum
+from repro.workloads.schryer import corpus
+
+
+def _true_k(v):
+    r, s, mp, mm = initial_scaled_value(v)
+    sv = adjust_for_mode(v, r, s, mp, mm, ReaderMode.NEAREST_UNKNOWN)
+    return scale_iterative(sv, 10, v)[0]
+
+
+class TestEstimate:
+    @given(positive_flonums())
+    @settings(max_examples=300)
+    def test_never_overshoots_within_one(self, v):
+        k = _true_k(v)
+        est = gay_estimate_k(v)
+        assert est <= k
+        assert k - est <= 1
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_log10_accuracy(self, v):
+        import math
+
+        approx = gay_estimate_log10(v)
+        exact = (math.log10(v.f) + v.e * math.log10(2))
+        # Tangent-line overshoot bound plus float noise.
+        assert -1e-9 <= approx - exact <= 0.0314
+
+    def test_more_accurate_than_ours(self):
+        """The paper: Gay's estimator is more accurate, ours cheaper; the
+        fixup makes the accuracy difference irrelevant."""
+        vals = corpus(2000)
+        gay_exact = ours_exact = 0
+        for v in vals:
+            k = _true_k(v)
+            gay_exact += gay_estimate_k(v) == k
+            ours_exact += estimate_k_fast(v, 10) == k
+        assert gay_exact > ours_exact
+
+    def test_binary128_no_overflow(self):
+        from repro.floats.formats import BINARY128
+
+        v = Flonum.finite(0, BINARY128.hidden_limit, 16000, BINARY128)
+        est = gay_estimate_k(v)
+        assert isinstance(est, int)

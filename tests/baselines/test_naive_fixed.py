@@ -1,0 +1,94 @@
+"""The straightforward exact fixed-format baseline."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import positive_flonums
+from repro.baselines.naive_fixed import exact_fixed_digits, naive_fixed_17
+from repro.core.rounding import TieBreak
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+
+class TestAbsoluteMode:
+    @given(positive_flonums(), st.integers(min_value=-30, max_value=10))
+    @settings(max_examples=200)
+    def test_correctly_rounded_at_position(self, v, j):
+        r = exact_fixed_digits(v, position=j)
+        err = abs(r.to_fraction() - v.to_fraction())
+        assert err <= Fraction(10) ** j / 2
+        # Result is a multiple of B**j.
+        assert (r.to_fraction() / Fraction(10) ** j).denominator == 1
+
+    def test_zero_when_below_half(self):
+        r = exact_fixed_digits(Flonum.from_float(0.4), position=0)
+        assert r.digits == () and r.k == 0
+
+    def test_exact_tie_even(self):
+        assert exact_fixed_digits(Flonum.from_float(0.5),
+                                  position=0).digits == ()
+        assert exact_fixed_digits(Flonum.from_float(1.5),
+                                  position=0).digits == (2,)
+        assert exact_fixed_digits(Flonum.from_float(2.5),
+                                  position=0).digits == (2,)
+
+    def test_tie_strategies(self):
+        v = Flonum.from_float(2.5)
+        assert exact_fixed_digits(v, position=0,
+                                  tie=TieBreak.UP).digits == (3,)
+        assert exact_fixed_digits(v, position=0,
+                                  tie=TieBreak.DOWN).digits == (2,)
+
+
+class TestRelativeMode:
+    @given(positive_flonums(), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200)
+    def test_digit_count_and_error(self, v, n):
+        r = exact_fixed_digits(v, ndigits=n)
+        assert len(r.digits) == n
+        err = abs(r.to_fraction() - v.to_fraction())
+        assert err <= Fraction(10) ** (r.k - n) / 2
+        assert r.digits[0] != 0
+
+    def test_carry_shifts_exponent(self):
+        # 9.995 (the double just below) stays 9.99…; true carries:
+        r = exact_fixed_digits(Flonum.from_float(9.9999), ndigits=3)
+        assert r.digits == (1, 0, 0) and r.k == 2
+
+    def test_17_digit_helper(self):
+        r = naive_fixed_17(Flonum.from_float(0.1))
+        assert len(r.digits) == 17
+        assert "".join(map(str, r.digits)) == "10000000000000001"
+
+    def test_against_python_formatting(self):
+        # %.16e prints 17 significant digits, correctly rounded.
+        for x in (0.1, 1 / 3, 123.456, 5e-324, 1.7976931348623157e308):
+            r = naive_fixed_17(Flonum.from_float(x))
+            want = f"{x:.16e}"
+            mantissa = want.split("e")[0].replace(".", "").replace("-", "")
+            assert "".join(map(str, r.digits)) == mantissa
+
+
+class TestValidation:
+    def test_requires_one_mode(self):
+        v = Flonum.from_float(1.0)
+        with pytest.raises(RangeError):
+            exact_fixed_digits(v)
+        with pytest.raises(RangeError):
+            exact_fixed_digits(v, position=0, ndigits=1)
+
+    def test_rejects_bad_ndigits(self):
+        with pytest.raises(RangeError):
+            exact_fixed_digits(Flonum.from_float(1.0), ndigits=0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            exact_fixed_digits(Flonum.zero(), position=0)
+
+    def test_other_bases(self):
+        v = Flonum.from_float(0.5)
+        r = exact_fixed_digits(v, ndigits=1, base=2)
+        assert r.digits == (1,) and r.k == 0

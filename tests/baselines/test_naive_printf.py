@@ -1,0 +1,94 @@
+"""The 1996-printf model and its incorrect-rounding audit (Table 3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.baselines.naive_printf import (
+    audit_naive_printf,
+    is_correctly_rounded,
+    naive_printf_digits,
+)
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.workloads.schryer import corpus
+
+
+class TestDigitGeneration:
+    @pytest.mark.parametrize("x,k,first", [
+        (1.0, 1, 1), (0.1, 0, 1), (123.456, 3, 1), (5e-324, -323, 4),
+        (1e300, 301, 1),
+    ])
+    def test_k_and_leading_digit(self, x, k, first):
+        got_k, digits = naive_printf_digits(x, 17)
+        assert got_k == k
+        assert digits[0] == first
+
+    @given(positive_flonums())
+    @settings(max_examples=150)
+    def test_digit_count_fixed(self, v):
+        k, digits = naive_printf_digits(v, 17)
+        assert len(digits) == 17
+
+    @given(positive_flonums())
+    @settings(max_examples=100)
+    def test_wide_precision_always_correct(self, v):
+        # With a 113-bit intermediate the chain error stays far below a
+        # half unit in the 17th digit.
+        k, digits = naive_printf_digits(v, 17, precision=113)
+        assert is_correctly_rounded(v, k, digits)
+
+    def test_short_digit_counts_are_exactish(self):
+        # Even the 53-bit chain gets few digits right (Gay's observation
+        # behind the fixed-format fast-path heuristics).
+        for x in (3.14159, 2.5, 123.456, 9.99):
+            k, digits = naive_printf_digits(x, 6)
+            assert is_correctly_rounded(x, k, digits, ndigits=6)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(RangeError):
+            naive_printf_digits(0.0)
+        with pytest.raises(RangeError):
+            naive_printf_digits(-1.0)
+        with pytest.raises(RangeError):
+            naive_printf_digits(1.0, 0)
+
+
+class TestCorrectnessChecker:
+    def test_accepts_exact_answer(self):
+        v = Flonum.from_float(0.1)
+        want = exact_fixed_digits(v, ndigits=17)
+        assert is_correctly_rounded(v, want.k, want.digits)
+
+    def test_rejects_off_by_one(self):
+        v = Flonum.from_float(0.1)
+        want = exact_fixed_digits(v, ndigits=17)
+        wrong = list(want.digits)
+        wrong[-1] = (wrong[-1] + 5) % 10
+        assert not is_correctly_rounded(v, want.k, tuple(wrong))
+
+    def test_accepts_either_tie_side(self):
+        # 0.5 at 1 digit is a genuine tie: both 5e-1 and ... well, both
+        # tie choices must be accepted as correctly rounded.
+        v = Flonum.from_float(2.5)
+        assert is_correctly_rounded(v, 1, (2,), ndigits=1)
+        assert is_correctly_rounded(v, 1, (3,), ndigits=1)
+        assert not is_correctly_rounded(v, 1, (4,), ndigits=1)
+
+
+class TestAudit:
+    def test_error_rate_spectrum(self):
+        """The Table-3 shape: narrower intermediates mis-round more."""
+        vals = corpus(400)
+        r53 = audit_naive_printf(vals, precision=53)
+        r64 = audit_naive_printf(vals, precision=64)
+        r113 = audit_naive_printf(vals, precision=113)
+        assert r53.incorrect > r64.incorrect >= r113.incorrect
+        assert r113.incorrect == 0
+        assert r53.total == r64.total == 400
+
+    def test_rate_property(self):
+        vals = corpus(50)
+        audit = audit_naive_printf(vals, precision=64)
+        assert audit.rate == audit.incorrect / 50

@@ -1,0 +1,77 @@
+"""The printf/strtod probing baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import finite_doubles
+from repro.baselines.probe import probe_shortest, probe_shortest_digits
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+
+class TestCorrectness:
+    @given(finite_doubles())
+    @settings(max_examples=300)
+    def test_always_round_trips(self, x):
+        if x != x or x in (float("inf"), float("-inf")) or x <= 0:
+            return
+        assert float(probe_shortest(x)) == x
+
+    @given(finite_doubles())
+    @settings(max_examples=300)
+    def test_never_shorter_than_exact_algorithm(self, x):
+        if x != x or x in (float("inf"), float("-inf")) or x <= 0:
+            return
+        probed = probe_shortest_digits(x)
+        ours = shortest_digits(Flonum.from_float(x),
+                               mode=ReaderMode.NEAREST_EVEN)
+        assert len(probed.digits) >= len(ours.digits)
+
+    @given(finite_doubles())
+    @settings(max_examples=200)
+    def test_usually_identical(self, x):
+        if x != x or x in (float("inf"), float("-inf")) or x <= 0:
+            return
+        probed = probe_shortest_digits(x)
+        ours = shortest_digits(Flonum.from_float(x),
+                               mode=ReaderMode.NEAREST_EVEN)
+        if len(probed.digits) == len(ours.digits):
+            assert (probed.k, probed.digits) == (ours.k, ours.digits)
+
+    def test_rejects_specials(self):
+        for bad in (0.0, float("inf"), float("nan")):
+            with pytest.raises(RangeError):
+                probe_shortest(bad)
+
+
+class TestProbingMissesTheCornerCases:
+    def test_theorem4_corner_defeats_probing(self):
+        """At 2**-1017 the 16-digit correctly rounded string does not
+        round-trip (it reads as the predecessor), so probing jumps to 17
+        digits — while the valid farther 16-digit candidate exists and
+        the exact algorithm finds it.  The folk method is not minimal."""
+        x = 2.0 ** -1017
+        probed = probe_shortest_digits(x)
+        ours = shortest_digits(Flonum.from_float(x),
+                               mode=ReaderMode.NEAREST_EVEN)
+        assert len(ours.digits) == 16
+        assert len(probed.digits) == 17
+
+    def test_how_often_on_power_boundaries(self):
+        """Count the probing-suboptimal cases across the power-of-two
+        boundary family (the Theorem-4 corner population)."""
+        from repro.floats.formats import BINARY64
+
+        longer = 0
+        total = 0
+        for e in range(BINARY64.min_e + 1, BINARY64.max_e + 1, 3):
+            v = Flonum.finite(0, BINARY64.hidden_limit, e, BINARY64)
+            x = v.to_float()
+            probed = probe_shortest_digits(x)
+            ours = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+            total += 1
+            longer += len(probed.digits) > len(ours.digits)
+        assert longer > 0
+        assert longer < total // 10  # rare, but real

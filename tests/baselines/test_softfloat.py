@@ -1,0 +1,86 @@
+"""SoftFloat: the configurable-precision arithmetic behind naive printf."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.softfloat import SoftFloat
+from repro.errors import RangeError
+
+
+def _correctly_rounded(value: Fraction, precision: int) -> Fraction:
+    """Reference nearest-even rounding to `precision` significant bits."""
+    num, den = value.numerator, value.denominator
+    e = num.bit_length() - den.bit_length()
+    # Normalize so 2**(p-1) <= scaled < 2**p, conservatively two tries.
+    for shift in (precision - 1 - e, precision - e):
+        if shift >= 0:
+            n, d = num << shift, den
+        else:
+            n, d = num, den << -shift
+        f, rem = divmod(n, d)
+        if (1 << (precision - 1)) <= f < (1 << precision):
+            if 2 * rem > d or (2 * rem == d and f & 1):
+                f += 1
+            return Fraction(f, 1) * Fraction(2) ** (-shift)
+    raise AssertionError("normalization failed")
+
+
+class TestFromRatio:
+    @given(st.integers(min_value=1, max_value=10**25),
+           st.integers(min_value=1, max_value=10**25),
+           st.sampled_from([24, 53, 64, 113]))
+    @settings(max_examples=300)
+    def test_correctly_rounded(self, num, den, precision):
+        sf = SoftFloat.from_ratio(num, den, precision)
+        assert sf.m.bit_length() == precision
+        assert sf.to_fraction() == _correctly_rounded(Fraction(num, den),
+                                                      precision)
+
+    def test_exact_small_integer(self):
+        sf = SoftFloat.from_int(7, 53)
+        assert sf.to_fraction() == 7
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            SoftFloat.from_ratio(0, 1, 53)
+        with pytest.raises(RangeError):
+            SoftFloat.from_ratio(1, 0, 53)
+
+
+class TestMul:
+    @given(st.integers(min_value=1, max_value=10**15),
+           st.integers(min_value=1, max_value=10**15),
+           st.sampled_from([24, 53, 64]))
+    @settings(max_examples=300)
+    def test_single_rounding(self, a, b, precision):
+        fa = SoftFloat.from_int(a, precision)
+        fb = SoftFloat.from_int(b, precision)
+        prod = fa.mul(fb)
+        assert prod.m.bit_length() == precision
+        want = _correctly_rounded(fa.to_fraction() * fb.to_fraction(),
+                                  precision)
+        assert prod.to_fraction() == want
+
+    def test_rejects_mixed_precision(self):
+        with pytest.raises(RangeError):
+            SoftFloat.from_int(2, 53).mul(SoftFloat.from_int(2, 64))
+
+
+class TestFloorAndFraction:
+    def test_integral(self):
+        sf = SoftFloat.from_int(12, 53)
+        ip, fn, fd = sf.floor_and_fraction()
+        assert (ip, fn) == (12, 0)
+
+    def test_fractional(self):
+        sf = SoftFloat.from_ratio(5, 2, 53)
+        ip, fn, fd = sf.floor_and_fraction()
+        assert ip == 2 and Fraction(fn, fd) == Fraction(1, 2)
+
+    def test_below_one(self):
+        sf = SoftFloat.from_ratio(1, 8, 53)
+        ip, fn, fd = sf.floor_and_fraction()
+        assert ip == 0 and Fraction(fn, fd) == Fraction(1, 8)

@@ -1,0 +1,90 @@
+"""The Dragon4 baseline: correct but unoptimized and rounding-unaware."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.baselines.steele_white import dragon4_fixed, dragon4_shortest
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.floats.ulp import rounding_interval
+
+
+class TestFreeFormat:
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_output_in_rounding_interval(self, v):
+        r = dragon4_shortest(v)
+        low, high = rounding_interval(v)
+        assert low < r.to_fraction() < high
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_matches_conservative_burger_dybvig(self, v):
+        # Dragon4 == our algorithm under the unknown-reader assumption
+        # (S&W resolve exact equidistance downward: 2r <= s keeps d).
+        from repro.core.rounding import TieBreak
+
+        ours = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN,
+                               tie=TieBreak.DOWN)
+        theirs = dragon4_shortest(v)
+        assert (ours.k, ours.digits) == (theirs.k, theirs.digits)
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_never_shorter_than_reader_aware(self, v):
+        aware = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+        theirs = dragon4_shortest(v)
+        assert len(theirs.digits) >= len(aware.digits)
+
+    def test_1e23_prints_long(self):
+        # The paper's motivating difference: no rounding-mode awareness.
+        r = dragon4_shortest(Flonum.from_float(1e23))
+        assert "".join(map(str, r.digits)) == "9999999999999999"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            dragon4_shortest(Flonum.zero())
+
+
+class TestFixedFormat:
+    def test_garbage_digits_not_hashes(self):
+        # S&W print plausible digits beyond the precision; no # marks.
+        r = dragon4_fixed(Flonum.from_float(1e23), position=-2)
+        assert r.hashes == 0
+        assert len(r.digits) == r.k + 2
+
+    def test_small_rounds_to_zero(self):
+        r = dragon4_fixed(Flonum.from_float(5e-324), position=-2)
+        assert r.is_zero
+
+    def test_simple_rounding(self):
+        r = dragon4_fixed(Flonum.from_float(3.14159), position=-2)
+        assert "".join(map(str, r.digits)) == "314"
+
+    def test_exact_half_terminates(self):
+        # 1.5 at position 0: the inclusive-high mask variant must not spin.
+        r = dragon4_fixed(Flonum.from_float(1.5), position=0)
+        assert "".join(map(str, r.digits)) == "2"
+
+    @given(positive_flonums())
+    @settings(max_examples=150)
+    def test_mask_semantics(self, v):
+        # Output within B**j/2 of v OR within the gap (their inaccuracy
+        # never exceeds the representation gap range).
+        j = -2
+        r = dragon4_fixed(v, position=j)
+        err = abs(r.to_fraction() - v.to_fraction())
+        from repro.floats.ulp import gap_high, gap_low
+
+        slack = max(Fraction(10) ** j / 2,
+                    max(gap_high(v), gap_low(v)) / 2)
+        assert err <= slack
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            dragon4_fixed(Flonum.from_float(-1.0), position=0)

@@ -1,0 +1,68 @@
+"""BigInt sign-magnitude wrapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bignum.integer import BigInt
+
+ints = st.integers(min_value=-(1 << 300), max_value=(1 << 300) - 1)
+nonzero = ints.filter(bool)
+
+
+class TestRoundtrip:
+    @given(ints)
+    def test_from_to(self, n):
+        assert BigInt.from_int(n).to_int() == n
+
+    def test_zero_never_negative(self):
+        from repro.bignum.natural import BigNat
+
+        z = BigInt(True, BigNat.zero())
+        assert not z.neg and z.is_zero
+
+
+class TestArithmetic:
+    @given(ints, ints)
+    def test_add(self, a, b):
+        assert (BigInt.from_int(a) + BigInt.from_int(b)).to_int() == a + b
+
+    @given(ints, ints)
+    def test_sub(self, a, b):
+        assert (BigInt.from_int(a) - BigInt.from_int(b)).to_int() == a - b
+
+    @given(ints, ints)
+    def test_mul(self, a, b):
+        assert (BigInt.from_int(a) * BigInt.from_int(b)).to_int() == a * b
+
+    @given(ints, st.integers(min_value=-(1 << 29), max_value=(1 << 29)))
+    def test_mul_small(self, a, k):
+        assert BigInt.from_int(a).mul_small(k).to_int() == a * k
+
+    @given(ints)
+    def test_negate(self, a):
+        assert BigInt.from_int(a).negate().to_int() == -a
+
+
+class TestDivision:
+    @given(ints, nonzero)
+    def test_divmod_floor_matches_python(self, a, b):
+        q, r = BigInt.from_int(a).divmod_floor(BigInt.from_int(b))
+        assert (q.to_int(), r.to_int()) == divmod(a, b)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            BigInt.from_int(1).divmod_floor(BigInt.from_int(0))
+
+
+class TestComparison:
+    @given(ints, ints)
+    def test_ordering(self, a, b):
+        A, B = BigInt.from_int(a), BigInt.from_int(b)
+        assert (A < B) == (a < b)
+        assert (A <= B) == (a <= b)
+        assert (A == B) == (a == b)
+
+    @given(ints)
+    def test_hash(self, a):
+        assert hash(BigInt.from_int(a)) == hash(BigInt.from_int(a))

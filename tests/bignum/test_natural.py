@@ -1,0 +1,142 @@
+"""BigNat limb arithmetic, property-tested against Python ints."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bignum.natural import LIMB_BASE, BigNat
+from repro.errors import RangeError
+
+naturals = st.integers(min_value=0, max_value=(1 << 600) - 1)
+positives = st.integers(min_value=1, max_value=(1 << 600) - 1)
+small = st.integers(min_value=0, max_value=LIMB_BASE - 1)
+
+
+class TestConversions:
+    @given(naturals)
+    def test_roundtrip(self, n):
+        assert BigNat.from_int(n).to_int() == n
+
+    def test_zero_is_empty(self):
+        assert BigNat.from_int(0).limbs == []
+        assert BigNat.zero().is_zero
+        assert not BigNat.one().is_zero
+
+    def test_rejects_negative(self):
+        with pytest.raises(RangeError):
+            BigNat.from_int(-1)
+
+    @given(naturals)
+    def test_bit_length(self, n):
+        assert BigNat.from_int(n).bit_length() == n.bit_length()
+
+
+class TestComparison:
+    @given(naturals, naturals)
+    def test_ordering(self, a, b):
+        A, B = BigNat.from_int(a), BigNat.from_int(b)
+        assert (A < B) == (a < b)
+        assert (A <= B) == (a <= b)
+        assert (A == B) == (a == b)
+        assert (A > B) == (a > b)
+        assert (A >= B) == (a >= b)
+
+    @given(naturals)
+    def test_hash_consistency(self, a):
+        assert hash(BigNat.from_int(a)) == hash(BigNat.from_int(a))
+
+
+class TestAddSub:
+    @given(naturals, naturals)
+    def test_add(self, a, b):
+        assert (BigNat.from_int(a) + BigNat.from_int(b)).to_int() == a + b
+
+    @given(naturals, naturals)
+    def test_sub(self, a, b):
+        a, b = max(a, b), min(a, b)
+        assert (BigNat.from_int(a) - BigNat.from_int(b)).to_int() == a - b
+
+    def test_sub_underflow(self):
+        with pytest.raises(RangeError):
+            BigNat.from_int(1) - BigNat.from_int(2)
+
+    @given(naturals)
+    def test_add_zero_identity(self, a):
+        A = BigNat.from_int(a)
+        assert (A + BigNat.zero()).to_int() == a
+        assert (A - BigNat.zero()).to_int() == a
+
+
+class TestMul:
+    @given(naturals, naturals)
+    def test_school(self, a, b):
+        assert (BigNat.from_int(a) * BigNat.from_int(b)).to_int() == a * b
+
+    @given(st.integers(min_value=0, max_value=(1 << 4000) - 1),
+           st.integers(min_value=0, max_value=(1 << 4000) - 1))
+    @settings(max_examples=30)
+    def test_karatsuba_region(self, a, b):
+        assert (BigNat.from_int(a) * BigNat.from_int(b)).to_int() == a * b
+
+    @given(naturals, small)
+    def test_mul_small(self, a, k):
+        assert BigNat.from_int(a).mul_small(k).to_int() == a * k
+
+    def test_mul_small_rejects_negative(self):
+        with pytest.raises(RangeError):
+            BigNat.one().mul_small(-1)
+
+
+class TestShifts:
+    @given(naturals, st.integers(min_value=0, max_value=200))
+    def test_shift_left(self, a, s):
+        assert BigNat.from_int(a).shift_left(s).to_int() == a << s
+
+    @given(naturals, st.integers(min_value=0, max_value=700))
+    def test_shift_right(self, a, s):
+        assert BigNat.from_int(a).shift_right(s).to_int() == a >> s
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(RangeError):
+            BigNat.one().shift_left(-1)
+        with pytest.raises(RangeError):
+            BigNat.one().shift_right(-1)
+
+
+class TestDivision:
+    @given(naturals, positives)
+    def test_divmod(self, a, b):
+        q, r = BigNat.from_int(a).divmod(BigNat.from_int(b))
+        assert (q.to_int(), r.to_int()) == divmod(a, b)
+
+    @given(naturals, st.integers(min_value=1, max_value=LIMB_BASE - 1))
+    def test_divmod_small(self, a, k):
+        q, r = BigNat.from_int(a).divmod_small(k)
+        assert (q.to_int(), r) == divmod(a, k)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            BigNat.one().divmod(BigNat.zero())
+        with pytest.raises(RangeError):
+            BigNat.one().divmod_small(0)
+
+    def test_knuth_addback_case(self):
+        # A divisor/dividend pair engineered so the qhat estimate is one
+        # too large and D6 (add back) runs: top limbs maximal.
+        b = LIMB_BASE
+        u = (b - 1) * b**4 + (b - 1) * b**3 + 1
+        v = (b - 1) * b**2 + (b - 2)
+        q, r = BigNat.from_int(u).divmod(BigNat.from_int(v))
+        assert (q.to_int(), r.to_int()) == divmod(u, v)
+
+    @given(positives)
+    def test_self_division(self, a):
+        q, r = BigNat.from_int(a).divmod(BigNat.from_int(a))
+        assert q.to_int() == 1 and r.is_zero
+
+    @given(naturals, positives)
+    def test_reconstruction(self, a, b):
+        A, B = BigNat.from_int(a), BigNat.from_int(b)
+        q, r = A.divmod(B)
+        assert (q * B + r).to_int() == a
+        assert r < B

@@ -1,0 +1,61 @@
+"""The paper's power and logarithm tables."""
+
+import math
+
+import pytest
+
+from repro.bignum.pow_cache import (
+    PAPER_TABLE_LIMIT,
+    cache_info,
+    clear_dynamic_cache,
+    inv_log2_of,
+    log_ratio,
+    power,
+    power_uncached,
+)
+
+
+class TestPowerTable:
+    def test_paper_table_values(self):
+        # Figure 2's table: 10**k for 0 <= k < 326.
+        assert PAPER_TABLE_LIMIT == 326
+        assert power(10, 0) == 1
+        assert power(10, 325) == 10**325
+
+    def test_generic_bases_memoized(self):
+        clear_dynamic_cache()
+        assert power(7, 30) == 7**30
+        assert cache_info()["dynamic_entries"] >= 1
+        assert power(7, 30) == 7**30  # hits the memo
+
+    def test_large_ten_exponent_beyond_table(self):
+        assert power(10, 5000) == 10**5000
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            power(10, -1)
+        with pytest.raises(ValueError):
+            power_uncached(10, -1)
+
+    def test_uncached_matches(self):
+        assert power_uncached(3, 40) == power(3, 40)
+
+    def test_clear(self):
+        power(13, 13)
+        clear_dynamic_cache()
+        assert cache_info()["dynamic_entries"] == 0
+
+
+class TestLogTables:
+    @pytest.mark.parametrize("base", list(range(2, 37)))
+    def test_inv_log2_table(self, base):
+        assert inv_log2_of(base) == pytest.approx(1 / math.log2(base))
+
+    def test_inv_log2_out_of_table(self):
+        assert inv_log2_of(100) == pytest.approx(1 / math.log2(100))
+
+    def test_log_ratio_binary(self):
+        assert log_ratio(2, 10) == inv_log2_of(10)
+
+    def test_log_ratio_generic(self):
+        assert log_ratio(4, 10) == pytest.approx(math.log(4) / math.log(10))

@@ -1,0 +1,130 @@
+"""Scheme number syntax: the paper's motivating runtime surface."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import finite_doubles, positive_flonums
+from repro.compat.scheme import number_to_string, string_to_number
+from repro.errors import ParseError, RangeError
+from repro.floats.formats import BINARY32
+from repro.floats.model import Flonum
+
+
+class TestNumberToString:
+    @pytest.mark.parametrize("x,expect", [
+        (0.3, "0.3"),
+        (1.0, "1."),
+        (100.0, "100."),
+        (0.0, "0."),
+        (-0.0, "-0."),
+        (-2.5, "-2.5"),
+        (1e23, "1e23"),
+        (5e-324, "5e-324"),
+        (float("inf"), "+inf.0"),
+        (float("-inf"), "-inf.0"),
+        (float("nan"), "+nan.0"),
+    ])
+    def test_decimal(self, x, expect):
+        assert number_to_string(x) == expect
+
+    def test_flonums_always_marked(self):
+        # A flonum's external representation is never bare-integer.
+        for x in (1.0, 2.0, 1024.0, -7.0):
+            s = number_to_string(x)
+            assert "." in s or "e" in s
+
+    @pytest.mark.parametrize("x,radix,expect", [
+        (0.5, 2, "#b0.1"),
+        (-0.5, 2, "#b-0.1"),
+        (255.0, 16, "#xff."),
+        (8.0, 8, "#o10."),
+    ])
+    def test_other_radixes(self, x, radix, expect):
+        assert number_to_string(x, radix) == expect
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(RangeError):
+            number_to_string(1.0, radix=12)
+
+
+class TestStringToNumber:
+    def test_exact_integers(self):
+        assert string_to_number("42") == 42
+        assert string_to_number("-42") == -42
+        assert string_to_number("#x2a") == 42
+        assert string_to_number("#b101010") == 42
+        assert string_to_number("#o52") == 42
+
+    def test_exact_rationals(self):
+        assert string_to_number("1/3") == Fraction(1, 3)
+        assert string_to_number("#x-1/a") == Fraction(-1, 10)
+
+    def test_inexact_syntax(self):
+        v = string_to_number("0.5")
+        assert isinstance(v, Flonum)
+        assert v.to_fraction() == Fraction(1, 2)
+        assert isinstance(string_to_number("1e3"), Flonum)
+
+    def test_exactness_prefixes(self):
+        assert string_to_number("#e0.5") == Fraction(1, 2)
+        assert string_to_number("#e12") == 12
+        v = string_to_number("#i3")
+        assert isinstance(v, Flonum) and v.to_fraction() == 3
+        v = string_to_number("#i1/3")
+        assert isinstance(v, Flonum)
+
+    def test_radix_point_in_other_base(self):
+        v = string_to_number("#b0.1")
+        assert isinstance(v, Flonum) and v.to_fraction() == Fraction(1, 2)
+
+    def test_specials(self):
+        assert string_to_number("+inf.0").is_infinite
+        assert string_to_number("-inf.0").sign == 1
+        assert string_to_number("+nan.0").is_nan
+
+    def test_signed_zero(self):
+        v = string_to_number("-0.0")
+        assert v.is_zero and v.is_negative
+
+    def test_prefix_order_free(self):
+        assert string_to_number("#e#x10") == 16
+        assert string_to_number("#x#e10") == 16
+
+    @pytest.mark.parametrize("bad", [
+        "", "#", "#q1", "#x#x10", "#e#e1", "abc", "1.2.3", "#b12",
+        "#x1/", "+inf", "1e1e1",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            string_to_number(bad)
+
+
+class TestRoundTrip:
+    @given(finite_doubles())
+    @settings(max_examples=300)
+    def test_decimal_roundtrip(self, x):
+        v = Flonum.from_float(x)
+        got = string_to_number(number_to_string(x))
+        assert got == v
+
+    @given(positive_flonums())
+    @settings(max_examples=150)
+    def test_radix16_roundtrip(self, v):
+        got = string_to_number(number_to_string(v, 16))
+        assert got == v
+
+    @given(positive_flonums(BINARY32))
+    @settings(max_examples=100)
+    def test_binary32_scheme(self, v):
+        got = string_to_number(number_to_string(v), BINARY32)
+        assert got == v
+
+    def test_radix2_roundtrip_exactness(self):
+        # Binary output is the value itself: reading it back is exact by
+        # construction, not merely by shortest-ness.
+        for x in (0.1, 1 / 3, 5e-324):
+            s = number_to_string(x, 2)
+            got = string_to_number(s)
+            assert got == Flonum.from_float(x)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite (strategies live in helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import TOY_B4, TOY_P5
+
+
+@pytest.fixture(scope="session")
+def toy_p5():
+    return TOY_P5
+
+
+@pytest.fixture(scope="session")
+def toy_b4():
+    return TOY_B4

@@ -1,0 +1,131 @@
+"""String-level API: format_shortest / format_fixed."""
+
+import pytest
+from hypothesis import given
+
+from helpers import finite_doubles
+from repro.core.api import format_fixed, format_shortest, to_flonum
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.errors import RangeError
+from repro.floats.formats import BINARY32
+from repro.floats.model import Flonum
+from repro.format.notation import NotationOptions
+
+
+class TestToFlonum:
+    def test_accepts_float_int_flonum(self):
+        assert to_flonum(1.5).to_fraction() == 1.5
+        assert to_flonum(7).to_fraction() == 7
+        v = Flonum.from_float(2.0)
+        assert to_flonum(v) is v
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(RangeError):
+            to_flonum(True)
+        with pytest.raises(RangeError):
+            to_flonum("1.5")
+
+    def test_format_parameter(self):
+        v = to_flonum(1.5, BINARY32)
+        assert v.fmt is BINARY32
+
+
+class TestFormatShortest:
+    @pytest.mark.parametrize("x,expect", [
+        (0.3, "0.3"),
+        (-0.3, "-0.3"),
+        (1e23, "1e23"),
+        (5e-324, "5e-324"),
+        (0.0, "0"),
+        (-0.0, "-0"),
+        (float("inf"), "inf"),
+        (float("-inf"), "-inf"),
+        (float("nan"), "nan"),
+        (1234.5, "1234.5"),
+        (1e-4, "0.0001"),
+        (1e-5, "1e-5"),
+        (1e15, "1000000000000000"),
+        (1e16, "1e16"),
+    ])
+    def test_golden(self, x, expect):
+        assert format_shortest(x) == expect
+
+    def test_style_override(self):
+        assert format_shortest(1234.5, style="scientific") == "1.2345e3"
+        assert format_shortest(1e23, style="positional") == (
+            "1" + "0" * 23)
+
+    def test_base_16(self):
+        assert format_shortest(255.0, base=16, style="positional") == "ff"
+
+    def test_base_2(self):
+        assert format_shortest(0.5, base=2, style="positional") == "0.1"
+
+    def test_conservative_mode_lengthens_1e23(self):
+        s = format_shortest(1e23, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert s == "9.999999999999999e22"
+
+    def test_negative_directed_mode_mirrors(self):
+        # Printing -x under TOWARD_POSITIVE must use TOWARD_NEGATIVE for
+        # |x|: the output may equal the magnitude itself.
+        s = format_shortest(-0.3, mode=ReaderMode.TOWARD_NEGATIVE)
+        assert s.startswith("-")
+
+    def test_python_repr_options(self):
+        opts = NotationOptions(python_repr=True)
+        assert format_shortest(3.0, options=opts) == "3.0"
+        assert format_shortest(1e23, options=opts) == "1e+23"
+        assert format_shortest(0.0, options=opts) == "0.0"
+
+    @given(finite_doubles())
+    def test_round_trips_via_python_float(self, x):
+        assert float(format_shortest(x)) == x
+
+
+class TestFormatFixed:
+    @pytest.mark.parametrize("kwargs,x,expect", [
+        (dict(ndigits=10), 1 / 3, "0.3333333333"),
+        (dict(decimals=20), 100.0, "100.000000000000000#####"),
+        (dict(decimals=2), 3.14159, "3.14"),
+        (dict(decimals=2), -3.14159, "-3.14"),
+        (dict(decimals=0), 0.4, "0"),
+        (dict(decimals=0), 0.6, "1"),
+        (dict(decimals=3), 0.0, "0.000"),
+        (dict(position=2), 12345.0, "12300"),
+        (dict(decimals=1), -0.04, "-0.0"),
+    ])
+    def test_golden(self, kwargs, x, expect):
+        assert format_fixed(x, **kwargs) == expect
+
+    def test_specials(self):
+        assert format_fixed(float("nan"), decimals=2) == "nan"
+        assert format_fixed(float("inf"), decimals=2) == "inf"
+        assert format_fixed(float("-inf"), decimals=2) == "-inf"
+
+    def test_scientific_style(self):
+        assert format_fixed(5e-324, ndigits=8, style="scientific") == (
+            "5.#######e-324")
+
+    def test_zero_relative(self):
+        assert format_fixed(0.0, ndigits=4) == "0.000"
+
+    def test_requires_one_precision_spec(self):
+        with pytest.raises(RangeError):
+            format_fixed(1.0)
+        with pytest.raises(RangeError):
+            format_fixed(1.0, decimals=2, ndigits=3)
+
+    def test_rejects_negative_decimals(self):
+        with pytest.raises(RangeError):
+            format_fixed(1.0, decimals=-1)
+
+    def test_tie_parameter(self):
+        assert format_fixed(2.5, decimals=0) == "3"
+        assert format_fixed(2.5, decimals=0, tie=TieBreak.EVEN) == "2"
+
+    def test_hash_output_reads_back(self):
+        from repro.reader.exact import read_decimal
+
+        s = format_fixed(100.0, decimals=20)
+        assert "#" in s
+        assert read_decimal(s) == Flonum.from_float(100.0)

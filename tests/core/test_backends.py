@@ -1,0 +1,64 @@
+"""The BigNat-backed driver must match the native-int driver exactly."""
+
+from hypothesis import given, settings
+
+from helpers import TOY_P5, enumerate_toy, output_bases, positive_flonums
+from repro.core.backends import bignat_pow, shortest_digits_bignat
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode, TieBreak
+
+
+class TestBignatPow:
+    def test_small_values(self):
+        assert bignat_pow(10, 0).to_int() == 1
+        assert bignat_pow(10, 3).to_int() == 1000
+        assert bignat_pow(2, 64).to_int() == 1 << 64
+
+    def test_large_value(self):
+        assert bignat_pow(10, 325).to_int() == 10**325
+
+    def test_cached_identity(self):
+        assert bignat_pow(7, 20) is bignat_pow(7, 20)
+
+
+class TestBackendEquality:
+    @given(positive_flonums())
+    @settings(max_examples=100)
+    def test_matches_int_driver_binary64(self, v):
+        a = shortest_digits(v)
+        b = shortest_digits_bignat(v)
+        assert (a.k, a.digits) == (b.k, b.digits)
+
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=100)
+    def test_matches_across_bases(self, v, base):
+        a = shortest_digits(v, base=base, mode=ReaderMode.NEAREST_UNKNOWN)
+        b = shortest_digits_bignat(v, base=base,
+                                   mode=ReaderMode.NEAREST_UNKNOWN)
+        assert (a.k, a.digits) == (b.k, b.digits)
+
+    def test_exhaustive_toy_all_modes(self):
+        for mode in (ReaderMode.NEAREST_EVEN, ReaderMode.TOWARD_ZERO):
+            for v in enumerate_toy(TOY_P5):
+                a = shortest_digits(v, mode=mode)
+                b = shortest_digits_bignat(v, mode=mode)
+                assert (a.k, a.digits) == (b.k, b.digits)
+
+    def test_tie_strategy_respected(self):
+        from repro.floats.model import Flonum
+
+        v = Flonum.finite(0, 16, -6, TOY_P5)  # 0.25
+        for tie in TieBreak:
+            a = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN, tie=tie)
+            b = shortest_digits_bignat(v, mode=ReaderMode.NEAREST_UNKNOWN,
+                                       tie=tie)
+            assert (a.k, a.digits) == (b.k, b.digits)
+
+    def test_extreme_exponents(self):
+        from repro.floats.model import Flonum
+
+        for x in (5e-324, 1.7976931348623157e308, 2.2250738585072014e-308):
+            v = Flonum.from_float(x)
+            a = shortest_digits(v)
+            b = shortest_digits_bignat(v)
+            assert (a.k, a.digits) == (b.k, b.digits)

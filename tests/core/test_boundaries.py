@@ -1,0 +1,127 @@
+"""Table 1: the integer initialization of r, s, m+, m-."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from helpers import TOY_B4, TOY_P5, enumerate_toy, positive_flonums
+from repro.core.boundaries import adjust_for_mode, initial_scaled_value
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.floats.ulp import gap_high, gap_low
+
+
+def _check_invariants(v):
+    """r/s == v;  m+/s == (v+ - v)/2;  m-/s == (v - v-)/2."""
+    r, s, m_plus, m_minus = initial_scaled_value(v)
+    assert Fraction(r, s) == v.to_fraction()
+    assert Fraction(m_plus, s) == gap_high(v) / 2
+    assert Fraction(m_minus, s) == gap_low(v) / 2
+
+
+class TestTable1Cases:
+    def test_case_e_nonneg_regular(self):
+        # e >= 0, f != b**(p-1): r = f*be*2, s = 2, m+ = m- = be.
+        v = Flonum.finite(0, (1 << 52) + 5, 3, BINARY64)
+        r, s, m_plus, m_minus = initial_scaled_value(v)
+        assert (r, s) == (v.f * 8 * 2, 2)
+        assert m_plus == m_minus == 8
+        _check_invariants(v)
+
+    def test_case_e_nonneg_power_boundary(self):
+        # e >= 0, f == b**(p-1): the gap below narrows by b.
+        v = Flonum.finite(0, 1 << 52, 3, BINARY64)
+        r, s, m_plus, m_minus = initial_scaled_value(v)
+        assert (r, s) == (v.f * 8 * 2 * 2, 2 * 2)
+        assert (m_plus, m_minus) == (16, 8)
+        _check_invariants(v)
+
+    def test_case_e_negative_regular(self):
+        v = Flonum.finite(0, (1 << 52) + 5, -60, BINARY64)
+        r, s, m_plus, m_minus = initial_scaled_value(v)
+        assert (r, s) == (v.f * 2, 2**60 * 2)
+        assert m_plus == m_minus == 1
+        _check_invariants(v)
+
+    def test_case_e_negative_power_boundary(self):
+        v = Flonum.finite(0, 1 << 52, -60, BINARY64)
+        r, s, m_plus, m_minus = initial_scaled_value(v)
+        assert (r, s) == (v.f * 2 * 2, 2**61 * 2)
+        assert (m_plus, m_minus) == (2, 1)
+        _check_invariants(v)
+
+    def test_min_exponent_power_not_narrowed(self):
+        # f == b**(p-1) at e == min_e: the neighbour below is the largest
+        # denormal, a full ulp away, so no narrowing applies.
+        v = Flonum.finite(0, 1 << 52, BINARY64.min_e, BINARY64)
+        _, _, m_plus, m_minus = initial_scaled_value(v)
+        assert m_plus == m_minus
+
+    def test_denormal(self):
+        v = Flonum.finite(0, 123, BINARY64.min_e, BINARY64)
+        _check_invariants(v)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            initial_scaled_value(Flonum.zero())
+
+    @given(positive_flonums())
+    def test_invariants_random_binary64(self, v):
+        _check_invariants(v)
+
+    def test_invariants_exhaustive_toy(self):
+        for v in enumerate_toy(TOY_P5):
+            _check_invariants(v)
+
+    def test_invariants_exhaustive_radix4(self):
+        # Non-binary radix exercises the generic b arithmetic of Table 1.
+        for v in enumerate_toy(TOY_B4):
+            _check_invariants(v)
+
+    def test_toy_min_e_nonnegative(self):
+        # A format whose minimum exponent is >= 0 hits the e >= 0 columns
+        # with the min-exponent guard (the paper's table assumes IEEE-like
+        # ranges where e >= 0 implies e > min_e).
+        fmt = FloatFormat.toy(precision=3, emin=2, emax=6, name="toy-pos-e")
+        for v in enumerate_toy(fmt):
+            _check_invariants(v)
+
+
+class TestAdjustForMode:
+    def _scaled(self, v, mode):
+        r, s, mp, mm = initial_scaled_value(v)
+        return adjust_for_mode(v, r, s, mp, mm, mode)
+
+    @given(positive_flonums())
+    def test_nearest_modes_preserve_margins(self, v):
+        r, s, mp, mm = initial_scaled_value(v)
+        for mode in (ReaderMode.NEAREST_UNKNOWN, ReaderMode.NEAREST_EVEN,
+                     ReaderMode.NEAREST_AWAY, ReaderMode.NEAREST_TO_ZERO):
+            sv = adjust_for_mode(v, r, s, mp, mm, mode)
+            assert (sv.m_plus, sv.m_minus) == (mp, mm)
+
+    @given(positive_flonums())
+    def test_toward_zero_doubles_high_margin(self, v):
+        r, s, mp, mm = initial_scaled_value(v)
+        sv = adjust_for_mode(v, r, s, mp, mm, ReaderMode.TOWARD_ZERO)
+        assert sv.m_plus == 2 * mp and sv.m_minus == 0
+        assert sv.low_ok and not sv.high_ok
+
+    @given(positive_flonums())
+    def test_toward_positive_doubles_low_margin(self, v):
+        r, s, mp, mm = initial_scaled_value(v)
+        sv = adjust_for_mode(v, r, s, mp, mm, ReaderMode.TOWARD_POSITIVE)
+        assert sv.m_minus == 2 * mm and sv.m_plus == 0
+        assert sv.high_ok and not sv.low_ok
+
+    def test_even_mantissa_inclusion(self):
+        sv = self._scaled(Flonum.from_float(2.0), ReaderMode.NEAREST_EVEN)
+        assert sv.low_ok and sv.high_ok
+
+    def test_odd_mantissa_exclusion(self):
+        v = Flonum.finite(0, (1 << 52) + 1, 0, BINARY64)
+        sv = self._scaled(v, ReaderMode.NEAREST_EVEN)
+        assert not sv.low_ok and not sv.high_ok

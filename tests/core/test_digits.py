@@ -1,0 +1,87 @@
+"""The digit-generation loop in isolation."""
+
+from fractions import Fraction
+
+from repro.core.digits import DigitResult, generate_digits
+from repro.core.rounding import TieBreak
+
+
+def _state_for(value: Fraction, half_gap: Fraction, base: int = 10):
+    """Build a pre-multiplied (r, s, m+, m-) state for v/B**k = value."""
+    # value must be in (1/B, 1]; choose s as the common denominator.
+    combined = value * base
+    margin = half_gap * base
+    den = (combined.denominator * margin.denominator)
+    r = combined.numerator * margin.denominator
+    m = margin.numerator * combined.denominator
+    return r, den, m, m
+
+
+class TestGenerateDigits:
+    def test_terminates_immediately_for_wide_margin(self):
+        r, s, mp, mm = _state_for(Fraction(1, 2), Fraction(1, 4))
+        digits, state = generate_digits(r, s, mp, mm, 10, False, False)
+        assert digits == [5]
+
+    def test_multiple_digits_for_narrow_margin(self):
+        r, s, mp, mm = _state_for(Fraction(1, 3), Fraction(1, 10**6))
+        digits, _ = generate_digits(r, s, mp, mm, 10, False, False)
+        assert digits[:5] == [3, 3, 3, 3, 3]
+        assert len(digits) <= 7
+
+    def test_increment_chosen_when_closer(self):
+        # value 0.297, margin wide enough to stop after "3" (0.3 closer).
+        r, s, mp, mm = _state_for(Fraction(297, 1000), Fraction(1, 100))
+        digits, state = generate_digits(r, s, mp, mm, 10, False, False)
+        assert digits == [3]
+        assert state.incremented
+
+    def test_keep_chosen_when_closer(self):
+        r, s, mp, mm = _state_for(Fraction(303, 1000), Fraction(1, 100))
+        digits, state = generate_digits(r, s, mp, mm, 10, False, False)
+        assert digits == [3]
+        assert not state.incremented
+
+    def test_tie_strategies(self):
+        # value exactly 0.25 with margin covering both 0.2 and 0.3.
+        r, s, mp, mm = _state_for(Fraction(1, 4), Fraction(1, 10))
+        up, _ = generate_digits(r, s, mp, mm, 10, False, False, TieBreak.UP)
+        down, _ = generate_digits(r, s, mp, mm, 10, False, False,
+                                  TieBreak.DOWN)
+        even, _ = generate_digits(r, s, mp, mm, 10, False, False,
+                                  TieBreak.EVEN)
+        assert up == [3] and down == [2] and even == [2]
+
+    def test_inclusive_low_stops_on_exact(self):
+        # Exact value 0.5 with zero low margin: only low_ok permits stop.
+        # (Pre-multiplied state: r/s = value * base.)
+        digits, _ = generate_digits(50, 10, 0, 0, 10, True, False)
+        assert digits == [5]
+
+    def test_chosen_r_tracks_increment(self):
+        r, s, mp, mm = _state_for(Fraction(297, 1000), Fraction(1, 100))
+        _, state = generate_digits(r, s, mp, mm, 10, False, False)
+        # v - V is negative after increment: chosen_r = r - s < 0.
+        assert state.chosen_r == state.r - state.s < 0
+
+    def test_state_margins_scaled_together(self):
+        r, s, mp, mm = _state_for(Fraction(1, 3), Fraction(1, 10**4))
+        digits, state = generate_digits(r, s, mp, mm, 10, False, False)
+        n = len(digits)
+        assert state.m_plus == mp * 10 ** (n - 1)
+
+
+class TestDigitResult:
+    def test_to_fraction(self):
+        r = DigitResult(k=1, digits=(3, 1, 4), base=10)
+        assert r.to_fraction() == Fraction(314, 1000) * 10
+
+    def test_to_fraction_other_base(self):
+        r = DigitResult(k=0, digits=(1, 1), base=2)
+        assert r.to_fraction() == Fraction(3, 4)
+
+    def test_ndigits(self):
+        assert DigitResult(k=0, digits=(1, 2, 3)).ndigits == 3
+
+    def test_str_rendering(self):
+        assert "0.314e1" in str(DigitResult(k=1, digits=(3, 1, 4)))

@@ -1,0 +1,155 @@
+"""The free-format driver: golden outputs and reference agreement."""
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import (
+    TOY_B4,
+    TOY_P5,
+    enumerate_toy,
+    output_bases,
+    positive_flonums,
+)
+from repro.core.dragon import shortest_digits
+from repro.core.rational import shortest_digits_rational
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.core.scaling import scale_estimate, scale_float_log, scale_iterative
+from repro.errors import RangeError
+from repro.floats.formats import BINARY32, BINARY64
+from repro.floats.model import Flonum
+
+
+def _digits_str(result):
+    return "".join(str(d) for d in result.digits)
+
+
+class TestGoldenOutputs:
+    @pytest.mark.parametrize("x,k,digits", [
+        (0.3, 0, "3"),
+        (1.0, 1, "1"),
+        (2.0, 1, "2"),
+        (0.1, 0, "1"),
+        (1 / 3, 0, "3333333333333333"),
+        (123456.789, 6, "123456789"),
+        (5e-324, -323, "5"),
+        (1.7976931348623157e308, 309, "17976931348623157"),
+        (3.141592653589793, 1, "3141592653589793"),
+    ])
+    def test_known_values(self, x, k, digits):
+        r = shortest_digits(Flonum.from_float(x))
+        assert (r.k, _digits_str(r)) == (k, digits)
+
+    def test_paper_1e23_needs_reader_awareness(self):
+        # Section 3.1's example: under IEEE unbiased reading the output is
+        # 1e23; a conservative printer needs 17 digits.
+        v = Flonum.from_float(1e23)
+        aware = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+        assert (aware.k, _digits_str(aware)) == (24, "1")
+        unaware = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert _digits_str(unaware) == "9999999999999999"
+
+    def test_abstract_says_03_not_0299(self):
+        # "3/10 would print as 0.3 instead of 0.2999999" — even with the
+        # conservative reader assumption.
+        r = shortest_digits(Flonum.from_float(0.3),
+                            mode=ReaderMode.NEAREST_UNKNOWN)
+        assert _digits_str(r) == "3"
+
+    def test_binary32_third(self):
+        import struct
+
+        x = struct.unpack(">f", struct.pack(">f", 1 / 3))[0]
+        v = Flonum.from_float(x).with_format(BINARY32)
+        r = shortest_digits(v)
+        assert _digits_str(r) == "33333334"  # 8 digits suffice for binary32
+
+
+class TestValidation:
+    def test_rejects_bad_base(self):
+        v = Flonum.from_float(1.0)
+        with pytest.raises(RangeError):
+            shortest_digits(v, base=1)
+        with pytest.raises(RangeError):
+            shortest_digits(v, base=37)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            shortest_digits(Flonum.zero())
+        with pytest.raises(RangeError):
+            shortest_digits(Flonum.from_float(-1.0))
+        with pytest.raises(RangeError):
+            shortest_digits(Flonum.infinity())
+
+
+class TestAgainstRationalReference:
+    """The integer implementation must equal the Section-2 specification."""
+
+    @given(positive_flonums())
+    @settings(max_examples=150)
+    def test_binary64_nearest_even(self, v):
+        fast = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+        spec = shortest_digits_rational(v, mode=ReaderMode.NEAREST_EVEN)
+        assert (fast.k, fast.digits) == (spec.k, spec.digits)
+
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=150)
+    def test_binary64_any_base_conservative(self, v, base):
+        fast = shortest_digits(v, base=base)
+        spec = shortest_digits_rational(v, base=base,
+                                        mode=ReaderMode.NEAREST_EVEN)
+        assert (fast.k, fast.digits) == (spec.k, spec.digits)
+
+    @pytest.mark.parametrize("mode", list(ReaderMode))
+    def test_every_mode_exhaustive_toy(self, mode):
+        for v in enumerate_toy(TOY_P5):
+            fast = shortest_digits(v, mode=mode)
+            spec = shortest_digits_rational(v, mode=mode)
+            assert (fast.k, fast.digits) == (spec.k, spec.digits), v
+
+    def test_radix4_exhaustive(self):
+        for v in enumerate_toy(TOY_B4):
+            for base in (3, 10):
+                fast = shortest_digits(v, base=base)
+                spec = shortest_digits_rational(
+                    v, base=base, mode=ReaderMode.NEAREST_EVEN)
+                assert (fast.k, fast.digits) == (spec.k, spec.digits)
+
+
+class TestScalerEquivalence:
+    @given(positive_flonums())
+    @settings(max_examples=150)
+    def test_scalers_identical_output(self, v):
+        results = {
+            (r.k, r.digits)
+            for r in (
+                shortest_digits(v, scaler=scale_iterative),
+                shortest_digits(v, scaler=scale_float_log),
+                shortest_digits(v, scaler=scale_estimate),
+            )
+        }
+        assert len(results) == 1
+
+    def test_scalers_identical_output_base2(self):
+        for v in enumerate_toy(TOY_P5):
+            results = {
+                (r.k, r.digits)
+                for scaler in (scale_iterative, scale_float_log,
+                               scale_estimate)
+                for r in [shortest_digits(v, base=2, scaler=scaler)]
+            }
+            assert len(results) == 1
+
+
+class TestTieHandling:
+    def test_tie_strategies_differ_only_in_last_digit(self):
+        # 2**-2 = 0.25 sits exactly between "2" and "3" at one digit with
+        # wide margins in a tiny format.
+        fmt = TOY_P5
+        v = Flonum.finite(0, 16, -6, fmt)  # 16/64 = 0.25
+        up = shortest_digits(v, tie=TieBreak.UP,
+                             mode=ReaderMode.NEAREST_UNKNOWN)
+        down = shortest_digits(v, tie=TieBreak.DOWN,
+                               mode=ReaderMode.NEAREST_UNKNOWN)
+        if up.digits != down.digits:
+            assert up.k == down.k
+            assert abs(up.digits[-1] - down.digits[-1]) == 1

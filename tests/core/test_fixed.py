@@ -1,0 +1,199 @@
+"""Fixed-format output with # marks (paper Section 4)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import TOY_P5, enumerate_toy, positive_flonums
+from repro.core.fixed import FixedResult, fixed_digits
+from repro.core.rounding import TieBreak
+from repro.errors import RangeError
+from repro.floats.formats import BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.floats.ulp import midpoint_high, midpoint_low
+
+
+def _digits_str(r):
+    return "".join(str(d) for d in r.digits) + "#" * r.hashes
+
+
+class TestPaperExamples:
+    def test_hundred_to_twenty_decimals(self):
+        # "printing 100 in IEEE double-precision to digit position 20"
+        # gives 100.000000000000000#####.
+        r = fixed_digits(Flonum.from_float(100.0), position=-20)
+        assert r.k == 3
+        assert _digits_str(r) == "100" + "0" * 15 + "#" * 5
+        assert r.hashes == 5
+
+    def test_one_third_single_precision_ten_digits(self):
+        # The introduction: single-precision 1/3 to 10 digits prints
+        # 0.3333333### (seven significant digits).
+        import struct
+
+        x = struct.unpack(">f", struct.pack(">f", 1 / 3))[0]
+        v = Flonum.from_float(x).with_format(BINARY32)
+        r = fixed_digits(v, ndigits=10)
+        assert _digits_str(r).count("#") >= 2
+        assert _digits_str(r).startswith("3333333")
+
+    def test_hundred_to_position_zero(self):
+        # "Suppose 100 were printed to absolute position 0": termination
+        # holds after the first digit but the remaining positions are
+        # significant zeros, not #.
+        r = fixed_digits(Flonum.from_float(100.0), position=0)
+        assert _digits_str(r) == "100"
+        assert r.hashes == 0
+
+
+class TestRoundingCorrectness:
+    @pytest.mark.parametrize("x,j,expect", [
+        (0.4, 0, ""),          # rounds to zero
+        (0.5, 0, "1"),
+        (0.6, 0, "1"),
+        (1.4, 0, "1"),
+        (9.6, 0, "10"),
+        (0.96, 0, "1"),
+        (9.5, 0, "10"),        # tie rounds up by default
+        (0.04, -1, ""),
+        (0.06, -1, "1"),
+        (0.14, -1, "1"),
+        (123.456, -2, "12346"),
+        (12345.0, 2, "123"),
+    ])
+    def test_absolute_golden(self, x, j, expect):
+        r = fixed_digits(Flonum.from_float(x), position=j)
+        assert _digits_str(r) == expect
+        if expect == "":
+            assert r.is_zero and r.k == j
+
+    @given(positive_flonums(), st.integers(min_value=-30, max_value=30))
+    @settings(max_examples=200)
+    def test_within_expanded_range(self, v, j):
+        """Output condition: V inside the max(gap, B**j/2) range."""
+        r = fixed_digits(v, position=j)
+        value = v.to_fraction()
+        delta = Fraction(10) ** j / 2
+        low = min(midpoint_low(v), value - delta)
+        high = max(midpoint_high(v), value + delta)
+        out = r.to_fraction()
+        assert low <= out <= high
+
+    @given(positive_flonums(), st.integers(min_value=-25, max_value=5))
+    @settings(max_examples=200)
+    def test_precise_values_round_exactly(self, v, j):
+        """When B**j/2 dominates both gaps, output == round(v, j)."""
+        value = v.to_fraction()
+        delta = Fraction(10) ** j / 2
+        if midpoint_high(v) - value > delta or value - midpoint_low(v) > delta:
+            return  # representation-limited; covered elsewhere
+        r = fixed_digits(v, position=j)
+        err = abs(r.to_fraction() - value)
+        assert err <= delta
+        # And the result is a multiple of B**j (a genuine position-j value).
+        scaled = r.to_fraction() / Fraction(10) ** j
+        assert scaled.denominator == 1
+
+    def test_never_generates_past_position(self):
+        for v in enumerate_toy(TOY_P5):
+            for j in range(-8, 4):
+                r = fixed_digits(v, position=j)
+                if not r.is_zero:
+                    assert r.k - len(r.digits) - r.hashes == j
+
+
+class TestHashSemantics:
+    """# marks positions whose digits carry no information: any choice of
+    digits there keeps the value reading back as v."""
+
+    @given(positive_flonums(), st.integers(min_value=-25, max_value=0))
+    @settings(max_examples=100)
+    def test_hash_positions_truly_insignificant(self, v, j):
+        from repro.reader.exact import read_fraction
+
+        r = fixed_digits(v, position=j)
+        if r.hashes == 0 or r.is_zero:
+            return
+        base_value = r.to_fraction()  # hashes read as zeros
+        top_value = base_value + (
+            Fraction(10) ** (j + r.hashes) - Fraction(10) ** j)
+        # Both extremes of the # span must read back to v.
+        assert read_fraction(base_value) == v
+        assert read_fraction(top_value) == v
+
+    def test_denormal_mostly_hashes(self):
+        r = fixed_digits(Flonum.from_float(5e-324), ndigits=30)
+        assert r.hashes >= 28
+        assert r.digits[0] == 5
+
+    def test_full_precision_no_hashes(self):
+        r = fixed_digits(Flonum.from_float(0.25), position=-6)
+        assert r.hashes == 0
+        assert _digits_str(r) == "250000"
+
+
+class TestRelativeMode:
+    @given(positive_flonums(), st.integers(min_value=1, max_value=25))
+    @settings(max_examples=200)
+    def test_digit_count_exact(self, v, i):
+        r = fixed_digits(v, ndigits=i)
+        assert len(r.digits) + r.hashes == i
+
+    @pytest.mark.parametrize("x,i,expect", [
+        (0.95, 1, "9"),     # the double 0.95 is below the decimal .95
+        (0.0095, 1, "9"),
+        (0.96, 1, "1"),     # k bumps past the power: 0.96 -> "1"
+        (0.0096, 1, "1"),
+        (9.99, 2, "10"),
+        (123.456, 4, "1235"),
+        (1 / 3, 5, "33333"),
+    ])
+    def test_golden(self, x, i, expect):
+        r = fixed_digits(Flonum.from_float(x), ndigits=i)
+        assert _digits_str(r) == expect
+
+    def test_relative_matches_absolute_at_final_k(self):
+        for x in (1.5, 0.123, 99.99, 7e-4, 2.5e10):
+            v = Flonum.from_float(x)
+            rel = fixed_digits(v, ndigits=6)
+            ab = fixed_digits(v, position=rel.k - 6)
+            assert (rel.k, rel.digits, rel.hashes) == (ab.k, ab.digits,
+                                                       ab.hashes)
+
+
+class TestValidation:
+    def test_requires_exactly_one_mode(self):
+        v = Flonum.from_float(1.0)
+        with pytest.raises(RangeError):
+            fixed_digits(v)
+        with pytest.raises(RangeError):
+            fixed_digits(v, position=0, ndigits=3)
+
+    def test_rejects_bad_ndigits(self):
+        with pytest.raises(RangeError):
+            fixed_digits(Flonum.from_float(1.0), ndigits=0)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(RangeError):
+            fixed_digits(Flonum.from_float(1.0), position=0, base=1)
+
+    def test_rejects_nonpositive_value(self):
+        with pytest.raises(RangeError):
+            fixed_digits(Flonum.zero(), position=0)
+
+
+class TestTieStrategies:
+    def test_down_tie(self):
+        r = fixed_digits(Flonum.from_float(0.5), position=0,
+                         tie=TieBreak.DOWN)
+        assert r.is_zero
+
+    def test_even_tie(self):
+        r = fixed_digits(Flonum.from_float(1.5), position=0,
+                         tie=TieBreak.EVEN)
+        assert _digits_str(r) == "2"
+        r = fixed_digits(Flonum.from_float(2.5), position=0,
+                         tie=TieBreak.EVEN)
+        assert _digits_str(r) == "2"

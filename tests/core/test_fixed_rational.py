@@ -1,0 +1,72 @@
+"""The rational fixed-format spec vs the production integer version."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import TOY_P5, enumerate_toy, positive_flonums
+from repro.core.fixed import fixed_digits
+from repro.core.fixed_rational import fixed_digits_rational
+from repro.core.rounding import TieBreak
+from repro.errors import RangeError
+from repro.floats.formats import BINARY16
+from repro.floats.model import Flonum
+
+
+def _eq(a, b):
+    return (a.k, a.digits, a.hashes, a.position) == (
+        b.k, b.digits, b.hashes, b.position)
+
+
+class TestEquivalence:
+    @given(positive_flonums(), st.integers(min_value=-30, max_value=10))
+    @settings(max_examples=200)
+    def test_absolute_binary64(self, v, j):
+        assert _eq(fixed_digits(v, position=j),
+                   fixed_digits_rational(v, position=j))
+
+    @given(positive_flonums(), st.integers(min_value=1, max_value=22))
+    @settings(max_examples=200)
+    def test_relative_binary64(self, v, i):
+        assert _eq(fixed_digits(v, ndigits=i),
+                   fixed_digits_rational(v, ndigits=i))
+
+    @given(positive_flonums(BINARY16), st.integers(min_value=-12, max_value=6),
+           st.sampled_from(list(TieBreak)))
+    @settings(max_examples=200)
+    def test_binary16_with_hash_runs(self, v, j, tie):
+        assert _eq(fixed_digits(v, position=j, tie=tie),
+                   fixed_digits_rational(v, position=j, tie=tie))
+
+    def test_exhaustive_toy(self):
+        for v in enumerate_toy(TOY_P5):
+            for j in range(-8, 4):
+                assert _eq(fixed_digits(v, position=j),
+                           fixed_digits_rational(v, position=j)), (v, j)
+
+    def test_exhaustive_toy_relative(self):
+        for v in enumerate_toy(TOY_P5):
+            for i in (1, 2, 4, 8):
+                assert _eq(fixed_digits(v, ndigits=i),
+                           fixed_digits_rational(v, ndigits=i)), (v, i)
+
+    @given(positive_flonums(), st.sampled_from([2, 16]),
+           st.integers(min_value=-10, max_value=4))
+    @settings(max_examples=100)
+    def test_other_bases(self, v, base, j):
+        assert _eq(fixed_digits(v, position=j, base=base),
+                   fixed_digits_rational(v, position=j, base=base))
+
+    def test_paper_examples_via_spec(self):
+        r = fixed_digits_rational(Flonum.from_float(100.0), position=-20)
+        assert r.hashes == 5 and r.digits[:3] == (1, 0, 0)
+
+    def test_validation(self):
+        with pytest.raises(RangeError):
+            fixed_digits_rational(Flonum.from_float(1.0))
+        with pytest.raises(RangeError):
+            fixed_digits_rational(Flonum.zero(), position=0)
+        with pytest.raises(RangeError):
+            fixed_digits_rational(Flonum.from_float(1.0), ndigits=0)
+        with pytest.raises(RangeError):
+            fixed_digits_rational(Flonum.from_float(1.0), position=0, base=1)

@@ -1,0 +1,68 @@
+"""The Section-2 rational-arithmetic specification itself."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.core.rational import find_k_rational, shortest_digits_rational
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.floats.ulp import rounding_interval
+
+
+class TestFindK:
+    @pytest.mark.parametrize("high,base,high_ok,k", [
+        (Fraction(1, 2), 10, False, 0),
+        (Fraction(1), 10, False, 0),
+        (Fraction(1), 10, True, 1),   # strict bound steps past the power
+        (Fraction(10), 10, False, 1),
+        (Fraction(11), 10, False, 2),
+        (Fraction(1, 10), 10, False, -1),
+        (Fraction(1, 11), 10, False, -1),
+        (Fraction(1, 100), 10, False, -2),
+        (Fraction(7), 2, False, 3),
+        (Fraction(8), 2, False, 3),
+        (Fraction(8), 2, True, 4),
+    ])
+    def test_cases(self, high, base, high_ok, k):
+        assert find_k_rational(high, base, high_ok) == k
+
+    def test_definition_minimality(self):
+        for num in range(1, 200):
+            high = Fraction(num, 17)
+            k = find_k_rational(high, 10, False)
+            assert high <= Fraction(10) ** k
+            assert high > Fraction(10) ** (k - 1)
+
+
+class TestSpecification:
+    @given(positive_flonums())
+    @settings(max_examples=100)
+    def test_output_in_rounding_interval(self, v):
+        r = shortest_digits_rational(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        low, high = rounding_interval(v)
+        assert low < r.to_fraction() < high
+
+    @given(positive_flonums())
+    @settings(max_examples=100)
+    def test_output_correctly_rounded(self, v):
+        # Output condition 2 in its achievable closest-valid form (see
+        # helpers.assert_correctly_rounded for the boundary caveat).
+        from helpers import assert_correctly_rounded
+
+        r = shortest_digits_rational(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert_correctly_rounded(v, r, ReaderMode.NEAREST_UNKNOWN)
+
+    def test_first_digit_nonzero(self):
+        for x in (0.1, 0.001, 5e-324, 123.0, 1e300):
+            r = shortest_digits_rational(Flonum.from_float(x))
+            assert r.digits[0] != 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(RangeError):
+            shortest_digits_rational(Flonum.zero())
+        with pytest.raises(RangeError):
+            shortest_digits_rational(Flonum.from_float(1.0), base=37)

@@ -1,0 +1,91 @@
+"""Reader modes, boundary inclusion, tie strategies."""
+
+import pytest
+from hypothesis import given
+
+from helpers import positive_flonums
+from repro.core.rounding import ReaderMode, TieBreak, boundary_info
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+from repro.floats.ulp import midpoint_high, midpoint_low
+
+
+class TestTieBreak:
+    def test_up(self):
+        assert TieBreak.UP.choose(3) == 4
+
+    def test_down(self):
+        assert TieBreak.DOWN.choose(3) == 3
+
+    def test_even(self):
+        assert TieBreak.EVEN.choose(3) == 4
+        assert TieBreak.EVEN.choose(4) == 4
+
+
+class TestMirroring:
+    def test_directed_modes_flip(self):
+        assert ReaderMode.TOWARD_POSITIVE.mirrored() is ReaderMode.TOWARD_NEGATIVE
+        assert ReaderMode.TOWARD_NEGATIVE.mirrored() is ReaderMode.TOWARD_POSITIVE
+
+    @pytest.mark.parametrize("mode", [
+        ReaderMode.NEAREST_EVEN, ReaderMode.NEAREST_UNKNOWN,
+        ReaderMode.NEAREST_AWAY, ReaderMode.NEAREST_TO_ZERO,
+        ReaderMode.TOWARD_ZERO,
+    ])
+    def test_symmetric_modes_fixed(self, mode):
+        assert mode.mirrored() is mode
+
+
+class TestBoundaryInfo:
+    @given(positive_flonums())
+    def test_nearest_unknown_excludes_endpoints(self, v):
+        info = boundary_info(v, ReaderMode.NEAREST_UNKNOWN)
+        assert not info.low_ok and not info.high_ok
+        assert info.low == midpoint_low(v)
+        assert info.high == midpoint_high(v)
+
+    @given(positive_flonums())
+    def test_nearest_even_inclusion_tracks_parity(self, v):
+        info = boundary_info(v, ReaderMode.NEAREST_EVEN)
+        even = v.f % 2 == 0
+        assert info.low_ok is even and info.high_ok is even
+
+    @given(positive_flonums())
+    def test_nearest_away_low_only(self, v):
+        info = boundary_info(v, ReaderMode.NEAREST_AWAY)
+        assert info.low_ok and not info.high_ok
+
+    @given(positive_flonums())
+    def test_nearest_to_zero_high_only(self, v):
+        info = boundary_info(v, ReaderMode.NEAREST_TO_ZERO)
+        assert not info.low_ok and info.high_ok
+
+    @given(positive_flonums())
+    def test_toward_zero_range_is_above_v(self, v):
+        info = boundary_info(v, ReaderMode.TOWARD_ZERO)
+        # Reals in [v, v+) truncate back to v.
+        assert info.low == v.to_fraction()
+        assert info.low_ok and not info.high_ok
+        assert info.high == 2 * midpoint_high(v) - v.to_fraction()
+
+    @given(positive_flonums())
+    def test_toward_positive_range_is_below_v(self, v):
+        info = boundary_info(v, ReaderMode.TOWARD_POSITIVE)
+        assert info.high == v.to_fraction()
+        assert info.high_ok and not info.low_ok
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            boundary_info(Flonum.zero(), ReaderMode.NEAREST_EVEN)
+        with pytest.raises(RangeError):
+            boundary_info(Flonum.from_float(-1.0), ReaderMode.NEAREST_EVEN)
+
+    def test_paper_1e23_example(self):
+        # 1e23's double has an even mantissa, so the IEEE reader rounds the
+        # exact boundary 10**23 back to it: the printer may emit "1e23".
+        v = Flonum.from_float(1e23)
+        info = boundary_info(v, ReaderMode.NEAREST_EVEN)
+        assert info.high_ok
+        from fractions import Fraction
+
+        assert info.high == Fraction(10) ** 23

@@ -1,0 +1,241 @@
+"""The three scalers: agreement, contracts, estimator accuracy."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import (
+    TOY_B4,
+    TOY_P5,
+    enumerate_toy,
+    output_bases,
+    positive_flonums,
+)
+from repro.core.boundaries import adjust_for_mode, initial_scaled_value
+from repro.core.rounding import ReaderMode
+from repro.core.scaling import (
+    STATS,
+    digit_length,
+    estimate_k_fast,
+    estimate_k_float_log,
+    scale_estimate,
+    scale_float_log,
+    scale_iterative,
+)
+from repro.floats.model import Flonum
+
+ALL_SCALERS = [scale_iterative, scale_float_log, scale_estimate]
+
+
+def _scaled_value(v, mode=ReaderMode.NEAREST_UNKNOWN):
+    r, s, mp, mm = initial_scaled_value(v)
+    return adjust_for_mode(v, r, s, mp, mm, mode)
+
+
+def _contract_holds(k, r, s, m_plus, base, high_ok):
+    """Post-scaling contract: with the pre-multiplication by B applied,
+    high*B/B**k lies in (1, B] (or [1, B) when the endpoint is usable)."""
+    high_scaled = Fraction(r + m_plus, s)  # == high * B / B**k
+    if high_ok:
+        return 1 <= high_scaled < base
+    return 1 < high_scaled <= base
+
+
+class TestDigitLength:
+    def test_binary(self):
+        assert digit_length(1, 2) == 1
+        assert digit_length(255, 2) == 8
+        assert digit_length(256, 2) == 9
+
+    def test_decimal(self):
+        assert digit_length(999, 10) == 3
+        assert digit_length(1000, 10) == 4
+
+    @given(positive_flonums())
+    def test_matches_bit_length(self, v):
+        assert digit_length(v.f, 2) == v.f.bit_length()
+
+
+class TestScalerAgreement:
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=200)
+    def test_all_three_agree_on_k(self, v, base):
+        sv = _scaled_value(v)
+        ks = set()
+        for scaler in ALL_SCALERS:
+            k, r, s, mp, mm = scaler(sv, base, v)
+            ks.add(k)
+            assert _contract_holds(k, r, s, mp, base, sv.high_ok)
+        assert len(ks) == 1
+
+    @given(positive_flonums())
+    def test_agree_under_even_boundaries(self, v):
+        sv = _scaled_value(v, ReaderMode.NEAREST_EVEN)
+        results = {scaler(sv, 10, v)[0] for scaler in ALL_SCALERS}
+        assert len(results) == 1
+
+    def test_exhaustive_toy(self):
+        for v in enumerate_toy(TOY_P5):
+            sv = _scaled_value(v)
+            results = [scaler(sv, 10, v) for scaler in ALL_SCALERS]
+            assert len({k for k, *_ in results}) == 1
+            for k, r, s, mp, mm in results:
+                assert _contract_holds(k, r, s, mp, 10, sv.high_ok)
+
+    def test_exhaustive_toy_radix4_base3(self):
+        for v in enumerate_toy(TOY_B4):
+            sv = _scaled_value(v)
+            results = [scaler(sv, 3, v) for scaler in ALL_SCALERS]
+            assert len({k for k, *_ in results}) == 1
+
+
+class TestKSemantics:
+    @given(positive_flonums())
+    def test_k_is_minimal_bound_exclusive(self, v):
+        # Not high_ok: k is the smallest integer with high <= B**k.
+        sv = _scaled_value(v, ReaderMode.NEAREST_UNKNOWN)
+        k, *_ = scale_iterative(sv, 10, v)
+        high = Fraction(sv.r + sv.m_plus, sv.s)
+        assert high <= Fraction(10) ** k
+        assert high > Fraction(10) ** (k - 1)
+
+    def test_k_strict_when_high_attainable(self):
+        # 1e23's boundary is exactly 10**23 and is attainable under
+        # nearest-even reading: k must step past it.
+        v = Flonum.from_float(1e23)
+        sv = _scaled_value(v, ReaderMode.NEAREST_EVEN)
+        k, *_ = scale_iterative(sv, 10, v)
+        assert k == 24
+        sv2 = _scaled_value(v, ReaderMode.NEAREST_UNKNOWN)
+        k2, *_ = scale_iterative(sv2, 10, v)
+        assert k2 == 23
+
+    @pytest.mark.parametrize("x,k", [
+        (1.0, 1), (9.5, 1), (10.0, 2), (0.1, 0), (0.099, -1),
+        (5e-324, -323), (1.7976931348623157e308, 309),
+    ])
+    def test_known_k_values(self, x, k):
+        v = Flonum.from_float(x)
+        sv = _scaled_value(v)
+        assert scale_estimate(sv, 10, v)[0] == k
+
+
+class TestEstimators:
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=300)
+    def test_fast_estimate_within_one(self, v, base):
+        sv = _scaled_value(v)
+        k_true, *_ = scale_iterative(sv, base, v)
+        est = estimate_k_fast(v, base)
+        assert est <= k_true, "estimate must never overshoot"
+        assert k_true - est <= 1, "estimate is k or k-1"
+
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=300)
+    def test_float_log_estimate_within_one(self, v, base):
+        sv = _scaled_value(v)
+        k_true, *_ = scale_iterative(sv, base, v)
+        est = estimate_k_float_log(v, base)
+        assert est <= k_true
+        assert k_true - est <= 1
+
+    def test_float_log_usually_exact(self):
+        # Paper: "the floating-point logarithm estimate was almost always
+        # k, our simpler estimate is frequently k-1."
+        from repro.workloads.schryer import corpus
+
+        vals = corpus(2000)
+        exact_log = exact_fast = 0
+        for v in vals:
+            sv = _scaled_value(v)
+            k_true, *_ = scale_iterative(sv, 10, v)
+            exact_log += estimate_k_float_log(v, 10) == k_true
+            exact_fast += estimate_k_fast(v, 10) == k_true
+        assert exact_log > exact_fast
+        assert exact_log / len(vals) > 0.95
+
+    def test_stats_counters(self):
+        STATS.reset()
+        v = Flonum.from_float(3.0)
+        sv = _scaled_value(v)
+        scale_estimate(sv, 10, v)
+        assert STATS.calls == 1
+        assert STATS.overshoot_drops == 0
+
+    def test_huge_format_no_overflow(self):
+        # binary128-sized exponents must not overflow the host double in
+        # the log-based estimators.
+        from repro.floats.formats import BINARY128
+
+        v = Flonum.finite(0, BINARY128.hidden_limit, 16000, BINARY128)
+        est = estimate_k_float_log(v, 10)
+        est2 = estimate_k_fast(v, 10)
+        sv = _scaled_value(v)
+        k_true, *_ = scale_iterative(sv, 10, v)
+        assert k_true - 1 <= est <= k_true
+        assert k_true - 1 <= est2 <= k_true
+
+
+class TestFixupRobustness:
+    """apply_estimate must repair *any* bad estimate, both directions.
+
+    The shipped estimators never overshoot (epsilon-guarded) and
+    undershoot by at most one, but the fixup is written as a loop so
+    exotic radixes — and this test — can hand it arbitrary garbage.
+    """
+
+    def _state(self, v):
+        return _scaled_value(v, ReaderMode.NEAREST_EVEN)
+
+    @given(positive_flonums(), st.integers(min_value=-4, max_value=4))
+    @settings(max_examples=150)
+    def test_offset_estimates_repaired(self, v, offset):
+        from repro.core.scaling import apply_estimate
+
+        sv = self._state(v)
+        k_true, *_ = scale_iterative(sv, 10, v)
+        est = estimate_k_fast(v, 10) + offset
+        k, r, s, mp, mm = apply_estimate(sv, 10, est)
+        assert k == k_true
+        assert _contract_holds(k, r, s, mp, 10, sv.high_ok)
+
+    def test_wildly_low_estimate(self):
+        from repro.core.scaling import apply_estimate
+
+        v = Flonum.from_float(1e100)
+        sv = self._state(v)
+        k, r, s, mp, mm = apply_estimate(sv, 10, 0)
+        assert k == 101
+        assert _contract_holds(k, r, s, mp, 10, sv.high_ok)
+
+    def test_wildly_high_estimate(self):
+        from repro.core.scaling import apply_estimate
+
+        v = Flonum.from_float(1e-100)
+        sv = self._state(v)
+        k, r, s, mp, mm = apply_estimate(sv, 10, 5)
+        assert k == -99
+        assert _contract_holds(k, r, s, mp, 10, sv.high_ok)
+
+    @given(positive_flonums(), st.integers(min_value=-3, max_value=3))
+    @settings(max_examples=100)
+    def test_digits_unchanged_under_bad_estimates(self, v, offset):
+        """The full conversion is estimate-independent: any starting
+        guess yields identical output."""
+        from repro.core.scaling import apply_estimate
+
+        def bad_scaler(sv, base, value):
+            return apply_estimate(sv, base, estimate_k_fast(value, base)
+                                  + offset)
+
+        ref = shortest_digits_for_test(v)
+        got = shortest_digits_for_test(v, scaler=bad_scaler)
+        assert (ref.k, ref.digits) == (got.k, got.digits)
+
+
+def shortest_digits_for_test(v, scaler=None):
+    from repro.core.dragon import shortest_digits
+
+    return shortest_digits(v, scaler=scaler)

@@ -1,0 +1,77 @@
+"""The incremental digit stream."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import positive_flonums
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.core.stream import DigitStream
+from repro.errors import RangeError
+from repro.floats.model import Flonum
+
+
+class TestNaturalTermination:
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_iterating_matches_shortest(self, v):
+        stream = DigitStream(v)
+        digits = list(stream)
+        want = shortest_digits(v)
+        assert stream.complete
+        assert (stream.k, tuple(digits)) == (want.k, want.digits)
+
+    def test_next_digit_protocol(self):
+        stream = DigitStream(Flonum.from_float(0.25))
+        d1, done1 = stream.next_digit()
+        d2, done2 = stream.next_digit()
+        assert (d1, done1) == (2, False)
+        assert (d2, done2) == (5, True)
+        with pytest.raises(RangeError):
+            stream.next_digit()
+
+    def test_mode_parameter(self):
+        v = Flonum.from_float(1e23)
+        assert list(DigitStream(v, mode=ReaderMode.NEAREST_EVEN)) == [1]
+        assert len(list(DigitStream(v, mode=ReaderMode.NEAREST_UNKNOWN))) == 16
+
+
+class TestTake:
+    @given(positive_flonums(), st.integers(min_value=1, max_value=25))
+    @settings(max_examples=300)
+    def test_capped_is_correctly_rounded_prefix(self, v, n):
+        r = DigitStream(v, tie=TieBreak.EVEN).take(n)
+        natural = shortest_digits(v)
+        if len(natural.digits) <= n:
+            assert (r.k, r.digits) == (natural.k, natural.digits)
+        else:
+            want = exact_fixed_digits(v, ndigits=n, tie=TieBreak.EVEN)
+            assert (r.k, r.digits) == (want.k, want.digits)
+
+    def test_carry_propagates(self):
+        # 0.999999 capped at 3 digits rounds to 1.00 x 10^0.
+        v = Flonum.from_float(0.9999995)
+        r = DigitStream(v).take(3)
+        assert r.digits == (1, 0, 0) and r.k == 1
+
+    def test_take_needs_fresh_stream(self):
+        stream = DigitStream(Flonum.from_float(1 / 3))
+        stream.next_digit()
+        with pytest.raises(RangeError):
+            stream.take(4)
+
+    def test_take_validates(self):
+        with pytest.raises(RangeError):
+            DigitStream(Flonum.from_float(1.0)).take(0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            DigitStream(Flonum.zero())
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(RangeError):
+            DigitStream(Flonum.from_float(1.0), base=1)

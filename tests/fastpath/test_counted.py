@@ -1,0 +1,77 @@
+"""The counted-digit (Gay-heuristic) fast path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import positive_flonums
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.core.rounding import TieBreak
+from repro.errors import RangeError
+from repro.fastpath import STATS, counted_fixed, fixed_fast
+from repro.floats.formats import BINARY128
+from repro.floats.model import Flonum
+
+
+class TestAgreement:
+    @given(positive_flonums(), st.integers(min_value=1, max_value=17))
+    @settings(max_examples=400)
+    def test_success_matches_exact(self, v, n):
+        c = counted_fixed(v, n)
+        if c is None:
+            return
+        want = exact_fixed_digits(v, ndigits=n)
+        assert (c.k, c.digits) == (want.k, want.digits)
+
+    @given(positive_flonums(), st.integers(min_value=1, max_value=17))
+    @settings(max_examples=300)
+    def test_facade_always_exact(self, v, n):
+        r = fixed_fast(v, n)
+        want = exact_fixed_digits(v, ndigits=n)
+        assert (r.k, r.digits) == (want.k, want.digits)
+
+    def test_carry_case(self):
+        # 9.9999... rounding up to 10 at few digits exercises the ripple.
+        v = Flonum.from_float(9.9999999)
+        c = counted_fixed(v, 3)
+        if c is not None:
+            assert c.digits == (1, 0, 0) and c.k == 2
+
+
+class TestBailing:
+    def test_exact_ties_bail(self):
+        """A value exactly on a rounding boundary cannot be certified."""
+        v = Flonum.from_float(2.5)
+        assert counted_fixed(v, 1) is None
+
+    def test_too_many_digits_bails(self):
+        v = Flonum.from_float(1 / 3)
+        assert counted_fixed(v, 18) is None
+
+    def test_wide_format_bails(self):
+        v = Flonum.finite(0, BINARY128.hidden_limit, 0, BINARY128)
+        assert counted_fixed(v, 5) is None
+
+    def test_non_decimal_bails(self):
+        assert counted_fixed(Flonum.from_float(1.5), 3, base=16) is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            counted_fixed(Flonum.zero(), 3)
+
+    def test_hit_rate_reasonable(self):
+        from repro.workloads.schryer import corpus
+
+        STATS.reset()
+        for v in corpus(500):
+            fixed_fast(v, 15)
+        rate = STATS.fixed_hits / (STATS.fixed_hits + STATS.fixed_misses)
+        assert rate > 0.9
+
+    def test_small_digit_counts_almost_always_hit(self):
+        """Gay's observation: float arithmetic suffices when the digit
+        count is small."""
+        from repro.workloads.schryer import corpus
+
+        misses = sum(counted_fixed(v, 6) is None for v in corpus(500))
+        assert misses < 10

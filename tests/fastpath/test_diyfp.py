@@ -1,0 +1,92 @@
+"""The 64-bit fixed-point substrate of the fast paths."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import positive_flonums
+from repro.errors import RangeError
+from repro.fastpath.diyfp import (
+    DiyFp,
+    cached_power_for_binary_exponent,
+    normalize,
+    normalized_boundaries,
+)
+from repro.fastpath.diyfp import _pow10_diyfp
+from repro.floats.model import Flonum
+from repro.floats.ulp import midpoint_high, midpoint_low
+
+
+class TestDiyFp:
+    def test_normalize(self):
+        d = normalize(1, 0)
+        assert d.f == 1 << 63 and d.e == -63
+
+    def test_normalize_rejects_zero(self):
+        with pytest.raises(RangeError):
+            normalize(0, 5)
+
+    @given(st.integers(min_value=1, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=(1 << 64) - 1))
+    @settings(max_examples=300)
+    def test_times_error_below_one_ulp(self, a, b):
+        da = normalize(a, 0)
+        db = normalize(b, 0)
+        prod = da.times(db)
+        exact = da.to_fraction() * db.to_fraction()
+        err = abs(prod.to_fraction() - exact)
+        assert err <= Fraction(2) ** prod.e / 2
+
+    def test_minus(self):
+        a, b = DiyFp(10, 3), DiyFp(4, 3)
+        assert a.minus(b) == DiyFp(6, 3)
+        with pytest.raises(RangeError):
+            b.minus(a)
+        with pytest.raises(RangeError):
+            a.minus(DiyFp(1, 2))
+
+
+class TestBoundaries:
+    @given(positive_flonums())
+    @settings(max_examples=300)
+    def test_exact_midpoints(self, v):
+        lo, hi = normalized_boundaries(v)
+        assert lo.e == hi.e
+        assert hi.f >= 1 << 63  # plus boundary normalized
+        assert lo.to_fraction() == midpoint_low(v)
+        assert hi.to_fraction() == midpoint_high(v)
+
+    def test_uneven_gap_case(self):
+        v = Flonum.from_float(1.0)
+        lo, hi = normalized_boundaries(v)
+        value = v.to_fraction()
+        assert hi.to_fraction() - value == 2 * (value - lo.to_fraction())
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            normalized_boundaries(Flonum.zero())
+
+
+class TestCachedPowers:
+    @pytest.mark.parametrize("k", [-340, -200, -28, -1, 0, 1, 27, 200, 340])
+    def test_correctly_rounded(self, k):
+        d, exact = _pow10_diyfp(k)
+        true = Fraction(10) ** k
+        assert 1 << 63 <= d.f < 1 << 64
+        assert abs(d.to_fraction() - true) <= Fraction(2) ** d.e / 2
+
+    def test_exactness_flag(self):
+        assert _pow10_diyfp(0)[1]
+        assert _pow10_diyfp(10)[1]
+        assert not _pow10_diyfp(30)[1]  # 10**30 needs > 64 bits
+        assert not _pow10_diyfp(-1)[1]
+
+    @pytest.mark.parametrize("e", list(range(-1140, 1030, 97)))
+    def test_window_selection(self, e):
+        power, k, _ = cached_power_for_binary_exponent(e)
+        assert -60 <= e + power.e + 64 <= -32
+        # power approximates 10**-k.
+        ratio = power.to_fraction() * Fraction(10) ** k
+        assert abs(ratio - 1) < Fraction(1, 10**15)

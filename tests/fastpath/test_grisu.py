@@ -1,0 +1,92 @@
+"""Grisu3 fast path: success implies exact agreement; failures bail."""
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.fastpath import STATS, grisu_shortest, shortest_fast
+from repro.floats.formats import BINARY32, BINARY128
+from repro.floats.model import Flonum
+from repro.workloads.corpus import decimal_ties, torture_floats
+
+
+class TestAgreement:
+    @given(positive_flonums())
+    @settings(max_examples=400)
+    def test_success_matches_exact_both_modes(self, v):
+        g = grisu_shortest(v)
+        if g is None:
+            return
+        for mode in (ReaderMode.NEAREST_EVEN, ReaderMode.NEAREST_UNKNOWN):
+            exact = shortest_digits(v, mode=mode)
+            assert (g.k, g.digits) == (exact.k, exact.digits)
+
+    @given(positive_flonums(BINARY32))
+    @settings(max_examples=200)
+    def test_binary32_success_matches(self, v):
+        g = grisu_shortest(v)
+        if g is None:
+            return
+        exact = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert (g.k, g.digits) == (exact.k, exact.digits)
+
+    def test_torture_values(self):
+        for v in torture_floats():
+            g = grisu_shortest(v.abs()) if not v.is_zero else None
+            if g is None:
+                continue
+            exact = shortest_digits(v.abs(), mode=ReaderMode.NEAREST_EVEN)
+            assert (g.k, g.digits) == (exact.k, exact.digits)
+
+
+class TestBailing:
+    def test_boundary_sensitive_inputs_bail(self):
+        """Inputs whose shortest output depends on the reader's tie rule
+        (the 1e23 family) are exactly the ones 64 bits cannot decide."""
+        bail = 0
+        for v in decimal_ties():
+            even = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+            unk = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN)
+            if (even.k, even.digits) != (unk.k, unk.digits):
+                assert grisu_shortest(v) is None, v
+                bail += 1
+        assert bail > 0  # the corpus contains such values (1e23 itself)
+
+    def test_non_decimal_base_bails(self):
+        assert grisu_shortest(Flonum.from_float(1.5), base=16) is None
+
+    def test_wide_format_bails(self):
+        v = Flonum.finite(0, BINARY128.hidden_limit, 0, BINARY128)
+        assert grisu_shortest(v) is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            grisu_shortest(Flonum.zero())
+
+    def test_hit_rate_is_high(self):
+        """Loitsch reports ~99.5% coverage for Grisu3 on doubles."""
+        from repro.workloads.schryer import corpus
+
+        values = corpus(2000)
+        hits = sum(grisu_shortest(v) is not None for v in values)
+        assert hits / len(values) > 0.98
+
+
+class TestFacade:
+    def test_fallback_is_seamless(self):
+        STATS.reset()
+        v = Flonum.from_float(1e23)  # boundary case: must fall back
+        r = shortest_fast(v)
+        exact = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert (r.k, r.digits) == (exact.k, exact.digits)
+        assert STATS.shortest_misses >= 1
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_always_equals_exact(self, v):
+        r = shortest_fast(v)
+        exact = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert (r.k, r.digits) == (exact.k, exact.digits)

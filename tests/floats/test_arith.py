@@ -1,0 +1,212 @@
+"""Correctly rounded Flonum arithmetic vs the host FPU and by properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import TOY_P5, finite_doubles, positive_flonums
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.floats.arith import add, div, fma, mul, sqrt, sub
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.floats.model import Flonum
+
+
+def _f(x):
+    return Flonum.from_float(x)
+
+
+def _same(result, x):
+    want = Flonum.from_float(x)
+    if want.is_nan:
+        return result.is_nan
+    if want.is_zero and result.is_zero:
+        return want.sign == result.sign
+    return result == want
+
+
+class TestAgainstHostFPU:
+    """The host's binary64 ops are IEEE nearest-even: a free oracle."""
+
+    @given(finite_doubles(), finite_doubles())
+    @settings(max_examples=400)
+    def test_add(self, x, y):
+        assert _same(add(_f(x), _f(y)), x + y)
+
+    @given(finite_doubles(), finite_doubles())
+    @settings(max_examples=400)
+    def test_sub(self, x, y):
+        assert _same(sub(_f(x), _f(y)), x - y)
+
+    @given(finite_doubles(), finite_doubles())
+    @settings(max_examples=400)
+    def test_mul(self, x, y):
+        assert _same(mul(_f(x), _f(y)), x * y)
+
+    @given(finite_doubles(), finite_doubles())
+    @settings(max_examples=400)
+    def test_div(self, x, y):
+        if y == 0:
+            return
+        assert _same(div(_f(x), _f(y)), x / y)
+
+    @given(finite_doubles())
+    @settings(max_examples=400)
+    def test_sqrt(self, x):
+        if x < 0:
+            assert sqrt(_f(x)).is_nan
+        else:
+            assert _same(sqrt(_f(x)), math.sqrt(x))
+
+    def test_overflow_to_inf(self):
+        big = _f(1.7976931348623157e308)
+        assert add(big, big).is_infinite
+        assert mul(big, _f(2.0)).is_infinite
+
+    def test_underflow_to_zero(self):
+        tiny = _f(5e-324)
+        r = mul(tiny, _f(0.25))
+        assert r.is_zero and not r.is_negative
+
+
+class TestSpecials:
+    def test_nan_propagates(self):
+        nan = Flonum.nan(BINARY64)
+        one = _f(1.0)
+        for op in (add, sub, mul, div):
+            assert op(nan, one).is_nan
+            assert op(one, nan).is_nan
+
+    def test_inf_minus_inf(self):
+        inf = Flonum.infinity(BINARY64)
+        assert add(inf, inf.negate()).is_nan
+        assert sub(inf, inf).is_nan
+        assert add(inf, inf).is_infinite
+
+    def test_zero_times_inf(self):
+        assert mul(Flonum.zero(BINARY64), Flonum.infinity(BINARY64)).is_nan
+
+    def test_division_specials(self):
+        one, zero = _f(1.0), Flonum.zero(BINARY64)
+        inf = Flonum.infinity(BINARY64)
+        assert div(one, zero).is_infinite
+        assert div(one.negate(), zero).sign == 1
+        assert div(zero, zero).is_nan
+        assert div(inf, inf).is_nan
+        assert div(one, inf).is_zero
+
+    def test_signed_zero_rules(self):
+        pz, nz = _f(0.0), _f(-0.0)
+        assert not add(pz, nz).is_negative  # (+0) + (-0) = +0
+        assert add(nz, nz).is_negative  # (-0) + (-0) = -0
+        r = add(_f(1.0), _f(-1.0), ReaderMode.TOWARD_NEGATIVE)
+        assert r.is_zero and r.is_negative  # exact cancel rounds to -0 down
+        assert not add(_f(1.0), _f(-1.0)).is_negative
+
+    def test_sqrt_specials(self):
+        assert sqrt(Flonum.nan(BINARY64)).is_nan
+        assert sqrt(_f(-1.0)).is_nan
+        assert sqrt(Flonum.infinity(BINARY64)).is_infinite
+        assert sqrt(_f(-0.0)).is_negative  # sqrt(-0) = -0
+
+    def test_mixed_formats_rejected(self):
+        with pytest.raises(RangeError):
+            add(_f(1.0), Flonum.from_bits(0x3C00, BINARY16))
+
+
+class TestDirectedModes:
+    @given(finite_doubles(), finite_doubles())
+    @settings(max_examples=200)
+    def test_directed_bracket_nearest(self, x, y):
+        a, b = _f(x), _f(y)
+        down = add(a, b, ReaderMode.TOWARD_NEGATIVE)
+        up = add(a, b, ReaderMode.TOWARD_POSITIVE)
+        near = add(a, b)
+        if near.is_infinite or down.is_infinite or up.is_infinite:
+            return
+        assert down <= near <= up
+
+    @given(positive_flonums(BINARY32))
+    @settings(max_examples=200)
+    def test_sqrt_directed_squares_bracket(self, v):
+        down = sqrt(v, ReaderMode.TOWARD_NEGATIVE)
+        up = sqrt(v, ReaderMode.TOWARD_POSITIVE)
+        value = v.to_fraction()
+        assert down.to_fraction() ** 2 <= value
+        if not up.is_infinite:
+            assert up.to_fraction() ** 2 >= value
+        # Adjacent or equal.
+        if down != up:
+            from repro.floats.ulp import successor
+
+            assert successor(down) == up
+
+
+class TestFma:
+    def test_single_rounding_differs_from_two(self):
+        # The classic fma use: the exact division residual a - q*b.
+        # Split evaluation rounds q*3 up to 1.0 and the residual vanishes;
+        # fused keeps it (and it is exactly representable).
+        from fractions import Fraction
+
+        q = div(_f(1.0), _f(3.0))
+        r_fused = fma(q, _f(-3.0), _f(1.0))
+        r_split = sub(_f(1.0), mul(q, _f(3.0)))
+        assert r_split.is_zero
+        assert r_fused.to_fraction() == Fraction(1, 2**54)
+
+    @given(finite_doubles(), finite_doubles(), finite_doubles())
+    @settings(max_examples=150)
+    def test_fma_matches_exact_rational(self, x, y, z):
+        from fractions import Fraction
+
+        from repro.reader.exact import read_fraction
+
+        a, b, c = _f(x), _f(y), _f(z)
+        got = fma(a, b, c)
+        exact = Fraction(x) * Fraction(y) + Fraction(z)
+        if exact == 0:
+            assert got.is_zero
+            return
+        assert got == read_fraction(exact, BINARY64)
+
+    def test_fma_specials(self):
+        inf = Flonum.infinity(BINARY64)
+        assert fma(Flonum.zero(BINARY64), inf, _f(1.0)).is_nan
+        assert fma(_f(1.0), _f(1.0), inf).is_infinite
+        assert fma(Flonum.nan(BINARY64), _f(1.0), _f(1.0)).is_nan
+
+
+class TestOtherFormats:
+    def test_binary16_closure(self):
+        # Exhaustive-ish: sums of small binary16 values stay correctly
+        # rounded (checked against binary64 reference done exactly).
+        from fractions import Fraction
+
+        from repro.reader.exact import read_fraction
+
+        vals = [Flonum.from_bits(bits, BINARY16)
+                for bits in range(0x3C00, 0x3C40)]  # 1.0 .. ~1.06
+        for a in vals[:8]:
+            for b in vals[:8]:
+                got = add(a, b)
+                want = read_fraction(a.to_fraction() + b.to_fraction(),
+                                     BINARY16)
+                assert got == want
+
+    def test_toy_format_sqrt(self):
+        for v in Flonum.enumerate_positive(TOY_P5):
+            r = sqrt(v)
+            # r is the representable value whose square brackets v.
+            from repro.floats.ulp import predecessor, successor
+
+            value = v.to_fraction()
+            assert not r.is_nan
+            lo = predecessor(r) if not r.is_zero else r
+            hi = successor(r)
+            if not lo.is_zero:
+                assert lo.to_fraction() ** 2 < value or r.to_fraction() ** 2 <= value
+            if not hi.is_infinite:
+                assert hi.to_fraction() ** 2 > value

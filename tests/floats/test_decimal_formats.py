@@ -1,0 +1,94 @@
+"""IEEE 754-2008 decimal formats at the algorithm level."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.dragon import shortest_digits
+from repro.core.fixed import fixed_digits
+from repro.core.rounding import ReaderMode
+from repro.errors import FormatError
+from repro.floats.formats import DECIMAL32, DECIMAL64, DECIMAL128
+from repro.floats.model import Flonum
+from repro.reader.exact import read_fraction
+
+
+class TestParameters:
+    @pytest.mark.parametrize("fmt,p,emax", [
+        (DECIMAL32, 7, 96), (DECIMAL64, 16, 384), (DECIMAL128, 34, 6144),
+    ])
+    def test_ieee_parameters(self, fmt, p, emax):
+        assert fmt.radix == 10
+        assert fmt.precision == p
+        assert fmt.emax == emax
+        assert fmt.emin == 1 - emax
+
+    def test_no_bit_encoding(self):
+        assert not DECIMAL64.has_encoding
+        with pytest.raises(FormatError):
+            _ = DECIMAL64.total_bits
+
+    def test_digit_counts(self):
+        # Radix-10 formats distinguish themselves with exactly p digits.
+        assert DECIMAL64.decimal_digits_to_distinguish() == 17
+
+    def test_extremes(self):
+        f, e = DECIMAL32.largest_finite
+        assert Fraction(f) * Fraction(10) ** e == Fraction(9999999) * 10**90
+
+
+class TestPrinting:
+    def test_decimal_values_print_exactly(self):
+        """0.1 IS exact in decimal formats: one digit, no tail."""
+        v = Flonum.finite(0, 10**15, -16, DECIMAL64)  # 0.1
+        r = shortest_digits(v)
+        assert (r.k, r.digits) == (0, (1,))
+
+    def test_third_needs_full_precision(self):
+        v = Flonum.finite(0, 3333333333333333, -16, DECIMAL64)
+        r = shortest_digits(v)
+        assert len(r.digits) == 16
+
+    def test_roundtrip(self):
+        import random
+
+        rng = random.Random(4)
+        for _ in range(150):
+            f = rng.randrange(DECIMAL64.hidden_limit,
+                              DECIMAL64.mantissa_limit)
+            e = rng.randrange(DECIMAL64.min_e, DECIMAL64.max_e + 1)
+            v = Flonum.finite(0, f, e, DECIMAL64)
+            r = shortest_digits(v)
+            assert read_fraction(r.to_fraction(), DECIMAL64) == v
+
+    def test_binary_output_of_decimal_float(self):
+        """Cross-radix: decimal 0.1 has an infinite binary expansion, so
+        the binary shortest output is bounded by the gap, not exactness."""
+        v = Flonum.finite(0, 10**15, -16, DECIMAL64)
+        r = shortest_digits(v, base=2)
+        assert read_fraction(r.to_fraction(), DECIMAL64) == v
+        assert len(r.digits) > 40  # needs most of the precision in bits
+
+    def test_fixed_format_decimal(self):
+        v = Flonum.finite(0, 3333333333333333, -16, DECIMAL64)
+        r = fixed_digits(v, ndigits=20)
+        assert r.hashes >= 1  # beyond 16 digits is insignificant
+
+    def test_denormal_decimal(self):
+        v = Flonum.finite(0, 7, DECIMAL32.min_e, DECIMAL32)
+        r = shortest_digits(v)
+        assert (r.k, r.digits) == (DECIMAL32.min_e + 1, (7,))
+
+
+class TestUnevenGapsInDecimal:
+    def test_power_of_ten_boundary(self):
+        from repro.floats.ulp import gap_high, gap_low
+
+        v = Flonum.finite(0, DECIMAL64.hidden_limit, 0, DECIMAL64)
+        assert gap_high(v) == 10 * gap_low(v)
+
+    def test_boundary_value_prints_short(self):
+        # 10**15 (the smallest 16-digit mantissa at e=0): one digit out.
+        v = Flonum.finite(0, DECIMAL64.hidden_limit, 0, DECIMAL64)
+        r = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+        assert (r.k, r.digits) == (16, (1,))

@@ -1,0 +1,149 @@
+"""Bit-level encode/decode against struct and by exhaustion."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError, RangeError
+from repro.floats.decompose import (
+    FloatClass,
+    bits_to_float,
+    bits_to_float32,
+    classify_fields,
+    decode_fields,
+    decompose_float,
+    encode_components,
+    float32_to_bits,
+    float_to_bits,
+    join_bits,
+    split_bits,
+)
+from repro.floats.formats import BINARY16, BINARY32, BINARY64, X87_80
+
+
+class TestSplitJoin:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_split_join_roundtrip_binary64(self, bits):
+        assert join_bits(*split_bits(bits, BINARY64), BINARY64) == bits
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_split_join_roundtrip_binary16(self, bits):
+        assert join_bits(*split_bits(bits, BINARY16), BINARY16) == bits
+
+    def test_split_fields_of_one(self):
+        bits = float_to_bits(1.0)
+        sign, be, m = split_bits(bits, BINARY64)
+        assert (sign, be, m) == (0, 1023, 0)
+
+    def test_split_rejects_oversized(self):
+        with pytest.raises(DecodeError):
+            split_bits(1 << 64, BINARY64)
+
+    def test_join_rejects_bad_fields(self):
+        with pytest.raises(DecodeError):
+            join_bits(2, 0, 0, BINARY64)
+        with pytest.raises(DecodeError):
+            join_bits(0, 2048, 0, BINARY64)
+        with pytest.raises(DecodeError):
+            join_bits(0, 0, 1 << 52, BINARY64)
+
+
+class TestClassify:
+    def test_zero(self):
+        assert classify_fields(0, 0, BINARY64) is FloatClass.ZERO
+
+    def test_denormal(self):
+        assert classify_fields(0, 1, BINARY64) is FloatClass.DENORMAL
+
+    def test_normal(self):
+        assert classify_fields(1023, 0, BINARY64) is FloatClass.NORMAL
+
+    def test_infinity_and_nan(self):
+        assert classify_fields(2047, 0, BINARY64) is FloatClass.INFINITE
+        assert classify_fields(2047, 1, BINARY64) is FloatClass.NAN
+
+    def test_x87_unnormal_rejected(self):
+        # Exponent nonzero but integer bit clear: invalid on x87.
+        with pytest.raises(DecodeError):
+            classify_fields(1, 0, X87_80)
+
+    def test_x87_normal(self):
+        m = 1 << 63  # integer bit set
+        assert classify_fields(1, m, X87_80) is FloatClass.NORMAL
+
+
+class TestAgainstStruct:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_decode_matches_struct_binary64(self, bits):
+        x = struct.unpack(">d", struct.pack(">Q", bits))[0]
+        cls, sign, f, e = decode_fields(*split_bits(bits, BINARY64), BINARY64)
+        if math.isnan(x):
+            assert cls is FloatClass.NAN
+        elif math.isinf(x):
+            assert cls is FloatClass.INFINITE
+            assert sign == (x < 0)
+        else:
+            assert sign == (math.copysign(1.0, x) < 0)
+            assert math.ldexp(f, e) == abs(x)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_decode_matches_struct_binary32(self, bits):
+        x = struct.unpack(">f", struct.pack(">I", bits))[0]
+        cls, sign, f, e = decode_fields(*split_bits(bits, BINARY32), BINARY32)
+        if math.isnan(x):
+            assert cls is FloatClass.NAN
+        elif math.isinf(x):
+            assert cls is FloatClass.INFINITE
+        else:
+            assert math.ldexp(f, e) == abs(x)
+
+    def test_float_bits_roundtrip(self):
+        for x in (0.0, -0.0, 1.0, -2.5, 1e308, 5e-324, float("inf")):
+            assert bits_to_float(float_to_bits(x)) == x
+
+    def test_float32_bits_roundtrip(self):
+        for x in (0.0, 1.0, -2.5, 3.4e38, 1e-45):
+            bits = float32_to_bits(x)
+            assert float32_to_bits(bits_to_float32(bits)) == bits
+
+
+class TestEncodeComponents:
+    def test_one(self):
+        assert encode_components(0, 1 << 52, -52, BINARY64) == float_to_bits(1.0)
+
+    def test_smallest_denormal(self):
+        assert encode_components(0, 1, -1074, BINARY64) == float_to_bits(5e-324)
+
+    def test_negative(self):
+        assert encode_components(1, 1 << 52, -52, BINARY64) == float_to_bits(-1.0)
+
+    def test_rejects_noncanonical(self):
+        with pytest.raises(RangeError):
+            encode_components(0, 1, 0, BINARY64)  # denormal mantissa, e != min
+
+    def test_exhaustive_binary16_decode_encode(self):
+        # Every finite half-precision bit pattern survives the round trip.
+        for bits in range(1 << 16):
+            sign, be, m = split_bits(bits, BINARY16)
+            cls = classify_fields(be, m, BINARY16)
+            if cls in (FloatClass.INFINITE, FloatClass.NAN):
+                continue
+            cls, sign, f, e = decode_fields(sign, be, m, BINARY16)
+            assert encode_components(sign, f, e, BINARY16) == bits
+
+
+class TestDecomposeFloat:
+    def test_requires_known_format(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            decompose_float(1.0, BINARY16)
+
+    def test_binary32_packs_first(self):
+        # 0.1 is not a binary32 value; decompose rounds like a C cast.
+        cls, sign, f, e = decompose_float(0.1, BINARY32)
+        assert math.ldexp(f, e) == struct.unpack(
+            ">f", struct.pack(">f", 0.1))[0]

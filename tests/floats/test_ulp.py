@@ -1,0 +1,131 @@
+"""Successor/predecessor and gap arithmetic (paper Section 2.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from helpers import TOY_B4, TOY_P5, enumerate_toy, positive_flonums
+from repro.errors import RangeError
+from repro.floats.formats import BINARY64
+from repro.floats.model import Flonum
+from repro.floats.ulp import (
+    gap_high,
+    gap_low,
+    midpoint_high,
+    midpoint_low,
+    predecessor,
+    rounding_interval,
+    successor,
+    ulp,
+    ulp_exponent,
+)
+
+
+class TestSuccessorPredecessor:
+    @given(positive_flonums())
+    def test_successor_is_next(self, v):
+        succ = successor(v)
+        if succ.is_infinite:
+            return
+        assert v < succ
+        assert succ.to_fraction() - v.to_fraction() == ulp(v)
+
+    @given(positive_flonums())
+    def test_predecessor_inverts_successor(self, v):
+        succ = successor(v)
+        if succ.is_infinite:
+            return
+        assert predecessor(succ) == v
+
+    def test_exhaustive_adjacency_toy(self):
+        values = enumerate_toy(TOY_P5)
+        for a, b in zip(values, values[1:]):
+            assert successor(a) == b
+            assert predecessor(b) == a
+
+    def test_exhaustive_adjacency_radix4(self):
+        values = enumerate_toy(TOY_B4)
+        for a, b in zip(values, values[1:]):
+            assert successor(a) == b
+            assert predecessor(b) == a
+
+    def test_smallest_denormal_predecessor_is_zero(self):
+        v = Flonum.finite(0, 1, BINARY64.min_e, BINARY64)
+        assert predecessor(v).is_zero
+
+    def test_largest_finite_successor_is_inf(self):
+        f, e = BINARY64.largest_finite
+        v = Flonum.finite(0, f, e, BINARY64)
+        assert successor(v).is_infinite
+
+    def test_power_boundary_crossing(self):
+        # Successor of (b**p - 1) * b**e jumps to b**(p-1) * b**(e+1).
+        v = Flonum.finite(0, BINARY64.mantissa_limit - 1, 0, BINARY64)
+        succ = successor(v)
+        assert succ.f == BINARY64.hidden_limit and succ.e == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            successor(Flonum.zero())
+        with pytest.raises(RangeError):
+            predecessor(Flonum.from_float(-1.0))
+        with pytest.raises(RangeError):
+            successor(Flonum.infinity())
+
+
+class TestGaps:
+    def test_uneven_gap_at_power(self):
+        # At f == b**(p-1) with e > min_e the gap below is b times
+        # narrower than the gap above (the paper's v- case analysis).
+        v = Flonum.finite(0, BINARY64.hidden_limit, 0, BINARY64)
+        assert gap_high(v) == gap_low(v) * 2
+
+    def test_even_gap_elsewhere(self):
+        v = Flonum.from_float(1.5)
+        assert gap_high(v) == gap_low(v)
+
+    def test_gap_at_min_exponent_power_is_even(self):
+        # At the minimum exponent the value below b**(p-1)*b**min_e is the
+        # largest denormal, a full ulp away: no narrowing.
+        v = Flonum.finite(0, BINARY64.hidden_limit, BINARY64.min_e, BINARY64)
+        assert gap_high(v) == gap_low(v)
+
+    def test_largest_finite_gap_high_is_ulp(self):
+        f, e = BINARY64.largest_finite
+        v = Flonum.finite(0, f, e, BINARY64)
+        assert gap_high(v) == ulp(v)
+
+    @given(positive_flonums())
+    def test_ulp_value(self, v):
+        assert ulp(v) == Fraction(2) ** v.e
+        assert ulp_exponent(v) == v.e
+
+    def test_ulp_rejects_nonfinite(self):
+        with pytest.raises(RangeError):
+            ulp(Flonum.infinity())
+
+
+class TestMidpoints:
+    @given(positive_flonums())
+    def test_interval_brackets_value(self, v):
+        low, high = rounding_interval(v)
+        assert low < v.to_fraction() < high
+
+    @given(positive_flonums())
+    def test_midpoints_are_halfway(self, v):
+        value = v.to_fraction()
+        assert midpoint_high(v) - value == gap_high(v) / 2
+        assert value - midpoint_low(v) == gap_low(v) / 2
+
+    def test_adjacent_intervals_share_endpoints(self):
+        values = enumerate_toy(TOY_P5)
+        for a, b in zip(values, values[1:]):
+            assert midpoint_high(a) == midpoint_low(b)
+
+    def test_flagship_1e23_is_a_midpoint(self):
+        # The paper: 10**23 falls exactly between two doubles, the smaller
+        # of which has an even mantissa.
+        v = Flonum.from_float(1e23)
+        assert midpoint_high(v) == Fraction(10) ** 23
+        assert v.f % 2 == 0

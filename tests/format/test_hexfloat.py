@@ -1,0 +1,134 @@
+"""Hex-float formatting and parsing vs the float.hex/fromhex oracles."""
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import finite_doubles
+from repro.core.rounding import ReaderMode
+from repro.errors import FormatError, ParseError
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.format.hexfloat import format_hex, parse_hex, python_hex
+
+
+class TestPythonHexOracle:
+    @given(finite_doubles())
+    @settings(max_examples=400)
+    def test_matches_float_hex(self, x):
+        assert python_hex(x) == x.hex()
+
+    @pytest.mark.parametrize("x", [
+        0.0, -0.0, 1.0, 1.5, 0.1, 5e-324, 2.2250738585072014e-308,
+        1.7976931348623157e308, -3.14159,
+    ])
+    def test_curated(self, x):
+        assert python_hex(x) == x.hex()
+
+    def test_specials(self):
+        assert python_hex(float("nan")) == "nan"
+        assert python_hex(float("inf")) == "inf"
+        assert python_hex(float("-inf")) == "-inf"
+
+
+class TestFormatHex:
+    def test_trims_trailing_zeros(self):
+        assert format_hex(1.5) == "0x1.8p+0"
+        assert format_hex(1.0) == "0x1p+0"
+        assert format_hex(2.0) == "0x1p+1"
+
+    @given(finite_doubles())
+    @settings(max_examples=300)
+    def test_fromhex_roundtrip(self, x):
+        assert float.fromhex(format_hex(x)) == x
+
+    def test_precision_rounds_nearest_even(self):
+        assert format_hex(1.9375, precision=0) == "0x2p+0"
+        # 0x1.08p+0: exactly halfway at one hexit, even stays.
+        assert format_hex(float.fromhex("0x1.08p+0"), precision=1) == (
+            "0x1.0p+0")
+        assert format_hex(float.fromhex("0x1.18p+0"), precision=1) == (
+            "0x1.2p+0")
+
+    def test_precision_pads(self):
+        assert format_hex(1.5, precision=4) == "0x1.8000p+0"
+
+    def test_upper(self):
+        assert format_hex(1.5, upper=True) == "0X1.8P+0"
+
+    def test_plus_flag(self):
+        assert format_hex(1.5, flags="+") == "+0x1.8p+0"
+
+    def test_zero_forms(self):
+        assert format_hex(0.0) == "0x0p+0"
+        assert format_hex(-0.0) == "-0x0p+0"
+        assert format_hex(0.0, precision=2) == "0x0.00p+0"
+
+    def test_specials(self):
+        assert format_hex(float("nan")) == "nan"
+        assert format_hex(float("inf"), upper=True) == "INF"
+        assert format_hex(float("-inf")) == "-inf"
+
+    def test_denormal(self):
+        assert format_hex(5e-324) == "0x0.0000000000001p-1022"
+
+
+class TestParseHex:
+    @given(finite_doubles())
+    @settings(max_examples=300)
+    def test_parses_float_hex(self, x):
+        assert parse_hex(x.hex()) == Flonum.from_float(x)
+
+    @pytest.mark.parametrize("text,x", [
+        ("0x1p0", 1.0),
+        ("0x1.8p+1", 3.0),
+        ("-0x.8p0", -0.5),
+        ("0X1.FP4", 31.0),
+        ("0x10p-4", 1.0),
+        ("0x0p0", 0.0),
+    ])
+    def test_literal_forms(self, text, x):
+        assert parse_hex(text) == Flonum.from_float(x)
+
+    def test_rounding_to_narrow_format(self):
+        # 0x1.ffffffp0 needs 25 bits: rounds to 2.0 in binary16.
+        v = parse_hex("0x1.ffffffp0", BINARY16)
+        assert v.to_fraction() == 2
+
+    def test_rounding_modes(self):
+        lo = parse_hex("0x1.00000000000008p0", BINARY64,
+                       ReaderMode.TOWARD_ZERO)
+        hi = parse_hex("0x1.00000000000008p0", BINARY64,
+                       ReaderMode.TOWARD_POSITIVE)
+        assert lo < hi
+
+    def test_specials(self):
+        assert parse_hex("inf").is_infinite
+        assert parse_hex("-Infinity").sign == 1
+        assert parse_hex("nan").is_nan
+
+    def test_negative_zero(self):
+        v = parse_hex("-0x0.0p0")
+        assert v.is_zero and v.is_negative
+
+    @pytest.mark.parametrize("bad", ["", "0x", "0xp3", "1.5", "0x1.8",
+                                     "0x1.8pq", "0x1..8p0"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_hex(bad)
+
+    def test_rejects_non_binary_format(self):
+        from repro.floats.formats import FloatFormat
+
+        dec = FloatFormat.toy(precision=4, emin=-4, emax=4, radix=10)
+        with pytest.raises(FormatError):
+            parse_hex("0x1p0", dec)
+
+    def test_overflow_underflow(self):
+        assert parse_hex("0x1p100000").is_infinite
+        assert parse_hex("0x1p-100000").is_zero
+
+    def test_binary32(self):
+        import struct
+
+        x = struct.unpack(">f", struct.pack(">f", 0.1))[0]
+        assert parse_hex(x.hex(), BINARY32).to_fraction() == x

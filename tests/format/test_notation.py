@@ -1,0 +1,194 @@
+"""Notation assembly: positional/scientific strings, # rendering."""
+
+import pytest
+
+from repro.core.digits import DigitResult
+from repro.core.fixed import FixedResult
+from repro.errors import RangeError
+from repro.format.notation import (
+    NotationOptions,
+    positional_string,
+    render_fixed,
+    render_shortest,
+    scientific_string,
+)
+
+OPTS = NotationOptions()
+
+
+class TestScientific:
+    def test_multi_digit(self):
+        assert scientific_string((3, 1, 4), 1, OPTS) == "3.14e0"
+
+    def test_single_digit(self):
+        assert scientific_string((5,), -323, OPTS) == "5e-324"
+
+    def test_hashes(self):
+        assert scientific_string((5,), -323, OPTS, hashes=3) == "5.###e-324"
+
+    def test_python_exponent_form(self):
+        opts = NotationOptions(python_repr=True)
+        assert scientific_string((1,), 24, opts) == "1e+23"
+        assert scientific_string((1,), -4, opts) == "1e-05"
+
+    def test_letters_above_nine(self):
+        assert scientific_string((15, 15), 2, OPTS) == "f.fe1"
+
+
+class TestPositional:
+    def test_fraction_only(self):
+        assert positional_string((3,), 0, OPTS) == "0.3"
+
+    def test_leading_zeros(self):
+        # 0.12 * 10**-2
+        assert positional_string((1, 2), -2, OPTS) == "0.0012"
+
+    def test_split(self):
+        assert positional_string((1, 2, 3, 4), 2, OPTS) == "12.34"
+
+    def test_integer_fill(self):
+        assert positional_string((1, 2), 5, OPTS) == "12000"
+
+    def test_integer_fill_hashes(self):
+        assert positional_string((1, 2), 5, OPTS, hashes=1) == "12###"
+
+    def test_fixed_fraction_with_position(self):
+        assert positional_string((1, 0, 0), 3, OPTS,
+                                 min_position=-2) == "100.00"
+
+
+class TestRenderShortest:
+    def _r(self, digits, k):
+        return DigitResult(k=k, digits=tuple(digits))
+
+    def test_auto_positional_window(self):
+        assert render_shortest(self._r([3], 0)) == "0.3"
+        assert render_shortest(self._r([1], -3)) == "0.0001"
+        assert render_shortest(self._r([1], 16)) == "1000000000000000"
+
+    def test_auto_scientific_outside_window(self):
+        assert render_shortest(self._r([1], -4)) == "1e-5"
+        assert render_shortest(self._r([1], 17)) == "1e16"
+
+    def test_forced_styles(self):
+        opts = NotationOptions(style="scientific")
+        assert render_shortest(self._r([3], 0), opts) == "3e-1"
+        opts = NotationOptions(style="positional")
+        assert render_shortest(self._r([1], 17), opts) == "1" + "0" * 16
+
+    def test_python_repr_trailing_point(self):
+        opts = NotationOptions(python_repr=True)
+        assert render_shortest(self._r([3], 1), opts) == "3.0"
+        assert render_shortest(self._r([1, 5], 1), opts) == "1.5"
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(RangeError):
+            NotationOptions(style="roman")
+
+
+class TestRenderFixed:
+    def test_fraction_with_hashes(self):
+        r = FixedResult(k=3, digits=(1, 0, 0) + (0,) * 15, hashes=5,
+                        position=-20)
+        assert render_fixed(r) == "100." + "0" * 15 + "#" * 5
+
+    def test_zero_result_decimals(self):
+        r = FixedResult(k=-2, digits=(), hashes=0, position=-2)
+        assert render_fixed(r) == "0.00"
+
+    def test_zero_result_integral(self):
+        r = FixedResult(k=0, digits=(), hashes=0, position=0)
+        assert render_fixed(r) == "0"
+
+    def test_zero_result_scientific(self):
+        r = FixedResult(k=-2, digits=(), hashes=0, position=-2)
+        opts = NotationOptions(style="scientific")
+        assert render_fixed(r, opts) == "0e-2"
+
+    def test_scientific_fixed(self):
+        r = FixedResult(k=-323, digits=(5,), hashes=4, position=-328)
+        opts = NotationOptions(style="scientific")
+        assert render_fixed(r, opts) == "5.####e-324"
+
+    def test_integral_rounding_position(self):
+        r = FixedResult(k=5, digits=(1, 2, 3), hashes=0, position=2)
+        assert render_fixed(r) == "12300"
+
+    def test_custom_hash_char(self):
+        opts = NotationOptions(hash_char="?")
+        r = FixedResult(k=1, digits=(5,), hashes=2, position=-2)
+        assert render_fixed(r, opts) == "5.??"
+
+
+class TestGrouping:
+    def test_shortest_grouping(self):
+        from repro.core.api import format_shortest
+
+        opts = NotationOptions(style="positional", group_char=",")
+        assert format_shortest(1234567.89, options=opts) == "1,234,567.89"
+        assert format_shortest(123.0, options=opts) == "123"
+        assert format_shortest(1234.0, options=opts) == "1,234"
+
+    def test_fixed_grouping(self):
+        from repro.core.api import format_fixed
+
+        opts = NotationOptions(group_char="_")
+        assert format_fixed(1234567.891, decimals=2,
+                            options=opts) == "1_234_567.89"
+
+    def test_group_size(self):
+        opts = NotationOptions(style="positional", group_char=" ",
+                               group_size=4)
+        assert positional_string((1, 2, 3, 4, 5, 6), 6, opts) == "12 3456"
+
+    def test_fraction_not_grouped(self):
+        opts = NotationOptions(style="positional", group_char=",")
+        assert positional_string((1, 2, 3, 4), 0, opts) == "0.1234"
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(RangeError):
+            NotationOptions(group_char=",", group_size=0)
+
+
+class TestEngineering:
+    def _r(self, digits, k):
+        return DigitResult(k=k, digits=tuple(digits))
+
+    def test_exponent_multiple_of_three(self):
+        from repro.format.notation import engineering_string
+
+        opts = NotationOptions(style="engineering")
+        assert engineering_string((6, 0, 2), 24, opts) == "602e21"
+        assert engineering_string((4, 7), -4, opts) == "47e-6"
+        assert engineering_string((1,), 1, opts) == "1e0"
+        assert engineering_string((1, 2, 3, 4, 5), 4, opts) == "1.2345e3"
+
+    def test_pads_integral_zeros(self):
+        from repro.format.notation import engineering_string
+
+        # 0.1 x 10^3 = 100: needs two padding zeros before the point.
+        assert engineering_string((1,), 3, NotationOptions()) == "100e0"
+
+    def test_render_shortest_engineering(self):
+        opts = NotationOptions(style="engineering")
+        assert render_shortest(self._r([5], -323), opts) == "5e-324"
+        assert render_shortest(self._r([9, 9, 9, 9], 3), opts) == "999.9e0"
+
+    def test_render_fixed_engineering(self):
+        opts = NotationOptions(style="engineering")
+        # 0.5## x 10^-3: the # marks land inside the integral part of
+        # the engineering mantissa (5xx e-6).
+        r = FixedResult(k=-3, digits=(5,), hashes=2, position=-6)
+        assert render_fixed(r, opts) == "5##e-6"
+
+    def test_value_preserved(self):
+        from fractions import Fraction
+
+        from repro.format.notation import engineering_string
+        from repro.reader.parse import parse_decimal
+
+        for digits, k in (((6, 0, 2, 2), 24), ((4, 7), -4), ((1,), 1),
+                          ((9, 9), 2), ((1, 2, 3), 6)):
+            s = engineering_string(digits, k, NotationOptions())
+            want = DigitResult(k=k, digits=digits).to_fraction()
+            assert parse_decimal(s).to_fraction() == want

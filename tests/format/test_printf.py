@@ -1,0 +1,92 @@
+"""printf emulation vs the host C library (via Python's % operator)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import finite_doubles
+from repro.errors import ParseError
+from repro.format.printf import fmt_e, fmt_f, fmt_g, format_printf
+
+SPECS = ["%e", "%.0e", "%.3e", "%.17e", "%E",
+         "%f", "%.0f", "%.2f", "%.10f",
+         "%g", "%.1g", "%.12g", "%.17g", "%G",
+         "%+e", "% e", "%15.3e", "%-15.3e", "%015.3e", "%#.0f", "%#g"]
+
+
+class TestAgainstLibc:
+    @given(finite_doubles(), st.sampled_from(SPECS))
+    @settings(max_examples=600)
+    def test_matches_host(self, x, spec):
+        assert format_printf(spec, x) == spec % x
+
+    @pytest.mark.parametrize("x", [
+        0.0, -0.0, 1.0, -1.0, 0.5, 2.5, 9.995, 1e-7, 5e-324,
+        1.7976931348623157e308, 1e23, 123456789.123, 0.1,
+    ])
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_curated_values(self, x, spec):
+        assert format_printf(spec, x) == spec % x
+
+    def test_specials(self):
+        assert format_printf("%e", float("nan")) == "nan"
+        assert format_printf("%E", float("nan")) == "NAN"
+        assert format_printf("%f", float("inf")) == "inf"
+        assert format_printf("%+f", float("inf")) == "+inf"
+        assert format_printf("%f", float("-inf")) == "-inf"
+        assert format_printf("%10e", float("inf")) == "       inf"
+
+
+class TestDirectFunctions:
+    def test_fmt_e_carry(self):
+        assert fmt_e(9.9999, 2) == "1.00e+01"
+
+    def test_fmt_f_carry(self):
+        assert fmt_f(9.99, 1) == "10.0"
+
+    def test_fmt_f_zero_precision(self):
+        assert fmt_f(2.5, 0) == "2"  # ties-to-even like glibc under IEEE
+        assert fmt_f(3.5, 0) == "4"
+
+    def test_fmt_g_strips_zeros(self):
+        assert fmt_g(1.5, 6) == "1.5"
+        assert fmt_g(100.0, 6) == "100"
+
+    def test_fmt_g_scientific_switch(self):
+        assert fmt_g(1e-5, 6) == "1e-05"
+        assert fmt_g(1234567.0, 6) == "1.23457e+06"
+
+    def test_fmt_g_alternate_keeps_zeros(self):
+        assert fmt_g(1.5, 6, flags="#") == "1.50000"
+
+    def test_width_and_flags(self):
+        assert fmt_e(1.5, 2, flags="+", width=12) == "   +1.50e+00"
+        assert fmt_e(1.5, 2, flags="0", width=12) == "00001.50e+00"
+        assert fmt_e(1.5, 2, flags="-", width=12) == "1.50e+00    "
+
+
+class TestSpecParsing:
+    def test_rejects_bad_specs(self):
+        for bad in ("e", "%q", "%.2x", "%1.2.3f", "%", "%.2"):
+            with pytest.raises(ParseError):
+                format_printf(bad, 1.0)
+
+    def test_default_precision_six(self):
+        assert format_printf("%e", 1.5) == "%.6e" % 1.5
+
+
+class TestExtremeMagnitudes:
+    def test_huge_value_full_expansion(self):
+        # %f of 1e308 prints the exact 309-digit integer part.
+        assert format_printf("%.2f", 1e308) == "%.2f" % 1e308
+        assert len(format_printf("%.0f", 1.7976931348623157e308)) == 309
+
+    def test_tiny_value_long_fraction(self):
+        assert format_printf("%.330f", 5e-324) == "%.330f" % 5e-324
+
+    def test_denormal_e(self):
+        assert format_printf("%.17e", 5e-324) == "%.17e" % 5e-324
+
+    def test_g_large_precision(self):
+        for x in (1/3, 1e-300, 9.99999999999999e15):
+            assert format_printf("%.30g", x) == "%.30g" % x

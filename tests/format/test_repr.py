@@ -1,0 +1,58 @@
+"""py_repr must equal CPython's repr — an independent shortest oracle."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import double_from_bits, finite_doubles
+from repro.format.repr_shortest import py_repr
+from repro.workloads.corpus import decimal_ties, torture_floats
+
+
+class TestAgainstCPython:
+    @given(finite_doubles())
+    @settings(max_examples=500)
+    def test_random_doubles(self, x):
+        assert py_repr(x) == repr(x)
+
+    @pytest.mark.parametrize("x", [
+        0.0, -0.0, 1.0, -1.0, 0.1, 0.2, 0.3, 1 / 3, 2 / 3,
+        1e23, 9.999999999999999e22, 1.0000000000000002e23,
+        5e-324, 1.7976931348623157e308, 2.2250738585072014e-308,
+        math.pi, math.e, 2**53 + 2.0, 1e16, 1e15, 1e-4, 1e-5,
+        9007199254740992.0, 9007199254740994.0,
+    ])
+    def test_curated(self, x):
+        assert py_repr(x) == repr(x)
+
+    def test_specials(self):
+        assert py_repr(float("nan")) == "nan"
+        assert py_repr(float("inf")) == "inf"
+        assert py_repr(float("-inf")) == "-inf"
+
+    def test_signed_zero(self):
+        assert py_repr(0.0) == "0.0"
+        assert py_repr(-0.0) == "-0.0"
+
+    def test_boundary_patterns(self):
+        for bits in (0x0010000000000000, 0x000FFFFFFFFFFFFF, 0x0000000000000001,
+                     0x7FEFFFFFFFFFFFFF, 0x3FF0000000000001, 0x4340000000000000):
+            x = double_from_bits(bits)
+            assert py_repr(x) == repr(x)
+
+    def test_decimal_tie_corpus(self):
+        for v in decimal_ties():
+            x = v.to_float()
+            assert py_repr(x) == repr(x)
+
+    def test_torture_corpus(self):
+        for v in torture_floats():
+            x = v.to_float()
+            assert py_repr(x) == repr(x)
+            assert py_repr(-x) == repr(-x)
+
+    def test_flonum_argument(self):
+        from repro.floats.model import Flonum
+
+        assert py_repr(Flonum.from_float(0.3)) == "0.3"

@@ -1,0 +1,94 @@
+"""Shared strategies, toy formats and helpers for the test suite."""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import strategies as st
+
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+
+# ----------------------------------------------------------------------
+# Toy formats small enough for exhaustive sweeps.
+# ----------------------------------------------------------------------
+
+TOY_P5 = FloatFormat.toy(precision=5, emin=-8, emax=8, name="toy-p5")
+TOY_P4_WIDE = FloatFormat.toy(precision=4, emin=-20, emax=20,
+                              name="toy-p4-wide")
+TOY_B4 = FloatFormat.toy(precision=3, emin=-6, emax=6, radix=4,
+                         name="toy-b4")
+
+
+def finite_doubles():
+    """Finite doubles, bit-uniform (hits denormals and extremes often)."""
+    return (
+        st.integers(min_value=0, max_value=(1 << 64) - 1)
+        .map(lambda bits: struct.unpack(">d", struct.pack(">Q", bits))[0])
+        .filter(lambda x: x == x and x not in (float("inf"), float("-inf")))
+    )
+
+
+def positive_flonums(fmt: FloatFormat = BINARY64):
+    """Positive finite non-zero Flonums of a format, component-uniform."""
+
+    def build(f, e):
+        if f >= fmt.hidden_limit:
+            return Flonum.finite(0, f, e, fmt)
+        return Flonum.finite(0, f, fmt.min_e, fmt)
+
+    return st.builds(
+        build,
+        st.integers(min_value=1, max_value=fmt.mantissa_limit - 1),
+        st.integers(min_value=fmt.min_e, max_value=fmt.max_e),
+    )
+
+
+def output_bases():
+    return st.sampled_from([2, 3, 8, 10, 16, 36])
+
+
+def enumerate_toy(fmt: FloatFormat, include_denormals: bool = True):
+    return list(Flonum.enumerate_positive(fmt, include_denormals))
+
+
+def double_from_bits(bits: int) -> float:
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def reads_back_as(value, v, info) -> bool:
+    """Whether the exact rational `value` reads back as `v` (per info)."""
+    if info.low < value < info.high:
+        return True
+    if info.low_ok and value == info.low:
+        return True
+    if info.high_ok and value == info.high:
+        return True
+    return False
+
+
+def assert_correctly_rounded(v, result, mode):
+    """The true Theorem-4 invariant: within half a final-digit unit, OR
+    the closer candidate does not read back as v.
+
+    The paper states |V - v| <= B**(k-n)/2 unconditionally, but at
+    uneven-gap boundaries the closer candidate can fall outside the
+    rounding range (observed for binary64/base-10 at e.g. 2**-1017,
+    where CPython's repr makes the same farther-but-valid choice); the
+    achievable guarantee is closest-valid plus a strict one-unit bound.
+    """
+    from fractions import Fraction
+
+    from repro.core.rounding import boundary_info
+
+    base = result.base
+    unit = Fraction(base) ** (result.k - len(result.digits))
+    value = result.to_fraction()
+    err = abs(value - v.to_fraction())
+    if 2 * err <= unit:
+        return
+    assert err < unit, f"one-unit bound violated: {v!r} -> {result}"
+    info = boundary_info(v, mode)
+    other = value - unit if value > v.to_fraction() else value + unit
+    assert not reads_back_as(other, v, info), (
+        f"closer valid candidate ignored: {v!r} -> {result}")

@@ -1,0 +1,171 @@
+"""Fixed-format properties over random and exhaustive inputs."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import TOY_P5, enumerate_toy, positive_flonums
+from repro.core.fixed import fixed_digits
+from repro.core.rounding import TieBreak
+from repro.floats.model import Flonum
+from repro.floats.ulp import midpoint_high, midpoint_low
+from repro.reader.exact import read_fraction
+
+
+def _range(v, j, base=10):
+    value = v.to_fraction()
+    delta = Fraction(base) ** j / 2
+    return (min(midpoint_low(v), value - delta),
+            max(midpoint_high(v), value + delta))
+
+
+class TestAbsoluteInvariants:
+    @given(positive_flonums(), st.integers(min_value=-320, max_value=320))
+    @settings(max_examples=300)
+    def test_output_in_expanded_range_any_position(self, v, j):
+        r = fixed_digits(v, position=j)
+        low, high = _range(v, j)
+        assert low <= r.to_fraction() <= high
+
+    @given(positive_flonums(), st.integers(min_value=-30, max_value=30))
+    @settings(max_examples=200)
+    def test_span_bookkeeping(self, v, j):
+        r = fixed_digits(v, position=j)
+        if r.is_zero:
+            assert r.k == j and r.digits == () and r.hashes == 0
+        else:
+            assert len(r.digits) + r.hashes == r.k - j
+            assert r.digits[0] != 0
+
+    @given(positive_flonums(), st.integers(min_value=-25, max_value=5),
+           st.sampled_from(list(TieBreak)))
+    @settings(max_examples=200)
+    def test_tie_strategy_bounds(self, v, j, tie):
+        r = fixed_digits(v, position=j, tie=tie)
+        low, high = _range(v, j)
+        assert low <= r.to_fraction() <= high
+
+    def test_exhaustive_toy_all_positions(self):
+        for v in enumerate_toy(TOY_P5):
+            for j in range(-10, 5):
+                r = fixed_digits(v, position=j)
+                low, high = _range(v, j)
+                assert low <= r.to_fraction() <= high, (v, j, r)
+
+
+class TestHashInvariants:
+    @given(positive_flonums(), st.integers(min_value=-320, max_value=0))
+    @settings(max_examples=300)
+    def test_every_hash_fill_reads_back(self, v, j):
+        """The definition of insignificance: replacing the # positions by
+        the extreme digit fills keeps the value reading back as v."""
+        r = fixed_digits(v, position=j)
+        if r.hashes == 0 or r.is_zero:
+            return
+        zeros = r.to_fraction()
+        nines = zeros + Fraction(10) ** (j + r.hashes) - Fraction(10) ** j
+        assert read_fraction(zeros, v.fmt) == v
+        assert read_fraction(nines, v.fmt) == v
+
+    @given(positive_flonums(), st.integers(min_value=-320, max_value=0))
+    @settings(max_examples=200)
+    def test_hash_run_boundary_is_tight(self, v, j):
+        """The # run starts exactly where the paper's significance rule
+        flips: the first # position m0 satisfies high - V >= B**(m0+1)
+        (insignificant), while one position higher the inequality fails up
+        to the inclusive-endpoint slack."""
+        r = fixed_digits(v, position=j)
+        if r.hashes == 0 or r.is_zero:
+            return
+        _, high = _range(v, j)
+        headroom = high - r.to_fraction()
+        # First (leftmost) hash at position j + hashes - 1 is insignificant.
+        assert headroom >= Fraction(10) ** (j + r.hashes)
+        # The position above it was emitted as a real digit or zero: the
+        # same inequality must not have held strictly there.
+        assert headroom <= Fraction(10) ** (j + r.hashes + 1)
+
+    def test_denormal_binary16_hash_run(self):
+        from repro.floats.formats import BINARY16
+
+        v = Flonum.finite(0, 1, BINARY16.min_e, BINARY16)  # 2**-24
+        r = fixed_digits(v, ndigits=12)
+        assert r.hashes >= 4
+        assert len(r.digits) + r.hashes == 12
+
+
+class TestRelativeInvariants:
+    @given(positive_flonums(), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=300)
+    def test_exact_width(self, v, i):
+        r = fixed_digits(v, ndigits=i)
+        assert len(r.digits) + r.hashes == i
+        assert r.digits and r.digits[0] != 0
+
+    @given(positive_flonums(), st.integers(min_value=1, max_value=25))
+    @settings(max_examples=200)
+    def test_agrees_with_absolute(self, v, i):
+        r = fixed_digits(v, ndigits=i)
+        ab = fixed_digits(v, position=r.k - i)
+        assert (r.k, r.digits, r.hashes) == (ab.k, ab.digits, ab.hashes)
+
+    def test_exhaustive_toy_relative(self):
+        for v in enumerate_toy(TOY_P5):
+            for i in (1, 2, 3, 6):
+                r = fixed_digits(v, ndigits=i)
+                assert len(r.digits) + r.hashes == i
+
+
+class TestAgainstNaiveBaseline:
+    @given(positive_flonums(), st.integers(min_value=-20, max_value=3))
+    @settings(max_examples=200)
+    def test_matches_exact_when_precision_suffices(self, v, j):
+        """When the B**j/2 margin dominates both gaps (so no early stop
+        and no #), our fixed output equals the straightforward exact
+        conversion."""
+        from repro.baselines.naive_fixed import exact_fixed_digits
+
+        value = v.to_fraction()
+        delta = Fraction(10) ** j / 2
+        if (midpoint_high(v) - value >= delta
+                or value - midpoint_low(v) >= delta):
+            return
+        ours = fixed_digits(v, position=j, tie=TieBreak.EVEN)
+        naive = exact_fixed_digits(v, position=j, tie=TieBreak.EVEN)
+        assert ours.to_fraction() == naive.to_fraction()
+
+
+class TestAcrossBases:
+    """Fixed format is base-generic: the same invariants in base 2..16."""
+
+    @given(positive_flonums(), st.sampled_from([2, 8, 16]),
+           st.integers(min_value=-12, max_value=4))
+    @settings(max_examples=150)
+    def test_output_in_expanded_range(self, v, base, j):
+        r = fixed_digits(v, position=j, base=base)
+        value = v.to_fraction()
+        delta = Fraction(base) ** j / 2
+        low = min(midpoint_low(v), value - delta)
+        high = max(midpoint_high(v), value + delta)
+        assert low <= r.to_fraction() <= high
+
+    @given(positive_flonums(), st.sampled_from([2, 8, 16]),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=150)
+    def test_relative_width(self, v, base, i):
+        r = fixed_digits(v, ndigits=i, base=base)
+        assert len(r.digits) + r.hashes == i
+        assert all(0 <= d < base for d in r.digits)
+
+    def test_binary_fixed_no_hashes_within_precision(self):
+        # Binary output of a binary float is exact: the first 53 binary
+        # positions are always significant.
+        v = Flonum.from_float(1 / 3)
+        r = fixed_digits(v, ndigits=50, base=2)
+        assert r.hashes == 0
+
+    def test_binary_fixed_hashes_beyond_precision(self):
+        v = Flonum.from_float(1 / 3)
+        r = fixed_digits(v, ndigits=60, base=2)
+        assert r.hashes > 0

@@ -1,0 +1,108 @@
+"""The algorithms across the full format zoo: binary16..binary128, x87.
+
+The paper presents the algorithm for generic (f, e, p, min-exp); these
+sweeps confirm nothing in the implementation is binary64-specific.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.core.api import format_fixed, format_shortest
+from repro.core.dragon import shortest_digits
+from repro.core.fixed import fixed_digits
+from repro.core.rounding import ReaderMode
+from repro.floats.formats import BINARY16, BINARY32, BINARY128, X87_80
+from repro.floats.model import Flonum
+from repro.reader.exact import read_decimal, read_fraction
+
+WIDE_FORMATS = [BINARY128, X87_80]
+
+
+class TestBinary128:
+    @given(positive_flonums(BINARY128))
+    @settings(max_examples=100)
+    def test_roundtrip(self, v):
+        r = shortest_digits(v)
+        assert read_fraction(r.to_fraction(), BINARY128) == v
+
+    @given(positive_flonums(BINARY128))
+    @settings(max_examples=50)
+    def test_correct_rounding(self, v):
+        from helpers import assert_correctly_rounded
+
+        r = shortest_digits(v)
+        assert_correctly_rounded(v, r, ReaderMode.NEAREST_EVEN)
+
+    def test_needs_up_to_36_digits(self):
+        # A quad value needing the worst-case digit count exists.
+        assert BINARY128.decimal_digits_to_distinguish() == 36
+
+    def test_string_api(self):
+        v = Flonum.finite(0, BINARY128.hidden_limit, -112, BINARY128)  # 1.0
+        assert format_shortest(v) == "1"
+        assert format_fixed(v, decimals=2) == "1.00"
+
+    def test_extreme_exponents(self):
+        for f, e in (BINARY128.largest_finite, BINARY128.smallest_positive,
+                     BINARY128.smallest_normal):
+            v = Flonum.finite(0, f, e, BINARY128)
+            r = shortest_digits(v)
+            assert read_fraction(r.to_fraction(), BINARY128) == v
+
+
+class TestX87:
+    @given(positive_flonums(X87_80))
+    @settings(max_examples=100)
+    def test_roundtrip(self, v):
+        r = shortest_digits(v)
+        assert read_fraction(r.to_fraction(), X87_80) == v
+
+    def test_bits_roundtrip(self):
+        v = Flonum.finite(0, X87_80.hidden_limit + 12345, -20, X87_80)
+        assert Flonum.from_bits(v.to_bits(), X87_80) == v
+
+    def test_denormal_roundtrip(self):
+        v = Flonum.finite(0, 7, X87_80.min_e, X87_80)
+        r = shortest_digits(v)
+        assert read_fraction(r.to_fraction(), X87_80) == v
+
+
+class TestCrossFormat:
+    def test_same_value_prints_differently_by_precision(self):
+        """1/3 rounded into each format needs format-specific digits."""
+        lengths = {}
+        for fmt in (BINARY16, BINARY32, BINARY128):
+            v = read_decimal("0." + "3" * 40, fmt)
+            lengths[fmt.name] = len(shortest_digits(v).digits)
+        assert (lengths["binary16"] < lengths["binary32"]
+                < lengths["binary128"])
+
+    def test_exact_values_print_identically(self):
+        """1.5 is exact in every format: same digits everywhere."""
+        for fmt in (BINARY16, BINARY32, BINARY128, X87_80):
+            v = read_decimal("1.5", fmt)
+            r = shortest_digits(v)
+            assert (r.k, r.digits) == (1, (1, 5))
+
+    @given(positive_flonums(BINARY16))
+    @settings(max_examples=100)
+    def test_widening_preserves_shortest_or_shorter(self, v):
+        """A binary16 value is exact in binary64; its binary64 shortest
+        string is at most as long (the wider format's tighter gaps can
+        only demand more digits for *inexact* values)."""
+        wide = v.with_format(BINARY128)
+        narrow = shortest_digits(v)
+        wider = shortest_digits(wide)
+        # The binary16 shortest reads back to v in binary16, but the
+        # binary128 one must pin the value far more precisely.
+        assert len(wider.digits) >= len(narrow.digits)
+
+    def test_fixed_format_wide(self):
+        v = Flonum.finite(0, 1, BINARY16.min_e, BINARY16)  # 2**-24
+        r = fixed_digits(v, ndigits=20)
+        assert r.hashes > 0  # insignificance kicks in for the tiny format
+        v128 = v.with_format(BINARY128)
+        r128 = fixed_digits(v128, ndigits=20)
+        assert r128.hashes == 0  # quad has plenty of precision here

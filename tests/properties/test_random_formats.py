@@ -1,0 +1,112 @@
+"""Random-format fuzzing: the algorithm over arbitrary (b, p, e-range).
+
+The paper states the algorithm for any radix and precision; hypothesis
+here *generates the formats themselves* — radix 2..16, precision 1..12,
+arbitrary exponent windows — and checks the full contract on random
+values of each.  This is the broadest generalization test in the suite:
+nothing in core/ may assume binary64, radix 2, or IEEE-shaped ranges.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dragon import shortest_digits
+from repro.core.fixed import fixed_digits
+from repro.core.rational import shortest_digits_rational
+from repro.core.rounding import ReaderMode, boundary_info
+from repro.floats.formats import FloatFormat
+from repro.floats.model import Flonum
+from repro.reader.exact import read_fraction
+
+
+@st.composite
+def format_and_value(draw):
+    radix = draw(st.sampled_from([2, 3, 4, 5, 8, 10, 16]))
+    precision = draw(st.integers(min_value=1, max_value=12 if radix < 8
+                                 else 6))
+    emin = draw(st.integers(min_value=-40, max_value=20))
+    emax = draw(st.integers(min_value=emin, max_value=emin + 60))
+    fmt = FloatFormat.toy(precision=precision, emin=emin, emax=emax,
+                          radix=radix)
+    f = draw(st.integers(min_value=1, max_value=fmt.mantissa_limit - 1))
+    e = draw(st.integers(min_value=fmt.min_e, max_value=fmt.max_e))
+    if f < fmt.hidden_limit:
+        e = fmt.min_e
+    return fmt, Flonum.finite(0, f, e, fmt)
+
+
+@st.composite
+def format_value_base(draw):
+    fmt, v = draw(format_and_value())
+    base = draw(st.sampled_from([2, 3, 7, 10, 16, 36]))
+    return fmt, v, base
+
+
+class TestFreeFormatGeneralized:
+    @given(format_value_base())
+    @settings(max_examples=400, deadline=None)
+    def test_roundtrip_any_format_any_base(self, fvb):
+        fmt, v, base = fvb
+        r = shortest_digits(v, base=base, mode=ReaderMode.NEAREST_EVEN)
+        assert read_fraction(r.to_fraction(), fmt) == v
+
+    @given(format_value_base())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_rational_spec(self, fvb):
+        fmt, v, base = fvb
+        fast = shortest_digits(v, base=base, mode=ReaderMode.NEAREST_EVEN)
+        spec = shortest_digits_rational(v, base=base,
+                                        mode=ReaderMode.NEAREST_EVEN)
+        assert (fast.k, fast.digits) == (spec.k, spec.digits)
+
+    @given(format_value_base())
+    @settings(max_examples=300, deadline=None)
+    def test_correct_rounding_bound(self, fvb):
+        # Theorem 4, in its achievable form: closest *valid* candidate
+        # (see helpers.assert_correctly_rounded for the uneven-gap
+        # counterexample to the literal half-unit bound).
+        from helpers import assert_correctly_rounded
+
+        fmt, v, base = fvb
+        r = shortest_digits(v, base=base, mode=ReaderMode.NEAREST_EVEN)
+        assert_correctly_rounded(v, r, ReaderMode.NEAREST_EVEN)
+
+    @given(format_value_base())
+    @settings(max_examples=200, deadline=None)
+    def test_within_range_conservative(self, fvb):
+        fmt, v, base = fvb
+        info = boundary_info(v, ReaderMode.NEAREST_UNKNOWN)
+        r = shortest_digits(v, base=base, mode=ReaderMode.NEAREST_UNKNOWN)
+        assert info.low < r.to_fraction() < info.high
+
+    @given(format_and_value())
+    @settings(max_examples=200, deadline=None)
+    def test_directed_modes(self, fv):
+        fmt, v = fv
+        for mode in (ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_POSITIVE):
+            r = shortest_digits(v, mode=mode)
+            assert read_fraction(r.to_fraction(), fmt, mode=mode) == v
+
+
+class TestFixedFormatGeneralized:
+    @given(format_and_value(), st.integers(min_value=-10, max_value=10))
+    @settings(max_examples=300, deadline=None)
+    def test_absolute_in_expanded_range(self, fv, j):
+        fmt, v = fv
+        from repro.floats.ulp import midpoint_high, midpoint_low
+
+        r = fixed_digits(v, position=j)
+        value = v.to_fraction()
+        delta = Fraction(10) ** j / 2
+        low = min(midpoint_low(v), value - delta)
+        high = max(midpoint_high(v), value + delta)
+        assert low <= r.to_fraction() <= high
+
+    @given(format_and_value(), st.integers(min_value=1, max_value=15))
+    @settings(max_examples=300, deadline=None)
+    def test_relative_width(self, fv, i):
+        fmt, v = fv
+        r = fixed_digits(v, ndigits=i)
+        assert len(r.digits) + r.hashes == i

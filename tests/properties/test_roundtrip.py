@@ -1,0 +1,100 @@
+"""Information preservation: read(print(v)) == v, every mode, every format.
+
+This is the paper's output condition (1) made executable against our own
+accurate reader (and, for binary64, against CPython's reader as a second
+opinion).
+"""
+
+from hypothesis import given, settings
+
+from helpers import (
+    TOY_B4,
+    TOY_P5,
+    enumerate_toy,
+    finite_doubles,
+    output_bases,
+    positive_flonums,
+)
+from repro.core.api import format_shortest
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.reader.exact import read_decimal, read_fraction
+
+NEAREST_MODES = [ReaderMode.NEAREST_EVEN, ReaderMode.NEAREST_AWAY,
+                 ReaderMode.NEAREST_TO_ZERO, ReaderMode.NEAREST_UNKNOWN]
+ALL_MODES = list(ReaderMode)
+
+
+class TestBinary64:
+    @given(finite_doubles())
+    @settings(max_examples=500)
+    def test_python_reader_roundtrip(self, x):
+        assert float(format_shortest(x)) == x
+
+    @given(positive_flonums())
+    @settings(max_examples=300)
+    def test_own_reader_roundtrip_nearest_even(self, v):
+        s = format_shortest(v, mode=ReaderMode.NEAREST_EVEN)
+        assert read_decimal(s, mode=ReaderMode.NEAREST_EVEN) == v
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_conservative_output_safe_for_every_nearest_reader(self, v):
+        """NEAREST_UNKNOWN output must read back under *any* tie rule."""
+        s = format_shortest(v, mode=ReaderMode.NEAREST_UNKNOWN)
+        for mode in NEAREST_MODES:
+            assert read_decimal(s, mode=mode) == v
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_directed_reader_roundtrip(self, v):
+        for mode in (ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_POSITIVE,
+                     ReaderMode.TOWARD_NEGATIVE):
+            s = format_shortest(v, mode=mode)
+            assert read_decimal(s, mode=mode) == v
+
+    @given(finite_doubles())
+    @settings(max_examples=200)
+    def test_negative_values_roundtrip_directed(self, x):
+        if x == 0 or x != x:
+            return
+        v = Flonum.from_float(x)
+        for mode in ALL_MODES:
+            s = format_shortest(v, mode=mode)
+            assert read_decimal(s, mode=mode) == v
+
+
+class TestOtherFormatsAndBases:
+    @given(positive_flonums(BINARY32))
+    @settings(max_examples=200)
+    def test_binary32(self, v):
+        r = shortest_digits(v)
+        assert read_fraction(r.to_fraction(), BINARY32) == v
+
+    def test_binary16_exhaustive_normals(self):
+        for v in Flonum.enumerate_positive(BINARY16,
+                                           include_denormals=False):
+            r = shortest_digits(v)
+            assert read_fraction(r.to_fraction(), BINARY16) == v
+
+    def test_binary16_exhaustive_denormals(self):
+        for f in range(1, BINARY16.hidden_limit):
+            v = Flonum.finite(0, f, BINARY16.min_e, BINARY16)
+            r = shortest_digits(v)
+            assert read_fraction(r.to_fraction(), BINARY16) == v
+
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=200)
+    def test_any_output_base(self, v, base):
+        r = shortest_digits(v, base=base)
+        assert read_fraction(r.to_fraction(), BINARY64) == v
+
+    def test_toy_formats_exhaustive_all_modes(self):
+        for fmt in (TOY_P5, TOY_B4):
+            for v in enumerate_toy(fmt):
+                for mode in ALL_MODES:
+                    r = shortest_digits(v, mode=mode)
+                    got = read_fraction(r.to_fraction(), fmt, mode=mode)
+                    assert got == v, (fmt.name, v, mode, r)

@@ -1,0 +1,143 @@
+"""Appendix A, theorem by theorem, as executable properties.
+
+* Theorem 1 — every ``d_i`` is a valid digit, ``d_1 > 0``, and the final
+  increment never carries.
+* Lemma 2 / corollary — the loop invariant ``v = 0.d1..dn x B^k + q_n B^{k-n}``.
+* Theorem 3 — information preservation: ``low < V < high`` (relaxed to the
+  inclusive endpoints the implementation's ``low_ok``/``high_ok`` admit).
+* Theorem 4 — correct rounding (in its achievable closest-valid form;
+  see TestTheorem4CorrectRounding for the boundary caveat).
+* Theorem 5 — minimum length (in test_shortest.py).
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from helpers import (
+    TOY_P5,
+    enumerate_toy,
+    output_bases,
+    positive_flonums,
+)
+from repro.core.boundaries import adjust_for_mode, initial_scaled_value
+from repro.core.digits import generate_digits
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode, boundary_info
+from repro.core.scaling import scale_estimate
+from repro.floats.model import Flonum
+
+
+class TestTheorem1:
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=300)
+    def test_digits_valid_first_nonzero(self, v, base):
+        r = shortest_digits(v, base=base, mode=ReaderMode.NEAREST_EVEN)
+        assert all(0 <= d < base for d in r.digits)
+        assert r.digits[0] != 0
+
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=300)
+    def test_no_carry_on_increment(self, v, base):
+        # If the final digit came from an increment it is <= base-1; a
+        # value of `base` would be a carry, which Theorem 1 excludes.
+        r = shortest_digits(v, base=base)
+        assert r.digits[-1] <= base - 1
+
+    def test_exhaustive_toy(self):
+        for v in enumerate_toy(TOY_P5):
+            for base in (2, 3, 10):
+                r = shortest_digits(v, base=base)
+                assert r.digits[0] != 0
+                assert all(0 <= d < base for d in r.digits)
+
+
+class TestLemma2Invariant:
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_remainder_tracks_value(self, v):
+        """v - V == chosen_r/s * B^(k-n), the invariant the fixed-format
+        significance loop relies on."""
+        base = 10
+        r0, s0, mp0, mm0 = initial_scaled_value(v)
+        sv = adjust_for_mode(v, r0, s0, mp0, mm0, ReaderMode.NEAREST_EVEN)
+        k, r, s, mp, mm = scale_estimate(sv, base, v)
+        digits, state = generate_digits(r, s, mp, mm, base, sv.low_ok,
+                                        sv.high_ok)
+        n = len(digits)
+        acc = 0
+        for d in digits:
+            acc = acc * base + d
+        V = Fraction(acc, base**n) * Fraction(base) ** k
+        residue = Fraction(state.chosen_r, state.s) * Fraction(base) ** (k - n)
+        assert v.to_fraction() - V == residue
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_margins_scale_with_position(self, v):
+        """m+/s still measures (high - v) at the final position."""
+        base = 10
+        r0, s0, mp0, mm0 = initial_scaled_value(v)
+        sv = adjust_for_mode(v, r0, s0, mp0, mm0, ReaderMode.NEAREST_EVEN)
+        info = boundary_info(v, ReaderMode.NEAREST_EVEN)
+        k, r, s, mp, mm = scale_estimate(sv, base, v)
+        digits, state = generate_digits(r, s, mp, mm, base, sv.low_ok,
+                                        sv.high_ok)
+        n = len(digits)
+        got_high = Fraction(state.m_plus, state.s) * Fraction(base) ** (k - n)
+        assert got_high == info.high - v.to_fraction()
+
+
+class TestTheorem3InformationPreservation:
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=300)
+    def test_output_within_range(self, v, base):
+        for mode in (ReaderMode.NEAREST_EVEN, ReaderMode.NEAREST_UNKNOWN):
+            r = shortest_digits(v, base=base, mode=mode)
+            info = boundary_info(v, mode)
+            value = r.to_fraction()
+            lo_ok = info.low < value or (info.low_ok and value == info.low)
+            hi_ok = value < info.high or (info.high_ok and value == info.high)
+            assert lo_ok and hi_ok
+
+
+class TestTheorem4CorrectRounding:
+    """Theorem 4 in its *achievable* form.
+
+    The paper claims |V - v| <= B^(k-n)/2 unconditionally, but its proof
+    implicitly assumes the rejected candidate was valid.  At uneven-gap
+    boundaries the closer candidate can fall outside the rounding range
+    (e.g. binary64 2**-1017 in base 10 — where CPython's repr makes the
+    same farther-but-valid choice).  The achievable guarantee: within
+    half a unit, or the closer candidate does not read back; always
+    strictly within one unit.
+    """
+
+    @given(positive_flonums(), output_bases())
+    @settings(max_examples=300)
+    def test_closest_valid_bound(self, v, base):
+        from helpers import assert_correctly_rounded
+
+        r = shortest_digits(v, base=base)
+        assert_correctly_rounded(v, r, ReaderMode.NEAREST_EVEN)
+
+    def test_exhaustive_toy_tight(self):
+        from helpers import assert_correctly_rounded
+
+        for v in enumerate_toy(TOY_P5):
+            r = shortest_digits(v)
+            assert_correctly_rounded(v, r, ReaderMode.NEAREST_EVEN)
+
+    def test_paper_bound_violation_is_real_and_matched_by_cpython(self):
+        """The counterexample, pinned: 2**-1017 prints with error just
+        over half a final-digit unit because the closer candidate rounds
+        to the predecessor — and CPython agrees."""
+        x = 2.0 ** -1017
+        v = Flonum.from_float(x)
+        r = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+        unit = Fraction(10) ** (r.k - len(r.digits))
+        err = abs(r.to_fraction() - v.to_fraction())
+        assert unit / 2 < err < unit
+        assert repr(x).startswith("7.120236347223045")
+        digits = "".join(str(d) for d in r.digits)
+        assert digits == "7120236347223045"

@@ -1,0 +1,113 @@
+"""Clinger's AlgorithmR refinement reader."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import finite_doubles
+from repro.errors import RangeError
+from repro.floats.formats import BINARY16, BINARY64
+from repro.floats.model import Flonum
+from repro.reader.algorithm_r import algorithm_r, initial_guess, read_decimal_r
+from repro.reader.exact import round_rational
+
+
+class TestInitialGuess:
+    @given(st.integers(min_value=1, max_value=10**30),
+           st.integers(min_value=1, max_value=10**30))
+    @settings(max_examples=200)
+    def test_truncation_within_one_ulp(self, num, den):
+        try:
+            z = initial_guess(num, den, BINARY64)
+        except RangeError:
+            return
+        if z.is_zero:
+            return
+        value = Fraction(num, den)
+        assert z.to_fraction() <= value
+        # Error below one ulp of the guess.
+        assert value - z.to_fraction() < Fraction(2) ** z.e
+
+    def test_overflow_seeds_largest(self):
+        z = initial_guess(10**400, 1, BINARY64)
+        f, e = BINARY64.largest_finite
+        assert (z.f, z.e) == (f, e)
+
+    def test_underflow_seeds_min_denormal(self):
+        z = initial_guess(1, 10**400, BINARY64)
+        assert (z.f, z.e) == (1, BINARY64.min_e)
+
+
+class TestAgreementWithExact:
+    @given(st.integers(min_value=0, max_value=10**19),
+           st.integers(min_value=-330, max_value=330))
+    @settings(max_examples=300)
+    def test_matches_exact_reader(self, d, q):
+        num, den = (d * 10**q, 1) if q >= 0 else (d, 10**-q)
+        want = round_rational(num, den, BINARY64)
+        got = algorithm_r(num, den, BINARY64)
+        assert got == want
+
+    @given(finite_doubles())
+    def test_reads_repr_back(self, x):
+        got = read_decimal_r(repr(x))
+        assert got == Flonum.from_float(x)
+
+    @pytest.mark.parametrize("text", [
+        "1e23", "5e-324", "2.47e-324", "1.7976931348623159e308",
+        "2.2250738585072011e-308", "1e400", "1e-400", "0", "-0.0",
+    ])
+    def test_hard_cases(self, text):
+        got = read_decimal_r(text)
+        want = Flonum.from_float(float(text))
+        assert got == want
+
+    def test_specials(self):
+        assert read_decimal_r("nan").is_nan
+        assert read_decimal_r("-inf").is_infinite
+
+    def test_binary16_agreement(self):
+        for text in ("0.1", "65504", "65520", "6e-8", "5.96e-8"):
+            want = round_rational(*_ratio(text), BINARY16)
+            assert read_decimal_r(text, BINARY16) == want
+
+    def test_negative_values(self):
+        v = read_decimal_r("-0.1")
+        assert v.is_negative
+        assert v.abs() == Flonum.from_float(0.1)
+
+    def test_rejects_negative_rational(self):
+        with pytest.raises(RangeError):
+            algorithm_r(-1, 2)
+
+
+def _ratio(text):
+    from repro.reader.parse import parse_decimal
+
+    p = parse_decimal(text)
+    if p.exponent >= 0:
+        return p.digits * 10**p.exponent, 1
+    return p.digits, 10**-p.exponent
+
+
+class TestMidpointTies:
+    def test_exact_midpoint_rounds_even(self):
+        # 1e23 is the midpoint between two doubles.
+        v = algorithm_r(10**23, 1, BINARY64)
+        assert v.f % 2 == 0
+
+    def test_midpoint_above_largest_finite(self):
+        # Exactly (max + ulp/2): ties to even -> max has odd mantissa, so
+        # the result overflows to infinity.
+        f, e = BINARY64.largest_finite
+        num = 2 * f + 1
+        v = algorithm_r(num * 2**e, 2, BINARY64)
+        assert v.is_infinite
+
+    def test_just_below_overflow_midpoint(self):
+        f, e = BINARY64.largest_finite
+        num = (2 * f + 1) * 2**e - 1
+        v = algorithm_r(num, 2, BINARY64)
+        assert v.is_finite and (v.f, v.e) == (f, e)

@@ -1,0 +1,71 @@
+"""Bellerophon fast paths and their exactness conditions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.floats.formats import BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.reader.bellerophon import bellerophon, read_decimal_fast
+from repro.reader.exact import round_rational
+
+
+class TestFastPathSelection:
+    def test_small_exponent_uses_fast_path(self):
+        assert bellerophon(123, 0).fast_path
+        assert bellerophon(123, 22).fast_path
+        assert bellerophon(123, -22).fast_path
+
+    def test_shifting_extension(self):
+        # q slightly above 22 still exact when digits absorb the shift.
+        assert bellerophon(123, 30).fast_path
+
+    def test_large_significand_falls_back(self):
+        assert not bellerophon(1 << 60, 0).fast_path
+
+    def test_large_negative_exponent_falls_back(self):
+        assert not bellerophon(123, -40).fast_path
+
+    def test_shift_overflow_falls_back(self):
+        # 19-digit significand cannot absorb 15 more digits.
+        assert not bellerophon(10**18 + 1, 37).fast_path
+
+    def test_non_binary64_always_exact_path(self):
+        assert not bellerophon(1, 0, fmt=BINARY32).fast_path
+
+
+class TestCorrectness:
+    @given(st.integers(min_value=0, max_value=(1 << 53) - 1),
+           st.integers(min_value=-37, max_value=37))
+    @settings(max_examples=400)
+    def test_matches_exact_reader(self, d, q):
+        got = bellerophon(d, q).value
+        num, den = (d * 10**q, 1) if q >= 0 else (d, 10**-q)
+        want = round_rational(num, den)
+        assert got == want
+
+    @given(st.integers(min_value=0, max_value=10**25),
+           st.integers(min_value=-320, max_value=320),
+           st.booleans())
+    @settings(max_examples=300)
+    def test_matches_host_float(self, d, q, neg):
+        got = bellerophon(d, q, negative=neg).value
+        text = f"{'-' if neg else ''}{d}e{q}"
+        assert got == Flonum.from_float(float(text))
+
+
+class TestStringFrontend:
+    def test_reads_strings(self):
+        r = read_decimal_fast("1.5e10")
+        assert r.fast_path
+        assert r.value == Flonum.from_float(1.5e10)
+
+    def test_specials_and_zero(self):
+        assert read_decimal_fast("nan").value.is_nan
+        assert read_decimal_fast("inf").value.is_infinite
+        z = read_decimal_fast("-0")
+        assert z.value.is_zero and z.value.is_negative
+
+    def test_human_literals_mostly_fast(self):
+        texts = ["3.14", "1e10", "0.25", "123456.789", "2.5e-3", "42"]
+        assert all(read_decimal_fast(t).fast_path for t in texts)

@@ -1,0 +1,185 @@
+"""The exact correctly rounded reader (ground truth)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import TOY_P5, finite_doubles
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.reader.exact import ilog, read_decimal, read_fraction, round_rational
+
+NEAREST_MODES = [ReaderMode.NEAREST_EVEN, ReaderMode.NEAREST_AWAY,
+                 ReaderMode.NEAREST_TO_ZERO, ReaderMode.NEAREST_UNKNOWN]
+DIRECTED_MODES = [ReaderMode.TOWARD_ZERO, ReaderMode.TOWARD_POSITIVE,
+                  ReaderMode.TOWARD_NEGATIVE]
+
+
+class TestIlog:
+    @given(st.integers(min_value=1, max_value=10**40),
+           st.integers(min_value=1, max_value=10**40),
+           st.sampled_from([2, 3, 10, 16]))
+    def test_definition(self, num, den, b):
+        e = ilog(num, den, b)
+        value = Fraction(num, den)
+        assert Fraction(b) ** e <= value < Fraction(b) ** (e + 1)
+
+    def test_exact_powers(self):
+        assert ilog(1000, 1, 10) == 3
+        assert ilog(1, 1000, 10) == -3
+        assert ilog(1, 1, 2) == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(RangeError):
+            ilog(0, 1, 10)
+
+
+class TestAgainstHostStrtod:
+    """CPython's float() is a correctly rounded nearest-even reader — a
+    fully independent oracle for the binary64 case."""
+
+    @given(st.integers(min_value=0, max_value=10**19),
+           st.integers(min_value=-330, max_value=330))
+    @settings(max_examples=400)
+    def test_matches_float_parse(self, d, q):
+        text = f"{d}e{q}"
+        assert read_decimal(text) == Flonum.from_float(float(text))
+
+    @given(finite_doubles())
+    def test_reads_repr_back(self, x):
+        assert read_decimal(repr(x)) == Flonum.from_float(x)
+
+    @pytest.mark.parametrize("text", [
+        "1e23", "9.999999999999999e22", "2.2250738585072011e-308",
+        "2.2250738585072014e-308", "5e-324", "2.47e-324", "2.48e-324",
+        "1.7976931348623157e308", "1.7976931348623159e308",  # overflows
+        "4.9406564584124654e-324", "0.5e-324", "0.50000000001e-324",
+    ])
+    def test_hard_literals(self, text):
+        assert read_decimal(text) == Flonum.from_float(float(text))
+
+
+class TestRoundingModes:
+    @given(st.integers(min_value=1, max_value=10**25),
+           st.integers(min_value=-40, max_value=40))
+    @settings(max_examples=200)
+    def test_directed_modes_bracket_value(self, d, q):
+        value = Fraction(d) * Fraction(10) ** q
+        down = read_fraction(value, mode=ReaderMode.TOWARD_NEGATIVE)
+        up = read_fraction(value, mode=ReaderMode.TOWARD_POSITIVE)
+        trunc = read_fraction(value, mode=ReaderMode.TOWARD_ZERO)
+        assert down.to_fraction() <= value
+        if not up.is_infinite:
+            assert up.to_fraction() >= value
+        assert trunc == down  # positive values truncate downward
+        for mode in NEAREST_MODES:
+            near = read_fraction(value, mode=mode)
+            if near.is_infinite or up.is_infinite:
+                continue
+            assert near in (down, up)
+
+    @given(st.integers(min_value=1, max_value=10**25),
+           st.integers(min_value=-40, max_value=40))
+    @settings(max_examples=200)
+    def test_nearest_is_nearest(self, d, q):
+        value = Fraction(d) * Fraction(10) ** q
+        near = read_fraction(value, mode=ReaderMode.NEAREST_EVEN)
+        down = read_fraction(value, mode=ReaderMode.TOWARD_NEGATIVE)
+        up = read_fraction(value, mode=ReaderMode.TOWARD_POSITIVE)
+        if near.is_infinite or up.is_infinite:
+            return
+        err = abs(near.to_fraction() - value)
+        assert err <= abs(down.to_fraction() - value)
+        assert err <= abs(up.to_fraction() - value)
+
+    def test_tie_to_even(self):
+        # 1e23 is an exact midpoint; even mantissa wins.
+        v = read_decimal("1e23")
+        assert v.f % 2 == 0
+
+    def test_tie_away_and_to_zero(self):
+        lo = read_decimal("1e23", mode=ReaderMode.NEAREST_TO_ZERO)
+        hi = read_decimal("1e23", mode=ReaderMode.NEAREST_AWAY)
+        assert lo < hi
+        assert hi.to_fraction() - lo.to_fraction() == Fraction(2) ** 24
+
+    def test_negative_directed_modes(self):
+        v = read_decimal("-0.1", mode=ReaderMode.TOWARD_POSITIVE)
+        w = read_decimal("-0.1", mode=ReaderMode.TOWARD_NEGATIVE)
+        assert v.to_fraction() > Fraction(-1, 10) > w.to_fraction()
+        t = read_decimal("-0.1", mode=ReaderMode.TOWARD_ZERO)
+        assert t == v  # toward zero == toward positive for negatives
+
+
+class TestOverflowUnderflow:
+    def test_overflow_nearest_to_inf(self):
+        assert read_decimal("1e400").is_infinite
+        assert read_decimal("-1e400").is_infinite
+
+    def test_overflow_toward_zero_clamps(self):
+        v = read_decimal("1e400", mode=ReaderMode.TOWARD_ZERO)
+        f, e = BINARY64.largest_finite
+        assert v == Flonum.finite(0, f, e, BINARY64)
+
+    def test_overflow_directed_respects_sign(self):
+        v = read_decimal("-1e400", mode=ReaderMode.TOWARD_POSITIVE)
+        assert v.is_finite and v.is_negative
+        w = read_decimal("-1e400", mode=ReaderMode.TOWARD_NEGATIVE)
+        assert w.is_infinite and w.is_negative
+
+    def test_underflow_to_zero(self):
+        v = read_decimal("1e-400")
+        assert v.is_zero
+
+    def test_underflow_toward_positive_gives_min_denormal(self):
+        v = read_decimal("1e-400", mode=ReaderMode.TOWARD_POSITIVE)
+        assert v == Flonum.finite(0, 1, BINARY64.min_e, BINARY64)
+
+    def test_half_min_denormal_ties_to_zero(self):
+        # Exactly half the smallest denormal: even mantissa (0) wins.
+        value = Fraction(1, 2) * Fraction(2) ** BINARY64.min_e
+        assert read_fraction(value).is_zero
+
+    def test_just_above_half_min_denormal(self):
+        value = Fraction(1, 2) * Fraction(2) ** BINARY64.min_e
+        v = read_fraction(value + Fraction(1, 10**400))
+        assert v == Flonum.finite(0, 1, BINARY64.min_e, BINARY64)
+
+
+class TestOtherFormats:
+    def test_binary16(self):
+        v = read_decimal("1.5", BINARY16)
+        assert v.to_fraction() == Fraction(3, 2)
+        assert read_decimal("65520", BINARY16).is_infinite  # > max half
+        assert read_decimal("65504", BINARY16).to_fraction() == 65504
+
+    def test_binary32(self):
+        import struct
+
+        for text in ("0.1", "3.4028235e38", "1e-45", "1.1754944e-38"):
+            want = struct.unpack(">f", struct.pack(">f", float(text)))[0]
+            assert read_decimal(text, BINARY32).to_fraction() == Fraction(want)
+
+    def test_toy_format_exhaustive_roundtrip(self):
+        # Reading each toy value's exact decimal gives the value back.
+        for v in Flonum.enumerate_positive(TOY_P5):
+            frac = v.to_fraction()
+            assert read_fraction(frac, TOY_P5) == v
+
+
+class TestSpecialStrings:
+    def test_nan_inf_zero(self):
+        assert read_decimal("nan").is_nan
+        assert read_decimal("inf").is_infinite
+        z = read_decimal("-0.0")
+        assert z.is_zero and z.is_negative
+
+    def test_round_rational_validates(self):
+        with pytest.raises(RangeError):
+            round_rational(-1, 2)
+        with pytest.raises(RangeError):
+            round_rational(1, 0)

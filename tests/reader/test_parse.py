@@ -1,0 +1,91 @@
+"""Decimal literal parsing."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.reader.parse import parse_decimal
+
+
+class TestBasicForms:
+    @pytest.mark.parametrize("text,sign,digits,exp", [
+        ("0", 0, 0, 0),
+        ("1", 0, 1, 0),
+        ("-1", 1, 1, 0),
+        ("+42", 0, 42, 0),
+        ("12.34", 0, 1234, -2),
+        ("-12.34e5", 1, 1234, 3),
+        ("1e10", 0, 1, 10),
+        ("1E10", 0, 1, 10),
+        (".5", 0, 5, -1),
+        ("5.", 0, 5, 0),
+        ("0.001", 0, 1, -3),
+        ("00012", 0, 12, 0),
+        ("1e-3", 0, 1, -3),
+        ("  7  ", 0, 7, 0),
+    ])
+    def test_parse(self, text, sign, digits, exp):
+        p = parse_decimal(text)
+        assert (p.sign, p.digits, p.exponent) == (sign, digits, exp)
+        assert p.special is None
+
+    def test_trailing_zeros_normalized(self):
+        p = parse_decimal("12300")
+        assert (p.digits, p.exponent) == (123, 2)
+        p = parse_decimal("1.50")
+        assert (p.digits, p.exponent) == (15, -1)
+
+    def test_zero_normalizes_exponent(self):
+        p = parse_decimal("0.000e5")
+        assert p.digits == 0 and p.exponent == 0 and p.is_zero
+
+    @given(st.integers(), st.integers(min_value=-50, max_value=50))
+    def test_value_preserved(self, d, q):
+        text = f"{d}e{q}"
+        p = parse_decimal(text)
+        assert p.to_fraction() == Fraction(d) * Fraction(10) ** q
+
+
+class TestSpecials:
+    @pytest.mark.parametrize("text,kind,sign", [
+        ("inf", "inf", 0), ("Infinity", "inf", 0), ("-inf", "inf", 1),
+        ("+Inf", "inf", 0), ("nan", "nan", 0), ("NaN", "nan", 0),
+        ("-NAN", "nan", 1),
+    ])
+    def test_parse_specials(self, text, kind, sign):
+        p = parse_decimal(text)
+        assert p.special == kind and p.sign == sign
+
+    def test_special_has_no_fraction(self):
+        with pytest.raises(ParseError):
+            parse_decimal("inf").to_fraction()
+
+
+class TestHashMarks:
+    def test_hashes_read_as_zeros(self):
+        p = parse_decimal("100.000000000000000#####")
+        q = parse_decimal("100.00000000000000000000")
+        assert p.to_fraction() == q.to_fraction()
+        assert p.insignificant == 5
+
+    def test_hash_in_integer_part(self):
+        p = parse_decimal("5####")
+        assert p.to_fraction() == 50000
+        assert p.insignificant == 4
+
+    def test_hashes_must_be_trailing(self):
+        with pytest.raises(ParseError):
+            parse_decimal("1#2")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "  ", "abc", "1..2", "1e", "e5", "--1", "1e5.5", ".", "+",
+        "0x10", "1_000",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_decimal(bad)

@@ -1,0 +1,93 @@
+"""The truncating (bounded-work) reader."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import finite_doubles
+from repro.core.rounding import ReaderMode
+from repro.errors import ParseError
+from repro.floats.formats import BINARY16, BINARY64
+from repro.floats.model import Flonum
+from repro.reader.exact import read_decimal
+from repro.reader.truncated import TRUNCATION_DIGITS, read_decimal_truncated
+
+
+class TestAgreementWithExact:
+    @given(st.integers(min_value=0, max_value=10**25),
+           st.integers(min_value=-320, max_value=320))
+    @settings(max_examples=300)
+    def test_random_literals(self, d, q):
+        text = f"{d}e{q}"
+        assert read_decimal_truncated(text) == read_decimal(text)
+
+    @given(finite_doubles())
+    @settings(max_examples=200)
+    def test_reprs(self, x):
+        assert read_decimal_truncated(repr(x)) == Flonum.from_float(x)
+
+    @pytest.mark.parametrize("mode", list(ReaderMode))
+    def test_modes(self, mode):
+        for text in ("0.1", "12345678901234567890123456789", "2.5e-324"):
+            assert (read_decimal_truncated(text, mode=mode)
+                    == read_decimal(text, mode=mode))
+
+    def test_specials_and_hashes_route_through(self):
+        assert read_decimal_truncated("inf").is_infinite
+        assert read_decimal_truncated("nan").is_nan
+        assert (read_decimal_truncated("100.000000000000000#####")
+                == Flonum.from_float(100.0))
+
+    def test_other_formats(self):
+        assert (read_decimal_truncated("0.1", BINARY16)
+                == read_decimal("0.1", BINARY16))
+
+
+class TestHugeLiterals:
+    def test_millions_of_digits_fast_path(self):
+        # 1.000…0001e0 with a deep tail: sticky decides without building
+        # a million-digit integer.
+        text = "1." + "0" * 100000 + "1"
+        got = read_decimal_truncated(text)
+        assert got == Flonum.from_float(1.0)
+        # The tail matters for directed rounding:
+        up = read_decimal_truncated(text, mode=ReaderMode.TOWARD_POSITIVE)
+        assert up > got
+
+    def test_long_nines(self):
+        text = "0." + "9" * 50000
+        got = read_decimal_truncated(text)
+        assert got == read_decimal("0." + "9" * 30)  # rounds to 1.0
+        assert got == Flonum.from_float(1.0)
+
+    def test_boundary_straddle_falls_back_exactly(self):
+        # Exactly the 2**-1 + half-ulp boundary with a deep tie-breaking
+        # digit far beyond the truncation horizon.
+        half_ulp = "0.5000000000000000277555756156289135105907917022705078125"
+        deep = half_ulp + "0" * 40 + "1"
+        got = read_decimal_truncated(deep)
+        want = read_decimal(deep)
+        assert got == want
+        # And the exact tie itself (sticky false beyond truncation would
+        # still straddle): nearest-even picks the even mantissa.
+        tie = read_decimal_truncated(half_ulp)
+        assert tie == read_decimal(half_ulp)
+
+    def test_long_zero(self):
+        text = "0." + "0" * 10000
+        assert read_decimal_truncated(text).is_zero
+
+    def test_negative_huge(self):
+        text = "-3." + "1" * 10000 + "e-5"
+        assert read_decimal_truncated(text) == read_decimal(
+            "-3." + "1" * 25 + "e-5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--5"])
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            read_decimal_truncated(bad)
+
+    def test_truncation_horizon_constant(self):
+        assert TRUNCATION_DIGITS >= 17  # must exceed binary64's needs

@@ -1,0 +1,148 @@
+"""The repro-print command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, run
+
+
+def _run(*argv):
+    out = io.StringIO()
+    status = run(list(argv), out=out)
+    return status, out.getvalue().splitlines()
+
+
+class TestFreeFormat:
+    def test_shortest_default(self):
+        status, lines = _run("0.3")
+        assert status == 0 and lines == ["0.3"]
+
+    def test_multiple_values(self):
+        status, lines = _run("0.1", "0.2", "0.3")
+        assert lines == ["0.1", "0.2", "0.3"]
+
+    def test_reader_mode_changes_1e23(self):
+        _, aware = _run("1e23")
+        _, unaware = _run("1e23", "--reader-mode", "nearest-unknown")
+        assert aware == ["1e23"]
+        assert unaware == ["9.999999999999999e22"]
+
+    def test_python_repr_surface(self):
+        _, lines = _run("1e23", "--python-repr")
+        assert lines == ["1e+23"]
+
+    def test_scaler_choice_same_answer(self):
+        for scaler in ("estimate", "float-log", "iterative"):
+            _, lines = _run("123.456", "--scaler", scaler)
+            assert lines == ["123.456"]
+
+    def test_base_conversion(self):
+        _, lines = _run("0.5", "--base", "2", "--style", "positional")
+        assert lines == ["0.1"]
+
+    def test_negative_numbers(self):
+        _, lines = _run("-0.3")
+        assert lines == ["-0.3"]
+
+    def test_specials(self):
+        _, lines = _run("nan", "inf")
+        assert lines == ["nan", "inf"]
+
+    def test_negative_infinity_after_separator(self):
+        # argparse needs "--" before non-numeric dash arguments.
+        _, lines = _run("--", "-inf")
+        assert lines == ["-inf"]
+
+
+class TestFixedFormat:
+    def test_decimals(self):
+        _, lines = _run("100", "--decimals", "20")
+        assert lines == ["100.000000000000000#####"]
+
+    def test_digits(self):
+        _, lines = _run("0.333333333333333333", "--digits", "10")
+        assert lines == ["0.3333333333"]
+
+    def test_position(self):
+        _, lines = _run("12345", "--position", "2")
+        assert lines == ["12300"]
+
+    def test_format_choice(self):
+        # Reading into binary32 first loses digits: 1/3's float32 prints
+        # fewer significant digits.
+        _, lines64 = _run("0.3333333333333333", "--format", "binary64")
+        _, lines32 = _run("0.3333333333333333", "--format", "binary32")
+        assert len(lines32[0]) < len(lines64[0])
+
+
+class TestErrors:
+    def test_bad_literal_reports_and_continues(self):
+        status, lines = _run("abc", "1.5")
+        assert status == 1
+        assert lines[0].startswith("error:")
+        assert lines[1] == "1.5"
+
+    def test_parser_rejects_conflicting_modes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["1.0", "--digits", "3",
+                                       "--decimals", "2"])
+
+    def test_parser_rejects_unknown_scaler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["1.0", "--scaler", "magic"])
+
+
+class TestHexAndFast:
+    def test_hex_output(self):
+        _, lines = _run("1.5", "--hex")
+        assert lines == ["0x1.8p+0"]
+
+    def test_hex_input(self):
+        _, lines = _run("0x1.8p+0")
+        assert lines == ["1.5"]
+
+    def test_hex_roundtrip_both_ways(self):
+        _, lines = _run("0x1.999999999999ap-4", "--hex")
+        assert lines == ["0x1.999999999999ap-4"]
+        _, lines = _run("0x1.999999999999ap-4")
+        assert lines == ["0.1"]
+
+    def test_fast_shortest_matches_exact(self):
+        _, fast = _run("123.456", "--fast")
+        _, exact = _run("123.456")
+        assert fast == exact
+
+    def test_fast_counted(self):
+        _, lines = _run("0.123456", "--fast", "--digits", "3")
+        assert lines == ["0.123"]
+
+    def test_fast_specials(self):
+        _, lines = _run("inf", "nan", "0", "--fast")
+        assert lines == ["inf", "nan", "0"]
+
+    def test_negative_hex_input(self):
+        # dash-leading non-numeric args need the -- separator.
+        _, lines = _run("--", "-0x1p-1")
+        assert lines == ["-0.5"]
+
+
+class TestStyles:
+    def test_engineering(self):
+        _, lines = _run("6.02214076e23", "--style", "engineering")
+        assert lines == ["602.214076e21"]
+
+    def test_grouping(self):
+        _, lines = _run("1234567.89", "--style", "positional",
+                        "--group", ",")
+        assert lines == ["1,234,567.89"]
+
+
+class TestStdin:
+    def test_reads_stdin_when_no_values(self, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0.1\n\n1e23\n"))
+        status, lines = _run()
+        assert status == 0
+        assert lines == ["0.1", "1e23"]

@@ -1,0 +1,57 @@
+"""Every example must run clean end-to-end (deliverable smoke tests)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, args) — args shrink the workloads to CI scale.
+CASES = [
+    ("quickstart.py", []),
+    ("fixed_format_marks.py", []),
+    ("base_conversion.py", []),
+    ("column_formatter.py", []),
+    ("format_zoo.py", []),
+    ("printf_comparison.py", []),
+    ("json_numbers.py", []),
+    ("repr_roundtrip.py", []),
+    ("paper_measurements.py", ["400"]),
+    ("self_check.py", ["40"]),
+]
+
+
+def _run(script, args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("script,args", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = _run(script, args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate their scenario"
+
+
+def test_example_inventory_matches_directory():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert covered == on_disk, (
+        f"uncovered examples: {on_disk - covered}; "
+        f"stale cases: {covered - on_disk}")
+
+
+def test_quickstart_shows_the_flagship_outputs():
+    result = _run("quickstart.py", [])
+    assert "1e23" in result.stdout
+    assert "100.000000000000000#####" in result.stdout
+
+
+def test_self_check_reports_all_ok():
+    result = _run("self_check.py", ["30"])
+    assert "All engines agree" in result.stdout

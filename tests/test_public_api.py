@@ -1,0 +1,62 @@
+"""The public surface: everything advertised exists and basic flows work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_names_resolve(self):
+        for mod_name in ("repro.core", "repro.floats", "repro.reader",
+                         "repro.baselines", "repro.bignum", "repro.format",
+                         "repro.workloads", "repro.fastpath"):
+            mod = importlib.import_module(mod_name)
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), f"{mod_name}.{name}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestEndToEndFlows:
+    """The README examples, verbatim."""
+
+    def test_readme_free_format(self):
+        assert repro.format_shortest(0.1 + 0.2) == "0.30000000000000004"
+        assert repro.format_shortest(1e23) == "1e23"
+        assert repro.format_shortest(
+            1e23, mode=repro.ReaderMode.NEAREST_UNKNOWN
+        ) == "9.999999999999999e22"
+
+    def test_readme_fixed_format(self):
+        assert repro.format_fixed(1 / 3, ndigits=10) == "0.3333333333"
+        assert repro.format_fixed(100.0, decimals=20) == (
+            "100.000000000000000#####")
+
+    def test_readme_reader(self):
+        v = repro.read_decimal("0.3")
+        assert v == repro.Flonum.from_float(0.3)
+
+    def test_printf_and_repr(self):
+        assert repro.format_printf("%.2f", 3.14159) == "3.14"
+        assert repro.py_repr(0.1) == "0.1"
+        assert repro.python_hex(1.5) == (1.5).hex()
+
+    def test_digit_level_api(self):
+        v = repro.Flonum.from_float(0.3)
+        r = repro.shortest_digits(v)
+        assert isinstance(r, repro.DigitResult)
+        f = repro.fixed_digits(v, ndigits=3)
+        assert isinstance(f, repro.FixedResult)
+
+    def test_errors_are_catchable_as_base(self):
+        with pytest.raises(repro.ReproError):
+            repro.format_fixed(1.0)  # missing precision spec
+        with pytest.raises(repro.ReproError):
+            repro.read_decimal("not a number")

@@ -1,0 +1,122 @@
+"""Regression pins for bugs found (and fixed) during development.
+
+Each test documents a real failure mode with the smallest reproducer, so
+a future refactor that reintroduces it fails with a story attached.
+"""
+
+from fractions import Fraction
+
+from repro.core.fixed import fixed_digits
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.floats.model import Flonum
+from repro.reader.truncated import read_decimal_truncated
+
+
+class TestFixedFormatZeroRule:
+    def test_first_digit_below_stop_position(self):
+        """0.4 at position 0: k == j, so there are NO digit positions at
+        or above the stop — the output is the zero numeral.  An early
+        version generated a digit at position -1 and returned 0.4."""
+        r = fixed_digits(Flonum.from_float(0.4), position=0)
+        assert r.is_zero and r.k == 0
+
+    def test_all_zero_digit_string_canonicalized(self):
+        """0.5 at position 0 with ties-down generates the digit 0; that
+        is the zero output and must normalize (an early version returned
+        digits=(0,) with k=1, which rendered as '0' but broke the
+        span bookkeeping len(digits)+hashes == k-j)."""
+        r = fixed_digits(Flonum.from_float(0.5), position=0,
+                         tie=TieBreak.DOWN)
+        assert r.is_zero and r.digits == ()
+
+
+class TestDoubleLiteralsAreNotDecimals:
+    def test_095_rounds_down_at_one_digit(self):
+        """The double nearest 0.95 is BELOW 0.95, so one significant
+        digit gives '9', not '1e0' — a test expectation bug worth
+        keeping visible."""
+        r = fixed_digits(Flonum.from_float(0.95), ndigits=1)
+        assert r.digits == (9,)
+        r = fixed_digits(Flonum.from_float(0.96), ndigits=1)
+        assert (r.k, r.digits) == (1, (1,))
+
+
+class TestCorpusAliasing:
+    def test_corpus_exponents_not_aliased(self):
+        """An early corpus strode exponents with a fixed step, collapsing
+        1500 samples onto ~10 distinct exponents and biasing the
+        estimator-accuracy measurement to 100%.  The product-space stride
+        must keep exponent coverage proportional to the sample count."""
+        from repro.workloads.schryer import corpus
+
+        values = corpus(1500)
+        assert len({v.e for v in values}) > 1000
+
+    def test_estimator_inexactness_visible_on_corpus(self):
+        """With honest coverage the fast estimator is off by one on a
+        visible fraction (the paper's 'frequently k-1')."""
+        from repro.analysis.estimator_stats import accuracy_scan
+        from repro.workloads.schryer import corpus
+
+        scan = accuracy_scan(corpus(600))
+        assert 0.02 < 1 - scan["fast"].exact_rate < 0.35
+
+
+class TestTruncatedReaderJumpPoints:
+    def test_directed_mode_at_representable_prefix(self):
+        """'1.000…001' under TOWARD_POSITIVE: the kept prefix is exactly
+        1.0 (a jump point of ceil), so naive closed-endpoint bracketing
+        always straddles and fell back to the exact reader — defeating
+        the bounded-work guarantee.  The one-sided-limit bracketing must
+        decide this without building the full integer."""
+        text = "1." + "0" * 100000 + "1"
+        up = read_decimal_truncated(text, mode=ReaderMode.TOWARD_POSITIVE)
+        from repro.floats.ulp import successor
+
+        assert up == successor(Flonum.from_float(1.0))
+
+    def test_huge_literal_parse_beyond_int_limit(self):
+        """CPython caps str->int at 4300 digits by default; the exact
+        parser must chunk around it (found when the straddle fallback
+        crashed on a 100k-digit literal)."""
+        from repro.reader.exact import read_decimal
+
+        text = "0." + "3" * 5000
+        got = read_decimal(text)
+        assert got == Flonum.from_float(1 / 3)
+
+
+class TestGrisuBoundaryBail:
+    def test_1e23_family_bails_rather_than_disagreeing(self):
+        """Grisu3 must not certify a result on inputs where the shortest
+        output depends on the reader's tie rule."""
+        from repro.fastpath import grisu_shortest
+
+        assert grisu_shortest(Flonum.from_float(1e23)) is None
+
+
+class TestScaleConsistencyPairs:
+    def test_sw_fixed_exact_half_terminates(self):
+        """Steele-White's fixed-format mask with inclusive high and the
+        matching scale bounds: an exact-half remainder (1.5 at position
+        0) once looped forever under mismatched inclusivities."""
+        from repro.baselines.steele_white import dragon4_fixed
+
+        r = dragon4_fixed(Flonum.from_float(1.5), position=0)
+        assert "".join(map(str, r.digits)) == "2"
+
+
+class TestTheorem4Boundary:
+    def test_half_unit_bound_violation_is_stable(self):
+        """The 2**-1017 closest-valid case (see docs/semantics.md): the
+        error must stay in (unit/2, unit) — if a change 'fixes' this to
+        within half a unit, it broke round-tripping instead."""
+        from repro.core.dragon import shortest_digits
+        from repro.reader.exact import read_fraction
+
+        v = Flonum.from_float(2.0**-1017)
+        r = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+        unit = Fraction(10) ** (r.k - len(r.digits))
+        err = abs(r.to_fraction() - v.to_fraction())
+        assert unit / 2 < err < unit
+        assert read_fraction(r.to_fraction(), v.fmt) == v

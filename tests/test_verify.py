@@ -1,0 +1,55 @@
+"""The self-verification battery."""
+
+import pytest
+
+from repro.floats.formats import (
+    BINARY16,
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    X87_80,
+)
+from repro.verify import VerificationReport, sample_values, verify_format
+
+
+class TestSampleValues:
+    def test_deterministic(self):
+        assert sample_values(BINARY64, 50, 7) == sample_values(BINARY64, 50, 7)
+
+    def test_size(self):
+        assert len(sample_values(BINARY64, 50)) == 50
+
+    def test_includes_boundary_values(self):
+        vals = sample_values(BINARY64, 50)
+        fs = {(v.f, v.e) for v in vals}
+        assert (1, BINARY64.min_e) in fs  # smallest denormal
+        assert BINARY64.largest_finite in fs
+
+    def test_all_positive_finite(self):
+        for v in sample_values(BINARY32, 40):
+            assert v.is_finite and not v.sign and not v.is_zero
+
+
+@pytest.mark.parametrize("fmt,n", [
+    (BINARY64, 60), (BINARY32, 40), (BINARY16, 40),
+    (BINARY128, 15), (X87_80, 15),
+])
+def test_all_engines_agree(fmt, n):
+    report = verify_format(fmt, n)
+    assert report.checked >= n - 1
+    assert report.ok, report.mismatches[:5]
+
+
+class TestReport:
+    def test_summary_ok(self):
+        r = VerificationReport("binary64", checked=10)
+        assert "OK" in r.summary()
+
+    def test_summary_mismatch(self):
+        from repro.floats.model import Flonum
+
+        r = VerificationReport("binary64", checked=10)
+        r.record("kind", Flonum.from_float(1.0), "boom")
+        assert not r.ok
+        assert "1 MISMATCHES" in r.summary()
+        assert "kind" in r.mismatches[0]

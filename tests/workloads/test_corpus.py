@@ -1,0 +1,97 @@
+"""Curated edge-case corpora."""
+
+from repro.floats.formats import BINARY16, BINARY64
+from repro.floats.model import Flonum
+from repro.floats.ulp import midpoint_high, midpoint_low
+from repro.workloads.corpus import (
+    all_positive_finite,
+    boundary_neighbourhood,
+    decimal_ties,
+    denormals,
+    power_boundaries,
+    torture_floats,
+)
+
+
+class TestPowerBoundaries:
+    def test_contains_powers_and_neighbours(self):
+        vals = power_boundaries(BINARY64, lo=0, hi=2)
+        fracs = {v.to_fraction() for v in vals}
+        # b**(p-1) * 2**e are exact powers of two scaled into the window.
+        assert any(f == 2 ** (52 + 0) for f in fracs)
+
+    def test_all_positive_finite_values(self):
+        for v in power_boundaries(BINARY64):
+            assert v.is_finite and not v.sign and not v.is_zero
+
+
+class TestDenormals:
+    def test_all_denormal(self):
+        for v in denormals(BINARY64):
+            assert v.is_denormal
+
+    def test_includes_extremes(self):
+        vals = denormals(BINARY64)
+        fs = {v.f for v in vals}
+        assert 1 in fs
+        assert BINARY64.hidden_limit - 1 in fs
+
+    def test_binary16_small_set(self):
+        vals = denormals(BINARY16, count=8)
+        assert vals and all(v.fmt is BINARY16 for v in vals)
+
+
+class TestDecimalTies:
+    def test_each_pair_has_power_of_ten_boundary(self):
+        from fractions import Fraction
+
+        vals = decimal_ties(BINARY64)
+        assert vals
+        hits = 0
+        for v in vals:
+            for mid in (midpoint_high(v), midpoint_low(v)):
+                num, den = mid.numerator, mid.denominator
+                if den == 1:
+                    while num % 10 == 0:
+                        num //= 10
+                    hits += num == 1
+        assert hits >= 1  # 1e23 at minimum (both neighbours listed)
+
+    def test_includes_the_1e23_double(self):
+        vals = {v.to_bits() for v in decimal_ties(BINARY64)}
+        assert Flonum.from_float(1e23).to_bits() in vals
+
+
+class TestTorture:
+    def test_nonempty_and_finite(self):
+        vals = torture_floats()
+        assert len(vals) > 15
+        assert all(v.is_finite for v in vals)
+
+
+class TestNeighbourhood:
+    def test_radius(self):
+        v = Flonum.from_float(1.0)
+        hood = boundary_neighbourhood(v, radius=3)
+        assert len(hood) == 7
+        for a, b in zip(hood, hood[1:]):
+            assert a < b
+
+    def test_clipped_at_zero(self):
+        v = Flonum.finite(0, 1, BINARY64.min_e, BINARY64)
+        hood = boundary_neighbourhood(v, radius=3)
+        assert hood[0] == v
+
+    def test_clipped_at_infinity(self):
+        f, e = BINARY64.largest_finite
+        v = Flonum.finite(0, f, e, BINARY64)
+        hood = boundary_neighbourhood(v, radius=2)
+        assert hood[-1] == v
+
+
+class TestExhaustiveIterator:
+    def test_matches_model_enumeration(self):
+        from helpers import TOY_P5
+
+        assert (list(all_positive_finite(TOY_P5))
+                == list(Flonum.enumerate_positive(TOY_P5)))

@@ -1,0 +1,84 @@
+"""The Schryer-style corpus generator."""
+
+import pytest
+
+from repro.floats.formats import BINARY32, BINARY64
+from repro.workloads.schryer import (
+    PAPER_CORPUS_SIZE,
+    corpus,
+    exponent_sweep,
+    mantissa_patterns,
+)
+
+
+class TestMantissaPatterns:
+    def test_all_normalized(self):
+        for f in mantissa_patterns(BINARY64):
+            assert BINARY64.hidden_limit <= f < BINARY64.mantissa_limit
+
+    def test_includes_extremes(self):
+        pats = set(mantissa_patterns(BINARY64))
+        assert BINARY64.hidden_limit in pats
+        assert BINARY64.mantissa_limit - 1 in pats
+
+    def test_includes_single_bit_forms(self):
+        pats = set(mantissa_patterns(BINARY64))
+        assert BINARY64.hidden_limit + 1 in pats
+        assert BINARY64.hidden_limit + (1 << 30) in pats
+
+    def test_sorted_unique(self):
+        pats = mantissa_patterns(BINARY64)
+        assert pats == sorted(set(pats))
+
+    def test_binary32(self):
+        pats = mantissa_patterns(BINARY32)
+        assert all(BINARY32.hidden_limit <= f < BINARY32.mantissa_limit
+                   for f in pats)
+
+
+class TestExponentSweep:
+    def test_full_range_by_default(self):
+        exps = exponent_sweep(BINARY64)
+        assert exps[0] == BINARY64.min_e
+        assert exps[-1] == BINARY64.max_e
+        assert len(exps) == BINARY64.max_e - BINARY64.min_e + 1
+
+    def test_subsampled(self):
+        exps = exponent_sweep(BINARY64, count=100)
+        assert len(exps) == 100
+        assert exps == sorted(exps)
+        assert exps[0] == BINARY64.min_e
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        assert corpus(500) == corpus(500)
+
+    def test_size_exact(self):
+        for n in (1, 10, 1000, 5000):
+            assert len(corpus(n)) == n
+
+    def test_all_positive_normalized(self):
+        for v in corpus(2000):
+            assert v.is_normal and not v.sign
+
+    def test_spans_exponent_range(self):
+        es = {v.e for v in corpus(3000)}
+        assert min(es) < -900
+        assert max(es) > 900
+
+    def test_empty(self):
+        assert corpus(0) == []
+
+    def test_paper_size_constant(self):
+        # We do not build all 250,680 here (slow in CI), just pin the
+        # constant the benches reference.
+        assert PAPER_CORPUS_SIZE == 250_680
+
+    def test_seed_changes_random_fill(self):
+        a = corpus(10**5 // 10, seed=1)
+        b = corpus(10**5 // 10, seed=2)
+        # Pattern-product prefix is shared; the tails may differ only if
+        # the random fill kicked in. Just check determinism per seed.
+        assert a == corpus(10**5 // 10, seed=1)
+        assert b == corpus(10**5 // 10, seed=2)

@@ -1,0 +1,118 @@
+"""Regenerate every paper table/measurement as one consolidated report.
+
+Produces the markdown-ish block EXPERIMENTS.md's measured numbers come
+from.  Timing-sensitive rows use quick wall-clock measurements (for the
+statistically careful versions, run ``pytest benchmarks/
+--benchmark-only``); counting rows are exact.
+
+Run:  python tools/regenerate_reports.py [corpus-size]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis import (
+    accuracy_scan,
+    digit_length_stats,
+    undershoot_bound,
+    worst_undershoot,
+)
+from repro.baselines.naive_fixed import fixed_digits_loop
+from repro.baselines.naive_printf import audit_naive_printf
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode
+from repro.core.scaling import scale_estimate, scale_float_log, scale_iterative
+from repro.fastpath import STATS as FAST_STATS
+from repro.fastpath import fixed_fast, shortest_fast
+from repro.floats.formats import BINARY64
+from repro.workloads.schryer import corpus
+
+
+def _time(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def table2(values) -> None:
+    print("## Table 2 — scaling algorithms (relative CPU time)")
+    timings = {}
+    for name, scaler in (("estimator", scale_estimate),
+                         ("float-log", scale_float_log),
+                         ("iterative", scale_iterative)):
+        def run():
+            for v in values:
+                shortest_digits(v, scaler=scaler)
+        run()  # warm caches
+        timings[name] = _time(run)
+    base = timings["estimator"]
+    for name, t in timings.items():
+        print(f"  {name:12s} {t / base:6.2f}x   ({t * 1e3:.0f} ms)")
+    print(f"  paper: iterative ~86x (compiled Scheme; see EXPERIMENTS.md "
+          f"for the growth-law reproduction)")
+    print()
+
+
+def table3(values) -> None:
+    print("## Table 3 — free vs fixed vs printf")
+
+    def free():
+        for v in values:
+            shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
+
+    def fixed17():
+        for v in values:
+            fixed_digits_loop(v, 17)
+
+    free()
+    fixed17()
+    t_free, t_fixed = _time(free), _time(fixed17)
+    print(f"  free / fixed-17:  {t_free / t_fixed:.2f}x   "
+          f"(paper geometric mean 1.66x, range 1.59-1.81)")
+    for precision in (53, 64, 113):
+        audit = audit_naive_printf(values, precision=precision)
+        print(f"  printf model ({precision:3d}-bit chain): "
+              f"{audit.incorrect:5d}/{audit.total} incorrectly rounded")
+    print("  paper: 0 (exact libcs) ... 6280/250680 (worst 1996 system)")
+    print()
+
+
+def in_text_numbers(values) -> None:
+    print("## In-text claims")
+    stats = digit_length_stats(values)
+    print(f"  mean shortest digits: {stats.mean:.2f}  (paper: 15.2)")
+    scan = accuracy_scan(values)
+    for name in ("float-log", "gay", "fast"):
+        print(f"  estimator {name:10s} exact {scan[name].exact_rate:6.1%}")
+    print(f"  undershoot bound base 3: analytic "
+          f"{undershoot_bound(2, 3):.4f}, observed "
+          f"{worst_undershoot(BINARY64, 3):.4f}  (paper: < 0.631)")
+    print()
+
+
+def fastpaths(values) -> None:
+    print("## Fast paths (follow-on work)")
+    FAST_STATS.reset()
+    for v in values:
+        shortest_fast(v)
+        fixed_fast(v, 15)
+    n = len(values)
+    print(f"  grisu3 hit rate:  {FAST_STATS.shortest_hits / n:6.1%}")
+    print(f"  counted hit rate: {FAST_STATS.fixed_hits / n:6.1%}")
+    print()
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    values = corpus(n)
+    print(f"# Regenerated reports (corpus n={n})\n")
+    table2(values)
+    table3(values)
+    in_text_numbers(values)
+    fastpaths(values)
+
+
+if __name__ == "__main__":
+    main()
