@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test bench reports examples verify all clean
+.PHONY: install test bench bench-engine smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -13,6 +13,17 @@ test:
 
 bench:
 	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate BENCH_engine.json (exits non-zero on any engine/exact
+# output mismatch or a fast-resolved rate below 0.99).
+bench-engine:
+	$(PY) tools/bench_engine.py
+
+# Quick correctness smoke of the engine (what CI runs).
+smoke:
+	$(PY) tools/bench_engine.py --quick -o /dev/null
+
+ci: test smoke
 
 reports:
 	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ -s

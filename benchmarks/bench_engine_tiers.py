@@ -1,0 +1,117 @@
+"""Extension — the tiered conversion engine vs the exact algorithm.
+
+Where ``bench_ablation_fastpath.py`` compares the readable Grisu
+reference against exact digit generation, this file measures the
+production-shaped stack: the :class:`repro.engine.Engine` router
+(memo -> exact-decimal tier -> raw-integer Grisu -> exact fallback)
+through its string-level APIs, on the uniform-random corpus the
+fast-path literature reports on.
+
+Also runnable standalone for a quick smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_engine_tiers.py --quick
+"""
+
+import os
+
+import pytest
+
+from repro.core.api import format_shortest
+from repro.engine import Engine
+from repro.engine.bench import engine_corpus
+from repro.workloads.corpus import torture_floats
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "400"))
+
+
+@pytest.fixture(scope="module")
+def uniform_floats():
+    return engine_corpus(BENCH_N)
+
+
+@pytest.fixture(scope="module")
+def warm_engine(uniform_floats):
+    eng = Engine()
+    eng.format_many(uniform_floats[:32])  # build the per-format tables
+    return eng
+
+
+@pytest.mark.benchmark(group="engine-strings")
+def test_bench_exact_only_strings(benchmark, uniform_floats):
+    benchmark(lambda: [format_shortest(x, engine=None)
+                       for x in uniform_floats])
+
+
+@pytest.mark.benchmark(group="engine-strings")
+def test_bench_engine_format(benchmark, uniform_floats, warm_engine):
+    fmt_one = warm_engine.format
+
+    def run():
+        warm_engine.clear_cache()  # measure conversion, not memoization
+        return [fmt_one(x) for x in uniform_floats]
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="engine-strings")
+def test_bench_engine_format_many(benchmark, uniform_floats, warm_engine):
+    def run():
+        warm_engine.clear_cache()
+        return warm_engine.format_many(uniform_floats)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="engine-strings")
+def test_bench_engine_memo_hot(benchmark, uniform_floats, warm_engine):
+    """The repeated-values regime every memo entry hits."""
+    warm_engine.format_many(uniform_floats)  # populate
+    benchmark(lambda: warm_engine.format_many(uniform_floats))
+
+
+@pytest.mark.benchmark(group="engine-tiers")
+def test_bench_tier2_only(benchmark, uniform_floats):
+    eng = Engine(tier0=False, tier1=False, cache_size=0)
+    eng.format_many(uniform_floats[:8])
+    benchmark(lambda: eng.format_many(uniform_floats))
+
+
+@pytest.mark.benchmark(group="engine-tiers")
+def test_bench_no_tier0(benchmark, uniform_floats):
+    eng = Engine(tier0=False, cache_size=0)
+    eng.format_many(uniform_floats[:8])
+    benchmark(lambda: eng.format_many(uniform_floats))
+
+
+def test_engine_tier_profile(uniform_floats, capsys):
+    """Not a timing: print the resolution profile for the report."""
+    eng = Engine()
+    eng.format_many(uniform_floats)
+    eng.format_many([f.to_float() for f in torture_floats()])
+    s = eng.stats()
+    with capsys.disabled():
+        fast = s["tier0_hits"] + s["tier1_hits"] + s["cache_hits"]
+        print(f"\n[engine] {s['conversions']} conversions: "
+              f"tier0={s['tier0_hits']} tier1={s['tier1_hits']} "
+              f"bailouts={s['tier1_bailouts']} tier2={s['tier2_calls']} "
+              f"memo={s['cache_hits']} "
+              f"fast-resolved={fast / s['conversions']:.4f}")
+    assert fast / s["conversions"] >= 0.99
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("-n", type=int, default=20000)
+    args = parser.parse_args()
+
+    from repro.engine.bench import run_engine_bench
+
+    result = run_engine_bench(n=2000 if args.quick else args.n,
+                              repeats=1 if args.quick else 3)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    assert result["mismatches"] == 0, "engine output diverged from exact"
+    assert result["fast_resolved"] >= 0.99

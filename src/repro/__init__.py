@@ -20,6 +20,7 @@ table-by-table reproduction of the paper's evaluation.
 
 from repro.core.api import format_fixed, format_shortest, to_flonum
 from repro.core.digits import DigitResult
+from repro.engine import Engine, default_engine, format_many
 from repro.core.dragon import shortest_digits
 from repro.core.fixed import FixedResult, fixed_digits
 from repro.core.fixed_rational import fixed_digits_rational
@@ -63,6 +64,9 @@ __all__ = [
     "__version__",
     "format_shortest",
     "format_fixed",
+    "format_many",
+    "Engine",
+    "default_engine",
     "to_flonum",
     "shortest_digits",
     "shortest_digits_rational",

@@ -4,6 +4,7 @@ from repro.bignum.integer import BigInt
 from repro.bignum.natural import LIMB_BASE, LIMB_BITS, BigNat
 
 from repro.bignum.pow_cache import (
+    DYNAMIC_CACHE_LIMIT,
     PAPER_TABLE_LIMIT,
     cache_info,
     clear_dynamic_cache,
@@ -11,6 +12,7 @@ from repro.bignum.pow_cache import (
     log_ratio,
     power,
     power_uncached,
+    set_dynamic_cache_limit,
 )
 
 __all__ = [
@@ -18,6 +20,7 @@ __all__ = [
     "BigNat",
     "LIMB_BASE",
     "LIMB_BITS",
+    "DYNAMIC_CACHE_LIMIT",
     "PAPER_TABLE_LIMIT",
     "cache_info",
     "clear_dynamic_cache",
@@ -25,4 +28,5 @@ __all__ = [
     "log_ratio",
     "power",
     "power_uncached",
+    "set_dynamic_cache_limit",
 ]

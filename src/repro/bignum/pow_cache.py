@@ -4,28 +4,42 @@ The scaling step multiplies big integers by ``B**k`` for potentially large
 ``k``; recomputing these powers dominates runtime, so the paper keeps a
 table of ``10**k`` for ``0 <= k <= 325`` (enough for IEEE double precision)
 and a table of ``1/log2 B`` for ``2 <= B <= 36``.  We reproduce both and
-back them with an unbounded memo for other bases and exponents (binary128
-needs ``10**k`` for k up to ~5000).
+back them with a *bounded* LRU memo for other bases and exponents, safe for
+concurrent use (the engine serves conversions from multiple threads).
+
+Formats whose exponent range outgrows the paper table (binary128 needs
+``10**k`` for k up to ~5000) should use the per-format tables in
+:mod:`repro.engine.tables`, which are sized once and never evict.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from typing import Dict, Tuple
 
 __all__ = [
     "PAPER_TABLE_LIMIT",
+    "DYNAMIC_CACHE_LIMIT",
     "power",
     "power_uncached",
     "inv_log2_of",
     "log_ratio",
     "cache_info",
     "clear_dynamic_cache",
+    "set_dynamic_cache_limit",
 ]
 
 #: The paper's table covers 10**k for 0 <= k <= 325, "sufficient to handle
 #: all IEEE double-precision floating-point numbers".
 PAPER_TABLE_LIMIT = 326
+
+#: Default bound on the dynamic memo.  Each entry can be a very large
+#: integer (10**5000 is ~2 KB), so an unbounded memo is a slow leak under
+#: adversarial exponent traffic; beyond this many entries the least
+#: recently used power is dropped.
+DYNAMIC_CACHE_LIMIT = 512
 
 _TEN_POWERS = []
 _acc = 1
@@ -37,21 +51,44 @@ del _acc
 #: 1/log2(B) for 2 <= B <= 36 (Figure 3's ``invlog2of``).  Index 0/1 unused.
 _INV_LOG2 = [0.0, 0.0] + [1.0 / math.log2(B) for B in range(2, 37)]
 
-_dynamic: Dict[Tuple[int, int], int] = {}
+_dynamic: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+_dynamic_lock = threading.Lock()
+_dynamic_limit = DYNAMIC_CACHE_LIMIT
+_evictions = 0
+_hits = 0
+_misses = 0
 
 
 def power(base: int, k: int) -> int:
-    """``base**k`` with the paper's lookup-table fast path (k >= 0)."""
+    """``base**k`` with the paper's lookup-table fast path (k >= 0).
+
+    Misses of the base-10 table go through a bounded LRU memo guarded by a
+    lock, so concurrent printers can share the cache without corrupting
+    its eviction order.
+    """
+    global _evictions, _hits, _misses
     if k < 0:
         raise ValueError(f"negative exponent {k}")
     if base == 10 and k < PAPER_TABLE_LIMIT:
         return _TEN_POWERS[k]
     key = (base, k)
-    cached = _dynamic.get(key)
-    if cached is None:
-        cached = base**k
-        _dynamic[key] = cached
-    return cached
+    with _dynamic_lock:
+        cached = _dynamic.get(key)
+        if cached is not None:
+            _hits += 1
+            _dynamic.move_to_end(key)
+            return cached
+        _misses += 1
+    # Compute outside the lock: base**k can be slow for huge k, and the
+    # worst a race costs is one redundant computation.
+    value = base**k
+    with _dynamic_lock:
+        _dynamic[key] = value
+        _dynamic.move_to_end(key)
+        while len(_dynamic) > _dynamic_limit:
+            _dynamic.popitem(last=False)
+            _evictions += 1
+    return value
 
 
 def power_uncached(base: int, k: int) -> int:
@@ -78,12 +115,34 @@ def log_ratio(b: int, base: int) -> float:
 
 def cache_info() -> Dict[str, int]:
     """Introspection for tests and the pow-cache ablation bench."""
-    return {
-        "ten_table": len(_TEN_POWERS),
-        "dynamic_entries": len(_dynamic),
-    }
+    with _dynamic_lock:
+        return {
+            "ten_table": len(_TEN_POWERS),
+            "dynamic_entries": len(_dynamic),
+            "dynamic_limit": _dynamic_limit,
+            "evictions": _evictions,
+            "hits": _hits,
+            "misses": _misses,
+        }
+
+
+def set_dynamic_cache_limit(limit: int) -> None:
+    """Resize the dynamic memo bound (evicting immediately if shrinking)."""
+    global _dynamic_limit, _evictions
+    if limit < 1:
+        raise ValueError("cache limit must be >= 1")
+    with _dynamic_lock:
+        _dynamic_limit = limit
+        while len(_dynamic) > _dynamic_limit:
+            _dynamic.popitem(last=False)
+            _evictions += 1
 
 
 def clear_dynamic_cache() -> None:
     """Drop memoised powers (used between ablation bench rounds)."""
-    _dynamic.clear()
+    global _evictions, _hits, _misses
+    with _dynamic_lock:
+        _dynamic.clear()
+        _evictions = 0
+        _hits = 0
+        _misses = 0

@@ -57,9 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "the output (free format only)")
     parser.add_argument("--tie", default="up", choices=sorted(_TIES),
                         help="printer-side tie strategy")
-    parser.add_argument("--scaler", default="estimate",
+    parser.add_argument("--scaler", default=None,
                         choices=sorted(_SCALERS),
-                        help="scaling algorithm (free format only)")
+                        help="scaling algorithm (free format only); "
+                             "selecting one forces the exact path, the "
+                             "default routes through the tiered engine")
+    parser.add_argument("--no-engine", action="store_true",
+                        help="disable the tiered engine: always run the "
+                             "exact algorithm (with the estimate scaler "
+                             "unless --scaler says otherwise)")
+    parser.add_argument("--engine-stats", action="store_true",
+                        help="after printing, report tier/cache counters "
+                             "of the conversion engine on stderr")
     parser.add_argument("--style", default="auto",
                         choices=["auto", "positional", "scientific",
                                  "engineering"],
@@ -125,14 +134,22 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
                     decimals=args.decimals, base=args.base,
                     tie=_TIES[args.tie], options=opts)
             else:
+                scaler = _SCALERS[args.scaler] if args.scaler else None
+                if args.no_engine and scaler is None:
+                    scaler = scale_estimate
                 rendered = format_shortest(
                     value, base=args.base, mode=_MODES[args.reader_mode],
-                    tie=_TIES[args.tie], scaler=_SCALERS[args.scaler],
+                    tie=_TIES[args.tie], scaler=scaler,
                     options=opts)
             print(rendered, file=out)
         except Exception as exc:  # surface per-value errors, keep going
             print(f"error: {text!r}: {exc}", file=out)
             status = 1
+    if args.engine_stats:
+        from repro.engine import default_engine
+
+        for name, count in default_engine().stats().items():
+            print(f"{name}: {count}", file=sys.stderr)
     return status
 
 

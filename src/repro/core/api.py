@@ -16,39 +16,27 @@ from repro.core.fixed import fixed_digits
 from repro.core.rounding import ReaderMode, TieBreak
 from repro.core.scaling import Scaler
 from repro.errors import RangeError
-from repro.floats.formats import BINARY64, FloatFormat
-from repro.floats.model import Flonum
+from repro.floats.model import Flonum, to_flonum
 from repro.format.notation import (
+    DEFAULT_OPTIONS,
     NotationOptions,
     render_fixed,
     render_shortest,
+    special_text,
 )
 
 __all__ = ["format_shortest", "format_fixed", "to_flonum"]
 
 Number = Union[float, int, Flonum]
 
-
-def to_flonum(x: Number, fmt: FloatFormat = BINARY64) -> Flonum:
-    """Coerce a float/int/Flonum input to a :class:`Flonum`."""
-    if isinstance(x, Flonum):
-        return x
-    if isinstance(x, bool):
-        raise RangeError("booleans are not numbers here")
-    if isinstance(x, int):
-        # Exact or error: silently rounding 2**53 + 1 would defeat the
-        # whole point of an accurate printer.
-        return Flonum.from_int(x, fmt)
-    if isinstance(x, float):
-        return Flonum.from_float(x, fmt)
-    raise RangeError(f"cannot print a {type(x).__name__}")
+#: Sentinel: "route through the default tiered engine".  ``engine=None``
+#: explicitly requests the exact-only path (ablations, tests).
+_USE_DEFAULT = object()
 
 
 def _special_string(v: Flonum, opts: NotationOptions) -> Optional[str]:
-    if v.is_nan:
-        return "nan"
-    if v.is_infinite:
-        return "-inf" if v.sign else "inf"
+    if not v.is_finite:
+        return special_text(v.is_nan, bool(v.sign), opts)
     return None
 
 
@@ -57,7 +45,8 @@ def format_shortest(x: Number, base: int = 10,
                     tie: TieBreak = TieBreak.UP,
                     scaler: Optional[Scaler] = None,
                     style: str = "auto",
-                    options: Optional[NotationOptions] = None) -> str:
+                    options: Optional[NotationOptions] = None,
+                    engine=_USE_DEFAULT) -> str:
     """The shortest string that reads back to ``x`` (free format).
 
     Example::
@@ -69,6 +58,11 @@ def format_shortest(x: Number, base: int = 10,
         >>> format_shortest(5e-324)
         '5e-324'
 
+    Conversions route through the tiered engine
+    (:mod:`repro.engine` — certified fast paths with exact fallback,
+    byte-identical output) unless an explicit ``scaler`` is given or
+    ``engine=None`` is passed; both select the pure exact algorithm.
+
     Args:
         x: A float, int, or :class:`Flonum` of any supported format.
         base: Output base (2..36).
@@ -76,12 +70,20 @@ def format_shortest(x: Number, base: int = 10,
             (and CPython/strtod) readers and enables boundary outputs such
             as ``1e23``.
         tie: Final-digit tie strategy (the paper rounds up).
-        scaler: Scaling algorithm override (benchmarks use this).
+        scaler: Scaling algorithm override (benchmarks use this);
+            forces the exact path.
         style: 'auto' (positional for moderate exponents), 'positional',
             or 'scientific'.
         options: Full :class:`NotationOptions`; overrides ``style``.
+        engine: A :class:`repro.engine.Engine` to route through, the
+            default sentinel (shared engine), or None (exact only).
     """
-    opts = options or NotationOptions(style=style)
+    opts = options or (DEFAULT_OPTIONS if style == "auto"
+                       else NotationOptions(style=style))
+    if scaler is None and engine is not None:
+        if engine is _USE_DEFAULT:
+            engine = _default_engine()
+        return engine.format(x, base, mode, tie, opts)
     v = to_flonum(x)
     special = _special_string(v, opts)
     if special is not None:
@@ -94,6 +96,14 @@ def format_shortest(x: Number, base: int = 10,
                              mode=mode.mirrored() if v.is_negative else mode,
                              tie=tie, scaler=scaler)
     return sign + render_shortest(digits, opts)
+
+
+def _default_engine():
+    # Imported lazily: repro.engine imports from this package's siblings,
+    # and the engine is only needed once the first conversion routes to it.
+    from repro.engine import default_engine
+
+    return default_engine()
 
 
 def format_fixed(x: Number, position: Optional[int] = None,

@@ -17,7 +17,22 @@ from repro.core.scaling import Scaler, scale_estimate
 from repro.errors import RangeError
 from repro.floats.model import Flonum
 
-__all__ = ["shortest_digits"]
+__all__ = ["shortest_digits", "shortest_digits_scaled"]
+
+
+def shortest_digits_scaled(sv, v: Flonum, base: int, tie: TieBreak,
+                           scaler: Scaler) -> DigitResult:
+    """Digit generation from already-adjusted Table-1 state.
+
+    The tail of :func:`shortest_digits` after validation and mode
+    adjustment, split out so the tiered engine (which validates once per
+    batch and owns per-format scaling tables) can drive it directly.
+    """
+    k, r, s, m_plus, m_minus = scaler(sv, base, v)
+    digits, _state = generate_digits(
+        r, s, m_plus, m_minus, base, sv.low_ok, sv.high_ok, tie,
+    )
+    return DigitResult(k=k, digits=tuple(digits), base=base)
 
 
 def shortest_digits(v: Flonum, base: int = 10,
@@ -53,8 +68,4 @@ def shortest_digits(v: Flonum, base: int = 10,
         scaler = scale_estimate
     r, s, m_plus, m_minus = initial_scaled_value(v)
     sv = adjust_for_mode(v, r, s, m_plus, m_minus, mode)
-    k, r, s, m_plus, m_minus = scaler(sv, base, v)
-    digits, _state = generate_digits(
-        r, s, m_plus, m_minus, base, sv.low_ok, sv.high_ok, tie,
-    )
-    return DigitResult(k=k, digits=tuple(digits), base=base)
+    return shortest_digits_scaled(sv, v, base, tie, scaler)

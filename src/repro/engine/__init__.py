@@ -1,0 +1,27 @@
+"""Tiered conversion engine: fast-path router, batch API, per-format tables.
+
+Public surface:
+
+* :class:`Engine` — a router over three tiers (exact-decimal fast path,
+  raw-integer Grisu3, exact Burger–Dybvig) with a bounded result memo
+  and per-tier statistics;
+* :func:`default_engine` — the shared instance the string API delegates
+  to;
+* :func:`format_many` — batch conversion through the default engine;
+* :func:`tables_for` / :class:`FormatTables` — the per-format
+  precomputed state (power tables, estimator constants, Grisu powers).
+
+This package must not import :mod:`repro.core.api` (the API imports us).
+"""
+
+from repro.engine.engine import Engine, default_engine, format_many
+from repro.engine.tables import FormatTables, clear_tables, tables_for
+
+__all__ = [
+    "Engine",
+    "default_engine",
+    "format_many",
+    "FormatTables",
+    "tables_for",
+    "clear_tables",
+]

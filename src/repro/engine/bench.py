@@ -1,0 +1,119 @@
+"""Measurement harness for the tiered engine.
+
+Shared by ``benchmarks/bench_engine_tiers.py`` (pytest-benchmark views)
+and ``tools/bench_engine.py`` (the ``BENCH_engine.json`` writer) so both
+report the same quantities from the same corpora:
+
+* wall time per value for the exact-only ``format_shortest`` path, for
+  ``Engine.format`` singles, and for ``Engine.format_many`` batches;
+* the tier resolution profile (what fraction of conversions the fast
+  tiers settled);
+* a byte-equality audit of every engine output against the exact path.
+
+Corpus: uniform random finite non-zero binary64 bit patterns (the
+fast-path literature's standard workload) plus the Schryer set for the
+agreement audit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.core.api import format_shortest
+from repro.engine.engine import Engine
+from repro.workloads.corpus import uniform_random
+from repro.workloads.schryer import corpus as schryer_corpus
+
+__all__ = ["engine_corpus", "run_engine_bench"]
+
+
+def engine_corpus(n: int, seed: int = 2024) -> List[float]:
+    """``n`` uniform random finite non-zero positive doubles."""
+    return [v.to_float() for v in uniform_random(n, seed=seed)]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_engine_bench(n: int = 20000, seed: int = 2024,
+                     repeats: int = 3) -> Dict:
+    """Measure the engine against the exact-only path.
+
+    Returns the dictionary ``tools/bench_engine.py`` serializes to
+    ``BENCH_engine.json``.  ``mismatches`` must be 0 and
+    ``fast_resolved`` at least 0.99 for the run to be meaningful; the
+    caller decides what speedup to require.
+    """
+    values = engine_corpus(n, seed)
+    audit = values + [v.to_float() for v in schryer_corpus(min(n, 2000))]
+
+    # Exact-only reference (engine=None pins the pure algorithm).
+    exact = lambda: [format_shortest(x, engine=None) for x in values]
+    exact()  # warm the power caches
+    t_exact = _best_of(exact, repeats)
+
+    bench_engine = Engine()
+    bench_engine.format_many(values[:64])  # build tables before timing
+
+    def run_many():
+        bench_engine.clear_cache()  # time conversions, not memo hits
+        bench_engine.format_many(values)
+
+    def run_singles():
+        bench_engine.clear_cache()
+        fmt_one = bench_engine.format
+        for x in values:
+            fmt_one(x)
+
+    t_many = _best_of(run_many, repeats)
+    t_single = _best_of(run_singles, repeats)
+
+    # The repeated-values regime, measured honestly: a slice that fits
+    # the memo, converted once, then timed on pure hits.
+    hot = values[: min(len(values), bench_engine.cache_size // 2)]
+    bench_engine.format_many(hot)
+    t_hot = _best_of(lambda: bench_engine.format_many(hot), repeats)
+
+    # Agreement audit on a fresh engine (empty memo) with fresh stats.
+    audit_engine = Engine()
+    expected = [format_shortest(x, engine=None) for x in audit]
+    got = audit_engine.format_many(audit)
+    mismatches = [
+        {"value": repr(x), "exact": a, "engine": b}
+        for x, a, b in zip(audit, expected, got) if a != b
+    ]
+    got_single = [audit_engine.format(x) for x in audit]
+    mismatches += [
+        {"value": repr(x), "exact": a, "engine": b, "api": "format"}
+        for x, a, b in zip(audit, expected, got_single) if a != b
+    ]
+
+    stats = audit_engine.stats()
+    resolved_fast = (stats["tier0_hits"] + stats["tier1_hits"]
+                     + stats["cache_hits"])
+    return {
+        "corpus": {"kind": "uniform-random-bits+schryer", "n": n,
+                   "seed": seed, "audit_n": len(audit)},
+        "us_per_value": {
+            "exact_only": t_exact * 1e6 / n,
+            "engine_format": t_single * 1e6 / n,
+            "engine_format_many": t_many * 1e6 / n,
+            "engine_memo_hot": t_hot * 1e6 / len(hot),
+        },
+        "speedup": {
+            "format": t_exact / t_single,
+            "format_many": t_exact / t_many,
+            "memo_hot": (t_exact / n) / (t_hot / len(hot)),
+        },
+        "fast_resolved": resolved_fast / stats["conversions"],
+        "mismatches": len(mismatches),
+        "mismatch_samples": mismatches[:10],
+        "stats": stats,
+    }

@@ -1,0 +1,177 @@
+"""Per-format precomputed conversion state (the engine's warm data).
+
+``format_shortest`` as shipped by the seed repo re-derives everything per
+call: the scaling estimator re-reads ``log_ratio``, ``B**k`` lookups for
+wide formats (binary128) miss the paper's 326-entry base-10 table and fall
+into a dict memo, and the Grisu fast path re-runs a ``ceil``/adjustment
+search for its cached power of ten on every conversion.  A
+:class:`FormatTables` instance does all of that work once per
+``(FloatFormat, base)`` pair:
+
+* ``powers`` — ``base**k`` for every ``k`` the scaler can request for this
+  format, as a flat list (O(1) indexed, no hashing, never evicts);
+* ``grisu_powers`` — for radix-2 formats with ``precision <= 62``, the
+  correctly rounded 64-bit power of ten for *every normalized binary
+  exponent* the format can produce, so Tier 1 is a single list index;
+* the estimator constant ``log_ratio(radix, base)`` and the boundary
+  constants (``hidden_limit``, ``min_e``, ``max_e``) as plain attributes.
+
+Tables build lazily on first use of a format and are shared process-wide
+(guarded by a lock; the tables themselves are immutable once built).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.bignum.pow_cache import log_ratio
+from repro.core.boundaries import ScaledValue
+from repro.core.scaling import FIXUP_EPSILON, _too_high, _too_low
+from repro.errors import RangeError
+from repro.fastpath.diyfp import cached_power_for_binary_exponent
+from repro.floats.formats import FloatFormat
+from repro.floats.model import Flonum
+
+__all__ = ["FormatTables", "tables_for", "clear_tables"]
+
+#: Widest significand the 64-bit Grisu tier can certify (matches
+#: :func:`repro.fastpath.grisu.grisu_shortest`).
+GRISU_MAX_PRECISION = 62
+
+
+class FormatTables:
+    """Immutable precomputed state for one ``(FloatFormat, base)`` pair."""
+
+    __slots__ = (
+        "fmt", "base", "ratio", "hidden_limit", "min_e", "max_e",
+        "mantissa_limit", "radix", "powers", "power_limit",
+        "grisu_ok", "grisu_powers", "grisu_e_min",
+    )
+
+    def __init__(self, fmt: FloatFormat, base: int):
+        if base < 2 or base > 36:
+            raise RangeError(f"output base must be in 2..36, got {base}")
+        self.fmt = fmt
+        self.base = base
+        self.radix = fmt.radix
+        self.ratio = log_ratio(fmt.radix, base)
+        self.hidden_limit = fmt.hidden_limit
+        self.mantissa_limit = fmt.mantissa_limit
+        self.min_e = fmt.min_e
+        self.max_e = fmt.max_e
+        # Largest |k| the estimator can produce for this format: the
+        # decimal (base-B) magnitude of the largest/smallest values, plus
+        # slack for the fixup and the pre-multiplication.
+        span = max(abs(fmt.min_e) + fmt.precision,
+                   abs(fmt.max_e) + fmt.precision)
+        self.power_limit = int(math.ceil(span * self.ratio)) + 4
+        powers: List[int] = []
+        acc = 1
+        for _ in range(self.power_limit + 1):
+            powers.append(acc)
+            acc *= base
+        self.powers = powers
+        # Tier-1 eligibility and its per-binary-exponent power list.
+        self.grisu_ok = (base == 10 and fmt.radix == 2
+                         and fmt.precision <= GRISU_MAX_PRECISION)
+        if self.grisu_ok:
+            self.grisu_e_min, self.grisu_powers = self._build_grisu_powers()
+        else:
+            self.grisu_e_min, self.grisu_powers = 0, []
+
+    def _build_grisu_powers(self) -> Tuple[int, List[Tuple[int, int, int]]]:
+        """``(cf, ce, mk)`` for every normalized binary exponent.
+
+        A value ``f * 2**e`` normalizes to ``wf * 2**we`` with
+        ``we = e + bitlen(f) - 64``, so ``we`` spans
+        ``[min_e + 1 - 64, max_e + precision - 64]``.
+        """
+        fmt = self.fmt
+        lo = fmt.min_e + 1 - 64
+        hi = fmt.max_e + fmt.precision - 64
+        table: List[Tuple[int, int, int]] = []
+        for e in range(lo, hi + 1):
+            power, mk, _exact = cached_power_for_binary_exponent(e)
+            table.append((power.f, power.e, mk))
+        return lo, table
+
+    def power(self, k: int) -> int:
+        """``base**k`` — table lookup for every in-range ``k``."""
+        if 0 <= k <= self.power_limit:
+            return self.powers[k]
+        return self.base**k
+
+    # ------------------------------------------------------------------
+    # Table-backed scaling (Figure 3 with precomputed constants).
+    # ------------------------------------------------------------------
+
+    def scale(self, sv: ScaledValue, base: int, v: Flonum):
+        """Scaler-compatible entry: estimator + fixup over the tables.
+
+        Mirrors :func:`repro.core.scaling.scale_estimate` /
+        :func:`apply_estimate` exactly (same contract, same fixup), minus
+        the per-call ``log_ratio`` lookup, the dict-backed ``power`` and
+        the global STATS bookkeeping.
+        """
+        powers = self.powers
+        est = math.ceil((v.e + _digit_length(v.f, self.radix) - 1)
+                        * self.ratio - FIXUP_EPSILON)
+        r, s, m_plus, m_minus = sv.r, sv.s, sv.m_plus, sv.m_minus
+        if est >= 0:
+            s = s * powers[est]
+        else:
+            scale = powers[-est]
+            r *= scale
+            m_plus *= scale
+            m_minus *= scale
+        while _too_high(r, s, m_plus, base, sv.high_ok):
+            r *= base
+            m_plus *= base
+            m_minus *= base
+            est -= 1
+        k = est
+        bumps = 0
+        while _too_low(r, s * (powers[bumps] if bumps else 1),
+                       m_plus, sv.high_ok):
+            bumps += 1
+        k += bumps
+        if bumps == 0:
+            return k, r * base, s, m_plus * base, m_minus * base
+        if bumps > 1:
+            s *= powers[bumps - 1]
+        return k, r, s, m_plus, m_minus
+
+
+def _digit_length(f: int, b: int) -> int:
+    if b == 2:
+        return f.bit_length()
+    n = 0
+    while f:
+        f //= b
+        n += 1
+    return n
+
+
+_TABLE_CACHE: Dict[Tuple[int, int], FormatTables] = {}
+_TABLE_LOCK = threading.Lock()
+
+
+def tables_for(fmt: FloatFormat, base: int) -> FormatTables:
+    """The shared, lazily built tables for ``(fmt, base)``."""
+    key = (id(fmt), base)
+    tables = _TABLE_CACHE.get(key)
+    if tables is None:
+        with _TABLE_LOCK:
+            tables = _TABLE_CACHE.get(key)
+            if tables is None:
+                tables = FormatTables(fmt, base)
+                _TABLE_CACHE[key] = tables
+    return tables
+
+
+def clear_tables() -> None:
+    """Drop all built tables (tests and memory-pressure ablations)."""
+    with _TABLE_LOCK:
+        _TABLE_CACHE.clear()

@@ -1,0 +1,150 @@
+"""Tier 0: values that *are* short decimals, printed without any search.
+
+A large share of real printing traffic is integers and tidy decimals —
+loop counters, prices, ratios of small powers of two.  For a radix-2
+value ``v = f * 2**e`` two easy cases cover them:
+
+* ``e < 0`` with ``2**-e`` dividing ``f``: ``v`` is an integer whose
+  rounding gap is smaller than 1, so no other decimal of *any* length
+  lies in the rounding interval — the integer's own digits are the
+  unique shortest output.
+* ``e >= 0`` (an integer with a gap ``>= 1``) or a short exact decimal
+  (``f * 5**-e`` small): the digits of the exact decimal expansion are
+  correct *unless* a shorter decimal lies inside the rounding interval.
+  Shorter candidates are exactly the multiples of ``10**(z+1)`` (``z`` =
+  trailing zeros of the expansion), so checking the two nearest ones —
+  with the same margins and endpoint-inclusion rules the exact algorithm
+  uses (Table 1 + ``adjust_for_mode``) — certifies minimality with a few
+  machine-word operations.
+
+Every acceptance is provably byte-identical to the exact Burger–Dybvig
+output for the same reader mode: the value printed is ``v`` itself
+(distance zero, so correct rounding and ties are vacuous) and the
+candidate check re-states the paper's minimal-length condition.  When in
+doubt the tier *declines* and the router falls through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.rounding import ReaderMode
+
+__all__ = ["tier0_digits"]
+
+#: Integers above this many bits are never short decimals worth testing
+#: (their gap admits a shorter scientific form, which Tier 1 finds).
+_MAX_INT_BITS = 64
+
+#: Bound on ``-e`` for the exact-decimal case.  Canonical mantissas are
+#: full-width, so everyday fractions like 0.5 carry ``e = -53`` (and
+#: small dyadics like ``1/2**20`` reach ``-76``) with a heap of trailing
+#: zero bits; the profitability pre-check below rejects ineligible
+#: values before any wide multiply, so the bound only needs to keep
+#: ``5**t`` in the precomputed table.
+_MAX_NEG_E = 76
+
+
+def tier0_digits(f: int, e: int, hidden_limit: int, min_e: int,
+                 mantissa_limit: int, max_e: int,
+                 mode: ReaderMode) -> Optional[Tuple[int, int, int]]:
+    """Shortest digits of ``f * 2**e`` if it is a certifiably short decimal.
+
+    Returns ``(acc, ndigits, k)`` — the digit string is ``str(acc)``
+    (``ndigits`` long, trailing zeros stripped) with the radix point at
+    ``k`` — or None when this tier cannot certify the output.
+    """
+    if e >= 0:
+        if f.bit_length() + e > _MAX_INT_BITS:
+            return None
+        if f == mantissa_limit - 1 and e == max_e:
+            return None  # gap above the largest finite value is special
+        n = f << e
+        # Margins (doubled to stay integral): gap_high = 2**e always;
+        # gap_low halves on the power-boundary case.
+        gh2 = 2 << e
+        gl2 = (1 << e) if (f == hidden_limit and e > min_e) else gh2
+        return _certify(n, 0, gl2, gh2, f, mode)
+    t = -e
+    low_bits = f & ((1 << t) - 1)
+    if low_bits == 0:
+        # Integer with gap < 1: always the unique shortest decimal.
+        n = f >> t
+        s = str(n)
+        nd = len(s)
+        z = nd - len(s.rstrip("0"))
+        return (n // _pow10(z), nd - z, nd)
+    if t > _MAX_NEG_E:
+        return None
+    # v = (f * 5**t) * 10**-t exactly.  Profitable only when the decimal
+    # expansion has few significant digits, i.e. f has nearly t trailing
+    # zero bits; reject cheaply before forming the product.
+    v2 = (low_bits & -low_bits).bit_length() - 1  # trailing zeros of f
+    if 10 * v2 < 7 * t - 13:
+        return None
+    n = f * _POW5[t]
+    # Scaled margins: gap * 10**t = 2**e * 5**t * 2**t * 2**-t... i.e.
+    # gap_high scaled = 5**t; doubled: 2 * 5**t.
+    gh2 = 2 * _POW5[t]
+    gl2 = _POW5[t] if (f == hidden_limit and e > min_e) else gh2
+    return _certify(n, -t, gl2, gh2, f, mode)
+
+
+def _certify(n: int, dec_exp: int, gl2: int, gh2: int, f: int,
+             mode: ReaderMode) -> Optional[Tuple[int, int, int]]:
+    """Strip ``n``'s trailing zeros and prove no shorter decimal reads back.
+
+    ``gl2``/``gh2`` are twice the low/high gaps in the scaled-integer
+    domain where ``v`` equals ``n``.  The margins and endpoint-inclusion
+    flags reproduce :func:`repro.core.boundaries.adjust_for_mode`:
+    nearest modes use half-gaps, directed modes collapse one side and
+    double the other.
+    """
+    s = str(n)
+    nd = len(s)
+    stripped = s.rstrip("0")
+    z = nd - len(stripped)
+    if len(stripped) == 1:
+        # One significant digit: nothing shorter can exist.
+        return (n // _pow10(z), nd - z, nd + dec_exp)
+    # Margins x4 (both gl2/gh2 carry one factor of 2 already).
+    if mode in _NEAREST:
+        ml4, mh4 = gl2, gh2
+        if mode is ReaderMode.NEAREST_EVEN:
+            ok = f % 2 == 0
+            low_ok = high_ok = ok
+        elif mode is ReaderMode.NEAREST_UNKNOWN:
+            low_ok = high_ok = False
+        elif mode is ReaderMode.NEAREST_AWAY:
+            low_ok, high_ok = True, False
+        else:  # NEAREST_TO_ZERO
+            low_ok, high_ok = False, True
+    elif mode is ReaderMode.TOWARD_POSITIVE:
+        ml4, mh4 = 2 * gl2, 0
+        low_ok, high_ok = False, True
+    else:  # TOWARD_ZERO / TOWARD_NEGATIVE (positive magnitudes here)
+        ml4, mh4 = 0, 2 * gh2
+        low_ok, high_ok = True, False
+    step = _pow10(z + 1)
+    lo_cand = (n // step) * step
+    hi_cand = lo_cand + step
+    # Candidate inside the rounding interval => a shorter string exists
+    # => this tier must decline (the exact path will find that string).
+    d4 = 4 * (n - lo_cand)
+    if d4 < ml4 or (low_ok and d4 == ml4):
+        return None
+    d4 = 4 * (hi_cand - n)
+    if d4 < mh4 or (high_ok and d4 == mh4):
+        return None
+    return (n // _pow10(z), nd - z, nd + dec_exp)
+
+
+_NEAREST = (ReaderMode.NEAREST_EVEN, ReaderMode.NEAREST_UNKNOWN,
+            ReaderMode.NEAREST_AWAY, ReaderMode.NEAREST_TO_ZERO)
+
+_POW10 = [10**i for i in range(40)]
+_POW5 = [5**i for i in range(_MAX_NEG_E + 1)]
+
+
+def _pow10(z: int) -> int:
+    return _POW10[z] if z < 40 else 10**z

@@ -1,0 +1,134 @@
+"""Tier 1: Grisu3 over raw machine integers and precomputed powers.
+
+Semantically identical to :func:`repro.fastpath.grisu.grisu_shortest`
+(same DigitGen/RoundWeed structure, same certification, so every success
+is byte-equal to the exact algorithm under both nearest-reader
+assumptions) but engineered for throughput:
+
+* no ``DiyFp`` dataclass allocations — significands and exponents live in
+  local integers;
+* the cached power of ten comes from a per-format list indexed by the
+  normalized binary exponent (:class:`repro.engine.tables.FormatTables`),
+  replacing the per-call estimate/adjust search;
+* digits accumulate into one integer (``acc = acc * 10 + d``) so the
+  caller gets the final digit string from a single C-speed ``str(acc)``
+  instead of a per-digit join, and RoundWeed's decrement is ``acc -= 1``;
+* ``floor(log10)`` of the integral part uses the bit-length multiply
+  trick instead of ``len(str(...))``.
+
+The seed's ``fastpath.grisu`` stays as the readable reference; the test
+suite pins this implementation to it value-for-value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["tier1_digits"]
+
+_POW10 = [10**i for i in range(20)]
+
+
+def tier1_digits(f: int, e: int, hidden_limit: int, min_e: int,
+                 grisu_powers: List[Tuple[int, int, int]], grisu_e_min: int,
+                 ) -> Optional[Tuple[int, int, int]]:
+    """Shortest digits of ``f * 2**e`` via 64-bit arithmetic.
+
+    Returns ``(acc, ndigits, k)`` with the digit string ``str(acc)``
+    (no leading zero, ``ndigits`` long) and radix point ``k``, or None
+    when 64 bits cannot certify the result.
+    """
+    # Normalize w and the boundary midpoints m-/m+ to 64-bit significands.
+    # normalize(2f+1, e-1) always lands on the same exponent as
+    # normalize(f, e) because bitlen(2f+1) == bitlen(f) + 1, so all three
+    # significands share one exponent and one cached power.
+    shift = 64 - f.bit_length()
+    wf = f << shift
+    we = e - shift
+    pf = ((f << 1) + 1) << (shift - 1)
+    if f == hidden_limit and e > min_e:
+        mf = ((f << 2) - 1) << (shift - 2)
+    else:
+        mf = ((f << 1) - 1) << (shift - 1)
+    cf, ce, mk = grisu_powers[we - grisu_e_min]
+
+    half = 1 << 63
+    w = (wf * cf + half) >> 64
+    too_low = ((mf * cf + half) >> 64) - 1
+    too_high = ((pf * cf + half) >> 64) + 1
+    unsafe = too_high - too_low
+    one_e = -(we + ce + 64)
+    one_f = 1 << one_e
+    frac_mask = one_f - 1
+    integrals = too_high >> one_e
+    fractionals = too_high & frac_mask
+    dist = too_high - w
+
+    # floor(log10(integrals)) via bit length (1233/4096 ~ log10(2)).
+    exponent = (integrals.bit_length() * 1233) >> 12
+    if integrals < _POW10[exponent]:
+        exponent -= 1
+    divisor = _POW10[exponent]
+    kappa = exponent + 1
+    # Every exit returns k = mk + kappa_now + nd_now, and each emitted
+    # digit moves one unit from kappa to nd — so k is a loop invariant,
+    # fixed at entry.
+    kres = mk + kappa
+
+    acc = 0
+    nd = 0
+    unit = 1
+    while kappa > 0:
+        digit, integrals = divmod(integrals, divisor)
+        acc = acc * 10 + digit
+        nd += 1
+        kappa -= 1
+        rest = (integrals << one_e) + fractionals
+        if rest < unsafe:
+            ten_kappa = divisor << one_e
+            small = dist - unit
+            while (rest < small
+                   and unsafe - rest >= ten_kappa
+                   and (rest + ten_kappa < small
+                        or small - rest >= rest + ten_kappa - small)):
+                acc -= 1
+                rest += ten_kappa
+            big = dist + unit
+            if (rest < big
+                    and unsafe - rest >= ten_kappa
+                    and (rest + ten_kappa < big
+                         or big - rest > rest + ten_kappa - big)):
+                return None
+            if not (2 * unit <= rest <= unsafe - 4 * unit):
+                return None
+            return acc, nd, kres
+
+        divisor //= 10
+
+    while True:
+        fractionals *= 10
+        unit *= 10
+        unsafe *= 10
+        digit = fractionals >> one_e
+        acc = acc * 10 + digit
+        nd += 1
+        fractionals &= frac_mask
+        if fractionals < unsafe:
+            scaled_dist = dist * unit
+            small = scaled_dist - unit
+            rest = fractionals
+            while (rest < small
+                   and unsafe - rest >= one_f
+                   and (rest + one_f < small
+                        or small - rest >= rest + one_f - small)):
+                acc -= 1
+                rest += one_f
+            big = scaled_dist + unit
+            if (rest < big
+                    and unsafe - rest >= one_f
+                    and (rest + one_f < big
+                         or big - rest > rest + one_f - big)):
+                return None
+            if not (2 * unit <= rest <= unsafe - 4 * unit):
+                return None
+            return acc, nd, kres

@@ -32,7 +32,7 @@ from repro.floats.formats import (
     X87_80,
     FloatFormat,
 )
-from repro.floats.model import Flonum, FlonumKind
+from repro.floats.model import Flonum, FlonumKind, to_flonum
 from repro.floats.ulp import (
     gap_high,
     gap_low,
@@ -56,6 +56,7 @@ __all__ = [
     "FloatFormat",
     "Flonum",
     "FlonumKind",
+    "to_flonum",
     "BINARY16",
     "BINARY32",
     "BINARY64",

@@ -26,7 +26,7 @@ from repro.floats.decompose import (
 )
 from repro.floats.formats import BINARY64, FloatFormat
 
-__all__ = ["Flonum", "FlonumKind"]
+__all__ = ["Flonum", "FlonumKind", "to_flonum"]
 
 
 class FlonumKind(Enum):
@@ -35,6 +35,25 @@ class FlonumKind(Enum):
     FINITE = "finite"
     INFINITE = "infinite"
     NAN = "nan"
+
+
+def to_flonum(x, fmt: FloatFormat = BINARY64) -> "Flonum":
+    """Coerce a float/int/Flonum input to a :class:`Flonum`.
+
+    Lives here (rather than the string API) so the conversion engine and
+    :mod:`repro.core.api` share one coercion without an import cycle.
+    """
+    if isinstance(x, Flonum):
+        return x
+    if isinstance(x, bool):
+        raise RangeError("booleans are not numbers here")
+    if isinstance(x, int):
+        # Exact or error: silently rounding 2**53 + 1 would defeat the
+        # whole point of an accurate printer.
+        return Flonum.from_int(x, fmt)
+    if isinstance(x, float):
+        return Flonum.from_float(x, fmt)
+    raise RangeError(f"cannot print a {type(x).__name__}")
 
 
 class Flonum:

@@ -8,6 +8,7 @@ from repro.format.notation import (
     positional_string,
     render_fixed,
     render_shortest,
+    render_shortest_parts,
     scientific_string,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "positional_string",
     "render_fixed",
     "render_shortest",
+    "render_shortest_parts",
     "scientific_string",
 ]

@@ -20,10 +20,12 @@ __all__ = [
     "DIGIT_CHARS",
     "NotationOptions",
     "render_shortest",
+    "render_shortest_parts",
     "render_fixed",
     "scientific_string",
     "engineering_string",
     "positional_string",
+    "special_text",
 ]
 
 DIGIT_CHARS = "0123456789abcdefghijklmnopqrstuvwxyz"
@@ -49,6 +51,11 @@ class NotationOptions:
     #: Digit-group separator for positional integer parts ("" = none).
     group_char: str = ""
     group_size: int = 3
+    #: Spellings for the special values (C99 would use "NAN"/"INF",
+    #: JSON-ish surfaces "NaN"/"Infinity"; CPython repr keeps the
+    #: defaults).  Negative infinity takes a leading "-".
+    nan_text: str = "nan"
+    inf_text: str = "inf"
 
     def __post_init__(self) -> None:
         if self.style not in ("auto", "positional", "scientific",
@@ -61,7 +68,23 @@ class NotationOptions:
 DEFAULT_OPTIONS = NotationOptions()
 
 
+def special_text(is_nan: bool, negative: bool,
+                 opts: NotationOptions = DEFAULT_OPTIONS) -> str:
+    """Render NaN or a signed infinity under the options' spellings."""
+    if is_nan:
+        return opts.nan_text
+    return "-" + opts.inf_text if negative else opts.inf_text
+
+
 def _chars(digits) -> str:
+    """Digit values to characters; strings pass through untouched.
+
+    The engine's fast paths produce digit *strings* directly (``str`` of an
+    accumulated integer — C-speed, no per-digit join), so every rendering
+    function accepts either representation.
+    """
+    if type(digits) is str:
+        return digits
     return "".join(DIGIT_CHARS[d] for d in digits)
 
 
@@ -142,18 +165,27 @@ def engineering_string(digits, k: int,
 def render_shortest(result: DigitResult,
                     opts: NotationOptions = DEFAULT_OPTIONS) -> str:
     """Render a free-format result, choosing the form by exponent size."""
-    k = result.k
+    return render_shortest_parts(result.digits, result.k, opts)
+
+
+def render_shortest_parts(digits, k: int,
+                          opts: NotationOptions = DEFAULT_OPTIONS) -> str:
+    """Render free-format digits given as a sequence *or* a digit string.
+
+    The body-string form is the engine's hot exit path; keeping one
+    dispatcher here ensures every tier renders identically.
+    """
     if opts.style == "engineering":
-        return engineering_string(result.digits, k, opts)
+        return engineering_string(digits, k, opts)
     if opts.style == "scientific":
-        return scientific_string(result.digits, k, opts)
+        return scientific_string(digits, k, opts)
     if opts.style == "positional":
-        s = positional_string(result.digits, k, opts)
+        s = positional_string(digits, k, opts)
         return _maybe_point_zero(s, opts)
     if opts.exp_low < k <= opts.exp_high:
-        s = positional_string(result.digits, k, opts)
+        s = positional_string(digits, k, opts)
         return _maybe_point_zero(s, opts)
-    return scientific_string(result.digits, k, opts)
+    return scientific_string(digits, k, opts)
 
 
 def _maybe_point_zero(s: str, opts: NotationOptions) -> str:

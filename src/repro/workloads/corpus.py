@@ -8,8 +8,10 @@ classics, and the exhaustive enumeration used with toy formats.
 
 from __future__ import annotations
 
+import random
 from typing import Iterator, List
 
+from repro.errors import ReproError
 from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
 from repro.floats.ulp import predecessor, successor
@@ -19,9 +21,36 @@ __all__ = [
     "denormals",
     "decimal_ties",
     "torture_floats",
+    "uniform_random",
     "all_positive_finite",
     "boundary_neighbourhood",
 ]
+
+
+def uniform_random(n: int, fmt: FloatFormat = BINARY64, seed: int = 2024,
+                   signed: bool = False) -> List[Flonum]:
+    """``n`` uniform random finite non-zero bit patterns of the format.
+
+    The standard corpus of the fast-path literature (Grisu, Ryu, ...):
+    every finite value equally likely, which spreads exponents across the
+    full range and digit counts toward the 17-digit worst case.
+    Deterministic for a given ``seed``.
+    """
+    rng = random.Random(seed)
+    bits_total = fmt.total_bits
+    sign_mask = (1 << (bits_total - 1)) - 1
+    out: List[Flonum] = []
+    while len(out) < n:
+        bits = rng.getrandbits(bits_total)
+        if not signed:
+            bits &= sign_mask
+        try:
+            v = Flonum.from_bits(bits, fmt)
+        except ReproError:  # non-canonical encodings (x87 pseudo-values)
+            continue
+        if v.is_finite and not v.is_zero:
+            out.append(v)
+    return out
 
 
 def power_boundaries(fmt: FloatFormat = BINARY64, lo: int = -40,

@@ -1,10 +1,12 @@
 """The paper's power and logarithm tables."""
 
 import math
+import threading
 
 import pytest
 
 from repro.bignum.pow_cache import (
+    DYNAMIC_CACHE_LIMIT,
     PAPER_TABLE_LIMIT,
     cache_info,
     clear_dynamic_cache,
@@ -12,7 +14,15 @@ from repro.bignum.pow_cache import (
     log_ratio,
     power,
     power_uncached,
+    set_dynamic_cache_limit,
 )
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache_limit():
+    yield
+    set_dynamic_cache_limit(DYNAMIC_CACHE_LIMIT)
+    clear_dynamic_cache()
 
 
 class TestPowerTable:
@@ -59,3 +69,80 @@ class TestLogTables:
 
     def test_log_ratio_generic(self):
         assert log_ratio(4, 10) == pytest.approx(math.log(4) / math.log(10))
+
+
+class TestBoundedDynamicCache:
+    """The generic-base memo is an LRU with a hard ceiling (the seed's
+    version grew without bound under exponent-diverse workloads)."""
+
+    def test_eviction_keeps_population_bounded(self):
+        clear_dynamic_cache()
+        set_dynamic_cache_limit(8)
+        for k in range(40):
+            assert power(3, k) == 3**k
+        info = cache_info()
+        assert info["dynamic_entries"] <= 8
+        assert info["dynamic_limit"] == 8
+        assert info["evictions"] >= 32
+
+    def test_lru_keeps_hot_entries(self):
+        clear_dynamic_cache()
+        set_dynamic_cache_limit(4)
+        power(3, 100)  # the entry we keep touching
+        for k in range(1, 30):
+            power(7, k)
+            power(3, 100)  # refresh recency every round
+        before = cache_info()["hits"]
+        power(3, 100)
+        assert cache_info()["hits"] == before + 1
+
+    def test_hit_miss_counters(self):
+        clear_dynamic_cache()
+        info0 = cache_info()
+        assert info0["hits"] == info0["misses"] == info0["evictions"] == 0
+        power(11, 23)
+        power(11, 23)
+        info = cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+
+    def test_base10_table_bypasses_dynamic_cache(self):
+        clear_dynamic_cache()
+        power(10, 5)
+        assert cache_info()["dynamic_entries"] == 0
+
+    def test_shrinking_limit_evicts(self):
+        clear_dynamic_cache()
+        set_dynamic_cache_limit(64)
+        for k in range(20):
+            power(13, k)
+        assert cache_info()["dynamic_entries"] == 20
+        set_dynamic_cache_limit(5)
+        info = cache_info()
+        assert info["dynamic_entries"] <= 5
+        assert info["dynamic_limit"] == 5
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            set_dynamic_cache_limit(0)
+
+    def test_concurrent_power_calls(self):
+        clear_dynamic_cache()
+        set_dynamic_cache_limit(16)
+        errors = []
+
+        def work(base):
+            try:
+                for k in range(120):
+                    assert power(base, k) == base**k
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(b,))
+                   for b in (3, 5, 6, 7, 9, 11)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache_info()["dynamic_entries"] <= 16

@@ -1,0 +1,91 @@
+"""Negative values and reader modes: the printer must mirror directed
+modes before converting the magnitude (regression tests for the
+``mode.mirrored()`` handling in ``format_shortest`` and the engine).
+
+A reader rounding TOWARD_POSITIVE treats a *negative* value's rounding
+interval the way TOWARD_NEGATIVE treats the positive magnitude's — so
+``format(-x, m)`` must equal ``"-" + format(x, m.mirrored())``, and the
+output must actually read back to the value under the claimed mode.
+"""
+
+import pytest
+
+from repro.core.api import format_shortest
+from repro.core.rounding import ReaderMode
+from repro.engine import Engine
+from repro.floats.model import Flonum
+from repro.reader.exact import read_decimal
+from repro.workloads.corpus import torture_floats, uniform_random
+
+ALL_MODES = list(ReaderMode)
+
+#: Boundary-sensitive values: decimal ties (1e23!), power boundaries,
+#: and plain moderate values where directed modes shorten the output.
+BOUNDARY_VALUES = [
+    1e23, 1e22, 9.109383632e-31, 6.02214076e23, 0.1, 0.5, 1.5,
+    2.2250738585072014e-308, 5e-324, 9007199254740993.0, 123.456,
+    1.7976931348623157e308, 3.141592653589793,
+]
+
+
+class TestMirrorIdentity:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_boundary_values(self, mode):
+        for x in BOUNDARY_VALUES:
+            pos = format_shortest(x, mode=mode.mirrored())
+            neg = format_shortest(-x, mode=mode)
+            assert neg == "-" + pos, (x, mode)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_random_corpus(self, mode):
+        for v in uniform_random(150, seed=17):
+            x = v.to_float()
+            assert (format_shortest(-x, mode=mode)
+                    == "-" + format_shortest(x, mode=mode.mirrored()))
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_exact_path_agrees_with_engine(self, mode):
+        eng = Engine()
+        for x in BOUNDARY_VALUES:
+            assert (format_shortest(-x, mode=mode, engine=None)
+                    == format_shortest(-x, mode=mode)
+                    == eng.format(-x, mode=mode))
+
+    def test_mirrored_involution(self):
+        for mode in ALL_MODES:
+            assert mode.mirrored().mirrored() is mode
+
+
+class TestDirectedRoundTrip:
+    """The printed string must read back to the value under the mode it
+    was printed for — the paper's correctness statement, signed."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_boundary_values_round_trip(self, mode):
+        for x in BOUNDARY_VALUES:
+            for val in (x, -x):
+                s = format_shortest(val, mode=mode)
+                back = read_decimal(s, mode=mode)
+                assert back == Flonum.from_float(val), (val, mode, s)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_torture_round_trip(self, mode):
+        for v in torture_floats():
+            x = v.to_float()
+            s = format_shortest(-x, mode=mode)
+            assert read_decimal(s, mode=mode) == Flonum.from_float(-x)
+
+    def test_1e23_directed_shapes(self):
+        """The flagship boundary case, all four directions, both signs.
+
+        Under NEAREST_EVEN both signs print the one-digit form; directed
+        modes may only use it on the side where 10**23 stays inside the
+        half-open rounding interval."""
+        even_pos = format_shortest(1e23, mode=ReaderMode.NEAREST_EVEN)
+        even_neg = format_shortest(-1e23, mode=ReaderMode.NEAREST_EVEN)
+        assert even_pos == "1e23"
+        assert even_neg == "-1e23"
+        for mode in ALL_MODES:
+            for val in (1e23, -1e23):
+                s = format_shortest(val, mode=mode)
+                assert read_decimal(s, mode=mode) == Flonum.from_float(val)

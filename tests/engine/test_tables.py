@@ -1,0 +1,116 @@
+"""FormatTables: precomputed powers, table-backed scaling, sharing."""
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.core.boundaries import adjust_for_mode, initial_scaled_value
+from repro.core.rounding import ReaderMode
+from repro.core.scaling import scale_estimate
+from repro.engine.tables import FormatTables, clear_tables, tables_for
+from repro.errors import RangeError
+from repro.fastpath.diyfp import cached_power_for_binary_exponent
+from repro.floats.formats import BINARY32, BINARY64, BINARY128, X87_80
+from repro.floats.model import Flonum
+
+
+class TestPowers:
+    @pytest.mark.parametrize("fmt", [BINARY32, BINARY64, BINARY128])
+    def test_power_table_contents(self, fmt):
+        t = tables_for(fmt, 10)
+        assert t.powers[0] == 1
+        for k in (1, 2, t.power_limit // 2, t.power_limit):
+            assert t.powers[k] == 10**k
+            assert t.power(k) == 10**k
+
+    def test_power_limit_covers_format_range(self):
+        # binary128's most extreme values need ~5000 decimal digits of
+        # scaling; the eager table must cover the estimator's whole
+        # reachable range so the hot path never falls off it.
+        t = tables_for(BINARY128, 10)
+        assert t.power_limit >= 4980
+        t64 = tables_for(BINARY64, 10)
+        assert 330 <= t64.power_limit <= 350
+
+    def test_out_of_range_falls_back(self):
+        t = tables_for(BINARY64, 10)
+        assert t.power(t.power_limit + 7) == 10 ** (t.power_limit + 7)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(RangeError):
+            FormatTables(BINARY64, 1)
+        with pytest.raises(RangeError):
+            FormatTables(BINARY64, 37)
+
+
+class TestGrisuPowers:
+    def test_eligibility(self):
+        assert tables_for(BINARY64, 10).grisu_ok
+        assert tables_for(BINARY32, 10).grisu_ok
+        assert not tables_for(BINARY64, 16).grisu_ok  # only decimal
+        assert not tables_for(BINARY128, 10).grisu_ok  # 113 > 62 bits
+        assert not tables_for(X87_80, 10).grisu_ok  # 64 > 62 bits
+
+    def test_entries_match_search(self):
+        t = tables_for(BINARY64, 10)
+        for we in (t.grisu_e_min, -63, -40, 0, 200,
+                   t.grisu_e_min + len(t.grisu_powers) - 1):
+            cf, ce, mk = t.grisu_powers[we - t.grisu_e_min]
+            power, mk_ref, _exact = cached_power_for_binary_exponent(we)
+            assert (cf, ce, mk) == (power.f, power.e, mk_ref)
+
+    def test_covers_every_normalized_exponent(self):
+        t = tables_for(BINARY64, 10)
+        # Smallest: denormal f=1 at min_e normalizes 63 places down;
+        # largest: full mantissa at max_e.
+        assert t.grisu_e_min == BINARY64.min_e + 1 - 64
+        assert (t.grisu_e_min + len(t.grisu_powers) - 1
+                == BINARY64.max_e + BINARY64.precision - 64)
+
+
+class TestScale:
+    @given(positive_flonums())
+    @settings(max_examples=250)
+    def test_matches_scale_estimate(self, v):
+        """The table-backed scaler is the estimator, bit for bit."""
+        t = tables_for(BINARY64, 10)
+        for mode in (ReaderMode.NEAREST_EVEN, ReaderMode.TOWARD_POSITIVE):
+            r, s, mp, mm = initial_scaled_value(v)
+            sv = adjust_for_mode(v, r, s, mp, mm, mode)
+            r2, s2, mp2, mm2 = initial_scaled_value(v)
+            sv2 = adjust_for_mode(v, r2, s2, mp2, mm2, mode)
+            assert t.scale(sv, 10, v) == scale_estimate(sv2, 10, v)
+
+    @given(positive_flonums(BINARY128))
+    @settings(max_examples=60)
+    def test_matches_scale_estimate_binary128(self, v):
+        t = tables_for(BINARY128, 10)
+        r, s, mp, mm = initial_scaled_value(v)
+        sv = adjust_for_mode(v, r, s, mp, mm, ReaderMode.NEAREST_UNKNOWN)
+        r2, s2, mp2, mm2 = initial_scaled_value(v)
+        sv2 = adjust_for_mode(v, r2, s2, mp2, mm2,
+                              ReaderMode.NEAREST_UNKNOWN)
+        assert t.scale(sv, 10, v) == scale_estimate(sv2, 10, v)
+
+    def test_base_36(self):
+        t = tables_for(BINARY64, 36)
+        v = Flonum.from_float(123.456)
+        r, s, mp, mm = initial_scaled_value(v)
+        sv = adjust_for_mode(v, r, s, mp, mm, ReaderMode.NEAREST_EVEN)
+        r2, s2, mp2, mm2 = initial_scaled_value(v)
+        sv2 = adjust_for_mode(v, r2, s2, mp2, mm2, ReaderMode.NEAREST_EVEN)
+        assert t.scale(sv, 36, v) == scale_estimate(sv2, 36, v)
+
+
+class TestSharing:
+    def test_same_instance_returned(self):
+        a = tables_for(BINARY64, 10)
+        b = tables_for(BINARY64, 10)
+        assert a is b
+        assert tables_for(BINARY64, 16) is not a
+
+    def test_clear_tables(self):
+        a = tables_for(BINARY64, 10)
+        clear_tables()
+        b = tables_for(BINARY64, 10)
+        assert a is not b

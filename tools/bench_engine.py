@@ -1,0 +1,73 @@
+"""Regenerate BENCH_engine.json — the tiered-engine acceptance numbers.
+
+Run:  PYTHONPATH=src python tools/bench_engine.py [--quick] [-n N] [-o PATH]
+
+Measures the tiered engine (repro.engine) against the exact-only
+``format_shortest`` path on a uniform-random binary64 corpus, audits
+byte-equality, and writes the result as JSON.  Exits non-zero if any
+output mismatches the exact algorithm or the fast tiers resolve fewer
+than 99% of conversions — correctness gates, not timing gates, so the
+smoke run stays meaningful on loaded CI machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine.bench import run_engine_bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-n", type=int, default=20000,
+                        help="corpus size (default 20000)")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus, single repeat (CI smoke)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default BENCH_engine.json next "
+                             "to the repo root; '-' for stdout only)")
+    args = parser.parse_args(argv)
+
+    n = 2000 if args.quick else args.n
+    repeats = 1 if args.quick else args.repeats
+    result = run_engine_bench(n=n, seed=args.seed, repeats=repeats)
+    result["generated_by"] = "tools/bench_engine.py"
+    result["quick"] = args.quick
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    text = json.dumps(result, indent=2, sort_keys=True)
+    if args.output == "-":
+        print(text)
+    else:
+        path = args.output or os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_engine.json")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {os.path.abspath(path)}")
+        print(f"speedup (format_many): "
+              f"{result['speedup']['format_many']:.2f}x, "
+              f"fast-resolved: {result['fast_resolved']:.4f}, "
+              f"mismatches: {result['mismatches']}")
+
+    if result["mismatches"]:
+        print("FAIL: engine output mismatches the exact algorithm",
+              file=sys.stderr)
+        return 1
+    if result["fast_resolved"] < 0.99:
+        print("FAIL: fast tiers resolved under 99% of conversions",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
