@@ -3,13 +3,26 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test bench bench-engine smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz bench bench-engine smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# The PR-sized suite: everything except the slow differential sweeps.
+test-fast:
+	$(PY) -m pytest tests/ -m "not slow"
+
+# The nightly sweeps only (10k-value printf differential, etc.).
+test-slow:
+	$(PY) -m pytest tests/ -m slow
+
+# The differential verification battery with a fresh random seed — what
+# the nightly CI fuzz job runs; the seed is printed for reproduction.
+fuzz:
+	$(PY) -m repro.verify --n 300 --seed fresh
 
 bench:
 	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ --benchmark-only

@@ -16,10 +16,11 @@ import os
 
 import pytest
 
+from repro.baselines.naive_fixed import exact_fixed_digits
 from repro.core.api import format_shortest
 from repro.engine import Engine
-from repro.engine.bench import engine_corpus
-from repro.workloads.corpus import torture_floats
+from repro.engine.bench import FIXED_BENCH_NDIGITS, engine_corpus
+from repro.workloads.corpus import torture_floats, uniform_random
 
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "400"))
 
@@ -27,6 +28,11 @@ BENCH_N = int(os.environ.get("REPRO_BENCH_N", "400"))
 @pytest.fixture(scope="module")
 def uniform_floats():
     return engine_corpus(BENCH_N)
+
+
+@pytest.fixture(scope="module")
+def uniform_flonums():
+    return uniform_random(BENCH_N)
 
 
 @pytest.fixture(scope="module")
@@ -83,6 +89,57 @@ def test_bench_no_tier0(benchmark, uniform_floats):
     benchmark(lambda: eng.format_many(uniform_floats))
 
 
+@pytest.mark.benchmark(group="engine-fixed")
+def test_bench_fixed_exact_only(benchmark, uniform_flonums):
+    benchmark(lambda: [exact_fixed_digits(v, ndigits=FIXED_BENCH_NDIGITS)
+                       for v in uniform_flonums])
+
+
+@pytest.mark.benchmark(group="engine-fixed")
+def test_bench_fixed_engine_counted(benchmark, uniform_flonums):
+    eng = Engine()
+    for v in uniform_flonums[:32]:  # build the per-format tables
+        eng.counted_digits(v, ndigits=FIXED_BENCH_NDIGITS)
+
+    def run():
+        eng.clear_cache()  # measure conversion, not memoization
+        counted = eng.counted_digits
+        return [counted(v, ndigits=FIXED_BENCH_NDIGITS)
+                for v in uniform_flonums]
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="engine-fixed")
+def test_bench_fixed_engine_memo_hot(benchmark, uniform_flonums):
+    """The repeated-values regime every fixed memo entry hits."""
+    eng = Engine()
+    counted = eng.counted_digits
+    for v in uniform_flonums:  # populate
+        counted(v, ndigits=FIXED_BENCH_NDIGITS)
+    benchmark(lambda: [counted(v, ndigits=FIXED_BENCH_NDIGITS)
+                       for v in uniform_flonums])
+
+
+def test_engine_fixed_tier_profile(uniform_flonums, capsys):
+    """Not a timing: print the fixed-format resolution profile."""
+    eng = Engine()
+    for nd in (3, 7, 13):
+        for v in uniform_flonums:
+            eng.counted_digits(v, ndigits=nd)
+        for v in uniform_flonums:
+            eng.fixed_digits(v, ndigits=nd)
+    s = eng.stats()
+    fast = s["fixed_tier1_hits"] + s["cache_hits"]
+    with capsys.disabled():
+        print(f"\n[engine-fixed] {s['conversions']} conversions: "
+              f"tier1={s['fixed_tier1_hits']} "
+              f"bailouts={s['fixed_tier1_bailouts']} "
+              f"tier2={s['fixed_tier2_calls']} memo={s['cache_hits']} "
+              f"fast-resolved={fast / s['conversions']:.4f}")
+    assert fast / s["conversions"] >= 0.95
+
+
 def test_engine_tier_profile(uniform_floats, capsys):
     """Not a timing: print the resolution profile for the report."""
     eng = Engine()
@@ -115,3 +172,6 @@ if __name__ == "__main__":
     print(json.dumps(result, indent=2, sort_keys=True))
     assert result["mismatches"] == 0, "engine output diverged from exact"
     assert result["fast_resolved"] >= 0.99
+    assert result["fixed"]["mismatches"] == 0, \
+        "fixed-format engine output diverged from exact"
+    assert result["fixed"]["fast_resolved"] >= 0.90

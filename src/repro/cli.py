@@ -11,7 +11,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.api import format_fixed, format_shortest
+from repro.core.api import _USE_DEFAULT, format_fixed, format_shortest
 from repro.core.rounding import ReaderMode, TieBreak
 from repro.core.scaling import scale_estimate, scale_float_log, scale_iterative
 from repro.floats.formats import STANDARD_FORMATS
@@ -63,9 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "selecting one forces the exact path, the "
                              "default routes through the tiered engine")
     parser.add_argument("--no-engine", action="store_true",
-                        help="disable the tiered engine: always run the "
-                             "exact algorithm (with the estimate scaler "
-                             "unless --scaler says otherwise)")
+                        help="disable the tiered engine for both free and "
+                             "fixed format: always run the exact algorithm "
+                             "(with the estimate scaler unless --scaler "
+                             "says otherwise)")
     parser.add_argument("--engine-stats", action="store_true",
                         help="after printing, report tier/cache counters "
                              "of the conversion engine on stderr")
@@ -132,7 +133,8 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
                 rendered = format_fixed(
                     value, position=args.position, ndigits=args.digits,
                     decimals=args.decimals, base=args.base,
-                    tie=_TIES[args.tie], options=opts)
+                    tie=_TIES[args.tie], options=opts,
+                    engine=None if args.no_engine else _USE_DEFAULT)
             else:
                 scaler = _SCALERS[args.scaler] if args.scaler else None
                 if args.no_engine and scaler is None:

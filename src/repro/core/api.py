@@ -111,7 +111,8 @@ def format_fixed(x: Number, position: Optional[int] = None,
                  decimals: Optional[int] = None,
                  base: int = 10, tie: TieBreak = TieBreak.UP,
                  style: str = "positional",
-                 options: Optional[NotationOptions] = None) -> str:
+                 options: Optional[NotationOptions] = None,
+                 engine=_USE_DEFAULT) -> str:
     """Correctly rounded fixed-format output with ``#`` marks.
 
     Stop position, one of:
@@ -119,6 +120,10 @@ def format_fixed(x: Number, position: Optional[int] = None,
             (``position=-2`` → hundredths);
         decimals: digits after the point (``decimals=2`` ≡ ``position=-2``);
         ndigits: total digit positions (relative mode).
+
+    Digit generation routes through the tiered engine's counted fast
+    path with exact fallback (byte-identical output) unless
+    ``engine=None`` requests the pure exact algorithm.
 
     Example::
 
@@ -142,8 +147,15 @@ def format_fixed(x: Number, position: Optional[int] = None,
     sign = "-" if v.is_negative else ""
     if v.is_zero:
         return sign + _fixed_zero(position, ndigits, opts)
-    result = fixed_digits(v.abs(), position=position, ndigits=ndigits,
-                          base=base, tie=tie)
+    if engine is not None:
+        if engine is _USE_DEFAULT:
+            engine = _default_engine()
+        result = engine.fixed_digits(v.abs(), position=position,
+                                     ndigits=ndigits, base=base, tie=tie,
+                                     fmt=v.fmt)
+    else:
+        result = fixed_digits(v.abs(), position=position, ndigits=ndigits,
+                              base=base, tie=tie)
     return sign + render_fixed(result, opts)
 
 

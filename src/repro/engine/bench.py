@@ -6,13 +6,17 @@ report the same quantities from the same corpora:
 
 * wall time per value for the exact-only ``format_shortest`` path, for
   ``Engine.format`` singles, and for ``Engine.format_many`` batches;
-* the tier resolution profile (what fraction of conversions the fast
+* the same three quantities for fixed-format (counted-digit) requests —
+  exact big-integer division vs :meth:`Engine.counted_digits` (the
+  ``fixed`` section of the result);
+* the tier resolution profiles (what fraction of conversions the fast
   tiers settled);
-* a byte-equality audit of every engine output against the exact path.
+* byte-equality audits of every engine output against the exact paths,
+  for fixed format at several digit counts over uniform + Schryer.
 
 Corpus: uniform random finite non-zero binary64 bit patterns (the
 fast-path literature's standard workload) plus the Schryer set for the
-agreement audit.
+agreement audits.
 """
 
 from __future__ import annotations
@@ -20,12 +24,23 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
+from repro.baselines.naive_fixed import exact_fixed_digits
 from repro.core.api import format_shortest
+from repro.core.fixed import fixed_digits as paper_fixed_digits
 from repro.engine.engine import Engine
 from repro.workloads.corpus import uniform_random
 from repro.workloads.schryer import corpus as schryer_corpus
 
-__all__ = ["engine_corpus", "run_engine_bench"]
+__all__ = ["engine_corpus", "run_engine_bench", "FIXED_BENCH_NDIGITS"]
+
+#: Significant digits for the timed fixed-format comparison (%.6e-shaped
+#: requests — the dominant real-world precision per the experimental
+#: literature).
+FIXED_BENCH_NDIGITS = 7
+
+#: Digit counts the fixed agreement audit sweeps (short, typical, and
+#: the 17-digit boundary where the 64-bit tier starts bailing).
+FIXED_AUDIT_NDIGITS = (3, 7, 17)
 
 
 def engine_corpus(n: int, seed: int = 2024) -> List[float]:
@@ -99,6 +114,7 @@ def run_engine_bench(n: int = 20000, seed: int = 2024,
     resolved_fast = (stats["tier0_hits"] + stats["tier1_hits"]
                      + stats["cache_hits"])
     return {
+        "fixed": _run_fixed_bench(n, seed, repeats),
         "corpus": {"kind": "uniform-random-bits+schryer", "n": n,
                    "seed": seed, "audit_n": len(audit)},
         "us_per_value": {
@@ -116,4 +132,90 @@ def run_engine_bench(n: int = 20000, seed: int = 2024,
         "mismatches": len(mismatches),
         "mismatch_samples": mismatches[:10],
         "stats": stats,
+    }
+
+
+def _run_fixed_bench(n: int, seed: int, repeats: int) -> Dict:
+    """The fixed-format (counted-digit) side of the engine bench."""
+    flos = uniform_random(n, seed=seed)
+    nd = FIXED_BENCH_NDIGITS
+
+    exact = lambda: [exact_fixed_digits(v, ndigits=nd) for v in flos]
+    exact()  # warm the power caches
+    t_exact = _best_of(exact, repeats)
+
+    bench_engine = Engine()
+    for v in flos[:64]:  # build tables before timing
+        bench_engine.counted_digits(v, ndigits=nd)
+
+    def run_engine():
+        bench_engine.clear_cache()  # time conversions, not memo hits
+        counted = bench_engine.counted_digits
+        for v in flos:
+            counted(v, ndigits=nd)
+
+    t_engine = _best_of(run_engine, repeats)
+
+    # The repeated-values regime: a slice that fits the memo, timed hot.
+    hot = flos[: min(len(flos), bench_engine.cache_size // 2)]
+    counted = bench_engine.counted_digits
+    for v in hot:
+        counted(v, ndigits=nd)
+
+    def run_hot():
+        for v in hot:
+            counted(v, ndigits=nd)
+
+    t_hot = _best_of(run_hot, repeats)
+
+    # Agreement audit on a fresh engine: counted (printf) and paper
+    # (Section 4, hashes included) semantics at several digit counts,
+    # uniform + Schryer.  Capped so the full run stays interactive; the
+    # cap is recorded as audit_n.
+    audit_vals = flos[: min(n, 4000)] + schryer_corpus(min(n, 2000))
+    audit_engine = Engine()
+    mismatches = []
+    for audit_nd in FIXED_AUDIT_NDIGITS:
+        for v in audit_vals:
+            a = exact_fixed_digits(v, ndigits=audit_nd)
+            b = audit_engine.counted_digits(v, ndigits=audit_nd)
+            if (a.k, a.digits) != (b.k, b.digits):
+                mismatches.append({"value": repr(v), "ndigits": audit_nd,
+                                   "kind": "counted", "exact": str(a),
+                                   "engine": str(b)})
+            pa = paper_fixed_digits(v, ndigits=audit_nd)
+            pb = audit_engine.fixed_digits(v, ndigits=audit_nd)
+            if (pa.k, pa.digits, pa.hashes, pa.position) != (
+                    pb.k, pb.digits, pb.hashes, pb.position):
+                mismatches.append({"value": repr(v), "ndigits": audit_nd,
+                                   "kind": "paper", "exact": str(pa),
+                                   "engine": str(pb)})
+
+    # Resolution profile of the *timed* workload (the bench engine) —
+    # the audit engine's profile is reported separately: its sweep
+    # deliberately includes paper-fixed requests deep in #-mark
+    # territory, where bailing out is the correct behaviour.
+    bench_stats = bench_engine.stats()
+    resolved_fast = bench_stats["fixed_tier1_hits"] + bench_stats["cache_hits"]
+    audit_stats = audit_engine.stats()
+    audit_fast = audit_stats["fixed_tier1_hits"] + audit_stats["cache_hits"]
+    return {
+        "ndigits": nd,
+        "audit_ndigits": list(FIXED_AUDIT_NDIGITS),
+        "corpus": {"kind": "uniform-random-bits+schryer", "n": n,
+                   "seed": seed, "audit_n": len(audit_vals)},
+        "us_per_value": {
+            "exact_only": t_exact * 1e6 / n,
+            "engine_counted": t_engine * 1e6 / n,
+            "engine_memo_hot": t_hot * 1e6 / len(hot),
+        },
+        "speedup": {
+            "counted": t_exact / t_engine,
+            "memo_hot": (t_exact / n) / (t_hot / len(hot)),
+        },
+        "fast_resolved": resolved_fast / bench_stats["conversions"],
+        "audit_fast_resolved": audit_fast / audit_stats["conversions"],
+        "mismatches": len(mismatches),
+        "mismatch_samples": mismatches[:10],
+        "stats": audit_stats,
     }

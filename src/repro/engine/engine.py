@@ -40,9 +40,12 @@ from collections import OrderedDict
 from math import copysign, frexp
 from typing import Iterable, List, Optional, Tuple, Union
 
+from repro.baselines.naive_fixed import exact_fixed_digits
 from repro.core.boundaries import adjust_for_mode, initial_scaled_value
 from repro.core.digits import DigitResult
 from repro.core.dragon import shortest_digits_scaled
+from repro.core.fixed import FixedResult
+from repro.core.fixed import fixed_digits as exact_paper_fixed
 from repro.core.rounding import ReaderMode, TieBreak
 from repro.errors import RangeError
 from repro.floats.formats import BINARY64, FloatFormat
@@ -54,6 +57,7 @@ from repro.format.notation import (
     special_text,
 )
 
+from repro.engine.counted import counted_tier_digits
 from repro.engine.tables import FormatTables, tables_for
 from repro.engine.tier0 import tier0_digits
 from repro.engine.tier1 import tier1_digits
@@ -88,14 +92,18 @@ class Engine:
         tier0: Enable the exact-decimal fast path.
         tier1: Enable the Grisu3 fast path.
         cache_size: Max entries in the result memo (0 disables it).
+        fixed_tier1: Enable the counted-digit fast path for the
+            fixed-format conversions (:meth:`counted_digits`,
+            :meth:`fixed_digits`).
     """
 
     def __init__(self, tier0: bool = True, tier1: bool = True,
-                 cache_size: int = 8192):
+                 cache_size: int = 8192, fixed_tier1: bool = True):
         if cache_size < 0:
             raise RangeError("cache_size must be >= 0")
         self.tier0 = tier0
         self.tier1 = tier1
+        self.fixed_tier1 = fixed_tier1
         self.cache_size = cache_size
         self._cache: "OrderedDict[tuple, Tuple[int, str]]" = OrderedDict()
         # Memo keys are (f, e, ctx) with ctx a small int interning the
@@ -115,6 +123,9 @@ class Engine:
         self._tier1_hits = 0
         self._tier1_bailouts = 0
         self._tier2_calls = 0
+        self._fixed_tier1_hits = 0
+        self._fixed_tier1_bailouts = 0
+        self._fixed_tier2_calls = 0
         self._cache_hits = 0
         self._cache_misses = 0
 
@@ -122,19 +133,30 @@ class Engine:
         """Counters since the last :meth:`reset_stats`.
 
         Keys: ``tier0_hits``, ``tier1_hits``, ``tier1_bailouts``,
-        ``tier2_calls``, ``cache_hits``, ``cache_misses``,
-        ``conversions`` (every digit-generation request, however it was
-        resolved) and ``cache_entries`` (current memo population).
+        ``tier2_calls`` (the shortest/free-format tiers);
+        ``fixed_tier1_hits``, ``fixed_tier1_bailouts``,
+        ``fixed_tier2_calls`` (the counted/fixed-format tiers, shared by
+        :meth:`counted_digits` and :meth:`fixed_digits`);
+        ``cache_hits``/``cache_misses`` (the memo, shared by every
+        conversion kind); ``conversions`` (every digit-generation
+        request, however it was resolved); ``fixed_conversions`` (the
+        fixed-format subset that missed the memo) and ``cache_entries``
+        (current memo population).
         """
+        fixed = self._fixed_tier1_hits + self._fixed_tier2_calls
         return {
             "tier0_hits": self._tier0_hits,
             "tier1_hits": self._tier1_hits,
             "tier1_bailouts": self._tier1_bailouts,
             "tier2_calls": self._tier2_calls,
+            "fixed_tier1_hits": self._fixed_tier1_hits,
+            "fixed_tier1_bailouts": self._fixed_tier1_bailouts,
+            "fixed_tier2_calls": self._fixed_tier2_calls,
+            "fixed_conversions": fixed,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
             "conversions": (self._tier0_hits + self._tier1_hits
-                            + self._tier2_calls + self._cache_hits),
+                            + self._tier2_calls + fixed + self._cache_hits),
             "cache_entries": len(self._cache),
         }
 
@@ -143,9 +165,15 @@ class Engine:
         with self._lock:
             self._cache.clear()
 
-    def _ctx_id(self, fmt: FloatFormat, base: int, mode: ReaderMode,
-                tie: TieBreak) -> int:
-        """Intern one conversion context as a small int (never recycled)."""
+    def _ctx_id(self, fmt: FloatFormat, base: int,
+                mode: "Union[ReaderMode, str]", tie: TieBreak) -> int:
+        """Intern one conversion context as a small int (never recycled).
+
+        ``mode`` is a :class:`ReaderMode` for shortest conversions and a
+        kind string (``"cnt-rel"``, ``"fix-abs"``, ...) for the
+        fixed-format ones — distinct contexts can never collide, and the
+        fixed memo keys are 4-tuples besides.
+        """
         key = (id(fmt), base, mode, tie)
         ctx = self._ctx_ids.get(key)
         if ctx is None:
@@ -239,6 +267,177 @@ class Engine:
         k, body = self._body_fe(v.f, v.e, v.fmt, base, mode, tie, v)
         return DigitResult(k=k, digits=tuple(int(c, 36) for c in body),
                            base=base)
+
+    # ------------------------------------------------------------------
+    # Fixed-format conversions (counted tier with exact fallback)
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key):
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache_hits += 1
+            try:
+                self._cache.move_to_end(key)
+            except KeyError:
+                pass  # lost a race with eviction; the value is good
+            return hit
+        self._cache_misses += 1
+        return None
+
+    def _cache_put(self, key, value) -> None:
+        with self._lock:
+            self._cache[key] = value
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    @staticmethod
+    def _fixed_args(position, ndigits):
+        if (position is None) == (ndigits is None):
+            raise RangeError("give exactly one of position= or ndigits=")
+        if ndigits is not None:
+            if ndigits < 1:
+                raise RangeError(f"ndigits must be >= 1, got {ndigits}")
+            return "rel", ndigits
+        return "abs", position
+
+    def _counted_fast(self, v: Flonum, tables: FormatTables,
+                      position: Optional[int], ndigits: Optional[int],
+                      ) -> Optional[Tuple[int, int, int]]:
+        """``(acc, nd, k)`` from the counted tier, position restored.
+
+        Applies the absolute-mode carry fix-up (a carry past the first
+        digit leaves the block one position short of ``position``; the
+        carried value is exactly ``10**(k-1)``, so appending a zero is
+        exact).  Returns None on any bailout.
+        """
+        got = counted_tier_digits(v.f, v.e, tables.grisu_powers,
+                                  tables.grisu_e_min,
+                                  ndigits=ndigits, position=position)
+        if got is None:
+            return None
+        acc, nd, k = got
+        if position is not None:
+            if k - nd == position + 1:
+                acc *= 10
+                nd += 1
+            if k - nd != position:  # pragma: no cover - defensive
+                return None
+        return acc, nd, k
+
+    def counted_digits(self, x: Number, position: Optional[int] = None,
+                       ndigits: Optional[int] = None, base: int = 10,
+                       tie: TieBreak = TieBreak.EVEN,
+                       fmt: FloatFormat = BINARY64) -> DigitResult:
+        """Correctly rounded digits of the *exact* value of ``x`` at a
+        counted position — drop-in for
+        :func:`repro.baselines.naive_fixed.exact_fixed_digits` (the
+        ``printf`` semantics): relative mode produces ``ndigits``
+        significant digits, absolute mode rounds at weight
+        ``base**position``.  Routed through the counted fast tier when
+        it can certify the rounded block; exact big-integer fallback.
+
+        The fast tier bails on every genuine tie, so its acceptances are
+        valid for any ``tie`` strategy; ``tie`` only shapes the exact
+        fallback (default even, matching IEEE-mode ``printf``).
+        """
+        v = to_flonum(x, fmt)
+        if not v.is_finite or v.is_zero or v.sign:
+            raise RangeError("counted_digits requires a positive finite value")
+        kind, n = self._fixed_args(position, ndigits)
+        key = None
+        if self.cache_size:
+            key = (v.f, v.e, n,
+                   self._ctx_id(v.fmt, base, "cnt-" + kind, tie))
+            hit = self._cache_get(key)
+            if hit is not None:
+                return hit
+        result = None
+        if self.fixed_tier1 and base == 10:
+            tables = tables_for(v.fmt, base)
+            if tables.grisu_ok:
+                got = self._counted_fast(v, tables, position, ndigits)
+                if got is not None:
+                    acc, _nd, k = got
+                    self._fixed_tier1_hits += 1
+                    result = DigitResult(
+                        k=k, digits=tuple(int(c) for c in str(acc)),
+                        base=base)
+                else:
+                    self._fixed_tier1_bailouts += 1
+        if result is None:
+            self._fixed_tier2_calls += 1
+            result = exact_fixed_digits(v, position=position,
+                                        ndigits=ndigits, base=base, tie=tie)
+        if key is not None:
+            self._cache_put(key, result)
+        return result
+
+    def fixed_digits(self, x: Number, position: Optional[int] = None,
+                     ndigits: Optional[int] = None, base: int = 10,
+                     tie: TieBreak = TieBreak.UP,
+                     fmt: FloatFormat = BINARY64) -> FixedResult:
+        """Paper Section 4 fixed format (``#`` marks) through the tiers
+        — drop-in for :func:`repro.core.fixed.fixed_digits`.
+
+        The counted tier serves a request only when Section 4's expanded
+        rounding range is provably governed by the requested precision on
+        both sides (:meth:`FormatTables.expansion_dominates`): there the
+        paper's algorithm reduces to correct rounding of the exact value
+        at the stop position with no ``#`` marks, which is exactly what
+        the tier certifies.  Every other request — insignificant
+        trailing positions, denormals, rounds-to-zero, wide bases —
+        falls back to the exact integer implementation.
+        """
+        v = to_flonum(x, fmt)
+        if not v.is_finite or v.is_zero or v.sign:
+            raise RangeError("fixed_digits requires a positive finite value")
+        kind, n = self._fixed_args(position, ndigits)
+        key = None
+        if self.cache_size:
+            key = (v.f, v.e, n,
+                   self._ctx_id(v.fmt, base, "fix-" + kind, tie))
+            hit = self._cache_get(key)
+            if hit is not None:
+                return hit
+        result = None
+        if self.fixed_tier1 and base == 10:
+            tables = tables_for(v.fmt, base)
+            if (tables.grisu_ok
+                    and not (v.f == tables.mantissa_limit - 1
+                             and v.e == tables.max_e)):
+                got = self._counted_fast(v, tables, position, ndigits)
+                if got is not None:
+                    acc, nd, k = got
+                    j = k - nd  # == position in absolute mode
+                    if tables.expansion_dominates(j, v.e):
+                        self._fixed_tier1_hits += 1
+                        result = FixedResult(
+                            k=k, digits=tuple(int(c) for c in str(acc)),
+                            hashes=0, position=j, base=base)
+                if result is None:
+                    self._fixed_tier1_bailouts += 1
+        if result is None:
+            self._fixed_tier2_calls += 1
+            result = exact_paper_fixed(v, position=position,
+                                       ndigits=ndigits, base=base, tie=tie)
+        if key is not None:
+            self._cache_put(key, result)
+        return result
+
+    def format_fixed(self, x: Number, position: Optional[int] = None,
+                     ndigits: Optional[int] = None,
+                     decimals: Optional[int] = None,
+                     base: int = 10, tie: TieBreak = TieBreak.UP,
+                     style: str = "positional",
+                     options: Optional[NotationOptions] = None) -> str:
+        """Fixed-format string through this engine (signs/zeros/specials
+        included) — :func:`repro.core.api.format_fixed` with
+        ``engine=self``."""
+        from repro.core.api import format_fixed
+
+        return format_fixed(x, position=position, ndigits=ndigits,
+                            decimals=decimals, base=base, tie=tie,
+                            style=style, options=options, engine=self)
 
     def format(self, x: Number, base: int = 10,
                mode: ReaderMode = ReaderMode.NEAREST_EVEN,

@@ -103,6 +103,22 @@ class FormatTables:
             return self.powers[k]
         return self.base**k
 
+    def expansion_dominates(self, j: int, e: int) -> bool:
+        """``base**j / 2 >= 2**(e-1)`` — exactly (radix-2 formats).
+
+        The fixed-format fast-tier precondition: when the requested
+        precision margin ``B**j / 2`` is at least the half-gap above a
+        value with exponent ``e``, Section 4's conditionally expanded
+        rounding range is governed by the request on *both* sides
+        (``m_minus <= m_plus`` always), so the paper's algorithm reduces
+        to correct rounding of the exact value at position ``j`` with no
+        ``#`` marks — which is what the counted tier certifies.  Exact
+        integer comparison via the precomputed power table.
+        """
+        if j >= 0:
+            return e <= 0 or self.power(j) >= (1 << e)
+        return e < 0 and (1 << -e) >= self.power(-j)
+
     # ------------------------------------------------------------------
     # Table-backed scaling (Figure 3 with precomputed constants).
     # ------------------------------------------------------------------

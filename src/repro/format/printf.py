@@ -1,11 +1,15 @@
 """Correctly rounded ``printf``-style formatting (``%e``, ``%f``, ``%g``).
 
-Built on the exact fixed-position converter
-(:func:`repro.baselines.naive_fixed.exact_fixed_digits`), so — unlike the
-1996 systems Table 3 audits — every output here is correctly rounded.
-Semantics follow C99: precision defaults, ``%g`` trailing-zero stripping
-and style switching, the ``#`` (alternate form) flag, ``+``/space/``0``
-flags and a minimum field width.
+Digit generation routes through the tiered engine's counted fast path
+(:meth:`repro.engine.Engine.counted_digits`) with the exact
+fixed-position converter
+(:func:`repro.baselines.naive_fixed.exact_fixed_digits`) as fallback and
+oracle, so — unlike the 1996 systems Table 3 audits — every output here
+is correctly rounded.  ``engine=None`` selects the pure exact path
+(ablations, differential tests).  Semantics follow C99: precision
+defaults, ``%g`` trailing-zero stripping and style switching, the ``#``
+(alternate form) flag, ``+``/space/``0`` flags and a minimum field
+width.
 
 (No locale support, and ``%a`` is out of scope; the paper's experiments
 only exercise decimal output.)
@@ -14,6 +18,7 @@ only exercise decimal output.)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.baselines.naive_fixed import exact_fixed_digits
 from repro.core.api import to_flonum
@@ -21,6 +26,23 @@ from repro.errors import ParseError
 from repro.floats.model import Flonum
 
 __all__ = ["format_printf", "fmt_e", "fmt_f", "fmt_g"]
+
+#: Sentinel: "route through the default tiered engine".  ``engine=None``
+#: explicitly requests the exact-only path.
+_USE_DEFAULT = object()
+
+
+def _counted(v: Flonum, engine, position: Optional[int] = None,
+             ndigits: Optional[int] = None):
+    """Counted digits of positive finite ``v`` through the chosen route."""
+    if engine is not None:
+        if engine is _USE_DEFAULT:
+            from repro.engine import default_engine
+
+            engine = default_engine()
+        return engine.counted_digits(v, position=position, ndigits=ndigits,
+                                     fmt=v.fmt)
+    return exact_fixed_digits(v, position=position, ndigits=ndigits)
 
 
 @dataclass(frozen=True)
@@ -69,7 +91,7 @@ def _special(v: Flonum, flags: str, width: int, upper: bool):
 
 
 def fmt_e(x, precision: int = 6, flags: str = "", width: int = 0,
-          upper: bool = False) -> str:
+          upper: bool = False, engine=_USE_DEFAULT) -> str:
     """C's ``%e``: one digit, a point, ``precision`` digits, exponent."""
     v = to_flonum(x)
     special = _special(v, flags, width, upper)
@@ -81,7 +103,7 @@ def fmt_e(x, precision: int = 6, flags: str = "", width: int = 0,
         frac = "." + "0" * precision if precision else ("." if "#" in flags
                                                         else "")
         return _pad(f"0{frac}{exp_char}+00", sign, flags, width)
-    r = exact_fixed_digits(v.abs(), ndigits=precision + 1)
+    r = _counted(v.abs(), engine, ndigits=precision + 1)
     ds = _digit_str(r.digits)
     exp = r.k - 1
     frac = "." + ds[1:] if precision else ("." if "#" in flags else "")
@@ -89,7 +111,8 @@ def fmt_e(x, precision: int = 6, flags: str = "", width: int = 0,
     return _pad(body, sign, flags, width)
 
 
-def fmt_f(x, precision: int = 6, flags: str = "", width: int = 0) -> str:
+def fmt_f(x, precision: int = 6, flags: str = "", width: int = 0,
+          engine=_USE_DEFAULT) -> str:
     """C's ``%f``: fixed point with ``precision`` fractional digits."""
     v = to_flonum(x)
     special = _special(v, flags, width, False)
@@ -100,7 +123,7 @@ def fmt_f(x, precision: int = 6, flags: str = "", width: int = 0) -> str:
         frac = "." + "0" * precision if precision else ("." if "#" in flags
                                                         else "")
         return _pad("0" + frac, sign, flags, width)
-    r = exact_fixed_digits(v.abs(), position=-precision)
+    r = _counted(v.abs(), engine, position=-precision)
     ds = _digit_str(r.digits)
     # r.k is the position just past the first digit; digits span
     # [k-1, -precision].
@@ -122,7 +145,7 @@ def fmt_f(x, precision: int = 6, flags: str = "", width: int = 0) -> str:
 
 
 def fmt_g(x, precision: int = 6, flags: str = "", width: int = 0,
-          upper: bool = False) -> str:
+          upper: bool = False, engine=_USE_DEFAULT) -> str:
     """C's ``%g``: ``%e`` or ``%f`` by exponent, trailing zeros stripped."""
     v = to_flonum(x)
     special = _special(v, flags, width, upper)
@@ -135,7 +158,7 @@ def fmt_g(x, precision: int = 6, flags: str = "", width: int = 0,
         if "#" in flags:
             body = "0." + "0" * (p - 1)
         return _pad(body, sign, flags, width)
-    r = exact_fixed_digits(v.abs(), ndigits=p)
+    r = _counted(v.abs(), engine, ndigits=p)
     exp = r.k - 1
     exp_char = "E" if upper else "e"
     if exp < -4 or exp >= p:
@@ -168,7 +191,7 @@ def fmt_g(x, precision: int = 6, flags: str = "", width: int = 0,
 _SPEC_STATES = "+-# 0"
 
 
-def format_printf(spec: str, x) -> str:
+def format_printf(spec: str, x, engine=_USE_DEFAULT) -> str:
     """Apply a single C conversion spec (``"%.17e"``, ``"%+12.3f"``…)."""
     if not spec.startswith("%"):
         raise ParseError(f"spec must start with %: {spec!r}")
@@ -194,9 +217,11 @@ def format_printf(spec: str, x) -> str:
     if precision is None:
         precision = 6
     if conv in "eE":
-        return fmt_e(x, precision, flags, width, upper=conv == "E")
+        return fmt_e(x, precision, flags, width, upper=conv == "E",
+                     engine=engine)
     if conv == "f":
-        return fmt_f(x, precision, flags, width)
+        return fmt_f(x, precision, flags, width, engine=engine)
     if conv in "gG":
-        return fmt_g(x, precision, flags, width, upper=conv == "G")
+        return fmt_g(x, precision, flags, width, upper=conv == "G",
+                     engine=engine)
     raise ParseError(f"unsupported conversion {conv!r}")

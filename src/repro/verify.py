@@ -3,22 +3,44 @@
 A downstream adopter's smoke test: run N sampled values of a format
 through all the independent implementations in this package (and the
 host, for binary64) and report any disagreement.  Used by
-``examples/self_check.py`` and the test suite; the design principle is
-the reproduction's own — every component is validated by at least one
-*independently constructed* oracle.
+``examples/self_check.py``, the test suite and the nightly CI fuzz job
+(``python -m repro.verify``); the design principle is the reproduction's
+own — every component is validated by at least one *independently
+constructed* oracle.
+
+The battery is tier-aware: every check is tagged with the conversion
+path it exercises (``free/tier0``, ``fixed/engine-counted``, ...) and the
+report carries per-tier check and mismatch counts, so a regression in
+one tier of the engine is visible as that tier's counter, not just a
+flat failure.  Oracles per path:
+
+=====================  =================================================
+path                   independent oracles
+=====================  =================================================
+free (shortest)        Section-2 rational spec, limb bignum port,
+                       Grisu3 self-certification, host ``repr``
+fixed (paper, ``#``)   Section-4 rational spec (``fixed_digits_rational``)
+fixed (counted/printf) exact integer division *and* a Fraction
+                       re-implementation here, host ``%``-formatting
+readers                round-trip through Bellerophon / Algorithm R
+=====================  =================================================
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import List
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.naive_fixed import exact_fixed_digits, fixed_digits_loop
 from repro.core.backends import shortest_digits_bignat
 from repro.core.dragon import shortest_digits
 from repro.core.rational import shortest_digits_rational
-from repro.core.rounding import ReaderMode
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.engine import Engine, tables_for
+from repro.engine.tier0 import tier0_digits
 from repro.fastpath import counted_fixed, grisu_shortest
 from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
@@ -28,7 +50,15 @@ from repro.reader.algorithm_r import algorithm_r
 from repro.reader.bellerophon import bellerophon
 from repro.reader.exact import read_fraction
 
-__all__ = ["VerificationReport", "verify_format", "sample_values"]
+__all__ = ["VerificationReport", "verify_format", "sample_values",
+           "counted_digits_rational", "main"]
+
+#: Significant-digit probes for the counted/fixed checks (the engine's
+#: fast tier certifies at most 17; 17 is also binary64's distinguishing
+#: count, so both acceptance and bailout paths are exercised).
+_NDIGIT_PROBES = (1, 3, 7, 13, 17)
+#: Absolute-position probes (fractional, units and a coarser stop).
+_POSITION_PROBES = (-6, -1, 0, 2)
 
 
 @dataclass
@@ -38,18 +68,39 @@ class VerificationReport:
     format_name: str
     checked: int = 0
     mismatches: List[str] = field(default_factory=list)
+    tier_checks: Dict[str, int] = field(default_factory=dict)
+    tier_mismatches: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.mismatches
 
+    def check(self, tier: str) -> None:
+        """Count one comparison against the named conversion path."""
+        self.tier_checks[tier] = self.tier_checks.get(tier, 0) + 1
+
     def record(self, kind: str, v: Flonum, detail: str = "") -> None:
         self.mismatches.append(f"{kind}: {v!r} {detail}".strip())
+        self.tier_mismatches[kind] = self.tier_mismatches.get(kind, 0) + 1
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.mismatches)} MISMATCHES"
         return (f"{self.format_name}: {self.checked} values checked "
                 f"across engines — {status}")
+
+    def tier_summary(self) -> str:
+        """Per-tier check/mismatch table, one line per conversion path."""
+        lines = [self.summary()]
+        for tier in sorted(self.tier_checks):
+            bad = self.tier_mismatches.get(tier, 0)
+            status = "ok" if not bad else f"{bad} MISMATCHES"
+            lines.append(f"  {tier:<24} {self.tier_checks[tier]:>7} checks"
+                         f"  {status}")
+        stray = set(self.tier_mismatches) - set(self.tier_checks)
+        for tier in sorted(stray):  # pragma: no cover - defensive
+            lines.append(f"  {tier:<24} {'?':>7} checks"
+                         f"  {self.tier_mismatches[tier]} MISMATCHES")
+        return "\n".join(lines)
 
 
 def sample_values(fmt: FloatFormat, n: int, seed: int = 0) -> List[Flonum]:
@@ -73,56 +124,203 @@ def sample_values(fmt: FloatFormat, n: int, seed: int = 0) -> List[Flonum]:
     return out[:n] if len(out) > n else out
 
 
+# ----------------------------------------------------------------------
+# The Fraction oracle for counted (printf-semantics) digit requests.
+# ----------------------------------------------------------------------
+
+def _round_fraction(x: Fraction, tie: TieBreak) -> int:
+    """``round(x)`` with the given tie strategy (x >= 0)."""
+    q, rem = divmod(x.numerator, x.denominator)
+    double_rem = 2 * rem
+    if double_rem < x.denominator:
+        return q
+    if double_rem > x.denominator:
+        return q + 1
+    return tie.choose(q)
+
+
+def _int_digits(n: int, base: int) -> Tuple[int, ...]:
+    if base == 10:
+        return tuple(int(c) for c in str(n))
+    out = []
+    while n:
+        n, d = divmod(n, base)
+        out.append(d)
+    return tuple(reversed(out))
+
+
+def counted_digits_rational(v: Flonum, position: Optional[int] = None,
+                            ndigits: Optional[int] = None, base: int = 10,
+                            tie: TieBreak = TieBreak.EVEN
+                            ) -> Tuple[int, Tuple[int, ...]]:
+    """``(k, digits)`` of the exact value, rounded at a counted position.
+
+    An independent re-statement of the ``printf`` fixed-format contract
+    over :class:`fractions.Fraction` — deliberately different plumbing
+    from :func:`repro.baselines.naive_fixed.exact_fixed_digits` (which
+    works on an integer numerator/denominator pair with its own scaled
+    ``ilog``), so the two can serve as oracles for each other and for
+    the engine's counted tier.
+    """
+    value = Fraction(v.f) * Fraction(v.fmt.radix) ** v.e
+    B = Fraction(base)
+    if position is not None:
+        n = _round_fraction(value / B**position, tie)
+        if n == 0:
+            return position, ()
+        digits = _int_digits(n, base)
+        return position + len(digits), digits
+    # Relative mode: locate k with base**(k-1) <= value < base**k.
+    num, den = value.numerator, value.denominator
+    k = int((num.bit_length() - den.bit_length())
+            * math.log(2) / math.log(base))
+    bk = B**k
+    while value >= bk:
+        bk *= B
+        k += 1
+    while value < bk / B:
+        bk /= B
+        k -= 1
+    n = _round_fraction(value / B**(k - ndigits), tie)
+    if n >= base**ndigits:  # 9.99… carries into a new leading digit
+        n //= base
+        k += 1
+    return k, _int_digits(n, base)
+
+
+# ----------------------------------------------------------------------
+# The battery
+# ----------------------------------------------------------------------
+
 def verify_format(fmt: FloatFormat = BINARY64, n: int = 200,
                   seed: int = 0) -> VerificationReport:
     """Cross-validate all engines on ``n`` sampled values of ``fmt``."""
     report = VerificationReport(format_name=fmt.name)
     host_checks = fmt is BINARY64 or fmt == BINARY64
+    engine = Engine()  # all tiers enabled; memo exercised across values
     for v in sample_values(fmt, n, seed):
         report.checked += 1
         _check_shortest_engines(v, report)
+        _check_shortest_tiers(v, engine, report)
         _check_fixed_engines(v, report)
+        _check_fixed_tiers(v, engine, report)
         _check_readers(v, report)
         _check_surfaces(v, report)
         if host_checks:
-            _check_host_oracles(v, report)
+            _check_host_oracles(v, engine, report)
     return report
 
 
 def _check_shortest_engines(v: Flonum, report: VerificationReport) -> None:
     spec = shortest_digits_rational(v, mode=ReaderMode.NEAREST_EVEN)
+    report.check("free/exact")
     fast = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
     if (spec.k, spec.digits) != (fast.k, fast.digits):
-        report.record("dragon-vs-rational", v, f"{fast} != {spec}")
+        report.record("free/exact", v, f"{fast} != {spec}")
+    report.check("free/exact")
     limbs = shortest_digits_bignat(v, mode=ReaderMode.NEAREST_EVEN)
     if (limbs.k, limbs.digits) != (fast.k, fast.digits):
-        report.record("bignat-vs-int", v, f"{limbs} != {fast}")
+        report.record("free/exact", v, f"{limbs} != {fast}")
     grisu = grisu_shortest(v)
     if grisu is not None:
+        report.check("free/tier1")
         unknown = shortest_digits(v, mode=ReaderMode.NEAREST_UNKNOWN)
         if (grisu.k, grisu.digits) != (unknown.k, unknown.digits):
-            report.record("grisu-vs-exact", v, f"{grisu} != {unknown}")
+            report.record("free/tier1", v, f"{grisu} != {unknown}")
+
+
+def _check_shortest_tiers(v: Flonum, engine: Engine,
+                          report: VerificationReport) -> None:
+    """The engine's own tiers against the rational spec."""
+    spec = shortest_digits_rational(v, mode=ReaderMode.NEAREST_EVEN)
+    report.check("free/engine")
+    got = engine.shortest_digits(v, fmt=v.fmt)
+    if (got.k, got.digits) != (spec.k, spec.digits):
+        report.record("free/engine", v, f"{got} != {spec}")
+    if v.fmt.radix == 2:
+        tables = tables_for(v.fmt, 10)
+        t0 = tier0_digits(v.f, v.e, tables.hidden_limit, tables.min_e,
+                          tables.mantissa_limit, tables.max_e,
+                          ReaderMode.NEAREST_EVEN)
+        if t0 is not None:
+            report.check("free/tier0")
+            acc, _nd, k = t0
+            if (k, tuple(int(c) for c in str(acc))) != (spec.k, spec.digits):
+                report.record("free/tier0", v, f"{t0} != {spec}")
 
 
 def _check_fixed_engines(v: Flonum, report: VerificationReport) -> None:
     n = min(12, v.fmt.decimal_digits_to_distinguish())
+    report.check("fixed/exact")
     one_shot = exact_fixed_digits(v, ndigits=n)
     loop = fixed_digits_loop(v, n)
     if (one_shot.k, one_shot.digits) != (loop.k, loop.digits):
-        report.record("fixed-loop-vs-division", v, f"{loop} != {one_shot}")
+        report.record("fixed/exact", v, f"{loop} != {one_shot}")
     counted = counted_fixed(v, n)
-    if counted is not None and (counted.k, counted.digits) != (
-            one_shot.k, one_shot.digits):
-        report.record("counted-vs-exact", v, f"{counted} != {one_shot}")
+    if counted is not None:
+        report.check("fixed/counted")
+        if (counted.k, counted.digits) != (one_shot.k, one_shot.digits):
+            report.record("fixed/counted", v, f"{counted} != {one_shot}")
     # The paper's fixed format: integer implementation vs rational spec.
     from repro.core.fixed import fixed_digits
     from repro.core.fixed_rational import fixed_digits_rational
 
+    report.check("fixed/exact")
     ours = fixed_digits(v, ndigits=n)
     spec = fixed_digits_rational(v, ndigits=n)
     if (ours.k, ours.digits, ours.hashes) != (spec.k, spec.digits,
                                               spec.hashes):
-        report.record("fixed-vs-rational-spec", v, f"{ours} != {spec}")
+        report.record("fixed/exact", v, f"{ours} != {spec}")
+
+
+def _check_fixed_tiers(v: Flonum, engine: Engine,
+                       report: VerificationReport) -> None:
+    """The engine's counted/paper fixed routes against both oracles."""
+    from repro.core.fixed_rational import fixed_digits_rational
+
+    for nd in _NDIGIT_PROBES:
+        report.check("fixed/engine-counted")
+        got = engine.counted_digits(v, ndigits=nd, fmt=v.fmt)
+        want = exact_fixed_digits(v, ndigits=nd)
+        if (got.k, got.digits) != (want.k, want.digits):
+            report.record("fixed/engine-counted", v,
+                          f"ndigits={nd} {got} != {want}")
+    # Absolute probes produce every digit down to the position — skip
+    # values whose magnitude would need thousands of them (wide formats
+    # near max_e; CPython's int->str conversion also caps there).
+    absolute_ok = (v.e * math.log10(v.fmt.radix) < 400)
+    for pos in _POSITION_PROBES if absolute_ok else ():
+        report.check("fixed/engine-counted")
+        got = engine.counted_digits(v, position=pos, fmt=v.fmt)
+        want = exact_fixed_digits(v, position=pos)
+        if (got.k, got.digits) != (want.k, want.digits):
+            report.record("fixed/engine-counted", v,
+                          f"position={pos} {got} != {want}")
+    # Second, independently constructed oracle (Fraction arithmetic).
+    for nd in (3, 13):
+        report.check("fixed/counted-rational")
+        got = engine.counted_digits(v, ndigits=nd, fmt=v.fmt)
+        k, digits = counted_digits_rational(v, ndigits=nd)
+        if (got.k, got.digits) != (k, digits):
+            report.record("fixed/counted-rational", v,
+                          f"ndigits={nd} {got} != ({k}, {digits})")
+    # Paper Section 4 semantics through the engine vs the rational spec.
+    for nd in (2, 8):
+        report.check("fixed/engine-paper")
+        got = engine.fixed_digits(v, ndigits=nd, fmt=v.fmt)
+        spec = fixed_digits_rational(v, ndigits=nd)
+        if (got.k, got.digits, got.hashes, got.position) != (
+                spec.k, spec.digits, spec.hashes, spec.position):
+            report.record("fixed/engine-paper", v,
+                          f"ndigits={nd} {got} != {spec}")
+    for pos in (-4, 0) if absolute_ok else ():
+        report.check("fixed/engine-paper")
+        got = engine.fixed_digits(v, position=pos, fmt=v.fmt)
+        spec = fixed_digits_rational(v, position=pos)
+        if (got.k, got.digits, got.hashes, got.position) != (
+                spec.k, spec.digits, spec.hashes, spec.position):
+            report.record("fixed/engine-paper", v,
+                          f"position={pos} {got} != {spec}")
 
 
 def _check_surfaces(v: Flonum, report: VerificationReport) -> None:
@@ -131,45 +329,107 @@ def _check_surfaces(v: Flonum, report: VerificationReport) -> None:
     from repro.core.api import format_shortest
     from repro.reader.truncated import read_decimal_truncated
 
+    report.check("surface/roundtrip")
     scheme = string_to_number(number_to_string(v), v.fmt)
     if scheme != v:
-        report.record("scheme-roundtrip", v, f"{scheme!r}")
+        report.record("surface/roundtrip", v, f"scheme {scheme!r}")
     text = format_shortest(v)
     trunc = read_decimal_truncated(text, v.fmt)
     if trunc != v:
-        report.record("truncated-reader", v, f"{trunc!r}")
+        report.record("surface/roundtrip", v, f"truncated {trunc!r}")
     if v.fmt.radix == 2 and v.fmt.has_encoding:
         from repro.format.hexfloat import format_hex, parse_hex
 
         hexed = parse_hex(format_hex(v), v.fmt)
         if hexed != v:
-            report.record("hexfloat-roundtrip", v)
+            report.record("surface/roundtrip", v, "hexfloat")
 
 
 def _check_readers(v: Flonum, report: VerificationReport) -> None:
+    report.check("reader/roundtrip")
     r = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
     frac = r.to_fraction()
     back = read_fraction(frac, v.fmt)
     if back != v:
-        report.record("roundtrip", v, f"read back {back!r}")
+        report.record("reader/roundtrip", v, f"read back {back!r}")
     ar = algorithm_r(frac.numerator, frac.denominator, v.fmt)
     if ar != v:
-        report.record("algorithm-r", v, f"read back {ar!r}")
+        report.record("reader/roundtrip", v, f"algorithm-r {ar!r}")
 
 
-def _check_host_oracles(v: Flonum, report: VerificationReport) -> None:
+#: ``printf`` specs the host oracle checks run, chosen to hit both the
+#: engine's fast tier (short counted requests) and the exact fallback.
+_HOST_SPECS = ("%.17e", "%.6f", "%.12g", "%.2e", "%g")
+
+
+def _check_host_oracles(v: Flonum, engine: Engine,
+                        report: VerificationReport) -> None:
     x = v.to_float()
+    report.check("free/host")
     if py_repr(x) != repr(x):
-        report.record("repr", v, f"{py_repr(x)} != {repr(x)}")
+        report.record("free/host", v, f"{py_repr(x)} != {repr(x)}")
     if float(py_repr(x)) != x:
-        report.record("host-read", v)
-    spec = "%.17e"
-    if format_printf(spec, x) != spec % x:
-        report.record("printf", v)
+        report.record("free/host", v, "host read-back")
+    report.check("free/engine-host")
+    if float(engine.format(x)) != x:
+        report.record("free/engine-host", v, "engine output not read back")
+    for spec in _HOST_SPECS:
+        report.check("fixed/printf-host")
+        if format_printf(spec, x) != spec % x:
+            report.record("fixed/printf-host", v,
+                          f"{spec}: {format_printf(spec, x)} != {spec % x}")
     # Bellerophon from the repr's parsed parts.
     from repro.reader.parse import parse_decimal
 
+    report.check("reader/bellerophon")
     parsed = parse_decimal(repr(x))
     got = bellerophon(parsed.digits, parsed.exponent).value
     if got != v:
-        report.record("bellerophon", v, f"{got!r}")
+        report.record("reader/bellerophon", v, f"{got!r}")
+
+
+# ----------------------------------------------------------------------
+# CLI: ``python -m repro.verify`` (the nightly fuzz entry point)
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the battery from the command line; exit 1 on any mismatch."""
+    import argparse
+
+    from repro.floats.formats import STANDARD_FORMATS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential verification battery: every printing "
+                    "tier against independent oracles.")
+    parser.add_argument("--n", type=int, default=200,
+                        help="values sampled per format (default 200)")
+    parser.add_argument("--seed", default="0",
+                        help="sample seed: an integer, or 'fresh' for a "
+                             "new random seed (nightly fuzz; the chosen "
+                             "seed is printed for reproduction)")
+    parser.add_argument("--formats", nargs="*", metavar="NAME",
+                        default=["binary16", "binary32", "binary64"],
+                        choices=sorted(STANDARD_FORMATS),
+                        help="formats to verify (default: binary16/32/64)")
+    args = parser.parse_args(argv)
+    seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
+            else int(args.seed))
+    print(f"verification battery: n={args.n} seed={seed} "
+          f"formats={','.join(args.formats)}")
+    failures = 0
+    for name in args.formats:
+        report = verify_format(STANDARD_FORMATS[name], args.n, seed)
+        print(report.tier_summary())
+        for mismatch in report.mismatches[:10]:
+            print(f"    {mismatch}")
+        failures += len(report.mismatches)
+    if failures:
+        print(f"FAILED: {failures} disagreements (seed {seed})")
+        return 1
+    print("all tiers agree on every sampled value")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

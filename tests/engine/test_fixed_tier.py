@@ -1,0 +1,176 @@
+"""Satellite: the fixed-format fast tier is byte-identical to the exact
+paths across formats, modes, and `#`-mark (denormal) territory.
+
+Property-tested with hypothesis over raw ``(f, e)`` components so the
+denormal range, the format boundaries, and the ties all get sampled, for
+binary16/32/64 in both absolute- and relative-position modes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive_fixed import exact_fixed_digits
+from repro.core.fixed import fixed_digits as exact_paper_fixed
+from repro.core.rounding import TieBreak
+from repro.engine import Engine
+from repro.engine.counted import MAX_COUNTED_DIGITS, counted_tier_digits
+from repro.engine.tables import tables_for
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.workloads.corpus import denormals, uniform_random
+from repro.workloads.schryer import corpus as schryer_corpus
+
+FORMATS = {"binary16": BINARY16, "binary32": BINARY32, "binary64": BINARY64}
+
+
+def flonums(fmt):
+    """Canonical positive finite Flonums of ``fmt`` (denormals included)."""
+    def build(f, e):
+        if f < fmt.hidden_limit:
+            e = fmt.min_e  # denormals only exist at the minimum exponent
+        return Flonum.finite(0, f, e, fmt)
+
+    return st.builds(
+        build,
+        st.integers(min_value=1, max_value=fmt.mantissa_limit - 1),
+        st.integers(min_value=fmt.min_e, max_value=fmt.max_e),
+    )
+
+
+class TestCountedTierCertification:
+    """Direct tier calls: every acceptance equals the exact division."""
+
+    @pytest.mark.parametrize("fmt", FORMATS.values(), ids=FORMATS.keys())
+    def test_relative_uniform(self, fmt):
+        tables = tables_for(fmt, 10)
+        for v in uniform_random(300, fmt=fmt, seed=11):
+            for nd in (1, 3, 7, 13, 17):
+                got = counted_tier_digits(v.f, v.e, tables.grisu_powers,
+                                          tables.grisu_e_min, ndigits=nd)
+                if got is None:
+                    continue
+                acc, count, k = got
+                want = exact_fixed_digits(v, ndigits=nd)
+                assert count == nd
+                assert (k, str(acc)) == (
+                    want.k, "".join(str(d) for d in want.digits))
+
+    def test_max_digits_bailout(self):
+        tables = tables_for(BINARY64, 10)
+        v = uniform_random(1, seed=5)[0]
+        assert counted_tier_digits(
+            v.f, v.e, tables.grisu_powers, tables.grisu_e_min,
+            ndigits=MAX_COUNTED_DIGITS + 1) is None
+
+    def test_exact_decimal_tie_bails(self):
+        # 0.125 at 2 significant digits is an exact tie (12.5): the tier
+        # must decline rather than pick a side.
+        v = Flonum.from_float(0.125)
+        tables = tables_for(BINARY64, 10)
+        assert counted_tier_digits(v.f, v.e, tables.grisu_powers,
+                                   tables.grisu_e_min, ndigits=2) is None
+
+
+class TestEngineCountedAgreement:
+    """Engine route (printf semantics) vs the exact integer division."""
+
+    @pytest.mark.parametrize("fmt", FORMATS.values(), ids=FORMATS.keys())
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data(), nd=st.integers(min_value=1, max_value=20))
+    def test_relative(self, fmt, data, nd):
+        v = data.draw(flonums(fmt))
+        eng = Engine()
+        got = eng.counted_digits(v, ndigits=nd, fmt=fmt)
+        want = exact_fixed_digits(v, ndigits=nd)
+        assert (got.k, got.digits) == (want.k, want.digits)
+
+    @pytest.mark.parametrize("fmt", FORMATS.values(), ids=FORMATS.keys())
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data(), pos=st.integers(min_value=-25, max_value=10))
+    def test_absolute(self, fmt, data, pos):
+        v = data.draw(flonums(fmt))
+        eng = Engine()
+        got = eng.counted_digits(v, position=pos, fmt=fmt)
+        want = exact_fixed_digits(v, position=pos)
+        assert (got.k, got.digits) == (want.k, want.digits)
+
+    def test_ties_all_strategies(self):
+        # Exact decimal ties must respect the tie strategy byte-for-byte
+        # (the fast tier bails there; this checks the routing keeps the
+        # strategy intact through the fallback).
+        eng = Engine()
+        for x in (0.125, 0.375, 2.5, 0.5, 1048576.0):
+            v = Flonum.from_float(x)
+            for nd in (1, 2, 3):
+                for tie in TieBreak:
+                    got = eng.counted_digits(v, ndigits=nd, tie=tie)
+                    want = exact_fixed_digits(v, ndigits=nd, tie=tie)
+                    assert (got.k, got.digits) == (want.k, want.digits), \
+                        (x, nd, tie)
+
+
+class TestEnginePaperFixedAgreement:
+    """Engine route (Section 4 semantics, ``#`` marks) vs core/fixed."""
+
+    @pytest.mark.parametrize("fmt", FORMATS.values(), ids=FORMATS.keys())
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data(), nd=st.integers(min_value=1, max_value=20))
+    def test_relative(self, fmt, data, nd):
+        v = data.draw(flonums(fmt))
+        eng = Engine()
+        got = eng.fixed_digits(v, ndigits=nd, fmt=fmt)
+        want = exact_paper_fixed(v, ndigits=nd)
+        assert got == want
+
+    @pytest.mark.parametrize("fmt", FORMATS.values(), ids=FORMATS.keys())
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data(), pos=st.integers(min_value=-30, max_value=10))
+    def test_absolute(self, fmt, data, pos):
+        v = data.draw(flonums(fmt))
+        eng = Engine()
+        got = eng.fixed_digits(v, position=pos, fmt=fmt)
+        want = exact_paper_fixed(v, position=pos)
+        assert got == want
+
+    @pytest.mark.parametrize("fmt", FORMATS.values(), ids=FORMATS.keys())
+    def test_denormal_hash_positions(self, fmt):
+        # Denormals are where insignificant trailing positions (# marks)
+        # appear: the tier must either bail or agree, and the engine
+        # result must carry identical hash counts.
+        eng = Engine()
+        for v in denormals(fmt, count=48):
+            for pos in (v.e - 2, -8, -4, 0):
+                got = eng.fixed_digits(v, position=pos, fmt=fmt)
+                want = exact_paper_fixed(v, position=pos)
+                assert got == want, (v, pos)
+            for nd in (2, 5, 12, 20):
+                got = eng.fixed_digits(v, ndigits=nd, fmt=fmt)
+                want = exact_paper_fixed(v, ndigits=nd)
+                assert got == want, (v, nd)
+
+    def test_schryer_hard_cases(self):
+        eng = Engine()
+        for v in schryer_corpus(150):
+            for nd in (3, 9, 17):
+                assert (eng.fixed_digits(v, ndigits=nd)
+                        == exact_paper_fixed(v, ndigits=nd))
+
+    def test_tie_strategies_fixed(self):
+        eng = Engine()
+        for x in (0.125, 2.5, 0.0625):
+            v = Flonum.from_float(x)
+            for tie in TieBreak:
+                got = eng.fixed_digits(v, ndigits=2, tie=tie)
+                want = exact_paper_fixed(v, ndigits=2, tie=tie)
+                assert got == want, (x, tie)
+
+    def test_fixed_tier_disabled_matches(self):
+        slow = Engine(fixed_tier1=False)
+        fast = Engine()
+        for v in uniform_random(120, seed=23):
+            for nd in (4, 8):
+                assert (slow.fixed_digits(v, ndigits=nd)
+                        == fast.fixed_digits(v, ndigits=nd))
+                assert (slow.counted_digits(v, ndigits=nd)
+                        == fast.counted_digits(v, ndigits=nd))

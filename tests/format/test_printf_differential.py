@@ -1,0 +1,97 @@
+"""Satellite: differential fuzz of engine %e/%f/%g against CPython.
+
+CPython's ``%``-formatting of floats follows C99 with correct rounding
+(ties-to-even), which is exactly the contract of our ``format_printf``
+— so the host is a free, independently implemented oracle for binary64.
+The quick class runs on every PR; the 10k-value sweep is marked
+``slow`` and runs in the nightly CI job (and locally via
+``pytest -m slow``).
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.engine import Engine
+from repro.format.printf import format_printf
+
+SPECS = ("%e", "%.17e", "%.2e", "%.0e", "%f", "%.3f", "%.0f", "%.12f",
+         "%g", "%.12g", "%.1g", "%.17g", "%E", "%G",
+         "%+e", "% e", "%#g", "%#.0f", "%015.6e", "%-12.3f", "%08.2f")
+
+
+def random_doubles(n, seed):
+    """Finite doubles from uniform bit patterns (all regimes, denormals
+    and exact decimals included)."""
+    rng = random.Random(seed)
+    out = []
+    while len(out) < n:
+        x = struct.unpack("<d", struct.pack("<Q", rng.getrandbits(64)))[0]
+        if x != x or x in (float("inf"), float("-inf")):
+            continue
+        out.append(x)
+        if len(out) % 7 == 0:  # mix in round decimals (tie territory)
+            out.append(round(x % 1000, rng.randrange(6)))
+    return out[:n]
+
+
+class TestQuickDifferential:
+    """PR-sized slice of the sweep: every spec, a few hundred values."""
+
+    def test_uniform_bits(self):
+        for x in random_doubles(300, seed=101):
+            for spec in SPECS:
+                assert format_printf(spec, x) == spec % x, (spec, x)
+
+    def test_regime_boundaries(self):
+        xs = [0.0, -0.0, 1.0, -1.0, 0.1, 0.5, 2.5, 1e-5, 1e23,
+              5e-324, 2.2250738585072014e-308, 1.7976931348623157e308,
+              9.999999999999999e22, 123456.789, float("inf"),
+              float("-inf"), float("nan")]
+        for x in xs:
+            nonfinite = x != x or abs(x) == float("inf")
+            for spec in SPECS:
+                flags = ""
+                for c in spec[1:]:
+                    if c not in "+-# 0":
+                        break
+                    flags += c
+                if nonfinite and "0" in flags:
+                    # C99 7.21.6.1: the 0 flag is ignored for infinities
+                    # and NaNs; CPython zero-pads them.  We follow C99.
+                    continue
+                mine, host = format_printf(spec, x), spec % x
+                assert mine == host, (spec, x, mine, host)
+
+    def test_explicit_engine_matches_exact(self):
+        eng = Engine()
+        for x in random_doubles(100, seed=7):
+            for spec in ("%.6e", "%.4f", "%.9g"):
+                assert (format_printf(spec, x, engine=eng)
+                        == format_printf(spec, x, engine=None)), (spec, x)
+
+
+@pytest.mark.slow
+class TestFullDifferential:
+    """The 10k-value sweep (nightly): engine route vs host formatting."""
+
+    N = 10_000
+
+    def test_ten_thousand_values_all_specs(self):
+        mismatches = []
+        for x in random_doubles(self.N, seed=20240806):
+            for spec in SPECS:
+                mine, host = format_printf(spec, x), spec % x
+                if mine != host:
+                    mismatches.append((spec, x, mine, host))
+        assert not mismatches, mismatches[:10]
+
+    def test_precision_sweep(self):
+        # Every precision 0..20 for a narrower value set: exercises the
+        # fast tier's full acceptance range and the 17-digit bailout.
+        for x in random_doubles(300, seed=77):
+            for p in range(21):
+                for conv in ("e", "f", "g"):
+                    spec = f"%.{p}{conv}"
+                    assert format_printf(spec, x) == spec % x, (spec, x)

@@ -1,7 +1,52 @@
-"""Smoke test for the consolidated report generator."""
+"""Smoke tests for the report generator and the bench JSON schema."""
 
+import json
+import os
 import subprocess
 import sys
+
+
+def _load_bench_tool():
+    """Import tools/bench_engine.py as a module (not on the path)."""
+    import importlib.util
+
+    path = os.path.join(os.path.dirname(__file__), "..", "tools",
+                        "bench_engine.py")
+    spec = importlib.util.spec_from_file_location("bench_engine_tool", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestBenchSchema:
+    """Satellite: BENCH_engine.json's shape is a tested contract."""
+
+    def test_generated_output_conforms(self):
+        tool = _load_bench_tool()
+        from repro.engine.bench import run_engine_bench
+
+        result = run_engine_bench(n=200, repeats=1)
+        assert tool.validate_bench_schema(result) == []
+        assert result["fixed"]["mismatches"] == 0
+        assert result["mismatches"] == 0
+
+    def test_committed_json_conforms(self):
+        path = os.path.join(os.path.dirname(__file__), "..",
+                            "BENCH_engine.json")
+        if not os.path.exists(path):
+            import pytest
+
+            pytest.skip("BENCH_engine.json not generated yet")
+        with open(path) as fh:
+            stored = json.load(fh)
+        tool = _load_bench_tool()
+        assert tool.validate_bench_schema(stored) == []
+
+    def test_validator_reports_missing_keys(self):
+        tool = _load_bench_tool()
+        problems = tool.validate_bench_schema({"corpus": {}})
+        assert any(p.startswith("missing key: corpus.") for p in problems)
+        assert "missing key: fixed" in problems
 
 
 def test_regenerate_reports_runs():

@@ -9,7 +9,13 @@ from repro.floats.formats import (
     BINARY128,
     X87_80,
 )
-from repro.verify import VerificationReport, sample_values, verify_format
+from repro.verify import (
+    VerificationReport,
+    counted_digits_rational,
+    main,
+    sample_values,
+    verify_format,
+)
 
 
 class TestSampleValues:
@@ -40,6 +46,51 @@ def test_all_engines_agree(fmt, n):
     assert report.ok, report.mismatches[:5]
 
 
+def test_reports_per_tier_counts():
+    report = verify_format(BINARY64, 30)
+    # Every tier of both free and fixed format must have been exercised.
+    for tier in ("free/exact", "free/engine", "free/tier1", "free/host",
+                 "free/engine-host", "fixed/exact", "fixed/engine-counted",
+                 "fixed/counted-rational", "fixed/engine-paper",
+                 "fixed/printf-host", "reader/roundtrip",
+                 "surface/roundtrip"):
+        assert report.tier_checks.get(tier, 0) > 0, tier
+    assert not report.tier_mismatches
+    text = report.tier_summary()
+    assert "fixed/engine-counted" in text
+    assert "ok" in text
+
+
+def test_counted_rational_oracle_matches_integer_oracle():
+    from repro.baselines.naive_fixed import exact_fixed_digits
+
+    for v in sample_values(BINARY64, 40, seed=5):
+        for nd in (1, 4, 9, 17):
+            want = exact_fixed_digits(v, ndigits=nd)
+            assert counted_digits_rational(v, ndigits=nd) == (
+                want.k, want.digits), (v, nd)
+        for pos in (-7, -1, 0, 3):
+            want = exact_fixed_digits(v, position=pos)
+            assert counted_digits_rational(v, position=pos) == (
+                want.k, want.digits), (v, pos)
+
+
+class TestCli:
+    def test_main_ok(self, capsys):
+        rc = main(["--n", "8", "--seed", "1",
+                   "--formats", "binary16", "binary64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "binary16" in out and "binary64" in out
+        assert "all tiers agree" in out
+
+    def test_main_fresh_seed_prints_seed(self, capsys):
+        rc = main(["--n", "4", "--seed", "fresh", "--formats", "binary16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "seed=" in out
+
+
 class TestReport:
     def test_summary_ok(self):
         r = VerificationReport("binary64", checked=10)
@@ -49,7 +100,10 @@ class TestReport:
         from repro.floats.model import Flonum
 
         r = VerificationReport("binary64", checked=10)
+        r.check("kind")
         r.record("kind", Flonum.from_float(1.0), "boom")
         assert not r.ok
         assert "1 MISMATCHES" in r.summary()
         assert "kind" in r.mismatches[0]
+        assert r.tier_mismatches == {"kind": 1}
+        assert "1 MISMATCHES" in r.tier_summary()

@@ -2,12 +2,17 @@
 
 Run:  PYTHONPATH=src python tools/bench_engine.py [--quick] [-n N] [-o PATH]
 
-Measures the tiered engine (repro.engine) against the exact-only
-``format_shortest`` path on a uniform-random binary64 corpus, audits
+Measures the tiered engine (repro.engine) against the exact-only paths —
+``format_shortest`` for free format, ``exact_fixed_digits`` for
+fixed/counted format — on a uniform-random binary64 corpus, audits
 byte-equality, and writes the result as JSON.  Exits non-zero if any
-output mismatches the exact algorithm or the fast tiers resolve fewer
-than 99% of conversions — correctness gates, not timing gates, so the
-smoke run stays meaningful on loaded CI machines.
+output mismatches the exact algorithms or the fast tiers resolve too few
+conversions — correctness gates, not timing gates, so the smoke run
+stays meaningful on loaded CI machines.
+
+The output schema is pinned by :data:`BENCH_SCHEMA` and covered by
+``tests/test_tools.py`` — extend the schema there when adding fields so
+downstream consumers of ``BENCH_engine.json`` can rely on it.
 """
 
 from __future__ import annotations
@@ -21,6 +26,63 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.engine.bench import run_engine_bench  # noqa: E402
+
+#: Required keys of BENCH_engine.json, nested dicts spelled out.  A
+#: value of ``dict`` means "any mapping"; a tuple lists required
+#: sub-keys.  Schema changes must update this and the stability test.
+BENCH_SCHEMA = {
+    "corpus": ("kind", "n", "seed", "audit_n"),
+    "us_per_value": ("exact_only", "engine_format", "engine_format_many",
+                     "engine_memo_hot"),
+    "speedup": ("format", "format_many", "memo_hot"),
+    "fast_resolved": float,
+    "mismatches": int,
+    "mismatch_samples": list,
+    "stats": dict,
+    "fixed": {
+        "ndigits": int,
+        "audit_ndigits": list,
+        "corpus": ("kind", "n", "seed", "audit_n"),
+        "us_per_value": ("exact_only", "engine_counted", "engine_memo_hot"),
+        "speedup": ("counted", "memo_hot"),
+        "fast_resolved": float,
+        "audit_fast_resolved": float,
+        "mismatches": int,
+        "mismatch_samples": list,
+        "stats": dict,
+    },
+}
+
+
+def validate_bench_schema(result: dict, schema: dict = None,
+                          path: str = "") -> list:
+    """Return a list of schema violations (empty when conformant)."""
+    schema = BENCH_SCHEMA if schema is None else schema
+    problems = []
+    for key, spec in schema.items():
+        where = f"{path}{key}"
+        if key not in result:
+            problems.append(f"missing key: {where}")
+            continue
+        value = result[key]
+        if isinstance(spec, dict):
+            if not isinstance(value, dict):
+                problems.append(f"not a mapping: {where}")
+            else:
+                problems += validate_bench_schema(value, spec, where + ".")
+        elif isinstance(spec, tuple):
+            if not isinstance(value, dict):
+                problems.append(f"not a mapping: {where}")
+            else:
+                for sub in spec:
+                    if sub not in value:
+                        problems.append(f"missing key: {where}.{sub}")
+        elif spec is float:
+            if not isinstance(value, (int, float)):
+                problems.append(f"not a number: {where}")
+        elif not isinstance(value, spec):
+            problems.append(f"not a {spec.__name__}: {where}")
+    return problems
 
 
 def main(argv=None) -> int:
@@ -44,6 +106,12 @@ def main(argv=None) -> int:
     result["quick"] = args.quick
     result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
 
+    problems = validate_bench_schema(result)
+    if problems:  # pragma: no cover - guarded by the schema test
+        for p in problems:
+            print(f"SCHEMA: {p}", file=sys.stderr)
+        return 1
+
     text = json.dumps(result, indent=2, sort_keys=True)
     if args.output == "-":
         print(text)
@@ -57,6 +125,11 @@ def main(argv=None) -> int:
               f"{result['speedup']['format_many']:.2f}x, "
               f"fast-resolved: {result['fast_resolved']:.4f}, "
               f"mismatches: {result['mismatches']}")
+        fixed = result["fixed"]
+        print(f"fixed speedup (counted, ndigits={fixed['ndigits']}): "
+              f"{fixed['speedup']['counted']:.2f}x, "
+              f"fast-resolved: {fixed['fast_resolved']:.4f}, "
+              f"mismatches: {fixed['mismatches']}")
 
     if result["mismatches"]:
         print("FAIL: engine output mismatches the exact algorithm",
@@ -64,6 +137,14 @@ def main(argv=None) -> int:
         return 1
     if result["fast_resolved"] < 0.99:
         print("FAIL: fast tiers resolved under 99% of conversions",
+              file=sys.stderr)
+        return 1
+    if result["fixed"]["mismatches"]:
+        print("FAIL: fixed-format engine output mismatches the exact "
+              "algorithms", file=sys.stderr)
+        return 1
+    if result["fixed"]["fast_resolved"] < 0.90:
+        print("FAIL: fixed fast tier resolved under 90% of conversions",
               file=sys.stderr)
         return 1
     return 0
