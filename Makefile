@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz bench bench-engine smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz bench bench-engine bench-reader smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -21,8 +21,10 @@ test-slow:
 
 # The differential verification battery with a fresh random seed — what
 # the nightly CI fuzz job runs; the seed is printed for reproduction.
+# The second invocation runs the decimal→binary round-trip battery.
 fuzz:
 	$(PY) -m repro.verify --n 300 --seed fresh
+	$(PY) -m repro.verify --roundtrip --n 300 --seed fresh
 
 bench:
 	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ --benchmark-only
@@ -31,6 +33,12 @@ bench:
 # output mismatch or a fast-resolved rate below 0.99).
 bench-engine:
 	$(PY) tools/bench_engine.py
+
+# Read-side (decimal→binary) bench only: tiered reader vs the exact
+# round_rational fallback, printed to stdout; gates on mismatches,
+# fast-resolved >= 0.95 and read_many speedup >= 2x.
+bench-reader:
+	$(PY) tools/bench_engine.py --reader
 
 # Quick correctness smoke of the engine (what CI runs).
 smoke:

@@ -3,13 +3,15 @@
 The round-trip guarantee is stated against an accurate reader (Clinger,
 the paper's reference [1]); we ship three and compare them: the one-shot
 exact divmod, AlgorithmR's refinement loop, and the Bellerophon host-
-float fast path with exact fallback.  Also reports the fast-path hit
-rate on shortest-output strings.
+float fast path with exact fallback — plus the tiered read engine
+(single-call and batch), which routes through all of the above.  Also
+reports the fast-path hit rates on shortest-output strings.
 """
 
 import pytest
 
 from repro.core.api import format_shortest
+from repro.engine import ReadEngine
 from repro.reader.algorithm_r import read_decimal_r
 from repro.reader.bellerophon import read_decimal_fast
 from repro.reader.exact import read_decimal
@@ -48,6 +50,46 @@ def test_bench_bellerophon(benchmark, shortest_strings):
         acc = 0
         for s in shortest_strings:
             acc ^= read_decimal_fast(s).value.f & 1
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-reader")
+def test_bench_read_engine(benchmark, shortest_strings):
+    eng = ReadEngine(cache_size=0)  # memo off: measure the tiers
+
+    def run():
+        acc = 0
+        for s in shortest_strings:
+            acc ^= eng.read(s).f & 1
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-reader")
+def test_bench_read_engine_batch(benchmark, shortest_strings):
+    eng = ReadEngine(cache_size=0)
+
+    def run():
+        acc = 0
+        for v in eng.read_many(shortest_strings):
+            acc ^= v.f & 1
+        return acc
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-reader")
+def test_bench_read_engine_memo_hot(benchmark, shortest_strings):
+    eng = ReadEngine()
+    eng.read_many(shortest_strings)  # warm the memo
+
+    def run():
+        acc = 0
+        for v in eng.read_many(shortest_strings):
+            acc ^= v.f & 1
         return acc
 
     benchmark(run)

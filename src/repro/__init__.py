@@ -11,6 +11,8 @@ Public surface, in one import::
   position, ``#``-marking insignificant positions.
 * :func:`read_decimal` — the accurate reader the guarantee is stated
   against (any rounding mode).
+* :func:`read` / :func:`read_many` — the same semantics through the
+  shared tiered :class:`ReadEngine` (typically much faster).
 * :class:`Flonum` / :class:`FloatFormat` — exact value model for binary16
   through binary128, x87-80 and arbitrary toy formats.
 
@@ -20,7 +22,14 @@ table-by-table reproduction of the paper's evaluation.
 
 from repro.core.api import format_fixed, format_shortest, to_flonum
 from repro.core.digits import DigitResult
-from repro.engine import Engine, default_engine, format_many
+from repro.engine import (
+    Engine,
+    ReadEngine,
+    ReadResult,
+    default_engine,
+    default_read_engine,
+    format_many,
+)
 from repro.core.dragon import shortest_digits
 from repro.core.fixed import FixedResult, fixed_digits
 from repro.core.fixed_rational import fixed_digits_rational
@@ -55,6 +64,7 @@ from repro.format.notation import NotationOptions
 from repro.format.hexfloat import format_hex, parse_hex, python_hex
 from repro.format.printf import fmt_e, fmt_f, fmt_g, format_printf
 from repro.format.repr_shortest import py_repr
+from repro.reader import read, read_many
 from repro.reader.exact import read_decimal, read_fraction
 from repro.verify import VerificationReport, verify_format
 
@@ -67,6 +77,9 @@ __all__ = [
     "format_many",
     "Engine",
     "default_engine",
+    "ReadEngine",
+    "ReadResult",
+    "default_read_engine",
     "to_flonum",
     "shortest_digits",
     "shortest_digits_rational",
@@ -97,6 +110,8 @@ __all__ = [
     "fmt_f",
     "fmt_g",
     "py_repr",
+    "read",
+    "read_many",
     "read_decimal",
     "read_fraction",
     "DigitStream",

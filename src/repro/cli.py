@@ -63,10 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "selecting one forces the exact path, the "
                              "default routes through the tiered engine")
     parser.add_argument("--no-engine", action="store_true",
-                        help="disable the tiered engine for both free and "
-                             "fixed format: always run the exact algorithm "
-                             "(with the estimate scaler unless --scaler "
-                             "says otherwise)")
+                        help="disable the tiered engine on both sides: "
+                             "inputs are read with the exact one-shot "
+                             "reader and free/fixed output always runs "
+                             "the exact algorithm (with the estimate "
+                             "scaler unless --scaler says otherwise)")
+    parser.add_argument("--read", action="store_true",
+                        help="report the value each literal reads to "
+                             "(sign, significand, exponent) and which "
+                             "reader tier resolved it, instead of "
+                             "printing the value")
     parser.add_argument("--engine-stats", action="store_true",
                         help="after printing, report tier/cache counters "
                              "of the conversion engine on stderr")
@@ -86,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _read_description(value, tier: str) -> str:
+    """One-line ``--read`` report: the flonum's components + the tier."""
+    if value.is_nan:
+        return f"nan tier={tier}"
+    if value.is_infinite:
+        return f"sign={value.sign} inf tier={tier}"
+    if value.is_zero:
+        return f"sign={value.sign} zero tier={tier}"
+    return f"sign={value.sign} f={value.f} e={value.e} tier={tier}"
+
+
 def run(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -102,9 +119,19 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
         try:
             if text.lower().startswith(("0x", "-0x", "+0x")):
                 value = parse_hex(text, fmt, _MODES[args.reader_mode])
-            else:
+                tier = "hex"
+            elif args.no_engine:
                 value = read_decimal(text, fmt, _MODES[args.reader_mode])
-            if args.hex:
+                tier = "exact"
+            else:
+                from repro.engine.reader import default_read_engine
+
+                result = default_read_engine().read_result(
+                    text, fmt, _MODES[args.reader_mode])
+                value, tier = result.value, result.tier
+            if args.read:
+                rendered = _read_description(value, tier)
+            elif args.hex:
                 rendered = format_hex(value)
             elif args.fast and not fixed:
                 from repro.fastpath import shortest_fast

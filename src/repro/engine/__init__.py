@@ -5,22 +5,41 @@ Public surface:
 * :class:`Engine` — a router over three tiers (exact-decimal fast path,
   raw-integer Grisu3, exact Burger–Dybvig) with a bounded result memo
   and per-tier statistics;
-* :func:`default_engine` — the shared instance the string API delegates
-  to;
-* :func:`format_many` — batch conversion through the default engine;
+* :class:`ReadEngine` — the mirror-image read router (exact-power
+  Bellerophon window, truncated/interval certification, exact
+  ``round_rational`` fallback), reachable per-engine as
+  :attr:`Engine.reader`;
+* :func:`default_engine` / :func:`default_read_engine` — the shared
+  instances the string APIs delegate to;
+* :func:`format_many` / :func:`read_many` — batch conversion through
+  the default engines;
 * :func:`tables_for` / :class:`FormatTables` — the per-format
-  precomputed state (power tables, estimator constants, Grisu powers).
+  precomputed state (power tables, estimator constants, Grisu powers,
+  exact-pow10 read windows).
 
 This package must not import :mod:`repro.core.api` (the API imports us).
 """
 
-from repro.engine.engine import Engine, default_engine, format_many
+from repro.engine.engine import STAT_KEYS, Engine, default_engine, format_many
+from repro.engine.reader import (
+    READ_STAT_KEYS,
+    ReadEngine,
+    ReadResult,
+    default_read_engine,
+    read_many,
+)
 from repro.engine.tables import FormatTables, clear_tables, tables_for
 
 __all__ = [
     "Engine",
     "default_engine",
     "format_many",
+    "ReadEngine",
+    "ReadResult",
+    "default_read_engine",
+    "read_many",
+    "STAT_KEYS",
+    "READ_STAT_KEYS",
     "FormatTables",
     "tables_for",
     "clear_tables",

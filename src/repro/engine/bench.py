@@ -9,6 +9,10 @@ report the same quantities from the same corpora:
 * the same three quantities for fixed-format (counted-digit) requests —
   exact big-integer division vs :meth:`Engine.counted_digits` (the
   ``fixed`` section of the result);
+* the read direction — exact ``read_decimal`` vs the tiered
+  :class:`ReadEngine` (singles, ``read_many`` batches, memo-hot), with
+  a bit-strict agreement audit that adds exact decimal midpoints, the
+  forced-bailout worst case (the ``reader`` section of the result);
 * the tier resolution profiles (what fraction of conversions the fast
   tiers settled);
 * byte-equality audits of every engine output against the exact paths,
@@ -16,11 +20,13 @@ report the same quantities from the same corpora:
 
 Corpus: uniform random finite non-zero binary64 bit patterns (the
 fast-path literature's standard workload) plus the Schryer set for the
-agreement audits.
+agreement audits; the reader corpus is the shortest output of the same
+populations plus deterministic human-style literals.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Dict, List
 
@@ -28,10 +34,14 @@ from repro.baselines.naive_fixed import exact_fixed_digits
 from repro.core.api import format_shortest
 from repro.core.fixed import fixed_digits as paper_fixed_digits
 from repro.engine.engine import Engine
+from repro.engine.reader import ReadEngine
+from repro.floats.model import Flonum
+from repro.reader.exact import read_decimal
 from repro.workloads.corpus import uniform_random
 from repro.workloads.schryer import corpus as schryer_corpus
 
-__all__ = ["engine_corpus", "run_engine_bench", "FIXED_BENCH_NDIGITS"]
+__all__ = ["engine_corpus", "reader_corpus", "run_engine_bench",
+           "FIXED_BENCH_NDIGITS"]
 
 #: Significant digits for the timed fixed-format comparison (%.6e-shaped
 #: requests — the dominant real-world precision per the experimental
@@ -115,6 +125,7 @@ def run_engine_bench(n: int = 20000, seed: int = 2024,
                      + stats["cache_hits"])
     return {
         "fixed": _run_fixed_bench(n, seed, repeats),
+        "reader": _run_reader_bench(n, seed, repeats),
         "corpus": {"kind": "uniform-random-bits+schryer", "n": n,
                    "seed": seed, "audit_n": len(audit)},
         "us_per_value": {
@@ -218,4 +229,138 @@ def _run_fixed_bench(n: int, seed: int, repeats: int) -> Dict:
         "mismatches": len(mismatches),
         "mismatch_samples": mismatches[:10],
         "stats": audit_stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# The read direction
+# ----------------------------------------------------------------------
+
+def reader_corpus(n: int, seed: int = 2024) -> List[str]:
+    """Mixed decimal literals: the round-trip workload.
+
+    Shortest engine output of ``n`` uniform random doubles (the strings
+    a round-tripping system actually re-reads) and of ``n // 2``
+    Schryer hard cases, plus ``n // 4`` deterministic human-style
+    literals (short decimals, integers, scientific notation), shuffled
+    together.  The proportions are size-invariant so ``--quick`` and
+    full runs measure the same mix.
+    """
+    eng = Engine()
+    texts = eng.format_many(engine_corpus(n, seed))
+    texts += [format_shortest(v) for v in schryer_corpus(n // 2)]
+    rng = random.Random(seed ^ 0xBEEF)
+    for _ in range(n // 4):
+        kind = rng.randrange(3)
+        if kind == 0:
+            texts.append(f"{rng.randrange(10**6)}"
+                         f".{rng.randrange(10**6):06d}")
+        elif kind == 1:
+            texts.append(f"{rng.randrange(1, 10**19)}"
+                         f"e{rng.randrange(-300, 300)}")
+        else:
+            texts.append(str(rng.randrange(10**9)))
+    rng.shuffle(texts)
+    return texts
+
+
+def _midpoint_literals(count: int, seed: int) -> List[str]:
+    """Exact decimal midpoints between consecutive doubles.
+
+    Every one is a genuine rounding tie: the interval tier must bail
+    and the exact tier must apply ties-to-even — the reader audit's
+    adversarial population.
+    """
+    out: List[str] = []
+    for v in uniform_random(count, seed=seed ^ 1):
+        d, e = (v.f << 1) + 1, v.e - 1  # midpoint = d * 2**e
+        if e >= 0:
+            out.append(str(d << e))
+        else:
+            out.append(f"{d * 5**-e}e{e}")
+    return out
+
+
+def _same_flonum(a: Flonum, b: Flonum) -> bool:
+    """Bit-strict agreement (``Flonum.__eq__`` lets ``+0 == -0`` pass)."""
+    if a.is_nan or b.is_nan:
+        return a.is_nan and b.is_nan
+    if not a.is_finite or not b.is_finite:
+        return a.is_finite == b.is_finite and a.sign == b.sign
+    return (a.sign, a.f, a.e) == (b.sign, b.f, b.e)
+
+
+def _run_reader_bench(n: int, seed: int, repeats: int) -> Dict:
+    """The read (decimal→binary) side of the engine bench."""
+    texts = reader_corpus(n, seed)
+    total = len(texts)
+
+    exact = lambda: [read_decimal(t) for t in texts]
+    exact()  # warm the power caches
+
+    reader = ReadEngine()
+    reader.read_many(texts[:64])  # build tables before timing
+
+    def run_singles():
+        reader.clear_cache()  # time conversions, not memo hits
+        read_one = reader.read
+        for t in texts:
+            read_one(t)
+
+    def run_many():
+        reader.clear_cache()
+        reader.read_many(texts)
+
+    # Interleave the contenders within each repeat round so a machine
+    # slowdown mid-bench degrades all of them alike instead of skewing
+    # the reported ratios (best-of still taken per contender).
+    t_exact = t_single = t_many = float("inf")
+    for _ in range(repeats):
+        t_exact = min(t_exact, _best_of(exact, 1))
+        t_single = min(t_single, _best_of(run_singles, 1))
+        t_many = min(t_many, _best_of(run_many, 1))
+
+    # The repeated-literal regime: a slice that fits the memo, timed hot.
+    hot = texts[: min(total, reader.cache_size // 2)]
+    reader.read_many(hot)
+    t_hot = _best_of(lambda: reader.read_many(hot), repeats)
+
+    # Resolution profile of the timed workload: one cold pass, fresh
+    # stats and memo.
+    reader.reset_stats()
+    reader.clear_cache()
+    reader.read_many(texts)
+    stats = reader.stats()
+    resolved_fast = (stats["read_tier0_hits"] + stats["read_tier1_hits"]
+                     + stats["read_specials"] + stats["read_cache_hits"])
+
+    # Bit-strict agreement audit on a fresh engine; the corpus plus
+    # exact decimal midpoints (forced tier bailouts, tie-to-even).
+    audit_texts = texts + _midpoint_literals(min(n, 400), seed)
+    audit_engine = ReadEngine()
+    mismatches = []
+    for t in audit_texts:
+        a = read_decimal(t)
+        b = audit_engine.read(t)
+        if not _same_flonum(a, b):
+            mismatches.append({"text": t, "exact": repr(a),
+                               "engine": repr(b)})
+    return {
+        "corpus": {"kind": "engine-shortest+schryer+literals", "n": total,
+                   "seed": seed, "audit_n": len(audit_texts)},
+        "us_per_value": {
+            "exact_only": t_exact * 1e6 / total,
+            "engine_read": t_single * 1e6 / total,
+            "engine_read_many": t_many * 1e6 / total,
+            "engine_memo_hot": t_hot * 1e6 / len(hot),
+        },
+        "speedup": {
+            "read": t_exact / t_single,
+            "read_many": t_exact / t_many,
+            "memo_hot": (t_exact / total) / (t_hot / len(hot)),
+        },
+        "fast_resolved": resolved_fast / stats["read_conversions"],
+        "mismatches": len(mismatches),
+        "mismatch_samples": mismatches[:10],
+        "stats": stats,
     }

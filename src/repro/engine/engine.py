@@ -36,9 +36,8 @@ Two representation choices carry the throughput:
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from math import copysign, frexp
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.baselines.naive_fixed import exact_fixed_digits
 from repro.core.boundaries import adjust_for_mode, initial_scaled_value
@@ -58,11 +57,12 @@ from repro.format.notation import (
 )
 
 from repro.engine.counted import counted_tier_digits
+from repro.engine.reader import READ_STAT_KEYS, ReadEngine, ReadResult
 from repro.engine.tables import FormatTables, tables_for
 from repro.engine.tier0 import tier0_digits
 from repro.engine.tier1 import tier1_digits
 
-__all__ = ["Engine", "default_engine", "format_many"]
+__all__ = ["Engine", "default_engine", "format_many", "STAT_KEYS"]
 
 Number = Union[float, int, Flonum]
 
@@ -75,6 +75,17 @@ _DIGIT_CHARS = "0123456789abcdefghijklmnopqrstuvwxyz"
 
 _TWO_P53 = float(1 << 53)
 _INF = float("inf")
+
+#: The exact key set :meth:`Engine.stats` returns, before and after any
+#: :meth:`Engine.reset_stats` and whether or not the read engine has
+#: been built — pinned by a schema test so counter consumers (benches,
+#: dashboards) never ``KeyError`` on a fresh or reset engine.
+STAT_KEYS = frozenset({
+    "tier0_hits", "tier1_hits", "tier1_bailouts", "tier2_calls",
+    "fixed_tier1_hits", "fixed_tier1_bailouts", "fixed_tier2_calls",
+    "fixed_conversions", "cache_hits", "cache_misses", "conversions",
+    "cache_entries",
+}) | READ_STAT_KEYS
 
 
 class Engine:
@@ -105,12 +116,16 @@ class Engine:
         self.tier1 = tier1
         self.fixed_tier1 = fixed_tier1
         self.cache_size = cache_size
-        self._cache: "OrderedDict[tuple, Tuple[int, str]]" = OrderedDict()
+        # Plain dict as LRU: insertion order is the recency order
+        # (hits re-insert, eviction pops the oldest key).  A plain
+        # dict beats OrderedDict measurably on the memo hot paths.
+        self._cache: "Dict[tuple, Tuple[int, str]]" = {}
         # Memo keys are (f, e, ctx) with ctx a small int interning the
         # (format, base, mode, tie) combination — shorter tuples hash
         # measurably faster on the hot path than six-element ones.
         self._ctx_ids: dict = {}
         self._lock = threading.Lock()
+        self._reader: Optional[ReadEngine] = None
         self.reset_stats()
 
     # ------------------------------------------------------------------
@@ -118,7 +133,13 @@ class Engine:
     # ------------------------------------------------------------------
 
     def reset_stats(self) -> None:
-        """Zero every counter (the memo itself is left intact)."""
+        """Zero every counter (the memo itself is left intact).
+
+        The key set of :meth:`stats` is unaffected: read-side counters
+        are zeroed alongside (when the read engine exists) and merged as
+        zeros otherwise, so ``stats()`` always returns exactly
+        :data:`STAT_KEYS`.
+        """
         self._tier0_hits = 0
         self._tier1_hits = 0
         self._tier1_bailouts = 0
@@ -128,6 +149,9 @@ class Engine:
         self._fixed_tier2_calls = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        reader = getattr(self, "_reader", None)
+        if reader is not None:
+            reader.reset_stats()
 
     def stats(self) -> dict:
         """Counters since the last :meth:`reset_stats`.
@@ -142,9 +166,16 @@ class Engine:
         request, however it was resolved); ``fixed_conversions`` (the
         fixed-format subset that missed the memo) and ``cache_entries``
         (current memo population).
+
+        When the read engine has been built (:attr:`reader`), its
+        ``read_*`` counters are merged in; otherwise they appear as
+        zeros.  The key set is always exactly :data:`STAT_KEYS`.
         """
         fixed = self._fixed_tier1_hits + self._fixed_tier2_calls
-        return {
+        reader = self._reader
+        out = (reader.stats() if reader is not None
+               else dict.fromkeys(READ_STAT_KEYS, 0))
+        out.update({
             "tier0_hits": self._tier0_hits,
             "tier1_hits": self._tier1_hits,
             "tier1_bailouts": self._tier1_bailouts,
@@ -158,7 +189,8 @@ class Engine:
             "conversions": (self._tier0_hits + self._tier1_hits
                             + self._tier2_calls + fixed + self._cache_hits),
             "cache_entries": len(self._cache),
-        }
+        })
+        return out
 
     def clear_cache(self) -> None:
         """Drop every memoized result."""
@@ -196,15 +228,9 @@ class Engine:
         tables = tables_for(fmt, base)
         if self.cache_size:
             key = (f, e, self._ctx_id(fmt, base, mode, tie))
-            hit = self._cache.get(key)
+            hit = self._cache_get(key)
             if hit is not None:
-                self._cache_hits += 1
-                try:
-                    self._cache.move_to_end(key)
-                except KeyError:
-                    pass  # lost a race with eviction; the value is good
                 return hit
-            self._cache_misses += 1
         else:
             key = None
         tier1_ok = (self.tier1 and tables.grisu_ok
@@ -214,9 +240,10 @@ class Engine:
                                tier1_ok, v)
         if key is not None:
             with self._lock:
-                self._cache[key] = result
-                if len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+                cache = self._cache
+                cache[key] = result
+                if len(cache) > self.cache_size:
+                    del cache[next(iter(cache))]
         return result
 
     def _convert(self, f: int, e: int, fmt: FloatFormat, base: int,
@@ -273,22 +300,28 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _cache_get(self, key):
-        hit = self._cache.get(key)
-        if hit is not None:
-            self._cache_hits += 1
-            try:
-                self._cache.move_to_end(key)
-            except KeyError:
-                pass  # lost a race with eviction; the value is good
-            return hit
-        self._cache_misses += 1
+        # The whole lookup — get, LRU bump, counters — runs under the
+        # lock: an unlocked recency bump can race a concurrent
+        # eviction and drop or resurrect entries, so every memo read
+        # and mutation is serialized, matching ``pow_cache``'s
+        # discipline.
+        with self._lock:
+            cache = self._cache
+            hit = cache.get(key)
+            if hit is not None:
+                self._cache_hits += 1
+                del cache[key]
+                cache[key] = hit
+                return hit
+            self._cache_misses += 1
         return None
 
     def _cache_put(self, key, value) -> None:
         with self._lock:
-            self._cache[key] = value
-            if len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+            cache = self._cache
+            cache[key] = value
+            if len(cache) > self.cache_size:
+                del cache[next(iter(cache))]
 
     @staticmethod
     def _fixed_args(position, ndigits):
@@ -518,6 +551,7 @@ class Engine:
                               and mirrored in _TIER1_MODES)
         cache = self._cache if self.cache_size else None
         cache_size = self.cache_size
+        lock = self._lock
         ctx_pos = self._ctx_id(fmt, 10, mode, tie)
         ctx_neg = self._ctx_id(fmt, 10, mirrored, tie)
         out: List[str] = []
@@ -560,15 +594,14 @@ class Engine:
             kb = None
             if cache is not None:
                 key = (f, e, ctx)
-                kb = cache.get(key)
-                if kb is not None:
-                    self._cache_hits += 1
-                    try:
-                        cache.move_to_end(key)
-                    except KeyError:
-                        pass  # raced an eviction; the value is good
-                else:
-                    self._cache_misses += 1
+                with lock:
+                    kb = cache.get(key)
+                    if kb is not None:
+                        self._cache_hits += 1
+                        del cache[key]
+                        cache[key] = kb
+                    else:
+                        self._cache_misses += 1
             if kb is None:
                 # Pre-filter: tier 0 only ever accepts values with
                 # e >= -76 (integers and short exact decimals); skip
@@ -605,9 +638,10 @@ class Engine:
                         kb = (res.k, "".join(_DIGIT_CHARS[d]
                                              for d in res.digits))
                 if cache is not None:
-                    cache[key] = kb
-                    if len(cache) > cache_size:
-                        cache.popitem(last=False)
+                    with lock:
+                        cache[key] = kb
+                        if len(cache) > cache_size:
+                            del cache[next(iter(cache))]
             k, body = kb
             # --- render (inline of render_shortest_parts: auto style,
             #     exp window (-4, 16], exp_char 'e', no grouping) ---
@@ -627,6 +661,54 @@ class Engine:
                 else:
                     append(sign + body[0] + "e" + str(k - 1))
         return out
+
+    # ------------------------------------------------------------------
+    # The read side (decimal→binary through the tiered read engine)
+    # ------------------------------------------------------------------
+
+    @property
+    def reader(self) -> ReadEngine:
+        """This engine's :class:`~repro.engine.reader.ReadEngine`,
+        built lazily on first use.
+
+        The read engine shares this engine's memo and lock (text keys
+        cannot collide with the write side's integer keys, so one LRU
+        budget serves both directions) and its ``read_*`` counters are
+        merged into :meth:`stats` / zeroed by :meth:`reset_stats`.
+        """
+        r = self._reader
+        if r is None:
+            with self._lock:
+                r = self._reader
+                if r is None:
+                    r = ReadEngine(
+                        cache_size=self.cache_size,
+                        _shared_cache=self._cache if self.cache_size
+                        else None,
+                        _shared_lock=self._lock)
+                    self._reader = r
+        return r
+
+    def read(self, text: str, fmt: FloatFormat = BINARY64,
+             mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> Flonum:
+        """Correctly rounded value of a decimal literal — drop-in for
+        :func:`repro.reader.exact.read_decimal`, routed through the
+        tiered read engine."""
+        return self.reader.read(text, fmt, mode)
+
+    def read_result(self, text: str, fmt: FloatFormat = BINARY64,
+                    mode: ReaderMode = ReaderMode.NEAREST_EVEN
+                    ) -> ReadResult:
+        """Like :meth:`read` but returning the
+        :class:`~repro.engine.reader.ReadResult` (value + tier)."""
+        return self.reader.read_result(text, fmt, mode)
+
+    def read_many(self, texts: Iterable[str], fmt: FloatFormat = BINARY64,
+                  mode: ReaderMode = ReaderMode.NEAREST_EVEN
+                  ) -> List[Flonum]:
+        """Batch reads through the read engine (see
+        :meth:`ReadEngine.read_many`)."""
+        return self.reader.read_many(texts, fmt, mode)
 
 
 _default_engine: Optional[Engine] = None

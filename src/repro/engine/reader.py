@@ -1,0 +1,639 @@
+"""The tiered read engine: decimal→binary mirroring :class:`Engine`.
+
+The paper's guarantee is a round trip — the shortest output must *read
+back* to the same flonum — so the reader deserves the same treatment as
+the printer: route each literal to the cheapest algorithm that can
+certify the correctly rounded result, and fall back to the exact
+big-integer path only when certification fails.
+
+Tiers, tried in order for finite nonzero literals:
+
+* a bounded LRU memo of recent conversions, shared with the write
+  engine's memo when the :class:`ReadEngine` is obtained through
+  :attr:`Engine.reader` (text keys cannot collide with the write side's
+  integer keys);
+* **Tier 0** — Clinger's Bellerophon exact-power window, generalized
+  beyond binary64: when the significand fits the format and ``|q|`` is
+  inside the per-format window where ``10**q`` is exactly representable
+  (:attr:`FormatTables.read_max_pow10` — 22 for binary64, 10 for
+  binary32, 4 for binary16), one small exact multiply/divide settles the
+  conversion.  For binary64 the multiply is a single host-float
+  operation (IEEE guarantees it correctly rounded); other formats use
+  the same arithmetic over machine-word integers.  Decimal-magnitude
+  clamps (:attr:`read_inf_exp10` / :attr:`read_zero_exp10`) settle
+  overflowing and vanishing exponents here too, without constructing
+  ``10**|q|``.
+* **Tier 1** — a truncated/interval path in the Eisel–Lemire style
+  (Mushtak & Lemire, *Fast Number Parsing Without Fallback*): keep the
+  first 19 significant digits plus a sticky flag
+  (:func:`repro.reader.truncated.truncate_significand`), bracket the
+  value with the correctly rounded 64-bit power of ten
+  (:func:`repro.fastpath.diyfp._pow10_diyfp`), and round both exact
+  interval endpoints to the format.  When they agree, monotonicity of
+  rounding certifies the result; otherwise the tier bails.
+* **Tier 2** — the exact :func:`repro.reader.exact.round_rational`
+  (always correct, never declines), fed the *untruncated* significand.
+
+The fast tiers run only for base-10 literals into radix-2 formats with
+``precision <= READ_MAX_PRECISION`` under the two nearest reader modes
+(``NEAREST_EVEN``/``NEAREST_UNKNOWN``, which read identically); every
+other request goes straight to tier 2.  Negative values are converted by
+magnitude with the sign applied at the end — for nearest modes the
+magnitude rounding is the mirrored rounding, exactly as on the write
+side.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from math import frexp as _frexp
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.core.rounding import ReaderMode
+from repro.errors import RangeError
+from repro.fastpath.diyfp import _pow10_diyfp
+from repro.floats.formats import BINARY64, FloatFormat
+from repro.floats.model import Flonum
+from repro.reader.bellerophon import _MAX_EXACT_POW10, _MAX_SHIFT, _try_fast
+from repro.reader.exact import round_rational
+from repro.reader.parse import ParsedNumber, _scan_decimal, parse_decimal
+from repro.reader.truncated import truncate_significand
+
+from repro.engine.tables import FormatTables, tables_for
+
+__all__ = ["ReadEngine", "ReadResult", "default_read_engine", "read_many",
+           "READ_STAT_KEYS", "READ_TRUNCATION_DIGITS"]
+
+#: Modes the fast tiers serve (they read identically; every other mode
+#: routes straight to the exact tier, which handles all of them).
+_NEAREST = (ReaderMode.NEAREST_EVEN, ReaderMode.NEAREST_UNKNOWN)
+
+#: Significant digits the interval tier keeps: 19 is the most that
+#: always fits a 64-bit word, so the endpoint products stay at two
+#: machine words.
+READ_TRUNCATION_DIGITS = 19
+
+#: Longest literal worth memoizing.  Shortest binary64 output is <= 24
+#: characters; anything much longer is either machine-generated noise
+#: (unlikely to repeat) or adversarial, and keying the memo on it would
+#: let one hostile input pin megabytes.
+_MEMO_TEXT_LIMIT = 48
+
+#: Sentinel returned by :func:`_round_nearest` when the rounded value
+#: exceeds the format's finite range (IEEE nearest overflow → infinity).
+_OVERFLOW = object()
+
+#: 10**0 .. 10**20, for branch-free decimal digit counting.
+_POW10 = tuple(10 ** k for k in range(21))
+
+#: First integer with more than READ_TRUNCATION_DIGITS decimal digits.
+_TRUNCATION_LIMIT = 10 ** READ_TRUNCATION_DIGITS
+
+#: Exponent window of the binary64 host-float fast multiply
+#: (:func:`repro.reader.bellerophon._try_fast`): exact powers of ten up
+#: to 10**22, plus Clinger's digit-shift extension above.
+_HOST_POW10_MIN = -_MAX_EXACT_POW10
+_HOST_POW10_MAX = _MAX_EXACT_POW10 + _MAX_SHIFT
+
+#: Flat cache of ``(2*Pf, pe - 1, exact)`` per decimal exponent — the
+#: tier-1 working form of :func:`_pow10_diyfp`'s result, precomputed so
+#: the hot loop skips the DiyFp attribute traffic.
+_POW10_PARTS: dict = {}
+
+
+def _pow10_parts(q: int) -> tuple:
+    parts = _POW10_PARTS.get(q)
+    if parts is None:
+        power, exact = _pow10_diyfp(q)
+        parts = _POW10_PARTS[q] = (power.f << 1, power.e - 1, exact)
+    return parts
+
+
+def _decimal_digits(d: int) -> int:
+    """Number of decimal digits of ``d`` (positive, < 10**20).
+
+    ``len(str(d))`` without the string: estimate from the bit length
+    (30103/100000 over-approximates log10(2) by < 3e-7, so the estimate
+    is ``floor(log10 d)`` or one more) and correct with one comparison.
+    """
+    est = d.bit_length() * 30103 // 100000
+    return est + 1 if d >= _POW10[est] else est
+
+#: The exact counter key set :meth:`ReadEngine.stats` returns — pinned
+#: so :meth:`Engine.stats` can merge a zeroed copy before the reader is
+#: ever built and schema tests can assert nothing drifts.
+READ_STAT_KEYS = frozenset({
+    "read_tier0_hits", "read_tier1_hits", "read_tier1_bailouts",
+    "read_tier2_calls", "read_specials", "read_cache_hits",
+    "read_cache_misses", "read_conversions",
+})
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """A conversion plus which tier resolved it (for attribution)."""
+
+    value: Flonum
+    tier: str  # 'tier0' | 'tier1' | 'tier2' | 'special' | 'memo'
+
+
+def _round_nearest(n: int, e2: int, sticky: bool, min_e: int, max_e: int,
+                   prec: int, mantissa_limit: int):
+    """Round the positive value ``n * 2**e2`` (+ sticky tail) to a format.
+
+    ``sticky`` asserts the true value lies strictly inside
+    ``(n, n + 1) * 2**e2``; rounding is IEEE nearest-even with denormal
+    clamping.  Returns ``(f, t)`` (``f == 0`` means zero), the module
+    :data:`_OVERFLOW` sentinel past the finite range, or ``None`` when a
+    sticky tail cannot be absorbed (the kept bits are all significant —
+    only reachable defensively; the tiers size their operands so the cut
+    is at least one bit).
+    """
+    nb = n.bit_length()
+    t = nb + e2 - prec
+    if t < min_e:
+        t = min_e
+    shift = t - e2
+    if shift <= 0:
+        if sticky:
+            return None
+        f = n << -shift
+    else:
+        half = 1 << (shift - 1)
+        cut = n & ((1 << shift) - 1)
+        f = n >> shift
+        if cut > half or (cut == half and (sticky or f & 1)):
+            f += 1
+            if f == mantissa_limit:
+                f >>= 1
+                t += 1
+    if t > max_e:
+        return _OVERFLOW
+    return f, t
+
+
+class ReadEngine:
+    """A tiered correctly rounding reader with per-format tables.
+
+    Instances are cheap; the per-format exact-power tables are shared
+    process-wide through :func:`repro.engine.tables.tables_for`.  Each
+    engine owns its statistics; the result memo is private by default
+    but can be shared (``Engine.reader`` hands its own memo and lock in,
+    so read and write conversions compete for one LRU budget).
+
+    Args:
+        tier0: Enable the exact-power fast path (and the magnitude
+            clamps that ride on its tables).
+        tier1: Enable the truncated/interval path.
+        cache_size: Max entries in the result memo (0 disables it).
+    """
+
+    def __init__(self, tier0: bool = True, tier1: bool = True,
+                 cache_size: int = 8192,
+                 _shared_cache: Optional[dict] = None,
+                 _shared_lock: Optional[threading.Lock] = None):
+        if cache_size < 0:
+            raise RangeError("cache_size must be >= 0")
+        self.tier0 = tier0
+        self.tier1 = tier1
+        self.cache_size = cache_size
+        # Plain dict as LRU, insertion order = recency order (see
+        # ``Engine._cache_get``); shared with the write engine's memo
+        # when handed in through ``Engine.reader``.
+        self._cache: dict = (
+            _shared_cache if _shared_cache is not None else {})
+        self._contexts: dict = {}
+        self._lock = _shared_lock if _shared_lock is not None \
+            else threading.Lock()
+        self.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero every counter (the memo itself is left intact)."""
+        self._tier0_hits = 0
+        self._tier1_hits = 0
+        self._tier1_bailouts = 0
+        self._tier2_calls = 0
+        self._specials = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def stats(self) -> dict:
+        """Counters since the last :meth:`reset_stats`.
+
+        Keys are exactly :data:`READ_STAT_KEYS`: ``read_tier0_hits``
+        (exact-power window and magnitude clamps), ``read_tier1_hits`` /
+        ``read_tier1_bailouts`` (the interval tier),
+        ``read_tier2_calls`` (exact fallback), ``read_specials``
+        (nan/inf/zero literals), ``read_cache_hits`` /
+        ``read_cache_misses`` (the memo) and ``read_conversions``
+        (every read, however resolved).
+        """
+        return {
+            "read_tier0_hits": self._tier0_hits,
+            "read_tier1_hits": self._tier1_hits,
+            "read_tier1_bailouts": self._tier1_bailouts,
+            "read_tier2_calls": self._tier2_calls,
+            "read_specials": self._specials,
+            "read_cache_hits": self._cache_hits,
+            "read_cache_misses": self._cache_misses,
+            "read_conversions": (self._tier0_hits + self._tier1_hits
+                                 + self._tier2_calls + self._specials
+                                 + self._cache_hits),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every memoized result (including the write engine's
+        entries when the memo is shared through ``Engine.reader``)."""
+        with self._lock:
+            self._cache.clear()
+
+    def _context(self, fmt: FloatFormat, mode: ReaderMode) -> tuple:
+        """Intern one read context: ``(ctx_id, tables)``.
+
+        The small-int ``ctx_id`` (never recycled) keys the memo; the
+        :class:`FormatTables` ride along so the hot paths resolve them
+        with one dict probe instead of one per conversion.
+        """
+        key = (id(fmt), mode)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            with self._lock:
+                ctx = self._contexts.get(key)
+                if ctx is None:
+                    ctx = (len(self._contexts), tables_for(fmt, 10))
+                    self._contexts[key] = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    # The tiers
+    # ------------------------------------------------------------------
+
+    def _tier0(self, d: int, q: int, sign: int, tables: FormatTables,
+               fmt: FloatFormat) -> Optional[Flonum]:
+        """Exact-power window over exact integers: the signed result, or
+        None.
+
+        Requires the significand representable (``d < mantissa_limit``,
+        checked by the caller) and ``|q|`` inside the window where
+        ``10**q = 2**q * 5**q`` is exact in the format
+        (:attr:`FormatTables.read_max_pow10`).  Inside it, one multiply
+        (``q >= 0``) or one division with sticky remainder (``q < 0``)
+        settles the conversion.  Serves the non-binary64 formats; for
+        binary64 :meth:`_convert` uses the host-float multiply
+        (:func:`repro.reader.bellerophon._try_fast`) directly.
+        """
+        w = tables.read_max_pow10
+        if q < -w or q > w:
+            return None
+        prec = fmt.precision
+        if q >= 0:
+            r = _round_nearest(d * tables.read_pow5[q], q, False,
+                               tables.min_e, tables.max_e, prec,
+                               tables.mantissa_limit)
+        else:
+            den5 = tables.read_pow5[-q]
+            # Scale so the quotient keeps >= prec + 2 bits: rounding then
+            # always cuts at least one bit and the sticky remainder is
+            # decisive.
+            a = prec + 2 + den5.bit_length() - d.bit_length()
+            if a < 0:
+                a = 0
+            quo, rem = divmod(d << a, den5)
+            r = _round_nearest(quo, q - a, rem != 0, tables.min_e,
+                               tables.max_e, prec, tables.mantissa_limit)
+        if r is None:  # pragma: no cover - operands are sized above
+            return None
+        if r is _OVERFLOW:
+            return Flonum.infinity(fmt, sign)
+        f, t = r
+        if f == 0:  # pragma: no cover - window floor is far above zero
+            return Flonum.zero(fmt, sign)
+        return Flonum._finite_trusted(sign, f, t, fmt)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def _convert(self, sign: int, d: int, q: int, fmt: FloatFormat,
+                 mode: ReaderMode, tables: FormatTables
+                 ) -> Tuple[Flonum, str]:
+        """Route one finite literal ``(-1)**sign * d * 10**q`` through
+        the tiers: ``(value, tier)``.
+
+        The engine's hot core — every public entry point (and the memo)
+        funnels here with the format tables already resolved, and tier 1
+        is inlined rather than factored out: at a few microseconds per
+        conversion, call and attribute overhead is the budget.
+
+        Tier 1 is the interval certification: ``d * 10**q`` (with at
+        most ``d + 1`` when truncation left a sticky tail) is bracketed
+        using the correctly rounded 64-bit power
+        ``10**q = (Pf ± 1/2 ulp) * 2**pe``:
+
+        ``value ∈ [lo, lo + w] * 2**(pe - 1)`` with
+        ``lo = d*(2*Pf - u)`` and width ``w = 2*d*u`` (plus
+        ``2*Pf + u`` when sticky), ``u = 0`` iff the power is exact.
+        Only ``lo`` is formed as a big product — the width follows
+        arithmetically.  When the cut-off bits of ``lo`` plus ``w``
+        stay strictly on one side of the rounding midpoint, every value
+        in the interval rounds identically (no tie is reachable) and
+        the tier accepts with a single rounding; otherwise both
+        endpoints are rounded exactly and the tier accepts iff they
+        agree — rounding is monotone, so the true value in between
+        rounds to the same float.  Everything else (the value is
+        provably within one part in ~10^19 of a rounding boundary)
+        bails to the exact tier.
+        """
+        if d == 0:
+            self._specials += 1
+            return Flonum.zero(fmt, sign), "special"
+        if ((self.tier0 or self.tier1) and tables.read_fast_ok
+                and (mode is ReaderMode.NEAREST_EVEN
+                     or mode is ReaderMode.NEAREST_UNKNOWN)):
+            if d < _TRUNCATION_LIMIT:
+                d19 = d
+                q19 = q
+                sticky = False
+                est = d.bit_length() * 30103 // 100000
+                mag = q + (est + 1 if d >= _POW10[est] else est)
+            else:
+                d19, q19, sticky = truncate_significand(
+                    d, q, READ_TRUNCATION_DIGITS)
+                # Truncation keeps exactly 19 significant digits.
+                mag = q19 + READ_TRUNCATION_DIGITS
+            # Decimal magnitude: value ∈ [10**(mag-1), 10**mag).
+            if mag - 1 >= tables.read_inf_exp10:
+                self._tier0_hits += 1
+                return Flonum.infinity(fmt, sign), "tier0"
+            if mag <= tables.read_zero_exp10:
+                self._tier0_hits += 1
+                return Flonum.zero(fmt, sign), "tier0"
+            mantissa_limit = tables.mantissa_limit
+            if self.tier0 and not sticky and d19 < mantissa_limit:
+                if tables.read_host_float:
+                    # One host-float multiply, correctly rounded by IEEE;
+                    # the window gate saves the call when it cannot apply.
+                    if _HOST_POW10_MIN <= q19 <= _HOST_POW10_MAX:
+                        fast = _try_fast(d19, q19)
+                        if fast is not None:
+                            self._tier0_hits += 1
+                            # The fast product is a normal binary64
+                            # (magnitude within [1e-22, ~1e39]), so the
+                            # frexp mantissa scaled to 53 bits is already
+                            # the canonical (f, e) — no decompose needed.
+                            m, ex = _frexp(fast)
+                            return (Flonum._finite_trusted(
+                                sign, int(m * 9007199254740992.0),
+                                ex - 53, fmt), "tier0")
+                else:
+                    v = self._tier0(d19, q19, sign, tables, fmt)
+                    if v is not None:
+                        self._tier0_hits += 1
+                        return v, "tier0"
+            if self.tier1:
+                parts = _POW10_PARTS.get(q19)
+                if parts is None:
+                    parts = _pow10_parts(q19)
+                pf2, e2, exact = parts
+                min_e = tables.min_e
+                max_e = tables.max_e
+                prec = tables.precision
+                if exact:
+                    lo = d19 * pf2
+                    w = (pf2 if sticky else 0)
+                else:
+                    lo = d19 * (pf2 - 1)
+                    w = (d19 << 1) + (pf2 + 1 if sticky else 0)
+                t = lo.bit_length() + e2 - prec
+                if t < min_e:
+                    t = min_e
+                shift = t - e2
+                if shift > 0:
+                    half = 1 << (shift - 1)
+                    cut = lo & ((half << 1) - 1)
+                    cw = cut + w
+                    f = lo >> shift
+                    if cw < half:
+                        pass  # whole interval rounds down, tie-free
+                    elif cut > half and cw < (half << 1):
+                        f += 1  # whole interval rounds up, tie-free
+                        if f == mantissa_limit:
+                            f >>= 1
+                            t += 1
+                    else:
+                        f = -1  # a boundary is inside: certify exactly
+                    if f >= 0:
+                        self._tier1_hits += 1
+                        if t > max_e:
+                            return Flonum.infinity(fmt, sign), "tier1"
+                        if f == 0:
+                            return Flonum.zero(fmt, sign), "tier1"
+                        return (Flonum._finite_trusted(sign, f, t, fmt),
+                                "tier1")
+                if shift <= 0 or f < 0:
+                    r = _round_nearest(lo, e2, False, min_e, max_e, prec,
+                                       mantissa_limit)
+                    if w and r != _round_nearest(lo + w, e2, False, min_e,
+                                                 max_e, prec,
+                                                 mantissa_limit):
+                        r = None
+                    if r is not None:
+                        self._tier1_hits += 1
+                        if r is _OVERFLOW:
+                            return Flonum.infinity(fmt, sign), "tier1"
+                        f, t = r
+                        if f == 0:
+                            return Flonum.zero(fmt, sign), "tier1"
+                        return (Flonum._finite_trusted(sign, f, t, fmt),
+                                "tier1")
+                    self._tier1_bailouts += 1
+        self._tier2_calls += 1
+        num, den = (d * 10**q, 1) if q >= 0 else (d, 10**-q)
+        value = round_rational(num, den, fmt, mode, negative=bool(sign))
+        return value, "tier2"
+
+    def _convert_parsed(self, parsed: ParsedNumber, fmt: FloatFormat,
+                        mode: ReaderMode, tables: FormatTables
+                        ) -> Tuple[Flonum, str]:
+        """:meth:`_convert` with the special literals peeled off."""
+        special = parsed.special
+        if special is not None:
+            self._specials += 1
+            if special == "nan":
+                return Flonum.nan(fmt), "special"
+            return Flonum.infinity(fmt, parsed.sign), "special"
+        return self._convert(parsed.sign, parsed.digits, parsed.exponent,
+                             fmt, mode, tables)
+
+    def read_parsed(self, parsed: ParsedNumber, fmt: FloatFormat = BINARY64,
+                    mode: ReaderMode = ReaderMode.NEAREST_EVEN
+                    ) -> ReadResult:
+        """Route one already-parsed literal through the tiers."""
+        value, tier = self._convert_parsed(parsed, fmt, mode,
+                                           self._context(fmt, mode)[1])
+        return ReadResult(value, tier)
+
+    def read_result(self, text: str, fmt: FloatFormat = BINARY64,
+                    mode: ReaderMode = ReaderMode.NEAREST_EVEN
+                    ) -> ReadResult:
+        """Correctly rounded value of a literal, with tier attribution.
+
+        Semantics identical to :func:`repro.reader.exact.read_decimal`
+        (specials, ``#`` marks, :class:`ParseError` on malformed input);
+        only the evaluation strategy differs.
+        """
+        s = text.strip()
+        ctx_id, tables = self._context(fmt, mode)
+        key = None
+        if self.cache_size and len(s) <= _MEMO_TEXT_LIMIT:
+            key = (s, ctx_id)
+            with self._lock:
+                cache = self._cache
+                hit = cache.get(key)
+                if hit is not None:
+                    self._cache_hits += 1
+                    del cache[key]
+                    cache[key] = hit
+                else:
+                    self._cache_misses += 1
+            if hit is not None:
+                return ReadResult(hit[0], "memo")
+        scanned = _scan_decimal(s)
+        if scanned is not None:
+            value, tier = self._convert(scanned[0], scanned[1], scanned[2],
+                                        fmt, mode, tables)
+        else:
+            value, tier = self._convert_parsed(parse_decimal(s), fmt, mode,
+                                               tables)
+        if key is not None:
+            with self._lock:
+                cache = self._cache
+                cache[key] = (value, tier)
+                if len(cache) > self.cache_size:
+                    del cache[next(iter(cache))]
+        return ReadResult(value, tier)
+
+    def read(self, text: str, fmt: FloatFormat = BINARY64,
+             mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> Flonum:
+        """Correctly rounded value of one literal — drop-in for
+        :func:`repro.reader.exact.read_decimal`."""
+        s = text.strip()
+        ctx_id, tables = self._context(fmt, mode)
+        key = None
+        if self.cache_size and len(s) <= _MEMO_TEXT_LIMIT:
+            key = (s, ctx_id)
+            with self._lock:
+                cache = self._cache
+                hit = cache.get(key)
+                if hit is not None:
+                    self._cache_hits += 1
+                    del cache[key]
+                    cache[key] = hit
+                else:
+                    self._cache_misses += 1
+            if hit is not None:
+                return hit[0]
+        scanned = _scan_decimal(s)
+        if scanned is not None:
+            value, tier = self._convert(scanned[0], scanned[1], scanned[2],
+                                        fmt, mode, tables)
+        else:
+            value, tier = self._convert_parsed(parse_decimal(s), fmt, mode,
+                                               tables)
+        if key is not None:
+            with self._lock:
+                cache = self._cache
+                cache[key] = (value, tier)
+                if len(cache) > self.cache_size:
+                    del cache[next(iter(cache))]
+        return value
+
+    def read_many(self, texts: Iterable[str], fmt: FloatFormat = BINARY64,
+                  mode: ReaderMode = ReaderMode.NEAREST_EVEN
+                  ) -> List[Flonum]:
+        """Batch reads, amortizing per-call overhead.
+
+        Semantically ``[self.read(t, fmt, mode) for t in texts]``, but
+        the memo is probed for the whole batch under one lock
+        acquisition, misses are converted outside the lock, and the new
+        entries are installed under one more — thousands of reads cost
+        two lock round-trips instead of two each.
+        """
+        stripped = [t.strip() for t in texts]
+        ctx_id, tables = self._context(fmt, mode)
+        out: List[Optional[Flonum]] = [None] * len(stripped)
+        misses: List[int] = []
+        push = misses.append
+        if self.cache_size and self._cache:
+            hits = 0
+            cache = self._cache
+            get = cache.get
+            with self._lock:
+                for i, s in enumerate(stripped):
+                    if len(s) <= _MEMO_TEXT_LIMIT:
+                        key = (s, ctx_id)
+                        hit = get(key)
+                        if hit is not None:
+                            out[i] = hit[0]
+                            del cache[key]
+                            cache[key] = hit
+                            hits += 1
+                            continue
+                    push(i)
+                self._cache_hits += hits
+        else:
+            misses = range(len(stripped))  # type: ignore[assignment]
+        convert = self._convert
+        scan = _scan_decimal
+        fresh = []
+        memoize = fresh.append
+        memo_on = bool(self.cache_size)
+        new_misses = 0
+        for i in misses:
+            s = stripped[i]
+            scanned = scan(s)
+            if scanned is not None:
+                value, tier = convert(scanned[0], scanned[1], scanned[2],
+                                      fmt, mode, tables)
+            else:
+                value, tier = self._convert_parsed(parse_decimal(s), fmt,
+                                                   mode, tables)
+            out[i] = value
+            if memo_on and len(s) <= _MEMO_TEXT_LIMIT:
+                new_misses += 1
+                memoize((s, value, tier))
+        if fresh:
+            self._cache_misses += new_misses
+            size = self.cache_size
+            if len(fresh) > size:
+                # A batch larger than the memo: sequential reads would
+                # have evicted everything but the tail anyway, so
+                # installing the head is pure churn — skip it.
+                del fresh[:-size]
+            cache = self._cache
+            with self._lock:
+                for s, value, tier in fresh:
+                    cache[(s, ctx_id)] = (value, tier)
+                while len(cache) > size:
+                    del cache[next(iter(cache))]
+        return out  # type: ignore[return-value]
+
+
+def default_read_engine() -> ReadEngine:
+    """The process-wide read engine: the default write engine's
+    :attr:`~repro.engine.engine.Engine.reader` (shared memo, merged
+    stats)."""
+    from repro.engine.engine import default_engine
+
+    return default_engine().reader
+
+
+def read_many(texts: Iterable[str], fmt: FloatFormat = BINARY64,
+              mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> List[Flonum]:
+    """Batch reads through the default read engine."""
+    return default_read_engine().read_many(texts, fmt, mode)

@@ -31,7 +31,7 @@ from repro.core.boundaries import ScaledValue
 from repro.core.scaling import FIXUP_EPSILON, _too_high, _too_low
 from repro.errors import RangeError
 from repro.fastpath.diyfp import cached_power_for_binary_exponent
-from repro.floats.formats import FloatFormat
+from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
 
 __all__ = ["FormatTables", "tables_for", "clear_tables"]
@@ -40,14 +40,45 @@ __all__ = ["FormatTables", "tables_for", "clear_tables"]
 #: :func:`repro.fastpath.grisu.grisu_shortest`).
 GRISU_MAX_PRECISION = 62
 
+#: Widest significand the read engine's fast tiers serve.  The interval
+#: tier rounds ~128-bit products down to ``precision + 2`` bits, so any
+#: precision below the product width works; capped to match the write
+#: side's Grisu limit for symmetry (binary128 and x87-80 read exactly).
+READ_MAX_PRECISION = GRISU_MAX_PRECISION
+
+
+def _pow10_ge(a: int, m: int, b: int) -> bool:
+    """Exact ``10**a >= m * 2**b`` for positive integer ``m``."""
+    lhs, rhs = 1, m
+    if a >= 0:
+        lhs *= 10**a
+    else:
+        rhs *= 10**-a
+    if b >= 0:
+        rhs <<= b
+    else:
+        lhs <<= -b
+    return lhs >= rhs
+
+
+def _le_pow10(a: int, b: int) -> bool:
+    """Exact ``10**a <= 2**b``."""
+    if a >= 0:
+        return b >= 0 and 10**a <= 1 << b
+    if b >= 0:
+        return True  # 10**a < 1 <= 2**b
+    return (1 << -b) <= 10**-a
+
 
 class FormatTables:
     """Immutable precomputed state for one ``(FloatFormat, base)`` pair."""
 
     __slots__ = (
         "fmt", "base", "ratio", "hidden_limit", "min_e", "max_e",
-        "mantissa_limit", "radix", "powers", "power_limit",
+        "mantissa_limit", "precision", "radix", "powers", "power_limit",
         "grisu_ok", "grisu_powers", "grisu_e_min",
+        "read_fast_ok", "read_host_float", "read_max_pow10", "read_pow5",
+        "read_inf_exp10", "read_zero_exp10",
     )
 
     def __init__(self, fmt: FloatFormat, base: int):
@@ -59,6 +90,7 @@ class FormatTables:
         self.ratio = log_ratio(fmt.radix, base)
         self.hidden_limit = fmt.hidden_limit
         self.mantissa_limit = fmt.mantissa_limit
+        self.precision = fmt.precision
         self.min_e = fmt.min_e
         self.max_e = fmt.max_e
         # Largest |k| the estimator can produce for this format: the
@@ -80,6 +112,57 @@ class FormatTables:
             self.grisu_e_min, self.grisu_powers = self._build_grisu_powers()
         else:
             self.grisu_e_min, self.grisu_powers = 0, []
+        # Read-engine eligibility and its per-format exact-power state.
+        self.read_fast_ok = (base == 10 and fmt.radix == 2
+                             and fmt.precision <= READ_MAX_PRECISION)
+        self.read_host_float = False
+        self.read_max_pow10 = 0
+        self.read_pow5: List[int] = [1]
+        self.read_inf_exp10 = 0
+        self.read_zero_exp10 = 0
+        if self.read_fast_ok:
+            self._build_read_tables()
+
+    def _build_read_tables(self) -> None:
+        """Exact-power tables and decimal-magnitude clamps for reading.
+
+        ``read_max_pow10`` is the largest ``k`` with ``5**k`` (hence
+        ``10**k = 2**k * 5**k``) exactly representable in ``precision``
+        bits — Clinger's exact-power window, generalized per format (22
+        for binary64, 10 for binary32, 4 for binary16).  ``read_pow5``
+        holds ``5**0 .. 5**read_max_pow10``.
+
+        ``read_inf_exp10`` is the smallest ``I`` such that any value
+        ``>= 10**I`` rounds to infinity under round-to-nearest (at or
+        above the overflow midpoint ``(2**(p+1) - 1) * 2**(max_e - 1)``);
+        ``read_zero_exp10`` the largest ``Z`` such that any value
+        ``<= 10**Z`` rounds to zero (at or below half the smallest
+        denormal, ``2**(min_e - 1)``).  Both are certified by exact
+        integer comparison at build time, so the read engine can settle
+        extreme exponents without constructing ``10**|q|``.
+        """
+        fmt = self.fmt
+        self.read_host_float = fmt is BINARY64 or fmt == BINARY64
+        pow5, acc = [1], 1
+        while acc * 5 < self.mantissa_limit:
+            acc *= 5
+            pow5.append(acc)
+        self.read_max_pow10 = len(pow5) - 1
+        self.read_pow5 = pow5
+        p, max_e, min_e = fmt.precision, self.max_e, self.min_e
+        mid_f, mid_e = (1 << (p + 1)) - 1, max_e - 1
+        i = math.ceil(math.log10(mid_f) + mid_e * math.log10(2.0))
+        while _pow10_ge(i - 1, mid_f, mid_e):
+            i -= 1
+        while not _pow10_ge(i, mid_f, mid_e):
+            i += 1
+        self.read_inf_exp10 = i
+        z = math.floor((min_e - 1) * math.log10(2.0))
+        while not _le_pow10(z, min_e - 1):
+            z -= 1
+        while _le_pow10(z + 1, min_e - 1):
+            z += 1
+        self.read_zero_exp10 = z
 
     def _build_grisu_powers(self) -> Tuple[int, List[Tuple[int, int, int]]]:
         """``(cf, ce, mk)`` for every normalized binary exponent.

@@ -93,6 +93,25 @@ class Flonum:
         return cls(FlonumKind.FINITE, sign, f, e, fmt)
 
     @classmethod
+    def _finite_trusted(cls, sign: int, f: int, e: int,
+                        fmt: FloatFormat) -> "Flonum":
+        """A finite value from components already proven canonical.
+
+        Validation-free twin of :meth:`finite` for the conversion
+        engine's hot paths, where the rounding routines clamp ``(f, e)``
+        into the canonical range by construction and the validating
+        constructor would dominate the conversion cost.  Every other
+        caller should use :meth:`finite`.
+        """
+        self = _new_flonum(cls)
+        _set_kind(self, FlonumKind.FINITE)
+        _set_sign(self, sign)
+        _set_f(self, f)
+        _set_e(self, e)
+        _set_fmt(self, fmt)
+        return self
+
+    @classmethod
     def from_raw(cls, sign: int, f: int, e: int, fmt: FloatFormat) -> "Flonum":
         """A finite value from *non-canonical* components.
 
@@ -357,3 +376,14 @@ class Flonum:
         for e in range(fmt.min_e, fmt.max_e + 1):
             for f in range(fmt.hidden_limit, fmt.mantissa_limit):
                 yield cls.finite(0, f, e, fmt)
+
+
+#: Bound slot descriptors for :meth:`Flonum._finite_trusted` — writing
+#: through them skips the ``object.__setattr__`` lookup machinery, which
+#: is measurable at the conversion engine's per-read budget.
+_new_flonum = object.__new__
+_set_kind = Flonum.kind.__set__  # type: ignore[attr-defined]
+_set_sign = Flonum.sign.__set__  # type: ignore[attr-defined]
+_set_f = Flonum.f.__set__  # type: ignore[attr-defined]
+_set_e = Flonum.e.__set__  # type: ignore[attr-defined]
+_set_fmt = Flonum.fmt.__set__  # type: ignore[attr-defined]

@@ -19,14 +19,49 @@ from repro.reader.exact import (
     round_rational,
 )
 from repro.reader.parse import ParsedNumber, parse_decimal
-from repro.reader.truncated import TRUNCATION_DIGITS, read_decimal_truncated
+from repro.reader.truncated import (
+    TRUNCATION_DIGITS,
+    read_decimal_truncated,
+    truncate_significand,
+)
+
+
+def read(text, fmt=None, mode=None):
+    """Correctly rounded value of a literal through the shared tiered
+    read engine (:func:`repro.engine.reader.default_read_engine`) —
+    same semantics as :func:`read_decimal`, typically much faster.
+
+    Imported lazily so this package stays usable without the engine.
+    """
+    from repro.core.rounding import ReaderMode
+    from repro.engine.reader import default_read_engine
+    from repro.floats.formats import BINARY64
+
+    return default_read_engine().read(
+        text, fmt if fmt is not None else BINARY64,
+        mode if mode is not None else ReaderMode.NEAREST_EVEN)
+
+
+def read_many(texts, fmt=None, mode=None):
+    """Batch :func:`read` through the shared tiered read engine."""
+    from repro.core.rounding import ReaderMode
+    from repro.engine.reader import default_read_engine
+    from repro.floats.formats import BINARY64
+
+    return default_read_engine().read_many(
+        texts, fmt if fmt is not None else BINARY64,
+        mode if mode is not None else ReaderMode.NEAREST_EVEN)
+
 
 __all__ = [
     "ParsedNumber",
     "parse_decimal",
     "ilog",
+    "read",
+    "read_many",
     "read_decimal",
     "read_decimal_truncated",
+    "truncate_significand",
     "TRUNCATION_DIGITS",
     "read_fraction",
     "round_rational",

@@ -43,6 +43,13 @@ class BellerophonResult:
 def bellerophon(d: int, q: int, negative: bool = False,
                 fmt: FloatFormat = BINARY64) -> BellerophonResult:
     """Convert ``±d * 10**q`` with the fast path when it applies."""
+    if d == 0:
+        # Settle zero before any arithmetic: the sign must survive even
+        # on paths where the host product would be computed as +0.0
+        # (e.g. a zero significand with a huge exponent) — IEEE signed
+        # zero is part of the round-trip contract.
+        return BellerophonResult(Flonum.zero(fmt, 1 if negative else 0),
+                                 True)
     if fmt is BINARY64 or fmt == BINARY64:
         fast = _try_fast(d, q)
         if fast is not None:

@@ -73,6 +73,71 @@ def _int_from_digits(s: str) -> int:
     return value
 
 
+def _scan_decimal(s: str):
+    """Fast scan of a plain (pre-stripped) literal, or None.
+
+    Returns ``(sign, digits, exponent)`` for ordinary finite literals —
+    the same normalized fields :func:`parse_decimal` would produce —
+    without building a :class:`ParsedNumber`.  Anything unusual
+    (specials, ``#`` marks, malformed input, huge digit strings that
+    need chunked conversion) returns None so the caller can fall back
+    to the full parser.  The conversion engine's hot path lives on
+    this.
+    """
+    # str.partition/str.isdigit instead of the regex: same acceptance
+    # (the isascii gate keeps isdigit to [0-9], matching the pattern's
+    # ASCII classes) at roughly half the cost per literal.
+    if not s.isascii():
+        return None
+    body = s
+    c = s[:1]
+    if c == "-":
+        sign = 1
+        body = s[1:]
+    else:
+        sign = 0
+        if c == "+":
+            body = s[1:]
+    mant, sep, exp_part = body.partition("e")
+    if not sep:
+        mant, sep, exp_part = body.partition("E")
+    if sep:
+        ec = exp_part[:1]
+        if ec == "-":
+            exp_part = exp_part[1:]
+            if not exp_part.isdigit():
+                return None
+            exponent = -int(exp_part)
+        else:
+            if ec == "+":
+                exp_part = exp_part[1:]
+            if not exp_part.isdigit():
+                return None
+            exponent = int(exp_part)
+    else:
+        exponent = 0
+    int_part, _, frac_part = mant.partition(".")
+    if int_part and not int_part.isdigit():
+        return None
+    if frac_part:
+        if not frac_part.isdigit():
+            return None
+        exponent -= len(frac_part)
+        digits_str = int_part + frac_part
+    else:
+        digits_str = int_part
+    if not digits_str or len(digits_str) > 4000:
+        return None
+    digits = int(digits_str)
+    if digits:
+        while digits % 10 == 0:
+            digits //= 10
+            exponent += 1
+    else:
+        exponent = 0
+    return sign, digits, exponent
+
+
 def parse_decimal(text: str) -> ParsedNumber:
     """Parse a decimal literal exactly.
 
@@ -82,25 +147,31 @@ def parse_decimal(text: str) -> ParsedNumber:
     s = text.strip()
     if not s:
         raise ParseError("empty string")
-    special = _SPECIAL.get(s.lower())
-    if special is not None:
-        kind, sign = special
-        return ParsedNumber(sign=sign, digits=0, exponent=0, special=kind)
     m = _NUMBER_RE.match(s)
     if m is None:
+        # Only non-numbers reach here, so the special spellings are
+        # probed off the hot path.
+        special = _SPECIAL.get(s.lower())
+        if special is not None:
+            kind, sign = special
+            return ParsedNumber(sign=sign, digits=0, exponent=0,
+                                special=kind)
         raise ParseError(f"malformed number: {text!r}")
-    int_part = m.group("int") or ""
-    frac_part = m.group("frac") or ""
+    sign_part, int_part, frac_part, exp_part = m.groups()
+    if frac_part is None:
+        frac_part = ""
     if not int_part and not frac_part:
         raise ParseError(f"no digits in: {text!r}")
-    hashes = int_part.count("#") + frac_part.count("#")
-    if hashes:
-        trailing = (int_part + frac_part).rstrip("#")
-        if "#" in trailing:
+    digits_str = int_part + frac_part
+    if "#" in digits_str:
+        hashes = digits_str.count("#")
+        if "#" in digits_str.rstrip("#"):
             raise ParseError(f"# marks must be trailing: {text!r}")
-    digits_str = (int_part + frac_part).replace("#", "0")
-    sign = 1 if m.group("sign") == "-" else 0
-    exponent = int(m.group("exp") or 0) - len(frac_part)
+        digits_str = digits_str.replace("#", "0")
+    else:
+        hashes = 0
+    sign = 1 if sign_part == "-" else 0
+    exponent = (int(exp_part) if exp_part else 0) - len(frac_part)
     digits = _int_from_digits(digits_str) if digits_str else 0
     # Normalize: strip trailing zeros into the exponent so equal values
     # parse identically (keeps the reader's integer work small).

@@ -26,10 +26,45 @@ from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
 from repro.reader.exact import read_decimal, round_rational
 
-__all__ = ["read_decimal_truncated", "TRUNCATION_DIGITS"]
+__all__ = ["read_decimal_truncated", "truncate_significand",
+           "TRUNCATION_DIGITS"]
 
 #: Significant digits kept before going sticky.
 TRUNCATION_DIGITS = 20
+
+#: ``log10(2)`` as a rational upper bound (numerator, denominator) for
+#: the digit-count estimate in :func:`truncate_significand`; the tiny
+#: excess (4.3e-9 per bit) stays under one digit for any significand a
+#: machine can hold, and the loop below corrects overshoot anyway.
+_LOG10_2_NUM, _LOG10_2_DEN = 30103, 100000
+
+
+def truncate_significand(digits: int, exponent: int,
+                         keep: int = TRUNCATION_DIGITS
+                         ) -> Tuple[int, int, bool]:
+    """Truncate ``digits * 10**exponent`` to at most ``keep`` digits.
+
+    Returns ``(d, q, sticky)`` with the original value contained in the
+    interval ``[d, d + 1) * 10**q`` — ``sticky`` is set exactly when
+    nonzero digits were dropped (so the value is *strictly* inside).
+    Shared by the string-level truncating reader above and the engine's
+    interval tier (:mod:`repro.engine.reader`), which brackets the same
+    way but over 64-bit scaled integers.
+    """
+    limit = 10**keep
+    if digits < limit:
+        return digits, exponent, False
+    drop = ((digits.bit_length() - 1) * _LOG10_2_NUM // _LOG10_2_DEN
+            + 1 - keep)
+    if drop < 1:
+        drop = 1
+    d, rest = divmod(digits, 10**drop)
+    sticky = rest != 0
+    while d >= limit:  # digit-count estimate was one low
+        d, extra = divmod(d, 10)
+        sticky = sticky or extra != 0
+        drop += 1
+    return d, exponent + drop, sticky
 
 _NUMBER_RE = re.compile(
     r"""^(?P<sign>[+-])?

@@ -22,7 +22,12 @@ free (shortest)        Section-2 rational spec, limb bignum port,
 fixed (paper, ``#``)   Section-4 rational spec (``fixed_digits_rational``)
 fixed (counted/printf) exact integer division *and* a Fraction
                        re-implementation here, host ``%``-formatting
-readers                round-trip through Bellerophon / Algorithm R
+readers                round-trip through Bellerophon / Algorithm R /
+                       the tiered read engine
+round trip             print→parse→print byte identity and
+                       parse→print→parse bit identity per read tier,
+                       host ``float()`` as the binary64 oracle
+                       (``python -m repro.verify --roundtrip``)
 =====================  =================================================
 """
 
@@ -50,8 +55,9 @@ from repro.reader.algorithm_r import algorithm_r
 from repro.reader.bellerophon import bellerophon
 from repro.reader.exact import read_fraction
 
-__all__ = ["VerificationReport", "verify_format", "sample_values",
-           "counted_digits_rational", "main"]
+__all__ = ["VerificationReport", "verify_format", "verify_roundtrip",
+           "sample_values", "roundtrip_values", "counted_digits_rational",
+           "main"]
 
 #: Significant-digit probes for the counted/fixed checks (the engine's
 #: fast tier certifies at most 17; 17 is also binary64's distinguishing
@@ -204,7 +210,7 @@ def verify_format(fmt: FloatFormat = BINARY64, n: int = 200,
         _check_shortest_tiers(v, engine, report)
         _check_fixed_engines(v, report)
         _check_fixed_tiers(v, engine, report)
-        _check_readers(v, report)
+        _check_readers(v, engine, report)
         _check_surfaces(v, report)
         if host_checks:
             _check_host_oracles(v, engine, report)
@@ -345,7 +351,8 @@ def _check_surfaces(v: Flonum, report: VerificationReport) -> None:
             report.record("surface/roundtrip", v, "hexfloat")
 
 
-def _check_readers(v: Flonum, report: VerificationReport) -> None:
+def _check_readers(v: Flonum, engine: Engine,
+                   report: VerificationReport) -> None:
     report.check("reader/roundtrip")
     r = shortest_digits(v, mode=ReaderMode.NEAREST_EVEN)
     frac = r.to_fraction()
@@ -355,6 +362,13 @@ def _check_readers(v: Flonum, report: VerificationReport) -> None:
     ar = algorithm_r(frac.numerator, frac.denominator, v.fmt)
     if ar != v:
         report.record("reader/roundtrip", v, f"algorithm-r {ar!r}")
+    # The tiered read engine on the shortest text, with tier attribution.
+    text = engine.format(v, fmt=v.fmt)
+    got = engine.read_result(text, v.fmt)
+    report.check(f"reader/engine-{got.tier}")
+    if not _same_datum(got.value, v):
+        report.record(f"reader/engine-{got.tier}", v,
+                      f"{text!r} -> {got.value!r}")
 
 
 #: ``printf`` specs the host oracle checks run, chosen to hit both the
@@ -389,6 +403,156 @@ def _check_host_oracles(v: Flonum, engine: Engine,
 
 
 # ----------------------------------------------------------------------
+# The round-trip battery: print↔parse conformance through the engines
+# ----------------------------------------------------------------------
+
+def _same_datum(a: Flonum, b: Flonum) -> bool:
+    """Bit identity: same kind, sign, significand and exponent.
+
+    ``Flonum.__eq__`` treats ``+0 == -0`` (value semantics); the
+    round-trip contract is stricter — signed zeros and the sign of
+    infinities must survive.
+    """
+    if a.is_nan or b.is_nan:
+        return a.is_nan and b.is_nan
+    if not a.is_finite or not b.is_finite:
+        return a.is_finite == b.is_finite and a.sign == b.sign
+    return (a.sign, a.f, a.e) == (b.sign, b.f, b.e)
+
+
+def roundtrip_values(fmt: FloatFormat, n: int, seed: int = 0
+                     ) -> List[Flonum]:
+    """Deterministic *signed* sample for the round-trip battery.
+
+    Mixes uniform bit patterns with the populations the reader tiers
+    find hardest: denormals (including the smallest), exact powers of
+    two hugging ``emin``/``emax`` (where the lower rounding gap
+    halves), boundary significands, and both signed zeros.
+    """
+    rng = random.Random(seed)
+    lo, hi = fmt.hidden_limit, fmt.mantissa_limit - 1
+    out: List[Flonum] = [Flonum.zero(fmt, 0), Flonum.zero(fmt, 1)]
+    for f, e in ((1, fmt.min_e), (lo - 1, fmt.min_e), (lo, fmt.min_e),
+                 (hi, fmt.max_e), (lo, fmt.max_e), (hi, fmt.min_e)):
+        out.append(Flonum.finite(0, f, e, fmt))
+        out.append(Flonum.finite(1, f, e, fmt))
+    while len(out) < n:
+        sign = rng.randrange(2)
+        kind = rng.randrange(8)
+        if kind == 0:  # denormal
+            f, e = rng.randrange(1, lo), fmt.min_e
+        elif kind == 1:  # exact power of two near the exponent rails
+            f = lo
+            e = rng.choice((fmt.min_e, fmt.min_e + 1, fmt.min_e + 2,
+                            fmt.max_e, fmt.max_e - 1, fmt.max_e - 2))
+        elif kind == 2:  # boundary significands, any exponent
+            f = rng.choice((lo, lo + 1, hi - 1, hi))
+            e = rng.randrange(fmt.min_e, fmt.max_e + 1)
+        else:  # uniform over the normal range
+            f = rng.randrange(lo, hi + 1)
+            e = rng.randrange(fmt.min_e, fmt.max_e + 1)
+        out.append(Flonum.finite(sign, f, e, fmt))
+    return out[:n]
+
+
+def _roundtrip_literals(fmt: FloatFormat, n: int, seed: int) -> List[str]:
+    """Random decimal literals for the parse→print→parse leg.
+
+    The exponent span is sized to the format so the sample crosses the
+    zero and infinity clamps, the denormal band and the exact-power
+    window; significand shapes mix short human-style decimals with
+    long (truncating) digit strings.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    # Decimal orders to just past the format's finite range.
+    span = int((abs(fmt.min_e) + fmt.precision) * 0.302) + 30
+    lits: List[str] = []
+    for _ in range(n):
+        sign = "-" if rng.randrange(2) else ""
+        kind = rng.randrange(6)
+        if kind == 0:  # short integer-significand scientific
+            d = rng.randrange(1, 10**rng.randrange(1, 8))
+            lits.append(f"{sign}{d}e{rng.randrange(-span, span)}")
+        elif kind == 1:  # machine-precision scientific
+            d = rng.randrange(1, 10**rng.randrange(15, 22))
+            lits.append(f"{sign}{d}e{rng.randrange(-span, span)}")
+        elif kind == 2:  # long, truncating significand
+            d = rng.randrange(1, 10**rng.randrange(22, 45))
+            lits.append(f"{sign}{d}e{rng.randrange(-span, span)}")
+        elif kind == 3:  # human-style point literal
+            ip = rng.randrange(0, 10**rng.randrange(1, 10))
+            fp = rng.randrange(0, 10**rng.randrange(1, 12))
+            lits.append(f"{sign}{ip}.{fp}")
+        elif kind == 4:  # near the clamp thresholds
+            d = rng.randrange(1, 10**rng.randrange(1, 20))
+            edge = rng.choice((span - 3, span - 2, span - 1, span))
+            q = edge if rng.randrange(2) else -edge
+            lits.append(f"{sign}{d}e{q}")
+        else:  # exact-power-window candidates (tier-0 shapes)
+            d = rng.randrange(1, fmt.mantissa_limit)
+            lits.append(f"{sign}{d}e{rng.randrange(-25, 40)}")
+    return lits
+
+
+def verify_roundtrip(fmt: FloatFormat = BINARY64, n: int = 50000,
+                     seed: int = 0,
+                     engine: Optional[Engine] = None) -> VerificationReport:
+    """The paper's information-preservation contract, both directions.
+
+    Leg A (``n`` flonums): ``print → parse → print``.  The shortest
+    output of each sampled value must read back bit-identically through
+    the tiered read engine (checks tagged per resolving tier, so a
+    regression localizes), and re-printing the parsed value must
+    reproduce the text byte for byte.  For binary64 the host's
+    ``float()`` serves as an independent read oracle on the same text.
+
+    Leg B (``n`` literals): ``parse → print → parse``.  An arbitrary
+    literal reads to some flonum; printing that flonum and reading the
+    output must land on the same bits (tagged by the *first* parse's
+    tier).  The host oracle applies on binary64 again, this time on the
+    arbitrary literal — exercising the interval and exact tiers against
+    an implementation that shares no code with this package.
+    """
+    report = VerificationReport(format_name=f"{fmt.name} round-trip")
+    eng = engine if engine is not None else Engine()
+    host = fmt is BINARY64 or fmt == BINARY64
+    for v in roundtrip_values(fmt, n, seed):
+        report.checked += 1
+        text = eng.format(v, fmt=fmt)
+        got = eng.read_result(text, fmt)
+        report.check(f"print-parse/{got.tier}")
+        if not _same_datum(got.value, v):
+            report.record(f"print-parse/{got.tier}", v,
+                          f"{text!r} -> {got.value!r}")
+            continue
+        report.check("print-parse-print")
+        again = eng.format(got.value, fmt=fmt)
+        if again != text:
+            report.record("print-parse-print", v,
+                          f"{text!r} reprints as {again!r}")
+        if host:
+            report.check("host-float")
+            if not _same_datum(Flonum.from_float(float(text)), v):
+                report.record("host-float", v,
+                              f"host reads {text!r} as {float(text)!r}")
+    for lit in _roundtrip_literals(fmt, n, seed):
+        report.checked += 1
+        first = eng.read_result(lit, fmt)
+        text = eng.format(first.value, fmt=fmt)
+        second = eng.read_result(text, fmt)
+        report.check(f"parse-print-parse/{first.tier}")
+        if not _same_datum(first.value, second.value):
+            report.record(f"parse-print-parse/{first.tier}", first.value,
+                          f"{lit!r} -> {text!r} -> {second.value!r}")
+        if host:
+            report.check("host-float")
+            if not _same_datum(Flonum.from_float(float(lit)), first.value):
+                report.record("host-float", first.value,
+                              f"host reads {lit!r} as {float(lit)!r}")
+    return report
+
+
+# ----------------------------------------------------------------------
 # CLI: ``python -m repro.verify`` (the nightly fuzz entry point)
 # ----------------------------------------------------------------------
 
@@ -402,8 +566,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.verify",
         description="Differential verification battery: every printing "
                     "tier against independent oracles.")
-    parser.add_argument("--n", type=int, default=200,
-                        help="values sampled per format (default 200)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="values sampled per format (default 200; "
+                             "50000 with --roundtrip)")
     parser.add_argument("--seed", default="0",
                         help="sample seed: an integer, or 'fresh' for a "
                              "new random seed (nightly fuzz; the chosen "
@@ -412,14 +577,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=["binary16", "binary32", "binary64"],
                         choices=sorted(STANDARD_FORMATS),
                         help="formats to verify (default: binary16/32/64)")
+    parser.add_argument("--roundtrip", action="store_true",
+                        help="run the print↔parse round-trip battery "
+                             "(tiered read engine + host float() oracle) "
+                             "instead of the printing battery")
     args = parser.parse_args(argv)
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
-    print(f"verification battery: n={args.n} seed={seed} "
+    n = args.n if args.n is not None else (50000 if args.roundtrip else 200)
+    battery = verify_roundtrip if args.roundtrip else verify_format
+    kind = "round-trip" if args.roundtrip else "verification"
+    print(f"{kind} battery: n={n} seed={seed} "
           f"formats={','.join(args.formats)}")
     failures = 0
     for name in args.formats:
-        report = verify_format(STANDARD_FORMATS[name], args.n, seed)
+        report = battery(STANDARD_FORMATS[name], n, seed)
         print(report.tier_summary())
         for mismatch in report.mismatches[:10]:
             print(f"    {mismatch}")

@@ -67,6 +67,59 @@ class TestTake:
             DigitStream(Flonum.from_float(1.0)).take(0)
 
 
+class TestTakeVsEngineCounted:
+    """``take(n)`` against the tiered engine's counted route, any base.
+
+    The engine path shares no code with the stream (counted Grisu tier
+    plus the exact one-division baseline), so agreement here pins the
+    carry behaviour — in particular the all-``(base-1)`` expansions
+    whose rounding propagates a carry past every kept digit.
+    """
+
+    @given(positive_flonums(), st.integers(min_value=1, max_value=20),
+           st.integers(min_value=2, max_value=36))
+    @settings(max_examples=200)
+    def test_agrees_with_engine_counted(self, v, n, base):
+        from repro.engine import Engine
+
+        r = DigitStream(v, base=base, tie=TieBreak.EVEN).take(n)
+        natural = shortest_digits(v, base=base)
+        if len(natural.digits) <= n:
+            assert (r.k, r.digits) == (natural.k, natural.digits)
+        else:
+            want = Engine().counted_digits(v, ndigits=n, base=base,
+                                           tie=TieBreak.EVEN)
+            assert (r.k, r.digits) == (want.k, want.digits)
+
+    def test_all_nines_carry_every_base(self):
+        from repro.engine import Engine
+
+        eng = Engine()
+        v = Flonum.from_float(1.0 - 2**-53)  # 0.(B-1)(B-1)... in base B
+        for base in range(2, 37):
+            for n in (1, 2, 3, 5):
+                r = DigitStream(v, base=base, tie=TieBreak.EVEN).take(n)
+                want = eng.counted_digits(v, ndigits=n, base=base,
+                                          tie=TieBreak.EVEN)
+                assert (r.k, r.digits) == (want.k, want.digits), (base, n)
+                # The carry must have propagated past every kept digit:
+                # 0.(B-1)... rounds up to 1.0, digits (1, 0, ..., 0).
+                assert r.k == 1 and r.digits == (1,) + (0,) * (n - 1), (
+                    base, n)
+
+    def test_carry_just_below_a_power(self):
+        from repro.engine import Engine
+
+        eng = Engine()
+        # 255.9999... in base 16 is FF.FFF...: take(2) carries to 0x100.
+        from repro.floats import predecessor
+
+        v = predecessor(Flonum.from_float(256.0))
+        r = DigitStream(v, base=16, tie=TieBreak.EVEN).take(2)
+        want = eng.counted_digits(v, ndigits=2, base=16, tie=TieBreak.EVEN)
+        assert (r.k, r.digits) == (want.k, want.digits) == (3, (1, 0))
+
+
 class TestValidation:
     def test_rejects_nonpositive(self):
         with pytest.raises(RangeError):

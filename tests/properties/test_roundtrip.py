@@ -5,7 +5,9 @@ accurate reader (and, for binary64, against CPython's reader as a second
 opinion).
 """
 
+import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from helpers import (
     TOY_B4,
@@ -18,6 +20,7 @@ from helpers import (
 from repro.core.api import format_shortest
 from repro.core.dragon import shortest_digits
 from repro.core.rounding import ReaderMode
+from repro.engine import Engine
 from repro.floats.formats import BINARY16, BINARY32, BINARY64
 from repro.floats.model import Flonum
 from repro.reader.exact import read_decimal, read_fraction
@@ -98,3 +101,97 @@ class TestOtherFormatsAndBases:
                     r = shortest_digits(v, mode=mode)
                     got = read_fraction(r.to_fraction(), fmt, mode=mode)
                     assert got == v, (fmt.name, v, mode, r)
+
+
+def _signed_flonums(fmt):
+    """Finite Flonums of ``fmt``, sign-uniform, denormal-heavy."""
+
+    def build(sign, f, e):
+        if f == 0:
+            return Flonum.zero(fmt, sign)
+        if f < fmt.hidden_limit:
+            return Flonum.finite(sign, f, fmt.min_e, fmt)
+        return Flonum.finite(sign, f, e, fmt)
+
+    return st.builds(
+        build,
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=fmt.mantissa_limit - 1),
+        st.integers(min_value=fmt.min_e, max_value=fmt.max_e),
+    )
+
+
+def _same_datum(a, b):
+    return a == b and a.sign == b.sign
+
+
+class TestReadEngineRoundtrip:
+    """print → ReadEngine → print through the tiered engines.
+
+    The write and read sides are independently certified; their
+    composition must be the identity on every finite value — including
+    denormals, signed zeros and exact powers of two, where the lower
+    rounding gap halves and the reader tiers work hardest.
+    """
+
+    @pytest.mark.parametrize("fmt", [BINARY16, BINARY32, BINARY64],
+                             ids=lambda f: f.name)
+    def test_engine_roundtrip_random(self, fmt):
+        eng = Engine()
+
+        @given(_signed_flonums(fmt))
+        @settings(max_examples=300)
+        def check(v):
+            text = eng.format(v, fmt=fmt)
+            back = eng.read(text, fmt)
+            assert _same_datum(back, v), (v, text, back)
+            assert eng.format(back, fmt=fmt) == text
+
+        check()
+
+    @pytest.mark.parametrize("fmt", [BINARY16, BINARY32, BINARY64],
+                             ids=lambda f: f.name)
+    def test_denormals_and_powers_of_two(self, fmt):
+        eng = Engine()
+        lo = fmt.hidden_limit
+        vals = [Flonum.finite(s, f, fmt.min_e, fmt)
+                for s in (0, 1)
+                for f in (1, 2, 3, lo // 2, lo - 1)]
+        vals += [Flonum.finite(s, lo, e, fmt)
+                 for s in (0, 1)
+                 for e in (fmt.min_e, fmt.min_e + 1, 0,
+                           fmt.max_e - 1, fmt.max_e)]
+        for v in vals:
+            text = eng.format(v, fmt=fmt)
+            assert _same_datum(eng.read(text, fmt), v), (v, text)
+
+    def test_schryer_corpus_through_the_engine(self):
+        from repro.workloads.schryer import corpus
+
+        eng = Engine()
+        vals = corpus(150)
+        texts = [eng.format(v) for v in vals]
+        for v, back in zip(vals, eng.read_many(texts)):
+            assert _same_datum(back, v)
+
+    @pytest.mark.slow
+    def test_binary16_exhaustive_engine_roundtrip(self):
+        eng = Engine(cache_size=0)
+        for v in Flonum.enumerate_positive(BINARY16,
+                                           include_denormals=True):
+            text = eng.format(v, fmt=BINARY16)
+            assert _same_datum(eng.read(text, BINARY16), v), (v, text)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("fmt", [BINARY32, BINARY64],
+                             ids=lambda f: f.name)
+    def test_engine_roundtrip_deep(self, fmt):
+        eng = Engine()
+
+        @given(_signed_flonums(fmt))
+        @settings(max_examples=2000, deadline=None)
+        def check(v):
+            text = eng.format(v, fmt=fmt)
+            assert _same_datum(eng.read(text, fmt), v), (v, text)
+
+        check()

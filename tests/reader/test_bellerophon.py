@@ -54,6 +54,35 @@ class TestCorrectness:
         assert got == Flonum.from_float(float(text))
 
 
+class TestSignedZero:
+    """``d == 0`` must honour ``negative=True`` — the sign bit is data."""
+
+    def test_negative_zero_component_form(self):
+        for q in (0, 5, -5, 100, -100):
+            z = bellerophon(0, q, negative=True).value
+            assert z.is_zero and z.is_negative, q
+
+    def test_positive_zero_component_form(self):
+        z = bellerophon(0, 0).value
+        assert z.is_zero and not z.is_negative
+
+    def test_zero_is_fast_path(self):
+        assert bellerophon(0, 0, negative=True).fast_path
+
+    def test_negative_zero_matches_host(self):
+        import math
+
+        for text in ("-0", "-0.0", "-0e10", "-0.00e-10"):
+            got = bellerophon(0, 0, negative=True).value
+            assert math.copysign(1.0, got.to_float()) == \
+                math.copysign(1.0, float(text)), text
+
+    def test_negative_zero_string_forms(self):
+        for text in ("-0", "-0.0", "-0e7", "-0.000"):
+            z = read_decimal_fast(text).value
+            assert z.is_zero and z.is_negative, text
+
+
 class TestStringFrontend:
     def test_reads_strings(self):
         r = read_decimal_fast("1.5e10")

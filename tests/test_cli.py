@@ -127,6 +127,48 @@ class TestHexAndFast:
         assert lines == ["-0.5"]
 
 
+class TestRead:
+    # The CLI reads through the process-wide default engine; a literal
+    # another test already read resolves as tier=memo, so assertions
+    # pin the components and accept the memo tier where it can occur.
+
+    def test_reports_components_and_tier(self):
+        _, lines = _run("1.5", "--read")
+        head, tier = lines[0].rsplit(" tier=", 1)
+        assert head == "sign=0 f=6755399441055744 e=-52"
+        assert tier in ("tier0", "memo")
+
+    def test_interval_tier_literal(self):
+        _, lines = _run("2.2250738585072014e-308", "--read")
+        head, tier = lines[0].rsplit(" tier=", 1)
+        assert head == "sign=0 f=4503599627370496 e=-1074"
+        assert tier in ("tier1", "memo")
+
+    def test_specials_and_signed_zero(self):
+        _, lines = _run("nan", "--read")
+        assert lines[0].startswith("nan tier=")
+        _, lines = _run("--read", "--", "-0")
+        assert lines[0].startswith("sign=1 zero tier=")
+        _, lines = _run("1e999", "--read")
+        assert lines[0].startswith("sign=0 inf tier=")
+
+    def test_no_engine_uses_exact_reader(self):
+        _, engine = _run("1.5", "--read")
+        _, exact = _run("1.5", "--read", "--no-engine")
+        assert exact == ["sign=0 f=6755399441055744 e=-52 tier=exact"]
+        assert engine[0].rsplit(" ", 1)[0] == exact[0].rsplit(" ", 1)[0]
+
+    def test_format_choice(self):
+        _, lines = _run("1.5", "--read", "--format", "binary16")
+        assert lines[0].startswith("sign=0 f=1536 e=-10 tier=")
+
+    def test_bad_literal_reports_and_continues(self):
+        status, lines = _run("abc", "1.5", "--read")
+        assert status == 1
+        assert lines[0].startswith("error:")
+        assert lines[1].startswith("sign=0 f=6755399441055744 e=-52")
+
+
 class TestStyles:
     def test_engineering(self):
         _, lines = _run("6.02214076e23", "--style", "engineering")

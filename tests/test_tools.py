@@ -29,6 +29,8 @@ class TestBenchSchema:
         assert tool.validate_bench_schema(result) == []
         assert result["fixed"]["mismatches"] == 0
         assert result["mismatches"] == 0
+        assert result["reader"]["mismatches"] == 0
+        assert result["reader"]["fast_resolved"] >= 0.95
 
     def test_committed_json_conforms(self):
         path = os.path.join(os.path.dirname(__file__), "..",
@@ -47,6 +49,21 @@ class TestBenchSchema:
         problems = tool.validate_bench_schema({"corpus": {}})
         assert any(p.startswith("missing key: corpus.") for p in problems)
         assert "missing key: fixed" in problems
+        assert "missing key: reader" in problems
+
+    def test_reader_gates(self):
+        tool = _load_bench_tool()
+        good = {"mismatches": 0, "fast_resolved": 0.99,
+                "speedup": {"read_many": 2.5}}
+        assert tool._check_reader_gates(good, quick=False) == 0
+        assert tool._check_reader_gates(
+            dict(good, mismatches=1), quick=False) == 1
+        assert tool._check_reader_gates(
+            dict(good, fast_resolved=0.5), quick=True) == 1
+        # The timing gate is correctness-only on --quick runs.
+        slow = dict(good, speedup={"read_many": 1.1})
+        assert tool._check_reader_gates(slow, quick=True) == 0
+        assert tool._check_reader_gates(slow, quick=False) == 1
 
 
 def test_regenerate_reports_runs():

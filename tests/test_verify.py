@@ -13,8 +13,10 @@ from repro.verify import (
     VerificationReport,
     counted_digits_rational,
     main,
+    roundtrip_values,
     sample_values,
     verify_format,
+    verify_roundtrip,
 )
 
 
@@ -73,6 +75,57 @@ def test_counted_rational_oracle_matches_integer_oracle():
             want = exact_fixed_digits(v, position=pos)
             assert counted_digits_rational(v, position=pos) == (
                 want.k, want.digits), (v, pos)
+
+
+class TestRoundtripValues:
+    def test_deterministic(self):
+        assert roundtrip_values(BINARY64, 60, 3) == \
+            roundtrip_values(BINARY64, 60, 3)
+
+    def test_signed_and_includes_both_zeros(self):
+        vals = roundtrip_values(BINARY32, 80)
+        assert any(v.is_zero and v.sign for v in vals)
+        assert any(v.is_zero and not v.sign for v in vals)
+        assert any(v.sign and not v.is_zero for v in vals)
+
+    def test_includes_denormals_and_extreme_powers(self):
+        vals = roundtrip_values(BINARY64, 80)
+        keyed = {(v.sign, v.f, v.e) for v in vals}
+        assert (0, 1, BINARY64.min_e) in keyed  # smallest denormal
+        assert (1, BINARY64.hidden_limit, BINARY64.max_e) in keyed
+
+
+class TestRoundtripBattery:
+    @pytest.mark.parametrize("fmt", [BINARY16, BINARY32, BINARY64],
+                             ids=lambda f: f.name)
+    def test_both_legs_agree(self, fmt):
+        report = verify_roundtrip(fmt, n=120, seed=9)
+        assert report.ok, report.mismatches[:5]
+        assert report.checked >= 240  # both legs counted
+        legs = set(report.tier_checks)
+        assert any(t.startswith("print-parse/") for t in legs)
+        assert any(t.startswith("parse-print-parse/") for t in legs)
+        assert "print-parse-print" in legs
+
+    def test_host_oracle_only_on_binary64(self):
+        with_host = verify_roundtrip(BINARY64, n=40, seed=2)
+        without = verify_roundtrip(BINARY32, n=40, seed=2)
+        assert with_host.tier_checks.get("host-float", 0) > 0
+        assert "host-float" not in without.tier_checks
+
+    def test_reader_tiers_all_exercised(self):
+        report = verify_roundtrip(BINARY64, n=400, seed=0)
+        for tier in ("tier0", "tier1"):
+            assert any(t.endswith("/" + tier) for t in report.tier_checks
+                       if report.tier_checks[t]), tier
+
+    def test_cli_roundtrip_flag(self, capsys):
+        rc = main(["--roundtrip", "--n", "60", "--seed", "4",
+                   "--formats", "binary16", "binary64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "round-trip" in out
+        assert "binary16" in out and "binary64" in out
 
 
 class TestCli:

@@ -4,8 +4,9 @@ Run:  PYTHONPATH=src python tools/bench_engine.py [--quick] [-n N] [-o PATH]
 
 Measures the tiered engine (repro.engine) against the exact-only paths —
 ``format_shortest`` for free format, ``exact_fixed_digits`` for
-fixed/counted format — on a uniform-random binary64 corpus, audits
-byte-equality, and writes the result as JSON.  Exits non-zero if any
+fixed/counted format, ``read_decimal`` for the read side — on a
+uniform-random binary64 corpus, audits byte/bit-equality, and writes the
+result as JSON.  ``--reader`` runs only the read-side section.  Exits non-zero if any
 output mismatches the exact algorithms or the fast tiers resolve too few
 conversions — correctness gates, not timing gates, so the smoke run
 stays meaningful on loaded CI machines.
@@ -51,6 +52,16 @@ BENCH_SCHEMA = {
         "mismatch_samples": list,
         "stats": dict,
     },
+    "reader": {
+        "corpus": ("kind", "n", "seed", "audit_n"),
+        "us_per_value": ("exact_only", "engine_read", "engine_read_many",
+                         "engine_memo_hot"),
+        "speedup": ("read", "read_many", "memo_hot"),
+        "fast_resolved": float,
+        "mismatches": int,
+        "mismatch_samples": list,
+        "stats": dict,
+    },
 }
 
 
@@ -85,6 +96,28 @@ def validate_bench_schema(result: dict, schema: dict = None,
     return problems
 
 
+def _check_reader_gates(reader: dict, quick: bool) -> int:
+    """Acceptance gates for the read-side bench section.
+
+    Correctness gates always apply; the 2x timing gate is skipped on
+    ``--quick`` runs so loaded CI machines cannot flake the smoke lane.
+    """
+    status = 0
+    if reader["mismatches"]:
+        print("FAIL: reader engine output mismatches the exact reader",
+              file=sys.stderr)
+        status = 1
+    if reader["fast_resolved"] < 0.95:
+        print("FAIL: reader fast tiers resolved under 95% of conversions",
+              file=sys.stderr)
+        status = 1
+    if not quick and reader["speedup"]["read_many"] < 2.0:
+        print("FAIL: tiered reader (read_many) under 2x over the exact "
+              "fallback", file=sys.stderr)
+        status = 1
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-n", type=int, default=20000,
@@ -94,6 +127,10 @@ def main(argv=None) -> int:
                         help="timing repeats, best-of (default 3)")
     parser.add_argument("--quick", action="store_true",
                         help="small corpus, single repeat (CI smoke)")
+    parser.add_argument("--reader", action="store_true",
+                        help="run only the read-side (decimal→binary) "
+                             "bench and print it to stdout; the default "
+                             "output file is not touched")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default BENCH_engine.json next "
                              "to the repo root; '-' for stdout only)")
@@ -101,6 +138,18 @@ def main(argv=None) -> int:
 
     n = 2000 if args.quick else args.n
     repeats = 1 if args.quick else args.repeats
+
+    if args.reader:
+        from repro.engine.bench import _run_reader_bench
+
+        reader = _run_reader_bench(n=n, seed=args.seed, repeats=repeats)
+        print(json.dumps(reader, indent=2, sort_keys=True))
+        print(f"reader speedup (read_many): "
+              f"{reader['speedup']['read_many']:.2f}x, "
+              f"fast-resolved: {reader['fast_resolved']:.4f}, "
+              f"mismatches: {reader['mismatches']}", file=sys.stderr)
+        return _check_reader_gates(reader, quick=args.quick)
+
     result = run_engine_bench(n=n, seed=args.seed, repeats=repeats)
     result["generated_by"] = "tools/bench_engine.py"
     result["quick"] = args.quick
@@ -130,6 +179,11 @@ def main(argv=None) -> int:
               f"{fixed['speedup']['counted']:.2f}x, "
               f"fast-resolved: {fixed['fast_resolved']:.4f}, "
               f"mismatches: {fixed['mismatches']}")
+        reader = result["reader"]
+        print(f"reader speedup (read_many): "
+              f"{reader['speedup']['read_many']:.2f}x, "
+              f"fast-resolved: {reader['fast_resolved']:.4f}, "
+              f"mismatches: {reader['mismatches']}")
 
     if result["mismatches"]:
         print("FAIL: engine output mismatches the exact algorithm",
@@ -147,7 +201,7 @@ def main(argv=None) -> int:
         print("FAIL: fixed fast tier resolved under 90% of conversions",
               file=sys.stderr)
         return 1
-    return 0
+    return _check_reader_gates(result["reader"], quick=args.quick)
 
 
 if __name__ == "__main__":
