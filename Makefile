@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz bench bench-engine bench-reader smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz bench bench-engine bench-reader bench-bulk smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -21,10 +21,12 @@ test-slow:
 
 # The differential verification battery with a fresh random seed — what
 # the nightly CI fuzz job runs; the seed is printed for reproduction.
-# The second invocation runs the decimal→binary round-trip battery.
+# The second invocation runs the decimal→binary round-trip battery, the
+# third the bulk serving-layer byte-identity battery.
 fuzz:
 	$(PY) -m repro.verify --n 300 --seed fresh
 	$(PY) -m repro.verify --roundtrip --n 300 --seed fresh
+	$(PY) -m repro.verify --bulk --n 300 --seed fresh
 
 bench:
 	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ --benchmark-only
@@ -39,6 +41,14 @@ bench-engine:
 # fast-resolved >= 0.95 and read_many speedup >= 2x.
 bench-reader:
 	$(PY) tools/bench_engine.py --reader
+
+# Bulk serving-layer bench only: dedup-interning columnar pipeline vs
+# the scalar batch APIs on duplicate-bearing corpora, printed to
+# stdout; gates on byte identity always, and (full runs) >= 2x on the
+# flat corpus with a larger zipfian win.  QUICK=--quick for the CI
+# smoke lane.
+bench-bulk:
+	$(PY) tools/bench_engine.py --bulk $(QUICK)
 
 # Quick correctness smoke of the engine (what CI runs).
 smoke:

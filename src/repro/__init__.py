@@ -13,6 +13,9 @@ Public surface, in one import::
   against (any rounding mode).
 * :func:`read` / :func:`read_many` — the same semantics through the
   shared tiered :class:`ReadEngine` (typically much faster).
+* :func:`format_bulk` / :func:`read_bulk` — the bulk serving layer:
+  zero-copy columnar ingestion, dedup interning and sharded
+  multi-worker pipelines (see :mod:`repro.serve`).
 * :class:`Flonum` / :class:`FloatFormat` — exact value model for binary16
   through binary128, x87-80 and arbitrary toy formats.
 
@@ -66,6 +69,17 @@ from repro.format.printf import fmt_e, fmt_f, fmt_g, format_printf
 from repro.format.repr_shortest import py_repr
 from repro.reader import read, read_many
 from repro.reader.exact import read_decimal, read_fraction
+from repro.serve import (
+    BulkPool,
+    DelimitedWriter,
+    bits_from_buffer,
+    format_bulk,
+    format_column,
+    ingest_bits,
+    pack_bits,
+    read_bulk,
+    read_column,
+)
 from repro.verify import VerificationReport, verify_format
 
 __version__ = "1.0.0"
@@ -80,6 +94,15 @@ __all__ = [
     "ReadEngine",
     "ReadResult",
     "default_read_engine",
+    "BulkPool",
+    "DelimitedWriter",
+    "bits_from_buffer",
+    "format_bulk",
+    "format_column",
+    "ingest_bits",
+    "pack_bits",
+    "read_bulk",
+    "read_column",
     "to_flonum",
     "shortest_digits",
     "shortest_digits_rational",

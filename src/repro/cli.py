@@ -89,7 +89,57 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fast", action="store_true",
                         help="use the Grisu3/counted fast paths with exact "
                              "fallback (free/relative fixed format only)")
+    parser.add_argument("--bulk", action="store_true",
+                        help="columnar pipeline: read every literal, then "
+                             "format the whole column through the bulk "
+                             "serving layer (dedup interning, batch emit); "
+                             "output is byte-identical to the scalar path")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="with --bulk: shard the column across N "
+                             "worker processes (default 1, in-process)")
     return parser
+
+
+def _run_bulk(args, parser: argparse.ArgumentParser, fmt, out) -> int:
+    """The ``--bulk`` pipeline: literals → bits → delimited payload."""
+    for flag, name in ((args.digits is not None, "--digits"),
+                       (args.decimals is not None, "--decimals"),
+                       (args.position is not None, "--position"),
+                       (args.hex, "--hex"), (args.fast, "--fast"),
+                       (args.read, "--read"),
+                       (args.no_engine, "--no-engine"),
+                       (args.scaler is not None, "--scaler"),
+                       (args.base != 10, "--base"),
+                       (args.style != "auto", "--style"),
+                       (args.python_repr, "--python-repr"),
+                       (args.group != "", "--group")):
+        if flag:
+            parser.error(f"--bulk is the shortest-decimal columnar "
+                         f"pipeline; {name} is not supported with it")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    from repro.serve import format_bulk, read_bulk
+
+    texts = list(args.values)
+    if not texts:
+        texts = [line.strip() for line in sys.stdin if line.strip()]
+    if not texts:
+        return 0
+    mode = _MODES[args.reader_mode]
+    try:
+        bits = read_bulk(texts, fmt, out="bits", jobs=args.jobs, mode=mode)
+        payload = format_bulk(bits, fmt, jobs=args.jobs, mode=mode,
+                              tie=_TIES[args.tie])
+    except Exception as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    out.write(payload.decode("ascii"))
+    if args.engine_stats:
+        from repro.engine import default_engine
+
+        for name, count in default_engine().stats().items():
+            print(f"{name}: {count}", file=sys.stderr)
+    return 0
 
 
 def _read_description(value, tier: str) -> str:
@@ -105,8 +155,11 @@ def _read_description(value, tier: str) -> str:
 
 def run(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     fmt = STANDARD_FORMATS[args.format]
+    if args.bulk:
+        return _run_bulk(args, parser, fmt, out)
     opts = NotationOptions(style=args.style, python_repr=args.python_repr,
                            group_char=args.group)
     fixed = any(a is not None

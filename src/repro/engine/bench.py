@@ -35,13 +35,27 @@ from repro.core.api import format_shortest
 from repro.core.fixed import fixed_digits as paper_fixed_digits
 from repro.engine.engine import Engine
 from repro.engine.reader import ReadEngine
+from repro.floats.formats import BINARY16, BINARY32
 from repro.floats.model import Flonum
 from repro.reader.exact import read_decimal
-from repro.workloads.corpus import uniform_random
+from repro.workloads.corpus import (
+    duplicated_random,
+    uniform_random,
+    zipf_random,
+)
 from repro.workloads.schryer import corpus as schryer_corpus
 
 __all__ = ["engine_corpus", "reader_corpus", "run_engine_bench",
-           "FIXED_BENCH_NDIGITS"]
+           "FIXED_BENCH_NDIGITS", "BULK_ZIPF_S", "BULK_DUP_FACTOR"]
+
+#: Zipf skew of the bulk bench's head-heavy corpus (telemetry-shaped).
+BULK_ZIPF_S = 1.3
+
+#: Universe size divisor of the bulk corpora: ``n`` draws over
+#: ``n // BULK_DUP_FACTOR`` distinct values (~25 repeats per value on
+#: the flat draw, far more on the zipf head — telemetry columns repeat
+#: a small working set heavily).
+BULK_DUP_FACTOR = 25
 
 #: Significant digits for the timed fixed-format comparison (%.6e-shaped
 #: requests — the dominant real-world precision per the experimental
@@ -126,8 +140,11 @@ def run_engine_bench(n: int = 20000, seed: int = 2024,
     return {
         "fixed": _run_fixed_bench(n, seed, repeats),
         "reader": _run_reader_bench(n, seed, repeats),
+        "bulk": _run_bulk_bench(n, seed, repeats),
+        "binary32": _run_binary32_bench(n, seed, repeats),
         "corpus": {"kind": "uniform-random-bits+schryer", "n": n,
-                   "seed": seed, "audit_n": len(audit)},
+                   "seed": seed, "audit_n": len(audit),
+                   "mix": "uniform"},
         "us_per_value": {
             "exact_only": t_exact * 1e6 / n,
             "engine_format": t_single * 1e6 / n,
@@ -214,7 +231,8 @@ def _run_fixed_bench(n: int, seed: int, repeats: int) -> Dict:
         "ndigits": nd,
         "audit_ndigits": list(FIXED_AUDIT_NDIGITS),
         "corpus": {"kind": "uniform-random-bits+schryer", "n": n,
-                   "seed": seed, "audit_n": len(audit_vals)},
+                   "seed": seed, "audit_n": len(audit_vals),
+                   "mix": "uniform"},
         "us_per_value": {
             "exact_only": t_exact * 1e6 / n,
             "engine_counted": t_engine * 1e6 / n,
@@ -229,6 +247,174 @@ def _run_fixed_bench(n: int, seed: int, repeats: int) -> Dict:
         "mismatches": len(mismatches),
         "mismatch_samples": mismatches[:10],
         "stats": audit_stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# The bulk serving layer
+# ----------------------------------------------------------------------
+
+def _run_bulk_bench(n: int, seed: int, repeats: int) -> Dict:
+    """The bulk layer against scalar ``format_many``/``read_many``.
+
+    Two duplicate-bearing corpora over the same ``n // BULK_DUP_FACTOR``
+    distinct-value universe: a flat draw (every distinct value equally
+    likely, ~``BULK_DUP_FACTOR`` repeats each) and a zipfian draw
+    (``s = BULK_ZIPF_S``, telemetry-shaped head).  The dedup-interning
+    win is the ratio against the scalar batch API on the *same* column;
+    the zipf speedup should exceed the flat one — more of the column
+    collapses into the interning dict.  ``bulk_nodedup`` isolates the
+    ingestion/emit overhead with interning off.
+    """
+    from repro.engine.bulk import (format_column, ingest_bits, pack_bits,
+                                   read_column)
+
+    distinct = max(1, n // BULK_DUP_FACTOR)
+    flat = [v.to_float() for v in duplicated_random(n, distinct, seed=seed)]
+    zipf = [v.to_float() for v in zipf_random(n, distinct, s=BULK_ZIPF_S,
+                                              seed=seed)]
+
+    scalar_engine = Engine()
+    bulk_engine = Engine()
+    scalar_engine.format_many(flat[:64])  # build tables before timing
+    bulk_engine.format_many(flat[:64])
+
+    def scalar_run(xs):
+        scalar_engine.clear_cache()  # time conversions, not memo hits
+        scalar_engine.format_many(xs)
+
+    def bulk_run(xs, dedup=True):
+        bulk_engine.clear_cache()
+        format_column(xs, engine=bulk_engine, dedup=dedup)
+
+    t_scalar_flat = _best_of(lambda: scalar_run(flat), repeats)
+    t_bulk_flat = _best_of(lambda: bulk_run(flat), repeats)
+    t_nodedup_flat = _best_of(lambda: bulk_run(flat, dedup=False), repeats)
+    t_scalar_zipf = _best_of(lambda: scalar_run(zipf), repeats)
+    t_bulk_zipf = _best_of(lambda: bulk_run(zipf), repeats)
+
+    # The read direction on the payload the format side just produced.
+    payload = "\n".join(scalar_engine.format_many(flat)) + "\n"
+    texts = payload.split("\n")[:-1]
+    reader = ReadEngine()
+    reader.read_many(texts[:64])
+
+    def scalar_read():
+        reader.clear_cache()
+        reader.read_many(texts)
+
+    def bulk_read():
+        reader.clear_cache()
+        read_column(texts, engine=reader)
+
+    t_scalar_read = _best_of(scalar_read, repeats)
+    t_bulk_read = _best_of(bulk_read, repeats)
+
+    # Byte-identity audit: every bulk route against the scalar engine,
+    # both corpora plus the special population, and the narrow formats
+    # through the generic per-bit path.
+    audit_engine = Engine()
+    specials = [0.0, -0.0, float("nan"), float("inf"), float("-inf"),
+                5e-324]
+    mismatches = []
+    for mix, xs in (("flat", flat[: min(n, 4000)] + specials),
+                    ("zipf", zipf[: min(n, 4000)] + specials)):
+        want = audit_engine.format_many(xs)
+        for dedup in (True, False):
+            got = format_column(xs, engine=audit_engine, dedup=dedup)
+            mismatches += [
+                {"mix": mix, "dedup": dedup, "value": repr(x),
+                 "scalar": a, "bulk": b}
+                for x, a, b in zip(xs, want, got) if a != b]
+    for fmt in (BINARY16, BINARY32):
+        flos = uniform_random(min(n, 1500), fmt, seed=seed)
+        bits = ingest_bits(flos, fmt)
+        want = [audit_engine.format(v, fmt=fmt) for v in flos]
+        got = format_column(pack_bits(bits, fmt), fmt,
+                            engine=audit_engine)
+        mismatches += [
+            {"mix": fmt.name, "dedup": True, "value": repr(v),
+             "scalar": a, "bulk": b}
+            for v, a, b in zip(flos, want, got) if a != b]
+
+    stats = bulk_engine.stats()
+    return {
+        "corpus": {"kind": "duplicated-random-bits", "n": n, "seed": seed,
+                   "audit_n": 2 * (min(n, 4000) + len(specials)),
+                   "distinct": distinct, "dup_factor": BULK_DUP_FACTOR,
+                   "zipf_s": BULK_ZIPF_S,
+                   "mix": {"flat": "uniform draw over the universe",
+                           "zipf": f"zipf s={BULK_ZIPF_S} over the "
+                                   "universe"}},
+        "us_per_value": {
+            "scalar_format_many_flat": t_scalar_flat * 1e6 / n,
+            "bulk_flat": t_bulk_flat * 1e6 / n,
+            "bulk_nodedup_flat": t_nodedup_flat * 1e6 / n,
+            "scalar_format_many_zipf": t_scalar_zipf * 1e6 / n,
+            "bulk_zipf": t_bulk_zipf * 1e6 / n,
+            "scalar_read_many": t_scalar_read * 1e6 / n,
+            "bulk_read": t_bulk_read * 1e6 / n,
+        },
+        "speedup": {
+            "uniform": t_scalar_flat / t_bulk_flat,
+            "zipf": t_scalar_zipf / t_bulk_zipf,
+            "nodedup": t_scalar_flat / t_nodedup_flat,
+            "read": t_scalar_read / t_bulk_read,
+        },
+        "mismatches": len(mismatches),
+        "mismatch_samples": mismatches[:10],
+        "stats": stats,
+    }
+
+
+def _run_binary32_bench(n: int, seed: int, repeats: int) -> Dict:
+    """The engine on binary32: the narrow-format acceptance numbers.
+
+    Same shape as the top-level free-format section — exact-only
+    baseline vs ``Engine.format`` — on uniform random finite non-zero
+    binary32 values, with a byte-equality audit and the tier resolution
+    profile.
+    """
+    flos = uniform_random(n, BINARY32, seed=seed)
+
+    exact = lambda: [format_shortest(v, engine=None) for v in flos]
+    exact()  # warm the power caches
+    t_exact = _best_of(exact, repeats)
+
+    bench_engine = Engine()
+    for v in flos[:64]:  # build tables before timing
+        bench_engine.format(v, fmt=BINARY32)
+
+    def run_engine():
+        bench_engine.clear_cache()
+        fmt_one = bench_engine.format
+        for v in flos:
+            fmt_one(v, fmt=BINARY32)
+
+    t_engine = _best_of(run_engine, repeats)
+
+    audit_engine = Engine()
+    expected = [format_shortest(v, engine=None) for v in flos]
+    got = [audit_engine.format(v, fmt=BINARY32) for v in flos]
+    mismatches = [
+        {"value": repr(v), "exact": a, "engine": b}
+        for v, a, b in zip(flos, expected, got) if a != b]
+
+    stats = audit_engine.stats()
+    resolved_fast = (stats["tier0_hits"] + stats["tier1_hits"]
+                     + stats["cache_hits"])
+    return {
+        "corpus": {"kind": "uniform-random-bits", "n": n, "seed": seed,
+                   "audit_n": n, "mix": "uniform"},
+        "us_per_value": {
+            "exact_only": t_exact * 1e6 / n,
+            "engine_format": t_engine * 1e6 / n,
+        },
+        "speedup": {"format": t_exact / t_engine},
+        "fast_resolved": resolved_fast / stats["conversions"],
+        "mismatches": len(mismatches),
+        "mismatch_samples": mismatches[:10],
+        "stats": stats,
     }
 
 
@@ -347,7 +533,8 @@ def _run_reader_bench(n: int, seed: int, repeats: int) -> Dict:
                                "engine": repr(b)})
     return {
         "corpus": {"kind": "engine-shortest+schryer+literals", "n": total,
-                   "seed": seed, "audit_n": len(audit_texts)},
+                   "seed": seed, "audit_n": len(audit_texts),
+                   "mix": "shortest+schryer+human"},
         "us_per_value": {
             "exact_only": t_exact * 1e6 / total,
             "engine_read": t_single * 1e6 / total,

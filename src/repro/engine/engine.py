@@ -140,6 +140,10 @@ class Engine:
         zeros otherwise, so ``stats()`` always returns exactly
         :data:`STAT_KEYS`.
         """
+        with self._lock:
+            self._reset_stats_locked()
+
+    def _reset_stats_locked(self) -> None:
         self._tier0_hits = 0
         self._tier1_hits = 0
         self._tier1_bailouts = 0
@@ -151,7 +155,9 @@ class Engine:
         self._cache_misses = 0
         reader = getattr(self, "_reader", None)
         if reader is not None:
-            reader.reset_stats()
+            # The read engine shares this engine's lock, which the
+            # caller already holds — zero it without re-acquiring.
+            reader._reset_stats_locked()
 
     def stats(self) -> dict:
         """Counters since the last :meth:`reset_stats`.
@@ -170,10 +176,20 @@ class Engine:
         When the read engine has been built (:attr:`reader`), its
         ``read_*`` counters are merged in; otherwise they appear as
         zeros.  The key set is always exactly :data:`STAT_KEYS`.
+
+        The snapshot is consistent: every counter mutation happens under
+        the engine lock (the batch APIs accumulate locally and flush
+        once per batch), and this method reads the whole set under one
+        acquisition — concurrent readers never observe a torn mid-batch
+        state.
         """
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         fixed = self._fixed_tier1_hits + self._fixed_tier2_calls
         reader = self._reader
-        out = (reader.stats() if reader is not None
+        out = (reader._stats_locked() if reader is not None
                else dict.fromkeys(READ_STAT_KEYS, 0))
         out.update({
             "tier0_hits": self._tier0_hits,
@@ -236,10 +252,18 @@ class Engine:
         tier1_ok = (self.tier1 and tables.grisu_ok
                     and (mode is ReaderMode.NEAREST_EVEN
                          or mode is ReaderMode.NEAREST_UNKNOWN))
-        result = self._convert(f, e, fmt, base, mode, tie, tables,
-                               tier1_ok, v)
-        if key is not None:
-            with self._lock:
+        result, tier, bailed = self._convert(f, e, fmt, base, mode, tie,
+                                             tables, tier1_ok, v)
+        with self._lock:
+            if bailed:
+                self._tier1_bailouts += 1
+            if tier == 0:
+                self._tier0_hits += 1
+            elif tier == 1:
+                self._tier1_hits += 1
+            else:
+                self._tier2_calls += 1
+            if key is not None:
                 cache = self._cache
                 cache[key] = result
                 if len(cache) > self.cache_size:
@@ -248,17 +272,21 @@ class Engine:
 
     def _convert(self, f: int, e: int, fmt: FloatFormat, base: int,
                  mode: ReaderMode, tie: TieBreak, tables: FormatTables,
-                 tier1_ok: bool,
-                 v: Optional[Flonum] = None) -> Tuple[int, str]:
-        """One uncached conversion: tier 0, tier 1, then exact."""
+                 tier1_ok: bool, v: Optional[Flonum] = None
+                 ) -> Tuple[Tuple[int, str], int, bool]:
+        """One uncached conversion: tier 0, tier 1, then exact.
+
+        Counter-free (callers attribute the result under the engine
+        lock): returns ``((k, body), tier, tier1_bailed)``.
+        """
+        bailed = False
         if base == 10 and tables.radix == 2:
             if self.tier0:
                 t0 = tier0_digits(f, e, tables.hidden_limit, tables.min_e,
                                   tables.mantissa_limit, tables.max_e, mode)
                 if t0 is not None:
-                    self._tier0_hits += 1
                     acc, _nd, k = t0
-                    return k, str(acc)
+                    return (k, str(acc)), 0, False
             if tier1_ok:
                 t1 = tier1_digits(f, e, tables.hidden_limit, tables.min_e,
                                   tables.grisu_powers, tables.grisu_e_min)
@@ -266,16 +294,15 @@ class Engine:
                     acc, nd, k = t1
                     body = str(acc)
                     if len(body) == nd:  # RoundWeed never borrows; belt
-                        self._tier1_hits += 1  # and braces anyway
-                        return k, body
-                self._tier1_bailouts += 1
-        self._tier2_calls += 1
+                        return (k, body), 1, False  # and braces anyway
+                bailed = True
         if v is None:
             v = Flonum.finite(0, f, e, fmt)
         r, s, m_plus, m_minus = initial_scaled_value(v)
         sv = adjust_for_mode(v, r, s, m_plus, m_minus, mode)
         res = shortest_digits_scaled(sv, v, base, tie, tables.scale)
-        return res.k, "".join(_DIGIT_CHARS[d] for d in res.digits)
+        return (res.k,
+                "".join(_DIGIT_CHARS[d] for d in res.digits)), 2, bailed
 
     # ------------------------------------------------------------------
     # Public conversions
@@ -322,6 +349,23 @@ class Engine:
             cache[key] = value
             if len(cache) > self.cache_size:
                 del cache[next(iter(cache))]
+
+    def _finish_fixed(self, key, result, fast: bool, bailed: bool) -> None:
+        """Attribute one fixed-format conversion and memoize it, under a
+        single lock acquisition (counters must never tear against a
+        concurrent :meth:`stats`)."""
+        with self._lock:
+            if fast:
+                self._fixed_tier1_hits += 1
+            else:
+                self._fixed_tier2_calls += 1
+            if bailed:
+                self._fixed_tier1_bailouts += 1
+            if key is not None:
+                cache = self._cache
+                cache[key] = result
+                if len(cache) > self.cache_size:
+                    del cache[next(iter(cache))]
 
     @staticmethod
     def _fixed_args(position, ndigits):
@@ -385,24 +429,23 @@ class Engine:
             if hit is not None:
                 return hit
         result = None
+        bailed = False
         if self.fixed_tier1 and base == 10:
             tables = tables_for(v.fmt, base)
             if tables.grisu_ok:
                 got = self._counted_fast(v, tables, position, ndigits)
                 if got is not None:
                     acc, _nd, k = got
-                    self._fixed_tier1_hits += 1
                     result = DigitResult(
                         k=k, digits=tuple(int(c) for c in str(acc)),
                         base=base)
                 else:
-                    self._fixed_tier1_bailouts += 1
+                    bailed = True
+        fast = result is not None
         if result is None:
-            self._fixed_tier2_calls += 1
             result = exact_fixed_digits(v, position=position,
                                         ndigits=ndigits, base=base, tie=tie)
-        if key is not None:
-            self._cache_put(key, result)
+        self._finish_fixed(key, result, fast, bailed)
         return result
 
     def fixed_digits(self, x: Number, position: Optional[int] = None,
@@ -433,6 +476,7 @@ class Engine:
             if hit is not None:
                 return hit
         result = None
+        bailed = False
         if self.fixed_tier1 and base == 10:
             tables = tables_for(v.fmt, base)
             if (tables.grisu_ok
@@ -443,18 +487,16 @@ class Engine:
                     acc, nd, k = got
                     j = k - nd  # == position in absolute mode
                     if tables.expansion_dominates(j, v.e):
-                        self._fixed_tier1_hits += 1
                         result = FixedResult(
                             k=k, digits=tuple(int(c) for c in str(acc)),
                             hashes=0, position=j, base=base)
                 if result is None:
-                    self._fixed_tier1_bailouts += 1
+                    bailed = True
+        fast = result is not None
         if result is None:
-            self._fixed_tier2_calls += 1
             result = exact_paper_fixed(v, position=position,
                                        ndigits=ndigits, base=base, tie=tie)
-        if key is not None:
-            self._cache_put(key, result)
+        self._finish_fixed(key, result, fast, bailed)
         return result
 
     def format_fixed(self, x: Number, position: Optional[int] = None,
@@ -526,15 +568,33 @@ class Engine:
         rendering options on binary64 — inlined decomposition and
         rendering, together worth roughly another 2x on uniform random
         doubles.
+
+        Batch discipline: an empty batch touches no shared state (and
+        no lock); a memo-disabled engine runs the whole loop lock-free
+        and flushes its counters under one final acquisition; a batch
+        larger than the memo installs only the entries sequential calls
+        would have left behind instead of churning the whole LRU.
         """
+        if not isinstance(xs, list):
+            xs = list(xs)
+        if not xs:
+            return []
         opts = options or DEFAULT_OPTIONS
         if base == 10 and fmt is BINARY64 and opts is DEFAULT_OPTIONS:
             return self._format_many_fast(xs, mode, tie)
         return [self.format(x, base, mode, tie, opts, fmt) for x in xs]
 
-    def _format_many_fast(self, xs: Iterable[Number], mode: ReaderMode,
+    def _format_many_fast(self, xs: List[Number], mode: ReaderMode,
                           tie: TieBreak) -> List[str]:
-        """Decimal binary64 batch loop, default options, all state hoisted."""
+        """Decimal binary64 batch loop, default options, all state hoisted.
+
+        Counters accumulate in locals and flush under one lock at the
+        end (so a concurrent :meth:`stats` never sees a torn mid-batch
+        snapshot, and a memo-disabled engine takes exactly one lock per
+        batch).  New conversions land in a batch-local ``pending`` dict
+        — intra-batch duplicates are served from it without touching
+        the shared memo — and are installed in one tail-capped pass.
+        """
         fmt = BINARY64
         tables = tables_for(fmt, 10)
         hidden_limit = tables.hidden_limit
@@ -554,6 +614,8 @@ class Engine:
         lock = self._lock
         ctx_pos = self._ctx_id(fmt, 10, mode, tie)
         ctx_neg = self._ctx_id(fmt, 10, mirrored, tie)
+        pending: Optional[dict] = {} if cache is not None else None
+        c_hits = c_misses = t0_hits = t1_hits = t1_bails = t2_calls = 0
         out: List[str] = []
         append = out.append
         for x in xs:
@@ -594,14 +656,17 @@ class Engine:
             kb = None
             if cache is not None:
                 key = (f, e, ctx)
-                with lock:
-                    kb = cache.get(key)
-                    if kb is not None:
-                        self._cache_hits += 1
-                        del cache[key]
-                        cache[key] = kb
-                    else:
-                        self._cache_misses += 1
+                kb = pending.get(key)
+                if kb is None:
+                    with lock:
+                        kb = cache.get(key)
+                        if kb is not None:
+                            del cache[key]
+                            cache[key] = kb
+                if kb is not None:
+                    c_hits += 1
+                else:
+                    c_misses += 1
             if kb is None:
                 # Pre-filter: tier 0 only ever accepts values with
                 # e >= -76 (integers and short exact decimals); skip
@@ -612,7 +677,7 @@ class Engine:
                 else:
                     t0 = None
                 if t0 is not None:
-                    self._tier0_hits += 1
+                    t0_hits += 1
                     acc, _nd, k = t0
                     kb = (k, str(acc))
                 else:
@@ -624,12 +689,12 @@ class Engine:
                             acc, nd, k = t1
                             body = str(acc)
                             if len(body) == nd:
-                                self._tier1_hits += 1
+                                t1_hits += 1
                                 kb = (k, body)
                         if kb is None:
-                            self._tier1_bailouts += 1
+                            t1_bails += 1
                     if kb is None:
-                        self._tier2_calls += 1
+                        t2_calls += 1
                         v = Flonum.finite(0, f, e, fmt)
                         r, s, mp, mm = initial_scaled_value(v)
                         sv = adjust_for_mode(v, r, s, mp, mm, vmode)
@@ -638,10 +703,7 @@ class Engine:
                         kb = (res.k, "".join(_DIGIT_CHARS[d]
                                              for d in res.digits))
                 if cache is not None:
-                    with lock:
-                        cache[key] = kb
-                        if len(cache) > cache_size:
-                            del cache[next(iter(cache))]
+                    pending[key] = kb
             k, body = kb
             # --- render (inline of render_shortest_parts: auto style,
             #     exp window (-4, 16], exp_char 'e', no grouping) ---
@@ -660,6 +722,24 @@ class Engine:
                     append(sign + body[0] + "." + rest + "e" + str(k - 1))
                 else:
                     append(sign + body[0] + "e" + str(k - 1))
+        with lock:
+            self._cache_hits += c_hits
+            self._cache_misses += c_misses
+            self._tier0_hits += t0_hits
+            self._tier1_hits += t1_hits
+            self._tier1_bailouts += t1_bails
+            self._tier2_calls += t2_calls
+            if pending:
+                if len(pending) > cache_size:
+                    # Oversized batch: sequential installs would have
+                    # evicted everything but the tail — skip the churn.
+                    items = list(pending.items())[-cache_size:]
+                else:
+                    items = pending.items()
+                for key, kb in items:
+                    cache[key] = kb
+                while len(cache) > cache_size:
+                    del cache[next(iter(cache))]
         return out
 
     # ------------------------------------------------------------------

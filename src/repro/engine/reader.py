@@ -206,7 +206,10 @@ class ReadEngine:
         self._contexts: dict = {}
         self._lock = _shared_lock if _shared_lock is not None \
             else threading.Lock()
-        self.reset_stats()
+        # Not reset_stats(): when the memo/lock are shared through
+        # ``Engine.reader`` the construction happens while the caller
+        # already holds the (non-reentrant) lock.
+        self._reset_stats_locked()
 
     # ------------------------------------------------------------------
     # Statistics
@@ -214,6 +217,10 @@ class ReadEngine:
 
     def reset_stats(self) -> None:
         """Zero every counter (the memo itself is left intact)."""
+        with self._lock:
+            self._reset_stats_locked()
+
+    def _reset_stats_locked(self) -> None:
         self._tier0_hits = 0
         self._tier1_hits = 0
         self._tier1_bailouts = 0
@@ -232,7 +239,16 @@ class ReadEngine:
         (nan/inf/zero literals), ``read_cache_hits`` /
         ``read_cache_misses`` (the memo) and ``read_conversions``
         (every read, however resolved).
+
+        The snapshot is taken under the engine lock and every counter
+        mutation happens under the same lock (batch reads flush local
+        tallies once per batch), so concurrent readers never observe a
+        torn mid-batch state.
         """
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> dict:
         return {
             "read_tier0_hits": self._tier0_hits,
             "read_tier1_hits": self._tier1_hits,
@@ -321,9 +337,13 @@ class ReadEngine:
 
     def _convert(self, sign: int, d: int, q: int, fmt: FloatFormat,
                  mode: ReaderMode, tables: FormatTables
-                 ) -> Tuple[Flonum, str]:
+                 ) -> Tuple[Flonum, str, bool]:
         """Route one finite literal ``(-1)**sign * d * 10**q`` through
-        the tiers: ``(value, tier)``.
+        the tiers: ``(value, tier, tier1_bailed)``.
+
+        Counter-free — the public entry points attribute the result
+        under the engine lock so batch loops can run it lock-free and
+        flush tallies once per batch.
 
         The engine's hot core — every public entry point (and the memo)
         funnels here with the format tables already resolved, and tier 1
@@ -350,8 +370,8 @@ class ReadEngine:
         bails to the exact tier.
         """
         if d == 0:
-            self._specials += 1
-            return Flonum.zero(fmt, sign), "special"
+            return Flonum.zero(fmt, sign), "special", False
+        bailed = False
         if ((self.tier0 or self.tier1) and tables.read_fast_ok
                 and (mode is ReaderMode.NEAREST_EVEN
                      or mode is ReaderMode.NEAREST_UNKNOWN)):
@@ -368,11 +388,9 @@ class ReadEngine:
                 mag = q19 + READ_TRUNCATION_DIGITS
             # Decimal magnitude: value ∈ [10**(mag-1), 10**mag).
             if mag - 1 >= tables.read_inf_exp10:
-                self._tier0_hits += 1
-                return Flonum.infinity(fmt, sign), "tier0"
+                return Flonum.infinity(fmt, sign), "tier0", False
             if mag <= tables.read_zero_exp10:
-                self._tier0_hits += 1
-                return Flonum.zero(fmt, sign), "tier0"
+                return Flonum.zero(fmt, sign), "tier0", False
             mantissa_limit = tables.mantissa_limit
             if self.tier0 and not sticky and d19 < mantissa_limit:
                 if tables.read_host_float:
@@ -381,7 +399,6 @@ class ReadEngine:
                     if _HOST_POW10_MIN <= q19 <= _HOST_POW10_MAX:
                         fast = _try_fast(d19, q19)
                         if fast is not None:
-                            self._tier0_hits += 1
                             # The fast product is a normal binary64
                             # (magnitude within [1e-22, ~1e39]), so the
                             # frexp mantissa scaled to 53 bits is already
@@ -389,12 +406,11 @@ class ReadEngine:
                             m, ex = _frexp(fast)
                             return (Flonum._finite_trusted(
                                 sign, int(m * 9007199254740992.0),
-                                ex - 53, fmt), "tier0")
+                                ex - 53, fmt), "tier0", False)
                 else:
                     v = self._tier0(d19, q19, sign, tables, fmt)
                     if v is not None:
-                        self._tier0_hits += 1
-                        return v, "tier0"
+                        return v, "tier0", False
             if self.tier1:
                 parts = _POW10_PARTS.get(q19)
                 if parts is None:
@@ -428,13 +444,12 @@ class ReadEngine:
                     else:
                         f = -1  # a boundary is inside: certify exactly
                     if f >= 0:
-                        self._tier1_hits += 1
                         if t > max_e:
-                            return Flonum.infinity(fmt, sign), "tier1"
+                            return Flonum.infinity(fmt, sign), "tier1", False
                         if f == 0:
-                            return Flonum.zero(fmt, sign), "tier1"
+                            return Flonum.zero(fmt, sign), "tier1", False
                         return (Flonum._finite_trusted(sign, f, t, fmt),
-                                "tier1")
+                                "tier1", False)
                 if shift <= 0 or f < 0:
                     r = _round_nearest(lo, e2, False, min_e, max_e, prec,
                                        mantissa_limit)
@@ -443,39 +458,51 @@ class ReadEngine:
                                                  mantissa_limit):
                         r = None
                     if r is not None:
-                        self._tier1_hits += 1
                         if r is _OVERFLOW:
-                            return Flonum.infinity(fmt, sign), "tier1"
+                            return Flonum.infinity(fmt, sign), "tier1", False
                         f, t = r
                         if f == 0:
-                            return Flonum.zero(fmt, sign), "tier1"
+                            return Flonum.zero(fmt, sign), "tier1", False
                         return (Flonum._finite_trusted(sign, f, t, fmt),
-                                "tier1")
-                    self._tier1_bailouts += 1
-        self._tier2_calls += 1
+                                "tier1", False)
+                    bailed = True
         num, den = (d * 10**q, 1) if q >= 0 else (d, 10**-q)
         value = round_rational(num, den, fmt, mode, negative=bool(sign))
-        return value, "tier2"
+        return value, "tier2", bailed
 
     def _convert_parsed(self, parsed: ParsedNumber, fmt: FloatFormat,
                         mode: ReaderMode, tables: FormatTables
-                        ) -> Tuple[Flonum, str]:
+                        ) -> Tuple[Flonum, str, bool]:
         """:meth:`_convert` with the special literals peeled off."""
         special = parsed.special
         if special is not None:
-            self._specials += 1
             if special == "nan":
-                return Flonum.nan(fmt), "special"
-            return Flonum.infinity(fmt, parsed.sign), "special"
+                return Flonum.nan(fmt), "special", False
+            return Flonum.infinity(fmt, parsed.sign), "special", False
         return self._convert(parsed.sign, parsed.digits, parsed.exponent,
                              fmt, mode, tables)
+
+    def _bump_locked(self, tier: str, bailed: bool) -> None:
+        """Attribute one conversion (caller holds the lock)."""
+        if bailed:
+            self._tier1_bailouts += 1
+        if tier == "tier0":
+            self._tier0_hits += 1
+        elif tier == "tier1":
+            self._tier1_hits += 1
+        elif tier == "tier2":
+            self._tier2_calls += 1
+        else:
+            self._specials += 1
 
     def read_parsed(self, parsed: ParsedNumber, fmt: FloatFormat = BINARY64,
                     mode: ReaderMode = ReaderMode.NEAREST_EVEN
                     ) -> ReadResult:
         """Route one already-parsed literal through the tiers."""
-        value, tier = self._convert_parsed(parsed, fmt, mode,
-                                           self._context(fmt, mode)[1])
+        value, tier, bailed = self._convert_parsed(
+            parsed, fmt, mode, self._context(fmt, mode)[1])
+        with self._lock:
+            self._bump_locked(tier, bailed)
         return ReadResult(value, tier)
 
     def read_result(self, text: str, fmt: FloatFormat = BINARY64,
@@ -505,13 +532,14 @@ class ReadEngine:
                 return ReadResult(hit[0], "memo")
         scanned = _scan_decimal(s)
         if scanned is not None:
-            value, tier = self._convert(scanned[0], scanned[1], scanned[2],
-                                        fmt, mode, tables)
+            value, tier, bailed = self._convert(
+                scanned[0], scanned[1], scanned[2], fmt, mode, tables)
         else:
-            value, tier = self._convert_parsed(parse_decimal(s), fmt, mode,
-                                               tables)
-        if key is not None:
-            with self._lock:
+            value, tier, bailed = self._convert_parsed(
+                parse_decimal(s), fmt, mode, tables)
+        with self._lock:
+            self._bump_locked(tier, bailed)
+            if key is not None:
                 cache = self._cache
                 cache[key] = (value, tier)
                 if len(cache) > self.cache_size:
@@ -540,13 +568,14 @@ class ReadEngine:
                 return hit[0]
         scanned = _scan_decimal(s)
         if scanned is not None:
-            value, tier = self._convert(scanned[0], scanned[1], scanned[2],
-                                        fmt, mode, tables)
+            value, tier, bailed = self._convert(
+                scanned[0], scanned[1], scanned[2], fmt, mode, tables)
         else:
-            value, tier = self._convert_parsed(parse_decimal(s), fmt, mode,
-                                               tables)
-        if key is not None:
-            with self._lock:
+            value, tier, bailed = self._convert_parsed(
+                parse_decimal(s), fmt, mode, tables)
+        with self._lock:
+            self._bump_locked(tier, bailed)
+            if key is not None:
                 cache = self._cache
                 cache[key] = (value, tier)
                 if len(cache) > self.cache_size:
@@ -561,10 +590,15 @@ class ReadEngine:
         Semantically ``[self.read(t, fmt, mode) for t in texts]``, but
         the memo is probed for the whole batch under one lock
         acquisition, misses are converted outside the lock, and the new
-        entries are installed under one more — thousands of reads cost
-        two lock round-trips instead of two each.
+        entries are installed (and all counters flushed) under one more
+        — thousands of reads cost two lock round-trips instead of two
+        each.  An empty batch touches no shared state at all, and with
+        the memo disabled the whole batch takes a single acquisition
+        (the counter flush).
         """
         stripped = [t.strip() for t in texts]
+        if not stripped:
+            return []
         ctx_id, tables = self._context(fmt, mode)
         out: List[Optional[Flonum]] = [None] * len(stripped)
         misses: List[int] = []
@@ -594,21 +628,31 @@ class ReadEngine:
         memoize = fresh.append
         memo_on = bool(self.cache_size)
         new_misses = 0
+        t0 = t1 = t1b = t2 = sp = 0
         for i in misses:
             s = stripped[i]
             scanned = scan(s)
             if scanned is not None:
-                value, tier = convert(scanned[0], scanned[1], scanned[2],
-                                      fmt, mode, tables)
+                value, tier, bailed = convert(
+                    scanned[0], scanned[1], scanned[2], fmt, mode, tables)
             else:
-                value, tier = self._convert_parsed(parse_decimal(s), fmt,
-                                                   mode, tables)
+                value, tier, bailed = self._convert_parsed(
+                    parse_decimal(s), fmt, mode, tables)
+            if bailed:
+                t1b += 1
+            if tier == "tier0":
+                t0 += 1
+            elif tier == "tier1":
+                t1 += 1
+            elif tier == "tier2":
+                t2 += 1
+            else:
+                sp += 1
             out[i] = value
             if memo_on and len(s) <= _MEMO_TEXT_LIMIT:
                 new_misses += 1
                 memoize((s, value, tier))
-        if fresh:
-            self._cache_misses += new_misses
+        if fresh or misses:
             size = self.cache_size
             if len(fresh) > size:
                 # A batch larger than the memo: sequential reads would
@@ -617,9 +661,15 @@ class ReadEngine:
                 del fresh[:-size]
             cache = self._cache
             with self._lock:
+                self._tier0_hits += t0
+                self._tier1_hits += t1
+                self._tier1_bailouts += t1b
+                self._tier2_calls += t2
+                self._specials += sp
+                self._cache_misses += new_misses
                 for s, value, tier in fresh:
                     cache[(s, ctx_id)] = (value, tier)
-                while len(cache) > size:
+                while size and len(cache) > size:
                     del cache[next(iter(cache))]
         return out  # type: ignore[return-value]
 

@@ -1,0 +1,32 @@
+"""The bulk serving layer: columnar ingestion, batch emission, and
+sharded multi-worker pipelines over the tiered engines.
+
+This package depends on :mod:`repro.engine.bulk` (which holds the
+ingestion/dedup kernels), never the reverse.
+"""
+
+from repro.engine.bulk import (
+    bits_from_buffer,
+    floats_from_bits64,
+    format_bulk,
+    format_column,
+    ingest_bits,
+    pack_bits,
+    read_bulk,
+    read_column,
+)
+from repro.serve.pool import BulkPool
+from repro.serve.writer import DelimitedWriter
+
+__all__ = [
+    "BulkPool",
+    "DelimitedWriter",
+    "bits_from_buffer",
+    "floats_from_bits64",
+    "format_bulk",
+    "format_column",
+    "ingest_bits",
+    "pack_bits",
+    "read_bulk",
+    "read_column",
+]

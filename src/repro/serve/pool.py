@@ -1,0 +1,305 @@
+"""Sharded multi-worker bulk pipelines over the tiered engines.
+
+A :class:`BulkPool` chunks a column across ``concurrent.futures``
+workers and merges the results in input order:
+
+* ``kind="thread"`` shares one engine across a thread pool — right for
+  memo-hot / fast-tier-dominated traffic, where conversions spend
+  little time holding the engine lock and the batch APIs only take it
+  twice per shard;
+* ``kind="process"`` (the default) gives every worker its own engine
+  in a forked interpreter — right for exact-fallback-heavy traffic,
+  which is CPU-bound big-integer work the GIL would serialize.  The
+  parent warms the per-format :class:`~repro.engine.tables.FormatTables`
+  *before* the pool starts, so forked workers inherit the precomputed
+  powers instead of rebuilding them, and each worker re-warms on init
+  for spawn-style start methods.
+
+Shard payloads cross the process boundary as packed native-order bit
+patterns (one ``array.tobytes`` per shard), never as Python object
+lists, and formats travel by *name* so workers resolve the canonical
+:data:`~repro.floats.formats.STANDARD_FORMATS` instances — engine fast
+paths key on format identity.
+
+Results are merged by concatenating delimiter-terminated payloads;
+:meth:`BulkPool.stats` sums the per-shard engine counter deltas.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Iterable, List, Optional, Union
+
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.engine.bulk import (
+    _bits_from_bytes,
+    _itemsize,
+    _split_rows,
+    format_column,
+    ingest_bits,
+    pack_bits,
+    read_column,
+)
+from repro.errors import RangeError
+from repro.floats.formats import BINARY64, FloatFormat, STANDARD_FORMATS
+from repro.floats.model import Flonum
+
+__all__ = ["BulkPool"]
+
+#: The worker-private engine for process pools (one per interpreter,
+#: built by the initializer, reused across shards).
+_WORKER_ENGINE = None
+
+
+def _worker_engine():
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        from repro.engine.engine import Engine
+
+        _WORKER_ENGINE = Engine()
+    return _WORKER_ENGINE
+
+
+def _init_worker(fmt_names) -> None:
+    """Process-pool initializer: build the engine, warm the tables."""
+    from repro.engine.tables import tables_for
+
+    eng = _worker_engine()
+    for name in fmt_names:
+        tables_for(STANDARD_FORMATS[name], 10)
+    del eng
+
+
+def _format_shard(payload) -> tuple:
+    """Format one packed shard: ``(delimited_ascii, stats_delta)``."""
+    fmt_name, raw, mode, tie, dedup, delim = payload
+    fmt = STANDARD_FORMATS[fmt_name]
+    eng = _worker_engine()
+    eng.reset_stats()
+    texts = format_column(raw, fmt, engine=eng, mode=mode, tie=tie,
+                          dedup=dedup)
+    d = delim.decode("ascii")
+    body = (d.join(texts) + d).encode("ascii") if texts else b""
+    return body, eng.stats()
+
+
+def _read_shard(payload) -> tuple:
+    """Parse one delimited shard: ``(packed_bits, stats_delta)``."""
+    fmt_name, raw, mode, dedup, delim = payload
+    fmt = STANDARD_FORMATS[fmt_name]
+    eng = _worker_engine()
+    eng.reset_stats()
+    values = read_column(raw, fmt, engine=eng, mode=mode,
+                         delimiter=delim, dedup=dedup)
+    bits = [v.to_bits() for v in values]
+    return pack_bits(bits, fmt), eng.stats()
+
+
+def _chunk_slices(n: int, shards: int) -> List[tuple]:
+    """``shards`` near-equal ``(start, stop)`` spans covering ``n``."""
+    shards = max(1, min(shards, n))
+    base, extra = divmod(n, shards)
+    spans = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+class BulkPool:
+    """An order-preserving sharded format/read pipeline.
+
+    Args:
+        jobs: Worker count (default: ``os.cpu_count()``).
+        kind: ``"process"`` (per-worker engines, fork-first) or
+            ``"thread"`` (one shared engine).
+        fmt: The column's float format — must be a standard
+            byte-encoded format (it travels by name).
+        mode / tie: Reader assumption and tie strategy for formatting.
+        dedup: Intern duplicate values inside each shard.
+        delimiter: Row terminator for bulk payloads.
+        shards_per_job: Shards dispatched per worker (smaller shards
+            smooth stragglers; each shard pays one transport).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, kind: str = "process",
+                 fmt: FloatFormat = BINARY64,
+                 mode: ReaderMode = ReaderMode.NEAREST_EVEN,
+                 tie: TieBreak = TieBreak.UP, dedup: bool = True,
+                 delimiter: Union[bytes, str] = b"\n",
+                 shards_per_job: int = 2, engine=None):
+        if kind not in ("process", "thread"):
+            raise RangeError(f"kind must be 'process' or 'thread', "
+                             f"got {kind!r}")
+        if fmt.name not in STANDARD_FORMATS \
+                or STANDARD_FORMATS[fmt.name] is not fmt:
+            raise RangeError(
+                f"BulkPool requires a standard format, got {fmt!r}")
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise RangeError("jobs must be >= 1")
+        self.kind = kind
+        self.fmt = fmt
+        self.mode = mode
+        self.tie = tie
+        self.dedup = dedup
+        if isinstance(delimiter, str):
+            delimiter = delimiter.encode("ascii")
+        else:
+            delimiter = bytes(delimiter)
+        if not delimiter:
+            raise RangeError("delimiter must be non-empty")
+        self.delimiter = delimiter
+        self.shards_per_job = max(1, shards_per_job)
+        self._stats: dict = {}
+        self._executor = None
+        if kind == "thread":
+            from repro.engine.engine import Engine
+
+            self._engine = engine if engine is not None else Engine()
+        else:
+            self._engine = None
+            # Warm the per-format tables before any fork so workers
+            # inherit the precomputed powers copy-on-write.
+            from repro.engine.tables import tables_for
+
+            tables_for(fmt, 10)
+
+    # ------------------------------------------------------------------
+    # Executor management
+    # ------------------------------------------------------------------
+
+    def _pool(self):
+        if self.jobs == 1:
+            return None
+        if self._executor is None:
+            if self.kind == "thread":
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.jobs)
+            else:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX
+                    ctx = multiprocessing.get_context()
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=ctx,
+                    initializer=_init_worker, initargs=((self.fmt.name,),))
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "BulkPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Pipelines
+    # ------------------------------------------------------------------
+
+    def _merge_stats(self, delta: dict) -> None:
+        acc = self._stats
+        for k, v in delta.items():
+            acc[k] = acc.get(k, 0) + v
+
+    def _run_shards(self, fn, payloads: List[tuple]) -> List[bytes]:
+        pool = self._pool()
+        if pool is None or len(payloads) == 1:
+            results = [fn(p) for p in payloads]
+        else:
+            results = list(pool.map(fn, payloads))
+        out = []
+        for body, delta in results:
+            self._merge_stats(delta)
+            out.append(body)
+        return out
+
+    def format_bulk(self, data) -> bytes:
+        """Serialize a column to delimiter-terminated ASCII bytes."""
+        bits = ingest_bits(data, self.fmt)
+        if not bits:
+            return b""
+        if self.kind == "thread":
+            spans = _chunk_slices(len(bits),
+                                  self.jobs * self.shards_per_job)
+            eng, d = self._engine, self.delimiter.decode("ascii")
+
+            def shard(span):
+                texts = format_column(bits[span[0]:span[1]], self.fmt,
+                                      engine=eng, mode=self.mode,
+                                      tie=self.tie, dedup=self.dedup)
+                return (d.join(texts) + d).encode("ascii"), {}
+
+            pool = self._pool()
+            if pool is None:
+                parts = [shard(s)[0] for s in spans]
+            else:
+                parts = [body for body, _ in pool.map(shard, spans)]
+            return b"".join(parts)
+        spans = _chunk_slices(len(bits), self.jobs * self.shards_per_job)
+        payloads = [(self.fmt.name,
+                     pack_bits(bits[a:b], self.fmt),
+                     self.mode, self.tie, self.dedup, self.delimiter)
+                    for a, b in spans]
+        return b"".join(self._run_shards(_format_shard, payloads))
+
+    def format_column(self, data) -> List[str]:
+        """Shortest strings for a column, in input order."""
+        payload = self.format_bulk(data)
+        return _split_rows(payload, self.delimiter)
+
+    def read_bulk(self, data, out: str = "bits"):
+        """Parse a delimited payload (or sequence of literals)."""
+        if out not in ("bits", "flonums"):
+            raise RangeError(f"out must be 'bits' or 'flonums', "
+                             f"got {out!r}")
+        if isinstance(data, (bytes, bytearray, memoryview, str)):
+            texts = _split_rows(data, self.delimiter)
+        elif isinstance(data, list):
+            texts = data
+        else:
+            texts = list(data)
+        if not texts:
+            return []
+        if self.kind == "thread":
+            values = read_column(texts, self.fmt, engine=self._engine,
+                                 mode=self.mode, dedup=self.dedup)
+            if out == "flonums":
+                return values
+            return [v.to_bits() for v in values]
+        d = self.delimiter.decode("ascii")
+        spans = _chunk_slices(len(texts), self.jobs * self.shards_per_job)
+        payloads = [(self.fmt.name,
+                     (d.join(texts[a:b]) + d).encode("ascii"),
+                     self.mode, self.dedup, self.delimiter)
+                    for a, b in spans]
+        itemsize = _itemsize(self.fmt)
+        bits: List[int] = []
+        for packed in self._run_shards(_read_shard, payloads):
+            bits.extend(_bits_from_bytes(packed, itemsize))
+        if out == "bits":
+            return bits
+        from_bits = Flonum.from_bits
+        fmt = self.fmt
+        return [from_bits(b, fmt) for b in bits]
+
+    def stats(self) -> dict:
+        """Merged engine counters across every shard so far.
+
+        For process pools this sums the per-shard deltas the workers
+        report (``cache_entries`` therefore totals entries across
+        worker memos); for thread pools it is the shared engine's live
+        :meth:`~repro.engine.engine.Engine.stats`.
+        """
+        if self.kind == "thread":
+            return self._engine.stats()
+        return dict(self._stats)

@@ -1,0 +1,84 @@
+"""A reusable delimiter-terminated byte buffer for bulk emission.
+
+Serving loops format the same columns over and over; reusing one
+``bytearray`` across batches avoids re-growing the buffer each time
+(``clear()`` keeps the allocation).  Rows are ASCII — everything the
+engines emit is — and every row is *terminated* (not separated) by the
+delimiter, so concatenating shard payloads is associative, which is
+what lets :class:`repro.serve.BulkPool` merge worker output with a
+plain join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.errors import RangeError
+
+__all__ = ["DelimitedWriter"]
+
+
+class DelimitedWriter:
+    """Accumulate delimiter-terminated ASCII rows in one buffer.
+
+    Args:
+        delimiter: Row terminator (``bytes`` or ``str``), non-empty.
+            The default ``b"\\n"`` gives JSON-lines/CSV-column shaped
+            output.
+    """
+
+    __slots__ = ("_buf", "_delim", "_delim_str")
+
+    def __init__(self, delimiter: Union[bytes, str] = b"\n"):
+        if isinstance(delimiter, str):
+            delim = delimiter.encode("ascii")
+        else:
+            delim = bytes(delimiter)
+        if not delim:
+            raise RangeError("delimiter must be non-empty")
+        self._delim = delim
+        self._delim_str = delim.decode("ascii")
+        self._buf = bytearray()
+
+    @property
+    def delimiter(self) -> bytes:
+        return self._delim
+
+    def write(self, text: str) -> "DelimitedWriter":
+        """Append one row (terminated)."""
+        self._buf += text.encode("ascii")
+        self._buf += self._delim
+        return self
+
+    def extend(self, texts: Iterable[str]) -> "DelimitedWriter":
+        """Append many rows with one join + one encode for the batch."""
+        if not isinstance(texts, (list, tuple)):
+            texts = list(texts)
+        if texts:
+            d = self._delim_str
+            self._buf += (d.join(texts) + d).encode("ascii")
+        return self
+
+    def write_bytes(self, payload: bytes) -> "DelimitedWriter":
+        """Append an already-terminated payload (e.g. a shard's output)."""
+        self._buf += payload
+        return self
+
+    def getvalue(self) -> bytes:
+        """The accumulated payload as immutable bytes (a copy)."""
+        return bytes(self._buf)
+
+    def view(self) -> memoryview:
+        """Zero-copy view of the buffer — invalidated by further writes."""
+        return memoryview(self._buf)
+
+    def clear(self) -> "DelimitedWriter":
+        """Drop the contents, keep the allocation."""
+        self._buf.clear()
+        return self
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __bytes__(self) -> bytes:
+        return bytes(self._buf)

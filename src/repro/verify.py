@@ -56,8 +56,8 @@ from repro.reader.bellerophon import bellerophon
 from repro.reader.exact import read_fraction
 
 __all__ = ["VerificationReport", "verify_format", "verify_roundtrip",
-           "sample_values", "roundtrip_values", "counted_digits_rational",
-           "main"]
+           "verify_bulk", "sample_values", "roundtrip_values",
+           "counted_digits_rational", "main"]
 
 #: Significant-digit probes for the counted/fixed checks (the engine's
 #: fast tier certifies at most 17; 17 is also binary64's distinguishing
@@ -553,6 +553,95 @@ def verify_roundtrip(fmt: FloatFormat = BINARY64, n: int = 50000,
 
 
 # ----------------------------------------------------------------------
+# The bulk battery: the serving layer against the scalar engine
+# ----------------------------------------------------------------------
+
+def _compare_rows(report: VerificationReport, tag: str, got, want,
+                  values) -> None:
+    """Tag one whole-column comparison; report the first divergence."""
+    report.check(tag)
+    if got == want:
+        return
+    if len(got) != len(want):
+        report.record(tag, values[0],
+                      f"row count {len(got)} != {len(want)}")
+        return
+    for i, (g, w) in enumerate(zip(got, want)):
+        if g != w:
+            report.record(tag, values[i], f"row {i}: {g!r} != {w!r}")
+            return
+
+
+def verify_bulk(fmt: FloatFormat = BINARY64, n: int = 50000, seed: int = 0,
+                jobs: int = 2) -> VerificationReport:
+    """Byte-identity of the bulk serving layer against the scalar engine.
+
+    The bulk layer (:mod:`repro.serve`) reorders work — columnar
+    ingestion, dedup interning, shard split/merge — but must never
+    change a single output byte.  This battery formats the signed
+    round-trip sample (:func:`roundtrip_values` plus NaN and both
+    infinities) once through the scalar :meth:`Engine.format` path as
+    the oracle, then checks every bulk route against it:
+
+    * :func:`repro.serve.format_column` with interning on and off, fed
+      bit patterns *and* the packed byte column (the zero-copy path);
+    * :func:`repro.serve.format_bulk` payload bytes against the joined
+      scalar rows (the :class:`~repro.serve.DelimitedWriter` leg);
+    * a process :class:`~repro.serve.BulkPool` (``jobs`` workers) on
+      the same packed column — shard split, per-worker engines and
+      order-preserving merge;
+    * :func:`repro.serve.read_bulk` of the payload against the scalar
+      :meth:`ReadEngine.read_many` bits (and, transitively, the
+      original bits — the sample round-trips by construction).
+    """
+    from repro.serve import (BulkPool, format_bulk, format_column,
+                             pack_bits, read_bulk)
+
+    report = VerificationReport(format_name=f"{fmt.name} bulk")
+    eng = Engine()
+    values = roundtrip_values(fmt, n, seed)
+    values.append(Flonum.nan(fmt))
+    values.append(Flonum.infinity(fmt, 0))
+    values.append(Flonum.infinity(fmt, 1))
+    report.checked = len(values)
+    bits = [v.to_bits() for v in values]
+    packed = pack_bits(bits, fmt)
+    scalar = [eng.format(v, fmt=fmt) for v in values]
+
+    _compare_rows(report, "bulk/column-dedup",
+                  format_column(bits, fmt, engine=eng), scalar, values)
+    _compare_rows(report, "bulk/column-nodedup",
+                  format_column(bits, fmt, engine=eng, dedup=False),
+                  scalar, values)
+    _compare_rows(report, "bulk/column-packed",
+                  format_column(packed, fmt, engine=eng), scalar, values)
+
+    payload = format_bulk(bits, fmt, engine=eng)
+    want_payload = ("\n".join(scalar) + "\n").encode("ascii")
+    report.check("bulk/writer")
+    if payload != want_payload:
+        report.record("bulk/writer", values[0],
+                      f"payload differs ({len(payload)} vs "
+                      f"{len(want_payload)} bytes)")
+
+    with BulkPool(jobs=jobs, fmt=fmt) as pool:
+        pool_payload = pool.format_bulk(packed)
+        report.check("bulk/pool-format")
+        if pool_payload != want_payload:
+            report.record("bulk/pool-format", values[0],
+                          f"pool payload differs ({len(pool_payload)} vs "
+                          f"{len(want_payload)} bytes)")
+        _compare_rows(report, "bulk/pool-read",
+                      pool.read_bulk(payload), bits, values)
+
+    want_bits = [v.to_bits() for v in eng.read_many(scalar, fmt)]
+    _compare_rows(report, "bulk/read",
+                  read_bulk(payload, fmt, engine=eng), want_bits, values)
+    _compare_rows(report, "bulk/read-roundtrip", want_bits, bits, values)
+    return report
+
+
+# ----------------------------------------------------------------------
 # CLI: ``python -m repro.verify`` (the nightly fuzz entry point)
 # ----------------------------------------------------------------------
 
@@ -568,7 +657,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "tier against independent oracles.")
     parser.add_argument("--n", type=int, default=None,
                         help="values sampled per format (default 200; "
-                             "50000 with --roundtrip)")
+                             "50000 with --roundtrip or --bulk)")
     parser.add_argument("--seed", default="0",
                         help="sample seed: an integer, or 'fresh' for a "
                              "new random seed (nightly fuzz; the chosen "
@@ -581,12 +670,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run the print↔parse round-trip battery "
                              "(tiered read engine + host float() oracle) "
                              "instead of the printing battery")
+    parser.add_argument("--bulk", action="store_true",
+                        help="run the bulk serving-layer battery: every "
+                             "columnar/pooled route must be byte-identical "
+                             "to the scalar engine")
     args = parser.parse_args(argv)
+    if args.roundtrip and args.bulk:
+        parser.error("--roundtrip and --bulk are separate batteries")
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
-    n = args.n if args.n is not None else (50000 if args.roundtrip else 200)
-    battery = verify_roundtrip if args.roundtrip else verify_format
-    kind = "round-trip" if args.roundtrip else "verification"
+    deep = args.roundtrip or args.bulk
+    n = args.n if args.n is not None else (50000 if deep else 200)
+    if args.bulk:
+        battery, kind = verify_bulk, "bulk"
+    elif args.roundtrip:
+        battery, kind = verify_roundtrip, "round-trip"
+    else:
+        battery, kind = verify_format, "verification"
     print(f"{kind} battery: n={n} seed={seed} "
           f"formats={','.join(args.formats)}")
     failures = 0

@@ -5,8 +5,11 @@ from repro.workloads.corpus import (
     boundary_neighbourhood,
     decimal_ties,
     denormals,
+    duplicated_random,
     power_boundaries,
     torture_floats,
+    uniform_random,
+    zipf_random,
 )
 from repro.workloads.schryer import (
     PAPER_CORPUS_SIZE,
@@ -21,8 +24,11 @@ __all__ = [
     "boundary_neighbourhood",
     "decimal_ties",
     "denormals",
+    "duplicated_random",
     "power_boundaries",
     "torture_floats",
+    "uniform_random",
+    "zipf_random",
     "PAPER_CORPUS_SIZE",
     "corpus",
     "exponent_sweep",

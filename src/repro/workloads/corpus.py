@@ -22,6 +22,8 @@ __all__ = [
     "decimal_ties",
     "torture_floats",
     "uniform_random",
+    "duplicated_random",
+    "zipf_random",
     "all_positive_finite",
     "boundary_neighbourhood",
 ]
@@ -51,6 +53,38 @@ def uniform_random(n: int, fmt: FloatFormat = BINARY64, seed: int = 2024,
         if v.is_finite and not v.is_zero:
             out.append(v)
     return out
+
+
+def duplicated_random(n: int, distinct: int, fmt: FloatFormat = BINARY64,
+                      seed: int = 2024, signed: bool = False,
+                      skew: float = 0.0) -> List[Flonum]:
+    """``n`` draws *with replacement* from a ``distinct``-element
+    uniform-random universe — the duplicate-bearing corpus real
+    telemetry looks like (sensor streams, column dumps, log replays).
+
+    ``skew = 0`` draws every universe element with equal probability
+    (average duplication factor ``n / distinct``); ``skew > 0`` weights
+    rank ``k`` by ``1 / (k + 1)**skew``, the Zipf-like head-heavy shape
+    where a few values dominate the stream.  Deterministic for a given
+    ``seed``; the universe is exactly ``uniform_random(distinct, fmt,
+    seed, signed)``.
+    """
+    if distinct < 1:
+        raise ReproError("distinct must be >= 1")
+    universe = uniform_random(distinct, fmt, seed, signed)
+    rng = random.Random(seed ^ 0x5DEECE66D)
+    if skew:
+        weights = [1.0 / (k + 1) ** skew for k in range(len(universe))]
+        return rng.choices(universe, weights=weights, k=n)
+    return rng.choices(universe, k=n)
+
+
+def zipf_random(n: int, distinct: int, s: float = 1.3,
+                fmt: FloatFormat = BINARY64, seed: int = 2024,
+                signed: bool = False) -> List[Flonum]:
+    """Zipf-distributed draws over a random universe:
+    :func:`duplicated_random` with rank weights ``1/(k+1)**s``."""
+    return duplicated_random(n, distinct, fmt, seed, signed, skew=s)
 
 
 def power_boundaries(fmt: FloatFormat = BINARY64, lo: int = -40,

@@ -1,0 +1,158 @@
+"""Satellite: batch-API edge cases — empty batches, memo-disabled
+engines, and batches larger than the memo.
+
+The contracts under test:
+
+* an empty batch returns ``[]`` without touching shared state (zero
+  lock acquisitions);
+* a memo-disabled engine runs the whole batch lock-free and takes
+  exactly one acquisition (the counter flush);
+* a batch larger than the memo installs only the tail the equivalent
+  sequential calls would have left behind, and never grows the memo
+  past its bound;
+* intra-batch duplicates are deduplicated against the batch-local
+  pending set and counted as cache hits.
+"""
+
+import random
+
+from repro.engine import Engine, ReadEngine
+
+
+class CountingLock:
+    """A context-manager lock proxy that tallies acquisitions."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self.acquisitions += 1
+        return self.inner.__enter__()
+
+    def __exit__(self, *exc):
+        return self.inner.__exit__(*exc)
+
+    def acquire(self, *a, **kw):
+        self.acquisitions += 1
+        return self.inner.acquire(*a, **kw)
+
+    def release(self):
+        return self.inner.release()
+
+
+def _vals(n, seed=1):
+    rng = random.Random(seed)
+    return [rng.uniform(-1e9, 1e9) for _ in range(n)]
+
+
+def _count_locks(obj):
+    proxy = CountingLock(obj._lock)
+    obj._lock = proxy
+    return proxy
+
+
+class TestEmptyBatches:
+    def test_format_many_empty_no_lock(self):
+        eng = Engine()
+        proxy = _count_locks(eng)
+        assert eng.format_many([]) == []
+        assert eng.format_many(iter([])) == []
+        assert proxy.acquisitions == 0
+
+    def test_format_many_empty_general_path(self):
+        eng = Engine()
+        assert eng.format_many([], base=16) == []
+
+    def test_read_many_empty_no_lock(self):
+        eng = ReadEngine()
+        proxy = _count_locks(eng)
+        assert eng.read_many([]) == []
+        assert eng.read_many(iter([])) == []
+        assert proxy.acquisitions == 0
+
+    def test_empty_batches_leave_stats_untouched(self):
+        eng = Engine()
+        eng.format_many([])
+        eng.read_many([])
+        assert eng.stats()["conversions"] == 0
+        assert eng.stats()["read_conversions"] == 0
+
+
+class TestMemoDisabled:
+    def test_format_many_single_flush_acquisition(self):
+        eng = Engine(cache_size=0)
+        vals = _vals(100)
+        eng.format_many(vals)  # warm context interning + tables
+        proxy = _count_locks(eng)
+        out = eng.format_many(vals)
+        assert proxy.acquisitions == 1
+        assert out == [repr(v) for v in vals]
+        assert eng.stats()["cache_hits"] == 0
+        assert eng.stats()["cache_entries"] == 0
+
+    def test_read_many_single_flush_acquisition(self):
+        eng = ReadEngine(cache_size=0)
+        texts = [repr(v) for v in _vals(100)]
+        eng.read_many(texts)  # warm context interning + tables
+        proxy = _count_locks(eng)
+        out = eng.read_many(texts)
+        assert proxy.acquisitions == 1
+        assert [v.to_float() for v in out] == [float(t) for t in texts]
+        assert eng.stats()["read_cache_hits"] == 0
+
+    def test_results_match_memoized_engine(self):
+        plain = Engine(cache_size=0)
+        memo = Engine(cache_size=4096)
+        vals = _vals(500, seed=9)
+        assert plain.format_many(vals) == memo.format_many(vals)
+
+
+class TestOversizedBatches:
+    def test_format_many_keeps_only_the_tail(self):
+        eng = Engine(cache_size=8)
+        vals = _vals(64, seed=3)
+        eng.format_many(vals)
+        assert eng.stats()["cache_entries"] <= 8
+        eng.reset_stats()
+        eng.format_many(vals[-8:])
+        s = eng.stats()
+        assert s["cache_hits"] == 8
+        assert s["cache_misses"] == 0
+        # The evicted head misses again.
+        eng.reset_stats()
+        eng.format_many(vals[:1])
+        assert eng.stats()["cache_misses"] == 1
+
+    def test_read_many_keeps_only_the_tail(self):
+        eng = ReadEngine(cache_size=8)
+        texts = [repr(v) for v in _vals(64, seed=4)]
+        eng.read_many(texts)
+        assert len(eng._cache) <= 8
+        eng.reset_stats()
+        eng.read_many(texts[-8:])
+        s = eng.stats()
+        assert s["read_cache_hits"] == 8
+        assert s["read_cache_misses"] == 0
+
+    def test_memo_never_exceeds_bound_under_stream(self):
+        eng = Engine(cache_size=16)
+        for i in range(10):
+            eng.format_many(_vals(50, seed=i))
+            assert eng.stats()["cache_entries"] <= 16
+
+
+class TestIntraBatchDuplicates:
+    def test_duplicates_hit_the_pending_set(self):
+        eng = Engine(cache_size=64)
+        out = eng.format_many([0.1] * 10)
+        assert out == ["0.1"] * 10
+        s = eng.stats()
+        assert s["cache_misses"] == 1
+        assert s["cache_hits"] == 9
+        assert s["conversions"] == 10
+
+    def test_duplicate_results_identical_objects(self):
+        eng = Engine()
+        a, b = eng.format_many([1.2345678e17] * 2)
+        assert a == b

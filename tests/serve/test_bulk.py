@@ -1,0 +1,138 @@
+"""The bulk serving API: column formatting, payload emit, bulk read."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.bulk import (
+    format_bulk,
+    format_column,
+    ingest_bits,
+    pack_bits,
+    read_bulk,
+    read_column,
+)
+from repro.errors import RangeError
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.floats.model import Flonum
+from repro.serve import DelimitedWriter
+from repro.workloads.corpus import uniform_random, zipf_random
+
+SPECIALS = [0.0, -0.0, float("inf"), float("-inf"), float("nan"),
+            5e-324, 1e308, 0.1, 2.0 ** -1022]
+
+
+def scalar_texts(eng, xs, fmt=BINARY64):
+    return [eng.format(Flonum.from_bits(b, fmt), fmt=fmt)
+            for b in ingest_bits(xs, fmt)]
+
+
+class TestFormatColumn:
+    def test_matches_scalar_engine_with_and_without_dedup(self):
+        eng = Engine()
+        xs = SPECIALS + [v.to_float() for v in uniform_random(200, seed=9)] \
+            + SPECIALS
+        want = scalar_texts(eng, xs)
+        assert format_column(xs, engine=eng) == want
+        assert format_column(xs, engine=eng, dedup=False) == want
+
+    def test_duplicates_hit_the_kernel_once(self):
+        eng = Engine(cache_size=0)  # memo off: conversions == kernel runs
+        xs = [0.1] * 50 + [0.2] * 50
+        eng.reset_stats()
+        out = format_column(xs, engine=eng)
+        assert out == ["0.1"] * 50 + ["0.2"] * 50
+        assert eng.stats()["conversions"] == 2
+
+    def test_dedup_keys_on_bits_not_float_equality(self):
+        eng = Engine()
+        out = format_column([0.0, -0.0, float("nan"), float("nan")],
+                            engine=eng)
+        assert out[0] != out[1]          # signed zeros stay distinct
+        assert out[2] == out[3] == "nan"
+
+    @pytest.mark.parametrize("fmt", [BINARY16, BINARY32],
+                             ids=lambda f: f.name)
+    def test_narrow_formats_go_through_the_generic_path(self, fmt):
+        eng = Engine()
+        bits = ingest_bits(pack_bits(list(range(40)), fmt), fmt)
+        assert format_column(bits, fmt, engine=eng) \
+               == scalar_texts(eng, bits, fmt)
+
+    def test_empty_column(self):
+        assert format_column([], engine=Engine()) == []
+
+
+class TestFormatBulk:
+    def test_payload_is_newline_terminated_rows(self):
+        eng = Engine()
+        xs = [1.5, 2.5, 0.1]
+        payload = format_bulk(xs, engine=eng)
+        assert payload == b"1.5\n2.5\n0.1\n"
+
+    def test_custom_delimiter_and_writer_reuse(self):
+        eng = Engine()
+        w = DelimitedWriter(b"\x00")
+        first = format_bulk([1.0], engine=eng, writer=w)
+        assert first == b"1\x00"
+        again = format_bulk([2.0], engine=eng, writer=w)
+        assert again == b"1\x002\x00"  # appended into the same buffer
+        w.clear()
+        assert format_bulk([3.0], engine=eng, writer=w) == b"3\x00"
+
+    def test_empty_column_empty_payload(self):
+        assert format_bulk([], engine=Engine()) == b""
+
+
+class TestReadBulk:
+    def test_round_trips_the_payload_bit_exactly(self):
+        eng = Engine()
+        xs = SPECIALS + [v.to_float()
+                         for v in uniform_random(100, seed=4, signed=True)]
+        bits = ingest_bits(xs, BINARY64)
+        payload = format_bulk(xs, engine=eng)
+        assert read_bulk(payload, engine=eng) == bits
+        flonums = read_bulk(payload, engine=eng, out="flonums")
+        assert [v.to_bits() for v in flonums] == bits
+
+    def test_accepts_literal_sequences_too(self):
+        eng = Engine()
+        texts = ["0.1", "-0", "1e300", "0.1"]
+        vals = read_column(texts, engine=eng)
+        assert [v.to_bits() for v in vals] == read_bulk(texts, engine=eng)
+        assert vals[0] == vals[3]
+
+    def test_dedup_reads_each_distinct_literal_once(self):
+        eng = Engine(cache_size=0)
+        eng.reset_stats()
+        read_bulk(["0.25"] * 30, engine=eng)
+        assert eng.stats()["read_conversions"] == 1
+
+    def test_bad_out_kind_raises(self):
+        with pytest.raises(RangeError):
+            read_bulk(b"1\n", out="strings")
+
+    def test_empty_payload(self):
+        assert read_bulk(b"", engine=Engine()) == []
+
+
+class TestZipfianThroughputShape:
+    def test_interning_shrinks_kernel_work_on_skewed_corpora(self):
+        eng = Engine(cache_size=0)
+        xs = zipf_random(2000, 150, s=1.3, seed=8)
+        eng.reset_stats()
+        format_column(xs, engine=eng)
+        assert eng.stats()["conversions"] == len(set(
+            ingest_bits(xs, BINARY64)))
+
+
+class TestDelimitedWriter:
+    def test_terminates_every_row(self):
+        w = DelimitedWriter(",")
+        w.write("a").extend(["b", "c"]).write_bytes(b"d,")
+        assert bytes(w) == b"a,b,c,d,"
+        assert len(w) == 8
+        assert w.view().tobytes() == w.getvalue()
+
+    def test_empty_delimiter_rejected(self):
+        with pytest.raises(RangeError):
+            DelimitedWriter("")

@@ -188,3 +188,44 @@ class TestStdin:
         status, lines = _run()
         assert status == 0
         assert lines == ["0.1", "1e23"]
+
+
+class TestBulk:
+    def test_matches_scalar_path(self):
+        vals = ["0.1", "1e300", "-0.0", "nan", "inf", "5e-324", "0.1"]
+        status, lines = _run("--bulk", *vals)
+        assert status == 0
+        assert lines == _run(*vals)[1]
+
+    def test_jobs_sharding_same_output(self):
+        vals = [f"{i}.{i}e{i % 40}" for i in range(1, 60)]
+        status, lines = _run("--bulk", "--jobs", "2", *vals)
+        assert status == 0
+        assert lines == _run("--bulk", *vals)[1]
+
+    def test_narrow_format(self):
+        status, lines = _run("--bulk", "--format", "binary32", "0.1", "2.5")
+        assert status == 0
+        assert lines == _run("--format", "binary32", "0.1", "2.5")[1]
+
+    def test_reader_mode_flows_through(self):
+        status, lines = _run("--bulk", "--reader-mode", "toward-zero",
+                             "1e23")
+        assert lines == _run("--reader-mode", "toward-zero", "1e23")[1]
+
+    @pytest.mark.parametrize("flag", [("--hex",), ("--read",),
+                                      ("--digits", "3"), ("--fast",),
+                                      ("--no-engine",), ("--base", "16"),
+                                      ("--python-repr",)])
+    def test_incompatible_flags_rejected(self, flag):
+        with pytest.raises(SystemExit):
+            run(["--bulk", *flag, "1.0"], out=io.StringIO())
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["--bulk", "--jobs", "0", "1.0"], out=io.StringIO())
+
+    def test_bad_literal_fails_whole_column(self):
+        status, lines = _run("--bulk", "0.1", "zzz")
+        assert status == 1
+        assert lines and lines[0].startswith("error:")

@@ -31,6 +31,13 @@ class TestBenchSchema:
         assert result["mismatches"] == 0
         assert result["reader"]["mismatches"] == 0
         assert result["reader"]["fast_resolved"] >= 0.95
+        assert result["bulk"]["mismatches"] == 0
+        assert result["binary32"]["mismatches"] == 0
+        assert result["binary32"]["fast_resolved"] >= 0.98
+        # Every section records the corpus composition.
+        for section in (result, result["fixed"], result["reader"],
+                        result["bulk"], result["binary32"]):
+            assert "mix" in section["corpus"]
 
     def test_committed_json_conforms(self):
         path = os.path.join(os.path.dirname(__file__), "..",
@@ -50,6 +57,8 @@ class TestBenchSchema:
         assert any(p.startswith("missing key: corpus.") for p in problems)
         assert "missing key: fixed" in problems
         assert "missing key: reader" in problems
+        assert "missing key: bulk" in problems
+        assert "missing key: binary32" in problems
 
     def test_reader_gates(self):
         tool = _load_bench_tool()
@@ -64,6 +73,33 @@ class TestBenchSchema:
         slow = dict(good, speedup={"read_many": 1.1})
         assert tool._check_reader_gates(slow, quick=True) == 0
         assert tool._check_reader_gates(slow, quick=False) == 1
+
+    def test_bulk_gates(self):
+        tool = _load_bench_tool()
+        good = {"mismatches": 0,
+                "speedup": {"uniform": 2.3, "zipf": 2.6}}
+        assert tool._check_bulk_gates(good, quick=False) == 0
+        assert tool._check_bulk_gates(
+            dict(good, mismatches=2), quick=True) == 1
+        # Timing gates only bind on full runs.
+        slow = dict(good, speedup={"uniform": 1.4, "zipf": 1.6})
+        assert tool._check_bulk_gates(slow, quick=True) == 0
+        assert tool._check_bulk_gates(slow, quick=False) == 1
+        inverted = dict(good, speedup={"uniform": 2.4, "zipf": 2.1})
+        assert tool._check_bulk_gates(inverted, quick=False) == 1
+
+    def test_binary32_gates(self):
+        tool = _load_bench_tool()
+        good = {"mismatches": 0, "fast_resolved": 0.99,
+                "speedup": {"format": 1.8}}
+        assert tool._check_binary32_gates(good, quick=False) == 0
+        assert tool._check_binary32_gates(
+            dict(good, mismatches=1), quick=True) == 1
+        assert tool._check_binary32_gates(
+            dict(good, fast_resolved=0.9), quick=True) == 1
+        slow = dict(good, speedup={"format": 1.1})
+        assert tool._check_binary32_gates(slow, quick=True) == 0
+        assert tool._check_binary32_gates(slow, quick=False) == 1
 
 
 def test_regenerate_reports_runs():

@@ -95,3 +95,48 @@ class TestExhaustiveIterator:
 
         assert (list(all_positive_finite(TOY_P5))
                 == list(Flonum.enumerate_positive(TOY_P5)))
+
+
+class TestDuplicatedRandom:
+    def test_deterministic_and_sized(self):
+        from repro.workloads.corpus import duplicated_random
+
+        a = duplicated_random(500, 40, seed=7)
+        b = duplicated_random(500, 40, seed=7)
+        assert a == b
+        assert len(a) == 500
+        assert len(set(a)) <= 40
+
+    def test_universe_is_the_uniform_sample(self):
+        from repro.workloads.corpus import duplicated_random, uniform_random
+
+        vals = duplicated_random(1000, 25, seed=3)
+        assert set(vals) <= set(uniform_random(25, seed=3))
+
+    def test_distinct_must_be_positive(self):
+        import pytest
+
+        from repro.errors import ReproError
+        from repro.workloads.corpus import duplicated_random
+
+        with pytest.raises(ReproError):
+            duplicated_random(10, 0)
+
+
+class TestZipfRandom:
+    def test_head_heavier_than_uniform(self):
+        from collections import Counter
+
+        from repro.workloads.corpus import duplicated_random, zipf_random
+
+        flat = duplicated_random(4000, 100, seed=11)
+        skewed = zipf_random(4000, 100, s=1.3, seed=11)
+        # The most common zipf value dominates far beyond the uniform top.
+        top_flat = Counter(flat).most_common(1)[0][1]
+        top_skew = Counter(skewed).most_common(1)[0][1]
+        assert top_skew > 2 * top_flat
+
+    def test_deterministic(self):
+        from repro.workloads.corpus import zipf_random
+
+        assert zipf_random(300, 30, seed=5) == zipf_random(300, 30, seed=5)

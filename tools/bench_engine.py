@@ -6,7 +6,8 @@ Measures the tiered engine (repro.engine) against the exact-only paths —
 ``format_shortest`` for free format, ``exact_fixed_digits`` for
 fixed/counted format, ``read_decimal`` for the read side — on a
 uniform-random binary64 corpus, audits byte/bit-equality, and writes the
-result as JSON.  ``--reader`` runs only the read-side section.  Exits non-zero if any
+result as JSON.  ``--reader`` runs only the read-side section; ``--bulk``
+only the bulk serving-layer section.  Exits non-zero if any
 output mismatches the exact algorithms or the fast tiers resolve too few
 conversions — correctness gates, not timing gates, so the smoke run
 stays meaningful on loaded CI machines.
@@ -32,7 +33,7 @@ from repro.engine.bench import run_engine_bench  # noqa: E402
 #: value of ``dict`` means "any mapping"; a tuple lists required
 #: sub-keys.  Schema changes must update this and the stability test.
 BENCH_SCHEMA = {
-    "corpus": ("kind", "n", "seed", "audit_n"),
+    "corpus": ("kind", "n", "seed", "audit_n", "mix"),
     "us_per_value": ("exact_only", "engine_format", "engine_format_many",
                      "engine_memo_hot"),
     "speedup": ("format", "format_many", "memo_hot"),
@@ -43,7 +44,7 @@ BENCH_SCHEMA = {
     "fixed": {
         "ndigits": int,
         "audit_ndigits": list,
-        "corpus": ("kind", "n", "seed", "audit_n"),
+        "corpus": ("kind", "n", "seed", "audit_n", "mix"),
         "us_per_value": ("exact_only", "engine_counted", "engine_memo_hot"),
         "speedup": ("counted", "memo_hot"),
         "fast_resolved": float,
@@ -53,10 +54,30 @@ BENCH_SCHEMA = {
         "stats": dict,
     },
     "reader": {
-        "corpus": ("kind", "n", "seed", "audit_n"),
+        "corpus": ("kind", "n", "seed", "audit_n", "mix"),
         "us_per_value": ("exact_only", "engine_read", "engine_read_many",
                          "engine_memo_hot"),
         "speedup": ("read", "read_many", "memo_hot"),
+        "fast_resolved": float,
+        "mismatches": int,
+        "mismatch_samples": list,
+        "stats": dict,
+    },
+    "bulk": {
+        "corpus": ("kind", "n", "seed", "audit_n", "mix", "distinct",
+                   "dup_factor", "zipf_s"),
+        "us_per_value": ("scalar_format_many_flat", "bulk_flat",
+                         "bulk_nodedup_flat", "scalar_format_many_zipf",
+                         "bulk_zipf", "scalar_read_many", "bulk_read"),
+        "speedup": ("uniform", "zipf", "nodedup", "read"),
+        "mismatches": int,
+        "mismatch_samples": list,
+        "stats": dict,
+    },
+    "binary32": {
+        "corpus": ("kind", "n", "seed", "audit_n", "mix"),
+        "us_per_value": ("exact_only", "engine_format"),
+        "speedup": ("format",),
         "fast_resolved": float,
         "mismatches": int,
         "mismatch_samples": list,
@@ -118,6 +139,48 @@ def _check_reader_gates(reader: dict, quick: bool) -> int:
     return status
 
 
+def _check_bulk_gates(bulk: dict, quick: bool) -> int:
+    """Acceptance gates for the bulk serving-layer section.
+
+    Byte identity always applies.  The timing gates — dedup interning
+    at least 2x over the scalar batch API on the flat duplicate-bearing
+    corpus, and a *larger* win on the zipfian head — are skipped on
+    ``--quick`` so loaded CI machines cannot flake the smoke lane.
+    """
+    status = 0
+    if bulk["mismatches"]:
+        print("FAIL: bulk layer output mismatches the scalar engine",
+              file=sys.stderr)
+        status = 1
+    if not quick and bulk["speedup"]["uniform"] < 2.0:
+        print("FAIL: bulk dedup pipeline under 2x over scalar "
+              "format_many on the flat duplicate corpus", file=sys.stderr)
+        status = 1
+    if not quick and bulk["speedup"]["zipf"] <= bulk["speedup"]["uniform"]:
+        print("FAIL: zipfian corpus should out-accelerate the flat one "
+              "(interning collapses more of the column)", file=sys.stderr)
+        status = 1
+    return status
+
+
+def _check_binary32_gates(b32: dict, quick: bool) -> int:
+    """Acceptance gates for the binary32 (narrow-format) section."""
+    status = 0
+    if b32["mismatches"]:
+        print("FAIL: binary32 engine output mismatches the exact "
+              "algorithm", file=sys.stderr)
+        status = 1
+    if b32["fast_resolved"] < 0.98:
+        print("FAIL: binary32 fast tiers resolved under 98% of "
+              "conversions", file=sys.stderr)
+        status = 1
+    if not quick and b32["speedup"]["format"] < 1.4:
+        print("FAIL: binary32 engine under 1.4x over the exact path",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-n", type=int, default=20000,
@@ -131,6 +194,10 @@ def main(argv=None) -> int:
                         help="run only the read-side (decimal→binary) "
                              "bench and print it to stdout; the default "
                              "output file is not touched")
+    parser.add_argument("--bulk", action="store_true",
+                        help="run only the bulk serving-layer bench and "
+                             "print it to stdout; the default output "
+                             "file is not touched")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default BENCH_engine.json next "
                              "to the repo root; '-' for stdout only)")
@@ -138,6 +205,17 @@ def main(argv=None) -> int:
 
     n = 2000 if args.quick else args.n
     repeats = 1 if args.quick else args.repeats
+
+    if args.bulk:
+        from repro.engine.bench import _run_bulk_bench
+
+        bulk = _run_bulk_bench(n=n, seed=args.seed, repeats=repeats)
+        print(json.dumps(bulk, indent=2, sort_keys=True))
+        print(f"bulk speedup (dedup vs format_many): "
+              f"flat {bulk['speedup']['uniform']:.2f}x, "
+              f"zipf {bulk['speedup']['zipf']:.2f}x, "
+              f"mismatches: {bulk['mismatches']}", file=sys.stderr)
+        return _check_bulk_gates(bulk, quick=args.quick)
 
     if args.reader:
         from repro.engine.bench import _run_reader_bench
@@ -184,6 +262,16 @@ def main(argv=None) -> int:
               f"{reader['speedup']['read_many']:.2f}x, "
               f"fast-resolved: {reader['fast_resolved']:.4f}, "
               f"mismatches: {reader['mismatches']}")
+        bulk = result["bulk"]
+        print(f"bulk speedup (dedup vs format_many): "
+              f"flat {bulk['speedup']['uniform']:.2f}x, "
+              f"zipf {bulk['speedup']['zipf']:.2f}x, "
+              f"mismatches: {bulk['mismatches']}")
+        b32 = result["binary32"]
+        print(f"binary32 speedup (format): "
+              f"{b32['speedup']['format']:.2f}x, "
+              f"fast-resolved: {b32['fast_resolved']:.4f}, "
+              f"mismatches: {b32['mismatches']}")
 
     if result["mismatches"]:
         print("FAIL: engine output mismatches the exact algorithm",
@@ -201,7 +289,9 @@ def main(argv=None) -> int:
         print("FAIL: fixed fast tier resolved under 90% of conversions",
               file=sys.stderr)
         return 1
-    return _check_reader_gates(result["reader"], quick=args.quick)
+    return (_check_reader_gates(result["reader"], quick=args.quick)
+            or _check_bulk_gates(result["bulk"], quick=args.quick)
+            or _check_binary32_gates(result["binary32"], quick=args.quick))
 
 
 if __name__ == "__main__":
