@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz bench bench-engine bench-reader bench-bulk smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -27,6 +27,13 @@ fuzz:
 	$(PY) -m repro.verify --n 300 --seed fresh
 	$(PY) -m repro.verify --roundtrip --n 300 --seed fresh
 	$(PY) -m repro.verify --bulk --n 300 --seed fresh
+	$(PY) -m repro.verify --chaos --n 2000 --seed fresh --formats binary64
+
+# The chaos battery: the bulk byte-identity checks replayed under
+# deterministic injected faults (worker crashes, shard stalls, payload
+# corruption, fast-tier raises).  Fixed seed; see docs/robustness.md.
+chaos:
+	$(PY) -m repro.verify --chaos --n 10000 --formats binary64
 
 bench:
 	REPRO_BENCH_N=$(BENCH_N) $(PY) -m pytest benchmarks/ --benchmark-only

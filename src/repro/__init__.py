@@ -15,7 +15,10 @@ Public surface, in one import::
   shared tiered :class:`ReadEngine` (typically much faster).
 * :func:`format_bulk` / :func:`read_bulk` — the bulk serving layer:
   zero-copy columnar ingestion, dedup interning and sharded
-  multi-worker pipelines (see :mod:`repro.serve`).
+  multi-worker pipelines with deadlines, retries and graceful
+  degradation (see :mod:`repro.serve` and ``docs/robustness.md``).
+* :class:`FaultPlan` / :func:`armed` — deterministic fault injection
+  for chaos testing the serving layer (see :mod:`repro.faults`).
 * :class:`Flonum` / :class:`FloatFormat` — exact value model for binary16
   through binary128, x87-80 and arbitrary toy formats.
 
@@ -46,13 +49,17 @@ from repro.core.scaling import (
     scale_iterative,
 )
 from repro.errors import (
+    DeadlineExceededError,
     DecodeError,
     FormatError,
     NotRepresentableError,
     ParseError,
+    PoolBrokenError,
     RangeError,
     ReproError,
+    ShardError,
 )
+from repro.faults import FaultPlan, FaultSpec, InjectedFault, armed
 from repro.floats.formats import (
     BINARY16,
     BINARY32,
@@ -80,7 +87,7 @@ from repro.serve import (
     read_bulk,
     read_column,
 )
-from repro.verify import VerificationReport, verify_format
+from repro.verify import VerificationReport, verify_chaos, verify_format
 
 __version__ = "1.0.0"
 
@@ -142,10 +149,18 @@ __all__ = [
     "string_to_number",
     "VerificationReport",
     "verify_format",
+    "verify_chaos",
     "ReproError",
     "FormatError",
     "DecodeError",
     "ParseError",
     "RangeError",
     "NotRepresentableError",
+    "ShardError",
+    "DeadlineExceededError",
+    "PoolBrokenError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "armed",
 ]

@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="with --bulk: shard the column across N "
                              "worker processes (default 1, in-process)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="with --bulk: arm the deterministic smoke "
+                             "fault plan with SEED while the pipeline "
+                             "runs; output must still be byte-identical")
     return parser
 
 
@@ -118,6 +123,9 @@ def _run_bulk(args, parser: argparse.ArgumentParser, fmt, out) -> int:
                          f"pipeline; {name} is not supported with it")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    import contextlib
+
+    from repro.errors import ReproError
     from repro.serve import format_bulk, read_bulk
 
     texts = list(args.values)
@@ -126,12 +134,20 @@ def _run_bulk(args, parser: argparse.ArgumentParser, fmt, out) -> int:
     if not texts:
         return 0
     mode = _MODES[args.reader_mode]
+    if args.chaos_seed is not None:
+        from repro import faults
+
+        arming = faults.armed(faults.smoke_plan(args.chaos_seed))
+    else:
+        arming = contextlib.nullcontext()
     try:
-        bits = read_bulk(texts, fmt, out="bits", jobs=args.jobs, mode=mode)
-        payload = format_bulk(bits, fmt, jobs=args.jobs, mode=mode,
-                              tie=_TIES[args.tie])
-    except Exception as exc:
-        print(f"error: {exc}", file=out)
+        with arming:
+            bits = read_bulk(texts, fmt, out="bits", jobs=args.jobs,
+                             mode=mode)
+            payload = format_bulk(bits, fmt, jobs=args.jobs, mode=mode,
+                                  tie=_TIES[args.tie])
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
         return 1
     out.write(payload.decode("ascii"))
     if args.engine_stats:
@@ -158,6 +174,8 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     fmt = STANDARD_FORMATS[args.format]
+    if args.chaos_seed is not None and not args.bulk:
+        parser.error("--chaos-seed only applies to the --bulk pipeline")
     if args.bulk:
         return _run_bulk(args, parser, fmt, out)
     opts = NotationOptions(style=args.style, python_repr=args.python_repr,

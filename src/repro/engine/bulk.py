@@ -167,7 +167,12 @@ def ingest_bits(data, fmt: FloatFormat = BINARY64) -> List[int]:
         try:
             return bits_from_buffer(data, fmt)
         except DecodeError:
-            data = list(data)
+            try:
+                data = list(data)
+            except TypeError as exc:
+                raise DecodeError(
+                    f"cannot ingest a column from "
+                    f"{type(data).__name__!r}") from exc
     if not data:
         return []
     itemsize = _itemsize(fmt)
@@ -177,7 +182,12 @@ def ingest_bits(data, fmt: FloatFormat = BINARY64) -> List[int]:
             raise DecodeError(
                 "python floats are binary64; pass bit patterns or a "
                 f"typed buffer for {fmt.name}")
-        return _bits_from_bytes(array("d", data).tobytes(), itemsize)
+        try:
+            return _bits_from_bytes(array("d", data).tobytes(), itemsize)
+        except TypeError as exc:
+            raise DecodeError(
+                "mixed column: float elements alongside "
+                "non-floats") from exc
     if isinstance(first, int) and not isinstance(first, bool):
         limit = 1 << fmt.total_bits
         for b in data:
@@ -269,20 +279,25 @@ def format_bulk(data, fmt: FloatFormat = BINARY64, *, jobs: int = 1,
                 delimiter: Union[bytes, str] = b"\n", engine=None,
                 mode: ReaderMode = ReaderMode.NEAREST_EVEN,
                 tie: TieBreak = TieBreak.UP, dedup: bool = True,
-                writer=None) -> bytes:
+                writer=None, deadline: Optional[float] = None,
+                budget: Optional[float] = None, retries: int = 2,
+                on_error: str = "degrade") -> bytes:
     """Serialize a column to delimiter-terminated ASCII bytes.
 
     With ``jobs > 1`` the column is sharded across a
     :class:`repro.serve.BulkPool` (order-preserving; one engine per
-    process worker).  ``writer`` may be a prepared
-    :class:`repro.serve.DelimitedWriter` to reuse its buffer; its
-    delimiter wins over ``delimiter``.
+    process worker) and ``deadline``/``budget``/``retries``/``on_error``
+    configure its fault tolerance (see :class:`repro.serve.BulkPool`).
+    ``writer`` may be a prepared :class:`repro.serve.DelimitedWriter`
+    to reuse its buffer; its delimiter wins over ``delimiter``.
     """
     if jobs > 1:
         from repro.serve.pool import BulkPool
 
         with BulkPool(jobs=jobs, fmt=fmt, mode=mode, tie=tie, dedup=dedup,
-                      delimiter=delimiter) as pool:
+                      delimiter=delimiter, deadline=deadline,
+                      budget=budget, retries=retries,
+                      on_error=on_error) as pool:
             payload = pool.format_bulk(data)
         if writer is not None:
             writer.write_bytes(payload)
@@ -341,13 +356,17 @@ def read_column(texts, fmt: FloatFormat = BINARY64, *, engine=None,
 def read_bulk(data, fmt: FloatFormat = BINARY64, *, out: str = "bits",
               jobs: int = 1, delimiter: Union[bytes, str] = b"\n",
               engine=None, mode: ReaderMode = ReaderMode.NEAREST_EVEN,
-              dedup: bool = True):
+              dedup: bool = True, deadline: Optional[float] = None,
+              budget: Optional[float] = None, retries: int = 2,
+              on_error: str = "degrade"):
     """Parse a delimited payload (or sequence of literals) in bulk.
 
     ``out="bits"`` returns the packed result as bit-pattern ints —
     the columnar form ready for :func:`ingest_bits` round trips —
     ``out="flonums"`` the :class:`Flonum` values.  ``jobs > 1`` shards
-    across a :class:`repro.serve.BulkPool`.
+    across a :class:`repro.serve.BulkPool`, with
+    ``deadline``/``budget``/``retries``/``on_error`` configuring its
+    fault tolerance.
     """
     if out not in ("bits", "flonums"):
         raise RangeError(f"out must be 'bits' or 'flonums', got {out!r}")
@@ -355,7 +374,9 @@ def read_bulk(data, fmt: FloatFormat = BINARY64, *, out: str = "bits",
         from repro.serve.pool import BulkPool
 
         with BulkPool(jobs=jobs, fmt=fmt, mode=mode, dedup=dedup,
-                      delimiter=delimiter) as pool:
+                      delimiter=delimiter, deadline=deadline,
+                      budget=budget, retries=retries,
+                      on_error=on_error) as pool:
             return pool.read_bulk(data, out=out)
     values = read_column(data, fmt, engine=engine, mode=mode,
                          delimiter=delimiter, dedup=dedup)

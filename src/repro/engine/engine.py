@@ -46,7 +46,8 @@ from repro.core.dragon import shortest_digits_scaled
 from repro.core.fixed import FixedResult
 from repro.core.fixed import fixed_digits as exact_paper_fixed
 from repro.core.rounding import ReaderMode, TieBreak
-from repro.errors import RangeError
+from repro import faults as _faults
+from repro.errors import RangeError, ReproError
 from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum, to_flonum
 from repro.format.notation import (
@@ -84,7 +85,7 @@ STAT_KEYS = frozenset({
     "tier0_hits", "tier1_hits", "tier1_bailouts", "tier2_calls",
     "fixed_tier1_hits", "fixed_tier1_bailouts", "fixed_tier2_calls",
     "fixed_conversions", "cache_hits", "cache_misses", "conversions",
-    "cache_entries",
+    "cache_entries", "tier_faults",
 }) | READ_STAT_KEYS
 
 
@@ -106,15 +107,24 @@ class Engine:
         fixed_tier1: Enable the counted-digit fast path for the
             fixed-format conversions (:meth:`counted_digits`,
             :meth:`fixed_digits`).
+        strict: Guard-rail policy for unexpected fast-tier exceptions.
+            False (production default): any non-:class:`ReproError`
+            raised inside a tier-0/tier-1 region falls back to the
+            exact tier-2 path and counts a ``tier_faults`` — a fast
+            path is an optimization and never an excuse to crash.
+            True (CI): re-raise, so injected faults and genuine tier
+            bugs surface loudly.
     """
 
     def __init__(self, tier0: bool = True, tier1: bool = True,
-                 cache_size: int = 8192, fixed_tier1: bool = True):
+                 cache_size: int = 8192, fixed_tier1: bool = True,
+                 strict: bool = False):
         if cache_size < 0:
             raise RangeError("cache_size must be >= 0")
         self.tier0 = tier0
         self.tier1 = tier1
         self.fixed_tier1 = fixed_tier1
+        self.strict = strict
         self.cache_size = cache_size
         # Plain dict as LRU: insertion order is the recency order
         # (hits re-insert, eviction pops the oldest key).  A plain
@@ -151,6 +161,7 @@ class Engine:
         self._fixed_tier1_hits = 0
         self._fixed_tier1_bailouts = 0
         self._fixed_tier2_calls = 0
+        self._tier_faults = 0
         self._cache_hits = 0
         self._cache_misses = 0
         reader = getattr(self, "_reader", None)
@@ -200,6 +211,7 @@ class Engine:
             "fixed_tier1_bailouts": self._fixed_tier1_bailouts,
             "fixed_tier2_calls": self._fixed_tier2_calls,
             "fixed_conversions": fixed,
+            "tier_faults": self._tier_faults,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
             "conversions": (self._tier0_hits + self._tier1_hits
@@ -252,9 +264,11 @@ class Engine:
         tier1_ok = (self.tier1 and tables.grisu_ok
                     and (mode is ReaderMode.NEAREST_EVEN
                          or mode is ReaderMode.NEAREST_UNKNOWN))
-        result, tier, bailed = self._convert(f, e, fmt, base, mode, tie,
-                                             tables, tier1_ok, v)
+        result, tier, bailed, faulted = self._convert(
+            f, e, fmt, base, mode, tie, tables, tier1_ok, v)
         with self._lock:
+            if faulted:
+                self._tier_faults += 1
             if bailed:
                 self._tier1_bailouts += 1
             if tier == 0:
@@ -273,36 +287,56 @@ class Engine:
     def _convert(self, f: int, e: int, fmt: FloatFormat, base: int,
                  mode: ReaderMode, tie: TieBreak, tables: FormatTables,
                  tier1_ok: bool, v: Optional[Flonum] = None
-                 ) -> Tuple[Tuple[int, str], int, bool]:
+                 ) -> Tuple[Tuple[int, str], int, bool, bool]:
         """One uncached conversion: tier 0, tier 1, then exact.
 
         Counter-free (callers attribute the result under the engine
-        lock): returns ``((k, body), tier, tier1_bailed)``.
+        lock): returns ``((k, body), tier, tier1_bailed, tier_faulted)``.
+        The fast-tier region is guard-railed: anything unexpected it
+        raises (a :class:`ReproError` is a deliberate signal and passes
+        through) falls back to the exact path with ``tier_faulted``
+        set, unless :attr:`strict`.
         """
         bailed = False
+        faulted = False
         if base == 10 and tables.radix == 2:
-            if self.tier0:
-                t0 = tier0_digits(f, e, tables.hidden_limit, tables.min_e,
-                                  tables.mantissa_limit, tables.max_e, mode)
-                if t0 is not None:
-                    acc, _nd, k = t0
-                    return (k, str(acc)), 0, False
-            if tier1_ok:
-                t1 = tier1_digits(f, e, tables.hidden_limit, tables.min_e,
-                                  tables.grisu_powers, tables.grisu_e_min)
-                if t1 is not None:
-                    acc, nd, k = t1
-                    body = str(acc)
-                    if len(body) == nd:  # RoundWeed never borrows; belt
-                        return (k, body), 1, False  # and braces anyway
-                bailed = True
+            try:
+                if self.tier0:
+                    if _faults._PLAN is not None:
+                        _faults._PLAN.fire("engine.tier0")
+                    t0 = tier0_digits(f, e, tables.hidden_limit,
+                                      tables.min_e, tables.mantissa_limit,
+                                      tables.max_e, mode)
+                    if t0 is not None:
+                        acc, _nd, k = t0
+                        return (k, str(acc)), 0, False, False
+                if tier1_ok:
+                    if _faults._PLAN is not None:
+                        _faults._PLAN.fire("engine.tier1")
+                    t1 = tier1_digits(f, e, tables.hidden_limit,
+                                      tables.min_e, tables.grisu_powers,
+                                      tables.grisu_e_min)
+                    if t1 is not None:
+                        acc, nd, k = t1
+                        body = str(acc)
+                        if len(body) == nd:  # RoundWeed never borrows;
+                            return (k, body), 1, False, False  # belt and
+                    bailed = True  # braces anyway
+            except ReproError:
+                raise
+            except Exception:
+                if self.strict:
+                    raise
+                bailed = False
+                faulted = True
         if v is None:
             v = Flonum.finite(0, f, e, fmt)
         r, s, m_plus, m_minus = initial_scaled_value(v)
         sv = adjust_for_mode(v, r, s, m_plus, m_minus, mode)
         res = shortest_digits_scaled(sv, v, base, tie, tables.scale)
         return (res.k,
-                "".join(_DIGIT_CHARS[d] for d in res.digits)), 2, bailed
+                "".join(_DIGIT_CHARS[d] for d in res.digits)), 2, bailed, \
+            faulted
 
     # ------------------------------------------------------------------
     # Public conversions
@@ -350,7 +384,8 @@ class Engine:
             if len(cache) > self.cache_size:
                 del cache[next(iter(cache))]
 
-    def _finish_fixed(self, key, result, fast: bool, bailed: bool) -> None:
+    def _finish_fixed(self, key, result, fast: bool, bailed: bool,
+                      faulted: bool = False) -> None:
         """Attribute one fixed-format conversion and memoize it, under a
         single lock acquisition (counters must never tear against a
         concurrent :meth:`stats`)."""
@@ -361,6 +396,8 @@ class Engine:
                 self._fixed_tier2_calls += 1
             if bailed:
                 self._fixed_tier1_bailouts += 1
+            if faulted:
+                self._tier_faults += 1
             if key is not None:
                 cache = self._cache
                 cache[key] = result
@@ -430,22 +467,32 @@ class Engine:
                 return hit
         result = None
         bailed = False
+        faulted = False
         if self.fixed_tier1 and base == 10:
             tables = tables_for(v.fmt, base)
             if tables.grisu_ok:
-                got = self._counted_fast(v, tables, position, ndigits)
-                if got is not None:
-                    acc, _nd, k = got
-                    result = DigitResult(
-                        k=k, digits=tuple(int(c) for c in str(acc)),
-                        base=base)
-                else:
-                    bailed = True
+                try:
+                    if _faults._PLAN is not None:
+                        _faults._PLAN.fire("engine.counted")
+                    got = self._counted_fast(v, tables, position, ndigits)
+                    if got is not None:
+                        acc, _nd, k = got
+                        result = DigitResult(
+                            k=k, digits=tuple(int(c) for c in str(acc)),
+                            base=base)
+                    else:
+                        bailed = True
+                except ReproError:
+                    raise
+                except Exception:
+                    if self.strict:
+                        raise
+                    faulted = True
         fast = result is not None
         if result is None:
             result = exact_fixed_digits(v, position=position,
                                         ndigits=ndigits, base=base, tie=tie)
-        self._finish_fixed(key, result, fast, bailed)
+        self._finish_fixed(key, result, fast, bailed, faulted)
         return result
 
     def fixed_digits(self, x: Number, position: Optional[int] = None,
@@ -477,26 +524,37 @@ class Engine:
                 return hit
         result = None
         bailed = False
+        faulted = False
         if self.fixed_tier1 and base == 10:
             tables = tables_for(v.fmt, base)
             if (tables.grisu_ok
                     and not (v.f == tables.mantissa_limit - 1
                              and v.e == tables.max_e)):
-                got = self._counted_fast(v, tables, position, ndigits)
-                if got is not None:
-                    acc, nd, k = got
-                    j = k - nd  # == position in absolute mode
-                    if tables.expansion_dominates(j, v.e):
-                        result = FixedResult(
-                            k=k, digits=tuple(int(c) for c in str(acc)),
-                            hashes=0, position=j, base=base)
-                if result is None:
-                    bailed = True
+                try:
+                    if _faults._PLAN is not None:
+                        _faults._PLAN.fire("engine.counted")
+                    got = self._counted_fast(v, tables, position, ndigits)
+                    if got is not None:
+                        acc, nd, k = got
+                        j = k - nd  # == position in absolute mode
+                        if tables.expansion_dominates(j, v.e):
+                            result = FixedResult(
+                                k=k, digits=tuple(int(c) for c in str(acc)),
+                                hashes=0, position=j, base=base)
+                    if result is None:
+                        bailed = True
+                except ReproError:
+                    raise
+                except Exception:
+                    if self.strict:
+                        raise
+                    bailed = False
+                    faulted = True
         fast = result is not None
         if result is None:
             result = exact_paper_fixed(v, position=position,
                                        ndigits=ndigits, base=base, tie=tie)
-        self._finish_fixed(key, result, fast, bailed)
+        self._finish_fixed(key, result, fast, bailed, faulted)
         return result
 
     def format_fixed(self, x: Number, position: Optional[int] = None,
@@ -615,7 +673,10 @@ class Engine:
         ctx_pos = self._ctx_id(fmt, 10, mode, tie)
         ctx_neg = self._ctx_id(fmt, 10, mirrored, tie)
         pending: Optional[dict] = {} if cache is not None else None
+        plan = _faults._PLAN
+        strict = self.strict
         c_hits = c_misses = t0_hits = t1_hits = t1_bails = t2_calls = 0
+        t_faults = 0
         out: List[str] = []
         append = out.append
         for x in xs:
@@ -668,40 +729,52 @@ class Engine:
                 else:
                     c_misses += 1
             if kb is None:
-                # Pre-filter: tier 0 only ever accepts values with
-                # e >= -76 (integers and short exact decimals); skip
-                # the call for everything else.
-                if use_tier0 and e >= -76:
-                    t0 = tier0_digits(f, e, hidden_limit, min_e,
-                                      mantissa_limit, max_e, vmode)
-                else:
-                    t0 = None
-                if t0 is not None:
-                    t0_hits += 1
-                    acc, _nd, k = t0
-                    kb = (k, str(acc))
-                else:
+                try:
+                    # Pre-filter: tier 0 only ever accepts values with
+                    # e >= -76 (integers and short exact decimals); skip
+                    # the call for everything else.
+                    if use_tier0 and e >= -76:
+                        if plan is not None:
+                            plan.fire("engine.tier0")
+                        t0 = tier0_digits(f, e, hidden_limit, min_e,
+                                          mantissa_limit, max_e, vmode)
+                    else:
+                        t0 = None
+                    if t0 is not None:
+                        t0_hits += 1
+                        acc, _nd, k = t0
+                        kb = (k, str(acc))
+                    else:
+                        kb = None
+                        if tier1_ok:
+                            if plan is not None:
+                                plan.fire("engine.tier1")
+                            t1 = tier1_digits(f, e, hidden_limit, min_e,
+                                              grisu_powers, grisu_e_min)
+                            if t1 is not None:
+                                acc, nd, k = t1
+                                body = str(acc)
+                                if len(body) == nd:
+                                    t1_hits += 1
+                                    kb = (k, body)
+                            if kb is None:
+                                t1_bails += 1
+                except ReproError:
+                    raise
+                except Exception:
+                    if strict:
+                        raise
+                    t_faults += 1
                     kb = None
-                    if tier1_ok:
-                        t1 = tier1_digits(f, e, hidden_limit, min_e,
-                                          grisu_powers, grisu_e_min)
-                        if t1 is not None:
-                            acc, nd, k = t1
-                            body = str(acc)
-                            if len(body) == nd:
-                                t1_hits += 1
-                                kb = (k, body)
-                        if kb is None:
-                            t1_bails += 1
-                    if kb is None:
-                        t2_calls += 1
-                        v = Flonum.finite(0, f, e, fmt)
-                        r, s, mp, mm = initial_scaled_value(v)
-                        sv = adjust_for_mode(v, r, s, mp, mm, vmode)
-                        res = shortest_digits_scaled(sv, v, 10, tie,
-                                                     tables.scale)
-                        kb = (res.k, "".join(_DIGIT_CHARS[d]
-                                             for d in res.digits))
+                if kb is None:
+                    t2_calls += 1
+                    v = Flonum.finite(0, f, e, fmt)
+                    r, s, mp, mm = initial_scaled_value(v)
+                    sv = adjust_for_mode(v, r, s, mp, mm, vmode)
+                    res = shortest_digits_scaled(sv, v, 10, tie,
+                                                 tables.scale)
+                    kb = (res.k, "".join(_DIGIT_CHARS[d]
+                                         for d in res.digits))
                 if cache is not None:
                     pending[key] = kb
             k, body = kb
@@ -729,6 +802,7 @@ class Engine:
             self._tier1_hits += t1_hits
             self._tier1_bailouts += t1_bails
             self._tier2_calls += t2_calls
+            self._tier_faults += t_faults
             if pending:
                 if len(pending) > cache_size:
                     # Oversized batch: sequential installs would have
@@ -763,6 +837,7 @@ class Engine:
                 if r is None:
                     r = ReadEngine(
                         cache_size=self.cache_size,
+                        strict=self.strict,
                         _shared_cache=self._cache if self.cache_size
                         else None,
                         _shared_lock=self._lock)

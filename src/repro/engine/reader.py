@@ -51,12 +51,13 @@ from math import frexp as _frexp
 from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.core.rounding import ReaderMode
-from repro.errors import RangeError
+from repro import faults as _faults
+from repro.errors import ParseError, RangeError, ReproError
 from repro.fastpath.diyfp import _pow10_diyfp
 from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
 from repro.reader.bellerophon import _MAX_EXACT_POW10, _MAX_SHIFT, _try_fast
-from repro.reader.exact import round_rational
+from repro.reader.exact import clamp_extreme, round_rational
 from repro.reader.parse import ParsedNumber, _scan_decimal, parse_decimal
 from repro.reader.truncated import truncate_significand
 
@@ -126,7 +127,7 @@ def _decimal_digits(d: int) -> int:
 READ_STAT_KEYS = frozenset({
     "read_tier0_hits", "read_tier1_hits", "read_tier1_bailouts",
     "read_tier2_calls", "read_specials", "read_cache_hits",
-    "read_cache_misses", "read_conversions",
+    "read_cache_misses", "read_conversions", "read_tier_faults",
 })
 
 
@@ -187,16 +188,20 @@ class ReadEngine:
             clamps that ride on its tables).
         tier1: Enable the truncated/interval path.
         cache_size: Max entries in the result memo (0 disables it).
+        strict: False (default): an unexpected non-:class:`ReproError`
+            raised inside a fast tier falls back to the exact tier and
+            counts a ``read_tier_faults``; True: re-raise (CI).
     """
 
     def __init__(self, tier0: bool = True, tier1: bool = True,
-                 cache_size: int = 8192,
+                 cache_size: int = 8192, strict: bool = False,
                  _shared_cache: Optional[dict] = None,
                  _shared_lock: Optional[threading.Lock] = None):
         if cache_size < 0:
             raise RangeError("cache_size must be >= 0")
         self.tier0 = tier0
         self.tier1 = tier1
+        self.strict = strict
         self.cache_size = cache_size
         # Plain dict as LRU, insertion order = recency order (see
         # ``Engine._cache_get``); shared with the write engine's memo
@@ -226,6 +231,7 @@ class ReadEngine:
         self._tier1_bailouts = 0
         self._tier2_calls = 0
         self._specials = 0
+        self._tier_faults = 0
         self._cache_hits = 0
         self._cache_misses = 0
 
@@ -255,6 +261,7 @@ class ReadEngine:
             "read_tier1_bailouts": self._tier1_bailouts,
             "read_tier2_calls": self._tier2_calls,
             "read_specials": self._specials,
+            "read_tier_faults": self._tier_faults,
             "read_cache_hits": self._cache_hits,
             "read_cache_misses": self._cache_misses,
             "read_conversions": (self._tier0_hits + self._tier1_hits
@@ -337,9 +344,14 @@ class ReadEngine:
 
     def _convert(self, sign: int, d: int, q: int, fmt: FloatFormat,
                  mode: ReaderMode, tables: FormatTables
-                 ) -> Tuple[Flonum, str, bool]:
+                 ) -> Tuple[Flonum, str, bool, bool]:
         """Route one finite literal ``(-1)**sign * d * 10**q`` through
-        the tiers: ``(value, tier, tier1_bailed)``.
+        the tiers: ``(value, tier, tier1_bailed, tier_faulted)``.
+
+        The fast-tier region is guard-railed: an unexpected exception
+        (anything but a deliberate :class:`ReproError`) falls back to
+        the exact tier with ``tier_faulted`` set instead of escaping,
+        unless :attr:`strict`.
 
         Counter-free — the public entry points attribute the result
         under the engine lock so batch loops can run it lock-free and
@@ -370,11 +382,13 @@ class ReadEngine:
         bails to the exact tier.
         """
         if d == 0:
-            return Flonum.zero(fmt, sign), "special", False
+            return Flonum.zero(fmt, sign), "special", False, False
         bailed = False
+        faulted = False
         if ((self.tier0 or self.tier1) and tables.read_fast_ok
                 and (mode is ReaderMode.NEAREST_EVEN
                      or mode is ReaderMode.NEAREST_UNKNOWN)):
+          try:
             if d < _TRUNCATION_LIMIT:
                 d19 = d
                 q19 = q
@@ -388,11 +402,13 @@ class ReadEngine:
                 mag = q19 + READ_TRUNCATION_DIGITS
             # Decimal magnitude: value ∈ [10**(mag-1), 10**mag).
             if mag - 1 >= tables.read_inf_exp10:
-                return Flonum.infinity(fmt, sign), "tier0", False
+                return Flonum.infinity(fmt, sign), "tier0", False, False
             if mag <= tables.read_zero_exp10:
-                return Flonum.zero(fmt, sign), "tier0", False
+                return Flonum.zero(fmt, sign), "tier0", False, False
             mantissa_limit = tables.mantissa_limit
             if self.tier0 and not sticky and d19 < mantissa_limit:
+                if _faults._PLAN is not None:
+                    _faults._PLAN.fire("reader.tier0")
                 if tables.read_host_float:
                     # One host-float multiply, correctly rounded by IEEE;
                     # the window gate saves the call when it cannot apply.
@@ -406,12 +422,14 @@ class ReadEngine:
                             m, ex = _frexp(fast)
                             return (Flonum._finite_trusted(
                                 sign, int(m * 9007199254740992.0),
-                                ex - 53, fmt), "tier0", False)
+                                ex - 53, fmt), "tier0", False, False)
                 else:
                     v = self._tier0(d19, q19, sign, tables, fmt)
                     if v is not None:
-                        return v, "tier0", False
+                        return v, "tier0", False, False
             if self.tier1:
+                if _faults._PLAN is not None:
+                    _faults._PLAN.fire("reader.tier1")
                 parts = _POW10_PARTS.get(q19)
                 if parts is None:
                     parts = _pow10_parts(q19)
@@ -445,11 +463,13 @@ class ReadEngine:
                         f = -1  # a boundary is inside: certify exactly
                     if f >= 0:
                         if t > max_e:
-                            return Flonum.infinity(fmt, sign), "tier1", False
+                            return (Flonum.infinity(fmt, sign), "tier1",
+                                    False, False)
                         if f == 0:
-                            return Flonum.zero(fmt, sign), "tier1", False
+                            return (Flonum.zero(fmt, sign), "tier1",
+                                    False, False)
                         return (Flonum._finite_trusted(sign, f, t, fmt),
-                                "tier1", False)
+                                "tier1", False, False)
                 if shift <= 0 or f < 0:
                     r = _round_nearest(lo, e2, False, min_e, max_e, prec,
                                        mantissa_limit)
@@ -459,33 +479,49 @@ class ReadEngine:
                         r = None
                     if r is not None:
                         if r is _OVERFLOW:
-                            return Flonum.infinity(fmt, sign), "tier1", False
+                            return (Flonum.infinity(fmt, sign), "tier1",
+                                    False, False)
                         f, t = r
                         if f == 0:
-                            return Flonum.zero(fmt, sign), "tier1", False
+                            return (Flonum.zero(fmt, sign), "tier1",
+                                    False, False)
                         return (Flonum._finite_trusted(sign, f, t, fmt),
-                                "tier1", False)
+                                "tier1", False, False)
                     bailed = True
+          except ReproError:
+            raise
+          except Exception:
+            if self.strict:
+                raise
+            bailed = False
+            faulted = True
+        clamped = clamp_extreme(d, q, fmt, mode, bool(sign))
+        if clamped is not None:
+            return clamped, "tier2", bailed, faulted
         num, den = (d * 10**q, 1) if q >= 0 else (d, 10**-q)
         value = round_rational(num, den, fmt, mode, negative=bool(sign))
-        return value, "tier2", bailed
+        return value, "tier2", bailed, faulted
 
     def _convert_parsed(self, parsed: ParsedNumber, fmt: FloatFormat,
                         mode: ReaderMode, tables: FormatTables
-                        ) -> Tuple[Flonum, str, bool]:
+                        ) -> Tuple[Flonum, str, bool, bool]:
         """:meth:`_convert` with the special literals peeled off."""
         special = parsed.special
         if special is not None:
             if special == "nan":
-                return Flonum.nan(fmt), "special", False
-            return Flonum.infinity(fmt, parsed.sign), "special", False
+                return Flonum.nan(fmt), "special", False, False
+            return (Flonum.infinity(fmt, parsed.sign), "special",
+                    False, False)
         return self._convert(parsed.sign, parsed.digits, parsed.exponent,
                              fmt, mode, tables)
 
-    def _bump_locked(self, tier: str, bailed: bool) -> None:
+    def _bump_locked(self, tier: str, bailed: bool,
+                     faulted: bool = False) -> None:
         """Attribute one conversion (caller holds the lock)."""
         if bailed:
             self._tier1_bailouts += 1
+        if faulted:
+            self._tier_faults += 1
         if tier == "tier0":
             self._tier0_hits += 1
         elif tier == "tier1":
@@ -499,10 +535,10 @@ class ReadEngine:
                     mode: ReaderMode = ReaderMode.NEAREST_EVEN
                     ) -> ReadResult:
         """Route one already-parsed literal through the tiers."""
-        value, tier, bailed = self._convert_parsed(
+        value, tier, bailed, faulted = self._convert_parsed(
             parsed, fmt, mode, self._context(fmt, mode)[1])
         with self._lock:
-            self._bump_locked(tier, bailed)
+            self._bump_locked(tier, bailed, faulted)
         return ReadResult(value, tier)
 
     def read_result(self, text: str, fmt: FloatFormat = BINARY64,
@@ -514,6 +550,9 @@ class ReadEngine:
         (specials, ``#`` marks, :class:`ParseError` on malformed input);
         only the evaluation strategy differs.
         """
+        if not isinstance(text, str):
+            raise ParseError(f"expected a numeric string, got "
+                             f"{type(text).__name__}")
         s = text.strip()
         ctx_id, tables = self._context(fmt, mode)
         key = None
@@ -532,13 +571,13 @@ class ReadEngine:
                 return ReadResult(hit[0], "memo")
         scanned = _scan_decimal(s)
         if scanned is not None:
-            value, tier, bailed = self._convert(
+            value, tier, bailed, faulted = self._convert(
                 scanned[0], scanned[1], scanned[2], fmt, mode, tables)
         else:
-            value, tier, bailed = self._convert_parsed(
+            value, tier, bailed, faulted = self._convert_parsed(
                 parse_decimal(s), fmt, mode, tables)
         with self._lock:
-            self._bump_locked(tier, bailed)
+            self._bump_locked(tier, bailed, faulted)
             if key is not None:
                 cache = self._cache
                 cache[key] = (value, tier)
@@ -550,6 +589,9 @@ class ReadEngine:
              mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> Flonum:
         """Correctly rounded value of one literal — drop-in for
         :func:`repro.reader.exact.read_decimal`."""
+        if not isinstance(text, str):
+            raise ParseError(f"expected a numeric string, got "
+                             f"{type(text).__name__}")
         s = text.strip()
         ctx_id, tables = self._context(fmt, mode)
         key = None
@@ -568,13 +610,13 @@ class ReadEngine:
                 return hit[0]
         scanned = _scan_decimal(s)
         if scanned is not None:
-            value, tier, bailed = self._convert(
+            value, tier, bailed, faulted = self._convert(
                 scanned[0], scanned[1], scanned[2], fmt, mode, tables)
         else:
-            value, tier, bailed = self._convert_parsed(
+            value, tier, bailed, faulted = self._convert_parsed(
                 parse_decimal(s), fmt, mode, tables)
         with self._lock:
-            self._bump_locked(tier, bailed)
+            self._bump_locked(tier, bailed, faulted)
             if key is not None:
                 cache = self._cache
                 cache[key] = (value, tier)
@@ -596,6 +638,11 @@ class ReadEngine:
         the memo disabled the whole batch takes a single acquisition
         (the counter flush).
         """
+        texts = list(texts)
+        for t in texts:
+            if not isinstance(t, str):
+                raise ParseError(f"expected a numeric string, got "
+                                 f"{type(t).__name__}")
         stripped = [t.strip() for t in texts]
         if not stripped:
             return []
@@ -628,18 +675,20 @@ class ReadEngine:
         memoize = fresh.append
         memo_on = bool(self.cache_size)
         new_misses = 0
-        t0 = t1 = t1b = t2 = sp = 0
+        t0 = t1 = t1b = t2 = sp = tf = 0
         for i in misses:
             s = stripped[i]
             scanned = scan(s)
             if scanned is not None:
-                value, tier, bailed = convert(
+                value, tier, bailed, faulted = convert(
                     scanned[0], scanned[1], scanned[2], fmt, mode, tables)
             else:
-                value, tier, bailed = self._convert_parsed(
+                value, tier, bailed, faulted = self._convert_parsed(
                     parse_decimal(s), fmt, mode, tables)
             if bailed:
                 t1b += 1
+            if faulted:
+                tf += 1
             if tier == "tier0":
                 t0 += 1
             elif tier == "tier1":
@@ -666,6 +715,7 @@ class ReadEngine:
                 self._tier1_bailouts += t1b
                 self._tier2_calls += t2
                 self._specials += sp
+                self._tier_faults += tf
                 self._cache_misses += new_misses
                 for s, value, tier in fresh:
                     cache[(s, ctx_id)] = (value, tier)

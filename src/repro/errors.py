@@ -24,3 +24,37 @@ class RangeError(ReproError):
 class NotRepresentableError(ReproError):
     """An operation was asked to produce a value the format cannot hold
     exactly (e.g. converting a binary128 value to a Python float)."""
+
+
+class ShardError(ReproError):
+    """A bulk-pool shard failed after exhausting its retry budget.
+
+    Carries the failing shard's index, the number of attempts made,
+    and the final cause (also chained as ``__cause__``) so callers can
+    attribute the failure without parsing the message.
+    """
+
+    def __init__(self, shard: int, attempts: int, cause: BaseException):
+        self.shard = shard
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"shard {shard} failed after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''}: {cause!r}")
+
+
+class DeadlineExceededError(ReproError):
+    """A shard missed its deadline, or a bulk call ran out of its
+    overall time budget (``shard`` is None for the budget case)."""
+
+    def __init__(self, message: str, shard=None, elapsed: float = 0.0,
+                 limit: float = 0.0):
+        self.shard = shard
+        self.elapsed = elapsed
+        self.limit = limit
+        super().__init__(message)
+
+
+class PoolBrokenError(ReproError):
+    """A worker pool broke (e.g. a worker process died) and could not
+    be rebuilt within the rebuild budget."""

@@ -15,7 +15,7 @@ for every mode, including overflow-to-max-finite under truncating modes).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.core.rounding import ReaderMode
 from repro.errors import RangeError
@@ -23,7 +23,8 @@ from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
 from repro.reader.parse import ParsedNumber, parse_decimal
 
-__all__ = ["round_rational", "read_decimal", "read_fraction", "ilog"]
+__all__ = ["round_rational", "read_decimal", "read_fraction", "ilog",
+           "clamp_extreme"]
 
 
 def ilog(num: int, den: int, b: int) -> int:
@@ -144,6 +145,40 @@ def _overflow(fmt: FloatFormat, mode: ReaderMode, negative: bool) -> Flonum:
     return Flonum.finite(sign, f, e, fmt)
 
 
+def clamp_extreme(digits: int, exponent: int, fmt: FloatFormat,
+                  mode: ReaderMode, negative: bool) -> Optional[Flonum]:
+    """Resolve ``±digits * 10**exponent`` when the exponent is so extreme
+    that building the exact rational would be astronomically expensive —
+    ``1e999999999`` must not cost a gigabit power of ten.
+
+    Returns the correctly rounded result for definite overflow (the
+    value provably exceeds every rounding boundary above the largest
+    finite) and definite underflow (provably inside ``(0, minsub/2)``,
+    rounded via a cheap proxy with the same sign and window so every
+    mode behaves right), or None when the literal needs exact
+    arithmetic.  The bounds use ``len(str(radix))`` as an integer upper
+    bound on ``log10(radix)`` — conservative, so the exact path keeps
+    every case within a few thousand decimal orders of the format's
+    range, where powers of ten are cheap.
+    """
+    if digits == 0:
+        return None
+    scale = len(str(fmt.radix))
+    # Decimal window from the bit length alone — ``digits`` may exceed
+    # CPython's int→str digit limit, so no str() and no powers of ten:
+    # 30102/100000 under- and 30103/100000 over-approximate log10(2).
+    bl = digits.bit_length()
+    lo = (bl - 1) * 30102 // 100000 + exponent   # value >= 10**lo
+    hi = bl * 30103 // 100000 + 1 + exponent     # value <  10**hi
+    if lo >= (fmt.max_e + fmt.precision) * scale:
+        return _overflow(fmt, mode, negative)
+    if hi <= (fmt.min_e - 1) * scale:
+        b = fmt.radix
+        return round_rational(1, b ** (2 - fmt.min_e), fmt, mode,
+                              negative=negative)
+    return None
+
+
 def read_fraction(value: Union[Fraction, Tuple[int, int]],
                   fmt: FloatFormat = BINARY64,
                   mode: ReaderMode = ReaderMode.NEAREST_EVEN) -> Flonum:
@@ -172,6 +207,9 @@ def read_decimal(text: str, fmt: FloatFormat = BINARY64,
         return Flonum.zero(fmt, parsed.sign)
     num = parsed.digits
     q = parsed.exponent
+    clamped = clamp_extreme(num, q, fmt, mode, bool(parsed.sign))
+    if clamped is not None:
+        return clamped
     if q >= 0:
         num *= 10**q
         den = 1

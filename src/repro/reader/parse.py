@@ -144,6 +144,9 @@ def parse_decimal(text: str) -> ParsedNumber:
     Raises :class:`ParseError` on malformed input.  ``#`` marks (from the
     fixed-format printer) are read as zero digits and counted.
     """
+    if not isinstance(text, str):
+        raise ParseError(f"expected a numeric string, got "
+                         f"{type(text).__name__}")
     s = text.strip()
     if not s:
         raise ParseError("empty string")

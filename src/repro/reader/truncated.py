@@ -24,7 +24,7 @@ from repro.core.rounding import ReaderMode
 from repro.errors import ParseError
 from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
-from repro.reader.exact import read_decimal, round_rational
+from repro.reader.exact import clamp_extreme, read_decimal, round_rational
 
 __all__ = ["read_decimal_truncated", "truncate_significand",
            "TRUNCATION_DIGITS"]
@@ -114,6 +114,9 @@ def read_decimal_truncated(text: str, fmt: FloatFormat = BINARY64,
     (including specials and ``#`` marks, which route to the exact
     parser); only the evaluation strategy differs.
     """
+    if not isinstance(text, str):
+        raise ParseError(f"expected a numeric string, got "
+                         f"{type(text).__name__}")
     s = text.strip()
     if not s or s[0] == "#" or any(c in "#xXnNiI" for c in s[:3]):
         # Specials, hex-ish or hash-marked input: not this fast path's
@@ -126,6 +129,12 @@ def read_decimal_truncated(text: str, fmt: FloatFormat = BINARY64,
     if digits == 0 and not sticky:
         return Flonum.zero(fmt, sign)
     negative = bool(sign)
+    # The truncated magnitude shares the exact value's decimal window
+    # (value in [digits, digits+1) * 10**q), so definite over/underflow
+    # resolves here too — before any huge power of ten is built.
+    clamped = clamp_extreme(digits, exponent, fmt, mode, negative)
+    if clamped is not None:
+        return clamped
     # Work on the magnitude; directed modes mirror for negative values.
     mag_mode = mode.mirrored() if negative else mode
 

@@ -21,8 +21,52 @@ lists, and formats travel by *name* so workers resolve the canonical
 :data:`~repro.floats.formats.STANDARD_FORMATS` instances — engine fast
 paths key on format identity.
 
+Fault tolerance
+---------------
+
+Workers die, shards stall, payloads get mangled in transit.  The pool
+treats every such failure as an input with a defined outcome — either
+the failure **heals invisibly** (the merged output is byte-identical to
+a fault-free run) or it surfaces as a typed
+:class:`~repro.errors.ReproError`; a silent partial result is never an
+outcome.  The machinery, all of it exercised deterministically by
+``python -m repro.verify --chaos``:
+
+* **Integrity** — every shard result carries a CRC-32 taken where the
+  bytes were produced; the parent re-checksums on receipt and treats a
+  mismatch as a failed attempt (counted in ``corrupt_shards``).
+* **Deadlines** — ``deadline`` bounds one shard attempt, ``budget``
+  bounds the whole call.  A missed shard deadline abandons the attempt
+  (stalled worker processes are terminated with the executor) and
+  retries; an exhausted budget raises
+  :class:`~repro.errors.DeadlineExceededError` — a stall can heal, but
+  never by silently blowing the caller's latency envelope.
+* **Bounded retries** — each shard gets ``retries`` extra attempts per
+  ladder level, spaced by exponential backoff with deterministic
+  jitter (seeded per round, so chaos runs replay exactly).
+* **Broken-pool recovery** — a dead worker breaks the whole process
+  pool; the parent detects it, terminates stragglers, rebuilds the
+  executor (``pool_rebuilds``) and retries the unfinished shards, up
+  to ``max_rebuilds`` per call.
+* **Degradation ladder** — when a level keeps failing, the pool steps
+  down ``process → thread → serial`` (``degradations``) and retries
+  there with a fresh attempt budget; the serial rung runs in-process
+  and cannot crash-loop.  ``on_error="raise"`` disables the ladder and
+  surfaces the first exhausted shard instead:
+  :class:`~repro.errors.DeadlineExceededError` for deadline causes,
+  :class:`~repro.errors.ShardError` (shard index, attempt count, cause
+  chain) for everything else.
+
+Deterministic data errors are not faults: a shard raising a
+:class:`~repro.errors.ReproError` (malformed literal, bad payload)
+propagates immediately — retrying it cannot change the outcome.
+
 Results are merged by concatenating delimiter-terminated payloads;
-:meth:`BulkPool.stats` sums the per-shard engine counter deltas.
+:meth:`BulkPool.stats` sums the per-shard engine counter deltas and
+folds in the recovery counters (``shard_retries``, ``shard_failures``,
+``deadline_hits``, ``pool_rebuilds``, ``degradations``,
+``corrupt_shards``), every mutation under one lock so concurrent
+callers read exact totals.
 """
 
 from __future__ import annotations
@@ -30,8 +74,13 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import os
-from typing import Iterable, List, Optional, Union
+import random
+import threading
+import time
+import zlib
+from typing import List, Optional, Union
 
+from repro import faults as _faults
 from repro.core.rounding import ReaderMode, TieBreak
 from repro.engine.bulk import (
     _bits_from_bytes,
@@ -42,15 +91,42 @@ from repro.engine.bulk import (
     pack_bits,
     read_column,
 )
-from repro.errors import RangeError
+from repro.errors import (
+    DeadlineExceededError,
+    PoolBrokenError,
+    RangeError,
+    ReproError,
+    ShardError,
+)
 from repro.floats.formats import BINARY64, FloatFormat, STANDARD_FORMATS
 from repro.floats.model import Flonum
 
-__all__ = ["BulkPool"]
+__all__ = ["BulkPool", "FAULT_STAT_KEYS"]
+
+#: Recovery counters :meth:`BulkPool.stats` always includes.
+FAULT_STAT_KEYS = ("shard_retries", "shard_failures", "deadline_hits",
+                   "pool_rebuilds", "degradations", "corrupt_shards")
+
+#: The degradation ladder, most to least parallel.
+_LADDER = ("process", "thread", "serial")
 
 #: The worker-private engine for process pools (one per interpreter,
 #: built by the initializer, reused across shards).
 _WORKER_ENGINE = None
+
+#: True only in a process-pool child (set by the initializer after the
+#: fork/spawn).  Decides whether an injected ``crash`` may ``os._exit``
+#: — the parent, and thread/serial execution, must never be killed.
+_IS_POOL_WORKER = False
+
+
+class _CorruptShard(Exception):
+    """Parent-side checksum mismatch on a received shard payload.
+
+    Deliberately not a :class:`ReproError`: corruption is transient
+    infrastructure failure, so the pool retries it like a crash (and
+    wraps it in :class:`ShardError` only once retries are exhausted).
+    """
 
 
 def _worker_engine():
@@ -64,37 +140,85 @@ def _worker_engine():
 
 def _init_worker(fmt_names) -> None:
     """Process-pool initializer: build the engine, warm the tables."""
+    global _IS_POOL_WORKER
     from repro.engine.tables import tables_for
 
+    _IS_POOL_WORKER = True
     eng = _worker_engine()
     for name in fmt_names:
         tables_for(STANDARD_FORMATS[name], 10)
     del eng
 
 
+def _shard_engine(eng):
+    """The engine one shard attempt converts with, plus whether its
+    stats should be reported as a delta.
+
+    ``eng`` travels in the payload for thread pools (shared engine,
+    live stats — no delta).  Process workers use their per-interpreter
+    engine; in-parent execution (serial rung, degraded process pools)
+    builds a private engine so concurrent shards never tear each
+    other's counter deltas.
+    """
+    if eng is not None:
+        return eng, False
+    if _IS_POOL_WORKER:
+        eng = _worker_engine()
+        eng.reset_stats()
+        return eng, True
+    from repro.engine.engine import Engine
+
+    return Engine(), True
+
+
+def _apply_pre_fault(fault) -> None:
+    """Execute an injected fault tag before the shard's real work."""
+    if fault is None:
+        return
+    kind, stall = fault
+    if kind == "stall":
+        time.sleep(stall)
+    elif kind == "crash":
+        if _IS_POOL_WORKER:
+            os._exit(23)
+        raise _faults.InjectedFault("injected worker crash (in-parent)")
+    elif kind == "raise":
+        raise _faults.InjectedFault("injected shard failure")
+
+
+def _apply_post_fault(fault, body: bytes) -> bytes:
+    """Mangle the payload *after* its checksum was taken — the transit
+    corruption the parent's integrity check must catch."""
+    if fault is not None and fault[0] == "corrupt" and body:
+        return bytes([body[0] ^ 0xFF]) + body[1:]
+    return body
+
+
 def _format_shard(payload) -> tuple:
-    """Format one packed shard: ``(delimited_ascii, stats_delta)``."""
-    fmt_name, raw, mode, tie, dedup, delim = payload
+    """Format one shard: ``(delimited_ascii, stats_delta, crc32)``."""
+    fmt_name, raw, mode, tie, dedup, delim, eng, fault = payload
+    _apply_pre_fault(fault)
     fmt = STANDARD_FORMATS[fmt_name]
-    eng = _worker_engine()
-    eng.reset_stats()
+    eng, delta = _shard_engine(eng)
     texts = format_column(raw, fmt, engine=eng, mode=mode, tie=tie,
                           dedup=dedup)
     d = delim.decode("ascii")
     body = (d.join(texts) + d).encode("ascii") if texts else b""
-    return body, eng.stats()
+    crc = zlib.crc32(body)
+    return _apply_post_fault(fault, body), eng.stats() if delta else {}, crc
 
 
 def _read_shard(payload) -> tuple:
-    """Parse one delimited shard: ``(packed_bits, stats_delta)``."""
-    fmt_name, raw, mode, dedup, delim = payload
+    """Parse one delimited shard: ``(packed_bits, stats_delta, crc32)``."""
+    fmt_name, raw, mode, dedup, delim, eng, fault = payload
+    _apply_pre_fault(fault)
     fmt = STANDARD_FORMATS[fmt_name]
-    eng = _worker_engine()
-    eng.reset_stats()
+    eng, delta = _shard_engine(eng)
     values = read_column(raw, fmt, engine=eng, mode=mode,
                          delimiter=delim, dedup=dedup)
-    bits = [v.to_bits() for v in values]
-    return pack_bits(bits, fmt), eng.stats()
+    body = pack_bits([v.to_bits() for v in values], fmt)
+    crc = zlib.crc32(body)
+    return _apply_post_fault(fault, body), eng.stats() if delta else {}, crc
 
 
 def _chunk_slices(n: int, shards: int) -> List[tuple]:
@@ -111,7 +235,7 @@ def _chunk_slices(n: int, shards: int) -> List[tuple]:
 
 
 class BulkPool:
-    """An order-preserving sharded format/read pipeline.
+    """An order-preserving, fault-tolerant sharded format/read pipeline.
 
     Args:
         jobs: Worker count (default: ``os.cpu_count()``).
@@ -124,6 +248,22 @@ class BulkPool:
         delimiter: Row terminator for bulk payloads.
         shards_per_job: Shards dispatched per worker (smaller shards
             smooth stragglers; each shard pays one transport).
+        deadline: Seconds one shard attempt may take, measured from its
+            dispatch round (None: unbounded).  A miss abandons the
+            attempt and retries.
+        budget: Wall-clock seconds one ``format_bulk``/``read_bulk``
+            call may take across all retries and degradations; past it
+            the call raises :class:`DeadlineExceededError` (None:
+            unbounded).
+        retries: Extra attempts per shard per ladder level.
+        backoff: Base of the exponential retry backoff (seconds); the
+            actual sleep is jittered deterministically per round.
+        on_error: ``"degrade"`` (default) walks the ladder
+            process → thread → serial when a level keeps failing;
+            ``"raise"`` surfaces the first exhausted shard as a typed
+            error instead.
+        max_rebuilds: Broken-pool rebuilds tolerated per call before
+            degrading (or raising :class:`PoolBrokenError`).
     """
 
     def __init__(self, jobs: Optional[int] = None, kind: str = "process",
@@ -131,10 +271,17 @@ class BulkPool:
                  mode: ReaderMode = ReaderMode.NEAREST_EVEN,
                  tie: TieBreak = TieBreak.UP, dedup: bool = True,
                  delimiter: Union[bytes, str] = b"\n",
-                 shards_per_job: int = 2, engine=None):
+                 shards_per_job: int = 2, engine=None,
+                 deadline: Optional[float] = None,
+                 budget: Optional[float] = None,
+                 retries: int = 2, backoff: float = 0.05,
+                 on_error: str = "degrade", max_rebuilds: int = 2):
         if kind not in ("process", "thread"):
             raise RangeError(f"kind must be 'process' or 'thread', "
                              f"got {kind!r}")
+        if on_error not in ("raise", "degrade"):
+            raise RangeError(f"on_error must be 'raise' or 'degrade', "
+                             f"got {on_error!r}")
         if fmt.name not in STANDARD_FORMATS \
                 or STANDARD_FORMATS[fmt.name] is not fmt:
             raise RangeError(
@@ -142,6 +289,11 @@ class BulkPool:
         self.jobs = jobs if jobs else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise RangeError("jobs must be >= 1")
+        if retries < 0:
+            raise RangeError("retries must be >= 0")
+        for name, limit in (("deadline", deadline), ("budget", budget)):
+            if limit is not None and limit <= 0:
+                raise RangeError(f"{name} must be positive, got {limit}")
         self.kind = kind
         self.fmt = fmt
         self.mode = mode
@@ -155,8 +307,22 @@ class BulkPool:
             raise RangeError("delimiter must be non-empty")
         self.delimiter = delimiter
         self.shards_per_job = max(1, shards_per_job)
+        self.deadline = deadline
+        self.budget = budget
+        self.retries = retries
+        self.backoff = backoff
+        self.on_error = on_error
+        self.max_rebuilds = max_rebuilds
         self._stats: dict = {}
+        self._fstats = dict.fromkeys(FAULT_STAT_KEYS, 0)
         self._executor = None
+        #: Current ladder rung; sticky — once degraded, later calls
+        #: stay at the working level rather than re-probing a broken
+        #: one.
+        self._level = kind
+        #: Guards the executor handle, both counter dicts and the
+        #: ladder level — calls may run concurrently from many threads.
+        self._lock = threading.Lock()
         if kind == "thread":
             from repro.engine.engine import Engine
 
@@ -174,83 +340,316 @@ class BulkPool:
     # ------------------------------------------------------------------
 
     def _pool(self):
-        if self.jobs == 1:
-            return None
-        if self._executor is None:
-            if self.kind == "thread":
-                self._executor = concurrent.futures.ThreadPoolExecutor(
-                    max_workers=self.jobs)
-            else:
+        """The live executor for the current ladder level (built
+        lazily), or None for serial execution."""
+        with self._lock:
+            if self.jobs == 1 or self._level == "serial":
+                return None
+            if self._executor is None:
+                if self._level == "thread":
+                    self._executor = concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.jobs)
+                else:
+                    try:
+                        ctx = multiprocessing.get_context("fork")
+                    except ValueError:  # pragma: no cover - non-POSIX
+                        ctx = multiprocessing.get_context()
+                    self._executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.jobs, mp_context=ctx,
+                        initializer=_init_worker,
+                        initargs=((self.fmt.name,),))
+            return self._executor
+
+    def _abandon_executor(self) -> None:
+        """Drop the executor without waiting: terminate stalled or
+        crashed worker processes (best effort) and shut down with
+        futures cancelled.  The next :meth:`_pool` call rebuilds."""
+        with self._lock:
+            ex = self._executor
+            self._executor = None
+        if ex is None:
+            return
+        procs = getattr(ex, "_processes", None)
+        if procs:
+            for p in list(procs.values()):
                 try:
-                    ctx = multiprocessing.get_context("fork")
-                except ValueError:  # pragma: no cover - non-POSIX
-                    ctx = multiprocessing.get_context()
-                self._executor = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self.jobs, mp_context=ctx,
-                    initializer=_init_worker, initargs=((self.fmt.name,),))
-        return self._executor
+                    p.terminate()
+                except Exception:  # pragma: no cover - racing exits
+                    pass
+        try:
+            ex.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - already broken
+            pass
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown()
+        """Shut the worker pool down.  Idempotent: safe to call any
+        number of times, from ``__exit__`` (error paths included) or
+        directly, and the pool can keep serving afterwards — the next
+        call simply builds a fresh executor."""
+        with self._lock:
+            ex = self._executor
             self._executor = None
+        if ex is not None:
+            try:
+                ex.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken executor
+                pass
 
     def __enter__(self) -> "BulkPool":
         return self
 
     def __exit__(self, *exc) -> None:
+        # Error path included: a shard failure mid-call must not leak
+        # a live executor.
         self.close()
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant shard execution
+    # ------------------------------------------------------------------
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._fstats[key] += n
+
+    def _merge_stats(self, delta: dict) -> None:
+        with self._lock:
+            acc = self._stats
+            for k, v in delta.items():
+                acc[k] = acc.get(k, 0) + v
+
+    def _check_budget(self, start: float) -> None:
+        if self.budget is not None:
+            elapsed = time.monotonic() - start
+            if elapsed > self.budget:
+                raise DeadlineExceededError(
+                    f"bulk call exceeded its {self.budget}s budget "
+                    f"({elapsed:.3f}s elapsed)",
+                    shard=None, elapsed=elapsed, limit=self.budget)
+
+    def _tagged(self, payload: tuple, shard: int, attempt: int,
+                site: str) -> tuple:
+        """Payload with its injected-fault tag (usually None) filled in;
+        the decision is made here, in the parent, so firing is
+        deterministic and accounted for where recovery happens."""
+        plan = _faults._PLAN
+        if plan is None:
+            return payload
+        spec = plan.pool_action(site, shard, attempt, self._level)
+        if spec is None:
+            return payload
+        return payload[:-1] + ((spec.kind, spec.stall),)
+
+    def _degrade(self) -> None:
+        self._abandon_executor()
+        with self._lock:
+            rung = _LADDER.index(self._level)
+            if rung < len(_LADDER) - 1:
+                self._level = _LADDER[rung + 1]
+                self._fstats["degradations"] += 1
+
+    def _give_up(self, shard: int, attempts: int, cause: BaseException):
+        """Typed surfacing of an exhausted shard (``on_error="raise"``
+        or the serial rung failing)."""
+        if isinstance(cause, DeadlineExceededError):
+            raise cause
+        raise ShardError(shard, attempts, cause) from cause
+
+    @staticmethod
+    def _verify_crc(got: tuple, shard: int) -> tuple:
+        body, delta, crc = got
+        if zlib.crc32(body) != crc:
+            raise _CorruptShard(
+                f"shard {shard} payload failed its integrity check")
+        return body, delta
+
+    def _run_serial(self, fn, payloads, site, results, pending, attempts,
+                    start) -> List[tuple]:
+        """One serial round over ``pending``: ``(shard, cause)`` failures."""
+        failed = []
+        for i in pending:
+            self._check_budget(start)
+            try:
+                got = fn(self._tagged(payloads[i], i, attempts[i], site))
+                results[i] = self._verify_crc(got, i)
+            except ReproError:
+                raise  # deterministic data error: retrying cannot help
+            except _CorruptShard as exc:
+                self._bump("corrupt_shards")
+                failed.append((i, exc))
+            except Exception as exc:
+                failed.append((i, exc))
+        return failed
+
+    def _run_parallel(self, pool, fn, payloads, site, results, pending,
+                      attempts, start) -> List[tuple]:
+        """One executor round over ``pending``: ``(shard, cause)``
+        failures.  Detects broken pools and missed deadlines; either
+        abandons the executor so the next round starts clean."""
+        futs = [(i, pool.submit(fn, self._tagged(payloads[i], i,
+                                                 attempts[i], site)))
+                for i in pending]
+        dispatched = time.monotonic()
+        failed = []
+        abandon = False
+        broken = None
+        for i, fut in futs:
+            if broken is not None:
+                fut.cancel()
+                failed.append((i, broken))
+                continue
+            timeout = None
+            if self.deadline is not None:
+                timeout = dispatched + self.deadline - time.monotonic()
+            if self.budget is not None:
+                remaining = self.budget - (time.monotonic() - start)
+                timeout = remaining if timeout is None \
+                    else min(timeout, remaining)
+            try:
+                if timeout is None:
+                    got = fut.result()
+                else:
+                    got = fut.result(timeout=max(0.0, timeout))
+                results[i] = self._verify_crc(got, i)
+            except concurrent.futures.TimeoutError:
+                fut.cancel()
+                self._check_budget(start)  # budget exhaustion raises
+                if self.deadline is None:
+                    # Only the budget bounded this wait; charge it even
+                    # if the clock says a few microseconds remain.
+                    elapsed = time.monotonic() - start
+                    raise DeadlineExceededError(
+                        f"bulk call exceeded its {self.budget}s budget "
+                        f"({elapsed:.3f}s elapsed)",
+                        shard=None, elapsed=elapsed, limit=self.budget)
+                self._bump("deadline_hits")
+                elapsed = time.monotonic() - dispatched
+                failed.append((i, DeadlineExceededError(
+                    f"shard {i} missed its {self.deadline}s deadline "
+                    f"({elapsed:.3f}s elapsed)",
+                    shard=i, elapsed=elapsed, limit=self.deadline)))
+                abandon = True  # a worker may still be wedged
+            except concurrent.futures.BrokenExecutor as exc:
+                broken = PoolBrokenError(f"worker pool broke: {exc!r}")
+                broken.__cause__ = exc
+                failed.append((i, broken))
+                abandon = True
+            except ReproError:
+                for j, other in futs:
+                    other.cancel()
+                raise
+            except _CorruptShard as exc:
+                self._bump("corrupt_shards")
+                failed.append((i, exc))
+            except Exception as exc:
+                failed.append((i, exc))
+        if abandon:
+            self._abandon_executor()
+            self._bump("pool_rebuilds")
+        return failed
+
+    def _run_shards(self, fn, payloads: List[tuple],
+                    site: str) -> List[bytes]:
+        """Run every shard to completion (or a typed error), in order.
+
+        The core recovery loop: rounds of dispatch at the current
+        ladder level, per-shard retry budgets, deadline/budget
+        enforcement, broken-pool rebuilds, and — under
+        ``on_error="degrade"`` — ladder descent with a fresh attempt
+        budget per level.  Returns the shard bodies in input order and
+        merges their stats deltas; on any raise, no partial results
+        escape (the exception is the only outcome).
+        """
+        n = len(payloads)
+        results: List[Optional[tuple]] = [None] * n
+        pending = list(range(n))
+        attempts = [0] * n
+        start = time.monotonic()
+        rebuilds = 0
+        round_no = 0
+        while pending:
+            self._check_budget(start)
+            pool = self._pool() if n > 1 else None
+            try:
+                if pool is None:
+                    failed = self._run_serial(fn, payloads, site, results,
+                                              pending, attempts, start)
+                else:
+                    failed = self._run_parallel(pool, fn, payloads, site,
+                                                results, pending, attempts,
+                                                start)
+            except ReproError:
+                raise
+            if not failed:
+                break
+            serial_now = pool is None
+            rebuilt_now = any(isinstance(c, PoolBrokenError)
+                              for _, c in failed)
+            if rebuilt_now:
+                rebuilds += 1
+            with self._lock:
+                self._fstats["shard_failures"] += len(failed)
+            exhausted = None
+            for i, cause in failed:
+                attempts[i] += 1
+                if attempts[i] > self.retries and exhausted is None:
+                    exhausted = (i, cause)
+            pending = [i for i, _ in failed]
+            must_step_down = (exhausted is not None
+                              or rebuilds > self.max_rebuilds)
+            if must_step_down:
+                if self.on_error == "raise" or serial_now:
+                    if exhausted is not None:
+                        self._give_up(exhausted[0],
+                                      attempts[exhausted[0]], exhausted[1])
+                    raise PoolBrokenError(
+                        f"worker pool broke {rebuilds} times "
+                        f"(max_rebuilds={self.max_rebuilds})")
+                self._degrade()
+                rebuilds = 0
+                for i in pending:  # fresh retry budget on the new rung
+                    attempts[i] = 0
+            else:
+                self._bump("shard_retries", len(pending))
+                round_no += 1
+                if self.backoff:
+                    # Deterministic jitter: chaos replays sleep the
+                    # same spans run after run.
+                    jitter = random.Random(f"bulkpool:{round_no}").random()
+                    time.sleep(self.backoff * (2 ** min(round_no - 1, 4))
+                               * (0.5 + 0.5 * jitter))
+        out = []
+        for body, delta in results:  # type: ignore[misc]
+            if delta:
+                self._merge_stats(delta)
+            out.append(body)
+        return out
 
     # ------------------------------------------------------------------
     # Pipelines
     # ------------------------------------------------------------------
 
-    def _merge_stats(self, delta: dict) -> None:
-        acc = self._stats
-        for k, v in delta.items():
-            acc[k] = acc.get(k, 0) + v
-
-    def _run_shards(self, fn, payloads: List[tuple]) -> List[bytes]:
-        pool = self._pool()
-        if pool is None or len(payloads) == 1:
-            results = [fn(p) for p in payloads]
-        else:
-            results = list(pool.map(fn, payloads))
-        out = []
-        for body, delta in results:
-            self._merge_stats(delta)
-            out.append(body)
-        return out
+    def _payloads(self, spans, bits) -> List[tuple]:
+        """Shard payloads for :func:`_format_shard`.  Thread pools pass
+        bit-pattern slices and the shared engine by reference; process
+        pools pack bytes and let workers use their own engines."""
+        if self.kind == "thread":
+            return [(self.fmt.name, bits[a:b], self.mode, self.tie,
+                     self.dedup, self.delimiter, self._engine, None)
+                    for a, b in spans]
+        return [(self.fmt.name, pack_bits(bits[a:b], self.fmt),
+                 self.mode, self.tie, self.dedup, self.delimiter,
+                 None, None)
+                for a, b in spans]
 
     def format_bulk(self, data) -> bytes:
         """Serialize a column to delimiter-terminated ASCII bytes."""
         bits = ingest_bits(data, self.fmt)
         if not bits:
             return b""
-        if self.kind == "thread":
-            spans = _chunk_slices(len(bits),
-                                  self.jobs * self.shards_per_job)
-            eng, d = self._engine, self.delimiter.decode("ascii")
-
-            def shard(span):
-                texts = format_column(bits[span[0]:span[1]], self.fmt,
-                                      engine=eng, mode=self.mode,
-                                      tie=self.tie, dedup=self.dedup)
-                return (d.join(texts) + d).encode("ascii"), {}
-
-            pool = self._pool()
-            if pool is None:
-                parts = [shard(s)[0] for s in spans]
-            else:
-                parts = [body for body, _ in pool.map(shard, spans)]
-            return b"".join(parts)
         spans = _chunk_slices(len(bits), self.jobs * self.shards_per_job)
-        payloads = [(self.fmt.name,
-                     pack_bits(bits[a:b], self.fmt),
-                     self.mode, self.tie, self.dedup, self.delimiter)
-                    for a, b in spans]
-        return b"".join(self._run_shards(_format_shard, payloads))
+        payloads = self._payloads(spans, bits)
+        return b"".join(self._run_shards(_format_shard, payloads,
+                                         "pool.format_shard"))
 
     def format_column(self, data) -> List[str]:
         """Shortest strings for a column, in input order."""
@@ -270,21 +669,17 @@ class BulkPool:
             texts = list(data)
         if not texts:
             return []
-        if self.kind == "thread":
-            values = read_column(texts, self.fmt, engine=self._engine,
-                                 mode=self.mode, dedup=self.dedup)
-            if out == "flonums":
-                return values
-            return [v.to_bits() for v in values]
         d = self.delimiter.decode("ascii")
         spans = _chunk_slices(len(texts), self.jobs * self.shards_per_job)
+        eng = self._engine if self.kind == "thread" else None
         payloads = [(self.fmt.name,
                      (d.join(texts[a:b]) + d).encode("ascii"),
-                     self.mode, self.dedup, self.delimiter)
+                     self.mode, self.dedup, self.delimiter, eng, None)
                     for a, b in spans]
         itemsize = _itemsize(self.fmt)
         bits: List[int] = []
-        for packed in self._run_shards(_read_shard, payloads):
+        for packed in self._run_shards(_read_shard, payloads,
+                                       "pool.read_shard"):
             bits.extend(_bits_from_bytes(packed, itemsize))
         if out == "bits":
             return bits
@@ -292,14 +687,32 @@ class BulkPool:
         fmt = self.fmt
         return [from_bits(b, fmt) for b in bits]
 
+    @property
+    def level(self) -> str:
+        """The current degradation-ladder rung (``"process"``,
+        ``"thread"`` or ``"serial"``)."""
+        with self._lock:
+            return self._level
+
     def stats(self) -> dict:
-        """Merged engine counters across every shard so far.
+        """Merged engine counters across every shard so far, plus the
+        recovery counters (:data:`FAULT_STAT_KEYS`).
 
         For process pools this sums the per-shard deltas the workers
         report (``cache_entries`` therefore totals entries across
         worker memos); for thread pools it is the shared engine's live
-        :meth:`~repro.engine.engine.Engine.stats`.
+        :meth:`~repro.engine.engine.Engine.stats`.  Every counter
+        mutation happens under the pool lock, so totals are exact even
+        with calls running concurrently.
         """
         if self.kind == "thread":
-            return self._engine.stats()
-        return dict(self._stats)
+            out = dict(self._engine.stats())
+            with self._lock:
+                out.update(self._fstats)
+                for k, v in self._stats.items():  # degraded-rung deltas
+                    out[k] = out.get(k, 0) + v
+            return out
+        with self._lock:
+            out = dict(self._stats)
+            out.update(self._fstats)
+        return out

@@ -28,6 +28,13 @@ round trip             print→parse→print byte identity and
                        parse→print→parse bit identity per read tier,
                        host ``float()`` as the binary64 oracle
                        (``python -m repro.verify --roundtrip``)
+chaos                  the bulk byte-identity battery replayed under
+                       injected worker crashes, shard stalls, payload
+                       corruption and fast-tier raises — outputs must
+                       stay byte-identical to the fault-free run, every
+                       fault must be accounted for in ``stats()``, and
+                       only typed ``ReproError`` subclasses may escape
+                       (``python -m repro.verify --chaos``)
 =====================  =================================================
 """
 
@@ -56,8 +63,8 @@ from repro.reader.bellerophon import bellerophon
 from repro.reader.exact import read_fraction
 
 __all__ = ["VerificationReport", "verify_format", "verify_roundtrip",
-           "verify_bulk", "sample_values", "roundtrip_values",
-           "counted_digits_rational", "main"]
+           "verify_bulk", "verify_chaos", "sample_values",
+           "roundtrip_values", "counted_digits_rational", "main"]
 
 #: Significant-digit probes for the counted/fixed checks (the engine's
 #: fast tier certifies at most 17; 17 is also binary64's distinguishing
@@ -642,6 +649,180 @@ def verify_bulk(fmt: FloatFormat = BINARY64, n: int = 50000, seed: int = 0,
 
 
 # ----------------------------------------------------------------------
+# The chaos battery: bulk byte-identity under injected faults
+# ----------------------------------------------------------------------
+
+def _chaos_plans(seed: int):
+    """The named fault plans the chaos battery replays, one fresh
+    :class:`~repro.faults.FaultPlan` per call (plans are stateful)."""
+    from repro.faults import FaultPlan, FaultSpec, smoke_plan
+
+    yield "crash", FaultPlan([
+        FaultSpec("pool.format_shard", "crash", shard=1),
+        FaultSpec("pool.read_shard", "crash", shard=2),
+    ], seed), {}
+    yield "stall", FaultPlan([
+        FaultSpec("pool.format_shard", "stall", shard=0, stall=0.8),
+        FaultSpec("pool.read_shard", "stall", shard=1, stall=0.8),
+    ], seed), {"deadline": 0.3}
+    yield "corrupt", FaultPlan([
+        FaultSpec("pool.format_shard", "corrupt", shard=2),
+        FaultSpec("pool.read_shard", "corrupt", shard=0),
+    ], seed), {}
+    yield "tier-raise", FaultPlan([
+        FaultSpec("engine.tier0", rate=0.01, limit=64),
+        FaultSpec("engine.tier1", rate=0.02, limit=64),
+        FaultSpec("reader.tier0", rate=0.01, limit=64),
+        FaultSpec("reader.tier1", rate=0.02, limit=64),
+    ], seed), {}
+    yield "mixed", smoke_plan(seed), {}
+
+
+def verify_chaos(fmt: FloatFormat = BINARY64, n: int = 50000, seed: int = 0,
+                 jobs: int = 2) -> VerificationReport:
+    """The bulk byte-identity battery replayed under injected faults.
+
+    For each named fault plan (worker crash, shard stall past its
+    deadline, payload corruption in transit, fast tiers raising
+    mid-certification, and a mixed plan), format and re-read the signed
+    round-trip sample through a process :class:`~repro.serve.BulkPool`
+    with the plan armed, and enforce the three fault-tolerance
+    contracts:
+
+    * **byte identity** — both directions must match the fault-free
+      scalar oracle exactly; a fault may cost retries, never a byte;
+    * **accounting** — every injected fault is visible afterwards:
+      parent-side pool faults in the recovery counters
+      (``shard_failures``/``deadline_hits``/``corrupt_shards``),
+      in-worker tier faults in the merged ``tier_faults`` /
+      ``read_tier_faults`` engine counters;
+    * **typed errors only** — when a failure is made unrecoverable
+      (persistent faults under ``on_error="raise"``, an exhausted
+      ``budget``, a strict engine), what escapes is the documented
+      :class:`~repro.errors.ReproError` subclass and nothing else.
+    """
+    from repro import faults
+    from repro.errors import (DeadlineExceededError, ReproError,
+                              ShardError)
+    from repro.serve import BulkPool, pack_bits
+
+    report = VerificationReport(format_name=f"{fmt.name} chaos")
+    eng = Engine()
+    values = roundtrip_values(fmt, n, seed)
+    values.append(Flonum.nan(fmt))
+    values.append(Flonum.infinity(fmt, 0))
+    values.append(Flonum.infinity(fmt, 1))
+    report.checked = len(values)
+    bits = [v.to_bits() for v in values]
+    packed = pack_bits(bits, fmt)
+    scalar = [eng.format(v, fmt=fmt) for v in values]
+    want_payload = ("\n".join(scalar) + "\n").encode("ascii")
+    want_bits = [v.to_bits() for v in eng.read_many(scalar, fmt)]
+
+    for name, plan, pool_kw in _chaos_plans(seed):
+        tag = f"chaos/{name}"
+        stats = None
+        try:
+            with BulkPool(jobs=jobs, fmt=fmt, **pool_kw) as pool:
+                with faults.armed(plan):
+                    got_payload = pool.format_bulk(packed)
+                    got_bits = pool.read_bulk(want_payload)
+                stats = pool.stats()
+        except ReproError as exc:
+            report.check(tag)
+            report.record(tag, values[0], f"did not heal: {exc!r}")
+            continue
+        except Exception as exc:  # the cardinal sin: an untyped escape
+            report.check(tag)
+            report.record(tag, values[0],
+                          f"non-ReproError escaped: {exc!r}")
+            continue
+        report.check(tag)
+        if got_payload != want_payload:
+            report.record(tag, values[0],
+                          f"format payload differs ({len(got_payload)} "
+                          f"vs {len(want_payload)} bytes)")
+        _compare_rows(report, f"{tag}-read", got_bits, want_bits, values)
+        # Accounting: every injected fault is visible somewhere.
+        report.check("chaos/accounting")
+        with plan._lock:
+            pool_fired = sum(plan.fired.get(s, 0) for s in faults.POOL_SITES)
+        recovered = (stats["shard_failures"] + stats["corrupt_shards"]
+                     + stats["deadline_hits"])
+        healed = (stats.get("tier_faults", 0)
+                  + stats.get("read_tier_faults", 0))
+        if pool_fired and recovered < pool_fired:
+            report.record("chaos/accounting", values[0],
+                          f"{name}: {pool_fired} pool faults fired but "
+                          f"only {recovered} recoveries counted")
+        if pool_fired == 0 and healed == 0:
+            report.record("chaos/accounting", values[0],
+                          f"{name}: plan never fired (dead chaos leg)")
+
+    # Unrecoverable failures surface as the documented typed errors.
+    report.check("chaos/typed-shard-error")
+    plan = faults.FaultPlan([faults.FaultSpec(
+        "pool.format_shard", "raise", shard=0, attempt=None, limit=None)],
+        seed)
+    try:
+        with BulkPool(jobs=jobs, fmt=fmt, kind="thread", on_error="raise",
+                      retries=1) as pool:
+            with faults.armed(plan):
+                pool.format_bulk(packed)
+        report.record("chaos/typed-shard-error", values[0],
+                      "persistent shard fault did not raise")
+    except ShardError as exc:
+        if exc.shard != 0 or exc.attempts < 2:
+            report.record("chaos/typed-shard-error", values[0],
+                          f"bad attribution: shard={exc.shard} "
+                          f"attempts={exc.attempts}")
+    except Exception as exc:
+        report.record("chaos/typed-shard-error", values[0],
+                      f"wrong error type: {exc!r}")
+
+    report.check("chaos/typed-deadline")
+    plan = faults.FaultPlan([faults.FaultSpec(
+        "pool.format_shard", "stall", attempt=None, stall=0.4,
+        limit=None)], seed)
+    try:
+        with BulkPool(jobs=jobs, fmt=fmt, budget=0.5) as pool:
+            with faults.armed(plan):
+                pool.format_bulk(packed)
+        report.record("chaos/typed-deadline", values[0],
+                      "exhausted budget did not raise")
+    except DeadlineExceededError:
+        pass
+    except Exception as exc:
+        report.record("chaos/typed-deadline", values[0],
+                      f"wrong error type: {exc!r}")
+
+    # Strict mode re-raises the injected fault instead of healing.
+    report.check("chaos/strict")
+    strict_eng = Engine(strict=True)
+    plan = faults.FaultPlan([
+        faults.FaultSpec("engine.tier0", at=(0,)),
+        faults.FaultSpec("engine.tier1", at=(0,)),
+    ], seed)
+    raised = False
+    try:
+        with faults.armed(plan):
+            for v in values[:64]:
+                if v.is_finite and not v.is_zero:
+                    strict_eng.format(v, fmt=fmt)
+    except faults.InjectedFault:
+        raised = True
+    except Exception as exc:
+        report.record("chaos/strict", values[0],
+                      f"strict engine raised {exc!r} instead of the "
+                      f"injected fault")
+        raised = True
+    if not raised:
+        report.record("chaos/strict", values[0],
+                      "strict engine healed an injected fault")
+    return report
+
+
+# ----------------------------------------------------------------------
 # CLI: ``python -m repro.verify`` (the nightly fuzz entry point)
 # ----------------------------------------------------------------------
 
@@ -674,14 +855,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run the bulk serving-layer battery: every "
                              "columnar/pooled route must be byte-identical "
                              "to the scalar engine")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the chaos battery: the bulk byte-identity "
+                             "checks under injected worker crashes, shard "
+                             "stalls, payload corruption and fast-tier "
+                             "raises")
     args = parser.parse_args(argv)
-    if args.roundtrip and args.bulk:
-        parser.error("--roundtrip and --bulk are separate batteries")
+    if sum((args.roundtrip, args.bulk, args.chaos)) > 1:
+        parser.error("--roundtrip, --bulk and --chaos are separate "
+                     "batteries")
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
-    deep = args.roundtrip or args.bulk
+    deep = args.roundtrip or args.bulk or args.chaos
     n = args.n if args.n is not None else (50000 if deep else 200)
-    if args.bulk:
+    if args.chaos:
+        battery, kind = verify_chaos, "chaos"
+    elif args.bulk:
         battery, kind = verify_bulk, "bulk"
     elif args.roundtrip:
         battery, kind = verify_roundtrip, "round-trip"

@@ -1,0 +1,173 @@
+"""Engine guard rails: an unexpected exception in a fast tier falls
+back to the exact tier (counted in ``tier_faults``), byte-identically;
+``strict=True`` re-raises it for CI."""
+
+import pytest
+
+from repro import faults
+from repro.engine.engine import Engine
+from repro.engine.reader import ReadEngine
+from repro.errors import ParseError
+from repro.floats.formats import BINARY64
+from repro.workloads.corpus import uniform_random
+
+VALUES = [v for v in uniform_random(300, seed=17, signed=True)
+          if v.is_finite and not v.is_zero]
+ORACLE = Engine()
+WANT = [ORACLE.format(v, fmt=BINARY64) for v in VALUES]
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    yield
+    faults.disarm()
+
+
+class TestFormatGuardRails:
+    @pytest.mark.parametrize("site", ["engine.tier0", "engine.tier1"])
+    def test_tier_fault_heals_byte_identically(self, site):
+        eng = Engine()
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site, rate=0.2, limit=None)], seed=3)
+        with faults.armed(plan):
+            got = [eng.format(v, fmt=BINARY64) for v in VALUES]
+        assert got == WANT
+        fired = plan.fired.get(site, 0)
+        assert fired > 0
+        assert eng.stats()["tier_faults"] == fired
+
+    def test_batch_path_heals(self):
+        eng = Engine()
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("engine.tier1", rate=0.2, limit=None)],
+            seed=5)
+        with faults.armed(plan):
+            got = eng.format_many(VALUES, fmt=BINARY64)
+        assert got == WANT
+        assert eng.stats()["tier_faults"] == \
+            plan.fired.get("engine.tier1", 0)
+
+    def test_counted_path_heals(self):
+        eng = Engine()
+        want = [eng.format_fixed(v, ndigits=8) for v in VALUES]
+        eng = Engine()
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("engine.counted", rate=0.2, limit=None)],
+            seed=7)
+        with faults.armed(plan):
+            got = [eng.format_fixed(v, ndigits=8) for v in VALUES]
+        assert got == want
+        fired = plan.fired.get("engine.counted", 0)
+        assert fired > 0
+        assert eng.stats()["tier_faults"] == fired
+
+    def test_strict_engine_reraises(self):
+        eng = Engine(strict=True)
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("engine.tier0", at=(0,)),
+             faults.FaultSpec("engine.tier1", at=(0,))])
+        with faults.armed(plan):
+            with pytest.raises(faults.InjectedFault):
+                for v in VALUES:
+                    eng.format(v, fmt=BINARY64)
+
+    def test_disarmed_engine_counts_no_faults(self):
+        eng = Engine()
+        for v in VALUES[:32]:
+            eng.format(v, fmt=BINARY64)
+        assert eng.stats()["tier_faults"] == 0
+
+
+class TestReaderGuardRails:
+    def test_read_fault_heals_byte_identically(self):
+        eng = ReadEngine()
+        want = [eng.read(t, BINARY64).to_bits() for t in WANT]
+        eng = ReadEngine()
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("reader.tier0", rate=0.1, limit=None),
+             faults.FaultSpec("reader.tier1", rate=0.1, limit=None)],
+            seed=9)
+        with faults.armed(plan):
+            got = [eng.read(t, BINARY64).to_bits() for t in WANT]
+        assert got == want
+        fired = sum(plan.fired.values())
+        assert fired > 0
+        assert eng.stats()["read_tier_faults"] == fired
+
+    def test_read_many_heals(self):
+        eng = ReadEngine()
+        want = [v.to_bits() for v in eng.read_many(WANT, BINARY64)]
+        eng = ReadEngine()
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("reader.tier1", rate=0.2, limit=None)],
+            seed=13)
+        with faults.armed(plan):
+            got = [v.to_bits() for v in eng.read_many(WANT, BINARY64)]
+        assert got == want
+        assert eng.stats()["read_tier_faults"] == \
+            plan.fired.get("reader.tier1", 0)
+
+    def test_strict_reader_reraises(self):
+        eng = ReadEngine(strict=True)
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("reader.tier0", at=(0,)),
+             faults.FaultSpec("reader.tier1", at=(0,))])
+        with faults.armed(plan):
+            with pytest.raises(faults.InjectedFault):
+                for t in WANT:
+                    eng.read(t, BINARY64)
+
+    def test_parse_error_is_not_healed(self):
+        # ReproError is a deliberate signal, not a fault: the guard
+        # rail must let it through even with a plan armed.
+        eng = ReadEngine()
+        plan = faults.FaultPlan([
+            faults.FaultSpec("reader.tier1", rate=0.0, limit=None)])
+        with faults.armed(plan):
+            with pytest.raises(ParseError):
+                eng.read("not-a-number", BINARY64)
+        assert eng.stats()["read_tier_faults"] == 0
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_fires_identically(self):
+        def run(seed):
+            eng = Engine()
+            plan = faults.FaultPlan(
+                [faults.FaultSpec("engine.tier1", rate=0.15, limit=None)],
+                seed=seed)
+            with faults.armed(plan):
+                for v in VALUES:
+                    eng.format(v, fmt=BINARY64)
+            return plan.fired.get("engine.tier1", 0)
+
+        assert run(21) == run(21)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            faults.FaultSpec("engine.tier0", kind="crash")
+        with pytest.raises(ValueError):
+            faults.FaultSpec("pool.format_shard", kind="meltdown")
+        with pytest.raises(ValueError):
+            faults.FaultSpec("no.such.site")
+
+    def test_limit_caps_firings(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("engine.tier0", at=None, rate=0.0, limit=2)])
+        hits = 0
+        for _ in range(10):
+            try:
+                plan.fire("engine.tier0")
+            except faults.InjectedFault:
+                hits += 1
+        assert hits == 2
+        assert plan.total_fired() == 2
+
+    def test_armed_restores_previous_plan(self):
+        outer = faults.FaultPlan([])
+        inner = faults.FaultPlan([])
+        with faults.armed(outer):
+            with faults.armed(inner):
+                assert faults.active() is inner
+            assert faults.active() is outer
+        assert faults.active() is None

@@ -1,0 +1,267 @@
+"""Fault tolerance of :class:`BulkPool`: injected crashes, stalls,
+corruption and raises must heal byte-identically or surface as typed
+errors — never as silent partial results."""
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.engine import Engine
+from repro.engine.bulk import format_bulk
+from repro.errors import (
+    DeadlineExceededError,
+    ParseError,
+    PoolBrokenError,
+    ReproError,
+    ShardError,
+)
+from repro.serve import BulkPool
+from repro.serve.pool import FAULT_STAT_KEYS
+from repro.workloads.corpus import uniform_random
+
+CORPUS = [v.to_float() for v in uniform_random(400, seed=11, signed=True)] \
+    + [0.0, -0.0, float("nan"), float("inf"), float("-inf"), 5e-324]
+
+WANT = format_bulk(CORPUS, engine=Engine())
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """No test may leak an armed plan into the rest of the suite."""
+    yield
+    faults.disarm()
+
+
+class TestHealing:
+    def test_killed_worker_heals_byte_identically(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "crash", shard=1)])
+        with BulkPool(jobs=2, shards_per_job=2) as pool:
+            with faults.armed(plan):
+                got = pool.format_bulk(CORPUS)
+            stats = pool.stats()
+        assert got == WANT
+        assert plan.fired["pool.format_shard"] == 1
+        assert stats["pool_rebuilds"] >= 1
+        assert stats["shard_failures"] >= 1
+
+    def test_corrupt_shard_caught_and_retried(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "corrupt", shard=0)])
+        with BulkPool(jobs=2, shards_per_job=2) as pool:
+            with faults.armed(plan):
+                got = pool.format_bulk(CORPUS)
+            stats = pool.stats()
+        assert got == WANT
+        assert stats["corrupt_shards"] == 1
+
+    def test_stalled_shard_misses_deadline_then_heals(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "stall", shard=0,
+                             stall=0.8)])
+        with BulkPool(jobs=2, shards_per_job=1, deadline=0.25) as pool:
+            with faults.armed(plan):
+                got = pool.format_bulk(CORPUS)
+            stats = pool.stats()
+        assert got == WANT
+        assert stats["deadline_hits"] >= 1
+
+    def test_read_side_crash_heals(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.read_shard", "crash", shard=0)])
+        with BulkPool(jobs=2, shards_per_job=2) as pool:
+            want_bits = pool.read_bulk(WANT)
+        with BulkPool(jobs=2, shards_per_job=2) as pool:
+            with faults.armed(plan):
+                assert pool.read_bulk(WANT) == want_bits
+        assert plan.fired["pool.read_shard"] == 1
+
+    def test_thread_pool_injected_raise_heals(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "raise", shard=1)])
+        with BulkPool(jobs=2, kind="thread") as pool:
+            with faults.armed(plan):
+                assert pool.format_bulk(CORPUS) == WANT
+            assert pool.stats()["shard_retries"] == 1
+
+
+class TestDegradationLadder:
+    def test_persistent_crash_degrades_to_working_level(self):
+        # Crash every process-level attempt of shard 0: retries
+        # exhaust, the ladder steps down, output is still identical.
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "crash", shard=0,
+                             attempt=None, level="process", limit=None)])
+        with BulkPool(jobs=2, shards_per_job=1, retries=1,
+                      max_rebuilds=1) as pool:
+            with faults.armed(plan):
+                got = pool.format_bulk(CORPUS)
+            assert got == WANT
+            assert pool.level in ("thread", "serial")
+            assert pool.stats()["degradations"] >= 1
+            # The degraded pool keeps serving.
+            assert pool.format_bulk(CORPUS) == WANT
+
+    def test_degraded_level_is_sticky(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "crash", shard=0,
+                             attempt=None, level="process", limit=None)])
+        pool = BulkPool(jobs=2, shards_per_job=1, retries=0,
+                        max_rebuilds=0)
+        try:
+            with faults.armed(plan):
+                pool.format_bulk(CORPUS)
+            level = pool.level
+            pool.format_bulk(CORPUS)
+            assert pool.level == level
+        finally:
+            pool.close()
+
+    def test_on_error_raise_disables_ladder(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "raise", shard=1,
+                             attempt=None, limit=None)])
+        with BulkPool(jobs=2, kind="thread", on_error="raise",
+                      retries=1) as pool:
+            with faults.armed(plan):
+                with pytest.raises(ShardError) as info:
+                    pool.format_bulk(CORPUS)
+        assert info.value.shard == 1
+        assert info.value.attempts == 2
+        assert isinstance(info.value.cause, faults.InjectedFault)
+        assert isinstance(info.value.__cause__, faults.InjectedFault)
+
+    def test_serial_rung_failure_raises_typed(self):
+        # jobs=1 starts serial; a persistent fault there has nowhere
+        # left to degrade and must surface as ShardError even under
+        # the default on_error="degrade".
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "raise", shard=0,
+                             attempt=None, limit=None)])
+        with BulkPool(jobs=1, retries=1) as pool:
+            with faults.armed(plan):
+                with pytest.raises(ShardError):
+                    pool.format_bulk(CORPUS)
+
+
+class TestTypedErrors:
+    def test_deadline_error_carries_shard_attribution(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "stall", shard=1,
+                             attempt=None, stall=0.6, limit=None)])
+        with BulkPool(jobs=2, shards_per_job=1, kind="thread",
+                      deadline=0.15, retries=0, on_error="raise") as pool:
+            with faults.armed(plan):
+                with pytest.raises(DeadlineExceededError) as info:
+                    pool.format_bulk(CORPUS)
+        assert info.value.shard == 1
+        assert info.value.limit == 0.15
+        assert info.value.elapsed >= 0.15
+
+    def test_budget_exhaustion_raises(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "stall", attempt=None,
+                             stall=0.4, limit=None)])
+        with BulkPool(jobs=2, kind="thread", budget=0.5) as pool:
+            with faults.armed(plan):
+                with pytest.raises(DeadlineExceededError) as info:
+                    pool.format_bulk(CORPUS)
+        assert info.value.limit == 0.5
+
+    def test_repro_error_propagates_without_retry(self):
+        # A malformed literal is a deterministic data error, not a
+        # fault: no retries are burned on it.
+        with BulkPool(jobs=2, kind="thread", retries=2) as pool:
+            with pytest.raises(ParseError):
+                pool.read_bulk(["1.5", "not-a-number", "2.5"])
+            assert pool.stats()["shard_retries"] == 0
+
+    def test_all_fault_errors_are_repro_errors(self):
+        assert issubclass(ShardError, ReproError)
+        assert issubclass(DeadlineExceededError, ReproError)
+        assert issubclass(PoolBrokenError, ReproError)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        pool = BulkPool(jobs=2, kind="thread")
+        pool.format_bulk([1.5, 2.5])
+        pool.close()
+        pool.close()
+        pool.close()
+
+    def test_pool_serves_after_close(self):
+        pool = BulkPool(jobs=2, kind="thread")
+        pool.close()
+        assert pool.format_bulk(CORPUS) == WANT
+        pool.close()
+
+    def test_exit_shuts_down_on_error_path(self):
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "raise", shard=0,
+                             attempt=None, limit=None)])
+        with pytest.raises(ShardError):
+            with BulkPool(jobs=2, kind="thread", on_error="raise",
+                          retries=0) as pool:
+                with faults.armed(plan):
+                    pool.format_bulk(CORPUS)
+        assert pool._executor is None
+
+    def test_run_shards_failure_does_not_leak_executor(self):
+        pool = BulkPool(jobs=2, kind="thread", on_error="raise",
+                        retries=0)
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "raise", shard=0,
+                             attempt=None, limit=None)])
+        try:
+            with faults.armed(plan):
+                with pytest.raises(ShardError):
+                    pool.format_bulk(CORPUS)
+            # Healthy again once the plan is gone.
+            assert pool.format_bulk(CORPUS) == WANT
+        finally:
+            pool.close()
+        assert pool._executor is None
+
+
+class TestStats:
+    def test_fault_stat_keys_always_present(self):
+        with BulkPool(jobs=1) as pool:
+            stats = pool.stats()
+        for key in FAULT_STAT_KEYS:
+            assert stats[key] == 0
+
+    def test_fault_stat_keys_pinned(self):
+        assert frozenset(FAULT_STAT_KEYS) == frozenset({
+            "shard_retries", "shard_failures", "deadline_hits",
+            "pool_rebuilds", "degradations", "corrupt_shards"})
+
+    def test_stats_exact_under_concurrent_calls(self):
+        # Every thread injects exactly one raise into its own call;
+        # the recovery counters must sum exactly, no torn updates.
+        calls = 8
+        plan = faults.FaultPlan([
+            faults.FaultSpec("pool.format_shard", "raise", shard=0,
+                             attempt=0, limit=calls)])
+        errors = []
+        with BulkPool(jobs=2, kind="thread") as pool:
+            def one_call():
+                try:
+                    if pool.format_bulk(CORPUS) != WANT:
+                        errors.append("payload mismatch")
+                except Exception as exc:  # pragma: no cover - debug aid
+                    errors.append(repr(exc))
+
+            with faults.armed(plan):
+                threads = [threading.Thread(target=one_call)
+                           for _ in range(calls)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            stats = pool.stats()
+        assert errors == []
+        assert plan.fired["pool.format_shard"] == calls
+        assert stats["shard_failures"] == calls
+        assert stats["shard_retries"] == calls

@@ -229,3 +229,27 @@ class TestBulk:
         status, lines = _run("--bulk", "0.1", "zzz")
         assert status == 1
         assert lines and lines[0].startswith("error:")
+
+    def test_bad_literal_error_is_typed_one_liner(self):
+        status, lines = _run("--bulk", "0.1", "zzz")
+        assert status == 1
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ParseError:")
+
+    def test_chaos_seed_output_byte_identical(self):
+        vals = [f"{i}.{i}e{i % 40}" for i in range(1, 60)]
+        status, lines = _run("--bulk", "--jobs", "2", "--chaos-seed", "5",
+                             *vals)
+        assert status == 0
+        assert lines == _run("--bulk", *vals)[1]
+
+    def test_chaos_seed_disarms_after_run(self):
+        from repro import faults
+
+        status, _ = _run("--bulk", "--chaos-seed", "1", "1.5")
+        assert status == 0
+        assert faults.active() is None
+
+    def test_chaos_seed_requires_bulk(self):
+        with pytest.raises(SystemExit):
+            run(["--chaos-seed", "3", "1.0"], out=io.StringIO())

@@ -195,3 +195,32 @@ class TestBulkBattery:
     def test_cli_rejects_combined_batteries(self, capsys):
         with pytest.raises(SystemExit):
             verify.main(["--bulk", "--roundtrip"])
+
+
+class TestChaosBattery:
+    def test_chaos_battery_green(self):
+        report = verify.verify_chaos(BINARY64, n=600, seed=2)
+        assert report.ok, report.mismatches[:5]
+        for tag in ("chaos/crash", "chaos/stall", "chaos/corrupt",
+                    "chaos/tier-raise", "chaos/mixed",
+                    "chaos/typed-shard-error", "chaos/typed-deadline",
+                    "chaos/strict"):
+            assert report.tier_checks.get(tag, 0) >= 1, tag
+
+    def test_chaos_leaves_no_plan_armed(self):
+        from repro import faults
+
+        verify.verify_chaos(BINARY64, n=200, seed=3)
+        assert faults.active() is None
+
+    def test_cli_chaos_flag(self, capsys):
+        status = verify.main(["--chaos", "--n", "200",
+                              "--formats", "binary64"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "chaos battery" in out and "binary64 chaos" in out
+
+    def test_cli_rejects_chaos_with_other_batteries(self, capsys):
+        for combo in (["--chaos", "--bulk"], ["--chaos", "--roundtrip"]):
+            with pytest.raises(SystemExit):
+                verify.main(combo)
