@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -27,6 +27,7 @@ fuzz:
 	$(PY) -m repro.verify --n 300 --seed fresh
 	$(PY) -m repro.verify --roundtrip --n 300 --seed fresh
 	$(PY) -m repro.verify --bulk --n 300 --seed fresh
+	$(PY) -m repro.verify --buffer --n 300 --seed fresh
 	$(PY) -m repro.verify --chaos --n 2000 --seed fresh --formats binary64
 
 # The chaos battery: the bulk byte-identity checks replayed under
@@ -56,6 +57,13 @@ bench-reader:
 # smoke lane.
 bench-bulk:
 	$(PY) tools/bench_engine.py --bulk $(QUICK)
+
+# Byte-plane pipeline bench only: parse_buffer/format_buffer MB/s vs
+# the row-at-a-time path, printed to stdout; gates on byte/bit identity
+# always, and (full runs) >= 1.3x on the parse leg and the combined
+# pipeline.  QUICK=--quick for the CI smoke lane.
+bench-buffer:
+	$(PY) tools/bench_engine.py --buffer $(QUICK)
 
 # Quick correctness smoke of the engine (what CI runs).
 smoke:

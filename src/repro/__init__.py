@@ -17,6 +17,10 @@ Public surface, in one import::
   zero-copy columnar ingestion, dedup interning and sharded
   multi-worker pipelines with deadlines, retries and graceful
   degradation (see :mod:`repro.serve` and ``docs/robustness.md``).
+* :func:`parse_buffer` / :func:`format_buffer` — the byte-plane
+  pipeline underneath it: whole delimited byte buffers in and out,
+  throughput measured in MB/s, never a per-row string (see
+  :mod:`repro.engine.buffer` and ``docs/benchmarks.md``).
 * :class:`FaultPlan` / :func:`armed` — deterministic fault injection
   for chaos testing the serving layer (see :mod:`repro.faults`).
 * :class:`Flonum` / :class:`FloatFormat` — exact value model for binary16
@@ -80,12 +84,16 @@ from repro.serve import (
     BulkPool,
     DelimitedWriter,
     bits_from_buffer,
+    format_buffer,
     format_bulk,
     format_column,
     ingest_bits,
     pack_bits,
+    parse_buffer,
     read_bulk,
     read_column,
+    split_plane,
+    split_rows,
 )
 from repro.verify import VerificationReport, verify_chaos, verify_format
 
@@ -104,12 +112,16 @@ __all__ = [
     "BulkPool",
     "DelimitedWriter",
     "bits_from_buffer",
+    "format_buffer",
     "format_bulk",
     "format_column",
     "ingest_bits",
     "pack_bits",
+    "parse_buffer",
     "read_bulk",
     "read_column",
+    "split_plane",
+    "split_rows",
     "to_flonum",
     "shortest_digits",
     "shortest_digits_rational",

@@ -94,9 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "format the whole column through the bulk "
                              "serving layer (dedup interning, batch emit); "
                              "output is byte-identical to the scalar path")
+    parser.add_argument("--buffer", action="store_true",
+                        help="byte-plane pipeline: treat stdin (or the "
+                             "joined values) as one delimited byte "
+                             "buffer, round-trip it through "
+                             "parse_buffer/format_buffer without ever "
+                             "materializing per-row strings; output is "
+                             "byte-identical to --bulk")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="with --bulk: shard the column across N "
-                             "worker processes (default 1, in-process)")
+                        help="with --bulk/--buffer: shard the column "
+                             "across N worker processes (default 1, "
+                             "in-process)")
     parser.add_argument("--chaos-seed", type=int, default=None,
                         metavar="SEED",
                         help="with --bulk: arm the deterministic smoke "
@@ -105,8 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_bulk(args, parser: argparse.ArgumentParser, fmt, out) -> int:
-    """The ``--bulk`` pipeline: literals → bits → delimited payload."""
+def _reject_scalar_flags(args, parser: argparse.ArgumentParser,
+                         pipeline: str) -> None:
+    """Columnar pipelines only do shortest-decimal round trips."""
     for flag, name in ((args.digits is not None, "--digits"),
                        (args.decimals is not None, "--decimals"),
                        (args.position is not None, "--position"),
@@ -119,10 +128,49 @@ def _run_bulk(args, parser: argparse.ArgumentParser, fmt, out) -> int:
                        (args.python_repr, "--python-repr"),
                        (args.group != "", "--group")):
         if flag:
-            parser.error(f"--bulk is the shortest-decimal columnar "
+            parser.error(f"{pipeline} is the shortest-decimal columnar "
                          f"pipeline; {name} is not supported with it")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+
+def _run_buffer(args, parser: argparse.ArgumentParser, fmt, out) -> int:
+    """The ``--buffer`` pipeline: one delimited byte plane, round-
+    tripped through ``parse_buffer``/``format_buffer`` — per-row
+    strings are never materialized on either side."""
+    _reject_scalar_flags(args, parser, "--buffer")
+    from repro.errors import ReproError
+    from repro.serve import format_bulk, read_bulk
+
+    if args.values:
+        plane = "\n".join(args.values) + "\n"
+    else:
+        plane = sys.stdin.buffer.read()
+    if not plane:
+        return 0
+    mode = _MODES[args.reader_mode]
+    try:
+        # read_bulk routes byte/str planes through parse_buffer, and
+        # format_bulk emits through format_buffer.
+        bits = read_bulk(plane, fmt, out="bits", jobs=args.jobs,
+                         mode=mode)
+        payload = format_bulk(bits, fmt, jobs=args.jobs, mode=mode,
+                              tie=_TIES[args.tie])
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
+        return 1
+    out.write(payload.decode("ascii"))
+    if args.engine_stats:
+        from repro.engine import default_engine
+
+        for name, count in default_engine().stats().items():
+            print(f"{name}: {count}", file=sys.stderr)
+    return 0
+
+
+def _run_bulk(args, parser: argparse.ArgumentParser, fmt, out) -> int:
+    """The ``--bulk`` pipeline: literals → bits → delimited payload."""
+    _reject_scalar_flags(args, parser, "--bulk")
     import contextlib
 
     from repro.errors import ReproError
@@ -176,6 +224,11 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     fmt = STANDARD_FORMATS[args.format]
     if args.chaos_seed is not None and not args.bulk:
         parser.error("--chaos-seed only applies to the --bulk pipeline")
+    if args.bulk and args.buffer:
+        parser.error("--bulk and --buffer are alternative columnar "
+                     "pipelines; pick one")
+    if args.buffer:
+        return _run_buffer(args, parser, fmt, out)
     if args.bulk:
         return _run_bulk(args, parser, fmt, out)
     opts = NotationOptions(style=args.style, python_repr=args.python_repr,

@@ -15,11 +15,21 @@ Public surface:
   the default engines;
 * :func:`tables_for` / :class:`FormatTables` — the per-format
   precomputed state (power tables, estimator constants, Grisu powers,
-  exact-pow10 read windows).
+  exact-pow10 read windows);
+* :func:`parse_buffer` / :func:`format_buffer` /
+  :func:`split_plane` / :func:`split_rows` — the byte-plane pipeline
+  (:mod:`repro.engine.buffer`): whole delimited buffers in and out,
+  measured in MB/s, never a per-row string.
 
 This package must not import :mod:`repro.core.api` (the API imports us).
 """
 
+from repro.engine.buffer import (
+    format_buffer,
+    parse_buffer,
+    split_plane,
+    split_rows,
+)
 from repro.engine.engine import STAT_KEYS, Engine, default_engine, format_many
 from repro.engine.reader import (
     READ_STAT_KEYS,
@@ -43,4 +53,8 @@ __all__ = [
     "FormatTables",
     "tables_for",
     "clear_tables",
+    "parse_buffer",
+    "format_buffer",
+    "split_plane",
+    "split_rows",
 ]

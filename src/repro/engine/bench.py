@@ -141,6 +141,7 @@ def run_engine_bench(n: int = 20000, seed: int = 2024,
         "fixed": _run_fixed_bench(n, seed, repeats),
         "reader": _run_reader_bench(n, seed, repeats),
         "bulk": _run_bulk_bench(n, seed, repeats),
+        "buffer": _run_buffer_bench(n, seed, repeats),
         "binary32": _run_binary32_bench(n, seed, repeats),
         "corpus": {"kind": "uniform-random-bits+schryer", "n": n,
                    "seed": seed, "audit_n": len(audit),
@@ -415,6 +416,170 @@ def _run_binary32_bench(n: int, seed: int, repeats: int) -> Dict:
         "mismatches": len(mismatches),
         "mismatch_samples": mismatches[:10],
         "stats": stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# The byte-plane pipeline
+# ----------------------------------------------------------------------
+
+def _run_buffer_bench(n: int, seed: int, repeats: int) -> Dict:
+    """The byte-plane pipeline against the row-at-a-time bulk path.
+
+    Same duplicate-bearing corpora as the bulk section (flat and zipf
+    draws over ``n // BULK_DUP_FACTOR`` distinct values).  Contenders:
+
+    * **parse** — :func:`~repro.engine.buffer.parse_buffer` of the
+      delimited payload vs the row path (split to ``str`` rows,
+      ``read_column``, per-row ``to_bits`` — what ``read_bulk`` did
+      before the plane pipeline);
+    * **format** — :func:`~repro.engine.buffer.format_buffer` of the
+      packed column vs ``format_column`` + ``DelimitedWriter.extend``.
+
+    Throughput is reported in MB/s over the *text plane* (the
+    delimited payload each side consumes or produces — plane bytes /
+    best wall time), the framing the Lemire number-parsing literature
+    uses.  The parse side is where the strings used to be made, so
+    that's where the plane pipeline wins big; the format side was
+    already conversion-bound after dedup (see ``docs/benchmarks.md``),
+    so the acceptance gate is on the parse leg and the combined
+    parse+format pipeline.  The byte/bit-identity audit (flat, zipf,
+    a specials plane with NaN/infinity payload texts and denormals,
+    and the binary16/32 narrow formats) must always be clean.
+    """
+    from repro.engine.buffer import format_buffer, parse_buffer
+    from repro.engine.bulk import (format_column, ingest_bits, pack_bits,
+                                   read_column)
+    from repro.serve.writer import DelimitedWriter
+
+    distinct = max(1, n // BULK_DUP_FACTOR)
+    flat = [v.to_float() for v in duplicated_random(n, distinct, seed=seed)]
+    zipf = [v.to_float() for v in zipf_random(n, distinct, s=BULK_ZIPF_S,
+                                              seed=seed)]
+
+    row_eng = Engine()
+    buf_eng = Engine()
+    row_reader = ReadEngine()
+    buf_reader = ReadEngine()
+    row_eng.format_many(flat[:64])  # build tables before timing
+    buf_eng.format_many(flat[:64])
+
+    def row_format(packed):
+        row_eng.clear_cache()  # time conversions, not memo hits
+        texts = format_column(packed, engine=row_eng)
+        return DelimitedWriter().extend(texts).getvalue()
+
+    def buf_format(packed):
+        buf_eng.clear_cache()
+        return format_buffer(packed, engine=buf_eng)
+
+    def row_parse(payload):
+        row_reader.clear_cache()
+        return [v.to_bits() for v in read_column(payload,
+                                                 engine=row_reader)]
+
+    def buf_parse(payload):
+        buf_reader.clear_cache()
+        return parse_buffer(payload, engine=buf_reader)
+
+    out = {"us_per_value": {}, "mb_per_s": {}, "plane_bytes": {},
+           "speedup": {}}
+    pipe_row = pipe_buf = 0.0
+    for mix, xs in (("flat", flat), ("zipf", zipf)):
+        packed = pack_bits(ingest_bits(xs))
+        payload = row_format(packed)
+        t_row_fmt = _best_of(lambda: row_format(packed), repeats)
+        t_buf_fmt = _best_of(lambda: buf_format(packed), repeats)
+        t_row_parse = _best_of(lambda: row_parse(payload), repeats)
+        t_buf_parse = _best_of(lambda: buf_parse(payload), repeats)
+        plane = len(payload)
+        out["plane_bytes"][f"parse_{mix}"] = plane
+        out["plane_bytes"][f"format_{mix}"] = plane
+        out["us_per_value"][f"row_format_{mix}"] = t_row_fmt * 1e6 / n
+        out["us_per_value"][f"buffer_format_{mix}"] = t_buf_fmt * 1e6 / n
+        out["us_per_value"][f"row_parse_{mix}"] = t_row_parse * 1e6 / n
+        out["us_per_value"][f"buffer_parse_{mix}"] = t_buf_parse * 1e6 / n
+        out["mb_per_s"][f"parse_{mix}"] = plane / t_buf_parse / 1e6
+        out["mb_per_s"][f"format_{mix}"] = plane / t_buf_fmt / 1e6
+        out["speedup"][f"parse_{mix}"] = t_row_parse / t_buf_parse
+        out["speedup"][f"format_{mix}"] = t_row_fmt / t_buf_fmt
+        out["speedup"][f"pipeline_{mix}"] = ((t_row_parse + t_row_fmt)
+                                             / (t_buf_parse + t_buf_fmt))
+        pipe_row += t_row_parse + t_row_fmt
+        pipe_buf += t_buf_parse + t_buf_fmt
+
+    # Byte/bit-identity audit: payloads and parsed bits must match the
+    # row path exactly, on the timed corpora, a specials plane, and the
+    # narrow formats.
+    audit_eng = Engine()
+    audit_reader = ReadEngine()
+    mismatches = []
+    specials = [0.0, -0.0, float("nan"), float("inf"), float("-inf"),
+                5e-324, -5e-324]
+    special_rows = (b"nan\n-nan\ninf\n-inf\ninfinity\n+Infinity\n"
+                    b"5e-324\n-4.9406564584124654e-324\n0\n-0.0\n")
+    audit_n = 0
+    for mix, xs in (("flat", flat[: min(n, 4000)] + specials),
+                    ("zipf", zipf[: min(n, 4000)] + specials)):
+        audit_n += len(xs)
+        packed = pack_bits(ingest_bits(xs))
+        texts = format_column(packed, engine=audit_eng)
+        want_payload = DelimitedWriter().extend(texts).getvalue()
+        got_payload = format_buffer(packed, engine=audit_eng)
+        if got_payload != want_payload:
+            mismatches.append({"mix": mix, "kind": "format-payload",
+                               "want_bytes": len(want_payload),
+                               "got_bytes": len(got_payload)})
+        want_bits = [v.to_bits() for v in
+                     read_column(want_payload, engine=audit_reader)]
+        got_bits = parse_buffer(want_payload, engine=audit_reader)
+        mismatches += [
+            {"mix": mix, "kind": "parse-bits", "row": t,
+             "want": f"{w:#x}", "got": f"{g:#x}"}
+            for t, w, g in zip(texts, want_bits, got_bits) if w != g]
+    got_special = parse_buffer(special_rows, engine=audit_reader)
+    want_special = [v.to_bits() for v in
+                    read_column(special_rows, engine=audit_reader)]
+    audit_n += len(want_special)
+    mismatches += [
+        {"mix": "specials", "kind": "parse-bits", "row": i,
+         "want": f"{w:#x}", "got": f"{g:#x}"}
+        for i, (w, g) in enumerate(zip(want_special, got_special))
+        if w != g]
+    for fmt in (BINARY16, BINARY32):
+        flos = uniform_random(min(n, 1500), fmt, seed=seed)
+        audit_n += len(flos)
+        packed = pack_bits(ingest_bits(flos, fmt), fmt)
+        texts = format_column(packed, fmt, engine=audit_eng)
+        want_payload = DelimitedWriter().extend(texts).getvalue()
+        got_payload = format_buffer(packed, fmt, engine=audit_eng)
+        if got_payload != want_payload:
+            mismatches.append({"mix": fmt.name, "kind": "format-payload",
+                               "want_bytes": len(want_payload),
+                               "got_bytes": len(got_payload)})
+        want_bits = [v.to_bits() for v in
+                     read_column(want_payload, fmt, engine=audit_reader)]
+        got_bits = parse_buffer(want_payload, fmt, engine=audit_reader)
+        mismatches += [
+            {"mix": fmt.name, "kind": "parse-bits", "row": t,
+             "want": f"{w:#x}", "got": f"{g:#x}"}
+            for t, w, g in zip(texts, want_bits, got_bits) if w != g]
+
+    out["speedup"]["pipeline"] = pipe_row / pipe_buf
+    return {
+        "corpus": {"kind": "duplicated-random-bits", "n": n, "seed": seed,
+                   "audit_n": audit_n, "distinct": distinct,
+                   "dup_factor": BULK_DUP_FACTOR, "zipf_s": BULK_ZIPF_S,
+                   "mix": {"flat": "uniform draw over the universe",
+                           "zipf": f"zipf s={BULK_ZIPF_S} over the "
+                                   "universe"}},
+        "plane_bytes": out["plane_bytes"],
+        "us_per_value": out["us_per_value"],
+        "mb_per_s": out["mb_per_s"],
+        "speedup": out["speedup"],
+        "mismatches": len(mismatches),
+        "mismatch_samples": mismatches[:10],
+        "stats": buf_reader.stats(),
     }
 
 

@@ -303,26 +303,24 @@ def format_bulk(data, fmt: FloatFormat = BINARY64, *, jobs: int = 1,
             writer.write_bytes(payload)
             return writer.getvalue()
         return payload
-    texts = format_column(data, fmt, engine=engine, mode=mode, tie=tie,
-                          dedup=dedup)
-    if writer is None:
-        from repro.serve.writer import DelimitedWriter
+    from repro.engine.buffer import format_buffer
 
-        writer = DelimitedWriter(delimiter)
-    writer.extend(texts)
-    return writer.getvalue()
+    return format_buffer(data, fmt, delimiter=delimiter, mode=mode,
+                         tie=tie, engine=engine, dedup=dedup,
+                         writer=writer)
 
 
 def _split_rows(data, delimiter: Union[bytes, str]) -> List[str]:
-    """Rows of a delimited payload (one trailing terminator allowed)."""
-    if isinstance(delimiter, (bytes, bytearray)):
-        delimiter = bytes(delimiter).decode("ascii")
-    if isinstance(data, (bytes, bytearray, memoryview)):
-        data = bytes(data).decode("ascii")
-    rows = data.split(delimiter)
-    if rows and rows[-1] == "":
-        rows.pop()
-    return rows
+    """Rows of a delimited payload (one trailing terminator allowed).
+
+    Thin wrapper over :func:`repro.engine.buffer.split_rows`, kept for
+    the callers that still want ``str`` rows; the buffer pipeline
+    itself never goes through here.  (Lazy import: :mod:`.buffer`
+    builds on this module, never the reverse.)
+    """
+    from repro.engine.buffer import split_rows
+
+    return split_rows(data, delimiter)
 
 
 def read_column(texts, fmt: FloatFormat = BINARY64, *, engine=None,
@@ -378,6 +376,13 @@ def read_bulk(data, fmt: FloatFormat = BINARY64, *, out: str = "bits",
                       budget=budget, retries=retries,
                       on_error=on_error) as pool:
             return pool.read_bulk(data, out=out)
+    if isinstance(data, (bytes, bytearray, memoryview, str)):
+        # Delimited payloads take the byte-plane pipeline: no per-row
+        # str, no per-row Flonum/to_bits when out="bits".
+        from repro.engine.buffer import parse_buffer
+
+        return parse_buffer(data, fmt, delimiter=delimiter, mode=mode,
+                            out=out, engine=engine, dedup=dedup)
     values = read_column(data, fmt, engine=engine, mode=mode,
                          delimiter=delimiter, dedup=dedup)
     if out == "flonums":

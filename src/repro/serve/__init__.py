@@ -5,6 +5,12 @@ This package depends on :mod:`repro.engine.bulk` (which holds the
 ingestion/dedup kernels), never the reverse.
 """
 
+from repro.engine.buffer import (
+    format_buffer,
+    parse_buffer,
+    split_plane,
+    split_rows,
+)
 from repro.engine.bulk import (
     bits_from_buffer,
     floats_from_bits64,
@@ -23,10 +29,14 @@ __all__ = [
     "DelimitedWriter",
     "bits_from_buffer",
     "floats_from_bits64",
+    "format_buffer",
     "format_bulk",
     "format_column",
     "ingest_bits",
     "pack_bits",
+    "parse_buffer",
     "read_bulk",
     "read_column",
+    "split_plane",
+    "split_rows",
 ]

@@ -15,9 +15,11 @@ workers and merges the results in input order:
   powers instead of rebuilding them, and each worker re-warms on init
   for spawn-style start methods.
 
-Shard payloads cross the process boundary as packed native-order bit
-patterns (one ``array.tobytes`` per shard), never as Python object
-lists, and formats travel by *name* so workers resolve the canonical
+Shard payloads cross the process boundary as flat bytes — packed
+native-order bit patterns on the format side (one ``array.tobytes``
+per shard), delimited byte-plane slices cut on token boundaries on the
+read side — never as Python object lists, and formats travel by *name*
+so workers resolve the canonical
 :data:`~repro.floats.formats.STANDARD_FORMATS` instances — engine fast
 paths key on format identity.
 
@@ -82,14 +84,13 @@ from typing import List, Optional, Union
 
 from repro import faults as _faults
 from repro.core.rounding import ReaderMode, TieBreak
+from repro.engine.buffer import format_buffer, parse_buffer, split_plane
 from repro.engine.bulk import (
     _bits_from_bytes,
     _itemsize,
     _split_rows,
-    format_column,
     ingest_bits,
     pack_bits,
-    read_column,
 )
 from repro.errors import (
     DeadlineExceededError,
@@ -195,28 +196,39 @@ def _apply_post_fault(fault, body: bytes) -> bytes:
 
 
 def _format_shard(payload) -> tuple:
-    """Format one shard: ``(delimited_ascii, stats_delta, crc32)``."""
+    """Format one shard: ``(delimited_ascii, stats_delta, crc32)``.
+
+    The shard body is produced by the byte-plane pipeline
+    (:func:`~repro.engine.buffer.format_buffer`): interned
+    pre-terminated byte rows joined once — no per-row string list
+    between the engine and the wire.
+    """
     fmt_name, raw, mode, tie, dedup, delim, eng, fault = payload
     _apply_pre_fault(fault)
     fmt = STANDARD_FORMATS[fmt_name]
     eng, delta = _shard_engine(eng)
-    texts = format_column(raw, fmt, engine=eng, mode=mode, tie=tie,
-                          dedup=dedup)
-    d = delim.decode("ascii")
-    body = (d.join(texts) + d).encode("ascii") if texts else b""
+    body = format_buffer(raw, fmt, delimiter=delim, mode=mode, tie=tie,
+                         engine=eng, dedup=dedup)
     crc = zlib.crc32(body)
     return _apply_post_fault(fault, body), eng.stats() if delta else {}, crc
 
 
 def _read_shard(payload) -> tuple:
-    """Parse one delimited shard: ``(packed_bits, stats_delta, crc32)``."""
+    """Parse one delimited shard: ``(packed_bits, stats_delta, crc32)``.
+
+    ``raw`` arrives as a byte plane (a slice of the caller's payload
+    cut on token boundaries) and is parsed by
+    :func:`~repro.engine.buffer.parse_buffer` straight to bit patterns
+    — no per-row ``str`` or ``Flonum`` is ever materialized in the
+    worker.
+    """
     fmt_name, raw, mode, dedup, delim, eng, fault = payload
     _apply_pre_fault(fault)
     fmt = STANDARD_FORMATS[fmt_name]
     eng, delta = _shard_engine(eng)
-    values = read_column(raw, fmt, engine=eng, mode=mode,
-                         delimiter=delim, dedup=dedup)
-    body = pack_bits([v.to_bits() for v in values], fmt)
+    bits = parse_buffer(raw, fmt, delimiter=delim, mode=mode,
+                        engine=eng, dedup=dedup)
+    body = pack_bits(bits, fmt)
     crc = zlib.crc32(body)
     return _apply_post_fault(fault, body), eng.stats() if delta else {}, crc
 
@@ -661,21 +673,34 @@ class BulkPool:
         if out not in ("bits", "flonums"):
             raise RangeError(f"out must be 'bits' or 'flonums', "
                              f"got {out!r}")
-        if isinstance(data, (bytes, bytearray, memoryview, str)):
-            texts = _split_rows(data, self.delimiter)
-        elif isinstance(data, list):
-            texts = data
-        else:
-            texts = list(data)
-        if not texts:
-            return []
-        d = self.delimiter.decode("ascii")
-        spans = _chunk_slices(len(texts), self.jobs * self.shards_per_job)
         eng = self._engine if self.kind == "thread" else None
-        payloads = [(self.fmt.name,
-                     (d.join(texts[a:b]) + d).encode("ascii"),
-                     self.mode, self.dedup, self.delimiter, eng, None)
-                    for a, b in spans]
+        if isinstance(data, (bytes, bytearray, memoryview, str)):
+            # Byte planes ship as byte planes: one offsets pass finds
+            # the token boundaries, and each shard payload is a *slice*
+            # of the original plane cut on a boundary — no row strings,
+            # no re-join, no re-encode.
+            plane, starts, _lengths = split_plane(data, self.delimiter)
+            if not starts:
+                return []
+            spans = _chunk_slices(len(starts),
+                                  self.jobs * self.shards_per_job)
+            end = len(plane)
+            payloads = [(self.fmt.name,
+                         plane[starts[a]:(starts[b] if b < len(starts)
+                                          else end)],
+                         self.mode, self.dedup, self.delimiter, eng, None)
+                        for a, b in spans]
+        else:
+            texts = data if isinstance(data, list) else list(data)
+            if not texts:
+                return []
+            d = self.delimiter.decode("ascii")
+            spans = _chunk_slices(len(texts),
+                                  self.jobs * self.shards_per_job)
+            payloads = [(self.fmt.name,
+                         (d.join(texts[a:b]) + d).encode("ascii"),
+                         self.mode, self.dedup, self.delimiter, eng, None)
+                        for a, b in spans]
         itemsize = _itemsize(self.fmt)
         bits: List[int] = []
         for packed in self._run_shards(_read_shard, payloads,

@@ -28,6 +28,11 @@ round trip             print→parse→print byte identity and
                        parse→print→parse bit identity per read tier,
                        host ``float()`` as the binary64 oracle
                        (``python -m repro.verify --roundtrip``)
+buffer                 the byte-plane pipeline
+                       (``parse_buffer``/``format_buffer``) against the
+                       scalar engines, byte/bit-identical with per-tier
+                       mismatch attribution
+                       (``python -m repro.verify --buffer``)
 chaos                  the bulk byte-identity battery replayed under
                        injected worker crashes, shard stalls, payload
                        corruption and fast-tier raises — outputs must
@@ -63,8 +68,9 @@ from repro.reader.bellerophon import bellerophon
 from repro.reader.exact import read_fraction
 
 __all__ = ["VerificationReport", "verify_format", "verify_roundtrip",
-           "verify_bulk", "verify_chaos", "sample_values",
-           "roundtrip_values", "counted_digits_rational", "main"]
+           "verify_bulk", "verify_buffer", "verify_chaos",
+           "sample_values", "roundtrip_values",
+           "counted_digits_rational", "main"]
 
 #: Significant-digit probes for the counted/fixed checks (the engine's
 #: fast tier certifies at most 17; 17 is also binary64's distinguishing
@@ -649,6 +655,137 @@ def verify_bulk(fmt: FloatFormat = BINARY64, n: int = 50000, seed: int = 0,
 
 
 # ----------------------------------------------------------------------
+# The buffer battery: the byte-plane pipeline against the scalar engines
+# ----------------------------------------------------------------------
+
+def verify_buffer(fmt: FloatFormat = BINARY64, n: int = 50000,
+                  seed: int = 0) -> VerificationReport:
+    """Byte/bit-identity of the byte-plane pipeline
+    (:mod:`repro.engine.buffer`) against the scalar engines.
+
+    The pipeline never materializes per-row strings — tokens stay
+    ``bytes``, classification is one vectorized sweep, conversions run
+    in per-tier sub-batches — but must reproduce the scalar results
+    exactly.  Oracles and legs:
+
+    * **emit** — :func:`~repro.engine.buffer.format_buffer` on the
+      packed column (and the bit list, with dedup off, into a prepared
+      :class:`~repro.serve.DelimitedWriter`, and with a CRLF delimiter)
+      against the joined scalar :meth:`Engine.format` rows;
+    * **parse** — :func:`~repro.engine.buffer.parse_buffer` of the
+      payload against a memo-free scalar
+      :meth:`ReadEngine.read_result` per row, with *per-tier mismatch
+      attribution*: each row's check is tagged by the tier the scalar
+      reader resolved it with (``buffer/parse/tier0`` …), so a
+      divergence localizes to the sub-batch that produced it;
+    * **split** — :func:`~repro.engine.buffer.split_plane` /
+      :func:`~repro.engine.buffer.split_rows` edge cases: trailing
+      terminator, unterminated trailing token, CRLF and multi-byte
+      delimiters, empty plane, non-bytes input.
+
+    The sample is the signed round-trip population
+    (:func:`roundtrip_values`: denormals, rail-hugging powers, both
+    zeros) plus NaN and both infinities.
+    """
+    from repro.engine.buffer import (format_buffer, parse_buffer,
+                                     split_plane, split_rows)
+    from repro.engine.reader import ReadEngine
+    from repro.errors import DecodeError
+    from repro.serve import DelimitedWriter, pack_bits
+
+    report = VerificationReport(format_name=f"{fmt.name} buffer")
+    eng = Engine()
+    values = roundtrip_values(fmt, n, seed)
+    values.append(Flonum.nan(fmt))
+    values.append(Flonum.infinity(fmt, 0))
+    values.append(Flonum.infinity(fmt, 1))
+    report.checked = len(values)
+    bits = [v.to_bits() for v in values]
+    packed = pack_bits(bits, fmt)
+    scalar = [eng.format(v, fmt=fmt) for v in values]
+    want_payload = ("\n".join(scalar) + "\n").encode("ascii")
+
+    # --- emit legs -----------------------------------------------------
+    for tag, got in (
+            ("buffer/format-packed",
+             format_buffer(packed, fmt, engine=eng)),
+            ("buffer/format-bits",
+             format_buffer(bits, fmt, engine=eng)),
+            ("buffer/format-nodedup",
+             format_buffer(packed, fmt, engine=eng, dedup=False)),
+            ("buffer/format-writer",
+             format_buffer(packed, fmt, engine=eng,
+                           writer=DelimitedWriter(b"\n")))):
+        report.check(tag)
+        if got != want_payload:
+            report.record(tag, values[0],
+                          f"payload differs ({len(got)} vs "
+                          f"{len(want_payload)} bytes)")
+    report.check("buffer/format-crlf")
+    got = format_buffer(packed, fmt, engine=eng, delimiter=b"\r\n")
+    if got != ("\r\n".join(scalar) + "\r\n").encode("ascii"):
+        report.record("buffer/format-crlf", values[0], "payload differs")
+
+    # --- parse legs, tier-attributed -----------------------------------
+    oracle = ReadEngine(cache_size=0)  # memo off: true tier per row
+    results = [oracle.read_result(t, fmt) for t in scalar]
+    want_bits = [r.value.to_bits() for r in results]
+    got_bits = parse_buffer(want_payload, fmt)
+    if len(got_bits) != len(want_bits):
+        report.check("buffer/parse")
+        report.record("buffer/parse", values[0],
+                      f"row count {len(got_bits)} != {len(want_bits)}")
+    else:
+        for i, (g, w, r) in enumerate(zip(got_bits, want_bits, results)):
+            tag = f"buffer/parse/{r.tier}"
+            report.check(tag)
+            if g != w:
+                report.record(tag, values[i],
+                              f"row {i} ({scalar[i]!r}): "
+                              f"{g:#x} != {w:#x}")
+    _compare_rows(report, "buffer/parse-nodedup",
+                  parse_buffer(want_payload, fmt, dedup=False),
+                  want_bits, values)
+    _compare_rows(report, "buffer/parse-flonums",
+                  [v.to_bits() for v in parse_buffer(want_payload, fmt,
+                                                     out="flonums")],
+                  want_bits, values)
+    crlf = ("\r\n".join(scalar) + "\r\n").encode("ascii")
+    _compare_rows(report, "buffer/parse-crlf",
+                  parse_buffer(crlf, fmt, delimiter=b"\r\n"),
+                  want_bits, values)
+    _compare_rows(report, "buffer/parse-roundtrip", want_bits, bits,
+                  values)
+
+    # --- splitter edge cases -------------------------------------------
+    report.check("buffer/split")
+    head = scalar[:3]
+    cases = []
+    for delim in ("\n", "\r\n", "||"):
+        body = delim.join(head)
+        cases.append((body + delim, delim, head))       # terminated
+        cases.append((body, delim, head))               # unterminated tail
+    cases.append(("", "\n", []))                        # empty plane
+    for text, delim, want_rows in cases:
+        plane, starts, lengths = split_plane(text.encode("ascii"), delim)
+        rows = [plane[s:s + w].decode("ascii")
+                for s, w in zip(starts, lengths)]
+        if rows != want_rows or split_rows(text, delim) != want_rows:
+            report.record("buffer/split", values[0],
+                          f"{text!r} split on {delim!r}: {rows!r}")
+    try:
+        split_rows(object())
+        report.record("buffer/split", values[0],
+                      "non-bytes input did not raise DecodeError")
+    except DecodeError:
+        pass
+    except Exception as exc:
+        report.record("buffer/split", values[0],
+                      f"non-bytes input raised {exc!r}, not DecodeError")
+    return report
+
+
+# ----------------------------------------------------------------------
 # The chaos battery: bulk byte-identity under injected faults
 # ----------------------------------------------------------------------
 
@@ -838,7 +975,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "tier against independent oracles.")
     parser.add_argument("--n", type=int, default=None,
                         help="values sampled per format (default 200; "
-                             "50000 with --roundtrip or --bulk)")
+                             "50000 with --roundtrip/--bulk/--buffer)")
     parser.add_argument("--seed", default="0",
                         help="sample seed: an integer, or 'fresh' for a "
                              "new random seed (nightly fuzz; the chosen "
@@ -855,21 +992,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run the bulk serving-layer battery: every "
                              "columnar/pooled route must be byte-identical "
                              "to the scalar engine")
+    parser.add_argument("--buffer", action="store_true",
+                        help="run the byte-plane pipeline battery: "
+                             "parse_buffer/format_buffer must be byte/bit-"
+                             "identical to the scalar engines, with "
+                             "per-tier mismatch attribution")
     parser.add_argument("--chaos", action="store_true",
                         help="run the chaos battery: the bulk byte-identity "
                              "checks under injected worker crashes, shard "
                              "stalls, payload corruption and fast-tier "
                              "raises")
     args = parser.parse_args(argv)
-    if sum((args.roundtrip, args.bulk, args.chaos)) > 1:
-        parser.error("--roundtrip, --bulk and --chaos are separate "
-                     "batteries")
+    if sum((args.roundtrip, args.bulk, args.buffer, args.chaos)) > 1:
+        parser.error("--roundtrip, --bulk, --buffer and --chaos are "
+                     "separate batteries")
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
-    deep = args.roundtrip or args.bulk or args.chaos
+    deep = args.roundtrip or args.bulk or args.buffer or args.chaos
     n = args.n if args.n is not None else (50000 if deep else 200)
     if args.chaos:
         battery, kind = verify_chaos, "chaos"
+    elif args.buffer:
+        battery, kind = verify_buffer, "buffer"
     elif args.bulk:
         battery, kind = verify_bulk, "bulk"
     elif args.roundtrip:

@@ -1,0 +1,221 @@
+"""The byte-plane pipeline: split/classify/parse/format over whole
+delimited buffers, byte- and bit-compared against the row-at-a-time
+path."""
+
+import math
+
+import pytest
+
+from repro.engine import Engine, ReadEngine
+from repro.engine.buffer import (
+    classify_tokens,
+    format_buffer,
+    parse_buffer,
+    split_plane,
+    split_rows,
+)
+from repro.engine.bulk import format_column, ingest_bits, pack_bits
+from repro.errors import DecodeError, ParseError, RangeError
+from repro.floats.formats import BINARY16, BINARY32, BINARY64, BINARY128
+from repro.serve import BulkPool, DelimitedWriter
+from repro.workloads.corpus import duplicated_random, uniform_random
+
+CORPUS = [v.to_float() for v in duplicated_random(800, 60, seed=11)] + [
+    0.0, -0.0, float("nan"), float("inf"), float("-inf"),
+    5e-324, -5e-324, 2.2250738585072014e-308,
+]
+
+
+def row_payload(xs, fmt=BINARY64):
+    texts = format_column(ingest_bits(xs, fmt), fmt, engine=Engine())
+    return DelimitedWriter().extend(texts).getvalue(), texts
+
+
+class TestSplitPlane:
+    def test_offsets_and_lengths_reconstruct_rows(self):
+        plane, starts, lengths = split_plane(b"1.5\n-2e3\nnan\n")
+        assert plane == b"1.5\n-2e3\nnan\n"
+        rows = [plane[s:s + n] for s, n in zip(starts, lengths)]
+        assert rows == [b"1.5", b"-2e3", b"nan"]
+
+    def test_trailing_delimiter_no_phantom_row(self):
+        _, starts, _ = split_plane(b"1\n2\n")
+        assert len(starts) == 2
+
+    def test_unterminated_tail_is_a_row(self):
+        plane, starts, lengths = split_plane(b"1\n2")
+        assert [plane[s:s + n] for s, n in zip(starts, lengths)] \
+            == [b"1", b"2"]
+
+    def test_crlf_and_multibyte_delimiters(self):
+        for delim in (b"\r\n", b"||", "::"):
+            d = delim.encode() if isinstance(delim, str) else delim
+            data = d.join([b"1", b"2", b"3"]) + d
+            plane, starts, lengths = split_plane(data, delim)
+            assert [plane[s:s + n] for s, n in zip(starts, lengths)] \
+                == [b"1", b"2", b"3"]
+
+    def test_numpy_leg_agrees_with_find_walk(self):
+        # 1-byte delimiter over >= 64 bytes takes the vector leg when
+        # numpy is present; the result must match the C-find walk that
+        # multi-byte delimiters always use.
+        rows = [str(i).encode("ascii") for i in range(64)]
+        data = b"\n".join(rows) + b"\n"
+        plane, starts, lengths = split_plane(data)
+        assert [plane[s:s + n] for s, n in zip(starts, lengths)] == rows
+        wide = b"--".join(rows) + b"--"
+        plane2, starts2, lengths2 = split_plane(wide, b"--")
+        assert [plane2[s:s + n]
+                for s, n in zip(starts2, lengths2)] == rows
+
+    def test_empty_and_only_delimiter_planes(self):
+        assert split_plane(b"")[1:] == (split_plane(b"")[1],
+                                        split_plane(b"")[2])
+        _, starts, _ = split_plane(b"")
+        assert len(starts) == 0
+        plane, starts, lengths = split_plane(b"\n\n\n")
+        assert [plane[s:s + n] for s, n in zip(starts, lengths)] \
+            == [b"", b"", b""]
+
+    def test_split_rows_decodes_ascii(self):
+        assert split_rows(b"1.5\n2.5\n") == ["1.5", "2.5"]
+        assert split_rows(memoryview(b"1\n2")) == ["1", "2"]
+
+    def test_non_bytes_input_raises_decode_error_not_type_error(self):
+        with pytest.raises(DecodeError):
+            split_rows(object())
+        with pytest.raises(DecodeError):
+            parse_buffer(12.5)
+
+    def test_empty_delimiter_rejected(self):
+        with pytest.raises(RangeError):
+            split_plane(b"1\n2\n", b"")
+
+
+class TestParseBuffer:
+    def test_bits_match_row_path(self):
+        payload, texts = row_payload(CORPUS)
+        oracle = ReadEngine(cache_size=0)
+        want = [oracle.read_result(t, BINARY64).value.to_bits()
+                for t in texts]
+        assert parse_buffer(payload) == want
+
+    def test_empty_buffer(self):
+        assert parse_buffer(b"") == []
+        assert parse_buffer(b"", out="flonums") == []
+
+    def test_only_delimiters_is_a_parse_error(self):
+        # Empty rows are malformed literals on the row path too.
+        with pytest.raises(ParseError):
+            parse_buffer(b"\n\n")
+
+    def test_truncated_trailing_token(self):
+        # An unterminated final row parses like a terminated one.
+        assert parse_buffer(b"1.5\n2.5") == parse_buffer(b"1.5\n2.5\n")
+
+    def test_specials_and_denormals(self):
+        bits = parse_buffer(b"nan\ninf\n-inf\n-0.0\n0\n5e-324\n")
+        assert bits[0] == 0x7FF8000000000000
+        assert bits[1] == 0x7FF0000000000000
+        assert bits[2] == 0xFFF0000000000000
+        assert bits[3] == 0x8000000000000000
+        assert bits[4] == 0
+        assert bits[5] == 1  # smallest subnormal
+
+    def test_flonums_out(self):
+        flos = parse_buffer(b"1.5\n-2.25\n", out="flonums")
+        assert [v.to_float() for v in flos] == [1.5, -2.25]
+
+    def test_dedup_off_matches_dedup_on(self):
+        payload, _ = row_payload(CORPUS)
+        assert parse_buffer(payload, dedup=False) == parse_buffer(payload)
+
+    def test_crlf_delimiter(self):
+        assert parse_buffer(b"1.5\r\n2.5\r\n", delimiter=b"\r\n") \
+            == parse_buffer(b"1.5\n2.5\n")
+
+    def test_whitespace_padding_matches_scalar_strip(self):
+        assert parse_buffer(b" 1.5 \n\t2.5\n") == parse_buffer(b"1.5\n2.5\n")
+
+    @pytest.mark.parametrize("fmt", [BINARY16, BINARY32, BINARY64,
+                                     BINARY128])
+    def test_formats_round_trip(self, fmt):
+        flos = uniform_random(120, fmt, seed=5, signed=True)
+        bits = [v.to_bits() for v in flos]
+        payload, _ = row_payload(bits, fmt)
+        assert parse_buffer(payload, fmt) == bits
+
+    def test_stats_flushed_to_reader(self):
+        reader = ReadEngine()
+        parse_buffer(b"1.5\nnan\n1e300\n", engine=reader)
+        stats = reader.stats()
+        assert stats["read_specials"] == 1
+        assert stats["read_conversions"] == 3  # specials count too
+
+
+class TestClassify:
+    def test_partitions_by_host_window(self):
+        toks = [b"1.5", b"1e300", b"nan", b"123456789012345678901e2"]
+        scans, tiers = classify_tokens(toks)
+        assert scans[2] is None          # special: no scan
+        assert tiers[0] == 0             # in the host-float window
+        assert tiers[1] != 0             # exponent outside the window
+
+
+class TestFormatBuffer:
+    @pytest.mark.parametrize("fmt", [BINARY16, BINARY32, BINARY64,
+                                     BINARY128])
+    def test_payload_matches_row_path(self, fmt):
+        flos = uniform_random(150, fmt, seed=9, signed=True)
+        bits = [v.to_bits() for v in flos]
+        want, _ = row_payload(bits, fmt)
+        assert format_buffer(bits, fmt) == want
+        # The packed-bytes ingestion leg (numpy dedup when available
+        # for 2/4/8-byte items, pure-python interning for binary128).
+        assert format_buffer(pack_bits(bits, fmt), fmt) == want
+
+    def test_dedup_off_and_writer_reuse(self):
+        bits = ingest_bits(CORPUS)
+        want, _ = row_payload(CORPUS)
+        assert format_buffer(bits, dedup=False) == want
+        w = DelimitedWriter(b"\n")
+        w.write("0")
+        assert format_buffer(bits, writer=w) == b"0\n" + want
+
+    def test_custom_delimiter(self):
+        bits = ingest_bits([1.5, -2.5])
+        assert format_buffer(bits, delimiter=b"\r\n") == b"1.5\r\n-2.5\r\n"
+
+    def test_empty_column(self):
+        assert format_buffer([]) == b""
+
+    def test_round_trip_through_both_directions(self):
+        bits = ingest_bits(CORPUS)
+        assert parse_buffer(format_buffer(bits)) == [
+            b if not math.isnan(f) else parse_buffer(b"nan\n")[0]
+            for b, f in zip(bits, CORPUS)]
+
+
+class TestWriterExtendFastPath:
+    def test_extend_matches_per_item_write(self):
+        texts = [str(i / 7) for i in range(500)]
+        w1 = DelimitedWriter(b"\n")
+        for t in texts:
+            w1.write(t)
+        assert DelimitedWriter(b"\n").extend(texts).getvalue() \
+            == w1.getvalue()
+        assert DelimitedWriter(b"\n").extend([]).getvalue() == b""
+
+
+class TestPoolBytePlanes:
+    def test_pool_read_slices_plane_on_token_boundaries(self):
+        payload, texts = row_payload(CORPUS)
+        want = parse_buffer(payload)
+        for kind in ("thread", "process"):
+            with BulkPool(jobs=2, shards_per_job=2, kind=kind) as pool:
+                assert pool.read_bulk(payload) == want
+
+    def test_pool_format_byte_identical(self):
+        want, _ = row_payload(CORPUS)
+        with BulkPool(jobs=2, shards_per_job=2) as pool:
+            assert pool.format_bulk(CORPUS) == want

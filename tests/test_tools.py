@@ -32,11 +32,13 @@ class TestBenchSchema:
         assert result["reader"]["mismatches"] == 0
         assert result["reader"]["fast_resolved"] >= 0.95
         assert result["bulk"]["mismatches"] == 0
+        assert result["buffer"]["mismatches"] == 0
         assert result["binary32"]["mismatches"] == 0
         assert result["binary32"]["fast_resolved"] >= 0.98
         # Every section records the corpus composition.
         for section in (result, result["fixed"], result["reader"],
-                        result["bulk"], result["binary32"]):
+                        result["bulk"], result["buffer"],
+                        result["binary32"]):
             assert "mix" in section["corpus"]
 
     def test_committed_json_conforms(self):
@@ -58,6 +60,7 @@ class TestBenchSchema:
         assert "missing key: fixed" in problems
         assert "missing key: reader" in problems
         assert "missing key: bulk" in problems
+        assert "missing key: buffer" in problems
         assert "missing key: binary32" in problems
 
     def test_reader_gates(self):
@@ -87,6 +90,20 @@ class TestBenchSchema:
         assert tool._check_bulk_gates(slow, quick=False) == 1
         inverted = dict(good, speedup={"uniform": 2.4, "zipf": 2.1})
         assert tool._check_bulk_gates(inverted, quick=False) == 1
+
+    def test_buffer_gates(self):
+        tool = _load_bench_tool()
+        good = {"mismatches": 0,
+                "speedup": {"parse_flat": 6.0, "pipeline_flat": 4.0,
+                            "pipeline_zipf": 4.5}}
+        assert tool._check_buffer_gates(good, quick=False) == 0
+        assert tool._check_buffer_gates(
+            dict(good, mismatches=1), quick=True) == 1
+        # Timing gates only bind on full runs.
+        slow = dict(good, speedup={"parse_flat": 1.1, "pipeline_flat": 1.0,
+                                   "pipeline_zipf": 1.0})
+        assert tool._check_buffer_gates(slow, quick=True) == 0
+        assert tool._check_buffer_gates(slow, quick=False) == 1
 
     def test_binary32_gates(self):
         tool = _load_bench_tool()

@@ -7,7 +7,9 @@ Measures the tiered engine (repro.engine) against the exact-only paths —
 fixed/counted format, ``read_decimal`` for the read side — on a
 uniform-random binary64 corpus, audits byte/bit-equality, and writes the
 result as JSON.  ``--reader`` runs only the read-side section; ``--bulk``
-only the bulk serving-layer section.  Exits non-zero if any
+only the bulk serving-layer section; ``--buffer`` only the byte-plane
+pipeline section (``parse_buffer``/``format_buffer`` MB/s).  Exits
+non-zero if any
 output mismatches the exact algorithms or the fast tiers resolve too few
 conversions — correctness gates, not timing gates, so the smoke run
 stays meaningful on loaded CI machines.
@@ -70,6 +72,24 @@ BENCH_SCHEMA = {
                          "bulk_nodedup_flat", "scalar_format_many_zipf",
                          "bulk_zipf", "scalar_read_many", "bulk_read"),
         "speedup": ("uniform", "zipf", "nodedup", "read"),
+        "mismatches": int,
+        "mismatch_samples": list,
+        "stats": dict,
+    },
+    "buffer": {
+        "corpus": ("kind", "n", "seed", "audit_n", "mix", "distinct",
+                   "dup_factor", "zipf_s"),
+        "plane_bytes": ("parse_flat", "parse_zipf", "format_flat",
+                        "format_zipf"),
+        "us_per_value": ("row_parse_flat", "buffer_parse_flat",
+                         "row_format_flat", "buffer_format_flat",
+                         "row_parse_zipf", "buffer_parse_zipf",
+                         "row_format_zipf", "buffer_format_zipf"),
+        "mb_per_s": ("parse_flat", "parse_zipf", "format_flat",
+                     "format_zipf"),
+        "speedup": ("parse_flat", "parse_zipf", "format_flat",
+                    "format_zipf", "pipeline_flat", "pipeline_zipf",
+                    "pipeline"),
         "mismatches": int,
         "mismatch_samples": list,
         "stats": dict,
@@ -163,6 +183,38 @@ def _check_bulk_gates(bulk: dict, quick: bool) -> int:
     return status
 
 
+def _check_buffer_gates(buf: dict, quick: bool) -> int:
+    """Acceptance gates for the byte-plane pipeline section.
+
+    Byte/bit identity against the row-at-a-time path always applies.
+    The timing gates are on the parse leg (where the plane pipeline
+    removes the per-row string materialization) and on the combined
+    parse+format pipeline — the format side alone is conversion-bound
+    after dedup, so it only has to not regress the pipeline.  Skipped
+    on ``--quick`` so loaded CI machines cannot flake the smoke lane.
+    """
+    status = 0
+    if buf["mismatches"]:
+        print("FAIL: byte-plane pipeline output mismatches the "
+              "row-at-a-time path", file=sys.stderr)
+        status = 1
+    if not quick and buf["speedup"]["parse_flat"] < 1.3:
+        print("FAIL: parse_buffer under 1.3x over the row-at-a-time "
+              "read path on the flat corpus", file=sys.stderr)
+        status = 1
+    if not quick and buf["speedup"]["pipeline_flat"] < 1.3:
+        print("FAIL: buffer pipeline (parse+format) under 1.3x over "
+              "the row-at-a-time path on the flat corpus",
+              file=sys.stderr)
+        status = 1
+    if not quick and buf["speedup"]["pipeline_zipf"] < 1.3:
+        print("FAIL: buffer pipeline (parse+format) under 1.3x over "
+              "the row-at-a-time path on the zipf corpus",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
 def _check_binary32_gates(b32: dict, quick: bool) -> int:
     """Acceptance gates for the binary32 (narrow-format) section."""
     status = 0
@@ -198,6 +250,11 @@ def main(argv=None) -> int:
                         help="run only the bulk serving-layer bench and "
                              "print it to stdout; the default output "
                              "file is not touched")
+    parser.add_argument("--buffer", action="store_true",
+                        help="run only the byte-plane pipeline bench "
+                             "(parse_buffer/format_buffer MB/s) and "
+                             "print it to stdout; the default output "
+                             "file is not touched")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default BENCH_engine.json next "
                              "to the repo root; '-' for stdout only)")
@@ -216,6 +273,19 @@ def main(argv=None) -> int:
               f"zipf {bulk['speedup']['zipf']:.2f}x, "
               f"mismatches: {bulk['mismatches']}", file=sys.stderr)
         return _check_bulk_gates(bulk, quick=args.quick)
+
+    if args.buffer:
+        from repro.engine.bench import _run_buffer_bench
+
+        buf = _run_buffer_bench(n=n, seed=args.seed, repeats=repeats)
+        print(json.dumps(buf, indent=2, sort_keys=True))
+        print(f"buffer speedup (vs row-at-a-time): "
+              f"parse flat {buf['speedup']['parse_flat']:.2f}x, "
+              f"pipeline flat {buf['speedup']['pipeline_flat']:.2f}x / "
+              f"zipf {buf['speedup']['pipeline_zipf']:.2f}x, "
+              f"parse {buf['mb_per_s']['parse_flat']:.0f} MB/s, "
+              f"mismatches: {buf['mismatches']}", file=sys.stderr)
+        return _check_buffer_gates(buf, quick=args.quick)
 
     if args.reader:
         from repro.engine.bench import _run_reader_bench
@@ -267,6 +337,13 @@ def main(argv=None) -> int:
               f"flat {bulk['speedup']['uniform']:.2f}x, "
               f"zipf {bulk['speedup']['zipf']:.2f}x, "
               f"mismatches: {bulk['mismatches']}")
+        buf = result["buffer"]
+        print(f"buffer speedup (vs row-at-a-time): "
+              f"parse flat {buf['speedup']['parse_flat']:.2f}x, "
+              f"pipeline flat {buf['speedup']['pipeline_flat']:.2f}x / "
+              f"zipf {buf['speedup']['pipeline_zipf']:.2f}x, "
+              f"parse {buf['mb_per_s']['parse_flat']:.0f} MB/s, "
+              f"mismatches: {buf['mismatches']}")
         b32 = result["binary32"]
         print(f"binary32 speedup (format): "
               f"{b32['speedup']['format']:.2f}x, "
@@ -291,6 +368,7 @@ def main(argv=None) -> int:
         return 1
     return (_check_reader_gates(result["reader"], quick=args.quick)
             or _check_bulk_gates(result["bulk"], quick=args.quick)
+            or _check_buffer_gates(result["buffer"], quick=args.quick)
             or _check_binary32_gates(result["binary32"], quick=args.quick))
 
 
