@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer bench-serve serve-smoke smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -29,6 +29,7 @@ fuzz:
 	$(PY) -m repro.verify --bulk --n 300 --seed fresh
 	$(PY) -m repro.verify --buffer --n 300 --seed fresh
 	$(PY) -m repro.verify --chaos --n 2000 --seed fresh --formats binary64
+	$(PY) -m repro.verify --serve --n 2000 --seed fresh --formats binary64
 
 # The chaos battery: the bulk byte-identity checks replayed under
 # deterministic injected faults (worker crashes, shard stalls, payload
@@ -64,6 +65,21 @@ bench-bulk:
 # pipeline.  QUICK=--quick for the CI smoke lane.
 bench-buffer:
 	$(PY) tools/bench_engine.py --buffer $(QUICK)
+
+# Serving-daemon bench: open-loop Poisson load against a loopback
+# daemon, p50/p95/p99 + throughput, plus a chaos leg that kills shards
+# mid-traffic; regenerates BENCH_serve.json.  Gates on byte identity
+# and fault accounting always, latency SLOs and the chaos p99
+# degradation bound on full runs.  QUICK=--quick for the CI smoke lane.
+bench-serve:
+	$(PY) tools/bench_serve.py $(QUICK) -o BENCH_serve.json
+
+# PR-lane serving smoke: wire conformance + lifecycle + chaos tests,
+# then the load-gen bench's identity gates on a short fixed-seed run.
+serve-smoke:
+	$(PY) -m pytest tests/serve/test_protocol.py tests/serve/test_daemon.py tests/serve/test_daemon_faults.py -q
+	$(PY) tools/bench_serve.py --quick -o /dev/null
+	$(PY) -m repro.verify --serve --n 2000 --seed 0 --formats binary64
 
 # Quick correctness smoke of the engine (what CI runs).
 smoke:

@@ -59,8 +59,10 @@ from repro.errors import (
     NotRepresentableError,
     ParseError,
     PoolBrokenError,
+    ProtocolError,
     RangeError,
     ReproError,
+    ServeOverloadError,
     ShardError,
 )
 from repro.faults import FaultPlan, FaultSpec, InjectedFault, armed
@@ -81,8 +83,11 @@ from repro.format.repr_shortest import py_repr
 from repro.reader import read, read_many
 from repro.reader.exact import read_decimal, read_fraction
 from repro.serve import (
+    AsyncServeClient,
     BulkPool,
     DelimitedWriter,
+    ReproDaemon,
+    ServeClient,
     bits_from_buffer,
     format_buffer,
     format_bulk,
@@ -92,10 +97,16 @@ from repro.serve import (
     parse_buffer,
     read_bulk,
     read_column,
+    serving,
     split_plane,
     split_rows,
 )
-from repro.verify import VerificationReport, verify_chaos, verify_format
+from repro.verify import (
+    VerificationReport,
+    verify_chaos,
+    verify_format,
+    verify_serve,
+)
 
 __version__ = "1.0.0"
 
@@ -109,8 +120,12 @@ __all__ = [
     "ReadEngine",
     "ReadResult",
     "default_read_engine",
+    "AsyncServeClient",
     "BulkPool",
     "DelimitedWriter",
+    "ReproDaemon",
+    "ServeClient",
+    "serving",
     "bits_from_buffer",
     "format_buffer",
     "format_bulk",
@@ -162,6 +177,7 @@ __all__ = [
     "VerificationReport",
     "verify_format",
     "verify_chaos",
+    "verify_serve",
     "ReproError",
     "FormatError",
     "DecodeError",
@@ -171,6 +187,8 @@ __all__ = [
     "ShardError",
     "DeadlineExceededError",
     "PoolBrokenError",
+    "ProtocolError",
+    "ServeOverloadError",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",

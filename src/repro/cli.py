@@ -110,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --bulk: arm the deterministic smoke "
                              "fault plan with SEED while the pipeline "
                              "runs; output must still be byte-identical")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the serving daemon instead of "
+                             "converting: listen on --host/--port and "
+                             "serve format/read byte planes over the "
+                             "framed protocol (see docs/serving.md); "
+                             "--jobs sizes each pool")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="with --serve: listen address")
+    parser.add_argument("--port", type=int, default=0,
+                        help="with --serve: listen port (0 picks a free "
+                             "one, printed on startup)")
     return parser
 
 
@@ -222,6 +233,15 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     fmt = STANDARD_FORMATS[args.format]
+    if args.serve:
+        if args.bulk or args.buffer or args.values:
+            parser.error("--serve runs the daemon; it takes no values "
+                         "and no columnar pipeline flags")
+        from repro.serve.daemon import main as serve_main
+
+        serve_args = ["--host", args.host, "--port", str(args.port),
+                      "--jobs", str(args.jobs)]
+        return serve_main(serve_args)
     if args.chaos_seed is not None and not args.bulk:
         parser.error("--chaos-seed only applies to the --bulk pipeline")
     if args.bulk and args.buffer:

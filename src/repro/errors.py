@@ -58,3 +58,23 @@ class DeadlineExceededError(ReproError):
 class PoolBrokenError(ReproError):
     """A worker pool broke (e.g. a worker process died) and could not
     be rebuilt within the rebuild budget."""
+
+
+class ProtocolError(ReproError):
+    """A wire frame violates the serving protocol (bad magic, oversized
+    or undersized length prefix, unknown opcode/format, malformed
+    header).  ``recoverable`` says whether the byte stream is still
+    framed after the offending frame: a parseable-but-invalid header is
+    (the frame was consumed whole), a bad length prefix is not (the
+    connection must close after the error response)."""
+
+    def __init__(self, message: str, recoverable: bool = False):
+        self.recoverable = recoverable
+        super().__init__(message)
+
+
+class ServeOverloadError(ReproError):
+    """The serving daemon's admission control rejected a request —
+    accepting it would exceed the configured in-flight byte/request
+    budget, or the daemon is draining for shutdown.  Clients should
+    back off and retry; in-flight requests are unaffected."""

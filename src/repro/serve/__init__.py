@@ -21,12 +21,19 @@ from repro.engine.bulk import (
     read_bulk,
     read_column,
 )
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.daemon import ReproDaemon, main, serving
 from repro.serve.pool import BulkPool
 from repro.serve.writer import DelimitedWriter
 
 __all__ = [
+    "AsyncServeClient",
     "BulkPool",
     "DelimitedWriter",
+    "ReproDaemon",
+    "ServeClient",
+    "main",
+    "serving",
     "bits_from_buffer",
     "floats_from_bits64",
     "format_buffer",

@@ -1,0 +1,8 @@
+"""``python -m repro.serve``: run the serving daemon."""
+
+import sys
+
+from repro.serve.daemon import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,667 @@
+"""The asyncio serving daemon: the engine behind a wire.
+
+:class:`ReproDaemon` fronts the bulk serving stack
+(:class:`~repro.serve.pool.BulkPool` over
+``format_buffer``/``parse_buffer``) with a loopback/TCP server speaking
+the length-prefixed protocol of :mod:`repro.serve.protocol`.  Payloads
+are byte planes end to end: a format request's packed bit patterns and
+a read request's delimited ASCII plane go straight into the byte-plane
+pipeline — the wire never materializes per-row strings.
+
+Design:
+
+* **Admission control** — accepting a request that would push the
+  daemon past ``max_inflight_bytes`` or ``max_inflight_requests``
+  (or that arrives while draining) yields a typed
+  :class:`~repro.errors.ServeOverloadError` response immediately;
+  in-flight requests are never affected.  Clients see a fast typed
+  rejection instead of unbounded queueing — the latency SLO is
+  protected by shedding, not by lying.
+* **Request batching** — concurrent requests with the same
+  ``(op, format, delimiter)`` key coalesce into one columnar bulk call
+  (a micro-batch window of ``batch_window`` seconds, flushed early past
+  ``batch_max_bytes``).  Responses are byte-identical to unbatched
+  execution: format batches split on row counts, read batches on token
+  counts, and a request that poisons a combined call (e.g. one garbage
+  literal) falls back to per-request conversion so its neighbours still
+  succeed.
+* **Fault tolerance** — every conversion runs through a
+  :class:`BulkPool` (one per ``(format, delimiter)``, built lazily), so
+  PR 5's machinery applies on the wire: CRC'd shards, deadlines and
+  budgets, bounded retries, broken-pool rebuilds and the
+  process → thread → serial degradation ladder.  An unrecoverable
+  failure surfaces as its typed :class:`~repro.errors.ReproError`
+  response; an untyped escape is a protocol violation the chaos battery
+  hunts for.
+* **Graceful drain** — :meth:`close` stops accepting, flushes pending
+  micro-batches, waits (bounded by ``drain_timeout``) for in-flight
+  responses to be written, then tears down pools and executors.
+  Idempotent, and safe to call from any thread via :func:`serving`.
+
+The event loop owns every counter and queue; conversions run on a small
+thread-pool executor so a big bulk call never blocks frame reads,
+admission decisions or other connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.engine.buffer import split_plane
+from repro.engine.bulk import _itemsize, pack_bits
+from repro.errors import (
+    DecodeError,
+    ProtocolError,
+    RangeError,
+    ReproError,
+    ServeOverloadError,
+)
+from repro.floats.formats import STANDARD_FORMATS
+from repro.serve import protocol
+from repro.serve.pool import BulkPool
+from repro.serve.protocol import OP_FORMAT, OP_PING, OP_READ
+
+__all__ = ["ReproDaemon", "serving", "main", "SERVE_STAT_KEYS"]
+
+#: Counters :meth:`ReproDaemon.stats` always includes.
+SERVE_STAT_KEYS = (
+    "connections", "requests", "responses", "format_requests",
+    "read_requests", "pings", "batches", "batched_requests", "max_batch",
+    "batch_fallbacks", "overloads", "protocol_errors", "error_responses",
+    "bytes_in", "bytes_out", "drains",
+)
+
+
+def _failed(exc: ReproError, loop) -> asyncio.Future:
+    fut = loop.create_future()
+    fut.set_exception(exc)
+    return fut
+
+
+class _Batcher:
+    """Coalesces same-keyed requests into one columnar bulk call.
+
+    Requests accumulate for at most ``batch_window`` seconds (or until
+    ``batch_max_bytes`` of payload are pending, whichever is first),
+    then flush as a single conversion on the daemon's worker executor.
+    A new batch opens the moment the old one is taken, so a slow
+    conversion never blocks arrivals from forming the next batch.
+    """
+
+    def __init__(self, daemon: "ReproDaemon", op: int, fmt_name: str,
+                 delimiter: bytes):
+        self.daemon = daemon
+        self.op = op
+        self.fmt_name = fmt_name
+        self.delimiter = delimiter
+        self.pending: List[Tuple[bytes, asyncio.Future]] = []
+        self.pending_bytes = 0
+        self._wake = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+
+    def add(self, payload: bytes, fut: asyncio.Future) -> None:
+        self.pending.append((payload, fut))
+        self.pending_bytes += len(payload)
+        if self._task is None or self._task.done():
+            self._task = asyncio.ensure_future(self._flush())
+        elif self.pending_bytes >= self.daemon.batch_max_bytes:
+            self._wake.set()
+
+    def wake(self) -> None:
+        """Flush without waiting out the window (drain path)."""
+        self._wake.set()
+
+    async def _flush(self) -> None:
+        window = self.daemon.batch_window
+        if window > 0:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._wake.wait(), window)
+        else:
+            await asyncio.sleep(0)  # one loop turn: same-burst coalescing
+        self._wake.clear()
+        batch, self.pending = self.pending, []
+        self.pending_bytes = 0
+        # A fresh batch opens here: arrivals during the conversion
+        # below schedule their own flush instead of hanging on this one.
+        self._task = None
+        if not batch:
+            return
+        daemon = self.daemon
+        daemon._note_batch(len(batch))
+        payloads = [p for p, _ in batch]
+        try:
+            results = await asyncio.get_running_loop().run_in_executor(
+                daemon._workers, daemon._convert, self.op, self.fmt_name,
+                self.delimiter, payloads)
+        except BaseException as exc:  # executor died: fail the batch
+            results = [exc] * len(batch)
+        for (payload, fut), res in zip(batch, results):
+            daemon._release(len(payload))
+            if fut.cancelled():
+                continue
+            if isinstance(res, BaseException):
+                if not isinstance(res, ReproError):
+                    res = ReproError(f"internal conversion failure: "
+                                     f"{res!r}")
+                fut.set_exception(res)
+            else:
+                fut.set_result(res)
+
+
+class ReproDaemon:
+    """An asyncio front-end serving format/read byte planes with SLOs.
+
+    Args:
+        host / port: Listen address (``port=0`` picks a free port,
+            published as :attr:`port` after :meth:`start`).
+        jobs / kind: The per-key :class:`BulkPool` geometry —
+            ``kind="thread"`` shares one engine (memo-hot traffic),
+            ``"process"`` forks per-worker engines (exact-heavy
+            traffic, and the ladder's top rung for chaos runs).
+        batch_window: Seconds a micro-batch waits for company before
+            flushing (0: coalesce only requests arriving in the same
+            loop turn).
+        batch_max_bytes: Pending payload bytes that flush a batch
+            early.
+        max_inflight_bytes / max_inflight_requests: The admission
+            budget; past either, requests are rejected with
+            :class:`ServeOverloadError`.
+        max_frame: Largest accepted frame body; a length prefix past it
+            is framing damage (typed response, connection closed).
+        idle_timeout: Seconds a connection may sit idle (or hold a
+            partial frame) before the daemon closes it; None disables.
+        deadline / budget / retries / on_error: Passed to every
+            :class:`BulkPool` — shard deadline, whole-batch budget,
+            retry count and ladder behaviour (see
+            :mod:`repro.serve.pool`).
+        mode / tie: Reader assumption and tie strategy for formatting.
+        drain_timeout: Seconds :meth:`close` waits for in-flight
+            responses before tearing down anyway.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 jobs: int = 1, kind: str = "thread",
+                 batch_window: float = 0.001,
+                 batch_max_bytes: int = 1 << 20,
+                 max_inflight_bytes: int = 16 << 20,
+                 max_inflight_requests: int = 1024,
+                 max_frame: int = protocol.MAX_FRAME,
+                 idle_timeout: Optional[float] = None,
+                 deadline: Optional[float] = None,
+                 budget: Optional[float] = None,
+                 retries: int = 2, on_error: str = "degrade",
+                 mode: ReaderMode = ReaderMode.NEAREST_EVEN,
+                 tie: TieBreak = TieBreak.UP,
+                 drain_timeout: float = 10.0, dedup: bool = True,
+                 workers: int = 4):
+        if kind not in ("process", "thread"):
+            raise RangeError(f"kind must be 'process' or 'thread', "
+                             f"got {kind!r}")
+        for name, v in (("jobs", jobs), ("workers", workers)):
+            if v < 1:
+                raise RangeError(f"{name} must be >= 1, got {v}")
+        if batch_window < 0 or drain_timeout < 0:
+            raise RangeError("batch_window/drain_timeout must be >= 0")
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.kind = kind
+        self.batch_window = batch_window
+        self.batch_max_bytes = batch_max_bytes
+        self.max_inflight_bytes = max_inflight_bytes
+        self.max_inflight_requests = max_inflight_requests
+        self.max_frame = max_frame
+        self.idle_timeout = idle_timeout
+        self.deadline = deadline
+        self.budget = budget
+        self.retries = retries
+        self.on_error = on_error
+        self.mode = mode
+        self.tie = tie
+        self.dedup = dedup
+        self.drain_timeout = drain_timeout
+        self._inflight_requests = 0
+        self._inflight_bytes = 0
+        self._unwritten = 0
+        self._draining = False
+        self._closed = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._conns: set = set()
+        self._batchers: Dict[Tuple[int, str, bytes], _Batcher] = {}
+        self._pools: Dict[Tuple[str, bytes], BulkPool] = {}
+        self._pools_lock = threading.Lock()
+        self._workers = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self._engine = None
+        if kind == "thread":
+            from repro.engine.engine import Engine
+
+            self._engine = Engine()
+        self._stats: Dict[str, int] = dict.fromkeys(SERVE_STAT_KEYS, 0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ReproDaemon":
+        """Bind and start accepting; publishes the chosen :attr:`port`."""
+        if self._server is not None:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled; drains gracefully on the way out."""
+        await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        """Graceful drain: stop accepting, flush micro-batches, wait
+        for in-flight responses (bounded by ``drain_timeout``), then
+        tear down pools and executors.  Idempotent — any number of
+        calls, from the serve loop's finally or directly."""
+        if self._closed:
+            return
+        self._draining = True
+        self._stats["drains"] += 1
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        for batcher in list(self._batchers.values()):
+            batcher.wake()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        # Wait for every accepted response to be *written*, not merely
+        # converted — a drained daemon owes the wire nothing.
+        while (self._inflight_requests > 0 or self._unwritten > 0) \
+                and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        self._closed = True
+        for writer in list(self._conns):
+            with contextlib.suppress(Exception):
+                writer.close()
+        with self._pools_lock:
+            pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
+            await loop.run_in_executor(None, pool.close)
+        self._workers.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._stats["connections"] += 1
+        self._conns.add(writer)
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        pump = asyncio.ensure_future(self._pump(queue, writer))
+        try:
+            while True:
+                try:
+                    frame = protocol.read_frame(reader, self.max_frame)
+                    if self.idle_timeout is not None:
+                        body = await asyncio.wait_for(frame,
+                                                      self.idle_timeout)
+                    else:
+                        body = await frame
+                except ProtocolError as exc:
+                    # Bad length prefix: respond, then close — the
+                    # stream is no longer framed.
+                    self._stats["protocol_errors"] += 1
+                    self._unwritten += 1
+                    await queue.put(_failed(exc, loop))
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError,
+                        asyncio.TimeoutError):
+                    break  # mid-frame disconnect or idle cutoff
+                if body is None:
+                    break  # clean EOF
+                self._stats["bytes_in"] += len(body) + 4
+                try:
+                    req = protocol.parse_request(body)
+                except ProtocolError as exc:
+                    self._stats["protocol_errors"] += 1
+                    self._unwritten += 1
+                    await queue.put(_failed(exc, loop))
+                    if exc.recoverable:
+                        continue  # frame fully consumed; stream intact
+                    break
+                self._unwritten += 1
+                await queue.put(self._admit(req, loop))
+        finally:
+            await queue.put(None)
+            with contextlib.suppress(Exception):
+                await pump
+            self._conns.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _pump(self, queue: asyncio.Queue,
+                    writer: asyncio.StreamWriter) -> None:
+        """Write responses in request order; one pump per connection.
+
+        Pipelined requests resolve concurrently (they may share a
+        micro-batch), but the wire contract is strict FIFO.  A client
+        that disconnects early stops receiving, never the accounting —
+        remaining futures are still awaited so in-flight counters
+        drain.
+        """
+        alive = True
+        while True:
+            fut = await queue.get()
+            if fut is None:
+                return
+            try:
+                payload = await fut
+            except ReproError as exc:
+                data = protocol.encode_error(exc)
+                self._stats["error_responses"] += 1
+            except Exception as exc:  # pragma: no cover - defensive
+                data = protocol.encode_error(
+                    ReproError(f"internal error: {exc!r}"))
+                self._stats["error_responses"] += 1
+            else:
+                data = protocol.encode_response(payload)
+            try:
+                if not alive:
+                    continue
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                    self._stats["responses"] += 1
+                    self._stats["bytes_out"] += len(data)
+                except (ConnectionError, RuntimeError, OSError):
+                    alive = False
+            finally:
+                self._unwritten -= 1
+
+    # ------------------------------------------------------------------
+    # Admission control and batching
+    # ------------------------------------------------------------------
+
+    def _admit(self, req: protocol.Request,
+               loop: asyncio.AbstractEventLoop) -> asyncio.Future:
+        """The admission decision: a future that resolves to the
+        response payload, already rejected when over budget."""
+        self._stats["requests"] += 1
+        if req.op == OP_PING:
+            self._stats["pings"] += 1
+            fut = loop.create_future()
+            fut.set_result(b"")
+            return fut
+        if self._draining or self._closed:
+            self._stats["overloads"] += 1
+            return _failed(ServeOverloadError(
+                "daemon is draining; connect elsewhere"), loop)
+        if self._inflight_requests >= self.max_inflight_requests:
+            self._stats["overloads"] += 1
+            return _failed(ServeOverloadError(
+                f"{self._inflight_requests} requests in flight "
+                f"(limit {self.max_inflight_requests}); back off"), loop)
+        if self._inflight_bytes + len(req.payload) \
+                > self.max_inflight_bytes:
+            self._stats["overloads"] += 1
+            return _failed(ServeOverloadError(
+                f"request of {len(req.payload)} bytes exceeds the "
+                f"in-flight byte budget ({self._inflight_bytes}/"
+                f"{self.max_inflight_bytes} used); back off"), loop)
+        if req.op == OP_FORMAT:
+            try:
+                itemsize = _itemsize(req.fmt)
+            except DecodeError as exc:
+                return _failed(exc, loop)
+            if len(req.payload) % itemsize:
+                return _failed(DecodeError(
+                    f"format payload of {len(req.payload)} bytes is not "
+                    f"a multiple of the {itemsize}-byte {req.fmt_name} "
+                    f"encoding"), loop)
+            self._stats["format_requests"] += 1
+        else:
+            self._stats["read_requests"] += 1
+        self._inflight_requests += 1
+        self._inflight_bytes += len(req.payload)
+        fut = loop.create_future()
+        key = (req.op, req.fmt_name, req.delimiter)
+        batcher = self._batchers.get(key)
+        if batcher is None:
+            batcher = self._batchers[key] = _Batcher(
+                self, req.op, req.fmt_name, req.delimiter)
+        batcher.add(req.payload, fut)
+        return fut
+
+    def _release(self, payload_bytes: int) -> None:
+        self._inflight_requests -= 1
+        self._inflight_bytes -= payload_bytes
+
+    def _note_batch(self, size: int) -> None:
+        self._stats["batches"] += 1
+        self._stats["batched_requests"] += size
+        if size > self._stats["max_batch"]:
+            self._stats["max_batch"] = size
+
+    # ------------------------------------------------------------------
+    # Conversion (worker-executor side)
+    # ------------------------------------------------------------------
+
+    def _pool_for(self, fmt_name: str, delimiter: bytes) -> BulkPool:
+        key = (fmt_name, delimiter)
+        with self._pools_lock:
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = self._pools[key] = BulkPool(
+                    jobs=self.jobs, kind=self.kind,
+                    fmt=STANDARD_FORMATS[fmt_name], mode=self.mode,
+                    tie=self.tie, dedup=self.dedup, delimiter=delimiter,
+                    engine=self._engine, deadline=self.deadline,
+                    budget=self.budget, retries=self.retries,
+                    on_error=self.on_error)
+            return pool
+
+    def _convert(self, op: int, fmt_name: str, delimiter: bytes,
+                 payloads: List[bytes]) -> List[object]:
+        """One combined bulk call for a whole micro-batch; per-request
+        results (bytes) or typed errors, in batch order.
+
+        Runs on the worker executor.  When the combined call raises a
+        :class:`ReproError` (one request's data poisons the batch —
+        e.g. a garbage literal), falls back to per-request conversion
+        so the error lands only on the request that earned it.
+        """
+        pool = self._pool_for(fmt_name, delimiter)
+        one = (self._format_one if op == OP_FORMAT else self._read_one)
+        if len(payloads) == 1:
+            try:
+                return [one(pool, payloads[0])]
+            except ReproError as exc:
+                return [exc]
+        combined = (self._format_combined if op == OP_FORMAT
+                    else self._read_combined)
+        try:
+            return combined(pool, payloads)
+        except ReproError:
+            self._stats["batch_fallbacks"] += 1
+            out: List[object] = []
+            for p in payloads:
+                try:
+                    out.append(one(pool, p))
+                except ReproError as exc:
+                    out.append(exc)
+            return out
+
+    @staticmethod
+    def _format_one(pool: BulkPool, payload: bytes) -> bytes:
+        return pool.format_bulk(payload)
+
+    @staticmethod
+    def _read_one(pool: BulkPool, payload: bytes) -> bytes:
+        return pack_bits(pool.read_bulk(payload), pool.fmt)
+
+    def _format_combined(self, pool: BulkPool,
+                         payloads: List[bytes]) -> List[bytes]:
+        itemsize = _itemsize(pool.fmt)
+        counts = [len(p) // itemsize for p in payloads]
+        plane = pool.format_bulk(b"".join(payloads))
+        _, starts, _ = split_plane(plane, pool.delimiter)
+        out: List[bytes] = []
+        idx = 0
+        for c in counts:
+            if c == 0:
+                out.append(b"")
+                continue
+            end = starts[idx + c] if idx + c < len(starts) else len(plane)
+            out.append(plane[starts[idx]:end])
+            idx += c
+        return out
+
+    def _read_combined(self, pool: BulkPool,
+                       payloads: List[bytes]) -> List[bytes]:
+        delim = pool.delimiter
+        counts: List[int] = []
+        segments: List[bytes] = []
+        for p in payloads:
+            _, starts, _ = split_plane(p, delim)
+            counts.append(len(starts))
+            # Terminate an unterminated tail so request boundaries
+            # survive concatenation (an unterminated trailing token is
+            # one row either way).
+            if p and not p.endswith(delim):
+                p = p + delim
+            segments.append(p)
+        bits = pool.read_bulk(b"".join(segments))
+        out: List[bytes] = []
+        idx = 0
+        for c in counts:
+            out.append(pack_bits(bits[idx:idx + c], pool.fmt))
+            idx += c
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> Tuple[int, int]:
+        """(requests, payload bytes) currently admitted."""
+        return self._inflight_requests, self._inflight_bytes
+
+    def stats(self) -> Dict[str, int]:
+        """Serving counters (:data:`SERVE_STAT_KEYS`), always complete."""
+        return dict(self._stats)
+
+    def pool_stats(self) -> Dict[str, int]:
+        """Engine + recovery counters summed across every live pool."""
+        out: Dict[str, int] = {}
+        with self._pools_lock:
+            pools = list(self._pools.values())
+        for pool in pools:
+            for k, v in pool.stats().items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+
+# ----------------------------------------------------------------------
+# Synchronous harness: run the daemon on a background loop thread
+# ----------------------------------------------------------------------
+
+@contextlib.contextmanager
+def serving(**kwargs):
+    """Run a :class:`ReproDaemon` on a background event-loop thread.
+
+    Yields the started daemon (``daemon.host``/``daemon.port`` are
+    live); drains and tears the loop down on exit.  The harness tests,
+    the ``--serve`` verify battery and ``tools/bench_serve.py`` all
+    serve through this.
+    """
+    daemon = ReproDaemon(**kwargs)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever,
+                              name="repro-serve-loop", daemon=True)
+    thread.start()
+    try:
+        asyncio.run_coroutine_threadsafe(
+            daemon.start(), loop).result(timeout=30)
+        yield daemon
+    finally:
+        with contextlib.suppress(Exception):
+            asyncio.run_coroutine_threadsafe(
+                daemon.close(), loop).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        with contextlib.suppress(Exception):
+            loop.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.serve`` / ``repro-print --serve``: run the
+    daemon until interrupted, draining gracefully on the way out."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve format/read byte planes over the framed "
+                    "protocol (see docs/serving.md).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0: pick a free one, printed "
+                             "on startup)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="BulkPool workers per (format, delimiter)")
+    parser.add_argument("--kind", default="thread",
+                        choices=["thread", "process"],
+                        help="worker pool kind (see docs/robustness.md)")
+    parser.add_argument("--batch-window", type=float, default=0.001,
+                        metavar="SECONDS",
+                        help="micro-batch coalescing window")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS", help="per-shard deadline")
+    parser.add_argument("--budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="whole-batch conversion budget")
+    parser.add_argument("--max-inflight-mb", type=float, default=16.0,
+                        help="admission budget: in-flight payload MiB")
+    parser.add_argument("--max-inflight-requests", type=int,
+                        default=1024,
+                        help="admission budget: in-flight requests")
+    args = parser.parse_args(argv)
+
+    daemon = ReproDaemon(
+        host=args.host, port=args.port, jobs=args.jobs, kind=args.kind,
+        batch_window=args.batch_window, deadline=args.deadline,
+        budget=args.budget,
+        max_inflight_bytes=int(args.max_inflight_mb * (1 << 20)),
+        max_inflight_requests=args.max_inflight_requests)
+
+    async def _run() -> None:
+        await daemon.start()
+        print(f"repro-serve listening on {daemon.host}:{daemon.port}",
+              flush=True)
+        try:
+            await daemon._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await daemon.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,265 @@
+"""Wire protocol of the serving daemon: length-prefixed binary frames.
+
+The daemon (:mod:`repro.serve.daemon`) speaks a minimal framed protocol
+designed so payloads are *byte planes* — the exact representation the
+byte-plane pipeline (:mod:`repro.engine.buffer`) consumes and produces —
+and never row-at-a-time strings.  A format request carries packed
+native-order bit patterns and gets back a delimited ASCII plane; a read
+request carries a delimited ASCII plane and gets back packed bit
+patterns.  Both directions feed ``parse_buffer``/``format_buffer``
+without any per-row re-encoding.
+
+Request frame (all integers big-endian)::
+
+    u32  body length N   (everything after these 4 bytes; <= max_frame)
+    u8   magic 0xB5      (rejects plaintext/garbage streams early)
+    u8   opcode          (1=format, 2=read, 3=ping)
+    u8   format-name length F
+    F    format name     (ascii; a STANDARD_FORMATS key)
+    u8   delimiter length D (1..8; ping: F == D == 0)
+    D    delimiter bytes
+    N-4-F-D  payload     (format: packed bits; read: delimited plane)
+
+Response frame::
+
+    u32  body length N
+    u8   magic 0xB5
+    u8   status          (0=ok, 1=error)
+    ok:    N-2 payload bytes (format: delimited plane; read: packed bits)
+    error: u8 type-name length T, T bytes of ReproError subclass name,
+           N-3-T bytes of utf-8 message
+
+Error discipline: every malformed frame yields a typed
+:class:`~repro.errors.ProtocolError` *response* — never a hung or
+crashed connection.  ``ProtocolError.recoverable`` distinguishes frames
+that were consumed whole (bad opcode/format/delimiter: the stream is
+still framed, the connection stays up) from framing damage (bad magic
+or length prefix: the daemon responds, then closes).  Conversion-layer
+failures travel back as whatever :class:`~repro.errors.ReproError`
+subclass the engine raised, re-raised client-side by name
+(:func:`raise_error_payload`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro import errors as _errors
+from repro.errors import ProtocolError, ReproError
+from repro.floats.formats import STANDARD_FORMATS
+
+__all__ = [
+    "OP_FORMAT", "OP_READ", "OP_PING", "MAGIC", "MAX_FRAME",
+    "HEADER_MIN", "Request", "encode_request", "parse_request",
+    "encode_response", "encode_error", "parse_response",
+    "raise_error_payload", "frame_and_body", "read_frame",
+]
+
+#: Frame magic: the first body byte of every request and response.
+MAGIC = 0xB5
+
+OP_FORMAT = 1
+OP_READ = 2
+OP_PING = 3
+
+_OPS = frozenset({OP_FORMAT, OP_READ, OP_PING})
+
+#: Default cap on one frame body; a length prefix past the daemon's cap
+#: is framing damage (the bytes that follow cannot be trusted).
+MAX_FRAME = 64 * 1024 * 1024
+
+#: Smallest well-formed request body: magic, opcode, two zero lengths.
+HEADER_MIN = 4
+
+_LEN = struct.Struct(">I")
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request frame."""
+
+    op: int
+    fmt_name: str
+    delimiter: bytes
+    payload: bytes
+
+    @property
+    def fmt(self):
+        return STANDARD_FORMATS[self.fmt_name]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def encode_request(op: int, payload: bytes = b"",
+                   fmt_name: str = "binary64",
+                   delimiter: Union[bytes, str] = b"\n") -> bytes:
+    """One request frame, length prefix included."""
+    if op == OP_PING:
+        body = bytes((MAGIC, OP_PING, 0, 0))
+        return _LEN.pack(len(body)) + body
+    name = fmt_name.encode("ascii")
+    delim = delimiter.encode("ascii") if isinstance(delimiter, str) \
+        else bytes(delimiter)
+    if not 1 <= len(delim) <= 8:
+        raise ProtocolError(
+            f"delimiter must be 1..8 bytes, got {len(delim)}")
+    body = (bytes((MAGIC, op, len(name))) + name
+            + bytes((len(delim),)) + delim + payload)
+    return _LEN.pack(len(body)) + body
+
+
+def encode_response(payload: bytes) -> bytes:
+    """One OK response frame, length prefix included."""
+    return (_LEN.pack(len(payload) + 2)
+            + bytes((MAGIC, STATUS_OK)) + payload)
+
+
+def encode_error(exc: ReproError) -> bytes:
+    """One error response frame carrying the error's type and message.
+
+    Anything that is not a :class:`ReproError` is reported as the base
+    class — the wire contract promises typed repro errors only.
+    """
+    name = type(exc).__name__ if isinstance(exc, ReproError) \
+        else "ReproError"
+    name_b = name.encode("ascii")
+    msg = str(exc).encode("utf-8", "replace")
+    body = bytes((MAGIC, STATUS_ERROR, len(name_b))) + name_b + msg
+    return _LEN.pack(len(body)) + body
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+def parse_request(body: bytes) -> Request:
+    """Decode one request body (the bytes after the length prefix).
+
+    Raises :class:`ProtocolError` — ``recoverable=True`` when the frame
+    was consumed whole and only its header is invalid, ``False`` when
+    the stream itself can no longer be trusted (bad magic).
+    """
+    if len(body) < HEADER_MIN:
+        raise ProtocolError(
+            f"request body of {len(body)} bytes is shorter than the "
+            f"{HEADER_MIN}-byte minimal header", recoverable=True)
+    if body[0] != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {body[0]:#04x} (expected {MAGIC:#04x})")
+    op = body[1]
+    if op not in _OPS:
+        raise ProtocolError(f"unknown opcode {op}", recoverable=True)
+    if op == OP_PING:
+        return Request(OP_PING, "binary64", b"\n", b"")
+    nlen = body[2]
+    pos = 3 + nlen
+    if pos >= len(body):
+        raise ProtocolError("truncated header: format name overruns "
+                            "the frame", recoverable=True)
+    try:
+        fmt_name = body[3:pos].decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError("format name is not ASCII",
+                            recoverable=True) from None
+    if fmt_name not in STANDARD_FORMATS:
+        raise ProtocolError(f"unknown format {fmt_name!r}",
+                            recoverable=True)
+    dlen = body[pos]
+    if not 1 <= dlen <= 8:
+        raise ProtocolError(f"delimiter length {dlen} outside 1..8",
+                            recoverable=True)
+    if pos + 1 + dlen > len(body):
+        raise ProtocolError("truncated header: delimiter overruns the "
+                            "frame", recoverable=True)
+    delim = body[pos + 1:pos + 1 + dlen]
+    return Request(op, fmt_name, delim, body[pos + 1 + dlen:])
+
+
+def parse_response(body: bytes) -> Tuple[int, bytes]:
+    """``(status, payload)`` of one response body; the error payload is
+    left encoded (see :func:`raise_error_payload`)."""
+    if len(body) < 2:
+        raise ProtocolError(
+            f"response body of {len(body)} bytes is shorter than the "
+            "2-byte minimal header")
+    if body[0] != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {body[0]:#04x} (expected {MAGIC:#04x})")
+    status = body[1]
+    if status not in (STATUS_OK, STATUS_ERROR):
+        raise ProtocolError(f"unknown response status {status}")
+    return status, body[2:]
+
+
+def raise_error_payload(payload: bytes) -> None:
+    """Re-raise a daemon error payload as its original typed error.
+
+    The type travels by *name* and is resolved against
+    :mod:`repro.errors`; an unknown or non-ReproError name degrades to
+    the :class:`ReproError` base class rather than trusting the wire to
+    name an arbitrary class.
+    """
+    if not payload:
+        raise ProtocolError("empty error payload")
+    nlen = payload[0]
+    if 1 + nlen > len(payload):
+        raise ProtocolError("truncated error payload")
+    name = payload[1:1 + nlen].decode("ascii", "replace")
+    message = payload[1 + nlen:].decode("utf-8", "replace")
+    cls = getattr(_errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    try:
+        raise cls(message)
+    except TypeError:  # subclass with a structured __init__ signature
+        raise ReproError(f"{name}: {message}") from None
+
+
+def frame_and_body(buf: bytes, max_frame: int = MAX_FRAME
+                   ) -> Optional[Tuple[bytes, int]]:
+    """Incremental decode over a byte buffer: ``(body, consumed)`` once
+    a whole frame is buffered, None while more bytes are needed.
+
+    The synchronous twin of :func:`read_frame` for tests and blocking
+    clients.  Raises :class:`ProtocolError` on an untrustworthy length
+    prefix (zero or past ``max_frame``).
+    """
+    if len(buf) < 4:
+        return None
+    (n,) = _LEN.unpack_from(buf)
+    if n == 0 or n > max_frame:
+        raise ProtocolError(
+            f"frame length {n} outside 1..{max_frame}")
+    if len(buf) < 4 + n:
+        return None
+    return bytes(buf[4:4 + n]), 4 + n
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME
+                     ) -> Optional[bytes]:
+    """Read one frame body from an asyncio stream reader.
+
+    Returns None on clean EOF at a frame boundary.  Raises
+    :class:`ProtocolError` for an untrustworthy length prefix and lets
+    ``asyncio.IncompleteReadError`` (mid-frame disconnect) propagate —
+    the connection handler treats both as reasons to close.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise
+    (n,) = _LEN.unpack(prefix)
+    if n == 0 or n > max_frame:
+        raise ProtocolError(f"frame length {n} outside 1..{max_frame}")
+    return await reader.readexactly(n)

@@ -960,6 +960,155 @@ def verify_chaos(fmt: FloatFormat = BINARY64, n: int = 50000, seed: int = 0,
 
 
 # ----------------------------------------------------------------------
+# The serve battery: the wire against the scalar engine
+# ----------------------------------------------------------------------
+
+def verify_serve(fmt: FloatFormat = BINARY64, n: int = 50000,
+                 seed: int = 0, jobs: int = 2) -> VerificationReport:
+    """Byte-identity of the serving daemon's wire against the scalar
+    engine — the source paper's guarantee re-proven at the protocol
+    boundary.
+
+    Boots one loopback :class:`~repro.serve.daemon.ReproDaemon` and
+    drives the signed round-trip sample (plus NaN and both infinities)
+    through it in ~2048-row requests:
+
+    * **serve/format** — packed bit patterns over the wire; every
+      response plane must equal the scalar :meth:`Engine.format` rows
+      joined with the delimiter, byte for byte;
+    * **serve/read** — the scalar plane back over the wire; every
+      response must equal the packed scalar
+      :meth:`ReadEngine.read_many` bits;
+    * **serve/pipeline** — a pre-encoded burst of mixed format/read
+      frames on one connection; responses must come back in FIFO
+      request order with the same byte identity (this is the leg that
+      exercises micro-batch coalescing and split-back);
+    * **serve/errors** — a garbage literal, a misaligned format
+      payload and an unknown format name must each come back as the
+      documented typed :class:`~repro.errors.ReproError` response with
+      the connection still serving afterwards.
+    """
+    from repro.errors import (DecodeError, ParseError, ProtocolError,
+                              ReproError)
+    from repro.serve import pack_bits, protocol, serving
+    from repro.serve.client import ServeClient
+
+    report = VerificationReport(format_name=f"{fmt.name} serve")
+    eng = Engine()
+    values = roundtrip_values(fmt, n, seed)
+    values.append(Flonum.nan(fmt))
+    values.append(Flonum.infinity(fmt, 0))
+    values.append(Flonum.infinity(fmt, 1))
+    report.checked = len(values)
+    bits = [v.to_bits() for v in values]
+    packed = pack_bits(bits, fmt)
+    itemsize = len(packed) // len(bits)
+    scalar = [eng.format(v, fmt=fmt) for v in values]
+    want_bits = [v.to_bits() for v in eng.read_many(scalar, fmt)]
+
+    chunk = 2048
+    spans = [(a, min(a + chunk, len(values)))
+             for a in range(0, len(values), chunk)]
+
+    def plane_of(a: int, b: int) -> bytes:
+        return ("\n".join(scalar[a:b]) + "\n").encode("ascii")
+
+    def bits_of(a: int, b: int) -> bytes:
+        return pack_bits(want_bits[a:b], fmt)
+
+    with serving(jobs=jobs, kind="thread", batch_window=0.001) as daemon:
+        with ServeClient(daemon.host, daemon.port) as client:
+            for a, b in spans:
+                tag = "serve/format"
+                try:
+                    got = client.format(packed[a * itemsize:b * itemsize],
+                                        fmt.name)
+                except ReproError as exc:
+                    report.check(tag)
+                    report.record(tag, values[a], f"typed error: {exc!r}")
+                    continue
+                _compare_rows(report, tag, got.split(b"\n")[:-1],
+                              plane_of(a, b).split(b"\n")[:-1],
+                              values[a:b])
+            for a, b in spans:
+                tag = "serve/read"
+                try:
+                    got = client.read(plane_of(a, b), fmt.name)
+                except ReproError as exc:
+                    report.check(tag)
+                    report.record(tag, values[a], f"typed error: {exc!r}")
+                    continue
+                report.check(tag)
+                if got != bits_of(a, b):
+                    report.record(tag, values[a],
+                                  f"packed bits differ ({len(got)} vs "
+                                  f"{len(bits_of(a, b))} bytes)")
+
+            # Pipelined mixed burst: FIFO identity through coalescing.
+            burst = spans[:8]
+            frames = []
+            want = []
+            for a, b in burst:
+                frames.append(protocol.encode_request(
+                    protocol.OP_FORMAT, packed[a * itemsize:b * itemsize],
+                    fmt.name, b"\n"))
+                want.append(plane_of(a, b))
+                frames.append(protocol.encode_request(
+                    protocol.OP_READ, plane_of(a, b), fmt.name, b"\n"))
+                want.append(bits_of(a, b))
+            try:
+                responses = client.pipeline(frames)
+            except ReproError as exc:
+                report.check("serve/pipeline")
+                report.record("serve/pipeline", values[0],
+                              f"burst failed: {exc!r}")
+            else:
+                for i, ((status, payload), w) in enumerate(
+                        zip(responses, want)):
+                    report.check("serve/pipeline")
+                    if status != protocol.STATUS_OK or payload != w:
+                        report.record("serve/pipeline", values[0],
+                                      f"response {i}: status={status}, "
+                                      f"{len(payload)} vs {len(w)} bytes")
+
+        # Typed-error legs on a fresh connection; it must keep serving.
+        with ServeClient(daemon.host, daemon.port) as client:
+            for tag, call, wanted in (
+                ("serve/errors-parse",
+                 lambda: client.read(b"1.5\nnot a number\n", fmt.name),
+                 ParseError),
+                ("serve/errors-align",
+                 lambda: client.format(b"\x00" * (itemsize + 1), fmt.name),
+                 DecodeError),
+                ("serve/errors-format",
+                 lambda: client.send_raw(protocol.encode_request(
+                     protocol.OP_FORMAT, b"", "bogus!", b"\n"))
+                 or client._response(),
+                 ProtocolError),
+            ):
+                report.check(tag)
+                try:
+                    call()
+                    report.record(tag, values[0], "no error response")
+                except wanted:
+                    pass
+                except Exception as exc:
+                    report.record(tag, values[0],
+                                  f"wrong error type: {exc!r}")
+            report.check("serve/errors-alive")
+            try:
+                if client.format(packed[:8 * itemsize], fmt.name) \
+                        != plane_of(0, 8):
+                    report.record("serve/errors-alive", values[0],
+                                  "post-error response differs")
+            except Exception as exc:
+                report.record("serve/errors-alive", values[0],
+                              f"connection died after typed errors: "
+                              f"{exc!r}")
+    return report
+
+
+# ----------------------------------------------------------------------
 # CLI: ``python -m repro.verify`` (the nightly fuzz entry point)
 # ----------------------------------------------------------------------
 
@@ -1002,15 +1151,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "checks under injected worker crashes, shard "
                              "stalls, payload corruption and fast-tier "
                              "raises")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the serving battery: loopback daemon "
+                             "round trips (format and read ops, pipelined "
+                             "bursts, typed error responses) must be byte-"
+                             "identical to the scalar engine")
     args = parser.parse_args(argv)
-    if sum((args.roundtrip, args.bulk, args.buffer, args.chaos)) > 1:
-        parser.error("--roundtrip, --bulk, --buffer and --chaos are "
-                     "separate batteries")
+    if sum((args.roundtrip, args.bulk, args.buffer, args.chaos,
+            args.serve)) > 1:
+        parser.error("--roundtrip, --bulk, --buffer, --chaos and --serve "
+                     "are separate batteries")
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
-    deep = args.roundtrip or args.bulk or args.buffer or args.chaos
+    deep = (args.roundtrip or args.bulk or args.buffer or args.chaos
+            or args.serve)
     n = args.n if args.n is not None else (50000 if deep else 200)
-    if args.chaos:
+    if args.serve:
+        battery, kind = verify_serve, "serve"
+    elif args.chaos:
         battery, kind = verify_chaos, "chaos"
     elif args.buffer:
         battery, kind = verify_buffer, "buffer"

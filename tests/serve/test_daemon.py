@@ -1,0 +1,246 @@
+"""Daemon lifecycle: admission control, micro-batching, graceful
+drain, and the CLI entry point.
+
+The backpressure contract: past the in-flight budget, new requests get
+a typed :class:`~repro.errors.ServeOverloadError` response immediately
+while admitted requests complete untouched.  The drain contract:
+:meth:`ReproDaemon.close` stops accepting, flushes pending
+micro-batches, writes every admitted response, and stays idempotent.
+"""
+
+import asyncio
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.bulk import format_bulk, ingest_bits, pack_bits
+from repro.errors import RangeError, ServeOverloadError
+from repro.floats.formats import BINARY64
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.daemon import SERVE_STAT_KEYS, ReproDaemon, serving
+
+VALUES = [1.5, 2.5, 3.0, -0.0, 5e-324, 1e308]
+PACKED = pack_bits(ingest_bits(VALUES, BINARY64), BINARY64)
+PLANE = format_bulk(PACKED, BINARY64, engine=Engine())
+
+
+def run_async(coro, timeout=60):
+    """Drive a coroutine on a fresh loop (tests stay synchronous)."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestAdmission:
+    def test_request_budget_sheds_with_typed_error(self):
+        with serving(max_inflight_requests=1, batch_window=0.05) as d:
+            async def burst():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                tasks = [asyncio.ensure_future(c.format(PACKED))
+                         for _ in range(12)]
+                res = await asyncio.gather(*tasks, return_exceptions=True)
+                await c.close()
+                return res
+            res = run_async(burst())
+        ok = [r for r in res if isinstance(r, bytes)]
+        shed = [r for r in res if isinstance(r, ServeOverloadError)]
+        assert len(ok) >= 1 and len(shed) >= 1
+        assert len(ok) + len(shed) == 12
+        assert all(r == PLANE for r in ok)  # in-flight work unaffected
+        assert d.stats()["overloads"] == len(shed)
+
+    def test_byte_budget_sheds_with_typed_error(self):
+        with serving(max_inflight_bytes=len(PACKED),
+                     batch_window=0.05) as d:
+            async def burst():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                tasks = [asyncio.ensure_future(c.format(PACKED))
+                         for _ in range(6)]
+                res = await asyncio.gather(*tasks, return_exceptions=True)
+                await c.close()
+                return res
+            res = run_async(burst())
+        assert any(isinstance(r, ServeOverloadError) for r in res)
+        assert all(r == PLANE for r in res if isinstance(r, bytes))
+
+    def test_pings_bypass_admission(self):
+        with serving(max_inflight_requests=1) as d:
+            with ServeClient(d.host, d.port) as c:
+                for _ in range(5):
+                    assert c.ping()
+            assert d.stats()["overloads"] == 0
+
+    def test_inflight_returns_to_zero(self):
+        with serving() as d:
+            with ServeClient(d.host, d.port) as c:
+                c.format(PACKED)
+                c.read(PLANE)
+            assert d.inflight == (0, 0)
+
+
+class TestBatching:
+    def test_burst_coalesces_into_one_bulk_call(self):
+        with serving(batch_window=0.01) as d:
+            async def burst():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                outs = await asyncio.gather(
+                    *[c.format(PACKED) for _ in range(24)])
+                await c.close()
+                return outs
+            outs = run_async(burst())
+            stats = d.stats()
+        assert all(o == PLANE for o in outs)
+        assert stats["max_batch"] > 1
+        assert stats["batches"] < 24
+
+    def test_batched_responses_split_byte_identically(self):
+        # Different-sized payloads in one batch must split back
+        # exactly: per-request responses equal per-request oracles.
+        chunks = [PACKED[:8], PACKED[:24], PACKED, b"", PACKED[8:16]]
+        oracles = [format_bulk(c, BINARY64, engine=Engine())
+                   for c in chunks]
+        with serving(batch_window=0.01) as d:
+            async def burst():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                outs = await asyncio.gather(
+                    *[c.format(chunk) for chunk in chunks])
+                await c.close()
+                return outs
+            outs = run_async(burst())
+        assert list(outs) == oracles
+
+    def test_read_batches_split_on_token_counts(self):
+        planes = [b"1.5\n2.5\n", b"", b"17\n", b"1e10\n-0.0\n3.25\n",
+                  b"9.5"]  # unterminated tail rides along
+        from repro.engine.bulk import read_bulk
+
+        oracles = [pack_bits(read_bulk(p, BINARY64, engine=Engine()),
+                             BINARY64) for p in planes]
+        with serving(batch_window=0.01) as d:
+            async def burst():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                outs = await asyncio.gather(
+                    *[c.read(p) for p in planes])
+                await c.close()
+                return outs
+            outs = run_async(burst())
+        assert list(outs) == oracles
+
+    def test_poisoned_batch_falls_back_per_request(self):
+        # One garbage literal must fail alone; batch-mates succeed.
+        planes = [b"1.5\n", b"zzz\n", b"2.5\n"]
+        with serving(batch_window=0.01) as d:
+            async def burst():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                res = await asyncio.gather(
+                    *[c.read(p) for p in planes],
+                    return_exceptions=True)
+                await c.close()
+                return res
+            res = run_async(burst())
+            stats = d.stats()
+        from repro.errors import ParseError
+
+        assert isinstance(res[1], ParseError)
+        assert isinstance(res[0], bytes) and isinstance(res[2], bytes)
+        if stats["max_batch"] > 1:  # the burst actually coalesced
+            assert stats["batch_fallbacks"] >= 1
+
+
+class TestDrain:
+    def test_close_is_idempotent(self):
+        with serving() as d:
+            async def closes():
+                await d.close()
+                await d.close()
+            fut = asyncio.run_coroutine_threadsafe(closes(), d._loop)
+            fut.result(timeout=30)
+            assert d.stats()["drains"] == 1
+
+    def test_close_drains_inflight_responses(self):
+        d = ReproDaemon(batch_window=0.05)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                d.start(), loop).result(timeout=30)
+
+            async def burst_then_close():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                tasks = [asyncio.ensure_future(c.format(PACKED))
+                         for _ in range(8)]
+                # All eight sit in the micro-batch window; close() must
+                # flush, convert, and *write* them before tearing down.
+                for _ in range(2000):
+                    if d.inflight[0] >= 8:
+                        break
+                    await asyncio.sleep(0.002)
+                await d.close()
+                res = await asyncio.gather(*tasks, return_exceptions=True)
+                await c.close()
+                return res
+
+            res = asyncio.run_coroutine_threadsafe(
+                burst_then_close(), loop).result(timeout=60)
+            # Every admitted request completed; none hung.
+            assert all(isinstance(r, bytes) and r == PLANE for r in res)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+            loop.close()
+
+    def test_requests_during_drain_are_rejected(self):
+        with serving() as d:
+            with ServeClient(d.host, d.port) as c:
+                assert c.format(PACKED) == PLANE
+                d._draining = True  # hold the drain window open
+                with pytest.raises(ServeOverloadError, match="draining"):
+                    c.format(PACKED)
+                d._draining = False
+                assert c.format(PACKED) == PLANE  # connection survived
+
+    def test_stats_keys_always_complete(self):
+        with serving() as d:
+            assert set(d.stats()) == set(SERVE_STAT_KEYS)
+            assert d.pool_stats() == {}  # no traffic, no pools
+            with ServeClient(d.host, d.port) as c:
+                c.format(PACKED)
+            assert d.pool_stats() != {}
+
+
+class TestConfig:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(RangeError, match="kind"):
+            ReproDaemon(kind="fiber")
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(RangeError, match="jobs"):
+            ReproDaemon(jobs=0)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(RangeError, match="batch_window"):
+            ReproDaemon(batch_window=-1.0)
+
+
+class TestCli:
+    def test_serve_main_announces_and_serves(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0"],
+            stdout=subprocess.PIPE, text=True)
+        try:
+            line = proc.stdout.readline()
+            assert "repro-serve listening on" in line
+            port = int(line.rsplit(":", 1)[1])
+            with ServeClient("127.0.0.1", port) as c:
+                assert c.format(PACKED) == PLANE
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+    def test_cli_serve_flag_rejects_values(self):
+        from repro.cli import run
+
+        with pytest.raises(SystemExit):
+            run(["--serve", "1.5"])

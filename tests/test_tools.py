@@ -6,13 +6,13 @@ import subprocess
 import sys
 
 
-def _load_bench_tool():
-    """Import tools/bench_engine.py as a module (not on the path)."""
+def _load_bench_tool(name="bench_engine"):
+    """Import a tools/*.py bench module (not on the path)."""
     import importlib.util
 
     path = os.path.join(os.path.dirname(__file__), "..", "tools",
-                        "bench_engine.py")
-    spec = importlib.util.spec_from_file_location("bench_engine_tool", path)
+                        f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"{name}_tool", path)
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
     return mod
@@ -117,6 +117,84 @@ class TestBenchSchema:
         slow = dict(good, speedup={"format": 1.1})
         assert tool._check_binary32_gates(slow, quick=True) == 0
         assert tool._check_binary32_gates(slow, quick=False) == 1
+
+
+class TestServeBenchSchema:
+    """Satellite: BENCH_serve.json's shape is a tested contract too."""
+
+    GOOD_LEG = {
+        "requests": 100, "responses": 100, "errors": 0, "mismatches": 0,
+        "latency_ms": {"p50": 5.0, "p95": 20.0, "p99": 40.0,
+                       "mean": 8.0, "max": 60.0},
+        "throughput": {"requests_per_s": 400.0, "mb_per_s": 1.0},
+        "stats": {}, "pool_stats": {},
+    }
+
+    def test_committed_json_conforms(self):
+        path = os.path.join(os.path.dirname(__file__), "..",
+                            "BENCH_serve.json")
+        if not os.path.exists(path):
+            import pytest
+
+            pytest.skip("BENCH_serve.json not generated yet")
+        with open(path) as fh:
+            stored = json.load(fh)
+        tool = _load_bench_tool("bench_serve")
+        assert tool.validate_bench_schema(stored) == []
+        assert stored["baseline"]["mismatches"] == 0
+        assert stored["chaos"]["mismatches"] == 0
+        assert stored["chaos"]["faults_fired"] >= 1
+        assert stored["chaos"]["recovered"] \
+            >= stored["chaos"]["faults_fired"]
+
+    def test_validator_reports_missing_keys(self):
+        tool = _load_bench_tool("bench_serve")
+        problems = tool.validate_bench_schema({"baseline": {}})
+        assert "missing key: config" in problems
+        assert "missing key: chaos" in problems
+        assert any(p.startswith("missing key: baseline.")
+                   for p in problems)
+
+    def test_baseline_gates(self):
+        tool = _load_bench_tool("bench_serve")
+        good = dict(self.GOOD_LEG)
+        assert tool._check_baseline_gates(good, quick=False) == 0
+        assert tool._check_baseline_gates(
+            dict(good, mismatches=1), quick=True) == 1
+        assert tool._check_baseline_gates(
+            dict(good, errors=1, responses=99), quick=True) == 1
+        # The latency gate is timing-only: skipped on --quick.
+        slow = dict(good, latency_ms=dict(good["latency_ms"], p99=900.0))
+        assert tool._check_baseline_gates(slow, quick=True) == 0
+        assert tool._check_baseline_gates(slow, quick=False) == 1
+
+    def test_chaos_gates(self):
+        tool = _load_bench_tool("bench_serve")
+        base = dict(self.GOOD_LEG)
+        good = dict(self.GOOD_LEG, faults_fired=3, recovered=4,
+                    p99_ratio=2.0)
+        assert tool._check_chaos_gates(good, base, quick=False) == 0
+        assert tool._check_chaos_gates(
+            dict(good, mismatches=1), base, quick=True) == 1
+        assert tool._check_chaos_gates(
+            dict(good, faults_fired=0), base, quick=True) == 1
+        assert tool._check_chaos_gates(
+            dict(good, recovered=1), base, quick=True) == 1
+        # Degradation bound: timing-only, full runs, vs the documented
+        # max(ratio x baseline p99, absolute floor).
+        bound = max(tool.P99_RATIO_BOUND * base["latency_ms"]["p99"],
+                    tool.P99_ABS_FLOOR_MS)
+        degraded = dict(good, latency_ms=dict(good["latency_ms"],
+                                              p99=bound + 1.0))
+        assert tool._check_chaos_gates(degraded, base, quick=True) == 0
+        assert tool._check_chaos_gates(degraded, base, quick=False) == 1
+
+    def test_percentile_nearest_rank(self):
+        tool = _load_bench_tool("bench_serve")
+        xs = sorted(float(i) for i in range(1, 101))
+        assert tool.percentile(xs, 50) == 50.0
+        assert tool.percentile(xs, 99) == 99.0
+        assert tool.percentile([], 99) == 0.0
 
 
 def test_regenerate_reports_runs():
