@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer bench-serve serve-smoke smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer bench-serve bench-warm snapshot serve-smoke smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -30,6 +30,7 @@ fuzz:
 	$(PY) -m repro.verify --buffer --n 300 --seed fresh
 	$(PY) -m repro.verify --chaos --n 2000 --seed fresh --formats binary64
 	$(PY) -m repro.verify --serve --n 2000 --seed fresh --formats binary64
+	$(PY) -m repro.verify --warm --n 2000 --seed fresh --formats binary64
 
 # The chaos battery: the bulk byte-identity checks replayed under
 # deterministic injected faults (worker crashes, shard stalls, payload
@@ -65,6 +66,21 @@ bench-bulk:
 # pipeline.  QUICK=--quick for the CI smoke lane.
 bench-buffer:
 	$(PY) tools/bench_engine.py --buffer $(QUICK)
+
+# Warm-start bench only: engine construction time and first-10k-request
+# latency, warm (snapshot) vs cold, printed to stdout; gates on byte
+# identity and a clean restore always, warm-below-cold first-10k on
+# full runs.  QUICK=--quick for the CI smoke lane.  See
+# docs/warmstart.md.
+bench-warm:
+	$(PY) tools/bench_engine.py --warm $(QUICK)
+
+# Build a warm-start snapshot (binary16/32/64 tables + donor memo +
+# top-512 zipf-head hot dictionary) into warm.snap; consume it with
+# Engine(snapshot=...), BulkPool(snapshot=...) or --snapshot on the
+# CLI/daemon.
+snapshot:
+	$(PY) tools/warm_snapshot.py -o warm.snap
 
 # Serving-daemon bench: open-loop Poisson load against a loopback
 # daemon, p50/p95/p99 + throughput, plus a chaos leg that kills shards

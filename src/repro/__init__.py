@@ -34,11 +34,17 @@ from repro.core.api import format_fixed, format_shortest, to_flonum
 from repro.core.digits import DigitResult
 from repro.engine import (
     Engine,
+    HotPlane,
     ReadEngine,
     ReadResult,
+    Snapshot,
+    build_snapshot,
     default_engine,
     default_read_engine,
     format_many,
+    hot_entries,
+    load_snapshot,
+    save_snapshot,
 )
 from repro.core.dragon import shortest_digits
 from repro.core.fixed import FixedResult, fixed_digits
@@ -64,6 +70,7 @@ from repro.errors import (
     ReproError,
     ServeOverloadError,
     ShardError,
+    SnapshotError,
 )
 from repro.faults import FaultPlan, FaultSpec, InjectedFault, armed
 from repro.floats.formats import (
@@ -106,6 +113,7 @@ from repro.verify import (
     verify_chaos,
     verify_format,
     verify_serve,
+    verify_warm,
 )
 
 __version__ = "1.0.0"
@@ -178,6 +186,13 @@ __all__ = [
     "verify_format",
     "verify_chaos",
     "verify_serve",
+    "verify_warm",
+    "Snapshot",
+    "build_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "hot_entries",
+    "HotPlane",
     "ReproError",
     "FormatError",
     "DecodeError",
@@ -185,6 +200,7 @@ __all__ = [
     "RangeError",
     "NotRepresentableError",
     "ShardError",
+    "SnapshotError",
     "DeadlineExceededError",
     "PoolBrokenError",
     "ProtocolError",

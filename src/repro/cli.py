@@ -121,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=0,
                         help="with --serve: listen port (0 picks a free "
                              "one, printed on startup)")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="with --bulk/--buffer/--serve: warm-start "
+                             "snapshot built by tools/warm_snapshot.py "
+                             "(precomputed tables + memo + hot "
+                             "dictionary); a corrupt or stale file "
+                             "degrades to a cold start, output bytes "
+                             "are identical either way")
     return parser
 
 
@@ -164,9 +171,10 @@ def _run_buffer(args, parser: argparse.ArgumentParser, fmt, out) -> int:
         # read_bulk routes byte/str planes through parse_buffer, and
         # format_bulk emits through format_buffer.
         bits = read_bulk(plane, fmt, out="bits", jobs=args.jobs,
-                         mode=mode)
+                         mode=mode, snapshot=args.snapshot)
         payload = format_bulk(bits, fmt, jobs=args.jobs, mode=mode,
-                              tie=_TIES[args.tie])
+                              tie=_TIES[args.tie],
+                              snapshot=args.snapshot)
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=out)
         return 1
@@ -202,9 +210,10 @@ def _run_bulk(args, parser: argparse.ArgumentParser, fmt, out) -> int:
     try:
         with arming:
             bits = read_bulk(texts, fmt, out="bits", jobs=args.jobs,
-                             mode=mode)
+                             mode=mode, snapshot=args.snapshot)
             payload = format_bulk(bits, fmt, jobs=args.jobs, mode=mode,
-                                  tie=_TIES[args.tie])
+                                  tie=_TIES[args.tie],
+                                  snapshot=args.snapshot)
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=out)
         return 1
@@ -241,9 +250,14 @@ def run(argv: Optional[List[str]] = None, out=None) -> int:
 
         serve_args = ["--host", args.host, "--port", str(args.port),
                       "--jobs", str(args.jobs)]
+        if args.snapshot is not None:
+            serve_args += ["--snapshot", args.snapshot]
         return serve_main(serve_args)
     if args.chaos_seed is not None and not args.bulk:
         parser.error("--chaos-seed only applies to the --bulk pipeline")
+    if args.snapshot is not None and not (args.bulk or args.buffer):
+        parser.error("--snapshot warm-starts the columnar/serving "
+                     "paths; it requires --bulk, --buffer or --serve")
     if args.bulk and args.buffer:
         parser.error("--bulk and --buffer are alternative columnar "
                      "pipelines; pick one")

@@ -38,6 +38,20 @@ from repro.engine.reader import (
     default_read_engine,
     read_many,
 )
+from repro.engine.snapshot import (
+    SNAPSHOT_VERSION,
+    HotPlane,
+    Snapshot,
+    apply_read_snapshot,
+    apply_snapshot,
+    bits_encoder,
+    build_snapshot,
+    hot_entries,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
 from repro.engine.tables import FormatTables, clear_tables, tables_for
 
 __all__ = [
@@ -53,6 +67,18 @@ __all__ = [
     "FormatTables",
     "tables_for",
     "clear_tables",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "build_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "apply_snapshot",
+    "apply_read_snapshot",
+    "hot_entries",
+    "HotPlane",
+    "bits_encoder",
     "parse_buffer",
     "format_buffer",
     "split_plane",

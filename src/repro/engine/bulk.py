@@ -235,6 +235,17 @@ def _default_engine():
     return default_engine()
 
 
+def _serial_engine(engine, snapshot):
+    """The engine for a ``jobs == 1`` call: the caller's, or a fresh
+    warm one when a snapshot was given (warming the shared default
+    engine would leak one call's snapshot into every later caller)."""
+    if engine is not None or snapshot is None:
+        return engine
+    from repro.engine.engine import Engine
+
+    return Engine(snapshot=snapshot)
+
+
 def _format_bits(eng, bits: List[int], fmt: FloatFormat, mode: ReaderMode,
                  tie: TieBreak, options: Optional[NotationOptions]
                  ) -> List[str]:
@@ -281,7 +292,7 @@ def format_bulk(data, fmt: FloatFormat = BINARY64, *, jobs: int = 1,
                 tie: TieBreak = TieBreak.UP, dedup: bool = True,
                 writer=None, deadline: Optional[float] = None,
                 budget: Optional[float] = None, retries: int = 2,
-                on_error: str = "degrade") -> bytes:
+                on_error: str = "degrade", snapshot=None) -> bytes:
     """Serialize a column to delimiter-terminated ASCII bytes.
 
     With ``jobs > 1`` the column is sharded across a
@@ -290,6 +301,10 @@ def format_bulk(data, fmt: FloatFormat = BINARY64, *, jobs: int = 1,
     configure its fault tolerance (see :class:`repro.serve.BulkPool`).
     ``writer`` may be a prepared :class:`repro.serve.DelimitedWriter`
     to reuse its buffer; its delimiter wins over ``delimiter``.
+    ``snapshot`` (a path or :class:`repro.engine.snapshot.Snapshot`)
+    warm-starts the workers — or, at ``jobs == 1`` with no ``engine``,
+    the serial engine; a rejected snapshot degrades to a cold start and
+    never changes output bytes.
     """
     if jobs > 1:
         from repro.serve.pool import BulkPool
@@ -297,12 +312,13 @@ def format_bulk(data, fmt: FloatFormat = BINARY64, *, jobs: int = 1,
         with BulkPool(jobs=jobs, fmt=fmt, mode=mode, tie=tie, dedup=dedup,
                       delimiter=delimiter, deadline=deadline,
                       budget=budget, retries=retries,
-                      on_error=on_error) as pool:
+                      on_error=on_error, snapshot=snapshot) as pool:
             payload = pool.format_bulk(data)
         if writer is not None:
             writer.write_bytes(payload)
             return writer.getvalue()
         return payload
+    engine = _serial_engine(engine, snapshot)
     from repro.engine.buffer import format_buffer
 
     return format_buffer(data, fmt, delimiter=delimiter, mode=mode,
@@ -356,7 +372,7 @@ def read_bulk(data, fmt: FloatFormat = BINARY64, *, out: str = "bits",
               engine=None, mode: ReaderMode = ReaderMode.NEAREST_EVEN,
               dedup: bool = True, deadline: Optional[float] = None,
               budget: Optional[float] = None, retries: int = 2,
-              on_error: str = "degrade"):
+              on_error: str = "degrade", snapshot=None):
     """Parse a delimited payload (or sequence of literals) in bulk.
 
     ``out="bits"`` returns the packed result as bit-pattern ints —
@@ -364,7 +380,8 @@ def read_bulk(data, fmt: FloatFormat = BINARY64, *, out: str = "bits",
     ``out="flonums"`` the :class:`Flonum` values.  ``jobs > 1`` shards
     across a :class:`repro.serve.BulkPool`, with
     ``deadline``/``budget``/``retries``/``on_error`` configuring its
-    fault tolerance.
+    fault tolerance.  ``snapshot`` warm-starts the workers (or the
+    serial engine) exactly as in :func:`format_bulk`.
     """
     if out not in ("bits", "flonums"):
         raise RangeError(f"out must be 'bits' or 'flonums', got {out!r}")
@@ -374,8 +391,9 @@ def read_bulk(data, fmt: FloatFormat = BINARY64, *, out: str = "bits",
         with BulkPool(jobs=jobs, fmt=fmt, mode=mode, dedup=dedup,
                       delimiter=delimiter, deadline=deadline,
                       budget=budget, retries=retries,
-                      on_error=on_error) as pool:
+                      on_error=on_error, snapshot=snapshot) as pool:
             return pool.read_bulk(data, out=out)
+    engine = _serial_engine(engine, snapshot)
     if isinstance(data, (bytes, bytearray, memoryview, str)):
         # Delimited payloads take the byte-plane pipeline: no per-row
         # str, no per-row Flonum/to_bits when out="bits".

@@ -35,6 +35,7 @@ Two representation choices carry the throughput:
 
 from __future__ import annotations
 
+import os
 import threading
 from math import copysign, frexp
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -47,7 +48,7 @@ from repro.core.fixed import FixedResult
 from repro.core.fixed import fixed_digits as exact_paper_fixed
 from repro.core.rounding import ReaderMode, TieBreak
 from repro import faults as _faults
-from repro.errors import RangeError, ReproError
+from repro.errors import RangeError, ReproError, SnapshotError
 from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum, to_flonum
 from repro.format.notation import (
@@ -85,7 +86,7 @@ STAT_KEYS = frozenset({
     "tier0_hits", "tier1_hits", "tier1_bailouts", "tier2_calls",
     "fixed_tier1_hits", "fixed_tier1_bailouts", "fixed_tier2_calls",
     "fixed_conversions", "cache_hits", "cache_misses", "conversions",
-    "cache_entries", "tier_faults",
+    "cache_entries", "tier_faults", "hot_hits", "snapshot_faults",
 }) | READ_STAT_KEYS
 
 
@@ -114,11 +115,17 @@ class Engine:
             path is an optimization and never an excuse to crash.
             True (CI): re-raise, so injected faults and genuine tier
             bugs surface loudly.
+        snapshot: Optional warm-start source — a path to a snapshot
+            file or a :class:`repro.engine.snapshot.Snapshot` — whose
+            tables, memo rows and hot-values dictionary are restored at
+            construction.  A rejected snapshot (corrupt, stale, foreign
+            format set) counts one ``snapshot_faults`` and the engine
+            starts cold; it never raises and never yields wrong bytes.
     """
 
     def __init__(self, tier0: bool = True, tier1: bool = True,
                  cache_size: int = 8192, fixed_tier1: bool = True,
-                 strict: bool = False):
+                 strict: bool = False, snapshot=None):
         if cache_size < 0:
             raise RangeError("cache_size must be >= 0")
         self.tier0 = tier0
@@ -134,9 +141,61 @@ class Engine:
         # (format, base, mode, tie) combination — shorter tuples hash
         # measurably faster on the hot path than six-element ones.
         self._ctx_ids: dict = {}
+        # Formats referenced by interned contexts, pinned for the
+        # engine's lifetime: the intern key uses id(fmt), which CPython
+        # recycles after garbage collection — without the pin a dead
+        # format's context could be revived for an unrelated new format
+        # and cross-serve memo entries.
+        self._ctx_pins: list = []
+        # The hot-values dictionary (never evicted; consulted after the
+        # memo, before tier 0) and any attached shared-memory planes,
+        # both keyed/selected by interned context.
+        self._hot: "Dict[tuple, Tuple[int, str]]" = {}
+        self._planes: dict = {}
         self._lock = threading.Lock()
         self._reader: Optional[ReadEngine] = None
         self.reset_stats()
+        #: Restore counts from the snapshot, or None (no snapshot given
+        #: or it was rejected — see ``stats()["snapshot_faults"]``).
+        self.snapshot_restored: Optional[dict] = None
+        if snapshot is not None:
+            self._load_snapshot(snapshot)
+
+    def _load_snapshot(self, snapshot) -> None:
+        """Warm from a snapshot path or object; a rejected snapshot
+        (missing, corrupt, stale, foreign format set) counts one
+        ``snapshot_faults`` and leaves the engine cold — warm start is
+        an optimization, never a correctness dependency."""
+        from repro.engine import snapshot as _snapshot_mod
+        try:
+            snap = (snapshot if isinstance(snapshot, _snapshot_mod.Snapshot)
+                    else _snapshot_mod.load_snapshot(os.fspath(snapshot)))
+            self.snapshot_restored = _snapshot_mod.apply_snapshot(self, snap)
+        except SnapshotError:
+            with self._lock:
+                self._snapshot_faults += 1
+
+    def attach_hot_plane(self, plane) -> None:
+        """Attach a validated shared-memory hot plane
+        (:class:`repro.engine.snapshot.HotPlane`) for lock-free probes.
+
+        The plane's context (format name, mode, tie, base) selects the
+        one interned context it may serve; an unknown format raises
+        :class:`SnapshotError` (callers count it and stay cold).
+        """
+        from repro.floats.formats import STANDARD_FORMATS
+        from repro.engine.snapshot import bits_encoder
+        fmt = STANDARD_FORMATS.get(plane.fmt_name)
+        if fmt is None or not fmt.has_encoding:
+            raise SnapshotError(
+                f"hot plane names unusable format {plane.fmt_name!r}")
+        try:
+            mode = ReaderMode(plane.mode)
+            tie = TieBreak(plane.tie)
+        except ValueError as exc:
+            raise SnapshotError(f"hot plane context invalid: {exc}") from exc
+        ctx = self._ctx_id(fmt, plane.base, mode, tie)
+        self._planes[ctx] = (plane, bits_encoder(fmt))
 
     # ------------------------------------------------------------------
     # Statistics
@@ -164,6 +223,8 @@ class Engine:
         self._tier_faults = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._hot_hits = 0
+        self._snapshot_faults = 0
         reader = getattr(self, "_reader", None)
         if reader is not None:
             # The read engine shares this engine's lock, which the
@@ -179,10 +240,13 @@ class Engine:
         ``fixed_tier2_calls`` (the counted/fixed-format tiers, shared by
         :meth:`counted_digits` and :meth:`fixed_digits`);
         ``cache_hits``/``cache_misses`` (the memo, shared by every
-        conversion kind); ``conversions`` (every digit-generation
-        request, however it was resolved); ``fixed_conversions`` (the
-        fixed-format subset that missed the memo) and ``cache_entries``
-        (current memo population).
+        conversion kind); ``hot_hits`` (the warm-start hot-values
+        dictionary and any attached shared-memory plane);
+        ``snapshot_faults`` (rejected snapshots and detached planes —
+        each one a cold fallback, never wrong bytes); ``conversions``
+        (every digit-generation request, however it was resolved);
+        ``fixed_conversions`` (the fixed-format subset that missed the
+        memo) and ``cache_entries`` (current memo population).
 
         When the read engine has been built (:attr:`reader`), its
         ``read_*`` counters are merged in; otherwise they appear as
@@ -214,8 +278,11 @@ class Engine:
             "tier_faults": self._tier_faults,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
+            "hot_hits": self._hot_hits,
+            "snapshot_faults": self._snapshot_faults,
             "conversions": (self._tier0_hits + self._tier1_hits
-                            + self._tier2_calls + fixed + self._cache_hits),
+                            + self._tier2_calls + fixed + self._cache_hits
+                            + self._hot_hits),
             "cache_entries": len(self._cache),
         })
         return out
@@ -232,13 +299,20 @@ class Engine:
         ``mode`` is a :class:`ReaderMode` for shortest conversions and a
         kind string (``"cnt-rel"``, ``"fix-abs"``, ...) for the
         fixed-format ones — distinct contexts can never collide, and the
-        fixed memo keys are 4-tuples besides.
+        fixed memo keys are 4-tuples besides.  Every interned format is
+        pinned for the engine's lifetime so its ``id()`` can never be
+        recycled onto a different format (which would let a stale
+        context cross-serve another format's memo entries).
         """
         key = (id(fmt), base, mode, tie)
         ctx = self._ctx_ids.get(key)
         if ctx is None:
             with self._lock:
-                ctx = self._ctx_ids.setdefault(key, len(self._ctx_ids))
+                ctx = self._ctx_ids.get(key)
+                if ctx is None:
+                    ctx = len(self._ctx_ids)
+                    self._ctx_ids[key] = ctx
+                    self._ctx_pins.append(fmt)
         return ctx
 
     # ------------------------------------------------------------------
@@ -254,13 +328,24 @@ class Engine:
         None it is constructed only if Tier 2 is reached.
         """
         tables = tables_for(fmt, base)
+        ctx = self._ctx_id(fmt, base, mode, tie)
         if self.cache_size:
-            key = (f, e, self._ctx_id(fmt, base, mode, tie))
+            key = (f, e, ctx)
             hit = self._cache_get(key)
             if hit is not None:
                 return hit
         else:
             key = None
+        if self._hot:
+            hit = self._hot.get((f, e, ctx))
+            if hit is not None:
+                with self._lock:
+                    self._hot_hits += 1
+                return hit
+        if self._planes:
+            hit = self._plane_probe(f, e, ctx)
+            if hit is not None:
+                return hit
         tier1_ok = (self.tier1 and tables.grisu_ok
                     and (mode is ReaderMode.NEAREST_EVEN
                          or mode is ReaderMode.NEAREST_UNKNOWN))
@@ -359,6 +444,33 @@ class Engine:
     # ------------------------------------------------------------------
     # Fixed-format conversions (counted tier with exact fallback)
     # ------------------------------------------------------------------
+
+    def _plane_probe(self, f: int, e: int, ctx: int
+                     ) -> Optional[Tuple[int, str]]:
+        """Lock-free probe of an attached shared-memory hot plane.
+
+        Guard-railed like the fast tiers: a plane that misbehaves
+        (unmapped segment, torn state that survived the attach CRC) is
+        detached and counted as a ``snapshot_faults`` — the probe is an
+        optimization, never a crash (unless :attr:`strict`).
+        """
+        entry = self._planes.get(ctx)
+        if entry is None:
+            return None
+        plane, to_bits = entry
+        try:
+            hit = plane.get(to_bits(f, e))
+        except Exception:
+            if self.strict:
+                raise
+            self._planes.pop(ctx, None)
+            with self._lock:
+                self._snapshot_faults += 1
+            return None
+        if hit is not None:
+            with self._lock:
+                self._hot_hits += 1
+        return hit
 
     def _cache_get(self, key):
         # The whole lookup — get, LRU bump, counters — runs under the
@@ -672,11 +784,14 @@ class Engine:
         lock = self._lock
         ctx_pos = self._ctx_id(fmt, 10, mode, tie)
         ctx_neg = self._ctx_id(fmt, 10, mirrored, tie)
+        hot = self._hot or None
+        plane_pos = self._planes.get(ctx_pos) if self._planes else None
+        plane_neg = self._planes.get(ctx_neg) if self._planes else None
         pending: Optional[dict] = {} if cache is not None else None
         plan = _faults._PLAN
         strict = self.strict
         c_hits = c_misses = t0_hits = t1_hits = t1_bails = t2_calls = 0
-        t_faults = 0
+        t_faults = hot_hits = snap_faults = 0
         out: List[str] = []
         append = out.append
         for x in xs:
@@ -694,12 +809,14 @@ class Engine:
                     vmode = mirrored
                     tier1_ok = use_tier1_mirrored
                     ctx = ctx_neg
+                    plane = plane_neg
                 else:
                     sign = ""
                     ax = x
                     vmode = mode
                     tier1_ok = use_tier1
                     ctx = ctx_pos
+                    plane = plane_pos
                 if ax == _INF:
                     append(sign + "inf")
                     continue
@@ -715,8 +832,8 @@ class Engine:
                 continue
             # --- route ---
             kb = None
+            key = (f, e, ctx)
             if cache is not None:
-                key = (f, e, ctx)
                 kb = pending.get(key)
                 if kb is None:
                     with lock:
@@ -724,10 +841,33 @@ class Engine:
                         if kb is not None:
                             del cache[key]
                             cache[key] = kb
+                    if kb is not None:
+                        # Intra-batch repeats of this key are served
+                        # from the batch-local dict, lock-free (the
+                        # tail install re-inserting a hit is just an
+                        # LRU refresh).
+                        pending[key] = kb
                 if kb is not None:
                     c_hits += 1
                 else:
                     c_misses += 1
+            if kb is None and hot is not None:
+                kb = hot.get(key)
+                if kb is not None:
+                    hot_hits += 1
+            if kb is None and plane is not None:
+                view, to_bits = plane
+                try:
+                    kb = view.get(to_bits(f, e))
+                except Exception:
+                    if strict:
+                        raise
+                    # Detach the misbehaving plane for both signs.
+                    plane_pos = plane_neg = plane = None
+                    snap_faults += 1
+                    kb = None
+                if kb is not None:
+                    hot_hits += 1
             if kb is None:
                 try:
                     # Pre-filter: tier 0 only ever accepts values with
@@ -803,6 +943,8 @@ class Engine:
             self._tier1_bailouts += t1_bails
             self._tier2_calls += t2_calls
             self._tier_faults += t_faults
+            self._hot_hits += hot_hits
+            self._snapshot_faults += snap_faults
             if pending:
                 if len(pending) > cache_size:
                     # Oversized batch: sequential installs would have

@@ -128,6 +128,7 @@ READ_STAT_KEYS = frozenset({
     "read_tier0_hits", "read_tier1_hits", "read_tier1_bailouts",
     "read_tier2_calls", "read_specials", "read_cache_hits",
     "read_cache_misses", "read_conversions", "read_tier_faults",
+    "read_snapshot_faults",
 })
 
 
@@ -191,12 +192,19 @@ class ReadEngine:
         strict: False (default): an unexpected non-:class:`ReproError`
             raised inside a fast tier falls back to the exact tier and
             counts a ``read_tier_faults``; True: re-raise (CI).
+        snapshot: Optional warm-start source (path or
+            :class:`repro.engine.snapshot.Snapshot`): restores the
+            per-format tables and the snapshot's read-memo rows.  A
+            rejected snapshot counts one ``read_snapshot_faults`` and
+            the reader starts cold — never an exception, never wrong
+            bits.
     """
 
     def __init__(self, tier0: bool = True, tier1: bool = True,
                  cache_size: int = 8192, strict: bool = False,
                  _shared_cache: Optional[dict] = None,
-                 _shared_lock: Optional[threading.Lock] = None):
+                 _shared_lock: Optional[threading.Lock] = None,
+                 snapshot=None):
         if cache_size < 0:
             raise RangeError("cache_size must be >= 0")
         self.tier0 = tier0
@@ -215,6 +223,24 @@ class ReadEngine:
         # ``Engine.reader`` the construction happens while the caller
         # already holds the (non-reentrant) lock.
         self._reset_stats_locked()
+        #: Restore counts from the snapshot, or None (no snapshot given
+        #: or it was rejected — see ``stats()["read_snapshot_faults"]``).
+        self.snapshot_restored: Optional[dict] = None
+        if snapshot is not None:
+            self._load_snapshot(snapshot)
+
+    def _load_snapshot(self, snapshot) -> None:
+        import os as _os
+        from repro.errors import SnapshotError
+        from repro.engine import snapshot as _snapshot_mod
+        try:
+            snap = (snapshot if isinstance(snapshot, _snapshot_mod.Snapshot)
+                    else _snapshot_mod.load_snapshot(_os.fspath(snapshot)))
+            self.snapshot_restored = _snapshot_mod.apply_read_snapshot(
+                self, snap)
+        except SnapshotError:
+            with self._lock:
+                self._snapshot_faults += 1
 
     # ------------------------------------------------------------------
     # Statistics
@@ -234,6 +260,7 @@ class ReadEngine:
         self._tier_faults = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._snapshot_faults = 0
 
     def stats(self) -> dict:
         """Counters since the last :meth:`reset_stats`.
@@ -264,6 +291,7 @@ class ReadEngine:
             "read_tier_faults": self._tier_faults,
             "read_cache_hits": self._cache_hits,
             "read_cache_misses": self._cache_misses,
+            "read_snapshot_faults": self._snapshot_faults,
             "read_conversions": (self._tier0_hits + self._tier1_hits
                                  + self._tier2_calls + self._specials
                                  + self._cache_hits),

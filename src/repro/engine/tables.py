@@ -34,7 +34,7 @@ from repro.fastpath.diyfp import cached_power_for_binary_exponent
 from repro.floats.formats import BINARY64, FloatFormat
 from repro.floats.model import Flonum
 
-__all__ = ["FormatTables", "tables_for", "clear_tables"]
+__all__ = ["FormatTables", "tables_for", "clear_tables", "install_tables"]
 
 #: Widest significand the 64-bit Grisu tier can certify (matches
 #: :func:`repro.fastpath.grisu.grisu_shortest`).
@@ -81,7 +81,9 @@ class FormatTables:
         "read_inf_exp10", "read_zero_exp10",
     )
 
-    def __init__(self, fmt: FloatFormat, base: int):
+    def __init__(self, fmt: FloatFormat, base: int,
+                 _grisu_state: Optional[Tuple[int, List[Tuple[int, int, int]]]]
+                 = None):
         if base < 2 or base > 36:
             raise RangeError(f"output base must be in 2..36, got {base}")
         self.fmt = fmt
@@ -109,7 +111,11 @@ class FormatTables:
         self.grisu_ok = (base == 10 and fmt.radix == 2
                          and fmt.precision <= GRISU_MAX_PRECISION)
         if self.grisu_ok:
-            self.grisu_e_min, self.grisu_powers = self._build_grisu_powers()
+            if _grisu_state is not None:
+                self.grisu_e_min, self.grisu_powers = _grisu_state
+            else:
+                self.grisu_e_min, self.grisu_powers = \
+                    self._build_grisu_powers()
         else:
             self.grisu_e_min, self.grisu_powers = 0, []
         # Read-engine eligibility and its per-format exact-power state.
@@ -179,6 +185,44 @@ class FormatTables:
             power, mk, _exact = cached_power_for_binary_exponent(e)
             table.append((power.f, power.e, mk))
         return lo, table
+
+    def grisu_state(self) -> Tuple[int, List[Tuple[int, int, int]]]:
+        """The expensive-to-build portion of the tables, as plain data.
+
+        Everything else in a :class:`FormatTables` rebuilds in
+        microseconds (a few hundred big-integer multiplies and a handful
+        of exact power comparisons); the Grisu power list is one
+        :func:`cached_power_for_binary_exponent` search per normalized
+        binary exponent (~2100 for binary64) and dominates cold start.
+        The returned pair is what :meth:`from_grisu_state` accepts.
+        """
+        return self.grisu_e_min, [tuple(t) for t in self.grisu_powers]
+
+    @classmethod
+    def from_grisu_state(cls, fmt: FloatFormat, base: int, e_min: int,
+                         powers: List[Tuple[int, int, int]]
+                         ) -> "FormatTables":
+        """Rebuild tables from :meth:`grisu_state` output, skipping the
+        per-exponent power search.
+
+        Raises :class:`RangeError` if the state does not cover exactly
+        this format's normalized exponent span (a snapshot from another
+        format or a stale build) — callers translate that into their
+        own staleness error.
+        """
+        lo = fmt.min_e + 1 - 64
+        hi = fmt.max_e + fmt.precision - 64
+        if e_min != lo or len(powers) != hi - lo + 1:
+            raise RangeError(
+                f"grisu state covers [{e_min}, {e_min + len(powers) - 1}]"
+                f" but {fmt.name} needs [{lo}, {hi}]")
+        state = []
+        for entry in powers:
+            f, e, mk = entry
+            if not (1 << 63) <= f < (1 << 64):
+                raise RangeError("grisu power significand not normalized")
+            state.append((int(f), int(e), int(mk)))
+        return cls(fmt, base, _grisu_state=(e_min, state))
 
     def power(self, k: int) -> int:
         """``base**k`` — table lookup for every in-range ``k``."""
@@ -268,6 +312,23 @@ def tables_for(fmt: FloatFormat, base: int) -> FormatTables:
                 tables = FormatTables(fmt, base)
                 _TABLE_CACHE[key] = tables
     return tables
+
+
+def install_tables(tables: FormatTables) -> bool:
+    """Publish a prebuilt :class:`FormatTables` into the shared cache.
+
+    The warm-start path: a snapshot restore builds tables via
+    :meth:`FormatTables.from_grisu_state` and installs them here so the
+    first conversion finds them already hot.  A table set already built
+    for the pair wins (it is by construction identical); returns whether
+    the install took effect.
+    """
+    key = (id(tables.fmt), tables.base)
+    with _TABLE_LOCK:
+        if key in _TABLE_CACHE:
+            return False
+        _TABLE_CACHE[key] = tables
+    return True
 
 
 def clear_tables() -> None:

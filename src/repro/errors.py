@@ -78,3 +78,11 @@ class ServeOverloadError(ReproError):
     accepting it would exceed the configured in-flight byte/request
     budget, or the daemon is draining for shutdown.  Clients should
     back off and retry; in-flight requests are unaffected."""
+
+
+class SnapshotError(ReproError):
+    """A warm-start snapshot could not be used: missing or truncated
+    file, checksum mismatch, unknown container version, or a payload
+    written for a different format set / table build.  Consumers treat
+    the snapshot as an optimization: the engine counts the fault in
+    ``stats()`` and falls back to a cold build rather than propagate."""

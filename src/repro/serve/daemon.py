@@ -182,6 +182,14 @@ class ReproDaemon:
         mode / tie: Reader assumption and tie strategy for formatting.
         drain_timeout: Seconds :meth:`close` waits for in-flight
             responses before tearing down anyway.
+        snapshot: Optional warm-start source (path or
+            :class:`repro.engine.snapshot.Snapshot`).  ``kind="thread"``
+            warms the shared engine once at construction;
+            ``kind="process"`` ships it to every lazily built
+            :class:`BulkPool` so workers fork warm (shared-memory hot
+            plane included).  A rejected snapshot counts
+            ``snapshot_faults`` in :meth:`pool_stats` and serving
+            starts cold — response bytes are identical either way.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -198,7 +206,7 @@ class ReproDaemon:
                  mode: ReaderMode = ReaderMode.NEAREST_EVEN,
                  tie: TieBreak = TieBreak.UP,
                  drain_timeout: float = 10.0, dedup: bool = True,
-                 workers: int = 4):
+                 workers: int = 4, snapshot=None):
         if kind not in ("process", "thread"):
             raise RangeError(f"kind must be 'process' or 'thread', "
                              f"got {kind!r}")
@@ -238,11 +246,15 @@ class ReproDaemon:
         self._pools_lock = threading.Lock()
         self._workers = concurrent.futures.ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve")
+        self.snapshot = snapshot
         self._engine = None
         if kind == "thread":
             from repro.engine.engine import Engine
 
-            self._engine = Engine()
+            # Warm once at construction: every thread pool shares this
+            # engine, so the snapshot is applied exactly once here
+            # rather than per (format, delimiter) pool.
+            self._engine = Engine(snapshot=snapshot)
         self._stats: Dict[str, int] = dict.fromkeys(SERVE_STAT_KEYS, 0)
 
     # ------------------------------------------------------------------
@@ -472,7 +484,9 @@ class ReproDaemon:
                     tie=self.tie, dedup=self.dedup, delimiter=delimiter,
                     engine=self._engine, deadline=self.deadline,
                     budget=self.budget, retries=self.retries,
-                    on_error=self.on_error)
+                    on_error=self.on_error,
+                    snapshot=(self.snapshot if self.kind == "process"
+                              else None))
             return pool
 
     def _convert(self, op: int, fmt_name: str, delimiter: bytes,
@@ -640,6 +654,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-inflight-requests", type=int,
                         default=1024,
                         help="admission budget: in-flight requests")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="warm-start snapshot (built by "
+                             "tools/warm_snapshot.py); a rejected file "
+                             "degrades to a cold start")
     args = parser.parse_args(argv)
 
     daemon = ReproDaemon(
@@ -647,7 +665,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_window=args.batch_window, deadline=args.deadline,
         budget=args.budget,
         max_inflight_bytes=int(args.max_inflight_mb * (1 << 20)),
-        max_inflight_requests=args.max_inflight_requests)
+        max_inflight_requests=args.max_inflight_requests,
+        snapshot=args.snapshot)
 
     async def _run() -> None:
         await daemon.start()

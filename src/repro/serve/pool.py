@@ -105,8 +105,13 @@ from repro.floats.model import Flonum
 __all__ = ["BulkPool", "FAULT_STAT_KEYS"]
 
 #: Recovery counters :meth:`BulkPool.stats` always includes.
+#: ``snapshot_faults`` also exists as an engine counter; the pool folds
+#: the two additively (parent-side snapshot rejections plus any
+#: worker-side ones), so the key never reports fewer faults than
+#: happened.
 FAULT_STAT_KEYS = ("shard_retries", "shard_failures", "deadline_hits",
-                   "pool_rebuilds", "degradations", "corrupt_shards")
+                   "pool_rebuilds", "degradations", "corrupt_shards",
+                   "snapshot_faults")
 
 #: The degradation ladder, most to least parallel.
 _LADDER = ("process", "thread", "serial")
@@ -119,6 +124,20 @@ _WORKER_ENGINE = None
 #: fork/spawn).  Decides whether an injected ``crash`` may ``os._exit``
 #: — the parent, and thread/serial execution, must never be killed.
 _IS_POOL_WORKER = False
+
+#: Warm-start directions shipped by the parent through the initializer:
+#: ``{"snapshot": path-or-Snapshot, "plane_shm": name-or-None,
+#: "plane_bytes": bytes-or-None}``, or None for a cold pool.
+_WORKER_WARM = None
+
+#: Worker-side snapshot faults not yet reported to the parent (the
+#: worker engine's counters are reset per shard, so construction-time
+#: faults are carried here and folded into the next shard's delta).
+_WORKER_WARM_FAULTS = 0
+
+#: The attached shared-memory segment, pinned for the worker's
+#: lifetime (the hot plane probes read straight from its buffer).
+_WORKER_SHM = None
 
 
 class _CorruptShard(Exception):
@@ -135,16 +154,107 @@ def _worker_engine():
     if _WORKER_ENGINE is None:
         from repro.engine.engine import Engine
 
-        _WORKER_ENGINE = Engine()
+        warm = _WORKER_WARM
+        if warm is None:
+            _WORKER_ENGINE = Engine()
+        else:
+            _WORKER_ENGINE = _build_warm_engine(warm)
     return _WORKER_ENGINE
 
 
-def _init_worker(fmt_names) -> None:
-    """Process-pool initializer: build the engine, warm the tables."""
-    global _IS_POOL_WORKER
+def _attach_shm(name):
+    """Attach to an existing shared-memory segment without registering
+    it with this process's resource tracker.
+
+    The parent owns the segment's lifetime.  If every attaching worker
+    also registered it, the tracker's bookkeeping would go unbalanced
+    (two workers register the same name once — the set dedups — and the
+    first unregister strands the second, which surfaces as a noisy
+    ``KeyError`` at interpreter exit).  Python 3.13 grew ``track=False``
+    for exactly this; on older interpreters the registration hook is
+    suppressed around the attach instead.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # pre-3.13: no ``track`` parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+
+    def _no_track(res_name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            orig(res_name, rtype)
+
+    resource_tracker.register = _no_track
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = orig
+
+
+def _build_warm_engine(warm):
+    """A worker engine warmed per the parent's directions.
+
+    Every failure mode — unreadable/corrupt/stale snapshot, missing or
+    torn shared-memory plane — degrades to a colder configuration and
+    is tallied in :data:`_WORKER_WARM_FAULTS` (folded into the next
+    shard's stats delta); the engine always comes up serving correct
+    bytes.
+    """
+    global _WORKER_WARM_FAULTS, _WORKER_SHM
+    from repro.engine.engine import Engine
+
+    eng = Engine(snapshot=warm.get("snapshot"))
+    faults = eng.stats()["snapshot_faults"]
+    plane = None
+    shm_name = warm.get("plane_shm")
+    if shm_name is not None:
+        try:
+            shm = _attach_shm(shm_name)
+            from repro.engine.snapshot import HotPlane
+
+            plane = HotPlane(shm.buf)
+            _WORKER_SHM = shm  # keep the mapping alive for probes
+        except Exception:
+            plane = None  # degrade to the serialized copy below
+    if plane is None and warm.get("plane_bytes") is not None:
+        try:
+            from repro.engine.snapshot import HotPlane
+
+            plane = HotPlane(warm["plane_bytes"])
+        except Exception:
+            plane = None
+            faults += 1
+    if plane is not None:
+        try:
+            eng.attach_hot_plane(plane)
+        except Exception:
+            faults += 1
+    if faults:
+        _WORKER_WARM_FAULTS += faults
+        eng.reset_stats()
+    return eng
+
+
+def _consume_warm_faults() -> int:
+    """Report-once accessor for worker-side warm-up faults."""
+    global _WORKER_WARM_FAULTS
+    n = _WORKER_WARM_FAULTS
+    _WORKER_WARM_FAULTS = 0
+    return n
+
+
+def _init_worker(fmt_names, warm=None) -> None:
+    """Process-pool initializer: build the engine, warm the tables
+    (from the parent's snapshot directions when given)."""
+    global _IS_POOL_WORKER, _WORKER_WARM
     from repro.engine.tables import tables_for
 
     _IS_POOL_WORKER = True
+    _WORKER_WARM = warm
     eng = _worker_engine()
     for name in fmt_names:
         tables_for(STANDARD_FORMATS[name], 10)
@@ -170,6 +280,19 @@ def _shard_engine(eng):
     from repro.engine.engine import Engine
 
     return Engine(), True
+
+
+def _shard_delta(eng, delta: bool) -> dict:
+    """The stats delta a shard reports to the parent: the per-shard
+    engine counters plus any not-yet-reported worker warm-up faults
+    (reported exactly once per worker)."""
+    if not delta:
+        return {}
+    out = eng.stats()
+    warm = _consume_warm_faults()
+    if warm:
+        out["snapshot_faults"] = out.get("snapshot_faults", 0) + warm
+    return out
 
 
 def _apply_pre_fault(fault) -> None:
@@ -210,7 +333,7 @@ def _format_shard(payload) -> tuple:
     body = format_buffer(raw, fmt, delimiter=delim, mode=mode, tie=tie,
                          engine=eng, dedup=dedup)
     crc = zlib.crc32(body)
-    return _apply_post_fault(fault, body), eng.stats() if delta else {}, crc
+    return _apply_post_fault(fault, body), _shard_delta(eng, delta), crc
 
 
 def _read_shard(payload) -> tuple:
@@ -230,7 +353,7 @@ def _read_shard(payload) -> tuple:
                         engine=eng, dedup=dedup)
     body = pack_bits(bits, fmt)
     crc = zlib.crc32(body)
-    return _apply_post_fault(fault, body), eng.stats() if delta else {}, crc
+    return _apply_post_fault(fault, body), _shard_delta(eng, delta), crc
 
 
 def _chunk_slices(n: int, shards: int) -> List[tuple]:
@@ -276,6 +399,15 @@ class BulkPool:
             error instead.
         max_rebuilds: Broken-pool rebuilds tolerated per call before
             degrading (or raising :class:`PoolBrokenError`).
+        snapshot: Optional warm-start source (path or
+            :class:`repro.engine.snapshot.Snapshot`).  The parent
+            validates it once, restores the tables pre-fork, publishes
+            the hot plane to shared memory (with a per-process copy as
+            the degradation path) and ships the snapshot to each worker
+            so no process starts cold.  Rejected snapshots (corrupt,
+            stale, torn mid-rewrite) count ``snapshot_faults`` in
+            :meth:`stats` and the affected processes run cold — output
+            bytes are identical either way.
     """
 
     def __init__(self, jobs: Optional[int] = None, kind: str = "process",
@@ -287,7 +419,8 @@ class BulkPool:
                  deadline: Optional[float] = None,
                  budget: Optional[float] = None,
                  retries: int = 2, backoff: float = 0.05,
-                 on_error: str = "degrade", max_rebuilds: int = 2):
+                 on_error: str = "degrade", max_rebuilds: int = 2,
+                 snapshot=None):
         if kind not in ("process", "thread"):
             raise RangeError(f"kind must be 'process' or 'thread', "
                              f"got {kind!r}")
@@ -346,6 +479,65 @@ class BulkPool:
             from repro.engine.tables import tables_for
 
             tables_for(fmt, 10)
+        #: Warm-start directions shipped to process workers (None for a
+        #: cold pool or after a parent-side snapshot rejection).
+        self._warm: Optional[dict] = None
+        self._shm = None
+        if snapshot is not None:
+            self._setup_warm(snapshot)
+
+    def _setup_warm(self, snapshot) -> None:
+        """Validate the snapshot once in the parent and stage the warm
+        fabric: tables restored pre-fork (inherited copy-on-write), the
+        hot plane published to a shared-memory segment (with an
+        in-initargs byte copy as the degradation path), and the
+        snapshot itself shipped so each worker restores its own memo.
+
+        A snapshot that fails validation counts one parent-side
+        ``snapshot_faults`` and the whole pool runs cold — never an
+        exception, never wrong bytes.
+        """
+        from repro.errors import SnapshotError
+        from repro.engine import snapshot as _snapshot_mod
+
+        try:
+            snap = (snapshot
+                    if isinstance(snapshot, _snapshot_mod.Snapshot)
+                    else _snapshot_mod.load_snapshot(snapshot))
+            _snapshot_mod.restore_tables(snap)
+            plane_bytes = _snapshot_mod.HotPlane.from_snapshot(
+                snap, self.fmt.name, self.mode, self.tie)
+        except SnapshotError:
+            with self._lock:
+                self._fstats["snapshot_faults"] += 1
+            return
+        if self.kind == "thread":
+            # One shared engine: warm it directly, no transport needed.
+            try:
+                _snapshot_mod.apply_snapshot(self._engine, snap)
+                if plane_bytes is not None:
+                    self._engine.attach_hot_plane(
+                        _snapshot_mod.HotPlane(plane_bytes))
+            except SnapshotError:
+                with self._lock:
+                    self._fstats["snapshot_faults"] += 1
+            return
+        warm = {"snapshot": snapshot, "plane_shm": None,
+                "plane_bytes": plane_bytes}
+        if plane_bytes is not None:
+            try:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(create=True,
+                                                 size=len(plane_bytes))
+                shm.buf[:len(plane_bytes)] = plane_bytes
+                self._shm = shm
+                warm["plane_shm"] = shm.name
+            except Exception:
+                # No shared memory on this host: workers fall back to
+                # the per-process plane copy in the initargs.
+                self._shm = None
+        self._warm = warm
 
     # ------------------------------------------------------------------
     # Executor management
@@ -369,7 +561,7 @@ class BulkPool:
                     self._executor = concurrent.futures.ProcessPoolExecutor(
                         max_workers=self.jobs, mp_context=ctx,
                         initializer=_init_worker,
-                        initargs=((self.fmt.name,),))
+                        initargs=((self.fmt.name,), self._warm))
             return self._executor
 
     def _abandon_executor(self) -> None:
@@ -397,14 +589,26 @@ class BulkPool:
         """Shut the worker pool down.  Idempotent: safe to call any
         number of times, from ``__exit__`` (error paths included) or
         directly, and the pool can keep serving afterwards — the next
-        call simply builds a fresh executor."""
+        call simply builds a fresh executor.  The shared-memory hot
+        plane (if any) is released here; workers built after a close
+        warm from the per-process plane copy instead."""
         with self._lock:
             ex = self._executor
             self._executor = None
+            shm = self._shm
+            self._shm = None
+            if shm is not None and self._warm is not None:
+                self._warm = dict(self._warm, plane_shm=None)
         if ex is not None:
             try:
                 ex.shutdown(wait=True, cancel_futures=True)
             except Exception:  # pragma: no cover - broken executor
+                pass
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already released
                 pass
 
     def __enter__(self) -> "BulkPool":
@@ -729,15 +933,22 @@ class BulkPool:
         :meth:`~repro.engine.engine.Engine.stats`.  Every counter
         mutation happens under the pool lock, so totals are exact even
         with calls running concurrently.
+
+        Recovery counters are folded *additively*: ``snapshot_faults``
+        exists on both sides (engine-level rejections reported in shard
+        deltas, parent-side rejections in the pool's own tally) and the
+        merge must never let one overwrite the other.
         """
         if self.kind == "thread":
             out = dict(self._engine.stats())
             with self._lock:
-                out.update(self._fstats)
+                for k, v in self._fstats.items():
+                    out[k] = out.get(k, 0) + v
                 for k, v in self._stats.items():  # degraded-rung deltas
                     out[k] = out.get(k, 0) + v
             return out
         with self._lock:
             out = dict(self._stats)
-            out.update(self._fstats)
+            for k, v in self._fstats.items():
+                out[k] = out.get(k, 0) + v
         return out

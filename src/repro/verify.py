@@ -46,6 +46,7 @@ chaos                  the bulk byte-identity battery replayed under
 from __future__ import annotations
 
 import math
+import os
 import random
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -68,7 +69,7 @@ from repro.reader.bellerophon import bellerophon
 from repro.reader.exact import read_fraction
 
 __all__ = ["VerificationReport", "verify_format", "verify_roundtrip",
-           "verify_bulk", "verify_buffer", "verify_chaos",
+           "verify_bulk", "verify_buffer", "verify_chaos", "verify_warm",
            "sample_values", "roundtrip_values",
            "counted_digits_rational", "main"]
 
@@ -655,6 +656,109 @@ def verify_bulk(fmt: FloatFormat = BINARY64, n: int = 50000, seed: int = 0,
 
 
 # ----------------------------------------------------------------------
+# The warm battery: snapshot-warmed pools against cold ones
+# ----------------------------------------------------------------------
+
+def verify_warm(fmt: FloatFormat = BINARY64, n: int = 50000, seed: int = 0,
+                jobs: int = 2) -> VerificationReport:
+    """Byte-identity of the warm-start fabric against cold execution.
+
+    A snapshot (tables + memo + hot dictionary) may only skip work —
+    it must never change a single output byte, and a rejected snapshot
+    must degrade to a cold start, counted, never served.  Legs:
+
+    * **warm engine** — ``Engine(snapshot=...)`` output against a cold
+      engine's over the signed round-trip sample plus specials, with a
+      clean restore (``snapshot_faults == 0``);
+    * **warm pool** — a ``jobs``-worker process :class:`BulkPool` warmed
+      from the snapshot *file* (container decode, shared-memory hot
+      plane, worker re-load all on the path) against the cold pool's
+      payload, format and read directions;
+    * **corrupt fallback** — the same pool pointed at a bit-flipped
+      copy of the file: output still byte-identical, and the rejection
+      visible as ``snapshot_faults >= 1`` in :meth:`BulkPool.stats`.
+    """
+    import collections
+    import tempfile
+
+    from repro.engine.snapshot import (build_snapshot, hot_entries,
+                                       save_snapshot)
+    from repro.serve import BulkPool, pack_bits
+
+    report = VerificationReport(format_name=f"{fmt.name} warm")
+    values = roundtrip_values(fmt, n, seed)
+    values.append(Flonum.nan(fmt))
+    values.append(Flonum.infinity(fmt, 0))
+    values.append(Flonum.infinity(fmt, 1))
+    report.checked = len(values)
+    packed = pack_bits([v.to_bits() for v in values], fmt)
+
+    # The donor plays the sample, the head of its frequency
+    # distribution becomes the hot dictionary (tools/warm_snapshot.py's
+    # recipe, inlined so the battery is self-contained).
+    donor = Engine()
+    scalar = [donor.format(v, fmt=fmt) for v in values]
+    head = [v for v, _ in collections.Counter(
+        v for v in values if v.is_finite and not v.is_zero
+    ).most_common(512)]
+    snap = build_snapshot([fmt.name], engine=donor,
+                          hot=hot_entries(head, engine=donor))
+
+    # Warm engine vs cold scalar rows.
+    warm_eng = Engine(snapshot=snap)
+    _compare_rows(report, "warm/engine",
+                  [warm_eng.format(v, fmt=fmt) for v in values],
+                  scalar, values)
+    report.check("warm/engine-clean-restore")
+    if warm_eng.stats()["snapshot_faults"]:
+        report.record("warm/engine-clean-restore", values[0],
+                      "the battery's own snapshot was rejected")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "warm.snap")
+        save_snapshot(snap, path)
+        with BulkPool(jobs=jobs, fmt=fmt) as cold:
+            want_payload = cold.format_bulk(packed)
+        with BulkPool(jobs=jobs, fmt=fmt, snapshot=path) as warm:
+            got_payload = warm.format_bulk(packed)
+            report.check("warm/pool-format")
+            if got_payload != want_payload:
+                report.record("warm/pool-format", values[0],
+                              f"payload differs ({len(got_payload)} vs "
+                              f"{len(want_payload)} bytes)")
+            _compare_rows(report, "warm/pool-read",
+                          warm.read_bulk(want_payload),
+                          [v.to_bits() for v in
+                           donor.read_many(scalar, fmt)], values)
+            stats = warm.stats()
+            report.check("warm/pool-clean-restore")
+            if stats["snapshot_faults"]:
+                report.record("warm/pool-clean-restore", values[0],
+                              f"{stats['snapshot_faults']} snapshot "
+                              f"faults on a valid file")
+
+        # Corrupt fallback: flip one payload byte mid-file.  The pool
+        # must serve identical bytes cold and count the rejection.
+        with open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        blob[len(blob) // 2] ^= 0x40
+        bad = os.path.join(tmp, "corrupt.snap")
+        with open(bad, "wb") as fh:
+            fh.write(bytes(blob))
+        with BulkPool(jobs=jobs, fmt=fmt, snapshot=bad) as pool:
+            got_payload = pool.format_bulk(packed)
+            report.check("warm/corrupt-fallback")
+            if got_payload != want_payload:
+                report.record("warm/corrupt-fallback", values[0],
+                              "corrupt snapshot changed output bytes")
+            report.check("warm/corrupt-counted")
+            if not pool.stats()["snapshot_faults"]:
+                report.record("warm/corrupt-counted", values[0],
+                              "corrupt snapshot was not counted")
+    return report
+
+
+# ----------------------------------------------------------------------
 # The buffer battery: the byte-plane pipeline against the scalar engines
 # ----------------------------------------------------------------------
 
@@ -1124,7 +1228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "tier against independent oracles.")
     parser.add_argument("--n", type=int, default=None,
                         help="values sampled per format (default 200; "
-                             "50000 with --roundtrip/--bulk/--buffer)")
+                             "50000 with the deep batteries: --roundtrip/"
+                             "--bulk/--buffer/--chaos/--serve/--warm)")
     parser.add_argument("--seed", default="0",
                         help="sample seed: an integer, or 'fresh' for a "
                              "new random seed (nightly fuzz; the chosen "
@@ -1156,17 +1261,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "round trips (format and read ops, pipelined "
                              "bursts, typed error responses) must be byte-"
                              "identical to the scalar engine")
+    parser.add_argument("--warm", action="store_true",
+                        help="run the warm-start battery: snapshot-warmed "
+                             "engines and pools must be byte-identical to "
+                             "cold ones, and corrupt snapshots must fall "
+                             "back cold (counted, never served)")
     args = parser.parse_args(argv)
     if sum((args.roundtrip, args.bulk, args.buffer, args.chaos,
-            args.serve)) > 1:
-        parser.error("--roundtrip, --bulk, --buffer, --chaos and --serve "
-                     "are separate batteries")
+            args.serve, args.warm)) > 1:
+        parser.error("--roundtrip, --bulk, --buffer, --chaos, --serve "
+                     "and --warm are separate batteries")
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
     deep = (args.roundtrip or args.bulk or args.buffer or args.chaos
-            or args.serve)
+            or args.serve or args.warm)
     n = args.n if args.n is not None else (50000 if deep else 200)
-    if args.serve:
+    if args.warm:
+        battery, kind = verify_warm, "warm"
+    elif args.serve:
         battery, kind = verify_serve, "serve"
     elif args.chaos:
         battery, kind = verify_chaos, "chaos"

@@ -2,9 +2,25 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from helpers import TOY_B4, TOY_P5
+
+# The in-process interpreter finds ``repro`` via the ``pythonpath`` ini
+# option in pyproject.toml, but tests that spawn subprocesses
+# (examples, CLI daemons, report tools) need the path on the inherited
+# environment too — export it once so a bare ``python -m pytest`` works
+# from a clean checkout.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _SRC + os.pathsep + os.environ["PYTHONPATH"]
+        if os.environ.get("PYTHONPATH")
+        else _SRC
+    )
 
 
 @pytest.fixture(scope="session")

@@ -287,6 +287,7 @@ class TestStatsSchema:
             "read_tier0_hits", "read_tier1_hits", "read_tier1_bailouts",
             "read_tier2_calls", "read_specials", "read_cache_hits",
             "read_cache_misses", "read_conversions", "read_tier_faults",
+            "read_snapshot_faults",
         })
 
     def test_read_engine_stats_keys_exact(self):

@@ -235,7 +235,8 @@ class TestStats:
     def test_fault_stat_keys_pinned(self):
         assert frozenset(FAULT_STAT_KEYS) == frozenset({
             "shard_retries", "shard_failures", "deadline_hits",
-            "pool_rebuilds", "degradations", "corrupt_shards"})
+            "pool_rebuilds", "degradations", "corrupt_shards",
+            "snapshot_faults"})
 
     def test_stats_exact_under_concurrent_calls(self):
         # Every thread injects exactly one raise into its own call;

@@ -35,10 +35,12 @@ class TestBenchSchema:
         assert result["buffer"]["mismatches"] == 0
         assert result["binary32"]["mismatches"] == 0
         assert result["binary32"]["fast_resolved"] >= 0.98
+        assert result["warm"]["mismatches"] == 0
+        assert result["warm"]["stats"].get("snapshot_faults", 0) == 0
         # Every section records the corpus composition.
         for section in (result, result["fixed"], result["reader"],
                         result["bulk"], result["buffer"],
-                        result["binary32"]):
+                        result["binary32"], result["warm"]):
             assert "mix" in section["corpus"]
 
     def test_committed_json_conforms(self):
@@ -62,6 +64,7 @@ class TestBenchSchema:
         assert "missing key: bulk" in problems
         assert "missing key: buffer" in problems
         assert "missing key: binary32" in problems
+        assert "missing key: warm" in problems
 
     def test_reader_gates(self):
         tool = _load_bench_tool()
@@ -117,6 +120,21 @@ class TestBenchSchema:
         slow = dict(good, speedup={"format": 1.1})
         assert tool._check_binary32_gates(slow, quick=True) == 0
         assert tool._check_binary32_gates(slow, quick=False) == 1
+
+    def test_warm_gates(self):
+        tool = _load_bench_tool()
+        good = {"mismatches": 0, "stats": {"snapshot_faults": 0},
+                "speedup": {"startup": 1.3, "first_10k": 1.25}}
+        assert tool._check_warm_gates(good, quick=False) == 0
+        # Identity and clean-restore gates bind on every run.
+        assert tool._check_warm_gates(
+            dict(good, mismatches=1), quick=True) == 1
+        assert tool._check_warm_gates(
+            dict(good, stats={"snapshot_faults": 1}), quick=True) == 1
+        # The timing gate only binds on full runs.
+        slow = dict(good, speedup={"startup": 1.0, "first_10k": 0.97})
+        assert tool._check_warm_gates(slow, quick=True) == 0
+        assert tool._check_warm_gates(slow, quick=False) == 1
 
 
 class TestServeBenchSchema:

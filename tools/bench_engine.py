@@ -8,7 +8,9 @@ fixed/counted format, ``read_decimal`` for the read side — on a
 uniform-random binary64 corpus, audits byte/bit-equality, and writes the
 result as JSON.  ``--reader`` runs only the read-side section; ``--bulk``
 only the bulk serving-layer section; ``--buffer`` only the byte-plane
-pipeline section (``parse_buffer``/``format_buffer`` MB/s).  Exits
+pipeline section (``parse_buffer``/``format_buffer`` MB/s); ``--warm``
+only the warm-start snapshot section (cold vs warm startup and
+first-10k latency).  Exits
 non-zero if any
 output mismatches the exact algorithms or the fast tiers resolve too few
 conversions — correctness gates, not timing gates, so the smoke run
@@ -99,6 +101,17 @@ BENCH_SCHEMA = {
         "us_per_value": ("exact_only", "engine_format"),
         "speedup": ("format",),
         "fast_resolved": float,
+        "mismatches": int,
+        "mismatch_samples": list,
+        "stats": dict,
+    },
+    "warm": {
+        "corpus": ("kind", "n", "seed", "audit_n", "mix", "distinct",
+                   "zipf_s"),
+        "snapshot": ("formats", "write_memo", "read_memo", "hot"),
+        "startup_ms": ("cold", "warm"),
+        "us_per_value": ("cold_first_10k", "warm_first_10k"),
+        "speedup": ("startup", "first_10k"),
         "mismatches": int,
         "mismatch_samples": list,
         "stats": dict,
@@ -215,6 +228,31 @@ def _check_buffer_gates(buf: dict, quick: bool) -> int:
     return status
 
 
+def _check_warm_gates(warm: dict, quick: bool) -> int:
+    """Acceptance gates for the warm-start (snapshot) section.
+
+    Identity always applies — a snapshot may only skip work, never
+    change bytes — as does a clean restore (``snapshot_faults == 0``
+    on the snapshot the bench itself just built).  The timing gate
+    (warm first-10k strictly below cold) is skipped on ``--quick`` so
+    loaded CI machines cannot flake the smoke lane.
+    """
+    status = 0
+    if warm["mismatches"]:
+        print("FAIL: warm-start engine output mismatches the cold "
+              "engine", file=sys.stderr)
+        status = 1
+    if warm["stats"].get("snapshot_faults"):
+        print("FAIL: the bench's own snapshot was rejected on restore",
+              file=sys.stderr)
+        status = 1
+    if not quick and warm["speedup"]["first_10k"] <= 1.0:
+        print("FAIL: warm first-10k latency not below cold "
+              f"({warm['speedup']['first_10k']:.2f}x)", file=sys.stderr)
+        status = 1
+    return status
+
+
 def _check_binary32_gates(b32: dict, quick: bool) -> int:
     """Acceptance gates for the binary32 (narrow-format) section."""
     status = 0
@@ -255,6 +293,11 @@ def main(argv=None) -> int:
                              "(parse_buffer/format_buffer MB/s) and "
                              "print it to stdout; the default output "
                              "file is not touched")
+    parser.add_argument("--warm", action="store_true",
+                        help="run only the warm-start (snapshot) bench "
+                             "— cold vs warm startup and first-10k "
+                             "latency — and print it to stdout; the "
+                             "default output file is not touched")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default BENCH_engine.json next "
                              "to the repo root; '-' for stdout only)")
@@ -286,6 +329,19 @@ def main(argv=None) -> int:
               f"parse {buf['mb_per_s']['parse_flat']:.0f} MB/s, "
               f"mismatches: {buf['mismatches']}", file=sys.stderr)
         return _check_buffer_gates(buf, quick=args.quick)
+
+    if args.warm:
+        from repro.engine.bench import _run_warm_bench
+
+        warm = _run_warm_bench(n=n, seed=args.seed, repeats=repeats)
+        print(json.dumps(warm, indent=2, sort_keys=True))
+        print(f"warm-start: startup "
+              f"{warm['speedup']['startup']:.2f}x, "
+              f"first-10k {warm['speedup']['first_10k']:.2f}x "
+              f"({warm['us_per_value']['warm_first_10k']:.2f} vs "
+              f"{warm['us_per_value']['cold_first_10k']:.2f} us/value), "
+              f"mismatches: {warm['mismatches']}", file=sys.stderr)
+        return _check_warm_gates(warm, quick=args.quick)
 
     if args.reader:
         from repro.engine.bench import _run_reader_bench
@@ -349,6 +405,10 @@ def main(argv=None) -> int:
               f"{b32['speedup']['format']:.2f}x, "
               f"fast-resolved: {b32['fast_resolved']:.4f}, "
               f"mismatches: {b32['mismatches']}")
+        warm = result["warm"]
+        print(f"warm-start: startup {warm['speedup']['startup']:.2f}x, "
+              f"first-10k {warm['speedup']['first_10k']:.2f}x, "
+              f"mismatches: {warm['mismatches']}")
 
     if result["mismatches"]:
         print("FAIL: engine output mismatches the exact algorithm",
@@ -369,7 +429,8 @@ def main(argv=None) -> int:
     return (_check_reader_gates(result["reader"], quick=args.quick)
             or _check_bulk_gates(result["bulk"], quick=args.quick)
             or _check_buffer_gates(result["buffer"], quick=args.quick)
-            or _check_binary32_gates(result["binary32"], quick=args.quick))
+            or _check_binary32_gates(result["binary32"], quick=args.quick)
+            or _check_warm_gates(result["warm"], quick=args.quick))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,104 @@
+"""Build a warm-start snapshot — tables + memo + hot dictionary.
+
+Run:  PYTHONPATH=src python tools/warm_snapshot.py -o warm.snap
+
+Plays a zipf-shaped corpus (the serving workload shape: a small hot
+working set under a long tail) through a donor engine for each selected
+format, then captures:
+
+* the precomputed :class:`~repro.engine.tables.FormatTables` (the
+  Grisu power-of-ten cache — the dominant cold-start cost),
+* the donor's memo contents (write and read directions), and
+* a hot-values dictionary: exact shortest results for the ``--hot``
+  most frequent corpus values, published to workers through a
+  shared-memory plane by :class:`~repro.serve.pool.BulkPool`.
+
+The output is the versioned, CRC-checksummed container of
+:mod:`repro.engine.snapshot`; consumers (``Engine(snapshot=...)``,
+``BulkPool(snapshot=...)``, ``repro-print --snapshot``) reject corrupt
+or stale files and fall back to a cold start, so a snapshot can never
+change output bytes — only skip work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine.engine import Engine  # noqa: E402
+from repro.engine.snapshot import (  # noqa: E402
+    build_snapshot,
+    hot_entries,
+    save_snapshot,
+)
+from repro.floats.formats import STANDARD_FORMATS  # noqa: E402
+from repro.workloads.corpus import zipf_random  # noqa: E402
+
+DEFAULT_FORMATS = ("binary16", "binary32", "binary64")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="warm.snap",
+                        help="snapshot path (default warm.snap)")
+    parser.add_argument("--formats", nargs="+", default=None,
+                        metavar="NAME", choices=sorted(STANDARD_FORMATS),
+                        help="formats to snapshot tables for "
+                             f"(default: {' '.join(DEFAULT_FORMATS)})")
+    parser.add_argument("--hot", type=int, default=512, metavar="N",
+                        help="hot-dictionary size per format: the N "
+                             "most frequent corpus values (default 512)")
+    parser.add_argument("--corpus-n", type=int, default=20000,
+                        help="warm-up corpus size per format "
+                             "(default 20000)")
+    parser.add_argument("--distinct", type=int, default=2000,
+                        help="distinct values in the corpus "
+                             "(default 2000)")
+    parser.add_argument("--zipf-s", type=float, default=1.3,
+                        help="zipf skew of the corpus (default 1.3)")
+    parser.add_argument("--seed", type=int, default=2024)
+    args = parser.parse_args(argv)
+
+    names = list(args.formats or DEFAULT_FORMATS)
+    if args.hot < 0 or args.corpus_n < 1 or args.distinct < 1:
+        parser.error("--hot must be >= 0, --corpus-n/--distinct >= 1")
+
+    engine = Engine()
+    hot_rows: list = []
+    for name in names:
+        fmt = STANDARD_FORMATS[name]
+        if not fmt.has_encoding:
+            print(f"note: {name} has no bit encoding; tables only")
+            continue
+        vals = zipf_random(args.corpus_n, args.distinct, s=args.zipf_s,
+                           fmt=fmt, seed=args.seed, signed=True)
+        # Warm the donor memo with the full corpus (read side too, so
+        # the snapshot carries both directions), then freeze the head
+        # of the frequency distribution into the hot dictionary.
+        texts = engine.format_many(vals, fmt=fmt)
+        engine.reader.read_many(texts[:args.distinct], fmt)
+        head = [v for v, _ in
+                collections.Counter(vals).most_common(args.hot)]
+        hot_rows.extend(hot_entries(head, engine=engine))
+
+    snap = build_snapshot(names, engine=engine, hot=hot_rows,
+                          meta={"tool": "tools/warm_snapshot.py",
+                                "corpus_n": args.corpus_n,
+                                "distinct": args.distinct,
+                                "zipf_s": args.zipf_s,
+                                "seed": args.seed})
+    save_snapshot(snap, args.output)
+    size = os.path.getsize(args.output)
+    print(f"wrote {os.path.abspath(args.output)} ({size} bytes): "
+          f"formats={','.join(names)} "
+          f"write_memo={len(snap.write_memo)} "
+          f"read_memo={len(snap.read_memo)} hot={len(snap.hot)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
