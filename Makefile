@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer bench-serve bench-warm snapshot serve-smoke smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer bench-serve bench-warm bench-contenders snapshot serve-smoke smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -31,6 +31,7 @@ fuzz:
 	$(PY) -m repro.verify --chaos --n 2000 --seed fresh --formats binary64
 	$(PY) -m repro.verify --serve --n 2000 --seed fresh --formats binary64
 	$(PY) -m repro.verify --warm --n 2000 --seed fresh --formats binary64
+	$(PY) -m repro.verify --contenders --n 50000 --seed fresh
 
 # The chaos battery: the bulk byte-identity checks replayed under
 # deterministic injected faults (worker crashes, shard stalls, payload
@@ -74,6 +75,15 @@ bench-buffer:
 # docs/warmstart.md.
 bench-warm:
 	$(PY) tools/bench_engine.py --warm $(QUICK)
+
+# Contender-lane bench only: Grisu3-first vs Schubfach-first vs
+# Schubfach-only write orderings (and window/lemire read orderings)
+# raced per corpus, printed to stdout; gates on byte identity, a zero
+# bail rate on the Schubfach lanes and zero exact-tier fallbacks on
+# the Lemire lanes — all correctness gates, binding even with
+# QUICK=--quick.  See docs/contenders.md.
+bench-contenders:
+	$(PY) tools/bench_engine.py --contenders $(QUICK)
 
 # Build a warm-start snapshot (binary16/32/64 tables + donor memo +
 # top-512 zipf-head hot dictionary) into warm.snap; consume it with

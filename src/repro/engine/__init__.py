@@ -9,6 +9,10 @@ Public surface:
   Bellerophon window, truncated/interval certification, exact
   ``round_rational`` fallback), reachable per-engine as
   :attr:`Engine.reader`;
+* :func:`schubfach_digits` / :func:`lemire_parse` — the contender
+  lanes (never-bail Schubfach writer, no-fallback Eisel–Lemire
+  reader), selectable through ``tier_order=`` /
+  :func:`split_tier_names` (see docs/contenders.md);
 * :func:`default_engine` / :func:`default_read_engine` — the shared
   instances the string APIs delegate to;
 * :func:`format_many` / :func:`read_many` — batch conversion through
@@ -30,14 +34,24 @@ from repro.engine.buffer import (
     split_plane,
     split_rows,
 )
-from repro.engine.engine import STAT_KEYS, Engine, default_engine, format_many
+from repro.engine.engine import (
+    STAT_KEYS,
+    WRITE_TIER_NAMES,
+    Engine,
+    default_engine,
+    format_many,
+    split_tier_names,
+)
+from repro.engine.lemire import lemire_parse
 from repro.engine.reader import (
     READ_STAT_KEYS,
+    READ_TIER_NAMES,
     ReadEngine,
     ReadResult,
     default_read_engine,
     read_many,
 )
+from repro.engine.schubfach import schubfach_digits
 from repro.engine.snapshot import (
     SNAPSHOT_VERSION,
     HotPlane,
@@ -64,6 +78,11 @@ __all__ = [
     "read_many",
     "STAT_KEYS",
     "READ_STAT_KEYS",
+    "WRITE_TIER_NAMES",
+    "READ_TIER_NAMES",
+    "split_tier_names",
+    "schubfach_digits",
+    "lemire_parse",
     "FormatTables",
     "tables_for",
     "clear_tables",

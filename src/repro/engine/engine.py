@@ -59,12 +59,15 @@ from repro.format.notation import (
 )
 
 from repro.engine.counted import counted_tier_digits
-from repro.engine.reader import READ_STAT_KEYS, ReadEngine, ReadResult
+from repro.engine.reader import (READ_STAT_KEYS, READ_TIER_NAMES,
+                                 ReadEngine, ReadResult)
+from repro.engine.schubfach import schubfach_digits
 from repro.engine.tables import FormatTables, tables_for
 from repro.engine.tier0 import tier0_digits
 from repro.engine.tier1 import tier1_digits
 
-__all__ = ["Engine", "default_engine", "format_many", "STAT_KEYS"]
+__all__ = ["Engine", "default_engine", "format_many", "STAT_KEYS",
+           "WRITE_TIER_NAMES", "split_tier_names"]
 
 Number = Union[float, int, Flonum]
 
@@ -84,10 +87,66 @@ _INF = float("inf")
 #: dashboards) never ``KeyError`` on a fresh or reset engine.
 STAT_KEYS = frozenset({
     "tier0_hits", "tier1_hits", "tier1_bailouts", "tier2_calls",
-    "fixed_tier1_hits", "fixed_tier1_bailouts", "fixed_tier2_calls",
-    "fixed_conversions", "cache_hits", "cache_misses", "conversions",
-    "cache_entries", "tier_faults", "hot_hits", "snapshot_faults",
+    "schubfach_hits", "fixed_tier1_hits", "fixed_tier1_bailouts",
+    "fixed_tier2_calls", "fixed_conversions", "cache_hits",
+    "cache_misses", "conversions", "cache_entries", "tier_faults",
+    "hot_hits", "snapshot_faults", "bail_rate",
 }) | READ_STAT_KEYS
+
+#: Selectable write-side tier names for ``Engine(tier_order=...)``.
+#: The exact Burger–Dybvig tier is not in the list: it is the implicit,
+#: always-present backstop at the end of every order.
+WRITE_TIER_NAMES = ("tier0", "grisu3", "schubfach")
+
+
+def _validated_order(order, known: Tuple[str, ...], kind: str
+                     ) -> Tuple[str, ...]:
+    """Normalize a tier order to a tuple, rejecting unknown names and
+    duplicates with a typed :class:`RangeError`."""
+    names = tuple(order)
+    seen = set()
+    for name in names:
+        if name not in known:
+            raise RangeError(f"unknown {kind} tier {name!r}; known: "
+                             f"{', '.join(known)}")
+        if name in seen:
+            raise RangeError(f"duplicate {kind} tier {name!r} in tier order")
+        seen.add(name)
+    return names
+
+
+def split_tier_names(names: Iterable[str]
+                     ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Split a mixed tier-name list (the CLI's ``--tiers``) into
+    ``(tier_order, read_tier_order)``.
+
+    ``tier0`` names the exact-decimal write tier and the exact-power
+    read tier at once (the two tier-0s are siblings and always travel
+    together); ``grisu3``/``schubfach`` are write-side; ``window`` /
+    ``lemire`` are read-side.  Lanes not named are disabled — the exact
+    tier always remains as the implicit backstop, so an empty list
+    means exact-only in both directions.  Empty components are ignored;
+    unknown names raise :class:`RangeError`.
+    """
+    write: List[str] = []
+    read: List[str] = []
+    for raw in names:
+        name = raw.strip()
+        if not name:
+            continue
+        if name == "tier0":
+            write.append(name)
+            read.append(name)
+        elif name in ("grisu3", "schubfach"):
+            write.append(name)
+        elif name in ("window", "lemire"):
+            read.append(name)
+        else:
+            raise RangeError(
+                f"unknown tier {name!r}; known: tier0, grisu3, schubfach "
+                f"(write) and tier0, window, lemire (read)")
+    return (_validated_order(write, WRITE_TIER_NAMES, "write"),
+            _validated_order(read, READ_TIER_NAMES, "read"))
 
 
 class Engine:
@@ -104,6 +163,19 @@ class Engine:
     Args:
         tier0: Enable the exact-decimal fast path.
         tier1: Enable the Grisu3 fast path.
+        tier_order: Explicit write-side tier order, a sequence over
+            :data:`WRITE_TIER_NAMES` (``"tier0"``, ``"grisu3"``,
+            ``"schubfach"``).  The exact tier is always the implicit
+            final backstop, so ``()`` means exact-only.  Overrides the
+            ``tier0``/``tier1`` flags (which express the default order
+            ``("tier0", "grisu3")`` and its subsets); unknown or
+            duplicate names raise :class:`RangeError`.  Every order
+            produces byte-identical output — only speed and stats
+            attribution differ — so the memo needs no per-order keying.
+        read_tier_order: Same for the read side, over
+            :data:`repro.engine.reader.READ_TIER_NAMES` (``"tier0"``,
+            ``"window"``, ``"lemire"``); handed to :attr:`reader` when
+            it is built.  None keeps the reader's default.
         cache_size: Max entries in the result memo (0 disables it).
         fixed_tier1: Enable the counted-digit fast path for the
             fixed-format conversions (:meth:`counted_digits`,
@@ -125,11 +197,27 @@ class Engine:
 
     def __init__(self, tier0: bool = True, tier1: bool = True,
                  cache_size: int = 8192, fixed_tier1: bool = True,
-                 strict: bool = False, snapshot=None):
+                 strict: bool = False, snapshot=None,
+                 tier_order: Optional[Iterable[str]] = None,
+                 read_tier_order: Optional[Iterable[str]] = None):
         if cache_size < 0:
             raise RangeError("cache_size must be >= 0")
-        self.tier0 = tier0
-        self.tier1 = tier1
+        if tier_order is None:
+            order = ((("tier0",) if tier0 else ())
+                     + (("grisu3",) if tier1 else ()))
+        else:
+            order = _validated_order(tier_order, WRITE_TIER_NAMES, "write")
+        #: The configured write-side lane order (exact tier implicit).
+        self.tier_order = order
+        # Derived flags, kept because the batch paths (and buffer.py on
+        # the read side) branch on them directly.
+        self.tier0 = "tier0" in order
+        self.tier1 = "grisu3" in order
+        if read_tier_order is not None:
+            read_tier_order = _validated_order(read_tier_order,
+                                               READ_TIER_NAMES, "read")
+        #: Read-side order handed to :attr:`reader` (None = its default).
+        self.read_tier_order = read_tier_order
         self.fixed_tier1 = fixed_tier1
         self.strict = strict
         self.cache_size = cache_size
@@ -217,6 +305,7 @@ class Engine:
         self._tier1_hits = 0
         self._tier1_bailouts = 0
         self._tier2_calls = 0
+        self._schubfach_hits = 0
         self._fixed_tier1_hits = 0
         self._fixed_tier1_bailouts = 0
         self._fixed_tier2_calls = 0
@@ -235,7 +324,10 @@ class Engine:
         """Counters since the last :meth:`reset_stats`.
 
         Keys: ``tier0_hits``, ``tier1_hits``, ``tier1_bailouts``,
-        ``tier2_calls`` (the shortest/free-format tiers);
+        ``tier2_calls``, ``schubfach_hits`` (the shortest/free-format
+        tiers); ``bail_rate`` (derived, ``{"write": ..., "read": ...}``
+        — per direction, the fraction of tier-routed conversions the
+        exact tier resolved, 0.0 when none ran);
         ``fixed_tier1_hits``, ``fixed_tier1_bailouts``,
         ``fixed_tier2_calls`` (the counted/fixed-format tiers, shared by
         :meth:`counted_digits` and :meth:`fixed_digits`);
@@ -266,11 +358,21 @@ class Engine:
         reader = self._reader
         out = (reader._stats_locked() if reader is not None
                else dict.fromkeys(READ_STAT_KEYS, 0))
+        # Derived bail-rate summary (the satellite consumers — bench and
+        # daemon logs — stop recomputing it ad hoc): per direction, the
+        # fraction of tier-routed conversions the exact tier had to
+        # resolve.  Memo/hot hits and the fixed tiers are excluded —
+        # they never reach the exact shortest path.
+        write_den = (self._tier0_hits + self._tier1_hits
+                     + self._schubfach_hits + self._tier2_calls)
+        read_den = (out["read_tier0_hits"] + out["read_tier1_hits"]
+                    + out["read_lemire_hits"] + out["read_tier2_calls"])
         out.update({
             "tier0_hits": self._tier0_hits,
             "tier1_hits": self._tier1_hits,
             "tier1_bailouts": self._tier1_bailouts,
             "tier2_calls": self._tier2_calls,
+            "schubfach_hits": self._schubfach_hits,
             "fixed_tier1_hits": self._fixed_tier1_hits,
             "fixed_tier1_bailouts": self._fixed_tier1_bailouts,
             "fixed_tier2_calls": self._fixed_tier2_calls,
@@ -281,9 +383,15 @@ class Engine:
             "hot_hits": self._hot_hits,
             "snapshot_faults": self._snapshot_faults,
             "conversions": (self._tier0_hits + self._tier1_hits
-                            + self._tier2_calls + fixed + self._cache_hits
-                            + self._hot_hits),
+                            + self._schubfach_hits + self._tier2_calls
+                            + fixed + self._cache_hits + self._hot_hits),
             "cache_entries": len(self._cache),
+            "bail_rate": {
+                "write": (self._tier2_calls / write_den
+                          if write_den else 0.0),
+                "read": (out["read_tier2_calls"] / read_den
+                         if read_den else 0.0),
+            },
         })
         return out
 
@@ -360,6 +468,8 @@ class Engine:
                 self._tier0_hits += 1
             elif tier == 1:
                 self._tier1_hits += 1
+            elif tier == 3:
+                self._schubfach_hits += 1
             else:
                 self._tier2_calls += 1
             if key is not None:
@@ -373,10 +483,11 @@ class Engine:
                  mode: ReaderMode, tie: TieBreak, tables: FormatTables,
                  tier1_ok: bool, v: Optional[Flonum] = None
                  ) -> Tuple[Tuple[int, str], int, bool, bool]:
-        """One uncached conversion: tier 0, tier 1, then exact.
+        """One uncached conversion: the configured lanes, then exact.
 
         Counter-free (callers attribute the result under the engine
-        lock): returns ``((k, body), tier, tier1_bailed, tier_faulted)``.
+        lock): returns ``((k, body), tier, tier1_bailed, tier_faulted)``
+        with tier codes 0 = tier0, 1 = grisu3, 3 = schubfach, 2 = exact.
         The fast-tier region is guard-railed: anything unexpected it
         raises (a :class:`ReproError` is a deliberate signal and passes
         through) falls back to the exact path with ``tier_faulted``
@@ -386,27 +497,47 @@ class Engine:
         faulted = False
         if base == 10 and tables.radix == 2:
             try:
-                if self.tier0:
-                    if _faults._PLAN is not None:
-                        _faults._PLAN.fire("engine.tier0")
-                    t0 = tier0_digits(f, e, tables.hidden_limit,
-                                      tables.min_e, tables.mantissa_limit,
-                                      tables.max_e, mode)
-                    if t0 is not None:
-                        acc, _nd, k = t0
-                        return (k, str(acc)), 0, False, False
-                if tier1_ok:
-                    if _faults._PLAN is not None:
-                        _faults._PLAN.fire("engine.tier1")
-                    t1 = tier1_digits(f, e, tables.hidden_limit,
-                                      tables.min_e, tables.grisu_powers,
-                                      tables.grisu_e_min)
-                    if t1 is not None:
-                        acc, nd, k = t1
-                        body = str(acc)
-                        if len(body) == nd:  # RoundWeed never borrows;
-                            return (k, body), 1, False, False  # belt and
-                    bailed = True  # braces anyway
+                for lane in self.tier_order:
+                    if lane == "tier0":
+                        if _faults._PLAN is not None:
+                            _faults._PLAN.fire("engine.tier0")
+                        t0 = tier0_digits(f, e, tables.hidden_limit,
+                                          tables.min_e,
+                                          tables.mantissa_limit,
+                                          tables.max_e, mode)
+                        if t0 is not None:
+                            acc, _nd, k = t0
+                            return (k, str(acc)), 0, bailed, False
+                    elif lane == "grisu3":
+                        if not tier1_ok:
+                            continue
+                        if _faults._PLAN is not None:
+                            _faults._PLAN.fire("engine.tier1")
+                        t1 = tier1_digits(f, e, tables.hidden_limit,
+                                          tables.min_e, tables.grisu_powers,
+                                          tables.grisu_e_min)
+                        if t1 is not None:
+                            acc, nd, k = t1
+                            body = str(acc)
+                            if len(body) == nd:  # RoundWeed never borrows;
+                                return (k, body), 1, bailed, False  # belt
+                        bailed = True  # and braces anyway
+                    elif (tables.grisu_ok
+                          and (mode is ReaderMode.NEAREST_EVEN
+                               or mode is ReaderMode.NEAREST_UNKNOWN)):
+                        # The Schubfach lane: same format/mode gate as
+                        # Grisu (falling through on other modes is
+                        # gating, not bailing), but once it runs it
+                        # decides every finite value — no bail path.
+                        if _faults._PLAN is not None:
+                            _faults._PLAN.fire("engine.schubfach")
+                        if not tables.schub_ready:
+                            tables.ensure_schub()
+                        k, body = schubfach_digits(
+                            f, e, tables,
+                            mode is ReaderMode.NEAREST_EVEN and not f & 1,
+                            tie)
+                        return (k, body), 3, bailed, False
             except ReproError:
                 raise
             except Exception:
@@ -779,6 +910,12 @@ class Engine:
                      and mode in _TIER1_MODES)
         use_tier1_mirrored = (self.tier1 and tables.grisu_ok
                               and mirrored in _TIER1_MODES)
+        # The inlined tier block below encodes the default lane order;
+        # any other order (schubfach present, or tiers reordered) routes
+        # each miss through the generic ``_convert`` instead — memo,
+        # render and flush stay batched either way.
+        inline_tiers = self.tier_order in (
+            ("tier0", "grisu3"), ("tier0",), ("grisu3",), ())
         cache = self._cache if self.cache_size else None
         cache_size = self.cache_size
         lock = self._lock
@@ -791,7 +928,7 @@ class Engine:
         plan = _faults._PLAN
         strict = self.strict
         c_hits = c_misses = t0_hits = t1_hits = t1_bails = t2_calls = 0
-        t_faults = hot_hits = snap_faults = 0
+        t_faults = hot_hits = snap_faults = schub_hits = 0
         out: List[str] = []
         append = out.append
         for x in xs:
@@ -868,7 +1005,24 @@ class Engine:
                     kb = None
                 if kb is not None:
                     hot_hits += 1
-            if kb is None:
+            if kb is None and not inline_tiers:
+                kb, tier_c, b_, f_ = self._convert(
+                    f, e, fmt, 10, vmode, tie, tables, tier1_ok, None)
+                if b_:
+                    t1_bails += 1
+                if f_:
+                    t_faults += 1
+                if tier_c == 0:
+                    t0_hits += 1
+                elif tier_c == 1:
+                    t1_hits += 1
+                elif tier_c == 3:
+                    schub_hits += 1
+                else:
+                    t2_calls += 1
+                if cache is not None:
+                    pending[key] = kb
+            elif kb is None:
                 try:
                     # Pre-filter: tier 0 only ever accepts values with
                     # e >= -76 (integers and short exact decimals); skip
@@ -942,6 +1096,7 @@ class Engine:
             self._tier1_hits += t1_hits
             self._tier1_bailouts += t1_bails
             self._tier2_calls += t2_calls
+            self._schubfach_hits += schub_hits
             self._tier_faults += t_faults
             self._hot_hits += hot_hits
             self._snapshot_faults += snap_faults
@@ -980,6 +1135,7 @@ class Engine:
                     r = ReadEngine(
                         cache_size=self.cache_size,
                         strict=self.strict,
+                        tier_order=self.read_tier_order,
                         _shared_cache=self._cache if self.cache_size
                         else None,
                         _shared_lock=self._lock)

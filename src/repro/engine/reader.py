@@ -34,6 +34,12 @@ Tiers, tried in order for finite nonzero literals:
 * **Tier 2** — the exact :func:`repro.reader.exact.round_rational`
   (always correct, never declines), fed the *untruncated* significand.
 
+A fourth, optional lane — the Eisel–Lemire-style 128-bit product of
+:mod:`repro.engine.lemire`, selected as ``"lemire"`` in
+``tier_order=`` — resolves every untruncated literal outright (no
+fallback; see docs/contenders.md).  The default order stays
+``("tier0", "window")``; the contenders bench arbitrates.
+
 The fast tiers run only for base-10 literals into radix-2 formats with
 ``precision <= READ_MAX_PRECISION`` under the two nearest reader modes
 (``NEAREST_EVEN``/``NEAREST_UNKNOWN``, which read identically); every
@@ -61,10 +67,12 @@ from repro.reader.exact import clamp_extreme, round_rational
 from repro.reader.parse import ParsedNumber, _scan_decimal, parse_decimal
 from repro.reader.truncated import truncate_significand
 
+from repro.engine.lemire import OVERFLOW as _LEMIRE_OVERFLOW
+from repro.engine.lemire import lemire_parse
 from repro.engine.tables import FormatTables, tables_for
 
 __all__ = ["ReadEngine", "ReadResult", "default_read_engine", "read_many",
-           "READ_STAT_KEYS", "READ_TRUNCATION_DIGITS"]
+           "READ_STAT_KEYS", "READ_TIER_NAMES", "READ_TRUNCATION_DIGITS"]
 
 #: Modes the fast tiers serve (they read identically; every other mode
 #: routes straight to the exact tier, which handles all of them).
@@ -126,10 +134,31 @@ def _decimal_digits(d: int) -> int:
 #: ever built and schema tests can assert nothing drifts.
 READ_STAT_KEYS = frozenset({
     "read_tier0_hits", "read_tier1_hits", "read_tier1_bailouts",
-    "read_tier2_calls", "read_specials", "read_cache_hits",
-    "read_cache_misses", "read_conversions", "read_tier_faults",
-    "read_snapshot_faults",
+    "read_tier2_calls", "read_lemire_hits", "read_specials",
+    "read_cache_hits", "read_cache_misses", "read_conversions",
+    "read_tier_faults", "read_snapshot_faults",
 })
+
+#: Selectable read-side tier names for ``ReadEngine(tier_order=...)``:
+#: the exact-power window + magnitude clamps (``"tier0"``), the
+#: truncated/interval certification (``"window"``) and the
+#: Eisel–Lemire 128-bit product lane (``"lemire"``).  The exact
+#: rational tier is not in the list — it is the implicit, always-
+#: present backstop at the end of every order.
+READ_TIER_NAMES = ("tier0", "window", "lemire")
+
+
+def _validated_read_order(order) -> tuple:
+    names = tuple(order)
+    seen = set()
+    for name in names:
+        if name not in READ_TIER_NAMES:
+            raise RangeError(f"unknown read tier {name!r}; known: "
+                             f"{', '.join(READ_TIER_NAMES)}")
+        if name in seen:
+            raise RangeError(f"duplicate read tier {name!r} in tier order")
+        seen.add(name)
+    return names
 
 
 @dataclass(frozen=True)
@@ -137,7 +166,7 @@ class ReadResult:
     """A conversion plus which tier resolved it (for attribution)."""
 
     value: Flonum
-    tier: str  # 'tier0' | 'tier1' | 'tier2' | 'special' | 'memo'
+    tier: str  # 'tier0'|'tier1'|'lemire'|'tier2'|'special'|'memo'
 
 
 def _round_nearest(n: int, e2: int, sticky: bool, min_e: int, max_e: int,
@@ -188,6 +217,16 @@ class ReadEngine:
         tier0: Enable the exact-power fast path (and the magnitude
             clamps that ride on its tables).
         tier1: Enable the truncated/interval path.
+        tier_order: Explicit lane order, a sequence over
+            :data:`READ_TIER_NAMES` (``"tier0"``, ``"window"``,
+            ``"lemire"``).  The exact rational tier is always the
+            implicit final backstop, so ``()`` means exact-only.
+            Overrides the ``tier0``/``tier1`` flags (which express the
+            default order ``("tier0", "window")`` and its subsets);
+            unknown or duplicate names raise :class:`RangeError`.
+            Every order produces bit-identical values — only speed and
+            stats attribution differ — so the memo needs no per-order
+            keying.
         cache_size: Max entries in the result memo (0 disables it).
         strict: False (default): an unexpected non-:class:`ReproError`
             raised inside a fast tier falls back to the exact tier and
@@ -204,11 +243,21 @@ class ReadEngine:
                  cache_size: int = 8192, strict: bool = False,
                  _shared_cache: Optional[dict] = None,
                  _shared_lock: Optional[threading.Lock] = None,
-                 snapshot=None):
+                 snapshot=None,
+                 tier_order: Optional[Iterable[str]] = None):
         if cache_size < 0:
             raise RangeError("cache_size must be >= 0")
-        self.tier0 = tier0
-        self.tier1 = tier1
+        if tier_order is None:
+            order = ((("tier0",) if tier0 else ())
+                     + (("window",) if tier1 else ()))
+        else:
+            order = _validated_read_order(tier_order)
+        #: The configured lane order (exact tier implicit at the end).
+        self.tier_order = order
+        # Derived flags, kept because buffer.py's classify partitioning
+        # (and the batch paths) branch on them directly.
+        self.tier0 = "tier0" in order
+        self.tier1 = "window" in order
         self.strict = strict
         self.cache_size = cache_size
         # Plain dict as LRU, insertion order = recency order (see
@@ -256,6 +305,7 @@ class ReadEngine:
         self._tier1_hits = 0
         self._tier1_bailouts = 0
         self._tier2_calls = 0
+        self._lemire_hits = 0
         self._specials = 0
         self._tier_faults = 0
         self._cache_hits = 0
@@ -268,6 +318,7 @@ class ReadEngine:
         Keys are exactly :data:`READ_STAT_KEYS`: ``read_tier0_hits``
         (exact-power window and magnitude clamps), ``read_tier1_hits`` /
         ``read_tier1_bailouts`` (the interval tier),
+        ``read_lemire_hits`` (the no-fallback 128-bit product lane),
         ``read_tier2_calls`` (exact fallback), ``read_specials``
         (nan/inf/zero literals), ``read_cache_hits`` /
         ``read_cache_misses`` (the memo) and ``read_conversions``
@@ -287,14 +338,15 @@ class ReadEngine:
             "read_tier1_hits": self._tier1_hits,
             "read_tier1_bailouts": self._tier1_bailouts,
             "read_tier2_calls": self._tier2_calls,
+            "read_lemire_hits": self._lemire_hits,
             "read_specials": self._specials,
             "read_tier_faults": self._tier_faults,
             "read_cache_hits": self._cache_hits,
             "read_cache_misses": self._cache_misses,
             "read_snapshot_faults": self._snapshot_faults,
             "read_conversions": (self._tier0_hits + self._tier1_hits
-                                 + self._tier2_calls + self._specials
-                                 + self._cache_hits),
+                                 + self._lemire_hits + self._tier2_calls
+                                 + self._specials + self._cache_hits),
         }
 
     def clear_cache(self) -> None:
@@ -374,7 +426,8 @@ class ReadEngine:
                  mode: ReaderMode, tables: FormatTables
                  ) -> Tuple[Flonum, str, bool, bool]:
         """Route one finite literal ``(-1)**sign * d * 10**q`` through
-        the tiers: ``(value, tier, tier1_bailed, tier_faulted)``.
+        the configured lanes (:attr:`tier_order`), then the exact tier:
+        ``(value, tier, tier1_bailed, tier_faulted)``.
 
         The fast-tier region is guard-railed: an unexpected exception
         (anything but a deliberate :class:`ReproError`) falls back to
@@ -413,7 +466,7 @@ class ReadEngine:
             return Flonum.zero(fmt, sign), "special", False, False
         bailed = False
         faulted = False
-        if ((self.tier0 or self.tier1) and tables.read_fast_ok
+        if (self.tier_order and tables.read_fast_ok
                 and (mode is ReaderMode.NEAREST_EVEN
                      or mode is ReaderMode.NEAREST_UNKNOWN)):
           try:
@@ -434,7 +487,10 @@ class ReadEngine:
             if mag <= tables.read_zero_exp10:
                 return Flonum.zero(fmt, sign), "tier0", False, False
             mantissa_limit = tables.mantissa_limit
-            if self.tier0 and not sticky and d19 < mantissa_limit:
+            for lane in self.tier_order:
+              if lane == "tier0":
+                if sticky or d19 >= mantissa_limit:
+                    continue
                 if _faults._PLAN is not None:
                     _faults._PLAN.fire("reader.tier0")
                 if tables.read_host_float:
@@ -450,12 +506,12 @@ class ReadEngine:
                             m, ex = _frexp(fast)
                             return (Flonum._finite_trusted(
                                 sign, int(m * 9007199254740992.0),
-                                ex - 53, fmt), "tier0", False, False)
+                                ex - 53, fmt), "tier0", bailed, False)
                 else:
                     v = self._tier0(d19, q19, sign, tables, fmt)
                     if v is not None:
-                        return v, "tier0", False, False
-            if self.tier1:
+                        return v, "tier0", bailed, False
+              elif lane == "window":
                 if _faults._PLAN is not None:
                     _faults._PLAN.fire("reader.tier1")
                 parts = _POW10_PARTS.get(q19)
@@ -492,12 +548,12 @@ class ReadEngine:
                     if f >= 0:
                         if t > max_e:
                             return (Flonum.infinity(fmt, sign), "tier1",
-                                    False, False)
+                                    bailed, False)
                         if f == 0:
                             return (Flonum.zero(fmt, sign), "tier1",
-                                    False, False)
+                                    bailed, False)
                         return (Flonum._finite_trusted(sign, f, t, fmt),
-                                "tier1", False, False)
+                                "tier1", bailed, False)
                 if shift <= 0 or f < 0:
                     r = _round_nearest(lo, e2, False, min_e, max_e, prec,
                                        mantissa_limit)
@@ -508,14 +564,35 @@ class ReadEngine:
                     if r is not None:
                         if r is _OVERFLOW:
                             return (Flonum.infinity(fmt, sign), "tier1",
-                                    False, False)
+                                    bailed, False)
                         f, t = r
                         if f == 0:
                             return (Flonum.zero(fmt, sign), "tier1",
-                                    False, False)
+                                    bailed, False)
                         return (Flonum._finite_trusted(sign, f, t, fmt),
-                                "tier1", False, False)
+                                "tier1", bailed, False)
                     bailed = True
+              elif not sticky:
+                # The Lemire lane: gated on the untruncated significand
+                # (d19 has < 20 digits whenever sticky is clear); once
+                # it runs it decides outright — no bail path, the exact
+                # tier is never consulted.
+                if _faults._PLAN is not None:
+                    _faults._PLAN.fire("reader.lemire")
+                if not tables.lemire_ready:
+                    tables.ensure_lemire()
+                r = lemire_parse(d19, q19, tables)
+                if r is None:  # pragma: no cover - clamps gate q
+                    continue
+                if r is _LEMIRE_OVERFLOW:
+                    return (Flonum.infinity(fmt, sign), "lemire",
+                            bailed, False)
+                f, t = r
+                if f == 0:
+                    return (Flonum.zero(fmt, sign), "lemire",
+                            bailed, False)
+                return (Flonum._finite_trusted(sign, f, t, fmt),
+                        "lemire", bailed, False)
           except ReproError:
             raise
           except Exception:
@@ -554,6 +631,8 @@ class ReadEngine:
             self._tier0_hits += 1
         elif tier == "tier1":
             self._tier1_hits += 1
+        elif tier == "lemire":
+            self._lemire_hits += 1
         elif tier == "tier2":
             self._tier2_calls += 1
         else:
@@ -703,7 +782,7 @@ class ReadEngine:
         memoize = fresh.append
         memo_on = bool(self.cache_size)
         new_misses = 0
-        t0 = t1 = t1b = t2 = sp = tf = 0
+        t0 = t1 = t1b = t2 = sp = lm = tf = 0
         for i in misses:
             s = stripped[i]
             scanned = scan(s)
@@ -721,6 +800,8 @@ class ReadEngine:
                 t0 += 1
             elif tier == "tier1":
                 t1 += 1
+            elif tier == "lemire":
+                lm += 1
             elif tier == "tier2":
                 t2 += 1
             else:
@@ -742,6 +823,7 @@ class ReadEngine:
                 self._tier1_hits += t1
                 self._tier1_bailouts += t1b
                 self._tier2_calls += t2
+                self._lemire_hits += lm
                 self._specials += sp
                 self._tier_faults += tf
                 self._cache_misses += new_misses

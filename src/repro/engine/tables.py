@@ -70,6 +70,59 @@ def _le_pow10(a: int, b: int) -> bool:
     return (1 << -b) <= 10**-a
 
 
+def _cmp_pow10(a: int, m: int, b: int) -> int:
+    """Exact sign of ``10**a - m * 2**b`` for positive integer ``m``."""
+    lhs, rhs = 1, m
+    if a >= 0:
+        lhs = 10**a
+    else:
+        rhs = m * 10**-a
+    if b >= 0:
+        rhs <<= b
+    else:
+        lhs <<= -b
+    return (lhs > rhs) - (lhs < rhs)
+
+
+def _floor_log10_pow2(m: int, b: int) -> int:
+    """Exact ``floor(log10(m * 2**b))`` for integer ``m >= 1``.
+
+    Estimated from the bit length (30103/100000 approximates log10(2)
+    to < 3e-7) and corrected with exact power comparisons.
+    """
+    est = ((m.bit_length() - 1 + b) * 30103) // 100000
+    while _cmp_pow10(est, m, b) > 0:
+        est -= 1
+    while _cmp_pow10(est + 1, m, b) <= 0:
+        est += 1
+    return est
+
+
+def _pow10_128(n: int) -> Tuple[int, int, bool]:
+    """``(g, a, exact)``: the 128-bit ceiling significand of ``10**n``.
+
+    ``a = floor(log2 10**n)`` and ``g = ceil(10**n * 2**(127 - a))``, so
+    ``10**n = (g - d) * 2**(a - 127)`` with ``d in [0, 1)``; ``exact``
+    means ``d == 0`` (only possible for ``0 <= n <= 38``, where the
+    integer ``10**n`` fits 128 bits unshifted).  This is the shared
+    primitive behind both contender tables: the Schubfach writer stores
+    ``_pow10_128(-k)`` per binary exponent and the Eisel–Lemire reader
+    stores ``_pow10_128(q)`` per decimal exponent.
+    """
+    if n >= 0:
+        m = 10**n
+        a = m.bit_length() - 1
+        sh = 127 - a
+        if sh >= 0:
+            return m << sh, a, True
+        rem = m & ((1 << -sh) - 1)
+        return (m >> -sh) + (1 if rem else 0), a, rem == 0
+    m = 10**-n
+    # 1/m is never dyadic (m carries the factor 5**-n), so the ceiling
+    # is strict and the approximation is never exact.
+    return -((-(1 << (127 + m.bit_length()))) // m), -m.bit_length(), False
+
+
 class FormatTables:
     """Immutable precomputed state for one ``(FloatFormat, base)`` pair."""
 
@@ -79,6 +132,9 @@ class FormatTables:
         "grisu_ok", "grisu_powers", "grisu_e_min",
         "read_fast_ok", "read_host_float", "read_max_pow10", "read_pow5",
         "read_inf_exp10", "read_zero_exp10",
+        "schub_ready", "schub_e_min", "schub_powers",
+        "lemire_ready", "lemire_q_min", "lemire_powers",
+        "lemire_max_digits",
     )
 
     def __init__(self, fmt: FloatFormat, base: int,
@@ -128,6 +184,16 @@ class FormatTables:
         self.read_zero_exp10 = 0
         if self.read_fast_ok:
             self._build_read_tables()
+        # Contender-lane tables (Schubfach writer / Eisel–Lemire reader)
+        # build lazily on first use of those lanes — the default tier
+        # orders never touch them, so cold start stays unchanged.
+        self.schub_ready = False
+        self.schub_e_min = 0
+        self.schub_powers: List[tuple] = []
+        self.lemire_ready = False
+        self.lemire_q_min = 0
+        self.lemire_powers: List[Tuple[int, int, bool]] = []
+        self.lemire_max_digits = 0
 
     def _build_read_tables(self) -> None:
         """Exact-power tables and decimal-magnitude clamps for reading.
@@ -185,6 +251,86 @@ class FormatTables:
             power, mk, _exact = cached_power_for_binary_exponent(e)
             table.append((power.f, power.e, mk))
         return lo, table
+
+    def ensure_schub(self) -> None:
+        """Build (once) the Schubfach 128-bit power-of-ten table.
+
+        One entry per binary exponent ``e`` in ``[min_e, max_e]``, as a
+        flat 8-tuple ``(k, g, sh, exact, k', g', sh', exact')`` — the
+        regular-spacing constants followed by the irregular-spacing ones
+        (used when ``f == hidden_limit`` and ``e > min_e``, where the
+        gap below the value is half the gap above).  ``k`` is
+        ``floor(log10 L)`` for the rounding-interval length ``L``
+        (``2**e`` regular, ``3 * 2**(e-2)`` irregular), so the interval
+        scaled by ``10**-k`` has length in ``[1, 10)``; ``(g, a, exact)
+        = _pow10_128(-k)`` and ``sh = 129 - a - e``, making
+        ``(c * g) >> sh`` the 128-bit fixed-point image of
+        ``c * 2**(e-2) * 10**-k`` that :mod:`repro.engine.schubfach`
+        compares candidates against.
+
+        Lazy and lock-guarded: the first conversion routed to the
+        Schubfach lane pays the build (a few ms for binary64); engines
+        that never select the lane never build it.
+        """
+        if self.schub_ready:
+            return
+        if not self.grisu_ok:
+            raise RangeError(
+                f"schubfach tier serves base-10 radix-2 formats with "
+                f"precision <= {GRISU_MAX_PRECISION}, not "
+                f"{self.fmt.name} base {self.base}")
+        with _TABLE_LOCK:
+            if self.schub_ready:
+                return
+            by_k: Dict[int, Tuple[int, int, bool]] = {}
+
+            def entry(k: int, e: int) -> tuple:
+                got = by_k.get(k)
+                if got is None:
+                    got = by_k[k] = _pow10_128(-k)
+                g, a, exact = got
+                return (k, g, 129 - a - e, exact)
+
+            table: List[tuple] = []
+            for e in range(self.min_e, self.max_e + 1):
+                k_reg = _floor_log10_pow2(1, e)
+                k_irr = _floor_log10_pow2(3, e - 2)
+                table.append(entry(k_reg, e) + entry(k_irr, e))
+            self.schub_e_min = self.min_e
+            self.schub_powers = table
+            self.schub_ready = True
+
+    def ensure_lemire(self) -> None:
+        """Build (once) the Eisel–Lemire 128-bit power-of-ten table.
+
+        One ``(g, a, exact) = _pow10_128(q)`` triple per decimal
+        exponent ``q`` the lane can meet after truncation and the
+        magnitude clamps (``[read_zero_exp10 - 21, read_inf_exp10 + 2]``
+        — the clamps bound ``q + digits(d)`` and the lane only serves
+        ``d`` of at most 19 digits, so the margin is generous), plus
+        ``lemire_max_digits``, the per-format certified digit count
+        (17/9/5 for binary64/32/16): inputs within it are proven by
+        Mushtak–Lemire never to need the exact-rescue comparison.
+
+        Lazy and lock-guarded, like :meth:`ensure_schub`.
+        """
+        if self.lemire_ready:
+            return
+        if not self.read_fast_ok:
+            raise RangeError(
+                f"lemire tier serves base-10 radix-2 formats with "
+                f"precision <= {READ_MAX_PRECISION}, not "
+                f"{self.fmt.name} base {self.base}")
+        with _TABLE_LOCK:
+            if self.lemire_ready:
+                return
+            q_min = self.read_zero_exp10 - 21
+            q_max = self.read_inf_exp10 + 2
+            self.lemire_q_min = q_min
+            self.lemire_powers = [_pow10_128(q)
+                                  for q in range(q_min, q_max + 1)]
+            self.lemire_max_digits = self.fmt.decimal_digits_to_distinguish()
+            self.lemire_ready = True
 
     def grisu_state(self) -> Tuple[int, List[Tuple[int, int, int]]]:
         """The expensive-to-build portion of the tables, as plain data.

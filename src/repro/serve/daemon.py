@@ -190,6 +190,11 @@ class ReproDaemon:
             plane included).  A rejected snapshot counts
             ``snapshot_faults`` in :meth:`pool_stats` and serving
             starts cold — response bytes are identical either way.
+        tiers: Optional ``(write_order, read_order)`` pair of engine
+            lane orders (see :func:`repro.engine.split_tier_names`);
+            every conversion engine the daemon builds — the shared
+            thread-kind engine and every pool worker — routes through
+            these lanes.  Response bytes are identical for every order.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -206,7 +211,7 @@ class ReproDaemon:
                  mode: ReaderMode = ReaderMode.NEAREST_EVEN,
                  tie: TieBreak = TieBreak.UP,
                  drain_timeout: float = 10.0, dedup: bool = True,
-                 workers: int = 4, snapshot=None):
+                 workers: int = 4, snapshot=None, tiers=None):
         if kind not in ("process", "thread"):
             raise RangeError(f"kind must be 'process' or 'thread', "
                              f"got {kind!r}")
@@ -247,6 +252,9 @@ class ReproDaemon:
         self._workers = concurrent.futures.ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve")
         self.snapshot = snapshot
+        if tiers is not None:
+            tiers = (tuple(tiers[0]), tuple(tiers[1]))
+        self.tiers = tiers
         self._engine = None
         if kind == "thread":
             from repro.engine.engine import Engine
@@ -254,7 +262,10 @@ class ReproDaemon:
             # Warm once at construction: every thread pool shares this
             # engine, so the snapshot is applied exactly once here
             # rather than per (format, delimiter) pool.
-            self._engine = Engine(snapshot=snapshot)
+            kwargs = ({} if tiers is None
+                      else {"tier_order": tiers[0],
+                            "read_tier_order": tiers[1]})
+            self._engine = Engine(snapshot=snapshot, **kwargs)
         self._stats: Dict[str, int] = dict.fromkeys(SERVE_STAT_KEYS, 0)
 
     # ------------------------------------------------------------------
@@ -486,7 +497,8 @@ class ReproDaemon:
                     budget=self.budget, retries=self.retries,
                     on_error=self.on_error,
                     snapshot=(self.snapshot if self.kind == "process"
-                              else None))
+                              else None),
+                    tiers=self.tiers)
             return pool
 
     def _convert(self, op: int, fmt_name: str, delimiter: bytes,
@@ -587,6 +599,10 @@ class ReproDaemon:
             pools = list(self._pools.values())
         for pool in pools:
             for k, v in pool.stats().items():
+                if isinstance(v, dict):
+                    # Derived ratios (``bail_rate``) don't sum; consumers
+                    # recompute them from the merged counters.
+                    continue
                 out[k] = out.get(k, 0) + v
         return out
 
@@ -658,7 +674,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="warm-start snapshot (built by "
                              "tools/warm_snapshot.py); a rejected file "
                              "degrades to a cold start")
+    parser.add_argument("--tiers", default=None, metavar="LANES",
+                        help="comma-separated engine lane order (write "
+                             "lanes tier0/grisu3/schubfach, read lanes "
+                             "tier0/window/lemire); response bytes are "
+                             "identical for every order")
     args = parser.parse_args(argv)
+
+    tiers = None
+    if args.tiers is not None:
+        from repro.engine import split_tier_names
+
+        try:
+            tiers = split_tier_names(args.tiers.split(","))
+        except ReproError as exc:
+            parser.error(str(exc))
 
     daemon = ReproDaemon(
         host=args.host, port=args.port, jobs=args.jobs, kind=args.kind,
@@ -666,7 +696,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         budget=args.budget,
         max_inflight_bytes=int(args.max_inflight_mb * (1 << 20)),
         max_inflight_requests=args.max_inflight_requests,
-        snapshot=args.snapshot)
+        snapshot=args.snapshot, tiers=tiers)
 
     async def _run() -> None:
         await daemon.start()

@@ -57,7 +57,7 @@ from repro.core.backends import shortest_digits_bignat
 from repro.core.dragon import shortest_digits
 from repro.core.rational import shortest_digits_rational
 from repro.core.rounding import ReaderMode, TieBreak
-from repro.engine import Engine, tables_for
+from repro.engine import Engine, ReadEngine, tables_for
 from repro.engine.tier0 import tier0_digits
 from repro.fastpath import counted_fixed, grisu_shortest
 from repro.floats.formats import BINARY64, FloatFormat
@@ -66,11 +66,17 @@ from repro.format.printf import format_printf
 from repro.format.repr_shortest import py_repr
 from repro.reader.algorithm_r import algorithm_r
 from repro.reader.bellerophon import bellerophon
-from repro.reader.exact import read_fraction
+from repro.reader.exact import read_decimal, read_fraction
+from repro.workloads.corpus import (
+    decimal_ties,
+    denormals,
+    power_boundaries,
+    torture_floats,
+)
 
 __all__ = ["VerificationReport", "verify_format", "verify_roundtrip",
            "verify_bulk", "verify_buffer", "verify_chaos", "verify_warm",
-           "sample_values", "roundtrip_values",
+           "verify_contenders", "sample_values", "roundtrip_values",
            "counted_digits_rational", "main"]
 
 #: Significant-digit probes for the counted/fixed checks (the engine's
@@ -563,6 +569,87 @@ def verify_roundtrip(fmt: FloatFormat = BINARY64, n: int = 50000,
             if not _same_datum(Flonum.from_float(float(lit)), first.value):
                 report.record("host-float", first.value,
                               f"host reads {lit!r} as {float(lit)!r}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# The contenders battery: the never-bail lanes, certified differentially
+# ----------------------------------------------------------------------
+
+def verify_contenders(fmt: FloatFormat = BINARY64, n: int = 50000,
+                      seed: int = 0) -> VerificationReport:
+    """Certify the contender lanes against the exact algorithms.
+
+    Writer leg: a schubfach-only engine (``tier_order=("schubfach",)``)
+    must be byte-identical to an exact-only engine over ``n`` sampled
+    values plus the denormal/boundary/decimal-tie/torture corpora, and
+    must never consult the exact tier — the lane has no bail path, so
+    ``tier2_calls`` must stay 0 and the lane must account for every
+    conversion.
+
+    Reader leg: a lemire-only read engine must read ``n`` in-range
+    literals of at most ``decimal_digits_to_distinguish()`` significant
+    digits (17/9/5 for binary64/32/16) bit-identically to
+    :func:`repro.reader.exact.read_decimal`, with zero exact-rational
+    consultations (``read_tier2_calls == 0``) and the lane firing on
+    every literal.
+    """
+    report = VerificationReport(format_name=f"{fmt.name} contenders")
+    exact = Engine(tier_order=(), cache_size=0)
+    schub = Engine(tier_order=("schubfach",), cache_size=0)
+    values = sample_values(fmt, n, seed)
+    values += (denormals(fmt) + power_boundaries(fmt)
+               + decimal_ties(fmt) + torture_floats(fmt))
+    for v in values:
+        report.checked += 1
+        report.check("schubfach/shortest")
+        want = exact.format(v, fmt=fmt)
+        got = schub.format(v, fmt=fmt)
+        if got != want:
+            report.record("schubfach/shortest", v,
+                          f"{got!r} != exact {want!r}")
+    stats = schub.stats()
+    report.check("schubfach/no-bail")
+    if stats["tier2_calls"]:
+        report.record("schubfach/no-bail", values[0],
+                      f"{stats['tier2_calls']} exact-tier consultations")
+    report.check("schubfach/coverage")
+    if stats["schubfach_hits"] != stats["conversions"]:
+        report.record("schubfach/coverage", values[0],
+                      f"lane resolved {stats['schubfach_hits']} of "
+                      f"{stats['conversions']} conversions")
+
+    lem = ReadEngine(tier_order=("lemire",), cache_size=0)
+    tables = tables_for(fmt, 10)
+    max_d = fmt.decimal_digits_to_distinguish()
+    rng = random.Random(seed ^ 0x1E51)
+    # Decimal magnitude ``mag = q + digits`` must stay inside
+    # ``(read_zero_exp10, read_inf_exp10]``: outside it the engine's
+    # clamp prologue resolves ahead of any lane, which would dilute the
+    # no-fallback claim.  Inside it the lane sees everything from deep
+    # denormals to near-overflow values.
+    mag_lo = tables.read_zero_exp10 + 1
+    mag_hi = tables.read_inf_exp10
+    for _ in range(n):
+        nd = rng.randrange(1, max_d + 1)
+        d = rng.randrange(10 ** (nd - 1), 10 ** nd)
+        lit = f"{d}e{rng.randrange(mag_lo, mag_hi + 1) - nd}"
+        report.checked += 1
+        report.check("lemire/read")
+        want_v = read_decimal(lit, fmt, ReaderMode.NEAREST_EVEN)
+        got_v = lem.read(lit, fmt)
+        if got_v != want_v:
+            report.record("lemire/read", want_v, f"{lit!r} -> {got_v!r}")
+    rstats = lem.stats()
+    report.check("lemire/no-fallback")
+    if rstats["read_tier2_calls"]:
+        report.record("lemire/no-fallback", values[0],
+                      f"{rstats['read_tier2_calls']} exact-tier reads")
+    report.check("lemire/coverage")
+    if rstats["read_lemire_hits"] != n:
+        report.record("lemire/coverage", values[0],
+                      f"lane resolved {rstats['read_lemire_hits']} of "
+                      f"{n} literals")
     return report
 
 
@@ -1266,17 +1353,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "engines and pools must be byte-identical to "
                              "cold ones, and corrupt snapshots must fall "
                              "back cold (counted, never served)")
+    parser.add_argument("--contenders", action="store_true",
+                        help="run the contender-lane battery: the "
+                             "schubfach-only writer must be byte-identical "
+                             "to the exact tier with zero bails, and the "
+                             "lemire-only reader must resolve every "
+                             "certified-range literal with zero exact-"
+                             "rational consultations")
     args = parser.parse_args(argv)
     if sum((args.roundtrip, args.bulk, args.buffer, args.chaos,
-            args.serve, args.warm)) > 1:
-        parser.error("--roundtrip, --bulk, --buffer, --chaos, --serve "
-                     "and --warm are separate batteries")
+            args.serve, args.warm, args.contenders)) > 1:
+        parser.error("--roundtrip, --bulk, --buffer, --chaos, --serve, "
+                     "--warm and --contenders are separate batteries")
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
     deep = (args.roundtrip or args.bulk or args.buffer or args.chaos
-            or args.serve or args.warm)
+            or args.serve or args.warm or args.contenders)
     n = args.n if args.n is not None else (50000 if deep else 200)
-    if args.warm:
+    if args.contenders:
+        battery, kind = verify_contenders, "contenders"
+    elif args.warm:
         battery, kind = verify_warm, "warm"
     elif args.serve:
         battery, kind = verify_serve, "serve"

@@ -1,0 +1,263 @@
+"""Contender lanes: the Schubfach writer and the Lemire reader.
+
+The tentpole guarantees are differential and absolute: the Schubfach
+lane must be byte-identical to the exact Burger–Dybvig writer on every
+finite input *without a bail path*, and the Lemire lane must resolve
+every in-certification-range literal without ever consulting the exact
+rational reader.  The tier router that hosts them gets its own edge
+cases here (empty orders, unknown names, single-lane orders), plus the
+``bail_rate`` stats summary the router reports.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from helpers import positive_flonums
+from repro.core.dragon import shortest_digits
+from repro.core.rounding import ReaderMode, TieBreak
+from repro.engine import (
+    READ_TIER_NAMES,
+    WRITE_TIER_NAMES,
+    Engine,
+    ReadEngine,
+    split_tier_names,
+)
+from repro.engine.schubfach import schubfach_digits
+from repro.engine.tables import tables_for
+from repro.errors import RangeError, ReproError
+from repro.floats.formats import BINARY16, BINARY32, BINARY64
+from repro.reader.exact import read_decimal
+from repro.workloads.corpus import (
+    decimal_ties,
+    denormals,
+    power_boundaries,
+    torture_floats,
+    uniform_random,
+)
+
+NE = ReaderMode.NEAREST_EVEN
+
+
+def exact_text(v, mode=NE, tie=TieBreak.UP):
+    d = shortest_digits(v, mode=mode, tie=tie)
+    return d.k, "".join(str(x) for x in d.digits)
+
+
+def corpus64():
+    return (torture_floats() + decimal_ties() + power_boundaries()
+            + denormals() + uniform_random(300, seed=42))
+
+
+class TestSchubfachDigits:
+    """The lane's core promise: exact agreement, no bail, any input."""
+
+    def test_curated_corpus_binary64(self):
+        t = tables_for(BINARY64, 10)
+        t.ensure_schub()
+        for v in corpus64():
+            even = not (v.f & 1)
+            k, text = schubfach_digits(v.f, v.e, t, even, TieBreak.UP)
+            assert (k, text) == exact_text(v), f"f={v.f} e={v.e}"
+
+    @pytest.mark.parametrize("fmt", [BINARY16, BINARY32])
+    def test_narrow_formats(self, fmt):
+        t = tables_for(fmt, 10)
+        t.ensure_schub()
+        vals = (uniform_random(300, fmt=fmt, seed=3)
+                + denormals(fmt=fmt) + power_boundaries(fmt=fmt))
+        for v in vals:
+            even = not (v.f & 1)
+            k, text = schubfach_digits(v.f, v.e, t, even, TieBreak.UP)
+            assert (k, text) == exact_text(v), f"f={v.f} e={v.e}"
+
+    @pytest.mark.parametrize("tie",
+                             [TieBreak.UP, TieBreak.DOWN, TieBreak.EVEN])
+    def test_tie_strategies_on_decimal_ties(self, tie):
+        t = tables_for(BINARY64, 10)
+        t.ensure_schub()
+        for v in decimal_ties() + torture_floats():
+            even = not (v.f & 1)
+            k, text = schubfach_digits(v.f, v.e, t, even, tie)
+            assert (k, text) == exact_text(v, tie=tie)
+
+    def test_extreme_denormals_and_limits(self):
+        t = tables_for(BINARY64, 10)
+        t.ensure_schub()
+        from repro.floats.model import Flonum
+
+        edges = [
+            Flonum.finite(0, 1, BINARY64.min_e, BINARY64),
+            Flonum.finite(0, 10, BINARY64.min_e, BINARY64),
+            Flonum.finite(0, BINARY64.hidden_limit, BINARY64.min_e,
+                          BINARY64),
+            Flonum.finite(0, BINARY64.mantissa_limit - 1, BINARY64.max_e,
+                          BINARY64),
+            Flonum.finite(0, BINARY64.hidden_limit, BINARY64.max_e,
+                          BINARY64),
+        ]
+        for v in edges:
+            even = not (v.f & 1)
+            assert schubfach_digits(v.f, v.e, t, even,
+                                    TieBreak.UP) == exact_text(v)
+
+    @given(positive_flonums())
+    @settings(max_examples=300)
+    def test_random_agreement(self, v):
+        t = tables_for(BINARY64, 10)
+        t.ensure_schub()
+        even = not (v.f & 1)
+        assert schubfach_digits(v.f, v.e, t, even,
+                                TieBreak.UP) == exact_text(v)
+
+
+class TestSplitTierNames:
+    def test_directions(self):
+        assert split_tier_names(["tier0", "grisu3", "window"]) == \
+            (("tier0", "grisu3"), ("tier0", "window"))
+        assert split_tier_names(["schubfach", "lemire"]) == \
+            (("schubfach",), ("lemire",))
+
+    def test_empty_and_blank_entries(self):
+        assert split_tier_names([]) == ((), ())
+        assert split_tier_names(["", "schubfach", ""]) == \
+            (("schubfach",), ())
+
+    def test_unknown_name_is_typed(self):
+        with pytest.raises(RangeError):
+            split_tier_names(["tier0", "ryu"])
+        with pytest.raises(ReproError):  # RangeError is a ReproError
+            split_tier_names(["ryu"])
+
+    def test_known_names_are_pinned(self):
+        assert WRITE_TIER_NAMES == ("tier0", "grisu3", "schubfach")
+        assert READ_TIER_NAMES == ("tier0", "window", "lemire")
+
+
+class TestTierRouterEdges:
+    def test_unknown_write_lane_raises(self):
+        with pytest.raises(RangeError):
+            Engine(tier_order=("tier0", "ryu"))
+
+    def test_unknown_read_lane_raises(self):
+        with pytest.raises(RangeError):
+            Engine(read_tier_order=("strtod",))
+        with pytest.raises(RangeError):
+            ReadEngine(tier_order=("strtod",))
+
+    def test_duplicate_lane_raises(self):
+        with pytest.raises(RangeError):
+            Engine(tier_order=("schubfach", "schubfach"))
+        with pytest.raises(RangeError):
+            ReadEngine(tier_order=("lemire", "lemire"))
+
+    def test_empty_order_is_exact_only(self):
+        eng = Engine(tier_order=(), cache_size=0)
+        base = Engine(cache_size=0)
+        vals = [v.to_float() for v in uniform_random(100, seed=9)]
+        assert eng.format_many(vals) == base.format_many(vals)
+        s = eng.stats()
+        assert s["tier2_calls"] == s["conversions"] == len(vals)
+        assert s["tier0_hits"] == s["tier1_hits"] == 0
+        assert s["schubfach_hits"] == 0
+
+    def test_empty_read_order_is_exact_only(self):
+        eng = ReadEngine(tier_order=(), cache_size=0)
+        texts = ["0.1", "1.5", "6.02214076e23", "1e-310"]
+        for txt in texts:
+            assert eng.read(txt) == read_decimal(txt, BINARY64, NE)
+        s = eng.stats()
+        assert s["read_tier2_calls"] == len(texts)
+        assert s["read_lemire_hits"] == 0
+
+    @pytest.mark.parametrize("order", [("tier0",), ("grisu3",),
+                                       ("schubfach",),
+                                       ("schubfach", "grisu3")])
+    def test_single_and_reordered_lanes_byte_identical(self, order):
+        eng = Engine(tier_order=order, cache_size=0)
+        base = Engine(tier_order=(), cache_size=0)
+        vals = [v.to_float() for v in corpus64()]
+        assert eng.format_many(vals) == base.format_many(vals)
+
+    @given(positive_flonums())
+    @settings(max_examples=200)
+    def test_schubfach_only_random_byte_identical(self, v):
+        eng = Engine(tier_order=("schubfach",), cache_size=0)
+        base = Engine(tier_order=(), cache_size=0)
+        assert eng.format(v) == base.format(v)
+
+    def test_schubfach_only_never_bails(self):
+        eng = Engine(tier_order=("schubfach",), cache_size=0)
+        vals = [v.to_float() for v in corpus64()]
+        eng.format_many(vals)
+        s = eng.stats()
+        assert s["tier2_calls"] == 0
+        assert s["schubfach_hits"] == s["conversions"]
+
+    def test_lemire_only_reader_identity(self):
+        eng = ReadEngine(tier_order=("lemire",), cache_size=0)
+        texts = ["0.1", "1.5", "6.02214076e23", "2.2250738585072014e-308",
+                 "1.7976931348623157e308", "9007199254740993",
+                 "123456789.123456789", "5e-324"]
+        texts += [repr(v.to_float())
+                  for v in uniform_random(200, seed=17)]
+        for txt in texts:
+            assert eng.read(txt) == read_decimal(txt, BINARY64, NE), txt
+        s = eng.stats()
+        assert s["read_tier2_calls"] == 0
+        assert s["read_lemire_hits"] > 0
+
+    def test_lemire_lane_handles_past_certified_digits(self):
+        # 18 and 19 significant digits exceed binary64's certified
+        # bound (17) but are still untruncated, so the lane resolves
+        # them (the exact-midpoint comparison covers what the proof
+        # window alone does not) — and still correctly.
+        eng = ReadEngine(tier_order=("lemire",), cache_size=0)
+        for txt in ("1.234567890123456789", "874.5678901234567895e-3"):
+            assert eng.read(txt) == read_decimal(txt, BINARY64, NE)
+        s = eng.stats()
+        assert s["read_lemire_hits"] == 2
+        assert s["read_tier2_calls"] == 0
+
+    def test_lemire_lane_defers_truncated_literals(self):
+        # 21 significant digits truncate to a sticky 19-digit prefix;
+        # the lane must not fire on sticky input, and with no other
+        # lane in the order the conversion falls through to tier 2.
+        eng = ReadEngine(tier_order=("lemire",), cache_size=0)
+        txt = "1.23456789012345678901"
+        assert eng.read(txt) == read_decimal(txt, BINARY64, NE)
+        s = eng.stats()
+        assert s["read_tier2_calls"] == 1
+        assert s["read_lemire_hits"] == 0
+
+
+class TestBailRate:
+    """Satellite: the derived ``bail_rate`` summary in ``stats()``."""
+
+    def test_formula_pinned(self):
+        eng = Engine(cache_size=0)
+        vals = [v.to_float() for v in corpus64()]
+        eng.format_many(vals)
+        eng.read_many([repr(x) for x in vals])
+        s = eng.stats()
+        wd = (s["tier0_hits"] + s["tier1_hits"] + s["schubfach_hits"]
+              + s["tier2_calls"])
+        rd = (s["read_tier0_hits"] + s["read_tier1_hits"]
+              + s["read_lemire_hits"] + s["read_tier2_calls"])
+        assert s["bail_rate"]["write"] == pytest.approx(
+            s["tier2_calls"] / wd)
+        assert s["bail_rate"]["read"] == pytest.approx(
+            s["read_tier2_calls"] / rd)
+
+    def test_zero_denominator_is_zero(self):
+        s = Engine(cache_size=0).stats()
+        assert s["bail_rate"] == {"write": 0.0, "read": 0.0}
+
+    def test_exact_only_rate_is_one(self):
+        eng = Engine(tier_order=(), cache_size=0)
+        eng.format_many([0.1, 1.5, 2.5])
+        assert eng.stats()["bail_rate"]["write"] == 1.0
+
+    def test_schubfach_only_rate_is_zero(self):
+        eng = Engine(tier_order=("schubfach",), cache_size=0)
+        eng.format_many([0.1, 1.5, 2.5])
+        assert eng.stats()["bail_rate"]["write"] == 0.0

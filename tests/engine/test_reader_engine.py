@@ -285,9 +285,9 @@ class TestStatsSchema:
     def test_read_stat_keys_pinned(self):
         assert READ_STAT_KEYS == frozenset({
             "read_tier0_hits", "read_tier1_hits", "read_tier1_bailouts",
-            "read_tier2_calls", "read_specials", "read_cache_hits",
-            "read_cache_misses", "read_conversions", "read_tier_faults",
-            "read_snapshot_faults",
+            "read_tier2_calls", "read_lemire_hits", "read_specials",
+            "read_cache_hits", "read_cache_misses", "read_conversions",
+            "read_tier_faults", "read_snapshot_faults",
         })
 
     def test_read_engine_stats_keys_exact(self):
@@ -305,8 +305,8 @@ class TestStatsSchema:
         assert s["read_conversions"] == 6
         assert s["read_conversions"] == (
             s["read_tier0_hits"] + s["read_tier1_hits"]
-            + s["read_tier2_calls"] + s["read_specials"]
-            + s["read_cache_hits"])
+            + s["read_lemire_hits"] + s["read_tier2_calls"]
+            + s["read_specials"] + s["read_cache_hits"])
 
     def test_engine_stats_include_read_keys_before_reader_built(self):
         eng = Engine()

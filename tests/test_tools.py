@@ -37,10 +37,21 @@ class TestBenchSchema:
         assert result["binary32"]["fast_resolved"] >= 0.98
         assert result["warm"]["mismatches"] == 0
         assert result["warm"]["stats"].get("snapshot_faults", 0) == 0
+        cont = result["contenders"]
+        assert cont["mismatches"] == 0
+        for mix in ("flat", "zipf", "specials"):
+            assert cont["bail_rate"][mix]["schubfach_only"] == 0.0
+            assert cont["bail_rate"][mix]["schubfach_first"] == 0.0
+        assert cont["read_tier2_calls"]["lemire_only"] == 0
+        assert cont["read_tier2_calls"]["lemire_first"] == 0
+        for mix in ("flat", "zipf", "specials", "read_certified"):
+            assert cont["winners"][mix] in (
+                list(cont["orderings"]) + list(cont["read_orderings"]))
         # Every section records the corpus composition.
         for section in (result, result["fixed"], result["reader"],
                         result["bulk"], result["buffer"],
-                        result["binary32"], result["warm"]):
+                        result["binary32"], result["warm"],
+                        result["contenders"]):
             assert "mix" in section["corpus"]
 
     def test_committed_json_conforms(self):
@@ -65,6 +76,7 @@ class TestBenchSchema:
         assert "missing key: buffer" in problems
         assert "missing key: binary32" in problems
         assert "missing key: warm" in problems
+        assert "missing key: contenders" in problems
 
     def test_reader_gates(self):
         tool = _load_bench_tool()
@@ -120,6 +132,34 @@ class TestBenchSchema:
         slow = dict(good, speedup={"format": 1.1})
         assert tool._check_binary32_gates(slow, quick=True) == 0
         assert tool._check_binary32_gates(slow, quick=False) == 1
+
+    def test_contenders_gates(self):
+        tool = _load_bench_tool()
+        good = {
+            "mismatches": 0,
+            "bail_rate": {
+                mix: {"grisu3_first": 0.01, "schubfach_first": 0.0,
+                      "schubfach_only": 0.0}
+                for mix in ("flat", "zipf", "specials")},
+            "read_tier2_calls": {"window_first": 3, "lemire_first": 0,
+                                 "lemire_only": 0},
+        }
+        assert tool._check_contenders_gates(good, quick=False) == 0
+        # All contender gates are correctness gates: they bind on
+        # --quick runs too.
+        assert tool._check_contenders_gates(
+            dict(good, mismatches=1), quick=True) == 1
+        bailed = dict(good, bail_rate=dict(
+            good["bail_rate"],
+            zipf={"grisu3_first": 0.01, "schubfach_first": 0.0,
+                  "schubfach_only": 0.002}))
+        assert tool._check_contenders_gates(bailed, quick=True) == 1
+        fell_back = dict(good, read_tier2_calls={
+            "window_first": 3, "lemire_first": 0, "lemire_only": 2})
+        assert tool._check_contenders_gates(fell_back, quick=True) == 1
+        # grisu3's bail rate and window's tier-2 entries are informative,
+        # never gated — those lanes are allowed their exact fallback.
+        assert tool._check_contenders_gates(good, quick=True) == 0
 
     def test_warm_gates(self):
         tool = _load_bench_tool()

@@ -116,6 +116,21 @@ BENCH_SCHEMA = {
         "mismatch_samples": list,
         "stats": dict,
     },
+    "contenders": {
+        "corpus": ("kind", "n", "seed", "audit_n", "mix"),
+        "orderings": ("grisu3_first", "schubfach_first",
+                      "schubfach_only"),
+        "read_orderings": ("window_first", "lemire_first",
+                           "lemire_only"),
+        "us_per_value": ("flat", "zipf", "specials", "read_certified"),
+        "bail_rate": ("flat", "zipf", "specials"),
+        "read_tier2_calls": ("window_first", "lemire_first",
+                             "lemire_only"),
+        "winners": ("flat", "zipf", "specials", "read_certified"),
+        "mismatches": int,
+        "mismatch_samples": list,
+        "stats": dict,
+    },
 }
 
 
@@ -253,6 +268,38 @@ def _check_warm_gates(warm: dict, quick: bool) -> int:
     return status
 
 
+def _check_contenders_gates(c: dict, quick: bool) -> int:
+    """Acceptance gates for the contender-lanes section.
+
+    All gates here are correctness claims, not timing claims, so they
+    apply on ``--quick`` too: every ordering must be byte-identical to
+    the exact order, the schubfach orderings must never bail to the
+    exact writer (the lane has no bail path), and the lemire orderings
+    must never consult the exact rational reader on the certified-digit
+    corpus.  Which ordering *wins* is recorded per corpus, never gated —
+    tier ordering is a measured decision.
+    """
+    status = 0
+    if c["mismatches"]:
+        print("FAIL: a contender ordering mismatches the exact order",
+              file=sys.stderr)
+        status = 1
+    for mix, rates in c["bail_rate"].items():
+        for name in ("schubfach_first", "schubfach_only"):
+            if rates[name] != 0.0:
+                print(f"FAIL: {name} bailed on the {mix} corpus "
+                      f"(bail rate {rates[name]:.4f}, expected 0)",
+                      file=sys.stderr)
+                status = 1
+    for name in ("lemire_first", "lemire_only"):
+        if c["read_tier2_calls"][name]:
+            print(f"FAIL: {name} consulted the exact reader "
+                  f"{c['read_tier2_calls'][name]} times on the "
+                  "certified-digit corpus (expected 0)", file=sys.stderr)
+            status = 1
+    return status
+
+
 def _check_binary32_gates(b32: dict, quick: bool) -> int:
     """Acceptance gates for the binary32 (narrow-format) section."""
     status = 0
@@ -298,6 +345,13 @@ def main(argv=None) -> int:
                              "— cold vs warm startup and first-10k "
                              "latency — and print it to stdout; the "
                              "default output file is not touched")
+    parser.add_argument("--contenders", action="store_true",
+                        help="run only the contender-lanes bench — "
+                             "grisu3-first vs schubfach-first vs "
+                             "schubfach-only orderings (and the reader "
+                             "lanes) raced per corpus — and print it to "
+                             "stdout; the default output file is not "
+                             "touched")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default BENCH_engine.json next "
                              "to the repo root; '-' for stdout only)")
@@ -305,6 +359,15 @@ def main(argv=None) -> int:
 
     n = 2000 if args.quick else args.n
     repeats = 1 if args.quick else args.repeats
+
+    if args.contenders:
+        from repro.engine.bench import _run_contenders_bench
+
+        c = _run_contenders_bench(n=n, seed=args.seed, repeats=repeats)
+        print(json.dumps(c, indent=2, sort_keys=True))
+        print(f"contenders: winners {c['winners']}, "
+              f"mismatches: {c['mismatches']}", file=sys.stderr)
+        return _check_contenders_gates(c, quick=args.quick)
 
     if args.bulk:
         from repro.engine.bench import _run_bulk_bench
@@ -409,6 +472,9 @@ def main(argv=None) -> int:
         print(f"warm-start: startup {warm['speedup']['startup']:.2f}x, "
               f"first-10k {warm['speedup']['first_10k']:.2f}x, "
               f"mismatches: {warm['mismatches']}")
+        cont = result["contenders"]
+        print(f"contenders: winners {cont['winners']}, "
+              f"mismatches: {cont['mismatches']}")
 
     if result["mismatches"]:
         print("FAIL: engine output mismatches the exact algorithm",
@@ -430,7 +496,9 @@ def main(argv=None) -> int:
             or _check_bulk_gates(result["bulk"], quick=args.quick)
             or _check_buffer_gates(result["buffer"], quick=args.quick)
             or _check_binary32_gates(result["binary32"], quick=args.quick)
-            or _check_warm_gates(result["warm"], quick=args.quick))
+            or _check_warm_gates(result["warm"], quick=args.quick)
+            or _check_contenders_gates(result["contenders"],
+                                       quick=args.quick))
 
 
 if __name__ == "__main__":
