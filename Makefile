@@ -3,7 +3,7 @@
 PY ?= python3
 BENCH_N ?= 400
 
-.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer bench-serve bench-warm bench-contenders snapshot serve-smoke smoke ci examples verify all clean reports
+.PHONY: install test test-fast test-slow fuzz chaos bench bench-engine bench-reader bench-bulk bench-buffer bench-serve bench-warm bench-contenders snapshot serve-smoke control-smoke smoke ci examples verify all clean reports
 
 install:
 	$(PY) setup.py develop
@@ -30,6 +30,7 @@ fuzz:
 	$(PY) -m repro.verify --buffer --n 300 --seed fresh
 	$(PY) -m repro.verify --chaos --n 2000 --seed fresh --formats binary64
 	$(PY) -m repro.verify --serve --n 2000 --seed fresh --formats binary64
+	$(PY) -m repro.verify --control --n 2000 --seed fresh --formats binary64
 	$(PY) -m repro.verify --warm --n 2000 --seed fresh --formats binary64
 	$(PY) -m repro.verify --contenders --n 50000 --seed fresh
 
@@ -106,6 +107,15 @@ serve-smoke:
 	$(PY) -m pytest tests/serve/test_protocol.py tests/serve/test_daemon.py tests/serve/test_daemon_faults.py -q
 	$(PY) tools/bench_serve.py --quick -o /dev/null
 	$(PY) -m repro.verify --serve --n 2000 --seed 0 --formats binary64
+
+# PR-lane control-plane smoke: breaker/admission/hedge/observer unit and
+# wire tests, the quick bench gates (which include the controlled leg's
+# identity and accounting gates), then the fixed-seed control battery.
+# See docs/robustness.md#the-control-plane.
+control-smoke:
+	$(PY) -m pytest tests/serve/test_control.py -q
+	$(PY) tools/bench_serve.py --quick -o /dev/null
+	$(PY) -m repro.verify --control --n 2000 --seed 0 --formats binary64
 
 # Quick correctness smoke of the engine (what CI runs).
 smoke:

@@ -22,16 +22,24 @@ from repro.engine.bulk import (
     read_column,
 )
 from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.control import (
+    AdmissionController,
+    CircuitBreaker,
+    TrafficObserver,
+)
 from repro.serve.daemon import ReproDaemon, main, serving
 from repro.serve.pool import BulkPool
 from repro.serve.writer import DelimitedWriter
 
 __all__ = [
+    "AdmissionController",
     "AsyncServeClient",
     "BulkPool",
+    "CircuitBreaker",
     "DelimitedWriter",
     "ReproDaemon",
     "ServeClient",
+    "TrafficObserver",
     "main",
     "serving",
     "bits_from_buffer",

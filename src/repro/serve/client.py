@@ -21,15 +21,25 @@ import asyncio
 import socket
 from typing import List, Optional, Tuple, Union
 
+import json
+
 from repro.errors import ProtocolError
 from repro.serve import protocol
-from repro.serve.protocol import OP_FORMAT, OP_PING, OP_READ
+from repro.serve.protocol import OP_FORMAT, OP_HEALTH, OP_PING, OP_READ
 
 __all__ = ["ServeClient", "AsyncServeClient"]
 
 
 class ServeClient:
     """A blocking client: strict request/response over one socket.
+
+    A daemon restart between requests no longer surfaces as a bare
+    ``ConnectionResetError``: idempotent operations (``format`` /
+    ``read`` / ``ping`` / ``health`` — one request, one response, no
+    state on the wire) transparently reconnect and retry **once**,
+    counted in :attr:`reconnects`; a second failure, or any failure on
+    the non-idempotent raw paths (``send_raw`` / ``pipeline``),
+    surfaces as a typed :class:`~repro.errors.ProtocolError`.
 
     >>> with ServeClient("127.0.0.1", port) as client:
     ...     plane = client.format(packed, fmt="binary64")
@@ -39,11 +49,26 @@ class ServeClient:
     def __init__(self, host: str, port: int, *,
                  timeout: Optional[float] = 30.0,
                  max_frame: int = protocol.MAX_FRAME):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
         self.max_frame = max_frame
+        #: Transparent reconnect-and-retry count (idempotent ops only).
+        self.reconnects = 0
         self._buf = b""
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._buf = b""  # a torn response must not poison the retry
+        self._sock = self._connect()
+        self.reconnects += 1
 
     # -- context management -------------------------------------------
 
@@ -93,9 +118,34 @@ class ServeClient:
 
     def _request(self, op: int, payload: bytes, fmt: str,
                  delimiter: Union[bytes, str]) -> bytes:
-        self.send_raw(protocol.encode_request(op, payload, fmt,
-                                              delimiter))
-        return self._response()
+        """One idempotent request with a single bounded
+        reconnect-and-retry on connection loss.
+
+        Only whole-connection failures (reset, broken pipe, EOF before
+        any response byte) trigger the retry — a daemon restart between
+        requests, exactly.  A failure mid-response, or on the retry
+        itself, surfaces as :class:`ProtocolError`.
+        """
+        frame = protocol.encode_request(op, payload, fmt, delimiter)
+        try:
+            self.send_raw(frame)
+            return self._response()
+        except (ConnectionError, BrokenPipeError) as exc:
+            cause = exc
+        except ProtocolError as exc:
+            # Clean EOF before the response, with nothing buffered:
+            # the daemon went away between requests.
+            if self._buf or "closed before the response" not in str(exc):
+                raise
+            cause = exc
+        try:
+            self._reconnect()
+            self.send_raw(frame)
+            return self._response()
+        except (ConnectionError, BrokenPipeError, OSError) as exc:
+            raise ProtocolError(
+                f"reconnect failed after connection loss: {exc!r}"
+            ) from cause
 
     # -- operations ---------------------------------------------------
 
@@ -110,8 +160,18 @@ class ServeClient:
         return self._request(OP_READ, plane, fmt, delimiter)
 
     def ping(self) -> bool:
-        self.send_raw(protocol.encode_request(OP_PING))
-        return self._response() == b""
+        return self._request(OP_PING, b"", "binary64", b"\n") == b""
+
+    def health(self) -> dict:
+        """The daemon's control-plane summary: breaker states, the
+        admission controller window and the traffic observer's corpus
+        shape (the ``HEALTH`` opcode, JSON-decoded)."""
+        payload = self._request(OP_HEALTH, b"", "binary64", b"\n")
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed health payload: {exc}") \
+                from None
 
     def pipeline(self, frames: List[bytes]) -> List[Tuple[int, bytes]]:
         """Send pre-encoded request frames back to back, then collect

@@ -48,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextlib
+import json
 import threading
 from typing import Dict, List, Optional, Tuple
 
@@ -63,17 +64,32 @@ from repro.errors import (
 )
 from repro.floats.formats import STANDARD_FORMATS
 from repro.serve import protocol
+from repro.serve.control import (
+    CANARY,
+    SHED,
+    AdmissionController,
+    CircuitBreaker,
+    TrafficObserver,
+)
 from repro.serve.pool import BulkPool
-from repro.serve.protocol import OP_FORMAT, OP_PING, OP_READ
+from repro.serve.protocol import OP_FORMAT, OP_HEALTH, OP_PING, OP_READ
 
 __all__ = ["ReproDaemon", "serving", "main", "SERVE_STAT_KEYS"]
 
-#: Counters :meth:`ReproDaemon.stats` always includes.
+#: Counters :meth:`ReproDaemon.stats` always includes.  The control
+#: plane's ``breaker_*`` / ``admission_increases`` / ``admission_
+#: decreases`` / ``observed_requests`` entries are folded live from the
+#: breaker, controller and observer state in :meth:`ReproDaemon.stats`;
+#: the rest are incremented where the event happens.
 SERVE_STAT_KEYS = (
     "connections", "requests", "responses", "format_requests",
     "read_requests", "pings", "batches", "batched_requests", "max_batch",
     "batch_fallbacks", "overloads", "protocol_errors", "error_responses",
     "bytes_in", "bytes_out", "drains",
+    "health_requests", "breaker_trips", "breaker_sheds", "breaker_closes",
+    "breaker_reopens", "breaker_canaries", "admission_sheds",
+    "admission_increases", "admission_decreases", "observed_requests",
+    "snapshot_rotations",
 )
 
 
@@ -109,7 +125,13 @@ class _Batcher:
         self.pending_bytes += len(payload)
         if self._task is None or self._task.done():
             self._task = asyncio.ensure_future(self._flush())
-        elif self.pending_bytes >= self.daemon.batch_max_bytes:
+        if self.daemon._draining \
+                or self.pending_bytes >= self.daemon.batch_max_bytes:
+            # Draining: a request admitted before the drain flag was
+            # set must not wait out the batch window (its flush task
+            # may have been created after close()'s one-shot wake) —
+            # flush now so drain accounting is deterministic: admitted
+            # requests are always *served*, never dropped.
             self._wake.set()
 
     def wake(self) -> None:
@@ -195,6 +217,35 @@ class ReproDaemon:
             every conversion engine the daemon builds — the shared
             thread-kind engine and every pool worker — routes through
             these lanes.  Response bytes are identical for every order.
+        breaker_threshold: Consecutive infrastructure failures
+            (``ShardError``/``PoolBrokenError``/deadline) that trip a
+            per-pool circuit breaker (0: breakers disabled).  While
+            open, requests for that pool shed immediately with
+            :class:`ServeOverloadError`; after ``breaker_reset``
+            seconds one canary probes, closing on success and
+            re-opening with exponential backoff on failure.
+        slo_target_ms: p99 latency target driving AIMD admission
+            (None: static caps only).  The adaptive window can only
+            shrink below ``max_inflight_bytes``, never grow past it.
+        adaptive_tiers: Let the traffic observer pick the
+            bench-arbitrated engine tier ordering for the observed
+            corpus when building new pools (byte-identical by the
+            contender gates; ignored when explicit ``tiers`` are
+            given).
+        rotate_snapshot / rotate_every: Rebuild the warm-start
+            snapshot at ``rotate_snapshot`` from live hot keys after
+            every ``rotate_every`` observed rows (0: disabled).  The
+            save is atomic (temp + rename) and rotation only pre-seeds
+            caches — output bytes never change.
+        observe_stride: Sample every Nth request's corpus shape
+            (0: observer off; forced to 1 when adaptation or rotation
+            needs samples).
+        hedge / hedge_min / hedge_under_faults: Hedged shard dispatch
+            in every pool (see :class:`BulkPool`); ``hedge_under_faults``
+            lets hedges race scripted fault plans (dedicated chaos
+            legs only — determinism tests leave it off).
+        clock: Injectable monotonic clock shared by the breakers
+            (tests drive state machines without sleeping).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -211,7 +262,14 @@ class ReproDaemon:
                  mode: ReaderMode = ReaderMode.NEAREST_EVEN,
                  tie: TieBreak = TieBreak.UP,
                  drain_timeout: float = 10.0, dedup: bool = True,
-                 workers: int = 4, snapshot=None, tiers=None):
+                 workers: int = 4, snapshot=None, tiers=None,
+                 breaker_threshold: int = 0, breaker_reset: float = 1.0,
+                 slo_target_ms: Optional[float] = None,
+                 adaptive_tiers: bool = False,
+                 rotate_snapshot=None, rotate_every: int = 0,
+                 observe_stride: int = 16,
+                 hedge: bool = False, hedge_min: float = 0.05,
+                 hedge_under_faults: bool = False, clock=None):
         if kind not in ("process", "thread"):
             raise RangeError(f"kind must be 'process' or 'thread', "
                              f"got {kind!r}")
@@ -220,6 +278,12 @@ class ReproDaemon:
                 raise RangeError(f"{name} must be >= 1, got {v}")
         if batch_window < 0 or drain_timeout < 0:
             raise RangeError("batch_window/drain_timeout must be >= 0")
+        if breaker_threshold < 0 or rotate_every < 0 or observe_stride < 0:
+            raise RangeError("breaker_threshold/rotate_every/"
+                             "observe_stride must be >= 0")
+        if slo_target_ms is not None and slo_target_ms <= 0:
+            raise RangeError(
+                f"slo_target_ms must be positive, got {slo_target_ms}")
         self.host = host
         self.port = port
         self.jobs = jobs
@@ -255,6 +319,26 @@ class ReproDaemon:
         if tiers is not None:
             tiers = (tuple(tiers[0]), tuple(tiers[1]))
         self.tiers = tiers
+        # --- control plane ------------------------------------------
+        self.breaker_threshold = int(breaker_threshold)  # 0: disabled
+        self.breaker_reset = float(breaker_reset)
+        self._clock = clock  # injectable; breakers default to monotonic
+        self._breakers: Dict[Tuple[str, bytes], CircuitBreaker] = {}
+        self.slo_target_ms = slo_target_ms
+        self._controller = None if slo_target_ms is None else \
+            AdmissionController(target_p99_ms=slo_target_ms,
+                                ceiling_bytes=max_inflight_bytes)
+        self.adaptive_tiers = bool(adaptive_tiers)
+        self.rotate_snapshot = rotate_snapshot
+        self.rotate_every = int(rotate_every)
+        self.observe_stride = int(observe_stride)
+        if (adaptive_tiers or rotate_every) and not self.observe_stride:
+            self.observe_stride = 1  # adaptation needs samples
+        self._observer = TrafficObserver()
+        self._rotating = False
+        self.hedge = bool(hedge)
+        self.hedge_min = float(hedge_min)
+        self.hedge_under_faults = bool(hedge_under_faults)
         self._engine = None
         if kind == "thread":
             from repro.engine.engine import Engine
@@ -310,9 +394,15 @@ class ReproDaemon:
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.drain_timeout
         # Wait for every accepted response to be *written*, not merely
-        # converted — a drained daemon owes the wire nothing.
+        # converted — a drained daemon owes the wire nothing.  Batchers
+        # are re-woken each turn: a flush task created between the
+        # one-shot wake above and the drain flag landing would
+        # otherwise sleep out its whole window (or forever at
+        # batch_window=0 with nothing to coalesce against).
         while (self._inflight_requests > 0 or self._unwritten > 0) \
                 and loop.time() < deadline:
+            for batcher in list(self._batchers.values()):
+                batcher.wake()
             await asyncio.sleep(0.005)
         self._closed = True
         for writer in list(self._conns):
@@ -430,10 +520,34 @@ class ReproDaemon:
             fut = loop.create_future()
             fut.set_result(b"")
             return fut
+        if req.op == OP_HEALTH:
+            # Introspection bypasses admission: HEALTH must answer
+            # exactly when the daemon is shedding everything else.
+            self._stats["health_requests"] += 1
+            fut = loop.create_future()
+            try:
+                fut.set_result(
+                    json.dumps(self.health(), sort_keys=True,
+                               default=str).encode("utf-8"))
+            except Exception as exc:  # pragma: no cover - defensive
+                fut.set_exception(
+                    ReproError(f"health summary failed: {exc!r}"))
+            return fut
         if self._draining or self._closed:
             self._stats["overloads"] += 1
             return _failed(ServeOverloadError(
                 "daemon is draining; connect elsewhere"), loop)
+        brk = None
+        canary = False
+        if self.breaker_threshold > 0:
+            brk = self._breaker_for((req.fmt_name, req.delimiter))
+            decision = brk.admit()
+            if decision == SHED:
+                # The pool behind this key is (believed) broken: shed
+                # immediately instead of queueing into it.
+                self._stats["overloads"] += 1
+                return _failed(brk.shed_error(req.fmt_name), loop)
+            canary = decision == CANARY
         if self._inflight_requests >= self.max_inflight_requests:
             self._stats["overloads"] += 1
             return _failed(ServeOverloadError(
@@ -446,6 +560,15 @@ class ReproDaemon:
                 f"request of {len(req.payload)} bytes exceeds the "
                 f"in-flight byte budget ({self._inflight_bytes}/"
                 f"{self.max_inflight_bytes} used); back off"), loop)
+        if self._controller is not None \
+                and self._inflight_bytes + len(req.payload) \
+                > self._controller.limit_bytes:
+            # The AIMD window has shrunk below the static cap: latency
+            # is past the SLO target, so shed early rather than queue.
+            self._stats["overloads"] += 1
+            self._stats["admission_sheds"] += 1
+            return _failed(self._controller.shed_error(
+                self._inflight_bytes, len(req.payload)), loop)
         if req.op == OP_FORMAT:
             try:
                 itemsize = _itemsize(req.fmt)
@@ -459,6 +582,9 @@ class ReproDaemon:
             self._stats["format_requests"] += 1
         else:
             self._stats["read_requests"] += 1
+        if self.observe_stride and (self._stats["requests"]
+                                    % self.observe_stride == 0):
+            self._observe(req)
         self._inflight_requests += 1
         self._inflight_bytes += len(req.payload)
         fut = loop.create_future()
@@ -468,7 +594,105 @@ class ReproDaemon:
             batcher = self._batchers[key] = _Batcher(
                 self, req.op, req.fmt_name, req.delimiter)
         batcher.add(req.payload, fut)
+        if brk is not None or self._controller is not None:
+            t0 = loop.time()
+            fut.add_done_callback(
+                lambda f, brk=brk, canary=canary, t0=t0:
+                self._settle(f, brk, canary, t0, loop))
         return fut
+
+    def _breaker_for(self, key: Tuple[str, bytes]) -> CircuitBreaker:
+        brk = self._breakers.get(key)
+        if brk is None:
+            kwargs = {} if self._clock is None else {"clock": self._clock}
+            brk = self._breakers[key] = CircuitBreaker(
+                threshold=self.breaker_threshold,
+                reset_timeout=self.breaker_reset, **kwargs)
+        return brk
+
+    def _settle(self, fut: asyncio.Future, brk: Optional[CircuitBreaker],
+                canary: bool, t0: float,
+                loop: asyncio.AbstractEventLoop) -> None:
+        """Outcome bookkeeping for one admitted request: feed the
+        latency reservoir and the breaker state machine.  Data errors
+        (bad literals, misaligned payloads) are the request's fault and
+        count as successes; only infrastructure failures open a
+        breaker."""
+        if fut.cancelled():
+            if brk is not None and canary:
+                brk.record(False, canary=True)
+            return
+        exc = fut.exception()
+        if self._controller is not None:
+            self._controller.observe(loop.time() - t0)
+        if brk is not None:
+            brk.record(not CircuitBreaker.is_failure(exc), canary=canary)
+
+    def _observe(self, req: protocol.Request) -> None:
+        """Sample corpus shape; trigger a snapshot rotation when due."""
+        try:
+            if req.op == OP_FORMAT:
+                self._observer.observe_format(req.fmt_name, req.fmt,
+                                              req.payload)
+            else:
+                self._observer.observe_read(req.payload, req.delimiter)
+        except Exception:  # pragma: no cover - sampling is best-effort
+            return
+        if (self.rotate_every and self.rotate_snapshot is not None
+                and not self._rotating and not self._draining
+                and self._observer.rows_since_rotation
+                >= self.rotate_every):
+            self._rotating = True
+            self._workers.submit(self._rotate_now)
+
+    def _rotate_now(self) -> None:
+        """Rebuild the warm-start snapshot from live hot keys (worker
+        thread).  Rotation may only skip work, never change bytes: the
+        snapshot pre-seeds caches whose entries the verify battery
+        byte-compares against cold computation, and the save is the
+        torn-write-safe ``save_snapshot`` (temp file + rename)."""
+        try:
+            from repro.engine.snapshot import (build_snapshot, hot_entries,
+                                               save_snapshot)
+
+            values = self._observer.hot_values()
+            formats = self._observer.observed_formats() or ["binary64"]
+            hot = hot_entries(values, engine=self._engine, mode=self.mode,
+                              tie=self.tie) if values else []
+            snap = build_snapshot(formats=formats, engine=self._engine,
+                                  hot=hot,
+                                  meta={"source": "live-rotation",
+                                        "requests":
+                                        self._observer.requests})
+            save_snapshot(snap, self.rotate_snapshot)
+            # Pools and engines built from here on warm from the
+            # rotated file; existing ones keep their caches (a cache
+            # can only be warmer, never different).
+            self.snapshot = self.rotate_snapshot
+            self._stats["snapshot_rotations"] += 1
+        except Exception:  # pragma: no cover - rotation is best-effort
+            pass
+        finally:
+            self._observer.rotation_done()
+            self._rotating = False
+
+    def health(self) -> dict:
+        """Breaker states + controller window + observer summary — the
+        payload of the ``HEALTH`` opcode, JSON-serializable."""
+        breakers = {}
+        for (fmt_name, delim), brk in list(self._breakers.items()):
+            label = f"{fmt_name}:{delim.decode('ascii', 'replace')!r}"
+            breakers[label] = brk.snapshot()
+        return {
+            "breakers": breakers,
+            "admission": None if self._controller is None
+            else self._controller.snapshot(),
+            "observer": self._observer.summary(),
+            "inflight": {"requests": self._inflight_requests,
+                         "bytes": self._inflight_bytes},
+            "draining": self._draining,
+            "stats": self.stats(),
+        }
 
     def _release(self, payload_bytes: int) -> None:
         self._inflight_requests -= 1
@@ -489,16 +713,31 @@ class ReproDaemon:
         with self._pools_lock:
             pool = self._pools.get(key)
             if pool is None:
+                tiers = self.tiers
+                engine = self._engine
+                if self.adaptive_tiers and self.tiers is None:
+                    # Bench-arbitrated ordering for the observed corpus
+                    # (docs/contenders.md).  Every ordering is
+                    # byte-identical, so adaptation only skips work.
+                    tiers = self._observer.tier_orders()
+                    if self.kind == "thread":
+                        from repro.engine.engine import Engine
+
+                        engine = Engine(snapshot=self.snapshot,
+                                        tier_order=tiers[0],
+                                        read_tier_order=tiers[1])
                 pool = self._pools[key] = BulkPool(
                     jobs=self.jobs, kind=self.kind,
                     fmt=STANDARD_FORMATS[fmt_name], mode=self.mode,
                     tie=self.tie, dedup=self.dedup, delimiter=delimiter,
-                    engine=self._engine, deadline=self.deadline,
+                    engine=engine, deadline=self.deadline,
                     budget=self.budget, retries=self.retries,
                     on_error=self.on_error,
                     snapshot=(self.snapshot if self.kind == "process"
                               else None),
-                    tiers=self.tiers)
+                    tiers=tiers, hedge=self.hedge,
+                    hedge_min=self.hedge_min,
+                    hedge_with_faults=self.hedge_under_faults)
             return pool
 
     def _convert(self, op: int, fmt_name: str, delimiter: bytes,
@@ -589,8 +828,26 @@ class ReproDaemon:
         return self._inflight_requests, self._inflight_bytes
 
     def stats(self) -> Dict[str, int]:
-        """Serving counters (:data:`SERVE_STAT_KEYS`), always complete."""
-        return dict(self._stats)
+        """Serving counters (:data:`SERVE_STAT_KEYS`), always complete.
+
+        Control-plane counters are folded live: breaker transitions
+        from every breaker, AIMD adjustments from the controller,
+        sampled requests from the observer — so every shed, trip,
+        close and rotation is accounted here.
+        """
+        out = dict(self._stats)
+        for brk in list(self._breakers.values()):
+            snap = brk.snapshot()
+            out["breaker_trips"] += snap["trips"]
+            out["breaker_sheds"] += snap["sheds"]
+            out["breaker_closes"] += snap["closes"]
+            out["breaker_reopens"] += snap["reopens"]
+            out["breaker_canaries"] += snap["canaries"]
+        if self._controller is not None:
+            out["admission_increases"] += self._controller.increases
+            out["admission_decreases"] += self._controller.decreases
+        out["observed_requests"] += self._observer.requests
+        return out
 
     def pool_stats(self) -> Dict[str, int]:
         """Engine + recovery counters summed across every live pool."""
@@ -679,6 +936,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "lanes tier0/grisu3/schubfach, read lanes "
                              "tier0/window/lemire); response bytes are "
                              "identical for every order")
+    parser.add_argument("--breaker-threshold", type=int, default=0,
+                        metavar="N",
+                        help="consecutive pool failures that trip a "
+                             "circuit breaker (0: disabled)")
+    parser.add_argument("--breaker-reset", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="open-state backoff before the half-open "
+                             "canary probe")
+    parser.add_argument("--slo-target-ms", type=float, default=None,
+                        metavar="MS",
+                        help="p99 target for AIMD adaptive admission "
+                             "(unset: static caps only)")
+    parser.add_argument("--adaptive-tiers", action="store_true",
+                        help="select the bench-arbitrated engine tier "
+                             "ordering for the observed corpus "
+                             "(byte-identical)")
+    parser.add_argument("--rotate-snapshot", default=None, metavar="PATH",
+                        help="rebuild the warm-start snapshot here from "
+                             "live hot keys")
+    parser.add_argument("--rotate-every", type=int, default=0,
+                        metavar="ROWS",
+                        help="observed rows between snapshot rotations "
+                             "(0: disabled)")
+    parser.add_argument("--observe-stride", type=int, default=16,
+                        metavar="N",
+                        help="sample every Nth request's corpus shape "
+                             "(0: observer off)")
+    parser.add_argument("--hedge", action="store_true",
+                        help="hedge straggling shards onto a spare "
+                             "worker (first CRC-valid answer wins)")
     args = parser.parse_args(argv)
 
     tiers = None
@@ -696,7 +983,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         budget=args.budget,
         max_inflight_bytes=int(args.max_inflight_mb * (1 << 20)),
         max_inflight_requests=args.max_inflight_requests,
-        snapshot=args.snapshot, tiers=tiers)
+        snapshot=args.snapshot, tiers=tiers,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        slo_target_ms=args.slo_target_ms,
+        adaptive_tiers=args.adaptive_tiers,
+        rotate_snapshot=args.rotate_snapshot,
+        rotate_every=args.rotate_every,
+        observe_stride=args.observe_stride, hedge=args.hedge)
 
     async def _run() -> None:
         await daemon.start()

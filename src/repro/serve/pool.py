@@ -111,7 +111,7 @@ __all__ = ["BulkPool", "FAULT_STAT_KEYS"]
 #: happened.
 FAULT_STAT_KEYS = ("shard_retries", "shard_failures", "deadline_hits",
                    "pool_rebuilds", "degradations", "corrupt_shards",
-                   "snapshot_faults")
+                   "snapshot_faults", "hedges", "hedge_wins")
 
 #: The degradation ladder, most to least parallel.
 _LADDER = ("process", "thread", "serial")
@@ -446,7 +446,9 @@ class BulkPool:
                  budget: Optional[float] = None,
                  retries: int = 2, backoff: float = 0.05,
                  on_error: str = "degrade", max_rebuilds: int = 2,
-                 snapshot=None, tiers=None):
+                 snapshot=None, tiers=None, hedge: bool = False,
+                 hedge_min: float = 0.05, hedge_multiplier: float = 2.0,
+                 hedge_with_faults: bool = False):
         if kind not in ("process", "thread"):
             raise RangeError(f"kind must be 'process' or 'thread', "
                              f"got {kind!r}")
@@ -484,6 +486,23 @@ class BulkPool:
         self.backoff = backoff
         self.on_error = on_error
         self.max_rebuilds = max_rebuilds
+        if hedge_min <= 0:
+            raise RangeError(f"hedge_min must be positive, got {hedge_min}")
+        #: Hedged dispatch: when a shard's wait exceeds a threshold
+        #: derived from the rolling shard-latency distribution, its
+        #: byte-plane payload is re-dispatched (untagged — hedge legs
+        #: never consume injected-fault decisions) and the first
+        #: CRC-valid answer wins.  Byte identity is guaranteed by the
+        #: shard CRC contract: both legs compute the same pure function
+        #: of the same payload.  Suppressed while a fault plan is armed
+        #: unless ``hedge_with_faults`` opts in (the dedicated hedge
+        #: verify/bench legs), so chaos determinism tests see exactly
+        #: the dispatches their plans scripted.
+        self.hedge = bool(hedge)
+        self.hedge_min = float(hedge_min)
+        self.hedge_multiplier = float(hedge_multiplier)
+        self.hedge_with_faults = bool(hedge_with_faults)
+        self._hedge_lat: List[float] = []  # recent shard latencies (s)
         self._stats: dict = {}
         self._fstats = dict.fromkeys(FAULT_STAT_KEYS, 0)
         self._executor = None
@@ -720,6 +739,111 @@ class BulkPool:
                 f"shard {shard} payload failed its integrity check")
         return body, delta
 
+    def _note_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._hedge_lat.append(seconds)
+            if len(self._hedge_lat) > 128:
+                del self._hedge_lat[:len(self._hedge_lat) - 128]
+
+    def _hedge_threshold(self) -> float:
+        """Seconds a shard may lag before its hedge is dispatched:
+        ``hedge_multiplier`` x the rolling ~p95 shard latency, floored
+        at ``hedge_min`` (which also covers the cold start)."""
+        with self._lock:
+            xs = sorted(self._hedge_lat)
+        if len(xs) >= 8:
+            k = min(len(xs) - 1, int(round(0.95 * (len(xs) - 1))))
+            return max(self.hedge_min, self.hedge_multiplier * xs[k])
+        return self.hedge_min
+
+    def _await_shard(self, pool, fn, payload: tuple, shard: int, fut,
+                     timeout: Optional[float], dispatched: float) -> tuple:
+        """One shard attempt's raw ``(body, delta, crc)`` result.
+
+        With hedging enabled (and no armed fault plan, unless
+        ``hedge_with_faults``), a shard that exceeds the hedge
+        threshold gets a clean duplicate dispatch and the first
+        CRC-valid answer wins — both legs are the same pure function of
+        the same byte plane, so the winner's bytes are the loser's
+        bytes.  Raises exactly what the plain wait would: the caller's
+        timeout/broken-pool/corrupt classification stays unchanged.
+        """
+        hedging = (self.hedge
+                   and (self.hedge_with_faults or _faults._PLAN is None))
+        if not hedging:
+            got = fut.result() if timeout is None \
+                else fut.result(timeout=max(0.0, timeout))
+            self._note_latency(time.monotonic() - dispatched)
+            return got
+        deadline_ts = None if timeout is None \
+            else time.monotonic() + max(0.0, timeout)
+        thr = self._hedge_threshold()
+        first_wait = thr if timeout is None else min(thr, max(0.0, timeout))
+        try:
+            got = fut.result(timeout=first_wait)
+            self._note_latency(time.monotonic() - dispatched)
+            return got
+        except concurrent.futures.TimeoutError:
+            if deadline_ts is not None \
+                    and time.monotonic() >= deadline_ts:
+                raise  # the shard deadline itself expired, not the hedge
+        try:
+            # Untagged duplicate: a hedge leg never consumes a fault
+            # plan's scripted decisions.
+            hfut = pool.submit(fn, payload[:-1] + (None,))
+        except Exception:
+            # Executor refused (broken/shutting down): fall back to the
+            # plain wait and let the caller classify the outcome.
+            remaining = None if deadline_ts is None \
+                else max(0.0, deadline_ts - time.monotonic())
+            got = fut.result(timeout=remaining)
+            self._note_latency(time.monotonic() - dispatched)
+            return got
+        self._bump("hedges")
+        candidates = {fut: False, hfut: True}  # future -> is the hedge
+        last_exc: BaseException = concurrent.futures.TimeoutError()
+        while candidates:
+            remaining = None if deadline_ts is None \
+                else deadline_ts - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                for other in candidates:
+                    other.cancel()
+                raise concurrent.futures.TimeoutError()
+            done, _ = concurrent.futures.wait(
+                list(candidates), timeout=remaining,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            if not done:
+                for other in candidates:
+                    other.cancel()
+                raise concurrent.futures.TimeoutError()
+            for d in done:
+                is_hedge = candidates.pop(d)
+                try:
+                    got = d.result()
+                    body, _delta, crc = got
+                    if zlib.crc32(body) != crc:
+                        raise _CorruptShard(
+                            f"shard {shard} payload failed its "
+                            f"integrity check")
+                except concurrent.futures.CancelledError:
+                    last_exc = concurrent.futures.TimeoutError()
+                    continue
+                except BaseException as exc:
+                    if isinstance(exc, _CorruptShard) and candidates:
+                        # The other leg may still deliver clean bytes;
+                        # this one is accounted here since the caller
+                        # only sees the final outcome.
+                        self._bump("corrupt_shards")
+                    last_exc = exc
+                    continue
+                for other in candidates:
+                    other.cancel()
+                if is_hedge:
+                    self._bump("hedge_wins")
+                self._note_latency(time.monotonic() - dispatched)
+                return got
+        raise last_exc
+
     def _run_serial(self, fn, payloads, site, results, pending, attempts,
                     start) -> List[tuple]:
         """One serial round over ``pending``: ``(shard, cause)`` failures."""
@@ -763,10 +887,8 @@ class BulkPool:
                 timeout = remaining if timeout is None \
                     else min(timeout, remaining)
             try:
-                if timeout is None:
-                    got = fut.result()
-                else:
-                    got = fut.result(timeout=max(0.0, timeout))
+                got = self._await_shard(pool, fn, payloads[i], i, fut,
+                                        timeout, dispatched)
                 results[i] = self._verify_crc(got, i)
             except concurrent.futures.TimeoutError:
                 fut.cancel()

@@ -13,10 +13,10 @@ Request frame (all integers big-endian)::
 
     u32  body length N   (everything after these 4 bytes; <= max_frame)
     u8   magic 0xB5      (rejects plaintext/garbage streams early)
-    u8   opcode          (1=format, 2=read, 3=ping)
+    u8   opcode          (1=format, 2=read, 3=ping, 4=health)
     u8   format-name length F
     F    format name     (ascii; a STANDARD_FORMATS key)
-    u8   delimiter length D (1..8; ping: F == D == 0)
+    u8   delimiter length D (1..8; ping/health: F == D == 0)
     D    delimiter bytes
     N-4-F-D  payload     (format: packed bits; read: delimited plane)
 
@@ -51,7 +51,7 @@ from repro.errors import ProtocolError, ReproError
 from repro.floats.formats import STANDARD_FORMATS
 
 __all__ = [
-    "OP_FORMAT", "OP_READ", "OP_PING", "MAGIC", "MAX_FRAME",
+    "OP_FORMAT", "OP_READ", "OP_PING", "OP_HEALTH", "MAGIC", "MAX_FRAME",
     "HEADER_MIN", "Request", "encode_request", "parse_request",
     "encode_response", "encode_error", "parse_response",
     "raise_error_payload", "frame_and_body", "read_frame",
@@ -63,8 +63,12 @@ MAGIC = 0xB5
 OP_FORMAT = 1
 OP_READ = 2
 OP_PING = 3
+OP_HEALTH = 4
 
-_OPS = frozenset({OP_FORMAT, OP_READ, OP_PING})
+_OPS = frozenset({OP_FORMAT, OP_READ, OP_PING, OP_HEALTH})
+
+#: Header-only opcodes: no format name, delimiter or payload.
+_BODYLESS_OPS = frozenset({OP_PING, OP_HEALTH})
 
 #: Default cap on one frame body; a length prefix past the daemon's cap
 #: is framing damage (the bytes that follow cannot be trusted).
@@ -101,8 +105,8 @@ def encode_request(op: int, payload: bytes = b"",
                    fmt_name: str = "binary64",
                    delimiter: Union[bytes, str] = b"\n") -> bytes:
     """One request frame, length prefix included."""
-    if op == OP_PING:
-        body = bytes((MAGIC, OP_PING, 0, 0))
+    if op in _BODYLESS_OPS:
+        body = bytes((MAGIC, op, 0, 0))
         return _LEN.pack(len(body)) + body
     name = fmt_name.encode("ascii")
     delim = delimiter.encode("ascii") if isinstance(delimiter, str) \
@@ -156,8 +160,8 @@ def parse_request(body: bytes) -> Request:
     op = body[1]
     if op not in _OPS:
         raise ProtocolError(f"unknown opcode {op}", recoverable=True)
-    if op == OP_PING:
-        return Request(OP_PING, "binary64", b"\n", b"")
+    if op in _BODYLESS_OPS:
+        return Request(op, "binary64", b"\n", b"")
     nlen = body[2]
     pos = 3 + nlen
     if pos >= len(body):

@@ -76,8 +76,8 @@ from repro.workloads.corpus import (
 
 __all__ = ["VerificationReport", "verify_format", "verify_roundtrip",
            "verify_bulk", "verify_buffer", "verify_chaos", "verify_warm",
-           "verify_contenders", "sample_values", "roundtrip_values",
-           "counted_digits_rational", "main"]
+           "verify_contenders", "verify_control", "sample_values",
+           "roundtrip_values", "counted_digits_rational", "main"]
 
 #: Significant-digit probes for the counted/fixed checks (the engine's
 #: fast tier certifies at most 17; 17 is also binary64's distinguishing
@@ -1300,6 +1300,313 @@ def verify_serve(fmt: FloatFormat = BINARY64, n: int = 50000,
 
 
 # ----------------------------------------------------------------------
+# The control battery: the self-healing control plane under fire
+# ----------------------------------------------------------------------
+
+def verify_control(fmt: FloatFormat = BINARY64, n: int = 50000,
+                   seed: int = 0, jobs: int = 2) -> VerificationReport:
+    """The self-healing control plane replayed under the chaos plans.
+
+    The contract mirrors the chaos battery's, lifted to the daemon with
+    breakers, adaptive admission and the traffic observer armed: the
+    control plane may *shed* or *reroute*, never change a byte.
+
+    * **control/breaker** — the circuit-breaker state machine on a fake
+      clock: trip after the threshold, shed while open, a single canary
+      in half-open (concurrent arrivals shed, not queued), close on
+      canary success with backoff reset, re-open on canary failure with
+      the full doubled backoff;
+    * **control/daemon-breaker** — the same machine on the wire: a
+      persistently broken pool trips the breaker after exactly
+      ``threshold`` typed failures, subsequent requests shed as
+      :class:`ServeOverloadError` without touching the pool, and after
+      the (fake-clock) backoff one canary heals the key with
+      byte-identical responses;
+    * **control/chaos** — the crash/stall/corrupt plans replayed
+      through a controlled daemon: byte identity against the scalar
+      oracle, a bounded shed rate, and no breaker transitions when the
+      pool heals underneath (faults that recover must not trip);
+    * **control/admission** — the AIMD controller: p99 above target
+      halves the window down to its floor, p99 below grows it back to
+      the ceiling, and the daemon's static caps stay hard ceilings;
+    * **control/hedge** — the dedicated hedge leg: with hedging opted
+      in under an armed stall plan, the straggling shard's duplicate
+      wins, ``hedges``/``hedge_wins`` account for it, and the plane is
+      byte-identical;
+    * **control/rotation** — live snapshot rotation: traffic triggers
+      an atomic rebuild from observed hot keys, the rotation is
+      counted, responses before and after are byte-identical, and an
+      engine warmed from the rotated snapshot matches a cold engine
+      byte for byte;
+    * **control/health** — the ``HEALTH`` opcode returns breaker
+      states, the controller window and the observer summary over the
+      wire while regular traffic is being shed.
+    """
+    import os
+    import tempfile
+    import time as _time
+
+    from repro import faults
+    from repro.errors import ReproError, ServeOverloadError, ShardError
+    from repro.serve import pack_bits, serving
+    from repro.serve.client import ServeClient
+    from repro.serve.control import (AdmissionController, CircuitBreaker,
+                                     ADMIT, CANARY, SHED)
+    from repro.serve.pool import BulkPool
+
+    report = VerificationReport(format_name=f"{fmt.name} control")
+    eng = Engine()
+    values = roundtrip_values(fmt, n, seed)
+    values.append(Flonum.nan(fmt))
+    values.append(Flonum.infinity(fmt, 0))
+    values.append(Flonum.infinity(fmt, 1))
+    report.checked = len(values)
+    bits = [v.to_bits() for v in values]
+    packed = pack_bits(bits, fmt)
+    itemsize = len(packed) // len(bits)
+    scalar = [eng.format(v, fmt=fmt) for v in values]
+
+    chunk = 2048
+    spans = [(a, min(a + chunk, len(values)))
+             for a in range(0, len(values), chunk)]
+
+    def plane_of(a: int, b: int) -> bytes:
+        return ("\n".join(scalar[a:b]) + "\n").encode("ascii")
+
+    # -- control/breaker: the state machine on a fake clock ----------
+    tag = "control/breaker"
+    now = [0.0]
+    brk = CircuitBreaker(threshold=3, reset_timeout=1.0,
+                         clock=lambda: now[0])
+    report.check(tag)
+    trace = []
+    for _ in range(3):
+        trace.append(brk.admit() == ADMIT)
+        brk.record(False)
+    trace.append(brk.state == "open")
+    trace.append(brk.admit() == SHED)          # open: shed immediately
+    now[0] = 0.5
+    trace.append(brk.admit() == SHED)          # still inside the backoff
+    now[0] = 1.0
+    trace.append(brk.admit() == CANARY)        # half-open: one probe
+    trace.append(brk.admit() == SHED)          # concurrent: shed, not queued
+    brk.record(False, canary=True)             # canary fails
+    trace.append(brk.state == "open")          # re-opened...
+    now[0] = 2.0                               # ...with the FULL doubled
+    trace.append(brk.admit() == SHED)          # backoff (2s), not 1s
+    now[0] = 3.0
+    trace.append(brk.admit() == CANARY)
+    brk.record(True, canary=True)              # canary heals
+    trace.append(brk.state == "closed")
+    trace.append(brk.admit() == ADMIT)
+    snap = brk.snapshot()
+    trace.append(snap["trips"] == 1 and snap["reopens"] == 1
+                 and snap["closes"] == 1 and snap["canaries"] == 2
+                 and snap["reset_timeout"] == 1.0)  # backoff reset
+    if not all(trace):
+        report.record(tag, values[0],
+                      f"state-machine trace failed: {trace}")
+
+    # -- control/admission: AIMD window against the SLO target -------
+    tag = "control/admission"
+    report.check(tag)
+    ctl = AdmissionController(target_p99_ms=10.0, ceiling_bytes=1 << 20,
+                              floor_bytes=1 << 16, step_bytes=1 << 18,
+                              window=64, adjust_every=16)
+    for _ in range(16 * 8):
+        ctl.observe(0.050)                     # 50ms >> 10ms target
+    shrunk = ctl.limit_bytes
+    for _ in range(16 * 16):
+        ctl.observe(0.001)                     # 1ms << target
+    grown = ctl.limit_bytes
+    if not (shrunk == ctl.floor_bytes and grown == ctl.ceiling_bytes
+            and ctl.decreases >= 1 and ctl.increases >= 1):
+        report.record(tag, values[0],
+                      f"AIMD window wrong: shrunk={shrunk} grown={grown} "
+                      f"(floor={ctl.floor_bytes} "
+                      f"ceiling={ctl.ceiling_bytes}, "
+                      f"-{ctl.decreases}/+{ctl.increases})")
+
+    # -- control/daemon-breaker: trip, shed, heal on the wire --------
+    tag = "control/daemon-breaker"
+    plan = faults.FaultPlan([faults.FaultSpec(
+        "pool.format_shard", "raise", attempt=None, limit=None)], seed)
+    with serving(jobs=1, kind="thread", batch_window=0.0,
+                 on_error="raise", retries=0, breaker_threshold=3,
+                 breaker_reset=1.0, clock=lambda: now[0]) as daemon:
+        with ServeClient(daemon.host, daemon.port) as client:
+            span = packed[:64 * itemsize]
+            with faults.armed(plan):
+                for i in range(3):
+                    report.check(tag)
+                    try:
+                        client.format(span, fmt.name)
+                        report.record(tag, values[0],
+                                      f"failure {i} did not surface")
+                    except ReproError as exc:
+                        # ShardError's structured signature degrades to
+                        # the base class on the wire; the name travels
+                        # in the message.
+                        if not (isinstance(exc, ShardError)
+                                or "ShardError" in str(exc)):
+                            report.record(tag, values[0],
+                                          f"failure {i}: wrong type "
+                                          f"{exc!r}")
+                report.check(tag)
+                try:
+                    client.format(span, fmt.name)
+                    report.record(tag, values[0],
+                                  "open breaker admitted a request")
+                except ServeOverloadError:
+                    pass
+                except ReproError as exc:
+                    report.record(tag, values[0],
+                                  f"open breaker: wrong type {exc!r}")
+            # Fault cleared; advance the fake clock past the backoff:
+            # the next request is the canary and must heal the key.
+            now[0] += 1.5
+            report.check(tag)
+            try:
+                got = client.format(span, fmt.name)
+                if got != plane_of(0, 64):
+                    report.record(tag, values[0],
+                                  "canary response differs from oracle")
+            except ReproError as exc:
+                report.record(tag, values[0], f"canary failed: {exc!r}")
+            stats = daemon.stats()
+            report.check(tag)
+            if not (stats["breaker_trips"] == 1
+                    and stats["breaker_sheds"] >= 1
+                    and stats["breaker_canaries"] == 1
+                    and stats["breaker_closes"] == 1):
+                report.record(tag, values[0],
+                              f"unaccounted transitions: "
+                              f"trips={stats['breaker_trips']} "
+                              f"sheds={stats['breaker_sheds']} "
+                              f"canaries={stats['breaker_canaries']} "
+                              f"closes={stats['breaker_closes']}")
+
+    # -- control/chaos: the chaos plans through the control plane ----
+    for name, plan, pool_kw in _chaos_plans(seed):
+        if name in ("tier-raise", "mixed"):
+            continue  # in-worker tiers are the chaos battery's beat
+        tag = f"control/chaos-{name}"
+        with serving(jobs=jobs, kind="process", batch_window=0.0,
+                     retries=3, breaker_threshold=5,
+                     slo_target_ms=5000.0, observe_stride=1,
+                     **pool_kw) as daemon:
+            with ServeClient(daemon.host, daemon.port) as client:
+                with faults.armed(plan):
+                    for a, b in spans[:4]:
+                        report.check(tag)
+                        try:
+                            got = client.format(
+                                packed[a * itemsize:b * itemsize],
+                                fmt.name)
+                        except ReproError as exc:
+                            report.record(tag, values[a],
+                                          f"did not heal: {exc!r}")
+                            continue
+                        if got != plane_of(a, b):
+                            report.record(tag, values[a],
+                                          "plane differs under chaos")
+                stats = daemon.stats()
+            report.check(tag)
+            requests = max(1, stats["requests"])
+            shed = stats["overloads"]
+            if shed > requests * 0.5:
+                report.record(tag, values[0],
+                              f"unbounded shedding: {shed}/{requests}")
+            if stats["breaker_trips"] != 0:
+                report.record(tag, values[0],
+                              f"healing faults tripped the breaker "
+                              f"{stats['breaker_trips']}x")
+
+    # -- control/hedge: the dedicated hedge leg ----------------------
+    tag = "control/hedge"
+    report.check(tag)
+    plan = faults.FaultPlan([faults.FaultSpec(
+        "pool.format_shard", "stall", shard=0, attempt=0, stall=0.8)],
+        seed)
+    span = packed[:256 * itemsize]
+    try:
+        with BulkPool(jobs=2, kind="thread", fmt=fmt, deadline=5.0,
+                      hedge=True, hedge_min=0.05,
+                      hedge_with_faults=True) as pool:
+            with faults.armed(plan):
+                got = pool.format_bulk(span)
+            stats = pool.stats()
+        if got != plane_of(0, 256):
+            report.record(tag, values[0], "hedged plane differs")
+        if stats["hedges"] < 1 or stats["hedge_wins"] < 1:
+            report.record(tag, values[0],
+                          f"hedge unaccounted: hedges={stats['hedges']} "
+                          f"wins={stats['hedge_wins']}")
+    except ReproError as exc:
+        report.record(tag, values[0], f"hedge leg failed: {exc!r}")
+
+    # -- control/rotation: live snapshot rotation --------------------
+    tag = "control/rotation"
+    report.check(tag)
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "rotated.snap")
+        with serving(jobs=1, kind="thread", batch_window=0.0,
+                     rotate_snapshot=path, rotate_every=64,
+                     observe_stride=1) as daemon:
+            with ServeClient(daemon.host, daemon.port) as client:
+                a, b = spans[0]
+                before = client.format(packed[a * itemsize:b * itemsize],
+                                       fmt.name)
+                deadline = _time.monotonic() + 10.0
+                while (daemon.stats()["snapshot_rotations"] == 0
+                       and _time.monotonic() < deadline):
+                    _time.sleep(0.01)
+                after = client.format(packed[a * itemsize:b * itemsize],
+                                      fmt.name)
+            rotations = daemon.stats()["snapshot_rotations"]
+        if rotations < 1:
+            report.record(tag, values[0], "rotation never happened")
+        elif not os.path.exists(path):
+            report.record(tag, values[0], "rotation counted but no file")
+        if before != after or before != plane_of(a, b):
+            report.record(tag, values[0],
+                          "rotation changed response bytes")
+        # A rotated snapshot may only skip work, never change bytes:
+        # an engine warmed from it must match the cold oracle exactly.
+        if os.path.exists(path):
+            warm = Engine(snapshot=path)
+            for i, v in enumerate(values[:512]):
+                report.check(tag)
+                got = warm.format(v, fmt=fmt)
+                if got != scalar[i]:
+                    report.record(tag, v,
+                                  f"warm {got!r} != cold {scalar[i]!r}")
+
+    # -- control/health: the HEALTH opcode over the wire -------------
+    tag = "control/health"
+    report.check(tag)
+    with serving(jobs=1, kind="thread", batch_window=0.0,
+                 breaker_threshold=3, slo_target_ms=100.0,
+                 observe_stride=1) as daemon:
+        with ServeClient(daemon.host, daemon.port) as client:
+            client.format(packed[:32 * itemsize], fmt.name)
+            try:
+                health = client.health()
+            except ReproError as exc:
+                report.record(tag, values[0], f"HEALTH failed: {exc!r}")
+            else:
+                if not (isinstance(health.get("breakers"), dict)
+                        and isinstance(health.get("admission"), dict)
+                        and isinstance(health.get("observer"), dict)
+                        and health["observer"].get("requests", 0) >= 1
+                        and "limit_bytes" in health["admission"]):
+                    report.record(tag, values[0],
+                                  f"malformed health payload: "
+                                  f"{sorted(health)}")
+    return report
+
+
+# ----------------------------------------------------------------------
 # CLI: ``python -m repro.verify`` (the nightly fuzz entry point)
 # ----------------------------------------------------------------------
 
@@ -1316,7 +1623,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--n", type=int, default=None,
                         help="values sampled per format (default 200; "
                              "50000 with the deep batteries: --roundtrip/"
-                             "--bulk/--buffer/--chaos/--serve/--warm)")
+                             "--bulk/--buffer/--chaos/--serve/--warm/"
+                             "--control)")
     parser.add_argument("--seed", default="0",
                         help="sample seed: an integer, or 'fresh' for a "
                              "new random seed (nightly fuzz; the chosen "
@@ -1360,17 +1668,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "lemire-only reader must resolve every "
                              "certified-range literal with zero exact-"
                              "rational consultations")
+    parser.add_argument("--control", action="store_true",
+                        help="run the control-plane battery: circuit "
+                             "breakers, hedged shards, adaptive admission "
+                             "and live snapshot rotation replayed under "
+                             "the chaos plans — shed or reroute, never "
+                             "change a byte")
     args = parser.parse_args(argv)
     if sum((args.roundtrip, args.bulk, args.buffer, args.chaos,
-            args.serve, args.warm, args.contenders)) > 1:
+            args.serve, args.warm, args.contenders, args.control)) > 1:
         parser.error("--roundtrip, --bulk, --buffer, --chaos, --serve, "
-                     "--warm and --contenders are separate batteries")
+                     "--warm, --contenders and --control are separate "
+                     "batteries")
     seed = (random.SystemRandom().randrange(2**32) if args.seed == "fresh"
             else int(args.seed))
     deep = (args.roundtrip or args.bulk or args.buffer or args.chaos
-            or args.serve or args.warm or args.contenders)
+            or args.serve or args.warm or args.contenders or args.control)
     n = args.n if args.n is not None else (50000 if deep else 200)
-    if args.contenders:
+    if args.control:
+        battery, kind = verify_control, "control"
+    elif args.contenders:
         battery, kind = verify_contenders, "contenders"
     elif args.warm:
         battery, kind = verify_warm, "warm"

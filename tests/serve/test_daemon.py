@@ -191,6 +191,57 @@ class TestDrain:
             thread.join(timeout=30)
             loop.close()
 
+    def test_drain_admission_race_is_deterministic(self):
+        # The drain/admission race, pinned: requests admitted before
+        # the drain flag flips are *served* even though their
+        # micro-batch window (30s, far past any drain wait) has not
+        # expired — close() must wake the batchers, not wait them out;
+        # a request arriving after the flip sheds with the typed
+        # overload error; and the counters reconcile exactly.
+        import time
+
+        d = ReproDaemon(batch_window=30.0, drain_timeout=20.0)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                d.start(), loop).result(timeout=30)
+
+            async def race():
+                c = await AsyncServeClient.connect(d.host, d.port)
+                tasks = [asyncio.ensure_future(c.format(PACKED))
+                         for _ in range(4)]
+                for _ in range(2000):
+                    if d.inflight[0] >= 4:
+                        break
+                    await asyncio.sleep(0.002)
+                t0 = time.monotonic()
+                closing = asyncio.ensure_future(d.close())
+                await asyncio.sleep(0)  # close() flips _draining here
+                late = await asyncio.gather(c.format(PACKED),
+                                            return_exceptions=True)
+                res = await asyncio.gather(*tasks,
+                                           return_exceptions=True)
+                await closing
+                elapsed = time.monotonic() - t0
+                await c.close()
+                return res, late[0], elapsed
+
+            res, late, elapsed = asyncio.run_coroutine_threadsafe(
+                race(), loop).result(timeout=60)
+            assert all(r == PLANE for r in res)  # admitted => served
+            assert isinstance(late, ServeOverloadError)  # late => shed
+            assert elapsed < 15.0  # woke the batchers, no 30s wait
+            stats = d.stats()
+            assert stats["drains"] == 1
+            assert stats["overloads"] >= 1
+            assert stats["responses"] >= 4
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+            loop.close()
+
     def test_requests_during_drain_are_rejected(self):
         with serving() as d:
             with ServeClient(d.host, d.port) as c:

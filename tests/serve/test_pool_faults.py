@@ -236,7 +236,7 @@ class TestStats:
         assert frozenset(FAULT_STAT_KEYS) == frozenset({
             "shard_retries", "shard_failures", "deadline_hits",
             "pool_rebuilds", "degradations", "corrupt_shards",
-            "snapshot_faults"})
+            "snapshot_faults", "hedges", "hedge_wins"})
 
     def test_stats_exact_under_concurrent_calls(self):
         # Every thread injects exactly one raise into its own call;

@@ -204,13 +204,30 @@ class TestServeBenchSchema:
         assert stored["chaos"]["faults_fired"] >= 1
         assert stored["chaos"]["recovered"] \
             >= stored["chaos"]["faults_fired"]
+        # The controlled leg: byte-identical under the same plan, and
+        # the committed full run must show the control plane beating
+        # the uncontrolled chaos tail.
+        ctl = stored["controlled"]
+        assert ctl["mismatches"] == 0
+        assert ctl["p99_vs_chaos"] <= stored["gates"]["controlled_p99_bound"]
+        assert ctl["errors"] <= ctl["requests"] \
+            * stored["gates"]["controlled_shed_bound"]
 
     def test_validator_reports_missing_keys(self):
         tool = _load_bench_tool("bench_serve")
         problems = tool.validate_bench_schema({"baseline": {}})
         assert "missing key: config" in problems
         assert "missing key: chaos" in problems
+        assert "missing key: controlled" in problems
         assert any(p.startswith("missing key: baseline.")
+                   for p in problems)
+
+    def test_validator_reports_missing_control_counters(self):
+        tool = _load_bench_tool("bench_serve")
+        bad = {"controlled": dict(self.GOOD_LEG, faults_fired=1,
+                                  p99_vs_chaos=0.9, control={})}
+        problems = tool.validate_bench_schema(bad)
+        assert any(p.startswith("missing key: controlled.control.")
                    for p in problems)
 
     def test_baseline_gates(self):
@@ -246,6 +263,41 @@ class TestServeBenchSchema:
                                               p99=bound + 1.0))
         assert tool._check_chaos_gates(degraded, base, quick=True) == 0
         assert tool._check_chaos_gates(degraded, base, quick=False) == 1
+
+    def test_controlled_gates(self):
+        tool = _load_bench_tool("bench_serve")
+        chaos = dict(self.GOOD_LEG, faults_fired=3, recovered=4,
+                     p99_ratio=2.0)
+        good = dict(self.GOOD_LEG, faults_fired=3, p99_vs_chaos=0.9,
+                    latency_ms=dict(self.GOOD_LEG["latency_ms"],
+                                    p99=36.0),
+                    control={"breaker_trips": 0, "breaker_sheds": 0,
+                             "admission_sheds": 0,
+                             "admission_increases": 1,
+                             "admission_decreases": 0,
+                             "hedges": 1, "hedge_wins": 1})
+        assert tool._check_controlled_gates(good, chaos,
+                                            quick=False) == 0
+        # Identity and accounting bind on every run.
+        assert tool._check_controlled_gates(
+            dict(good, mismatches=1), chaos, quick=True) == 1
+        # Bounded shedding is fine; losing track of a response is not.
+        assert tool._check_controlled_gates(
+            dict(good, errors=1, responses=99), chaos, quick=True) == 0
+        assert tool._check_controlled_gates(
+            dict(good, responses=98), chaos, quick=True) == 1
+        # Unbounded shedding is a failure even when p99 looks great.
+        shedding = dict(good, errors=50, responses=50)
+        assert tool._check_controlled_gates(shedding, chaos,
+                                            quick=True) == 1
+        # The improvement gate is timing-only: skipped on --quick,
+        # binding on full runs — controlled p99 must beat chaos p99.
+        worse = dict(good, latency_ms=dict(good["latency_ms"],
+                                           p99=41.0))
+        assert tool._check_controlled_gates(worse, chaos,
+                                            quick=True) == 0
+        assert tool._check_controlled_gates(worse, chaos,
+                                            quick=False) == 1
 
     def test_percentile_nearest_rank(self):
         tool = _load_bench_tool("bench_serve")

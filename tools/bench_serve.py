@@ -22,7 +22,16 @@ Two legs land in the JSON:
   counters account for every fired fault, zero byte mismatches, and
   p99 degradation stays within the documented bound
   (``chaos p99 <= max(P99_RATIO_BOUND x baseline p99,
-  P99_ABS_FLOOR_MS)`` — see docs/serving.md).
+  P99_ABS_FLOOR_MS)`` — see docs/serving.md);
+
+* **controlled** (with the chaos leg) — the *same* fault plan replayed
+  against a daemon with the self-healing control plane armed: circuit
+  breakers, the AIMD admission controller and hedged shard dispatch
+  (``hedge_under_faults`` so the hedge legs dodge the armed stalls —
+  exactly the production story).  Gates: zero byte mismatches, a
+  bounded shed rate, and on full runs the controlled chaos p99 must
+  not exceed ``CONTROLLED_P99_BOUND`` x the uncontrolled chaos p99 —
+  the control plane has to pay for itself.
 
 Timing gates are skipped on ``--quick`` so loaded CI machines cannot
 flake the smoke lane; identity/accounting gates always apply.  The
@@ -62,6 +71,12 @@ P99_RATIO_BOUND = 20.0
 #: ... or this absolute floor, whichever is larger (retry/rebuild cost
 #: on a short, fast baseline would otherwise dominate the ratio).
 P99_ABS_FLOOR_MS = 500.0
+#: The controlled leg's p99 may be at most this multiple of the
+#: uncontrolled chaos p99 (full runs only) — the control plane must
+#: improve tail latency under faults, not merely add machinery.
+CONTROLLED_P99_BOUND = 1.0
+#: The controlled leg may shed at most this fraction of its requests.
+CONTROLLED_SHED_BOUND = 0.2
 
 #: Required keys of BENCH_serve.json.  A value of ``dict`` means "any
 #: mapping"; a tuple lists required sub-keys.  Schema changes must
@@ -93,7 +108,23 @@ BENCH_SERVE_SCHEMA = {
         "stats": dict,
         "pool_stats": dict,
     },
-    "gates": ("p99_ratio_bound", "p99_abs_floor_ms"),
+    "controlled": {
+        "requests": int,
+        "responses": int,
+        "errors": int,
+        "mismatches": int,
+        "faults_fired": int,
+        "p99_vs_chaos": float,
+        "control": ("breaker_trips", "breaker_sheds", "admission_sheds",
+                    "admission_increases", "admission_decreases",
+                    "hedges", "hedge_wins"),
+        "latency_ms": ("p50", "p95", "p99", "mean", "max"),
+        "throughput": ("requests_per_s", "mb_per_s"),
+        "stats": dict,
+        "pool_stats": dict,
+    },
+    "gates": ("p99_ratio_bound", "p99_abs_floor_ms",
+              "controlled_p99_bound", "controlled_shed_bound"),
 }
 
 
@@ -254,11 +285,13 @@ async def _drive(daemon, templates, rate: float, duration: float,
 
 
 def run_leg(templates, *, rate, duration, connections, seed, jobs, kind,
-            plan=None) -> dict:
+            plan=None, **daemon_kw) -> dict:
     """One serving leg: boot a daemon, drive open-loop traffic at it,
-    return the measured section (with daemon counters attached)."""
+    return the measured section (with daemon counters attached).
+    Extra keyword arguments reach the daemon — the controlled leg uses
+    them to arm the control plane."""
     with serving(jobs=jobs, kind=kind, batch_window=0.001,
-                 retries=3) as daemon:
+                 retries=3, **daemon_kw) as daemon:
         ctx = faults.armed(plan) if plan is not None else None
         try:
             if ctx is not None:
@@ -344,6 +377,34 @@ def _check_chaos_gates(chaos: dict, base: dict, quick: bool) -> int:
     return status
 
 
+def _check_controlled_gates(ctl: dict, chaos: dict, quick: bool) -> int:
+    """The control plane may shed or reroute, never change a byte —
+    and on full runs it must improve the chaos tail, not just exist."""
+    status = 0
+    if ctl["mismatches"]:
+        print("FAIL: controlled responses mismatch the fault-free "
+              "oracle", file=sys.stderr)
+        status = 1
+    if ctl["responses"] + ctl["errors"] != ctl["requests"]:
+        print("FAIL: controlled responses unaccounted for",
+              file=sys.stderr)
+        status = 1
+    if ctl["errors"] > ctl["requests"] * CONTROLLED_SHED_BOUND:
+        print(f"FAIL: controlled leg shed {ctl['errors']} of "
+              f"{ctl['requests']} requests (bound "
+              f"{CONTROLLED_SHED_BOUND:.0%})", file=sys.stderr)
+        status = 1
+    if not quick:
+        bound = CONTROLLED_P99_BOUND * chaos["latency_ms"]["p99"]
+        if ctl["latency_ms"]["p99"] > bound:
+            print(f"FAIL: controlled p99 {ctl['latency_ms']['p99']}ms "
+                  f"does not beat the uncontrolled chaos p99 "
+                  f"{chaos['latency_ms']['p99']}ms "
+                  f"(bound {bound:.0f}ms)", file=sys.stderr)
+            status = 1
+    return status
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -397,7 +458,9 @@ def main(argv=None) -> int:
             "quick": args.quick,
         },
         "gates": {"p99_ratio_bound": P99_RATIO_BOUND,
-                  "p99_abs_floor_ms": P99_ABS_FLOOR_MS},
+                  "p99_abs_floor_ms": P99_ABS_FLOOR_MS,
+                  "controlled_p99_bound": CONTROLLED_P99_BOUND,
+                  "controlled_shed_bound": CONTROLLED_SHED_BOUND},
     }
 
     base = run_leg(templates, rate=rate, duration=duration,
@@ -425,6 +488,36 @@ def main(argv=None) -> int:
         status = _check_chaos_gates(chaos, base,
                                     quick=args.quick) or status
 
+        # The controlled leg: the same fault plan (fresh instance, same
+        # seed and arrival schedule) with the control plane armed.
+        cplan = chaos_plan(args.seed)
+        ctl = run_leg(templates, rate=rate, duration=duration,
+                      connections=args.connections, seed=args.seed + 1,
+                      jobs=args.jobs, kind=args.kind, plan=cplan,
+                      breaker_threshold=8, slo_target_ms=60.0,
+                      hedge=True, hedge_min=0.05,
+                      hedge_under_faults=True)
+        with cplan._lock:
+            cfired = sum(cplan.fired.get(s, 0)
+                         for s in faults.POOL_SITES)
+        ctl["faults_fired"] = cfired
+        cstats, cpool = ctl["stats"], ctl["pool_stats"]
+        ctl["control"] = {
+            "breaker_trips": cstats.get("breaker_trips", 0),
+            "breaker_sheds": cstats.get("breaker_sheds", 0),
+            "admission_sheds": cstats.get("admission_sheds", 0),
+            "admission_increases": cstats.get("admission_increases", 0),
+            "admission_decreases": cstats.get("admission_decreases", 0),
+            "hedges": cpool.get("hedges", 0),
+            "hedge_wins": cpool.get("hedge_wins", 0),
+        }
+        cp99 = chaos["latency_ms"]["p99"]
+        ctl["p99_vs_chaos"] = (round(ctl["latency_ms"]["p99"] / cp99, 2)
+                               if cp99 else 0.0)
+        result["controlled"] = ctl
+        status = _check_controlled_gates(ctl, chaos,
+                                         quick=args.quick) or status
+
     problems = validate_bench_schema(result) if not args.no_chaos else []
     for p in problems:
         print(f"FAIL: schema violation: {p}", file=sys.stderr)
@@ -435,7 +528,7 @@ def main(argv=None) -> int:
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
-    for leg in ("baseline", "chaos"):
+    for leg in ("baseline", "chaos", "controlled"):
         if leg in result:
             lat = result[leg]["latency_ms"]
             thr = result[leg]["throughput"]
